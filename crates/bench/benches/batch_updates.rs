@@ -1,0 +1,45 @@
+//! Criterion bench behind Figures 8/9: batch-dynamic build+destroy.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_euler::BatchEulerForest;
+use dyntree_seqs::TreapSequence;
+use dyntree_workloads::{kary_tree, path_tree};
+use ufo_forest::UfoForest;
+
+fn bench_batch(c: &mut Criterion) {
+    let n = 10_000;
+    let batch = 2_000;
+    let mut group = c.benchmark_group("fig8_batch_updates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, forest) in [("path", path_tree(n)), ("64ary", kary_tree(n, 64))] {
+        group.bench_with_input(BenchmarkId::new("ufo_batch", label), &forest, |b, f| {
+            b.iter(|| {
+                let mut t = UfoForest::new(f.n);
+                for chunk in f.edges.chunks(batch) {
+                    t.batch_link(chunk);
+                }
+                for chunk in f.edges.chunks(batch) {
+                    t.batch_cut(chunk);
+                }
+                t.num_edges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ett_batch", label), &forest, |b, f| {
+            b.iter(|| {
+                let mut t = BatchEulerForest::<TreapSequence>::new(f.n);
+                for chunk in f.edges.chunks(batch) {
+                    t.batch_link(chunk);
+                }
+                for chunk in f.edges.chunks(batch) {
+                    t.batch_cut(chunk);
+                }
+                t.forest().num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

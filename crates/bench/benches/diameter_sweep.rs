@@ -1,0 +1,27 @@
+//! Criterion bench behind Figures 6/16: update cost as a function of the
+//! input diameter (Zipf attachment parameter).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{build_destroy_time, Structure};
+use dyntree_workloads::zipf_tree;
+
+fn bench_diameter_sweep(c: &mut Criterion) {
+    let n = 5_000;
+    let mut group = c.benchmark_group("fig6_diameter_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for alpha in [0.0f64, 1.0, 2.0] {
+        let forest = zipf_tree(n, alpha, 11);
+        for s in [Structure::LinkCut, Structure::Ufo, Structure::EttTreap, Structure::Topology] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{:?}", s), format!("alpha{alpha:.1}")),
+                &forest,
+                |b, forest| b.iter(|| build_destroy_time(s, forest, 5)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diameter_sweep);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Figure 6(b)/(c): connectivity and path query
+//! throughput on a built tree.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{query_time, Structure};
+use dyntree_workloads::zipf_tree;
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 5_000;
+    let q = 2_000;
+    let mut group = c.benchmark_group("fig6_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for alpha in [0.0f64, 2.0] {
+        let forest = zipf_tree(n, alpha, 11);
+        for s in [Structure::LinkCut, Structure::Ufo, Structure::Topology] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("connectivity_{:?}", s), format!("alpha{alpha:.1}")),
+                &forest,
+                |b, forest| b.iter(|| query_time(s, forest, q, false, 5)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("path_{:?}", s), format!("alpha{alpha:.1}")),
+                &forest,
+                |b, forest| b.iter(|| query_time(s, forest, q, true, 5)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

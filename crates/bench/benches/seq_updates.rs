@@ -1,0 +1,26 @@
+//! Criterion bench behind Figure 5: sequential insert+delete throughput.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{build_destroy_time, Structure};
+use dyntree_workloads::SyntheticTree;
+
+fn bench_seq_updates(c: &mut Criterion) {
+    let n = 5_000;
+    let mut group = c.benchmark_group("fig5_seq_updates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for family in [SyntheticTree::Path, SyntheticTree::KAry64, SyntheticTree::Random] {
+        let forest = family.generate(n, 7);
+        for s in Structure::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{:?}", s), family.label()),
+                &forest,
+                |b, forest| b.iter(|| build_destroy_time(s, forest, 13)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_updates);
+criterion_main!(benches);

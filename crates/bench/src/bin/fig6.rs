@@ -1,0 +1,29 @@
+//! Figure 6: the diameter sweep.  Zipf(alpha) trees with decreasing diameter;
+//! reports total update time, connectivity-query time and path-query time for
+//! every sequential structure.
+use dyntree_bench::{build_destroy_time, query_time, Structure};
+use dyntree_workloads::zipf_tree;
+
+fn main() {
+    let n = dyntree_bench::default_n();
+    let q = (n / 2).max(1_000);
+    println!("Figure 6 — diameter sweep, n = {}, q = {} (scale = {})\n", n, q, dyntree_bench::scale());
+    for alpha in [0.0, 0.5, 1.0, 1.5, 2.0] {
+        let forest = zipf_tree(n, alpha, 11);
+        let label = format!("alpha={:.1} D={}", alpha, forest.diameter());
+        println!("== {} ==", label);
+        for s in Structure::ALL {
+            let upd = build_destroy_time(s, &forest, 5);
+            let conn = query_time(s, &forest, q, false, 5);
+            let path = if s.build(4).supports_path_queries() {
+                query_time(s, &forest, q, true, 5)
+            } else {
+                f64::NAN
+            };
+            println!(
+                "  {:>10?}  updates={:>8.3}s  connectivity={:>8.3}s  path={:>8.3}s",
+                s, upd, conn, path
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 7: memory usage after building an n-vertex tree, per structure and
+//! synthetic input family.
+use dyntree_bench::{build_memory, default_n, Structure};
+use dyntree_workloads::SyntheticTree;
+
+fn main() {
+    let n = default_n();
+    println!("Figure 7 — memory usage after build, n = {} (scale = {})\n", n, dyntree_bench::scale());
+    print!("{:<10}", "input");
+    for s in Structure::ALL {
+        print!(" {:>14?}", s);
+    }
+    println!();
+    for family in SyntheticTree::ALL {
+        let forest = family.generate(n, 7);
+        print!("{:<10}", family.label());
+        for s in Structure::ALL {
+            let bytes = build_memory(s, &forest);
+            print!(" {:>13.1}MB", bytes as f64 / (1024.0 * 1024.0));
+        }
+        println!();
+    }
+}

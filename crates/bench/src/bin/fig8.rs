@@ -1,0 +1,89 @@
+//! Figure 8: batch-dynamic update speed.  Every batch structure ingests the
+//! same random batches of insertions followed by batches of deletions.
+use std::time::Instant;
+use dyntree_euler::BatchEulerForest;
+use dyntree_seqs::TreapSequence;
+use dyntree_workloads::{bfs_forest, power_law_graph, road_grid_graph, SyntheticTree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ufo_forest::{TopologyForest, UfoForest};
+
+fn batch_time_ufo(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
+    let mut f = UfoForest::new(n);
+    let start = Instant::now();
+    for b in batches {
+        f.batch_link(b);
+    }
+    for b in batches {
+        f.batch_cut(b);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn batch_time_ett(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
+    let mut f = BatchEulerForest::<TreapSequence>::new(n);
+    let start = Instant::now();
+    for b in batches {
+        f.batch_link(b);
+    }
+    for b in batches {
+        f.batch_cut(b);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn batch_time_topology(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
+    let mut f = TopologyForest::new(n);
+    let start = Instant::now();
+    for b in batches {
+        for &(u, v) in b {
+            f.link(u, v);
+        }
+    }
+    for b in batches {
+        for &(u, v) in b {
+            f.cut(u, v);
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn run(label: &str, n: usize, edges: &[(usize, usize)], batch_size: usize) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut shuffled = edges.to_vec();
+    shuffled.shuffle(&mut rng);
+    let batches: Vec<Vec<(usize, usize)>> = shuffled.chunks(batch_size).map(|c| c.to_vec()).collect();
+    println!(
+        "{:<12} ETT(batch)={:>8.3}s  UFO(batch)={:>8.3}s  Topology={:>8.3}s",
+        label,
+        batch_time_ett(n, &batches),
+        batch_time_ufo(n, &batches),
+        batch_time_topology(n, &batches),
+    );
+}
+
+fn main() {
+    let n = dyntree_bench::default_n();
+    let batch_size = (n / 10).max(1_000);
+    println!(
+        "Figure 8 — batch-dynamic update speed, n = {}, batch size = {} (scale = {})\n",
+        n, batch_size, dyntree_bench::scale()
+    );
+    for family in SyntheticTree::ALL {
+        let n_eff = match family {
+            SyntheticTree::Star | SyntheticTree::Dandelion => n.min(20_000),
+            _ => n,
+        };
+        let forest = family.generate(n_eff, 7);
+        run(family.label(), forest.n, &forest.edges, batch_size.min(forest.edges.len().max(1)));
+    }
+    println!("\n-- real-world stand-ins --");
+    let side = (n as f64).sqrt() as usize;
+    let road = road_grid_graph(side, 1);
+    let web = power_law_graph(((n as f64).log2()) as u32, 8, 2);
+    for g in [&road, &web] {
+        let f = bfs_forest(g, 3);
+        run(&format!("{}-BFS", g.name), f.n, &f.edges, batch_size);
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 9: scaling UFO-tree batch builds to large inputs (laptop-scaled from
+//! the paper's billion-edge experiment).
+use std::time::Instant;
+use dyntree_workloads::{binary_tree, kary_tree, path_tree, star_tree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ufo_forest::UfoForest;
+
+fn main() {
+    let max_n = match dyntree_bench::scale() {
+        "large" => 2_000_000,
+        "medium" => 500_000,
+        _ => 100_000,
+    };
+    let batch = 50_000;
+    println!("Figure 9 — UFO batch build+destroy scaling, batch size = {} (scale = {})\n", batch, dyntree_bench::scale());
+    println!("{:<10} {:>10} {:>12}", "input", "n", "time (s)");
+    let mut n = max_n / 16;
+    while n <= max_n {
+        for (label, forest) in [
+            ("Path", path_tree(n)),
+            ("Binary", binary_tree(n)),
+            ("64-ary", kary_tree(n, 64)),
+            ("Star", star_tree(n.min(20_000))),
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut edges = forest.edges.clone();
+            edges.shuffle(&mut rng);
+            let mut f = UfoForest::new(forest.n);
+            let start = Instant::now();
+            for chunk in edges.chunks(batch) {
+                f.batch_link(chunk);
+            }
+            for chunk in edges.chunks(batch) {
+                f.batch_cut(chunk);
+            }
+            println!("{:<10} {:>10} {:>12.3}", label, forest.n, start.elapsed().as_secs_f64());
+        }
+        n *= 4;
+    }
+}

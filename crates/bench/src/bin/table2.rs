@@ -1,0 +1,31 @@
+//! Table 2: the (synthetic stand-in) graph datasets used by the real-world
+//! experiments, with their sizes and the diameters of their BFS forests.
+use dyntree_workloads::{bfs_forest, power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph};
+
+fn main() {
+    let scale = dyntree_bench::scale();
+    let (side, pl_scale, soc_scale, temporal_n) = match scale {
+        "large" => (600, 17, 17, 300_000),
+        "medium" => (300, 15, 15, 120_000),
+        _ => (120, 13, 13, 40_000),
+    };
+    println!("Table 2 — real-world graph stand-ins (scale = {scale}); see DESIGN.md §5 for the substitution\n");
+    println!("{:<8} {:<10} {:>10} {:>12} {:>14}", "Name", "Type", "|V|", "|E|", "BFS diameter");
+    let graphs = vec![
+        (road_grid_graph(side, 1), "Road"),
+        (power_law_graph(pl_scale, 10, 2), "Web"),
+        (temporal_graph(temporal_n, 4, 3), "Temporal"),
+        (social_rmat_graph(soc_scale, 14, 4), "Social"),
+    ];
+    for (g, kind) in graphs {
+        let f = bfs_forest(&g, 9);
+        println!(
+            "{:<8} {:<10} {:>10} {:>12} {:>14}",
+            g.name,
+            kind,
+            g.n,
+            g.edges.len(),
+            f.diameter()
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Benchmark harness shared by the figure/table binaries and the criterion
+//! benches.
+//!
+//! Every structure is driven through the [`DynTree`] adapter so that each
+//! experiment applies *exactly* the same operation stream to every contender.
+//! The binaries print one row per (structure, input) pair in the same layout
+//! as the corresponding figure of the paper; `EXPERIMENTS.md` records the
+//! paper-reported shape next to the numbers measured here.
+
+use std::time::Instant;
+
+use dyntree_euler::EulerTourForest;
+use dyntree_linkcut::LinkCutForest;
+use dyntree_seqs::{DynSequence, SplaySequence, TreapSequence};
+use dyntree_workloads::Forest;
+use ufo_forest::{TopologyForest, UfoForest};
+
+/// Uniform adapter over every dynamic-tree structure in the workspace.
+pub trait DynTree {
+    /// Human-readable name (matches the paper's legends).
+    fn name(&self) -> &'static str;
+    /// Insert an edge (must not create a cycle).
+    fn link(&mut self, u: usize, v: usize);
+    /// Delete an edge.
+    fn cut(&mut self, u: usize, v: usize);
+    /// Connectivity query.
+    fn connected(&mut self, u: usize, v: usize) -> bool;
+    /// Vertex-weight path sum, if the structure supports path queries.
+    fn path_sum(&mut self, u: usize, v: usize) -> Option<i64>;
+    /// Set a vertex weight.
+    fn set_weight(&mut self, v: usize, w: i64);
+    /// Heap bytes owned by the structure.
+    fn memory_bytes(&self) -> usize;
+    /// Whether path queries are supported.
+    fn supports_path_queries(&self) -> bool {
+        true
+    }
+}
+
+/// The contenders available to the sequential experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// Link-cut tree.
+    LinkCut,
+    /// UFO tree.
+    Ufo,
+    /// Topology tree (with dynamic ternarization).
+    Topology,
+    /// Euler tour tree over a treap.
+    EttTreap,
+    /// Euler tour tree over a splay tree.
+    EttSplay,
+}
+
+impl Structure {
+    /// All sequential contenders, in the paper's legend order.
+    pub const ALL: [Structure; 5] = [
+        Structure::LinkCut,
+        Structure::Ufo,
+        Structure::EttTreap,
+        Structure::EttSplay,
+        Structure::Topology,
+    ];
+
+    /// Instantiates the structure over `n` vertices.
+    pub fn build(&self, n: usize) -> Box<dyn DynTree> {
+        match self {
+            Structure::LinkCut => Box::new(LinkCutAdapter(LinkCutForest::new(n))),
+            Structure::Ufo => Box::new(UfoAdapter(UfoForest::new(n))),
+            Structure::Topology => Box::new(TopologyAdapter(TopologyForest::new(n))),
+            Structure::EttTreap => Box::new(EttAdapter::<TreapSequence>::new(n, "ETT (Treap)")),
+            Structure::EttSplay => Box::new(EttAdapter::<SplaySequence>::new(n, "ETT (Splay)")),
+        }
+    }
+}
+
+struct LinkCutAdapter(LinkCutForest);
+struct UfoAdapter(UfoForest);
+struct TopologyAdapter(TopologyForest);
+struct EttAdapter<S: DynSequence> {
+    inner: EulerTourForest<S>,
+    name: &'static str,
+}
+
+impl<S: DynSequence> EttAdapter<S> {
+    fn new(n: usize, name: &'static str) -> Self {
+        Self {
+            inner: EulerTourForest::new(n),
+            name,
+        }
+    }
+}
+
+impl DynTree for LinkCutAdapter {
+    fn name(&self) -> &'static str {
+        "Link-Cut Tree"
+    }
+    fn link(&mut self, u: usize, v: usize) {
+        self.0.link(u, v);
+    }
+    fn cut(&mut self, u: usize, v: usize) {
+        self.0.cut(u, v);
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        self.0.connected(u, v)
+    }
+    fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.0.path_sum(u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        self.0.set_weight(v, w);
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+impl DynTree for UfoAdapter {
+    fn name(&self) -> &'static str {
+        "UFO Tree"
+    }
+    fn link(&mut self, u: usize, v: usize) {
+        self.0.link(u, v);
+    }
+    fn cut(&mut self, u: usize, v: usize) {
+        self.0.cut(u, v);
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        UfoForest::connected(&self.0, u, v)
+    }
+    fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
+        UfoForest::path_sum(&self.0, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        self.0.set_weight(v, w);
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+impl DynTree for TopologyAdapter {
+    fn name(&self) -> &'static str {
+        "Topology Tree"
+    }
+    fn link(&mut self, u: usize, v: usize) {
+        self.0.link(u, v);
+    }
+    fn cut(&mut self, u: usize, v: usize) {
+        self.0.cut(u, v);
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        TopologyForest::connected(&self.0, u, v)
+    }
+    fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
+        TopologyForest::path_sum(&self.0, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        self.0.set_weight(v, w);
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+impl<S: DynSequence> DynTree for EttAdapter<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn link(&mut self, u: usize, v: usize) {
+        self.inner.link(u, v);
+    }
+    fn cut(&mut self, u: usize, v: usize) {
+        self.inner.cut(u, v);
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        self.inner.connected(u, v)
+    }
+    fn path_sum(&mut self, _u: usize, _v: usize) -> Option<i64> {
+        None
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        self.inner.set_weight(v, w);
+    }
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+    fn supports_path_queries(&self) -> bool {
+        false
+    }
+}
+
+/// Reads the benchmark scale factor from the `BENCH_SCALE` environment
+/// variable (`small`, `medium`, `large`); defaults to `small` so the harness
+/// completes quickly on a laptop.
+pub fn scale() -> &'static str {
+    match std::env::var("BENCH_SCALE").as_deref() {
+        Ok("large") => "large",
+        Ok("medium") => "medium",
+        _ => "small",
+    }
+}
+
+/// Default vertex count for the sequential experiments at the current scale.
+pub fn default_n() -> usize {
+    match scale() {
+        "large" => 500_000,
+        "medium" => 100_000,
+        _ => 20_000,
+    }
+}
+
+/// The "insert every edge then delete every edge, both in random order"
+/// workload of Figure 5 / Figure 8, returning the elapsed seconds.
+pub fn build_destroy_time(structure: Structure, forest: &Forest, seed: u64) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut insert_order = forest.edges.clone();
+    insert_order.shuffle(&mut rng);
+    let mut delete_order = forest.edges.clone();
+    delete_order.shuffle(&mut rng);
+
+    let mut tree = structure.build(forest.n);
+    let start = Instant::now();
+    for &(u, v) in &insert_order {
+        tree.link(u, v);
+    }
+    for &(u, v) in &delete_order {
+        tree.cut(u, v);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Memory used by `structure` after inserting all edges of `forest`.
+pub fn build_memory(structure: Structure, forest: &Forest) -> usize {
+    let mut tree = structure.build(forest.n);
+    for &(u, v) in &forest.edges {
+        tree.link(u, v);
+    }
+    tree.memory_bytes()
+}
+
+/// Times `q` random connectivity (or path) queries on a fully built tree.
+pub fn query_time(structure: Structure, forest: &Forest, q: usize, paths: bool, seed: u64) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut tree = structure.build(forest.n);
+    for &(u, v) in &forest.edges {
+        tree.link(u, v);
+    }
+    for v in 0..forest.n {
+        tree.set_weight(v, (v % 97) as i64);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries: Vec<(usize, usize)> = (0..q)
+        .map(|_| (rng.random_range(0..forest.n), rng.random_range(0..forest.n)))
+        .collect();
+    let start = Instant::now();
+    let mut sink = 0i64;
+    for &(a, b) in &queries {
+        if paths {
+            sink ^= tree.path_sum(a, b).unwrap_or(0);
+        } else {
+            sink ^= tree.connected(a, b) as i64;
+        }
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_secs_f64()
+}
+
+/// Formats a result row for the figure binaries.
+pub fn print_row(label: &str, cells: &[(String, f64)]) {
+    print!("{:<14}", label);
+    for (name, value) in cells {
+        print!(" {:>14}={:>9.3}s", name, value);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyntree_workloads::path_tree;
+
+    #[test]
+    fn every_structure_runs_the_harness_workload() {
+        let forest = path_tree(200);
+        for s in Structure::ALL {
+            let t = build_destroy_time(s, &forest, 1);
+            assert!(t >= 0.0);
+            let m = build_memory(s, &forest);
+            assert!(m > 0, "{:?} reported zero memory", s);
+        }
+    }
+
+    #[test]
+    fn query_harness_runs_for_connectivity_and_paths() {
+        let forest = path_tree(200);
+        let c = query_time(Structure::Ufo, &forest, 100, false, 2);
+        let p = query_time(Structure::Ufo, &forest, 100, true, 2);
+        assert!(c >= 0.0 && p >= 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The Euler tour forest, generic over the sequence backend.
+
+use std::collections::HashMap;
+
+use dyntree_seqs::{DynSequence, Handle};
+
+/// An Euler tour forest over vertices `0..n` with `i64` vertex weights.
+///
+/// Each tree's Euler tour is stored as a sequence containing one *vertex
+/// occurrence* node per vertex (carrying the vertex weight) and two *arc*
+/// nodes per edge.  Supported operations: `link`, `cut`, `connected`,
+/// `reroot`, component aggregates and subtree aggregates.
+#[derive(Clone, Debug)]
+pub struct EulerTourForest<S: DynSequence> {
+    seq: S,
+    vertex_node: Vec<Handle>,
+    arcs: HashMap<(usize, usize), Handle>,
+    weights: Vec<i64>,
+}
+
+impl<S: DynSequence> EulerTourForest<S> {
+    /// Creates a forest of `n` isolated vertices with weight zero.
+    pub fn new(n: usize) -> Self {
+        let mut seq = S::new();
+        let vertex_node = (0..n).map(|_| seq.make(0, true)).collect();
+        Self {
+            seq,
+            vertex_node,
+            arcs: HashMap::new(),
+            weights: vec![0; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertex_node.len()
+    }
+
+    /// Whether the forest has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_node.is_empty()
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Whether edge `(u, v)` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.arcs.contains_key(&(u, v))
+    }
+
+    /// Sets the weight of vertex `v`.
+    pub fn set_weight(&mut self, v: usize, w: i64) {
+        self.weights[v] = w;
+        self.seq.set_value(self.vertex_node[v], w);
+    }
+
+    /// Returns the weight of vertex `v`.
+    pub fn weight(&self, v: usize) -> i64 {
+        self.weights[v]
+    }
+
+    /// Re-roots the Euler tour of `v`'s tree so that it starts at `v`.
+    pub fn reroot(&mut self, v: usize) {
+        let h = self.vertex_node[v];
+        let (left, right) = self.seq.split_before(h);
+        if left.is_some() {
+            self.seq.join(Some(right), left);
+        }
+    }
+
+    /// Inserts edge `(u, v)`.  Returns `false` if it would create a cycle, if
+    /// `u == v`, or if the edge already exists.
+    pub fn link(&mut self, u: usize, v: usize) -> bool {
+        if u == v || self.has_edge(u, v) || self.connected(u, v) {
+            return false;
+        }
+        self.reroot(u);
+        self.reroot(v);
+        let uv = self.seq.make(0, false);
+        let vu = self.seq.make(0, false);
+        self.arcs.insert((u, v), uv);
+        self.arcs.insert((v, u), vu);
+        let tu = self.seq.root(self.vertex_node[u]);
+        let tv = self.seq.root(self.vertex_node[v]);
+        let t = self.seq.join(Some(tu), Some(uv));
+        let t = self.seq.join(t, Some(tv));
+        self.seq.join(t, Some(vu));
+        true
+    }
+
+    /// Removes edge `(u, v)`.  Returns `false` if the edge is not present.
+    pub fn cut(&mut self, u: usize, v: usize) -> bool {
+        let (Some(&a), Some(&b)) = (self.arcs.get(&(u, v)), self.arcs.get(&(v, u))) else {
+            return false;
+        };
+        self.arcs.remove(&(u, v));
+        self.arcs.remove(&(v, u));
+        let (first, second) = if self.seq.position(a) < self.seq.position(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        // tour = A ++ [first] ++ inner ++ [second] ++ C
+        let (prefix, _rest) = self.seq.split_before(first);
+        let (_middle, suffix) = self.seq.split_after(second);
+        let (_first_alone, inner_with_second) = self.seq.split_after(first);
+        let inner_with_second =
+            inner_with_second.expect("tour segment between arcs is never empty");
+        let (_inner, _second_alone) = self.seq.split_before(second);
+        let _ = inner_with_second;
+        // One component keeps `inner` as its tour, the other is A ++ C.
+        self.seq.join(prefix, suffix);
+        self.seq.free(first);
+        self.seq.free(second);
+        true
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&mut self, u: usize, v: usize) -> bool {
+        if u == v {
+            return true;
+        }
+        self.seq.root(self.vertex_node[u]) == self.seq.root(self.vertex_node[v])
+    }
+
+    /// Number of vertices in the component containing `v`.
+    pub fn component_size(&mut self, v: usize) -> usize {
+        self.seq.aggregate(self.vertex_node[v]).count
+    }
+
+    /// Sum of vertex weights in the component containing `v`.
+    pub fn component_sum(&mut self, v: usize) -> i64 {
+        self.seq.aggregate(self.vertex_node[v]).sum
+    }
+
+    /// Sum of vertex weights in the subtree of `v` away from its neighbour
+    /// `parent`, or `None` if `(v, parent)` is not an edge.
+    pub fn subtree_sum(&mut self, v: usize, parent: usize) -> Option<i64> {
+        self.subtree_agg(v, parent).map(|a| a.sum)
+    }
+
+    /// Number of vertices in the subtree of `v` away from `parent`.
+    pub fn subtree_size(&mut self, v: usize, parent: usize) -> Option<usize> {
+        self.subtree_agg(v, parent).map(|a| a.count)
+    }
+
+    /// Maximum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_max(&mut self, v: usize, parent: usize) -> Option<i64> {
+        self.subtree_agg(v, parent).map(|a| a.max)
+    }
+
+    fn subtree_agg(&mut self, v: usize, parent: usize) -> Option<dyntree_seqs::Agg> {
+        if !self.has_edge(parent, v) {
+            return None;
+        }
+        // Root the tour at `parent` so that arc (parent, v) precedes (v, parent);
+        // the segment strictly between them is exactly v's subtree.
+        self.reroot(parent);
+        let a = self.arcs[&(parent, v)];
+        let b = self.arcs[&(v, parent)];
+        debug_assert!(self.seq.position(a) < self.seq.position(b));
+        let (prefix, _rest) = self.seq.split_before(a);
+        let (_middle, suffix) = self.seq.split_after(b);
+        let (a_alone, _inner_part) = self.seq.split_after(a);
+        let (inner, b_alone) = self.seq.split_before(b);
+        let agg = inner
+            .map(|i| self.seq.aggregate(i))
+            .unwrap_or(dyntree_seqs::Agg::IDENTITY);
+        // stitch the tour back together: prefix ++ [a] ++ inner ++ [b] ++ suffix
+        let t = self.seq.join(prefix, Some(a_alone));
+        let t = self.seq.join(t, inner);
+        let t = self.seq.join(t, Some(b_alone));
+        self.seq.join(t, suffix);
+        Some(agg)
+    }
+
+    /// Exact heap bytes owned by the structure.
+    pub fn memory_bytes(&self) -> usize {
+        let arc_entry = std::mem::size_of::<((usize, usize), Handle)>() + 8;
+        self.seq.memory_bytes()
+            + self.vertex_node.capacity() * std::mem::size_of::<Handle>()
+            + self.weights.capacity() * std::mem::size_of::<i64>()
+            + self.arcs.capacity() * arc_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyntree_seqs::{SplaySequence, TreapSequence};
+
+    fn basic_ops<S: DynSequence>() {
+        let mut f = EulerTourForest::<S>::new(8);
+        assert!(f.link(0, 1));
+        assert!(f.link(1, 2));
+        assert!(f.link(2, 3));
+        assert!(f.link(5, 6));
+        assert!(!f.link(0, 3), "cycle rejected");
+        assert!(!f.link(0, 0), "self loop rejected");
+        assert!(f.connected(0, 3));
+        assert!(!f.connected(0, 5));
+        assert_eq!(f.component_size(0), 4);
+        assert_eq!(f.component_size(5), 2);
+        assert_eq!(f.component_size(7), 1);
+        assert!(f.cut(1, 2));
+        assert!(!f.connected(0, 3));
+        assert!(f.connected(2, 3));
+        assert_eq!(f.component_size(0), 2);
+        assert_eq!(f.component_size(3), 2);
+        assert!(!f.cut(1, 2), "double cut rejected");
+        assert_eq!(f.num_edges(), 3);
+    }
+
+    fn subtree_queries<S: DynSequence>() {
+        let mut f = EulerTourForest::<S>::new(7);
+        // 0 - 1, 1 - 2, 1 - 3, 0 - 4, 4 - 5; weights = vertex id
+        for v in 0..7 {
+            f.set_weight(v, v as i64);
+        }
+        for (u, v) in [(0, 1), (1, 2), (1, 3), (0, 4), (4, 5)] {
+            assert!(f.link(u, v));
+        }
+        assert_eq!(f.subtree_sum(1, 0), Some(1 + 2 + 3));
+        assert_eq!(f.subtree_size(1, 0), Some(3));
+        assert_eq!(f.subtree_sum(0, 1), Some(0 + 4 + 5));
+        assert_eq!(f.subtree_sum(4, 0), Some(9));
+        assert_eq!(f.subtree_max(0, 1), Some(5));
+        assert_eq!(f.subtree_sum(2, 0), None, "(2, 0) is not an edge");
+        // after the query the structure still works
+        assert!(f.connected(2, 5));
+        assert!(f.cut(0, 1));
+        assert_eq!(f.subtree_sum(4, 0), Some(9));
+        assert!(!f.connected(2, 5));
+    }
+
+    fn weights_update<S: DynSequence>() {
+        let mut f = EulerTourForest::<S>::new(4);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        f.set_weight(2, 10);
+        assert_eq!(f.component_sum(0), 10);
+        assert_eq!(f.subtree_sum(2, 1), Some(10));
+        f.set_weight(3, -4);
+        assert_eq!(f.subtree_sum(2, 1), Some(6));
+        assert_eq!(f.weight(3), -4);
+    }
+
+    #[test]
+    fn treap_basic() {
+        basic_ops::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_basic() {
+        basic_ops::<SplaySequence>();
+    }
+
+    #[test]
+    fn treap_subtree() {
+        subtree_queries::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_subtree() {
+        subtree_queries::<SplaySequence>();
+    }
+
+    #[test]
+    fn treap_weights() {
+        weights_update::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_weights() {
+        weights_update::<SplaySequence>();
+    }
+
+    #[test]
+    fn memory_is_accounted() {
+        let f = EulerTourForest::<TreapSequence>::new(100);
+        assert!(f.memory_bytes() > 100 * 8);
+        assert_eq!(f.len(), 100);
+        assert!(!f.is_empty());
+    }
+}

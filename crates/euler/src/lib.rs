@@ -1,0 +1,25 @@
+//! Euler tour trees (ETT) over a pluggable sequence backend.
+//!
+//! The Euler tour of each tree in the forest is stored in a [`DynSequence`]
+//! (`dyntree_seqs`); linking splices tours together, cutting splits the tour
+//! around the two arcs of the removed edge.  ETTs support connectivity and
+//! subtree queries — but, as the paper stresses, not path queries — and are
+//! the fastest parallel batch-dynamic baseline in the paper's evaluation.
+//!
+//! The backends mirror the paper's sequential ETT variants:
+//! [`TreapEulerForest`] and [`SplayEulerForest`] (the treap variant doubles as
+//! the stand-in for the skip-list variant; see `DESIGN.md` §5).
+
+pub mod batch;
+pub mod forest;
+
+pub use batch::BatchEulerForest;
+pub use forest::EulerTourForest;
+
+use dyntree_seqs::{SplaySequence, TreapSequence};
+
+/// Euler tour forest over a treap sequence ("ETT (Treap)" in the paper).
+pub type TreapEulerForest = EulerTourForest<TreapSequence>;
+
+/// Euler tour forest over a splay-tree sequence ("ETT (Splay Tree)").
+pub type SplayEulerForest = EulerTourForest<SplaySequence>;

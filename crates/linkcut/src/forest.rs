@@ -1,0 +1,452 @@
+//! The link-cut forest implementation.
+
+const NIL: usize = usize::MAX;
+
+/// One splay-tree node per represented vertex.
+#[derive(Clone, Debug)]
+struct Node {
+    parent: usize,
+    child: [usize; 2],
+    /// Lazy "reverse this path" bit used by `make_root`.
+    flip: bool,
+    /// Vertex weight.
+    value: i64,
+    /// Aggregates over the splay subtree (a contiguous path segment).
+    sum: i64,
+    max: i64,
+    min: i64,
+    size: usize,
+}
+
+impl Node {
+    fn new(value: i64) -> Self {
+        Self {
+            parent: NIL,
+            child: [NIL, NIL],
+            flip: false,
+            value,
+            sum: value,
+            max: value,
+            min: value,
+            size: 1,
+        }
+    }
+}
+
+/// A forest of vertices `0..n` maintained with link-cut trees.
+///
+/// Vertex weights are `i64`; path aggregates are computed over the vertices of
+/// the queried path, endpoints inclusive.
+#[derive(Clone, Debug)]
+pub struct LinkCutForest {
+    nodes: Vec<Node>,
+    num_edges: usize,
+}
+
+impl LinkCutForest {
+    /// Creates a forest of `n` isolated vertices with weight zero.
+    pub fn new(n: usize) -> Self {
+        Self {
+            nodes: (0..n).map(|_| Node::new(0)).collect(),
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a forest with the given vertex weights.
+    pub fn with_weights(weights: &[i64]) -> Self {
+        Self {
+            nodes: weights.iter().map(|&w| Node::new(w)).collect(),
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the forest has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Exact number of heap bytes owned by the structure.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+
+    /// Sets the weight of vertex `v`.
+    pub fn set_weight(&mut self, v: usize, w: i64) {
+        self.access(v);
+        self.nodes[v].value = w;
+        self.update(v);
+    }
+
+    /// Returns the weight of vertex `v`.
+    pub fn weight(&self, v: usize) -> i64 {
+        self.nodes[v].value
+    }
+
+    /// Inserts the edge `(u, v)`.  Returns `false` if `u == v` or the edge
+    /// would close a cycle (the vertices are already connected).
+    pub fn link(&mut self, u: usize, v: usize) -> bool {
+        if u == v || self.connected(u, v) {
+            return false;
+        }
+        self.make_root(u);
+        // After make_root + access, `u` is the root of its splay tree and of
+        // the represented tree; attaching via a path-parent pointer links the
+        // two trees without disturbing v's preferred paths.
+        self.nodes[u].parent = v;
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the edge `(u, v)`.  Returns `false` if the edge is not present.
+    pub fn cut(&mut self, u: usize, v: usize) -> bool {
+        if u == v {
+            return false;
+        }
+        self.make_root(u);
+        self.access(v);
+        // If (u, v) is an edge of the represented tree, then after rerooting
+        // at u and exposing v, u is v's left child in the splay tree and has
+        // no right child (it is v's immediate predecessor on the path).
+        if self.nodes[v].child[0] != u
+            || self.nodes[u].child[1] != NIL
+            || self.nodes[u].child[0] != NIL
+        {
+            return false;
+        }
+        self.nodes[v].child[0] = NIL;
+        self.nodes[u].parent = NIL;
+        self.update(v);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&mut self, u: usize, v: usize) -> bool {
+        if u == v {
+            return true;
+        }
+        self.find_root(u) == self.find_root(v)
+    }
+
+    /// The root of the tree containing `v` (an arbitrary but stable
+    /// representative until the next `make_root`/`link`/`cut`).
+    pub fn find_root(&mut self, v: usize) -> usize {
+        self.access(v);
+        let mut x = v;
+        loop {
+            self.push(x);
+            let l = self.nodes[x].child[0];
+            if l == NIL {
+                break;
+            }
+            x = l;
+        }
+        self.splay(x);
+        x
+    }
+
+    /// Re-roots the tree containing `v` at `v`.
+    pub fn make_root(&mut self, v: usize) {
+        self.access(v);
+        self.nodes[v].flip ^= true;
+        self.push(v);
+    }
+
+    /// Sum of vertex weights on the `u`–`v` path (inclusive), or `None` if the
+    /// vertices are not connected.
+    pub fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.expose_path(u, v).map(|x| self.nodes[x].sum)
+    }
+
+    /// Maximum vertex weight on the `u`–`v` path (inclusive).
+    pub fn path_max(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.expose_path(u, v).map(|x| self.nodes[x].max)
+    }
+
+    /// Minimum vertex weight on the `u`–`v` path (inclusive).
+    pub fn path_min(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.expose_path(u, v).map(|x| self.nodes[x].min)
+    }
+
+    /// Number of edges on the `u`–`v` path.
+    pub fn path_len(&mut self, u: usize, v: usize) -> Option<usize> {
+        self.expose_path(u, v).map(|x| self.nodes[x].size - 1)
+    }
+
+    /// Lowest common ancestor of `u` and `v` in the tree rooted at `r`, or
+    /// `None` if the three vertices are not all connected.
+    pub fn lca(&mut self, u: usize, v: usize, r: usize) -> Option<usize> {
+        if !self.connected(u, r) || !self.connected(v, r) {
+            return None;
+        }
+        self.make_root(r);
+        self.access(u);
+        Some(self.access(v))
+    }
+
+    // ----- internal splay machinery -------------------------------------
+
+    /// Exposes the path between `u` and `v` in a single splay tree rooted at
+    /// the returned node, or `None` if they are disconnected.
+    fn expose_path(&mut self, u: usize, v: usize) -> Option<usize> {
+        if !self.connected(u, v) {
+            return None;
+        }
+        self.make_root(u);
+        self.access(v);
+        Some(v)
+    }
+
+    fn update(&mut self, x: usize) {
+        let (l, r) = (self.nodes[x].child[0], self.nodes[x].child[1]);
+        let mut sum = self.nodes[x].value;
+        let mut max = self.nodes[x].value;
+        let mut min = self.nodes[x].value;
+        let mut size = 1;
+        for c in [l, r] {
+            if c != NIL {
+                sum += self.nodes[c].sum;
+                max = max.max(self.nodes[c].max);
+                min = min.min(self.nodes[c].min);
+                size += self.nodes[c].size;
+            }
+        }
+        let node = &mut self.nodes[x];
+        node.sum = sum;
+        node.max = max;
+        node.min = min;
+        node.size = size;
+    }
+
+    fn push(&mut self, x: usize) {
+        if self.nodes[x].flip {
+            self.nodes[x].flip = false;
+            self.nodes[x].child.swap(0, 1);
+            for i in 0..2 {
+                let c = self.nodes[x].child[i];
+                if c != NIL {
+                    self.nodes[c].flip ^= true;
+                }
+            }
+        }
+    }
+
+    /// Whether `x` is the root of its splay tree (its parent link, if any, is
+    /// a path-parent pointer).
+    fn is_splay_root(&self, x: usize) -> bool {
+        let p = self.nodes[x].parent;
+        p == NIL || (self.nodes[p].child[0] != x && self.nodes[p].child[1] != x)
+    }
+
+    fn rotate(&mut self, x: usize) {
+        let p = self.nodes[x].parent;
+        let g = self.nodes[p].parent;
+        let dir = (self.nodes[p].child[1] == x) as usize;
+        let b = self.nodes[x].child[1 - dir];
+
+        // p adopts x's inner child
+        self.nodes[p].child[dir] = b;
+        if b != NIL {
+            self.nodes[b].parent = p;
+        }
+        // x adopts p
+        self.nodes[x].child[1 - dir] = p;
+        self.nodes[p].parent = x;
+        // g adopts x (or x keeps g as path parent)
+        self.nodes[x].parent = g;
+        if g != NIL {
+            if self.nodes[g].child[0] == p {
+                self.nodes[g].child[0] = x;
+            } else if self.nodes[g].child[1] == p {
+                self.nodes[g].child[1] = x;
+            }
+        }
+        self.update(p);
+        self.update(x);
+    }
+
+    fn splay(&mut self, x: usize) {
+        // Push lazy flips from the splay root down to x before rotating.
+        let mut stack = vec![x];
+        let mut cur = x;
+        while !self.is_splay_root(cur) {
+            cur = self.nodes[cur].parent;
+            stack.push(cur);
+        }
+        while let Some(y) = stack.pop() {
+            self.push(y);
+        }
+        while !self.is_splay_root(x) {
+            let p = self.nodes[x].parent;
+            if !self.is_splay_root(p) {
+                let g = self.nodes[p].parent;
+                let zig_zig =
+                    (self.nodes[g].child[0] == p) == (self.nodes[p].child[0] == x);
+                if zig_zig {
+                    self.rotate(p);
+                } else {
+                    self.rotate(x);
+                }
+            }
+            self.rotate(x);
+        }
+    }
+
+    /// Makes the path from the tree root to `x` preferred and splays `x` to
+    /// the root of its splay tree.  Returns the last path-parent jumped over,
+    /// which is the LCA when used in the access-access pattern.
+    fn access(&mut self, x: usize) -> usize {
+        self.splay(x);
+        self.nodes[x].child[1] = NIL;
+        self.update(x);
+        let mut last = x;
+        while self.nodes[x].parent != NIL {
+            let y = self.nodes[x].parent;
+            self.splay(y);
+            self.nodes[y].child[1] = x;
+            self.update(y);
+            self.splay(x);
+            last = y;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_link_cut_connected() {
+        let mut f = LinkCutForest::new(6);
+        assert!(f.link(0, 1));
+        assert!(f.link(1, 2));
+        assert!(f.link(3, 4));
+        assert!(f.connected(0, 2));
+        assert!(!f.connected(0, 3));
+        assert!(!f.link(2, 0), "cycle must be rejected");
+        assert!(f.cut(1, 2));
+        assert!(!f.connected(0, 2));
+        assert!(f.connected(0, 1));
+        assert!(!f.cut(1, 2), "cutting a missing edge fails");
+        assert_eq!(f.num_edges(), 2);
+    }
+
+    #[test]
+    fn cut_requires_actual_edge() {
+        let mut f = LinkCutForest::new(4);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        // 0 and 3 are connected but not adjacent
+        assert!(!f.cut(0, 3));
+        assert!(f.connected(0, 3));
+        assert!(f.cut(2, 1));
+        assert!(!f.connected(0, 3));
+    }
+
+    #[test]
+    fn path_aggregates_on_a_path() {
+        let mut f = LinkCutForest::new(6);
+        for v in 0..6 {
+            f.set_weight(v, v as i64 * 10);
+        }
+        for v in 0..5 {
+            f.link(v, v + 1);
+        }
+        assert_eq!(f.path_sum(1, 4), Some(100));
+        assert_eq!(f.path_max(0, 5), Some(50));
+        assert_eq!(f.path_min(2, 5), Some(20));
+        assert_eq!(f.path_len(0, 5), Some(5));
+        assert_eq!(f.path_sum(3, 3), Some(30));
+        assert_eq!(f.path_sum(0, 0), Some(0));
+    }
+
+    #[test]
+    fn path_aggregates_survive_rerooting() {
+        let mut f = LinkCutForest::new(8);
+        for v in 0..8 {
+            f.set_weight(v, 1 << v);
+        }
+        // star centred at 0 plus a tail 3-6-7
+        for v in 1..6 {
+            f.link(0, v);
+        }
+        f.link(3, 6);
+        f.link(6, 7);
+        assert_eq!(f.path_sum(7, 5), Some((1 << 7) + (1 << 6) + (1 << 3) + 1 + (1 << 5)));
+        f.make_root(7);
+        assert_eq!(f.path_sum(1, 2), Some(2 + 1 + 4));
+        assert_eq!(f.path_len(7, 1), Some(4));
+    }
+
+    #[test]
+    fn lca_with_explicit_root() {
+        let mut f = LinkCutForest::new(7);
+        // 0 - 1, 1 - 2, 1 - 3, 0 - 4, 4 - 5, unrelated 6
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(1, 3);
+        f.link(0, 4);
+        f.link(4, 5);
+        assert_eq!(f.lca(2, 3, 0), Some(1));
+        assert_eq!(f.lca(2, 5, 0), Some(0));
+        assert_eq!(f.lca(2, 1, 0), Some(1));
+        assert_eq!(f.lca(5, 5, 0), Some(5));
+        assert_eq!(f.lca(2, 6, 0), None);
+    }
+
+    #[test]
+    fn weights_update_after_set() {
+        let mut f = LinkCutForest::new(3);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.set_weight(1, 7);
+        assert_eq!(f.path_sum(0, 2), Some(7));
+        f.set_weight(1, -2);
+        assert_eq!(f.path_sum(0, 2), Some(-2));
+        assert_eq!(f.path_min(0, 2), Some(-2));
+        assert_eq!(f.weight(1), -2);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let f = LinkCutForest::new(1000);
+        assert!(f.memory_bytes() >= 1000 * std::mem::size_of::<usize>());
+        assert_eq!(f.len(), 1000);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn long_path_stress() {
+        let n = 2000;
+        let mut f = LinkCutForest::new(n);
+        for v in 0..n {
+            f.set_weight(v, v as i64);
+        }
+        for v in 0..n - 1 {
+            assert!(f.link(v, v + 1));
+        }
+        assert!(f.connected(0, n - 1));
+        assert_eq!(f.path_len(0, n - 1), Some(n - 1));
+        assert_eq!(
+            f.path_sum(0, n - 1),
+            Some((n as i64 - 1) * n as i64 / 2)
+        );
+        // cut in the middle
+        assert!(f.cut(n / 2, n / 2 + 1));
+        assert!(!f.connected(0, n - 1));
+        assert!(f.connected(0, n / 2));
+        assert!(f.connected(n / 2 + 1, n - 1));
+    }
+}

@@ -1,0 +1,18 @@
+//! Splay-based link-cut trees (Sleator–Tarjan), the paper's fastest sequential
+//! baseline.
+//!
+//! The implementation follows the classic amortized design: the represented
+//! forest is decomposed into preferred paths, each stored in a splay tree keyed
+//! by depth; `access` (a.k.a. `expose`) brings the root-to-vertex path into one
+//! splay tree.  Operations are `O(log n)` amortized, and — as the paper's new
+//! analysis (Theorem B.1) shows — `O(D^2)` worst case where `D` is the
+//! diameter of the represented tree, which is why link-cut trees are so fast
+//! on shallow inputs.
+//!
+//! Supported operations: `link`, `cut`, `connected`, `find_root`, `make_root`
+//! (re-rooting / evert), vertex-weight path aggregates (`path_sum`,
+//! `path_max`, `path_min`, `path_len`) and `lca`.
+
+pub mod forest;
+
+pub use forest::LinkCutForest;

@@ -1,0 +1,362 @@
+//! A deliberately simple, obviously-correct dynamic forest.
+//!
+//! Every operation runs in `O(n)` time by walking adjacency lists, which makes
+//! this crate useless as a data structure but invaluable as a *differential
+//! testing oracle*: every query that the UFO tree, link-cut tree, Euler tour
+//! tree, topology tree and rake-compress tree crates answer is also answered
+//! here, and the property tests assert they agree on random operation
+//! sequences.
+
+use std::collections::{HashSet, VecDeque};
+
+/// A vertex identifier.
+pub type Vertex = usize;
+
+/// Reference dynamic forest over `n` vertices with `i64` vertex weights and
+/// unit edge lengths.
+#[derive(Clone, Debug)]
+pub struct NaiveForest {
+    adj: Vec<Vec<Vertex>>,
+    weight: Vec<i64>,
+    marked: Vec<bool>,
+}
+
+impl NaiveForest {
+    /// Creates a forest of `n` isolated vertices with weight zero.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            weight: vec![0; n],
+            marked: vec![false; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the forest has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Sets the weight of vertex `v`.
+    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+        self.weight[v] = w;
+    }
+
+    /// Returns the weight of vertex `v`.
+    pub fn weight(&self, v: Vertex) -> i64 {
+        self.weight[v]
+    }
+
+    /// Marks or unmarks vertex `v` (for nearest-marked-vertex queries).
+    pub fn set_marked(&mut self, v: Vertex, marked: bool) {
+        self.marked[v] = marked;
+    }
+
+    /// Whether the edge `(u, v)` is present.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Inserts edge `(u, v)`.  Returns `false` (and does nothing) if the edge
+    /// already exists or if it would create a cycle.
+    pub fn link(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u == v || self.has_edge(u, v) || self.connected(u, v) {
+            return false;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        true
+    }
+
+    /// Removes edge `(u, v)`.  Returns `false` if it was not present.
+    pub fn cut(&mut self, u: Vertex, v: Vertex) -> bool {
+        if !self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[u].retain(|&x| x != v);
+        self.adj[v].retain(|&x| x != u);
+        true
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return true;
+        }
+        self.bfs_path(u, v).is_some()
+    }
+
+    /// The unique path from `u` to `v`, inclusive, or `None` if disconnected.
+    pub fn path(&self, u: Vertex, v: Vertex) -> Option<Vec<Vertex>> {
+        self.bfs_path(u, v)
+    }
+
+    /// Sum of vertex weights along the `u`–`v` path (inclusive).
+    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path(u, v)
+            .map(|p| p.iter().map(|&x| self.weight[x]).sum())
+    }
+
+    /// Maximum vertex weight along the `u`–`v` path (inclusive).
+    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path(u, v)
+            .and_then(|p| p.iter().map(|&x| self.weight[x]).max())
+    }
+
+    /// Minimum vertex weight along the `u`–`v` path (inclusive).
+    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path(u, v)
+            .and_then(|p| p.iter().map(|&x| self.weight[x]).min())
+    }
+
+    /// Number of edges on the `u`–`v` path.
+    pub fn path_length(&self, u: Vertex, v: Vertex) -> Option<usize> {
+        self.path(u, v).map(|p| p.len() - 1)
+    }
+
+    /// All vertices in the component of `v` when the edge `(v, parent)` is
+    /// removed, i.e. the subtree of `v` rooted away from `parent`.
+    /// Requires `(v, parent)` to be an edge.
+    pub fn subtree_vertices(&self, v: Vertex, parent: Vertex) -> Option<Vec<Vertex>> {
+        if !self.has_edge(v, parent) {
+            return None;
+        }
+        let mut seen = HashSet::new();
+        seen.insert(parent);
+        seen.insert(v);
+        let mut out = vec![v];
+        let mut queue = VecDeque::from([v]);
+        while let Some(x) = queue.pop_front() {
+            for &y in &self.adj[x] {
+                if seen.insert(y) {
+                    out.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Sum of vertex weights in the subtree of `v` away from `parent`.
+    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_vertices(v, parent)
+            .map(|s| s.iter().map(|&x| self.weight[x]).sum())
+    }
+
+    /// Number of vertices in the subtree of `v` away from `parent`.
+    pub fn subtree_size(&self, v: Vertex, parent: Vertex) -> Option<usize> {
+        self.subtree_vertices(v, parent).map(|s| s.len())
+    }
+
+    /// Maximum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_vertices(v, parent)
+            .and_then(|s| s.iter().map(|&x| self.weight[x]).max())
+    }
+
+    /// All vertices in the same component as `v`.
+    pub fn component(&self, v: Vertex) -> Vec<Vertex> {
+        let mut seen = HashSet::new();
+        seen.insert(v);
+        let mut out = vec![v];
+        let mut queue = VecDeque::from([v]);
+        while let Some(x) = queue.pop_front() {
+            for &y in &self.adj[x] {
+                if seen.insert(y) {
+                    out.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the component containing `v`.
+    pub fn component_size(&self, v: Vertex) -> usize {
+        self.component(v).len()
+    }
+
+    /// Diameter (in edges) of the component containing `v`.
+    pub fn component_diameter(&self, v: Vertex) -> usize {
+        let (far, _) = self.farthest_from(v);
+        let (_, d) = self.farthest_from(far);
+        d
+    }
+
+    /// Distance (in edges) from `v` to the nearest marked vertex in its
+    /// component, or `None` if no marked vertex is reachable.
+    pub fn nearest_marked_distance(&self, v: Vertex) -> Option<usize> {
+        let mut seen = HashSet::new();
+        seen.insert(v);
+        let mut queue = VecDeque::from([(v, 0usize)]);
+        while let Some((x, d)) = queue.pop_front() {
+            if self.marked[x] {
+                return Some(d);
+            }
+            for &y in &self.adj[x] {
+                if seen.insert(y) {
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Lowest common ancestor of `u` and `v` when the tree is rooted at `r`.
+    pub fn lca(&self, u: Vertex, v: Vertex, r: Vertex) -> Option<Vertex> {
+        let pu = self.path(r, u)?;
+        let pv = self.path(r, v)?;
+        let set: HashSet<Vertex> = pv.into_iter().collect();
+        pu.into_iter().rev().find(|x| set.contains(x))
+    }
+
+    /// Total number of edges currently in the forest.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    fn bfs_path(&self, u: Vertex, v: Vertex) -> Option<Vec<Vertex>> {
+        if u == v {
+            return Some(vec![u]);
+        }
+        let mut pred = vec![usize::MAX; self.adj.len()];
+        pred[u] = u;
+        let mut queue = VecDeque::from([u]);
+        while let Some(x) = queue.pop_front() {
+            for &y in &self.adj[x] {
+                if pred[y] == usize::MAX {
+                    pred[y] = x;
+                    if y == v {
+                        let mut path = vec![v];
+                        let mut cur = v;
+                        while cur != u {
+                            cur = pred[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(y);
+                }
+            }
+        }
+        None
+    }
+
+    fn farthest_from(&self, v: Vertex) -> (Vertex, usize) {
+        let mut seen = HashSet::new();
+        seen.insert(v);
+        let mut queue = VecDeque::from([(v, 0usize)]);
+        let mut best = (v, 0);
+        while let Some((x, d)) = queue.pop_front() {
+            if d > best.1 {
+                best = (x, d);
+            }
+            for &y in &self.adj[x] {
+                if seen.insert(y) {
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_forest(n: usize) -> NaiveForest {
+        let mut f = NaiveForest::new(n);
+        for i in 0..n - 1 {
+            assert!(f.link(i, i + 1));
+        }
+        f
+    }
+
+    #[test]
+    fn link_cut_connectivity() {
+        let mut f = NaiveForest::new(5);
+        assert!(f.link(0, 1));
+        assert!(f.link(1, 2));
+        assert!(!f.link(0, 2), "cycle rejected");
+        assert!(f.connected(0, 2));
+        assert!(!f.connected(0, 4));
+        assert!(f.cut(1, 2));
+        assert!(!f.connected(0, 2));
+        assert!(!f.cut(1, 2), "double cut rejected");
+    }
+
+    #[test]
+    fn path_queries() {
+        let mut f = path_forest(6);
+        for v in 0..6 {
+            f.set_weight(v, (v as i64) * 10);
+        }
+        assert_eq!(f.path_sum(1, 4), Some(10 + 20 + 30 + 40));
+        assert_eq!(f.path_max(0, 5), Some(50));
+        assert_eq!(f.path_min(2, 5), Some(20));
+        assert_eq!(f.path_length(0, 5), Some(5));
+        assert_eq!(f.path_sum(3, 3), Some(30));
+    }
+
+    #[test]
+    fn subtree_queries() {
+        // star centred at 0 with leaves 1..=4
+        let mut f = NaiveForest::new(5);
+        for v in 1..5 {
+            f.link(0, v);
+            f.set_weight(v, v as i64);
+        }
+        f.set_weight(0, 100);
+        assert_eq!(f.subtree_sum(1, 0), Some(1));
+        assert_eq!(f.subtree_sum(0, 1), Some(100 + 2 + 3 + 4));
+        assert_eq!(f.subtree_size(0, 1), Some(4));
+        assert_eq!(f.subtree_max(0, 2), Some(100));
+        assert_eq!(f.subtree_sum(1, 3), None, "not an edge");
+    }
+
+    #[test]
+    fn diameter_and_marked() {
+        let mut f = path_forest(7);
+        assert_eq!(f.component_diameter(3), 6);
+        assert_eq!(f.nearest_marked_distance(0), None);
+        f.set_marked(5, true);
+        assert_eq!(f.nearest_marked_distance(0), Some(5));
+        assert_eq!(f.nearest_marked_distance(5), Some(0));
+    }
+
+    #[test]
+    fn lca_queries() {
+        // rooted at 0: 0-1, 1-2, 1-3, 0-4
+        let mut f = NaiveForest::new(5);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(1, 3);
+        f.link(0, 4);
+        assert_eq!(f.lca(2, 3, 0), Some(1));
+        assert_eq!(f.lca(2, 4, 0), Some(0));
+        assert_eq!(f.lca(2, 1, 0), Some(1));
+    }
+
+    #[test]
+    fn components() {
+        let mut f = NaiveForest::new(6);
+        f.link(0, 1);
+        f.link(2, 3);
+        f.link(3, 4);
+        assert_eq!(f.component_size(0), 2);
+        assert_eq!(f.component_size(3), 3);
+        assert_eq!(f.component_size(5), 1);
+        assert_eq!(f.num_edges(), 3);
+    }
+}

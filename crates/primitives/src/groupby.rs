@@ -1,0 +1,138 @@
+//! Grouping and deduplication primitives.
+//!
+//! The paper uses a parallel *semisort* [28] to group directed edge updates by
+//! their endpoint before applying them to adjacency lists (Algorithm 3 line 1,
+//! Algorithm 4 line 1).  A semisort only guarantees that equal keys end up
+//! adjacent; a stable parallel sort gives the same guarantee with
+//! deterministic output, which is what we use here.
+
+use rayon::prelude::*;
+
+use crate::worth_parallel;
+
+/// Groups `(key, value)` records so that all records with the same key are
+/// adjacent, and returns the grouped vector together with the start offsets of
+/// each group (the last offset equals the length of the vector).
+///
+/// Keys are grouped in ascending order.  The work is `O(k log k)` and the
+/// depth poly-logarithmic, which is within the budget the paper assigns to
+/// semisort for every place it is used (the grouped batches are always of size
+/// `O(k)` where `k` is the batch size).
+pub fn group_by_key<K, V>(mut records: Vec<(K, V)>) -> (Vec<(K, V)>, Vec<usize>)
+where
+    K: Ord + Send + Copy,
+    V: Send,
+{
+    if worth_parallel(records.len()) {
+        records.par_sort_by_key(|(k, _)| *k);
+    } else {
+        records.sort_by_key(|(k, _)| *k);
+    }
+    let offsets = boundaries(&records);
+    (records, offsets)
+}
+
+/// Sequential variant of [`group_by_key`], used on tiny batches and inside
+/// already-parallel regions.
+pub fn group_by_key_seq<K, V>(mut records: Vec<(K, V)>) -> (Vec<(K, V)>, Vec<usize>)
+where
+    K: Ord + Copy,
+{
+    records.sort_by_key(|(k, _)| *k);
+    let offsets = boundaries(&records);
+    (records, offsets)
+}
+
+fn boundaries<K: Ord + Copy, V>(records: &[(K, V)]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut i = 0;
+    while i < records.len() {
+        offsets.push(i);
+        let key = records[i].0;
+        while i < records.len() && records[i].0 == key {
+            i += 1;
+        }
+    }
+    offsets.push(records.len());
+    offsets
+}
+
+/// Removes duplicates from an unsorted vector of keys (the paper's
+/// `MapToParents` / `MapToChildren` steps are always followed by a parallel
+/// remove-duplicates pass).
+pub fn remove_duplicates<K: Ord + Send + Copy>(mut keys: Vec<K>) -> Vec<K> {
+    if worth_parallel(keys.len()) {
+        keys.par_sort_unstable();
+    } else {
+        keys.sort_unstable();
+    }
+    keys.dedup();
+    keys
+}
+
+/// Removes duplicates from a vector that is already sorted.
+pub fn dedup_sorted<K: PartialEq>(mut keys: Vec<K>) -> Vec<K> {
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_small_batch() {
+        let records = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (2, 'd'), (1, 'e')];
+        let (grouped, offsets) = group_by_key(records);
+        assert_eq!(offsets, vec![0, 2, 3, 5]);
+        assert_eq!(grouped[0].0, 1);
+        assert_eq!(grouped[2].0, 2);
+        assert_eq!(grouped[3].0, 3);
+    }
+
+    #[test]
+    fn groups_empty_batch() {
+        let (grouped, offsets) = group_by_key::<u32, ()>(Vec::new());
+        assert!(grouped.is_empty());
+        assert_eq!(offsets, vec![0]);
+    }
+
+    #[test]
+    fn groups_single_key() {
+        let records: Vec<(u8, usize)> = (0..100).map(|i| (7u8, i)).collect();
+        let (grouped, offsets) = group_by_key(records);
+        assert_eq!(grouped.len(), 100);
+        assert_eq!(offsets, vec![0, 100]);
+    }
+
+    #[test]
+    fn groups_large_batch_matches_sequential() {
+        let records: Vec<(u32, u32)> = (0..10_000u32).map(|i| (i % 97, i)).collect();
+        let (par, par_off) = group_by_key(records.clone());
+        let (seq, seq_off) = group_by_key_seq(records);
+        assert_eq!(par_off, seq_off);
+        let par_keys: Vec<u32> = par.iter().map(|(k, _)| *k).collect();
+        let seq_keys: Vec<u32> = seq.iter().map(|(k, _)| *k).collect();
+        assert_eq!(par_keys, seq_keys);
+    }
+
+    #[test]
+    fn removes_duplicates() {
+        let keys = vec![5u64, 1, 5, 2, 2, 9, 1];
+        assert_eq!(remove_duplicates(keys), vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn removes_duplicates_large() {
+        let keys: Vec<u64> = (0..50_000).map(|i| i % 123).collect();
+        let out = remove_duplicates(keys);
+        assert_eq!(out.len(), 123);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[122], 122);
+    }
+
+    #[test]
+    fn dedup_sorted_works() {
+        assert_eq!(dedup_sorted(vec![1, 1, 2, 3, 3, 3]), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Parallel building blocks used throughout the UFO-trees reproduction.
+//!
+//! The paper's algorithms (Sections 2 and 5) rely on a small number of
+//! primitives: *semisort* (group records by key), duplicate removal,
+//! *list ranking* over linked chains, maximal matching over chains, and
+//! parallel hash-table style batched set updates.  This crate provides
+//! practical Rust equivalents on top of [`rayon`]'s fork-join runtime, which
+//! matches the binary fork-join model the paper analyses.
+//!
+//! The implementations intentionally favour deterministic results (sorting
+//! based grouping rather than hashing) so that differential tests against the
+//! naive oracle are reproducible.
+
+pub mod dsu;
+pub mod groupby;
+pub mod listrank;
+pub mod matching;
+pub mod slab;
+pub mod stats;
+
+pub use dsu::Dsu;
+pub use groupby::{dedup_sorted, group_by_key, group_by_key_seq, remove_duplicates};
+pub use listrank::{list_rank, ListNode};
+pub use matching::{match_chain_greedy, match_chains_parallel, ChainMatch};
+pub use slab::SharedSlab;
+pub use stats::{vec_bytes, OnlineStats};
+
+/// The crate-wide threshold below which we stay sequential: parallelising tiny
+/// batches costs more in scheduling than it saves.
+pub const PAR_GRAIN: usize = 2048;
+
+/// Returns `true` when a batch of `len` items is worth processing in parallel.
+#[inline]
+pub fn worth_parallel(len: usize) -> bool {
+    len >= PAR_GRAIN && rayon::current_num_threads() > 1
+}

@@ -1,0 +1,119 @@
+//! Maximal matching over disjoint chains.
+//!
+//! During reclustering, the clusters that are not handled by the "high degree
+//! absorbs its degree-1 neighbours" rule form disjoint paths (chains).  The
+//! paper computes a maximal matching over these chains with list ranking and
+//! pairs even ranks with their successors; since distinct chains are
+//! independent, we match each chain greedily and process the chains in
+//! parallel, which has identical output quality (a maximal matching) and
+//! `O(total length)` work.
+
+use rayon::prelude::*;
+
+use crate::worth_parallel;
+
+/// A matched pair (or an unmatched singleton) produced by chain matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainMatch<T> {
+    /// Two adjacent chain elements are matched with each other.
+    Pair(T, T),
+    /// The element could not be matched (odd element of its chain).
+    Single(T),
+}
+
+/// Greedily matches consecutive elements of a single chain.
+///
+/// Returns one [`ChainMatch`] per element pair; the final element of an
+/// odd-length chain is reported as [`ChainMatch::Single`].
+pub fn match_chain_greedy<T: Copy>(chain: &[T]) -> Vec<ChainMatch<T>> {
+    let mut out = Vec::with_capacity(chain.len() / 2 + 1);
+    let mut i = 0;
+    while i + 1 < chain.len() {
+        out.push(ChainMatch::Pair(chain[i], chain[i + 1]));
+        i += 2;
+    }
+    if i < chain.len() {
+        out.push(ChainMatch::Single(chain[i]));
+    }
+    out
+}
+
+/// Matches every chain of a collection of disjoint chains, in parallel across
+/// chains.  The matching within each chain is the greedy maximal matching.
+pub fn match_chains_parallel<T: Copy + Send + Sync>(chains: &[Vec<T>]) -> Vec<ChainMatch<T>> {
+    if worth_parallel(chains.len()) {
+        chains
+            .par_iter()
+            .flat_map_iter(|chain| match_chain_greedy(chain))
+            .collect()
+    } else {
+        chains
+            .iter()
+            .flat_map(|chain| match_chain_greedy(chain))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_even_chain() {
+        let m = match_chain_greedy(&[1, 2, 3, 4]);
+        assert_eq!(m, vec![ChainMatch::Pair(1, 2), ChainMatch::Pair(3, 4)]);
+    }
+
+    #[test]
+    fn matches_odd_chain() {
+        let m = match_chain_greedy(&[1, 2, 3]);
+        assert_eq!(m, vec![ChainMatch::Pair(1, 2), ChainMatch::Single(3)]);
+    }
+
+    #[test]
+    fn matches_singleton_chain() {
+        let m = match_chain_greedy(&[9]);
+        assert_eq!(m, vec![ChainMatch::Single(9)]);
+    }
+
+    #[test]
+    fn matches_empty_chain() {
+        let m: Vec<ChainMatch<u32>> = match_chain_greedy(&[]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn matching_is_maximal() {
+        // In a maximal matching over a path, no two adjacent elements are both
+        // unmatched.
+        for len in 0..20usize {
+            let chain: Vec<usize> = (0..len).collect();
+            let matches = match_chain_greedy(&chain);
+            let mut matched = vec![false; len];
+            for m in &matches {
+                if let ChainMatch::Pair(a, b) = m {
+                    matched[*a] = true;
+                    matched[*b] = true;
+                }
+            }
+            for w in matched.windows(2) {
+                assert!(w[0] || w[1], "two adjacent unmatched elements");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_all_chains() {
+        let chains: Vec<Vec<u32>> = (0..100).map(|i| (0..i).collect()).collect();
+        let matches = match_chains_parallel(&chains);
+        let covered: usize = matches
+            .iter()
+            .map(|m| match m {
+                ChainMatch::Pair(_, _) => 2,
+                ChainMatch::Single(_) => 1,
+            })
+            .sum();
+        let total: usize = chains.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, total);
+    }
+}

@@ -1,0 +1,109 @@
+//! A slab that supports disjoint parallel mutation.
+//!
+//! The batch-parallel update algorithms (Algorithms 3 and 4) repeatedly apply
+//! independent modifications to *distinct* clusters: every deleted cluster is
+//! removed from the adjacency lists of its (distinct) neighbours, every new
+//! parent has its adjacency list populated, and so on.  After the planning
+//! phase groups the modifications by target, the targets are pairwise
+//! distinct, and mutating them concurrently is safe.  Rust's borrow checker
+//! cannot see that the indices are distinct, so [`SharedSlab`] provides a
+//! narrowly-scoped escape hatch whose safety contract is exactly
+//! "the caller passes distinct indices".
+
+use std::cell::UnsafeCell;
+
+/// A fixed-size collection of `T` values that can hand out mutable references
+/// to *distinct* slots from multiple threads at once.
+pub struct SharedSlab<T> {
+    slots: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: access is only allowed through `get_mut_distinct`, whose contract
+// requires distinct indices per concurrent caller, and through `&mut self`
+// methods, which have exclusive access.
+unsafe impl<T: Send> Sync for SharedSlab<T> {}
+unsafe impl<T: Send> Send for SharedSlab<T> {}
+
+impl<T> SharedSlab<T> {
+    /// Wraps a vector of values.
+    pub fn new(values: Vec<T>) -> Self {
+        Self {
+            slots: values.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the slab is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns a shared reference to slot `idx`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent mutable access to `idx`.
+    pub unsafe fn get(&self, idx: usize) -> &T {
+        &*self.slots[idx].get()
+    }
+
+    /// Returns a mutable reference to slot `idx` without taking `&mut self`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no two concurrent calls use the same
+    /// index and that no concurrent shared access observes `idx`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut_distinct(&self, idx: usize) -> &mut T {
+        &mut *self.slots[idx].get()
+    }
+
+    /// Exclusive access to a slot (safe; requires `&mut self`).
+    pub fn get_mut(&mut self, idx: usize) -> &mut T {
+        self.slots[idx].get_mut()
+    }
+
+    /// Unwraps the slab back into a vector.
+    pub fn into_inner(self) -> Vec<T> {
+        self.slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+impl<T: Clone> SharedSlab<T> {
+    /// Clones the current contents into a plain vector.
+    pub fn snapshot(&mut self) -> Vec<T> {
+        self.slots.iter_mut().map(|c| c.get_mut().clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let slab = SharedSlab::new(vec![0u64; 10_000]);
+        (0..slab.len()).into_par_iter().for_each(|i| {
+            // SAFETY: every index is visited exactly once.
+            unsafe {
+                *slab.get_mut_distinct(i) = i as u64 * 3;
+            }
+        });
+        let values = slab.into_inner();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn sequential_accessors() {
+        let mut slab = SharedSlab::new(vec![1, 2, 3]);
+        *slab.get_mut(1) = 42;
+        assert_eq!(slab.snapshot(), vec![1, 42, 3]);
+        assert_eq!(slab.len(), 3);
+        assert!(!slab.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Ordered-sequence substrates for Euler tour trees.
+//!
+//! The paper's sequential ETT baselines come in three flavours (treap, splay
+//! tree, skip list) that differ only in the underlying sequence structure.
+//! This crate defines the [`DynSequence`] interface an Euler tour tree needs —
+//! split before/after a handle, join, position, and aggregate over a sequence
+//! — and provides balanced implementations.
+//!
+//! Every node carries an `i64` value and an *item* flag; aggregates (sum /
+//! min / max / count) are computed over item nodes only, which lets the Euler
+//! tour tree store vertex occurrences as items and edge arcs as non-items.
+
+pub mod splay;
+pub mod treap;
+
+pub use splay::SplaySequence;
+pub use treap::TreapSequence;
+
+/// Handle to a node of a sequence.  Handles are stable for the lifetime of the
+/// node (until [`DynSequence::free`]).
+pub type Handle = usize;
+
+/// Aggregate over the item nodes of a (sub)sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Agg {
+    /// Sum of item values.
+    pub sum: i64,
+    /// Minimum item value (`i64::MAX` when there are no items).
+    pub min: i64,
+    /// Maximum item value (`i64::MIN` when there are no items).
+    pub max: i64,
+    /// Number of item nodes.
+    pub count: usize,
+}
+
+impl Agg {
+    /// The aggregate of an empty sequence.
+    pub const IDENTITY: Agg = Agg {
+        sum: 0,
+        min: i64::MAX,
+        max: i64::MIN,
+        count: 0,
+    };
+
+    /// Aggregate of a single node.
+    pub fn leaf(value: i64, is_item: bool) -> Agg {
+        if is_item {
+            Agg {
+                sum: value,
+                min: value,
+                max: value,
+                count: 1,
+            }
+        } else {
+            Agg::IDENTITY
+        }
+    }
+
+    /// Combines two aggregates.
+    pub fn combine(a: Agg, b: Agg) -> Agg {
+        Agg {
+            sum: a.sum + b.sum,
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+            count: a.count + b.count,
+        }
+    }
+}
+
+/// A dynamic sequence supporting split/join by handle.
+///
+/// All operations may restructure the sequence internally (splay trees do so
+/// on every access), hence the `&mut self` receivers even on queries.
+pub trait DynSequence {
+    /// Creates an empty structure (no nodes).
+    fn new() -> Self;
+
+    /// Allocates a new singleton sequence holding one node and returns its
+    /// handle.  `is_item` controls whether the value participates in
+    /// aggregates.
+    fn make(&mut self, value: i64, is_item: bool) -> Handle;
+
+    /// Updates the value stored at `h`.
+    fn set_value(&mut self, h: Handle, value: i64);
+
+    /// Returns the value stored at `h`.
+    fn value(&self, h: Handle) -> i64;
+
+    /// Representative (root) of the sequence containing `h`.  Two handles are
+    /// in the same sequence iff their roots are equal at the same point in
+    /// time.
+    fn root(&mut self, h: Handle) -> Handle;
+
+    /// Zero-based position of `h` within its sequence.
+    fn position(&mut self, h: Handle) -> usize;
+
+    /// Total number of nodes in the sequence containing `h`.
+    fn seq_len(&mut self, h: Handle) -> usize;
+
+    /// Splits immediately before `h`; returns the roots of the left part
+    /// (possibly empty) and of the right part (which starts with `h`).
+    fn split_before(&mut self, h: Handle) -> (Option<Handle>, Handle);
+
+    /// Splits immediately after `h`; returns the roots of the left part
+    /// (which ends with `h`) and of the right part (possibly empty).
+    fn split_after(&mut self, h: Handle) -> (Handle, Option<Handle>);
+
+    /// Concatenates two sequences and returns the root of the result.
+    fn join(&mut self, left: Option<Handle>, right: Option<Handle>) -> Option<Handle>;
+
+    /// Aggregate over the item nodes of the sequence containing `h`.
+    fn aggregate(&mut self, h: Handle) -> Agg;
+
+    /// Releases a node.  The node must form a singleton sequence.
+    fn free(&mut self, h: Handle);
+
+    /// Flattens the sequence containing `h` into a vector of handles, in
+    /// order.  Intended for tests.
+    fn to_vec(&mut self, h: Handle) -> Vec<Handle>;
+
+    /// Exact heap bytes owned by the structure.
+    fn memory_bytes(&self) -> usize;
+
+    /// Number of live nodes.
+    fn live_nodes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn exercise<S: DynSequence>() {
+        let mut s = S::new();
+        // Build the sequence [10, 20, 30, 40] out of singletons.
+        let hs: Vec<Handle> = (1..=4).map(|i| s.make(i * 10, true)).collect();
+        let mut root = Some(hs[0]);
+        for &h in &hs[1..] {
+            root = s.join(root, Some(h));
+        }
+        let root = root.unwrap();
+        assert_eq!(s.seq_len(hs[2]), 4);
+        assert_eq!(s.aggregate(root).sum, 100);
+        assert_eq!(s.aggregate(root).count, 4);
+        for (i, &h) in hs.iter().enumerate() {
+            assert_eq!(s.position(h), i, "position of element {}", i);
+        }
+        assert_eq!(s.to_vec(hs[1]), hs);
+
+        // Split before 30: [10, 20] and [30, 40].
+        let (left, right) = s.split_before(hs[2]);
+        let left = left.unwrap();
+        assert_eq!(s.aggregate(left).sum, 30);
+        assert_eq!(s.aggregate(right).sum, 70);
+        assert_ne!(s.root(hs[0]), s.root(hs[3]));
+
+        // Re-join in swapped order: [30, 40, 10, 20].
+        let joined = s.join(Some(right), Some(left)).unwrap();
+        assert_eq!(s.aggregate(joined).count, 4);
+        assert_eq!(s.position(hs[2]), 0);
+        assert_eq!(s.position(hs[0]), 2);
+        assert_eq!(s.to_vec(hs[0]), vec![hs[2], hs[3], hs[0], hs[1]]);
+
+        // Non-item nodes do not contribute to aggregates.
+        let marker = s.make(999, false);
+        let cur_root = s.root(hs[0]);
+        let joined = s.join(Some(cur_root), Some(marker)).unwrap();
+        assert_eq!(s.aggregate(joined).sum, 100);
+        assert_eq!(s.aggregate(joined).count, 4);
+        assert_eq!(s.seq_len(marker), 5);
+
+        // set_value is reflected in aggregates.
+        s.set_value(hs[0], 0);
+        let r = s.root(hs[0]);
+        assert_eq!(s.aggregate(r).sum, 90);
+        assert_eq!(s.value(hs[0]), 0);
+
+        // Split the marker off and free it.
+        let (rest, _right) = s.split_before(marker);
+        assert!(rest.is_some());
+        s.free(marker);
+        assert_eq!(s.live_nodes(), 4);
+        assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn treap_satisfies_contract() {
+        exercise::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_satisfies_contract() {
+        exercise::<SplaySequence>();
+    }
+}

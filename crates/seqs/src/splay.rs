@@ -1,0 +1,302 @@
+//! A splay-tree-backed dynamic sequence, mirroring the "ETT (Splay Tree)"
+//! baseline of the paper.  Amortized `O(log n)` per operation.
+
+use crate::{Agg, DynSequence, Handle};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    left: usize,
+    right: usize,
+    parent: usize,
+    value: i64,
+    is_item: bool,
+    agg: Agg,
+    size: usize,
+}
+
+/// Splay-tree-based implementation of [`DynSequence`].
+#[derive(Clone, Debug, Default)]
+pub struct SplaySequence {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl SplaySequence {
+    fn size_of(&self, t: usize) -> usize {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t].size
+        }
+    }
+
+    fn agg_of(&self, t: usize) -> Agg {
+        if t == NIL {
+            Agg::IDENTITY
+        } else {
+            self.nodes[t].agg
+        }
+    }
+
+    fn pull(&mut self, t: usize) {
+        let (l, r) = (self.nodes[t].left, self.nodes[t].right);
+        let own = Agg::leaf(self.nodes[t].value, self.nodes[t].is_item);
+        let agg = Agg::combine(Agg::combine(self.agg_of(l), own), self.agg_of(r));
+        let size = 1 + self.size_of(l) + self.size_of(r);
+        let node = &mut self.nodes[t];
+        node.agg = agg;
+        node.size = size;
+    }
+
+    fn rotate(&mut self, x: usize) {
+        let p = self.nodes[x].parent;
+        let g = self.nodes[p].parent;
+        let dir = (self.nodes[p].right == x) as usize;
+        let b = if dir == 1 {
+            self.nodes[x].left
+        } else {
+            self.nodes[x].right
+        };
+        // p adopts b
+        if dir == 1 {
+            self.nodes[p].right = b;
+        } else {
+            self.nodes[p].left = b;
+        }
+        if b != NIL {
+            self.nodes[b].parent = p;
+        }
+        // x adopts p
+        if dir == 1 {
+            self.nodes[x].left = p;
+        } else {
+            self.nodes[x].right = p;
+        }
+        self.nodes[p].parent = x;
+        // g adopts x
+        self.nodes[x].parent = g;
+        if g != NIL {
+            if self.nodes[g].left == p {
+                self.nodes[g].left = x;
+            } else {
+                self.nodes[g].right = x;
+            }
+        }
+        self.pull(p);
+        self.pull(x);
+    }
+
+    fn splay(&mut self, x: usize) {
+        while self.nodes[x].parent != NIL {
+            let p = self.nodes[x].parent;
+            let g = self.nodes[p].parent;
+            if g != NIL {
+                let zig_zig = (self.nodes[g].left == p) == (self.nodes[p].left == x);
+                if zig_zig {
+                    self.rotate(p);
+                } else {
+                    self.rotate(x);
+                }
+            }
+            self.rotate(x);
+        }
+    }
+
+    fn rightmost(&self, mut t: usize) -> usize {
+        while self.nodes[t].right != NIL {
+            t = self.nodes[t].right;
+        }
+        t
+    }
+
+    fn collect(&self, t: usize, out: &mut Vec<usize>) {
+        if t == NIL {
+            return;
+        }
+        self.collect(self.nodes[t].left, out);
+        out.push(t);
+        self.collect(self.nodes[t].right, out);
+    }
+}
+
+impl DynSequence for SplaySequence {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn make(&mut self, value: i64, is_item: bool) -> Handle {
+        let node = Node {
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            value,
+            is_item,
+            agg: Agg::leaf(value, is_item),
+            size: 1,
+        };
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn set_value(&mut self, h: Handle, value: i64) {
+        self.splay(h);
+        self.nodes[h].value = value;
+        self.pull(h);
+    }
+
+    fn value(&self, h: Handle) -> i64 {
+        self.nodes[h].value
+    }
+
+    fn root(&mut self, h: Handle) -> Handle {
+        // Walk up without restructuring: the DynSequence contract requires two
+        // calls on members of the same sequence to return the same handle, so
+        // the root must be stable across read-only queries.
+        let mut cur = h;
+        while self.nodes[cur].parent != NIL {
+            cur = self.nodes[cur].parent;
+        }
+        cur
+    }
+
+    fn position(&mut self, h: Handle) -> usize {
+        self.splay(h);
+        self.size_of(self.nodes[h].left)
+    }
+
+    fn seq_len(&mut self, h: Handle) -> usize {
+        self.splay(h);
+        self.nodes[h].size
+    }
+
+    fn split_before(&mut self, h: Handle) -> (Option<Handle>, Handle) {
+        self.splay(h);
+        let l = self.nodes[h].left;
+        if l == NIL {
+            return (None, h);
+        }
+        self.nodes[h].left = NIL;
+        self.nodes[l].parent = NIL;
+        self.pull(h);
+        (Some(l), h)
+    }
+
+    fn split_after(&mut self, h: Handle) -> (Handle, Option<Handle>) {
+        self.splay(h);
+        let r = self.nodes[h].right;
+        if r == NIL {
+            return (h, None);
+        }
+        self.nodes[h].right = NIL;
+        self.nodes[r].parent = NIL;
+        self.pull(h);
+        (h, Some(r))
+    }
+
+    fn join(&mut self, left: Option<Handle>, right: Option<Handle>) -> Option<Handle> {
+        match (left, right) {
+            (None, None) => None,
+            (Some(a), None) => Some(self.root(a)),
+            (None, Some(b)) => Some(self.root(b)),
+            (Some(a), Some(b)) => {
+                let ra = self.root(a);
+                let last = self.rightmost(ra);
+                self.splay(last);
+                let rb = self.root(b);
+                assert_ne!(last, rb, "joining a sequence with itself");
+                debug_assert_eq!(self.nodes[last].right, NIL);
+                self.nodes[last].right = rb;
+                self.nodes[rb].parent = last;
+                self.pull(last);
+                Some(last)
+            }
+        }
+    }
+
+    fn aggregate(&mut self, h: Handle) -> Agg {
+        let r = self.root(h);
+        self.nodes[r].agg
+    }
+
+    fn free(&mut self, h: Handle) {
+        self.splay(h);
+        assert_eq!(self.nodes[h].size, 1, "freeing a non-singleton node");
+        self.live -= 1;
+        self.free.push(h);
+    }
+
+    fn to_vec(&mut self, h: Handle) -> Vec<Handle> {
+        let r = self.root(h);
+        let mut out = Vec::with_capacity(self.nodes[r].size);
+        self.collect(r, &mut out);
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splay_positions_match_build_order() {
+        let mut s = SplaySequence::new();
+        let hs: Vec<usize> = (0..500).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        for (i, &h) in hs.iter().enumerate().step_by(37) {
+            assert_eq!(s.position(h), i);
+        }
+        assert_eq!(s.aggregate(hs[0]).count, 500);
+    }
+
+    #[test]
+    fn split_in_the_middle() {
+        let mut s = SplaySequence::new();
+        let hs: Vec<usize> = (0..20).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        let (l, r) = s.split_after(hs[9]);
+        assert_eq!(s.aggregate(l).count, 10);
+        assert_eq!(s.aggregate(r.unwrap()).count, 10);
+        assert_eq!(s.position(hs[10]), 0);
+    }
+
+    #[test]
+    fn interleaved_splits_and_joins_keep_order() {
+        let mut s = SplaySequence::new();
+        let hs: Vec<usize> = (0..64).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        // rotate the sequence left by 10: split before hs[10], swap halves
+        let (l, r) = s.split_before(hs[10]);
+        let joined = s.join(Some(r), l).unwrap();
+        let order = s.to_vec(joined);
+        assert_eq!(order[0], hs[10]);
+        assert_eq!(order[63], hs[9]);
+        assert_eq!(order.len(), 64);
+    }
+}

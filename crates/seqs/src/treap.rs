@@ -1,0 +1,317 @@
+//! A treap-backed dynamic sequence (randomized balanced BST with parent
+//! pointers), mirroring the "ETT (Treap)" baseline of the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Agg, DynSequence, Handle};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    left: usize,
+    right: usize,
+    parent: usize,
+    priority: u64,
+    value: i64,
+    is_item: bool,
+    agg: Agg,
+    size: usize,
+}
+
+/// Treap-based implementation of [`DynSequence`].
+#[derive(Clone, Debug)]
+pub struct TreapSequence {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    rng: StdRng,
+    live: usize,
+}
+
+impl TreapSequence {
+    fn size_of(&self, t: usize) -> usize {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t].size
+        }
+    }
+
+    fn agg_of(&self, t: usize) -> Agg {
+        if t == NIL {
+            Agg::IDENTITY
+        } else {
+            self.nodes[t].agg
+        }
+    }
+
+    fn pull(&mut self, t: usize) {
+        let (l, r) = (self.nodes[t].left, self.nodes[t].right);
+        let own = Agg::leaf(self.nodes[t].value, self.nodes[t].is_item);
+        let agg = Agg::combine(Agg::combine(self.agg_of(l), own), self.agg_of(r));
+        let size = 1 + self.size_of(l) + self.size_of(r);
+        let node = &mut self.nodes[t];
+        node.agg = agg;
+        node.size = size;
+    }
+
+    fn find_root(&self, mut t: usize) -> usize {
+        while self.nodes[t].parent != NIL {
+            t = self.nodes[t].parent;
+        }
+        t
+    }
+
+    /// Splits the tree rooted at `t` into its first `k` nodes and the rest.
+    fn split_idx(&mut self, t: usize, k: usize) -> (usize, usize) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        let left = self.nodes[t].left;
+        let lsz = self.size_of(left);
+        if k <= lsz {
+            let (a, b) = self.split_idx(left, k);
+            self.nodes[t].left = b;
+            if b != NIL {
+                self.nodes[b].parent = t;
+            }
+            if a != NIL {
+                self.nodes[a].parent = NIL;
+            }
+            self.nodes[t].parent = NIL;
+            self.pull(t);
+            (a, t)
+        } else {
+            let right = self.nodes[t].right;
+            let (a, b) = self.split_idx(right, k - lsz - 1);
+            self.nodes[t].right = a;
+            if a != NIL {
+                self.nodes[a].parent = t;
+            }
+            if b != NIL {
+                self.nodes[b].parent = NIL;
+            }
+            self.nodes[t].parent = NIL;
+            self.pull(t);
+            (t, b)
+        }
+    }
+
+    fn merge(&mut self, a: usize, b: usize) -> usize {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a].priority > self.nodes[b].priority {
+            let r = self.merge(self.nodes[a].right, b);
+            self.nodes[a].right = r;
+            self.nodes[r].parent = a;
+            self.nodes[a].parent = NIL;
+            self.pull(a);
+            a
+        } else {
+            let l = self.merge(a, self.nodes[b].left);
+            self.nodes[b].left = l;
+            self.nodes[l].parent = b;
+            self.nodes[b].parent = NIL;
+            self.pull(b);
+            b
+        }
+    }
+
+    fn position_internal(&self, h: usize) -> usize {
+        let mut pos = self.size_of(self.nodes[h].left);
+        let mut cur = h;
+        while self.nodes[cur].parent != NIL {
+            let p = self.nodes[cur].parent;
+            if self.nodes[p].right == cur {
+                pos += self.size_of(self.nodes[p].left) + 1;
+            }
+            cur = p;
+        }
+        pos
+    }
+
+    fn collect(&self, t: usize, out: &mut Vec<usize>) {
+        if t == NIL {
+            return;
+        }
+        self.collect(self.nodes[t].left, out);
+        out.push(t);
+        self.collect(self.nodes[t].right, out);
+    }
+
+    /// Re-computes aggregates on the path from `h` to its root after an
+    /// in-place value change.
+    fn fix_to_root(&mut self, h: usize) {
+        let mut cur = h;
+        while cur != NIL {
+            self.pull(cur);
+            cur = self.nodes[cur].parent;
+        }
+    }
+}
+
+impl DynSequence for TreapSequence {
+    fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rng: StdRng::seed_from_u64(0x5eed_cafe),
+            live: 0,
+        }
+    }
+
+    fn make(&mut self, value: i64, is_item: bool) -> Handle {
+        let node = Node {
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            priority: self.rng.random(),
+            value,
+            is_item,
+            agg: Agg::leaf(value, is_item),
+            size: 1,
+        };
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn set_value(&mut self, h: Handle, value: i64) {
+        self.nodes[h].value = value;
+        self.fix_to_root(h);
+    }
+
+    fn value(&self, h: Handle) -> i64 {
+        self.nodes[h].value
+    }
+
+    fn root(&mut self, h: Handle) -> Handle {
+        self.find_root(h)
+    }
+
+    fn position(&mut self, h: Handle) -> usize {
+        self.position_internal(h)
+    }
+
+    fn seq_len(&mut self, h: Handle) -> usize {
+        let r = self.find_root(h);
+        self.nodes[r].size
+    }
+
+    fn split_before(&mut self, h: Handle) -> (Option<Handle>, Handle) {
+        let pos = self.position_internal(h);
+        let root = self.find_root(h);
+        let (a, b) = self.split_idx(root, pos);
+        debug_assert_ne!(b, NIL);
+        (if a == NIL { None } else { Some(a) }, b)
+    }
+
+    fn split_after(&mut self, h: Handle) -> (Handle, Option<Handle>) {
+        let pos = self.position_internal(h);
+        let root = self.find_root(h);
+        let (a, b) = self.split_idx(root, pos + 1);
+        debug_assert_ne!(a, NIL);
+        (a, if b == NIL { None } else { Some(b) })
+    }
+
+    fn join(&mut self, left: Option<Handle>, right: Option<Handle>) -> Option<Handle> {
+        match (left, right) {
+            (None, None) => None,
+            (Some(a), None) => Some(self.find_root(a)),
+            (None, Some(b)) => Some(self.find_root(b)),
+            (Some(a), Some(b)) => {
+                let (ra, rb) = (self.find_root(a), self.find_root(b));
+                assert_ne!(ra, rb, "joining a sequence with itself");
+                Some(self.merge(ra, rb))
+            }
+        }
+    }
+
+    fn aggregate(&mut self, h: Handle) -> Agg {
+        let r = self.find_root(h);
+        self.nodes[r].agg
+    }
+
+    fn free(&mut self, h: Handle) {
+        assert_eq!(self.nodes[h].size, 1, "freeing a non-singleton node");
+        assert_eq!(self.nodes[h].parent, NIL);
+        self.live -= 1;
+        self.free.push(h);
+    }
+
+    fn to_vec(&mut self, h: Handle) -> Vec<Handle> {
+        let r = self.find_root(h);
+        let mut out = Vec::with_capacity(self.nodes[r].size);
+        self.collect(r, &mut out);
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn treap_stays_balanced_enough() {
+        // Build a long sequence by repeated joins and check positions.
+        let mut s = TreapSequence::new();
+        let hs: Vec<usize> = (0..2000).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        let root = root.unwrap();
+        assert_eq!(s.aggregate(root).count, 2000);
+        assert_eq!(s.position(hs[1234]), 1234);
+        assert_eq!(s.aggregate(root).sum, (0..2000).sum::<i64>());
+    }
+
+    #[test]
+    fn split_and_rejoin_roundtrip() {
+        let mut s = TreapSequence::new();
+        let hs: Vec<usize> = (0..100).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        for split_at in [0usize, 1, 37, 50, 99] {
+            let (l, r) = s.split_before(hs[split_at]);
+            assert_eq!(s.position(hs[split_at]), 0);
+            if let Some(l) = l {
+                assert_eq!(s.aggregate(l).count, split_at);
+            }
+            let joined = s.join(l, Some(r)).unwrap();
+            assert_eq!(s.aggregate(joined).count, 100);
+            assert_eq!(s.position(hs[split_at]), split_at);
+        }
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut s = TreapSequence::new();
+        let a = s.make(1, true);
+        s.free(a);
+        let b = s.make(2, true);
+        assert_eq!(a, b, "slot should be reused");
+        assert_eq!(s.live_nodes(), 1);
+    }
+}

@@ -1,0 +1,1282 @@
+//! The contraction-forest engine shared by UFO trees and topology trees.
+//!
+//! The engine is *level-synchronised*: leaf clusters (one per vertex) live at
+//! level 0 and every cluster at level ℓ has its parent at level ℓ+1; clusters
+//! that do not merge in a round receive a copy parent.  The paper's Lemma B.4 /
+//! B.17 shows the total number of clusters under this scheme is `O(n)`.
+//!
+//! Sequential updates implement Algorithms 1 and 2: delete the ancestors of
+//! the updated endpoints (skipping high-degree / high-fanout clusters under
+//! the UFO policy), apply the edge change at every level where both endpoints'
+//! surviving ancestors are distinct, then recluster the resulting root
+//! clusters bottom-up.  Cluster summaries (boundaries, path/subtree
+//! aggregates, distances) are refreshed in one deferred bottom-up pass at the
+//! end of each update.
+
+use crate::summary::{PathAggregate, SubtreeAggregate, Summary};
+use crate::{ClusterId, Vertex, INF_DIST, NIL};
+
+/// Which contraction rules the engine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// UFO trees: pair merges between degree ≤ 2 clusters plus unbounded
+    /// fan-out merges of a high-degree cluster with all its degree-1
+    /// neighbours.  Accepts arbitrary-degree inputs.
+    Ufo,
+    /// Topology trees: pair merges only ((1,1), (1,2), (2,2), (1,3)); inputs
+    /// must have maximum degree 3.
+    Topology,
+}
+
+/// One directed adjacency record: an original edge with `my_end` inside this
+/// cluster and `other_end` inside `neighbor`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdjEntry {
+    /// The adjacent cluster at the same level.
+    pub neighbor: ClusterId,
+    /// Endpoint of the original edge inside this cluster.
+    pub my_end: Vertex,
+    /// Endpoint of the original edge inside `neighbor`.
+    pub other_end: Vertex,
+}
+
+/// A cluster of the contraction hierarchy.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Parent cluster (one level up) or `NIL`.
+    pub parent: ClusterId,
+    /// Level in the hierarchy (leaves are level 0).
+    pub level: u32,
+    /// Whether the cluster is live (false for freed slots).
+    pub alive: bool,
+    /// Adjacent clusters at this level (one entry per incident original edge
+    /// whose other endpoint lies in a different cluster at this level).
+    pub neighbors: Vec<AdjEntry>,
+    /// Child clusters (empty for leaves).
+    pub children: Vec<ClusterId>,
+    /// Augmented values.
+    pub summary: Summary,
+}
+
+impl Cluster {
+    fn new_leaf(summary: Summary) -> Self {
+        Cluster {
+            parent: NIL,
+            level: 0,
+            alive: true,
+            neighbors: Vec::new(),
+            children: Vec::new(),
+            summary,
+        }
+    }
+
+    /// Degree of the cluster at its level.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Fan-out (number of children).
+    pub fn fanout(&self) -> usize {
+        self.children.len()
+    }
+}
+
+/// The contraction forest over vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct ContractionForest {
+    policy: Policy,
+    pub(crate) weights: Vec<i64>,
+    pub(crate) phantom: Vec<bool>,
+    pub(crate) marked: Vec<bool>,
+    pub(crate) clusters: Vec<Cluster>,
+    free: Vec<ClusterId>,
+    /// Root clusters awaiting reclustering, indexed by level.
+    pending: Vec<Vec<ClusterId>>,
+    /// Clusters whose summaries must be recomputed.
+    dirty: Vec<ClusterId>,
+    num_edges: usize,
+}
+
+impl ContractionForest {
+    /// Creates a forest of `n` isolated vertices under the given policy.
+    pub fn new(n: usize, policy: Policy) -> Self {
+        let mut forest = ContractionForest {
+            policy,
+            weights: vec![0; n],
+            phantom: vec![false; n],
+            marked: vec![false; n],
+            clusters: Vec::with_capacity(2 * n),
+            free: Vec::new(),
+            pending: Vec::new(),
+            dirty: Vec::new(),
+            num_edges: 0,
+        };
+        for v in 0..n {
+            let summary = forest.leaf_summary(v);
+            forest.clusters.push(Cluster::new_leaf(summary));
+        }
+        forest
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the forest has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Policy in use.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Marks vertex `v` as phantom: its weight is ignored by every aggregate.
+    /// Used by the ternarization wrapper for the auxiliary path vertices.
+    pub fn set_phantom(&mut self, v: Vertex, phantom: bool) {
+        self.phantom[v] = phantom;
+        self.refresh_vertex(v);
+    }
+
+    /// Sets the weight of vertex `v`.
+    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+        self.weights[v] = w;
+        self.refresh_vertex(v);
+    }
+
+    /// Returns the weight of vertex `v`.
+    pub fn weight(&self, v: Vertex) -> i64 {
+        self.weights[v]
+    }
+
+    /// Marks or unmarks vertex `v` for nearest-marked-vertex queries.
+    pub fn set_marked(&mut self, v: Vertex, m: bool) {
+        self.marked[v] = m;
+        self.refresh_vertex(v);
+    }
+
+    /// Whether vertex `v` is marked.
+    pub fn is_marked(&self, v: Vertex) -> bool {
+        self.marked[v]
+    }
+
+    /// Whether edge `(u, v)` is currently present.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        u < self.len()
+            && v < self.len()
+            && self.clusters[u]
+                .neighbors
+                .iter()
+                .any(|e| e.my_end == u && e.other_end == v)
+    }
+
+    /// The topmost cluster of the tree containing `v`.
+    pub fn top_cluster(&self, v: Vertex) -> ClusterId {
+        let mut c = v;
+        while self.clusters[c].parent != NIL {
+            c = self.clusters[c].parent;
+        }
+        c
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        u == v || self.top_cluster(u) == self.top_cluster(v)
+    }
+
+    /// Height of the hierarchy above `v` (number of ancestor levels).
+    pub fn height(&self, v: Vertex) -> usize {
+        let mut c = v;
+        let mut h = 0;
+        while self.clusters[c].parent != NIL {
+            c = self.clusters[c].parent;
+            h += 1;
+        }
+        h
+    }
+
+    /// Inserts edge `(u, v)`.  Returns `false` for self loops, duplicate edges
+    /// and edges that would close a cycle.
+    pub fn link(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u == v || u >= self.len() || v >= self.len() || self.has_edge(u, v) {
+            return false;
+        }
+        if self.connected(u, v) {
+            return false;
+        }
+        self.update_edge(u, v, false);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes edge `(u, v)`.  Returns `false` if the edge is not present.
+    pub fn cut(&mut self, u: Vertex, v: Vertex) -> bool {
+        if !self.has_edge(u, v) {
+            return false;
+        }
+        self.update_edge(u, v, true);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Exact heap bytes owned by the structure.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.clusters.capacity() * std::mem::size_of::<Cluster>()
+            + self.weights.capacity() * 8
+            + self.phantom.capacity()
+            + self.marked.capacity()
+            + self.free.capacity() * std::mem::size_of::<ClusterId>();
+        for c in &self.clusters {
+            bytes += c.neighbors.capacity() * std::mem::size_of::<AdjEntry>();
+            bytes += c.children.capacity() * std::mem::size_of::<ClusterId>();
+        }
+        bytes
+    }
+
+    /// Number of live clusters (leaves plus internal).
+    pub fn live_clusters(&self) -> usize {
+        self.clusters.iter().filter(|c| c.alive).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential update (Algorithms 1 and 2)
+    // ------------------------------------------------------------------
+
+    fn update_edge(&mut self, u: Vertex, v: Vertex, delete: bool) {
+        self.delete_ancestors(u);
+        self.delete_ancestors(v);
+        if self.clusters[u].parent == NIL {
+            self.push_pending(u);
+        }
+        if self.clusters[v].parent == NIL {
+            self.push_pending(v);
+        }
+        self.apply_edge_all_levels(u, v, delete);
+        self.mark_dirty(u);
+        self.mark_dirty(v);
+        self.recluster();
+        self.flush_dirty();
+    }
+
+    /// Algorithm 1: walk up from `c0`'s parent, deleting every ancestor that
+    /// the policy allows to be deleted and disconnecting low-degree clusters
+    /// from surviving parents.
+    fn delete_ancestors(&mut self, c0: ClusterId) {
+        let mut prev = c0;
+        let mut prev_deleted = false;
+        let mut curr = self.clusters[c0].parent;
+        while curr != NIL {
+            let next = self.clusters[curr].parent;
+            let deletable = self.deletable(curr);
+            if deletable {
+                self.delete_cluster(curr);
+                prev_deleted = true;
+            } else {
+                if !prev_deleted
+                    && self.clusters[prev].alive
+                    && self.clusters[prev].parent == curr
+                    && self.clusters[prev].degree() <= 2
+                {
+                    self.disconnect_child(prev, curr);
+                }
+                prev_deleted = false;
+            }
+            prev = curr;
+            curr = next;
+        }
+    }
+
+    fn deletable(&self, c: ClusterId) -> bool {
+        match self.policy {
+            Policy::Topology => true,
+            Policy::Ufo => self.clusters[c].degree() < 3 && self.clusters[c].fanout() < 3,
+        }
+    }
+
+    /// Deletes cluster `c`: its children become pending root clusters, its
+    /// adjacency entries are removed from neighbours (and from surviving
+    /// ancestors at higher levels), and the slot is freed.
+    fn delete_cluster(&mut self, c: ClusterId) {
+        debug_assert!(self.clusters[c].alive && self.clusters[c].level > 0);
+        let parent = self.clusters[c].parent;
+        let entries: Vec<AdjEntry> = self.clusters[c].neighbors.clone();
+        for e in &entries {
+            self.remove_adj(e.neighbor, e.other_end, e.my_end);
+            self.mark_dirty(e.neighbor);
+            // the vertices of `c` leave every surviving ancestor, so the edge
+            // must disappear from the levels above as well
+            if parent != NIL {
+                let qp = self.clusters[e.neighbor].parent;
+                self.remove_edge_upward(parent, qp, e.my_end, e.other_end);
+            }
+        }
+        let children: Vec<ClusterId> = self.clusters[c].children.clone();
+        for y in children {
+            self.clusters[y].parent = NIL;
+            self.push_pending(y);
+            self.mark_dirty(y);
+        }
+        if parent != NIL {
+            self.clusters[parent].children.retain(|&x| x != c);
+            self.mark_dirty(parent);
+        }
+        let cl = &mut self.clusters[c];
+        cl.alive = false;
+        cl.parent = NIL;
+        cl.neighbors.clear();
+        cl.children.clear();
+        self.free.push(c);
+    }
+
+    /// Disconnects `child` from its surviving parent `parent`, turning `child`
+    /// into a pending root cluster.  If removing the child would disconnect the
+    /// parent's remaining children (the child is the hub of a star merge), the
+    /// parent is deleted instead.
+    fn disconnect_child(&mut self, child: ClusterId, parent: ClusterId) {
+        // Count the child's internal edges (edges to siblings).
+        let internal = self.clusters[child]
+            .neighbors
+            .iter()
+            .filter(|e| self.clusters[e.neighbor].parent == parent)
+            .count();
+        if self.clusters[parent].fanout() >= 3 && internal >= 2 {
+            // `child` is the hub; removing it would shatter the parent.
+            self.delete_cluster(parent);
+            return;
+        }
+        self.clusters[child].parent = NIL;
+        self.clusters[parent].children.retain(|&x| x != child);
+        self.mark_dirty(parent);
+        self.push_pending(child);
+        self.mark_dirty(child);
+        // The child's vertices leave the parent's subtree: remove its external
+        // edges from the parent's level and above.
+        let entries: Vec<AdjEntry> = self.clusters[child].neighbors.clone();
+        for e in entries {
+            let qp = self.clusters[e.neighbor].parent;
+            self.remove_edge_upward(parent, qp, e.my_end, e.other_end);
+        }
+    }
+
+    /// Removes the original edge `(my_end, other_end)` from every level where
+    /// it currently connects the two ancestor chains starting at `pa` / `pb`.
+    fn remove_edge_upward(&mut self, mut pa: ClusterId, mut pb: ClusterId, a: Vertex, b: Vertex) {
+        while pa != NIL && pb != NIL && pa != pb {
+            if !self.clusters[pa].alive || !self.clusters[pb].alive {
+                break;
+            }
+            self.remove_adj(pa, a, b);
+            self.remove_adj(pb, b, a);
+            self.mark_dirty(pa);
+            self.mark_dirty(pb);
+            pa = self.clusters[pa].parent;
+            pb = self.clusters[pb].parent;
+        }
+    }
+
+    /// Adds the original edge `(my_end, other_end)` at every level where the
+    /// two ancestor chains starting at `pa` / `pb` are distinct.
+    fn add_edge_upward(&mut self, mut pa: ClusterId, mut pb: ClusterId, a: Vertex, b: Vertex) {
+        while pa != NIL && pb != NIL && pa != pb {
+            self.add_adj(pa, pb, a, b);
+            self.add_adj(pb, pa, b, a);
+            self.mark_dirty(pa);
+            self.mark_dirty(pb);
+            pa = self.clusters[pa].parent;
+            pb = self.clusters[pb].parent;
+        }
+    }
+
+    /// Inserts or deletes the original edge `(u, v)` at every level where the
+    /// two endpoints' ancestors are distinct live clusters.
+    fn apply_edge_all_levels(&mut self, u: Vertex, v: Vertex, delete: bool) {
+        let mut au = u;
+        let mut av = v;
+        while au != NIL && av != NIL && au != av {
+            if delete {
+                self.remove_adj(au, u, v);
+                self.remove_adj(av, v, u);
+            } else {
+                self.add_adj(au, av, u, v);
+                self.add_adj(av, au, v, u);
+            }
+            self.mark_dirty(au);
+            self.mark_dirty(av);
+            au = self.clusters[au].parent;
+            av = self.clusters[av].parent;
+        }
+    }
+
+    fn add_adj(&mut self, c: ClusterId, nbr: ClusterId, my_end: Vertex, other_end: Vertex) {
+        debug_assert!(self.clusters[c].alive);
+        if !self.clusters[c]
+            .neighbors
+            .iter()
+            .any(|e| e.my_end == my_end && e.other_end == other_end)
+        {
+            self.clusters[c].neighbors.push(AdjEntry {
+                neighbor: nbr,
+                my_end,
+                other_end,
+            });
+        } else {
+            // keep the neighbour pointer fresh
+            for e in &mut self.clusters[c].neighbors {
+                if e.my_end == my_end && e.other_end == other_end {
+                    e.neighbor = nbr;
+                }
+            }
+        }
+    }
+
+    fn remove_adj(&mut self, c: ClusterId, my_end: Vertex, other_end: Vertex) {
+        let list = &mut self.clusters[c].neighbors;
+        if let Some(pos) = list
+            .iter()
+            .position(|e| e.my_end == my_end && e.other_end == other_end)
+        {
+            list.swap_remove(pos);
+        }
+    }
+
+    fn push_pending(&mut self, c: ClusterId) {
+        let level = self.clusters[c].level as usize;
+        if self.pending.len() <= level {
+            self.pending.resize_with(level + 1, Vec::new);
+        }
+        self.pending[level].push(c);
+    }
+
+    pub(crate) fn mark_dirty(&mut self, c: ClusterId) {
+        self.dirty.push(c);
+    }
+
+    // ------------------------------------------------------------------
+    // Reclustering (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    fn recluster(&mut self) {
+        let mut level = 0;
+        while level < self.pending.len() {
+            let roots: Vec<ClusterId> = {
+                let bucket = &mut self.pending[level];
+                if bucket.is_empty() {
+                    level += 1;
+                    continue;
+                }
+                std::mem::take(bucket)
+            };
+            let mut roots: Vec<ClusterId> = roots
+                .into_iter()
+                .filter(|&c| {
+                    self.clusters[c].alive
+                        && self.clusters[c].parent == NIL
+                        && self.clusters[c].level as usize == level
+                })
+                .collect();
+            roots.sort_unstable();
+            roots.dedup();
+            if roots.is_empty() {
+                // a later push may refill this level; re-check before moving on
+                if self.pending[level].is_empty() {
+                    level += 1;
+                }
+                continue;
+            }
+            self.recluster_level(level, &roots);
+            // do not advance: the level may have received new pending roots
+            // (e.g. children of clusters deleted while absorbing neighbours)
+        }
+        self.pending.clear();
+    }
+
+    fn recluster_level(&mut self, level: usize, roots: &[ClusterId]) {
+        let mut new_parents: Vec<ClusterId> = Vec::new();
+
+        // Phase A (UFO only): high-degree root clusters absorb all their
+        // degree-1 neighbours.
+        if self.policy == Policy::Ufo {
+            for &x in roots {
+                if !self.is_unparented_root(x, level) || self.clusters[x].degree() < 3 {
+                    continue;
+                }
+                let p = self.new_cluster(level as u32 + 1);
+                self.attach_child(x, p);
+                let nbrs: Vec<ClusterId> = self.clusters[x]
+                    .neighbors
+                    .iter()
+                    .map(|e| e.neighbor)
+                    .collect();
+                for y in nbrs {
+                    if !self.clusters[y].alive || self.clusters[y].degree() != 1 {
+                        continue;
+                    }
+                    if self.clusters[y].parent != NIL {
+                        self.delete_ancestors(y);
+                    }
+                    if self.clusters[y].parent == NIL {
+                        self.attach_child(y, p);
+                    }
+                }
+                new_parents.push(p);
+            }
+        }
+
+        // Phase B: degree-2 (and, for topology trees, degree-3) root clusters
+        // try to pair with an unmerged neighbour.
+        for &x in roots {
+            if !self.is_unparented_root(x, level) {
+                continue;
+            }
+            let dx = self.clusters[x].degree();
+            let pairable = match self.policy {
+                Policy::Ufo => dx == 2,
+                Policy::Topology => dx == 2 || dx == 3,
+            };
+            if !pairable {
+                continue;
+            }
+            let entries: Vec<AdjEntry> = self.clusters[x].neighbors.clone();
+            let mut merged = false;
+            for e in entries {
+                let y = e.neighbor;
+                if !self.clusters[y].alive {
+                    continue;
+                }
+                let dy = self.clusters[y].degree();
+                if !self.pair_allowed(dx, dy) || self.merges(y) {
+                    continue;
+                }
+                if self.clusters[y].parent != NIL {
+                    // y sits alone under a copy parent: join it there
+                    let yp = self.clusters[y].parent;
+                    self.delete_ancestors(yp);
+                    self.attach_to_existing(x, yp);
+                } else {
+                    let p = self.new_cluster(level as u32 + 1);
+                    self.attach_child(x, p);
+                    self.attach_child(y, p);
+                    new_parents.push(p);
+                }
+                merged = true;
+                break;
+            }
+            if !merged {
+                let p = self.new_cluster(level as u32 + 1);
+                self.attach_child(x, p);
+                new_parents.push(p);
+            }
+        }
+
+        // Phase C: degree-1 root clusters.
+        for &x in roots {
+            if !self.is_unparented_root(x, level) || self.clusters[x].degree() != 1 {
+                continue;
+            }
+            let e = self.clusters[x].neighbors[0];
+            let y = e.neighbor;
+            let dy = if self.clusters[y].alive {
+                self.clusters[y].degree()
+            } else {
+                0
+            };
+            if self.clusters[y].alive && self.clusters[y].parent != NIL && !self.merges(y) {
+                let yp = self.clusters[y].parent;
+                self.delete_ancestors(yp);
+                self.attach_to_existing(x, yp);
+            } else if self.clusters[y].alive
+                && self.clusters[y].parent != NIL
+                && dy >= 3
+                && self.policy == Policy::Ufo
+            {
+                // y is a high-degree cluster already merged into its star
+                // parent: x joins that star.
+                let yp = self.clusters[y].parent;
+                self.delete_ancestors(yp);
+                self.attach_to_existing(x, yp);
+            } else if self.clusters[y].alive
+                && self.clusters[y].parent == NIL
+                && self.pair_allowed(1, dy)
+            {
+                let p = self.new_cluster(level as u32 + 1);
+                self.attach_child(x, p);
+                self.attach_child(y, p);
+                new_parents.push(p);
+            } else {
+                let p = self.new_cluster(level as u32 + 1);
+                self.attach_child(x, p);
+                new_parents.push(p);
+            }
+        }
+
+        // Degree-0 root clusters are finished trees: they get no parent.
+
+        // Populate the adjacency lists of the newly created parents.
+        for &p in &new_parents {
+            if !self.clusters[p].alive {
+                continue;
+            }
+            self.populate_parent_adjacency(p);
+            self.mark_dirty(p);
+            self.push_pending(p);
+        }
+    }
+
+    fn is_unparented_root(&self, c: ClusterId, level: usize) -> bool {
+        self.clusters[c].alive
+            && self.clusters[c].parent == NIL
+            && self.clusters[c].level as usize == level
+    }
+
+    fn pair_allowed(&self, da: usize, db: usize) -> bool {
+        match self.policy {
+            Policy::Ufo => (1..=2).contains(&da) && (1..=2).contains(&db),
+            Policy::Topology => {
+                matches!((da.min(db), da.max(db)), (1, 1) | (1, 2) | (2, 2) | (1, 3))
+            }
+        }
+    }
+
+    /// Whether `y` already participates in a genuine merge (its parent has
+    /// more than one child).
+    fn merges(&self, y: ClusterId) -> bool {
+        let p = self.clusters[y].parent;
+        p != NIL && self.clusters[p].fanout() >= 2
+    }
+
+    fn new_cluster(&mut self, level: u32) -> ClusterId {
+        let cluster = Cluster {
+            parent: NIL,
+            level,
+            alive: true,
+            neighbors: Vec::new(),
+            children: Vec::new(),
+            summary: Summary::empty(),
+        };
+        if let Some(id) = self.free.pop() {
+            self.clusters[id] = cluster;
+            id
+        } else {
+            self.clusters.push(cluster);
+            self.clusters.len() - 1
+        }
+    }
+
+    fn attach_child(&mut self, child: ClusterId, parent: ClusterId) {
+        debug_assert_eq!(self.clusters[child].parent, NIL);
+        debug_assert_eq!(
+            self.clusters[child].level + 1,
+            self.clusters[parent].level,
+            "level mismatch while attaching"
+        );
+        self.clusters[child].parent = parent;
+        self.clusters[parent].children.push(child);
+        self.mark_dirty(parent);
+    }
+
+    /// Attaches root cluster `x` to an already-existing parent `p` and fixes
+    /// up the adjacency of `p` (and of `p`'s surviving ancestors) to account
+    /// for `x`'s external edges.
+    fn attach_to_existing(&mut self, x: ClusterId, p: ClusterId) {
+        debug_assert!(self.clusters[p].alive);
+        self.attach_child(x, p);
+        let entries: Vec<AdjEntry> = self.clusters[x].neighbors.clone();
+        for e in entries {
+            let qp = self.clusters[e.neighbor].parent;
+            if qp == p || qp == NIL {
+                continue;
+            }
+            self.add_edge_upward(p, qp, e.my_end, e.other_end);
+        }
+        self.mark_dirty(p);
+    }
+
+    /// Builds the adjacency list of a freshly created parent from its
+    /// children's adjacency, inserting the symmetric entries into neighbouring
+    /// clusters that already exist.
+    fn populate_parent_adjacency(&mut self, p: ClusterId) {
+        let children: Vec<ClusterId> = self.clusters[p].children.clone();
+        for c in children {
+            let entries: Vec<AdjEntry> = self.clusters[c].neighbors.clone();
+            for e in entries {
+                if !self.clusters[e.neighbor].alive {
+                    continue;
+                }
+                let qp = self.clusters[e.neighbor].parent;
+                if qp == p || qp == NIL {
+                    continue;
+                }
+                self.add_adj(p, qp, e.my_end, e.other_end);
+                self.add_adj(qp, p, e.other_end, e.my_end);
+                self.mark_dirty(qp);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Summary maintenance
+    // ------------------------------------------------------------------
+
+    fn refresh_vertex(&mut self, v: Vertex) {
+        self.mark_dirty(v);
+        self.flush_dirty();
+    }
+
+    /// Recomputes the summaries of every dirty cluster and of all their
+    /// ancestors, bottom-up.
+    pub(crate) fn flush_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut work: Vec<ClusterId> = std::mem::take(&mut self.dirty);
+        work.retain(|&c| c < self.clusters.len() && self.clusters[c].alive);
+        work.sort_unstable();
+        work.dedup();
+        // close under ancestors
+        let mut seen: std::collections::HashSet<ClusterId> = work.iter().copied().collect();
+        let mut frontier = work.clone();
+        while let Some(c) = frontier.pop() {
+            let p = self.clusters[c].parent;
+            if p != NIL && self.clusters[p].alive && seen.insert(p) {
+                work.push(p);
+                frontier.push(p);
+            }
+        }
+        work.sort_unstable_by_key(|&c| self.clusters[c].level);
+        for c in work {
+            if self.clusters[c].alive {
+                let s = self.compute_summary(c);
+                self.clusters[c].summary = s;
+            }
+        }
+    }
+
+    fn leaf_summary(&self, v: Vertex) -> Summary {
+        let w = self.weights[v];
+        let phantom = self.phantom[v];
+        Summary {
+            boundary: [v, v],
+            nbound: 1,
+            sub: SubtreeAggregate::vertex(w, phantom),
+            vertices: 1,
+            path: PathAggregate::IDENTITY,
+            ecc: [0, 0],
+            diam: 0,
+            near: if self.marked[v] {
+                [0, 0]
+            } else {
+                [INF_DIST, INF_DIST]
+            },
+        }
+    }
+
+    /// The vertex-weight contribution of `v` to a path aggregate (identity for
+    /// phantom vertices, but the vertex still counts as a hop).
+    pub(crate) fn vertex_path_value(&self, v: Vertex) -> PathAggregate {
+        if self.phantom[v] {
+            PathAggregate::IDENTITY
+        } else {
+            PathAggregate::vertex(self.weights[v])
+        }
+    }
+
+    /// Recomputes the summary of cluster `c` from its children (or from the
+    /// vertex data for leaves).
+    pub(crate) fn compute_summary(&self, c: ClusterId) -> Summary {
+        let cl = &self.clusters[c];
+        // Boundaries come from the cluster's own adjacency.
+        let mut boundary = [NIL, NIL];
+        let mut nbound = 0usize;
+        for e in &cl.neighbors {
+            if !boundary[..nbound].contains(&e.my_end) {
+                if nbound < 2 {
+                    boundary[nbound] = e.my_end;
+                }
+                nbound += 1;
+            }
+        }
+        debug_assert!(
+            nbound <= 2,
+            "cluster {} has {} boundary vertices",
+            c,
+            nbound
+        );
+        let nbound = nbound.min(2);
+
+        if cl.children.is_empty() {
+            // leaf
+            let mut s = self.leaf_summary(c);
+            // a leaf's boundary is always itself
+            s.boundary = [c, c];
+            s.nbound = if nbound == 0 { 1 } else { nbound as u8 };
+            return s;
+        }
+
+        let children = &cl.children;
+        let mut s = Summary::empty();
+        s.boundary = boundary;
+        s.nbound = nbound as u8;
+        for &ch in children {
+            s.sub = SubtreeAggregate::combine(s.sub, self.clusters[ch].summary.sub);
+            s.vertices += self.clusters[ch].summary.vertices;
+        }
+
+        if children.len() == 1 {
+            let ch = &self.clusters[children[0]].summary;
+            s.path = if nbound == 2 { ch.path } else { PathAggregate::IDENTITY };
+            s.diam = ch.diam;
+            for i in 0..nbound {
+                let bi = ch
+                    .boundary_index(s.boundary[i])
+                    .expect("parent boundary must be a child boundary");
+                s.ecc[i] = ch.ecc[bi];
+                s.near[i] = ch.near[bi];
+            }
+            return s;
+        }
+
+        // General case: the children form either a pair or a star (hub plus
+        // attached children).  Identify the hub as the child with the most
+        // internal (sibling) edges; every other child is attached to the hub
+        // by exactly one internal edge.
+        let internal_edges = |child: ClusterId| -> Vec<AdjEntry> {
+            self.clusters[child]
+                .neighbors
+                .iter()
+                .filter(|e| {
+                    self.clusters[e.neighbor].alive && self.clusters[e.neighbor].parent == c
+                })
+                .copied()
+                .collect()
+        };
+        let hub = *children
+            .iter()
+            .max_by_key(|&&ch| internal_edges(ch).len())
+            .unwrap();
+        let hub_sum = &self.clusters[hub].summary;
+        let hub_internal = internal_edges(hub);
+
+        // Locate each parent boundary: either inside the hub, or inside one of
+        // the attached children.  For each boundary we precompute the distance
+        // to every hub boundary vertex and the base (within "its own child +
+        // the hub") eccentricity / nearest-marked distance.
+        struct BoundaryLoc {
+            /// the attached child containing the boundary (NIL if in the hub)
+            child: ClusterId,
+            /// distance from the boundary to each hub boundary vertex
+            d_hub: [u64; 2],
+            ecc: u64,
+            near: u64,
+        }
+        let mut locs: Vec<BoundaryLoc> = Vec::with_capacity(nbound);
+        for i in 0..nbound {
+            let b = s.boundary[i];
+            if let Some(bi) = hub_sum.boundary_index(b) {
+                let mut d_hub = [0u64; 2];
+                for (j, d) in d_hub.iter_mut().enumerate().take(hub_sum.nbound as usize) {
+                    *d = hub_sum.boundary_distance(b, hub_sum.boundary[j]);
+                }
+                locs.push(BoundaryLoc {
+                    child: NIL,
+                    d_hub,
+                    ecc: hub_sum.ecc[bi],
+                    near: hub_sum.near[bi],
+                });
+            } else {
+                // boundary lies in an attached child
+                let (child, e) = hub_internal
+                    .iter()
+                    .find_map(|e| {
+                        let ch = &self.clusters[e.neighbor].summary;
+                        ch.boundary_index(b).map(|_| (e.neighbor, *e))
+                    })
+                    .expect("parent boundary must lie in a child");
+                let ch = &self.clusters[child].summary;
+                let bi = ch.boundary_index(b).unwrap();
+                let y = e.other_end; // attach vertex inside the child
+                let x = e.my_end; // attach vertex inside the hub
+                let d_to_hub_attach = ch.boundary_distance(b, y) + 1;
+                let xi = hub_sum.boundary_index(x).unwrap_or(0);
+                let mut d_hub = [0u64; 2];
+                for (j, d) in d_hub.iter_mut().enumerate().take(hub_sum.nbound as usize) {
+                    *d = d_to_hub_attach + hub_sum.boundary_distance(x, hub_sum.boundary[j]);
+                }
+                locs.push(BoundaryLoc {
+                    child,
+                    d_hub,
+                    ecc: ch.ecc[bi].max(d_to_hub_attach + hub_sum.ecc[xi]),
+                    near: ch.near[bi].min(d_to_hub_attach.saturating_add(hub_sum.near[xi])),
+                });
+            }
+        }
+
+        // Fold the attached children into diameter / eccentricity / nearest.
+        // Diameter bookkeeping: per hub boundary vertex, the two largest
+        // pendant depths of attached children.
+        let mut best_depth: [[u64; 2]; 2] = [[0, 0], [0, 0]];
+        let mut diam = hub_sum.diam;
+        let mut ecc = [0u64; 2];
+        let mut near = [INF_DIST; 2];
+        for i in 0..nbound {
+            ecc[i] = locs[i].ecc;
+            near[i] = locs[i].near;
+        }
+
+        for e in &hub_internal {
+            let child = e.neighbor;
+            if child == hub {
+                continue;
+            }
+            let ch = &self.clusters[child].summary;
+            let attach_hub = e.my_end; // vertex inside the hub
+            let attach_child = e.other_end; // vertex inside the child
+            let ci = ch.boundary_index(attach_child).unwrap_or(0);
+            let depth = 1 + ch.ecc[ci];
+            let near_child = ch.near[ci].saturating_add(1);
+            diam = diam.max(ch.diam);
+            let hi = hub_sum.boundary_index(attach_hub).unwrap_or(0);
+            {
+                let slot = &mut best_depth[hi];
+                if depth > slot[0] {
+                    slot[1] = slot[0];
+                    slot[0] = depth;
+                } else if depth > slot[1] {
+                    slot[1] = depth;
+                }
+                diam = diam.max(depth + hub_sum.ecc[hi]);
+            }
+            for i in 0..nbound {
+                // distance from parent boundary i to the attach vertex on the
+                // hub side (skipping the child containing the boundary itself)
+                if locs[i].child == child {
+                    continue;
+                }
+                let through = locs[i].d_hub[hi];
+                ecc[i] = ecc[i].max(through + depth);
+                near[i] = near[i].min(through.saturating_add(near_child));
+            }
+        }
+        // combine the two deepest pendants at each hub boundary vertex, and
+        // across the hub's two boundary vertices
+        for hi in 0..(hub_sum.nbound as usize) {
+            if best_depth[hi][0] > 0 && best_depth[hi][1] > 0 {
+                diam = diam.max(best_depth[hi][0] + best_depth[hi][1]);
+            }
+        }
+        if hub_sum.nbound == 2 && best_depth[0][0] > 0 && best_depth[1][0] > 0 {
+            diam = diam.max(best_depth[0][0] + hub_sum.path.edges + best_depth[1][0]);
+        }
+        s.diam = diam.max(ecc[..nbound].iter().copied().max().unwrap_or(0));
+        s.ecc = ecc;
+        s.near = near;
+
+        // Cluster path: only meaningful with two boundary vertices.
+        if nbound == 2 {
+            let (b0, b1) = (s.boundary[0], s.boundary[1]);
+            s.path = self.path_between_in_parent(c, hub, &hub_internal, b0, b1);
+        }
+        s
+    }
+
+    /// Aggregate over the vertices strictly between `b0` and `b1`, both of
+    /// which are boundary vertices of the parent `p` whose children are `hub`
+    /// plus the clusters attached to it via `hub_internal`.
+    fn path_between_in_parent(
+        &self,
+        _p: ClusterId,
+        hub: ClusterId,
+        hub_internal: &[AdjEntry],
+        b0: Vertex,
+        b1: Vertex,
+    ) -> PathAggregate {
+        let hub_sum = &self.clusters[hub].summary;
+        let loc = |b: Vertex| -> Option<usize> { hub_sum.boundary_index(b) };
+        match (loc(b0), loc(b1)) {
+            (Some(_), Some(_)) => {
+                // both boundaries are inside the hub: the parent path is the
+                // hub's own cluster path
+                if b0 == b1 {
+                    PathAggregate::IDENTITY
+                } else {
+                    hub_sum.path
+                }
+            }
+            _ => {
+                // One (or both) boundary lies in a non-hub child: the parent
+                // is a pair merge.  Find the children containing b0 / b1 and
+                // stitch their paths through the connecting edge.
+                let find_child = |b: Vertex| -> Option<(ClusterId, AdjEntry)> {
+                    hub_internal.iter().find_map(|e| {
+                        let ch = &self.clusters[e.neighbor].summary;
+                        ch.boundary_index(b).map(|_| (e.neighbor, *e))
+                    })
+                };
+                let inside_child = |child: ClusterId, from: Vertex, to: Vertex| -> PathAggregate {
+                    let cs = &self.clusters[child].summary;
+                    if from == to {
+                        PathAggregate::IDENTITY
+                    } else {
+                        let _ = cs;
+                        cs.path
+                    }
+                };
+                match (loc(b0), find_child(b0), loc(b1), find_child(b1)) {
+                    (Some(_), _, None, Some((c1, e1))) => {
+                        // b0 in hub, b1 in child c1 attached via e1
+                        let x = e1.my_end; // in hub
+                        let y = e1.other_end; // in c1
+                        let mut agg = if b0 == x {
+                            PathAggregate::IDENTITY
+                        } else {
+                            hub_sum.path
+                        };
+                        if x != b0 {
+                            agg = PathAggregate::combine(agg, self.vertex_path_value(x));
+                        }
+                        agg = agg.cross_edge();
+                        if y != b1 {
+                            agg = PathAggregate::combine(agg, self.vertex_path_value(y));
+                            agg = PathAggregate::combine(agg, inside_child(c1, y, b1));
+                        }
+                        agg
+                    }
+                    (None, Some((c0, e0)), Some(_), _) => {
+                        // symmetric case
+                        let x = e0.my_end;
+                        let y = e0.other_end;
+                        let mut agg = if b1 == x {
+                            PathAggregate::IDENTITY
+                        } else {
+                            hub_sum.path
+                        };
+                        if x != b1 {
+                            agg = PathAggregate::combine(agg, self.vertex_path_value(x));
+                        }
+                        agg = agg.cross_edge();
+                        if y != b0 {
+                            agg = PathAggregate::combine(agg, self.vertex_path_value(y));
+                            agg = PathAggregate::combine(agg, inside_child(c0, y, b0));
+                        }
+                        agg
+                    }
+                    (None, Some((c0, e0)), None, Some((c1, e1))) => {
+                        // both boundaries in (distinct) non-hub children:
+                        // b0 .. e0 .. hub .. e1 .. b1
+                        let mut agg = if e0.other_end != b0 {
+                            PathAggregate::combine(
+                                inside_child(c0, b0, e0.other_end),
+                                self.vertex_path_value(e0.other_end),
+                            )
+                        } else {
+                            PathAggregate::IDENTITY
+                        };
+                        agg = agg.cross_edge();
+                        // through the hub from e0.my_end to e1.my_end
+                        agg = PathAggregate::combine(agg, self.vertex_path_value(e0.my_end));
+                        if e0.my_end != e1.my_end {
+                            agg = PathAggregate::combine(agg, hub_sum.path);
+                            agg = PathAggregate::combine(agg, self.vertex_path_value(e1.my_end));
+                        }
+                        agg = agg.cross_edge();
+                        if e1.other_end != b1 {
+                            agg = PathAggregate::combine(agg, self.vertex_path_value(e1.other_end));
+                            agg = PathAggregate::combine(agg, inside_child(c1, e1.other_end, b1));
+                        }
+                        agg
+                    }
+                    _ => PathAggregate::IDENTITY,
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests)
+    // ------------------------------------------------------------------
+
+    /// Exhaustively checks the structural invariants of the hierarchy against
+    /// the ground-truth forest described by the leaf adjacency.  Intended for
+    /// tests on small inputs; cost is O(n · height).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.len();
+        // 1. leaf adjacency is symmetric and defines a forest
+        let mut dsu = vec![usize::MAX; n];
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] == usize::MAX {
+                return x;
+            }
+            let r = find(dsu, dsu[x]);
+            dsu[x] = r;
+            r
+        }
+        for v in 0..n {
+            for e in &self.clusters[v].neighbors {
+                if e.my_end != v {
+                    return Err(format!("leaf {} has entry with my_end {}", v, e.my_end));
+                }
+                let u = e.other_end;
+                if !self.clusters[u]
+                    .neighbors
+                    .iter()
+                    .any(|r| r.my_end == u && r.other_end == v)
+                {
+                    return Err(format!("edge ({},{}) not symmetric", v, u));
+                }
+                if v < u {
+                    let (ru, rv) = (find(&mut dsu, v), find(&mut dsu, u));
+                    if ru == rv {
+                        return Err(format!("cycle detected at edge ({},{})", v, u));
+                    }
+                    dsu[ru] = rv;
+                }
+            }
+        }
+        // 2. parent/child consistency, level synchronisation
+        for (id, c) in self.clusters.iter().enumerate() {
+            if !c.alive {
+                continue;
+            }
+            if c.parent != NIL {
+                let p = &self.clusters[c.parent];
+                if !p.alive {
+                    return Err(format!("cluster {} has dead parent", id));
+                }
+                if p.level != c.level + 1 {
+                    return Err(format!("cluster {} level mismatch with parent", id));
+                }
+                if !p.children.contains(&id) {
+                    return Err(format!("cluster {} missing from parent's children", id));
+                }
+            }
+            for &ch in &c.children {
+                if !self.clusters[ch].alive || self.clusters[ch].parent != id {
+                    return Err(format!("child {} of {} inconsistent", ch, id));
+                }
+            }
+        }
+        // 3. every connected component contracts to a single top cluster and
+        //    membership is consistent
+        for v in 0..n {
+            for e in &self.clusters[v].neighbors {
+                let u = e.other_end;
+                if self.top_cluster(u) != self.top_cluster(v) {
+                    return Err(format!(
+                        "endpoints of edge ({},{}) have different top clusters",
+                        v, u
+                    ));
+                }
+            }
+        }
+        // 4. cluster adjacency at every level matches the ground truth: an
+        //    entry (my_end, other_end) exists at level ℓ iff the leaf edge
+        //    exists and the two ancestors at level ℓ are distinct.
+        for v in 0..n {
+            let leaf_edges: Vec<(usize, usize)> = self.clusters[v]
+                .neighbors
+                .iter()
+                .map(|e| (e.my_end, e.other_end))
+                .collect();
+            for (a, b) in leaf_edges {
+                let mut ca = a;
+                let mut cb = b;
+                loop {
+                    if ca == cb {
+                        break;
+                    }
+                    if !self.clusters[ca]
+                        .neighbors
+                        .iter()
+                        .any(|e| e.my_end == a && e.other_end == b && e.neighbor == cb)
+                    {
+                        return Err(format!(
+                            "edge ({},{}) missing at level {} between clusters {} and {}",
+                            a, b, self.clusters[ca].level, ca, cb
+                        ));
+                    }
+                    let (pa, pb) = (self.clusters[ca].parent, self.clusters[cb].parent);
+                    if pa == NIL || pb == NIL {
+                        if pa != pb {
+                            return Err(format!(
+                                "edge ({},{}): one chain ended before meeting",
+                                a, b
+                            ));
+                        }
+                        break;
+                    }
+                    ca = pa;
+                    cb = pb;
+                }
+            }
+            // no stale entries: every adjacency entry of every ancestor of v
+            // must correspond to a real leaf edge with v's side inside it
+        }
+        for (id, cl) in self.clusters.iter().enumerate() {
+            if !cl.alive {
+                continue;
+            }
+            for e in &cl.neighbors {
+                // the recorded original edge must exist at the leaves
+                if !self.clusters[e.my_end]
+                    .neighbors
+                    .iter()
+                    .any(|l| l.other_end == e.other_end)
+                {
+                    return Err(format!(
+                        "cluster {} has stale edge ({},{})",
+                        id, e.my_end, e.other_end
+                    ));
+                }
+                // my_end must be contained in this cluster, other_end in the neighbour
+                if self.ancestor_at_level(e.my_end, cl.level) != Some(id) {
+                    return Err(format!(
+                        "cluster {} lists edge endpoint {} it does not contain",
+                        id, e.my_end
+                    ));
+                }
+                if self.ancestor_at_level(e.other_end, cl.level) != Some(e.neighbor) {
+                    return Err(format!(
+                        "cluster {} neighbour pointer stale for edge ({},{})",
+                        id, e.my_end, e.other_end
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The ancestor of leaf `v` at `level`, if the chain reaches it.
+    pub fn ancestor_at_level(&self, v: Vertex, level: u32) -> Option<ClusterId> {
+        let mut c = v;
+        loop {
+            if self.clusters[c].level == level {
+                return Some(c);
+            }
+            if self.clusters[c].level > level {
+                return None;
+            }
+            let p = self.clusters[c].parent;
+            if p == NIL {
+                return None;
+            }
+            c = p;
+        }
+    }
+
+    /// The chain of ancestors of `v` from the leaf to the top, inclusive.
+    pub fn ancestor_chain(&self, v: Vertex) -> Vec<ClusterId> {
+        let mut out = vec![v];
+        let mut c = v;
+        while self.clusters[c].parent != NIL {
+            c = self.clusters[c].parent;
+            out.push(c);
+        }
+        out
+    }
+}

@@ -1,0 +1,45 @@
+//! UFO trees — unbounded fan-out parallel batch-dynamic trees.
+//!
+//! This crate is the core of the reproduction: a *contraction forest* engine
+//! that represents each tree of the input forest as a hierarchy of clusters
+//! produced by rounds of tree contraction, exactly as described in Sections 3
+//! and 4 of the paper.  Two merge policies share the engine:
+//!
+//! * [`Policy::Ufo`] — the paper's contribution: degree-1/degree-2 clusters
+//!   merge along a maximal matching and *high-degree clusters absorb all of
+//!   their degree-1 neighbours in one round* (unbounded fan-out), which keeps
+//!   the hierarchy height at `O(min(log n, D))` without ternarization.
+//! * [`Policy::Topology`] — Frederickson's topology trees: only pair merges
+//!   are allowed, and inputs of degree > 3 must be ternarized first (the
+//!   public [`TopologyForest`] wrapper does this via `dyntree_ternary`).
+//!
+//! Updates follow Algorithms 1–2 of the paper (delete the ancestors of the
+//! endpoints, avoiding high-degree/high-fanout clusters, then recluster
+//! bottom-up).  Queries are read-only walks over the hierarchy: connectivity,
+//! vertex-weight path aggregates, subtree aggregates (including
+//! non-invertible ones), component diameter and nearest-marked-vertex
+//! queries.  Batch updates are exposed through [`UfoForest::batch_link`] /
+//! [`UfoForest::batch_cut`] (see `batch.rs` for the parallelisation story and
+//! `DESIGN.md` §4.4 for the deviations from Algorithm 4).
+
+pub mod batch;
+pub mod engine;
+pub mod forest;
+pub mod queries;
+pub mod summary;
+
+pub use engine::{ContractionForest, Policy};
+pub use forest::{TopologyForest, UfoForest};
+pub use summary::{PathAggregate, SubtreeAggregate};
+
+/// Vertex identifier in the represented forest.
+pub type Vertex = usize;
+
+/// Identifier of a cluster in the contraction hierarchy.
+pub type ClusterId = usize;
+
+/// Sentinel meaning "no cluster / no vertex".
+pub const NIL: usize = usize::MAX;
+
+/// Distance value used as "unreachable" in distance summaries.
+pub(crate) const INF_DIST: u64 = u64::MAX / 4;

@@ -1,0 +1,207 @@
+//! Per-cluster summaries (the augmented values maintained during contraction)
+//! and the small aggregate types returned by queries.
+
+use crate::{INF_DIST, NIL};
+
+/// Aggregate over the vertex weights of a path (endpoints inclusive unless
+/// stated otherwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathAggregate {
+    /// Sum of vertex weights.
+    pub sum: i64,
+    /// Minimum vertex weight (`i64::MAX` when empty).
+    pub min: i64,
+    /// Maximum vertex weight (`i64::MIN` when empty).
+    pub max: i64,
+    /// Number of edges on the path.
+    pub edges: u64,
+}
+
+impl PathAggregate {
+    /// Aggregate of an empty path.
+    pub const IDENTITY: PathAggregate = PathAggregate {
+        sum: 0,
+        min: i64::MAX,
+        max: i64::MIN,
+        edges: 0,
+    };
+
+    /// Aggregate of a single vertex of weight `w`.
+    pub fn vertex(w: i64) -> Self {
+        PathAggregate {
+            sum: w,
+            min: w,
+            max: w,
+            edges: 0,
+        }
+    }
+
+    /// Combines two path aggregates (weights combine; edge counts add).
+    pub fn combine(a: Self, b: Self) -> Self {
+        PathAggregate {
+            sum: a.sum + b.sum,
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+            edges: a.edges + b.edges,
+        }
+    }
+
+    /// Adds one edge crossing to the aggregate.
+    pub fn cross_edge(mut self) -> Self {
+        self.edges += 1;
+        self
+    }
+}
+
+/// Aggregate over the vertex weights of a subtree (or whole component).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubtreeAggregate {
+    /// Sum of vertex weights.
+    pub sum: i64,
+    /// Minimum vertex weight (`i64::MAX` when empty).
+    pub min: i64,
+    /// Maximum vertex weight (`i64::MIN` when empty).
+    pub max: i64,
+    /// Number of (non-phantom) vertices.
+    pub count: u64,
+}
+
+impl SubtreeAggregate {
+    /// Aggregate of an empty vertex set.
+    pub const IDENTITY: SubtreeAggregate = SubtreeAggregate {
+        sum: 0,
+        min: i64::MAX,
+        max: i64::MIN,
+        count: 0,
+    };
+
+    /// Aggregate of a single vertex of weight `w` (phantom vertices contribute
+    /// the identity).
+    pub fn vertex(w: i64, phantom: bool) -> Self {
+        if phantom {
+            Self::IDENTITY
+        } else {
+            SubtreeAggregate {
+                sum: w,
+                min: w,
+                max: w,
+                count: 1,
+            }
+        }
+    }
+
+    /// Combines two subtree aggregates.
+    pub fn combine(a: Self, b: Self) -> Self {
+        SubtreeAggregate {
+            sum: a.sum + b.sum,
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+            count: a.count + b.count,
+        }
+    }
+}
+
+/// The augmented values each cluster maintains.
+///
+/// `boundary` holds the cluster's boundary vertices (the endpoints, inside the
+/// cluster, of its external edges).  The paper proves every cluster has at
+/// most two boundary vertices and that high-degree clusters have exactly one;
+/// the engine asserts this in debug builds.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Boundary vertices (`NIL`-padded).
+    pub boundary: [usize; 2],
+    /// Number of valid entries of `boundary` (0, 1 or 2).
+    pub nbound: u8,
+    /// Aggregate over every vertex contained in the cluster.
+    pub sub: SubtreeAggregate,
+    /// Total number of vertices contained (including phantom vertices).
+    pub vertices: u64,
+    /// Aggregate over the vertices strictly between the two boundary vertices
+    /// (identity unless `nbound == 2`); `path.edges` is the number of edges on
+    /// that cluster path.
+    pub path: PathAggregate,
+    /// Eccentricity (max distance in edges to any contained vertex) from each
+    /// boundary vertex.
+    pub ecc: [u64; 2],
+    /// Longest path (in edges) between two vertices contained in the cluster.
+    pub diam: u64,
+    /// Distance from each boundary vertex to the nearest marked vertex inside
+    /// the cluster (`INF_DIST` when none).
+    pub near: [u64; 2],
+}
+
+impl Summary {
+    /// Summary of an empty cluster (used as a starting point for folds).
+    pub fn empty() -> Self {
+        Summary {
+            boundary: [NIL, NIL],
+            nbound: 0,
+            sub: SubtreeAggregate::IDENTITY,
+            vertices: 0,
+            path: PathAggregate::IDENTITY,
+            ecc: [0, 0],
+            diam: 0,
+            near: [INF_DIST, INF_DIST],
+        }
+    }
+
+    /// Index of vertex `v` in the boundary array, if it is a boundary vertex.
+    pub fn boundary_index(&self, v: usize) -> Option<usize> {
+        (0..self.nbound as usize).find(|&i| self.boundary[i] == v)
+    }
+
+    /// Distance (in edges) between two boundary vertices of this cluster.
+    /// Both arguments must be boundary vertices.
+    pub fn boundary_distance(&self, a: usize, b: usize) -> u64 {
+        if a == b {
+            0
+        } else {
+            self.path.edges
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_aggregate_combines() {
+        let a = PathAggregate::vertex(3);
+        let b = PathAggregate::vertex(-1).cross_edge();
+        let c = PathAggregate::combine(a, b);
+        assert_eq!(c.sum, 2);
+        assert_eq!(c.min, -1);
+        assert_eq!(c.max, 3);
+        assert_eq!(c.edges, 1);
+        let d = PathAggregate::combine(c, PathAggregate::IDENTITY);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn subtree_aggregate_combines() {
+        let a = SubtreeAggregate::vertex(5, false);
+        let b = SubtreeAggregate::vertex(100, true); // phantom ignored
+        let c = SubtreeAggregate::combine(a, b);
+        assert_eq!(c.sum, 5);
+        assert_eq!(c.count, 1);
+        let d = SubtreeAggregate::combine(c, SubtreeAggregate::vertex(-2, false));
+        assert_eq!(d.min, -2);
+        assert_eq!(d.max, 5);
+        assert_eq!(d.count, 2);
+    }
+
+    #[test]
+    fn summary_boundary_helpers() {
+        let mut s = Summary::empty();
+        s.boundary = [7, 9];
+        s.nbound = 2;
+        s.path.edges = 4;
+        assert_eq!(s.boundary_index(7), Some(0));
+        assert_eq!(s.boundary_index(9), Some(1));
+        assert_eq!(s.boundary_index(8), None);
+        assert_eq!(s.boundary_distance(7, 7), 0);
+        assert_eq!(s.boundary_distance(7, 9), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic tree generators used by Figures 5, 7, 8 and 9 of the paper:
+//! paths, perfect binary trees, perfect k-ary trees, stars, dandelions,
+//! random degree-3 trees, unbounded-degree random trees and preferential
+//! attachment trees.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::Forest;
+
+/// The synthetic tree families of the evaluation, in the order the paper's
+/// figures list them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyntheticTree {
+    /// A path on `n` vertices (maximum diameter).
+    Path,
+    /// A perfect binary tree.
+    Binary,
+    /// A perfect 64-ary tree.
+    KAry64,
+    /// A star: one centre adjacent to all other vertices (diameter 2).
+    Star,
+    /// A dandelion: a path whose last vertex is the centre of a star.
+    Dandelion,
+    /// A random tree with maximum degree 3.
+    Random3,
+    /// A uniformly random recursive tree (unbounded degree).
+    Random,
+    /// A preferential attachment tree.
+    PrefAttach,
+}
+
+impl SyntheticTree {
+    /// All families, in figure order.
+    pub const ALL: [SyntheticTree; 8] = [
+        SyntheticTree::Path,
+        SyntheticTree::Binary,
+        SyntheticTree::KAry64,
+        SyntheticTree::Star,
+        SyntheticTree::Dandelion,
+        SyntheticTree::Random3,
+        SyntheticTree::Random,
+        SyntheticTree::PrefAttach,
+    ];
+
+    /// Short label used in benchmark output (matches the paper's x-axis).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyntheticTree::Path => "Path",
+            SyntheticTree::Binary => "Binary",
+            SyntheticTree::KAry64 => "64-ary",
+            SyntheticTree::Star => "Star",
+            SyntheticTree::Dandelion => "Dand",
+            SyntheticTree::Random3 => "Random3",
+            SyntheticTree::Random => "Random",
+            SyntheticTree::PrefAttach => "P-Attach",
+        }
+    }
+
+    /// Generates an instance of this family with `n` vertices.
+    pub fn generate(&self, n: usize, seed: u64) -> Forest {
+        match self {
+            SyntheticTree::Path => path_tree(n),
+            SyntheticTree::Binary => binary_tree(n),
+            SyntheticTree::KAry64 => kary_tree(n, 64),
+            SyntheticTree::Star => star_tree(n),
+            SyntheticTree::Dandelion => dandelion(n),
+            SyntheticTree::Random3 => random_tree_degree3(n, seed),
+            SyntheticTree::Random => random_tree(n, seed),
+            SyntheticTree::PrefAttach => preferential_attachment_tree(n, seed),
+        }
+    }
+}
+
+/// A path `0 - 1 - 2 - ... - (n-1)`.
+pub fn path_tree(n: usize) -> Forest {
+    let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Forest { n, edges }
+}
+
+/// A perfect binary tree laid out in heap order.
+pub fn binary_tree(n: usize) -> Forest {
+    kary_tree(n, 2)
+}
+
+/// A perfect `k`-ary tree laid out in heap order (vertex `i > 0` is attached
+/// to `(i - 1) / k`).
+pub fn kary_tree(n: usize, k: usize) -> Forest {
+    assert!(k >= 1);
+    let edges = (1..n).map(|i| ((i - 1) / k, i)).collect();
+    Forest { n, edges }
+}
+
+/// A star with centre `0`.
+pub fn star_tree(n: usize) -> Forest {
+    let edges = (1..n).map(|i| (0, i)).collect();
+    Forest { n, edges }
+}
+
+/// A dandelion: the first `n / 2` vertices form a path (the stem) and the
+/// remaining vertices attach to the end of the stem as leaves (the head).
+/// This mixes a high-diameter part with a very high degree vertex, which is
+/// exactly the case ternarization-based structures struggle with.
+pub fn dandelion(n: usize) -> Forest {
+    if n <= 2 {
+        return path_tree(n);
+    }
+    let stem = n / 2;
+    let mut edges: Vec<(usize, usize)> = (0..stem - 1).map(|i| (i, i + 1)).collect();
+    for v in stem..n {
+        edges.push((stem - 1, v));
+    }
+    Forest { n, edges }
+}
+
+/// A uniformly random recursive tree: vertex `i` attaches to a uniformly
+/// random earlier vertex.  Labels are then randomly permuted so vertex ids
+/// carry no structural information.
+pub fn random_tree(n: usize, seed: u64) -> Forest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        edges.push((j, i));
+    }
+    permute_labels(Forest { n, edges }, &mut rng)
+}
+
+/// A random tree in which every vertex has degree at most 3.
+pub fn random_tree_degree3(n: usize, seed: u64) -> Forest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut degree = vec![0usize; n];
+    // Vertices that can still accept an extra edge.
+    let mut available: Vec<usize> = vec![0];
+    for i in 1..n {
+        let slot = rng.random_range(0..available.len());
+        let j = available[slot];
+        edges.push((j, i));
+        degree[j] += 1;
+        degree[i] += 1;
+        if degree[j] >= 3 {
+            available.swap_remove(slot);
+        }
+        if degree[i] < 3 {
+            available.push(i);
+        }
+    }
+    permute_labels(Forest { n, edges }, &mut rng)
+}
+
+/// A preferential attachment tree: vertex `i` attaches to an earlier vertex
+/// with probability proportional to its current degree.
+pub fn preferential_attachment_tree(n: usize, seed: u64) -> Forest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    // endpoint multiset: each edge contributes both endpoints, so sampling a
+    // uniform entry is degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * n);
+    for i in 1..n {
+        let j = if endpoints.is_empty() {
+            0
+        } else if rng.random_bool(0.1) {
+            // small uniform component keeps early vertices from starving
+            rng.random_range(0..i)
+        } else {
+            endpoints[rng.random_range(0..endpoints.len())]
+        };
+        edges.push((j, i));
+        endpoints.push(j);
+        endpoints.push(i);
+    }
+    permute_labels(Forest { n, edges }, &mut rng)
+}
+
+/// Randomly relabels the vertices of a forest.
+pub(crate) fn permute_labels(forest: Forest, rng: &mut StdRng) -> Forest {
+    let mut perm: Vec<usize> = (0..forest.n).collect();
+    perm.shuffle(rng);
+    let edges = forest
+        .edges
+        .into_iter()
+        .map(|(u, v)| (perm[u], perm[v]))
+        .collect();
+    Forest {
+        n: forest.n,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_are_forests() {
+        for family in SyntheticTree::ALL {
+            let f = family.generate(500, 7);
+            assert!(f.is_forest(), "{:?} generated a non-forest", family);
+            assert_eq!(f.edges.len(), 499, "{:?} edge count", family);
+        }
+    }
+
+    #[test]
+    fn degree3_respects_bound() {
+        let f = random_tree_degree3(2000, 3);
+        assert!(f.max_degree() <= 3);
+        assert!(f.is_forest());
+    }
+
+    #[test]
+    fn star_and_path_diameters() {
+        assert_eq!(path_tree(100).diameter(), 99);
+        assert_eq!(star_tree(100).diameter(), 2);
+        assert!(binary_tree(127).diameter() <= 14);
+        assert!(kary_tree(1000, 64).diameter() <= 6);
+    }
+
+    #[test]
+    fn dandelion_shape() {
+        let f = dandelion(100);
+        assert!(f.is_forest());
+        assert_eq!(f.max_degree(), 51);
+        assert!(f.diameter() >= 49);
+    }
+
+    #[test]
+    fn preferential_attachment_has_hubs() {
+        let f = preferential_attachment_tree(5000, 11);
+        assert!(f.is_forest());
+        assert!(f.max_degree() >= 10, "expected a hub, got {}", f.max_degree());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_tree(1000, 42);
+        let b = random_tree(1000, 42);
+        assert_eq!(a.edges, b.edges);
+        let c = random_tree(1000, 43);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for family in SyntheticTree::ALL {
+            for n in [0usize, 1, 2, 3] {
+                let f = family.generate(n, 1);
+                assert!(f.is_forest());
+                assert_eq!(f.edges.len(), n.saturating_sub(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic stand-ins for the real-world graphs of Table 2.
+//!
+//! The paper's evaluation extracts BFS and random-incremental spanning forests
+//! from four real graphs (USA roads, English Wikipedia, StackOverflow
+//! temporal, Twitter).  Those datasets are not shipped with this repository;
+//! what the evaluation actually exercises is their *structure*: a
+//! high-diameter, low-degree road network versus low-diameter, heavy-tailed
+//! web/social networks.  The generators below produce graphs with those
+//! profiles at laptop scale (the substitution is recorded in `DESIGN.md` §5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Edge;
+
+/// An undirected multigraph-free graph given by an edge list.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Undirected edges, deduplicated, no self loops.
+    pub edges: Vec<Edge>,
+    /// Human-readable name used by the benchmark harness.
+    pub name: &'static str,
+}
+
+impl Graph {
+    /// Adjacency-list view.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        adj
+    }
+}
+
+/// A road-network stand-in: a `side x side` 2-D grid with a small fraction of
+/// edges removed.  High diameter, maximum degree 4 — the same profile as the
+/// USA road network.
+pub fn road_grid_graph(side: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = side * side;
+    let idx = |r: usize, c: usize| r * side + c;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side && rng.random_bool(0.97) {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < side && rng.random_bool(0.97) {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph {
+        n,
+        edges,
+        name: "ROAD",
+    }
+}
+
+/// A web-graph stand-in: RMAT-style recursive matrix generator with skewed
+/// quadrant probabilities, producing a heavy-tailed degree distribution and a
+/// low-diameter giant component (the ENWiki profile).
+pub fn power_law_graph(scale: u32, avg_degree: usize, seed: u64) -> Graph {
+    rmat(scale, avg_degree, [0.57, 0.19, 0.19, 0.05], seed, "WEB")
+}
+
+/// A social-network stand-in with an even more skewed RMAT parameterisation
+/// (the Twitter profile).
+pub fn social_rmat_graph(scale: u32, avg_degree: usize, seed: u64) -> Graph {
+    rmat(scale, avg_degree, [0.65, 0.15, 0.15, 0.05], seed, "SOC")
+}
+
+/// A temporal-interaction stand-in: preferential attachment where each new
+/// vertex posts several interactions to existing popular vertices (the
+/// StackOverflow profile).
+pub fn temporal_graph(n: usize, edges_per_vertex: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut endpoints: Vec<usize> = vec![0];
+    let mut edges = Vec::with_capacity(n * edges_per_vertex);
+    for v in 1..n {
+        for _ in 0..edges_per_vertex {
+            let target = if rng.random_bool(0.2) {
+                rng.random_range(0..v)
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())]
+            };
+            if target != v {
+                edges.push((target.min(v), target.max(v)));
+                endpoints.push(target);
+            }
+        }
+        endpoints.push(v);
+    }
+    dedupe(n, edges, "TEMP")
+}
+
+fn rmat(scale: u32, avg_degree: usize, p: [f64; 4], seed: u64, name: &'static str) -> Graph {
+    let n = 1usize << scale;
+    let m = n * avg_degree;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    let cum = [p[0], p[0] + p[1], p[0] + p[1] + p[2]];
+    for _ in 0..m {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        while hi_u - lo_u > 1 {
+            let r: f64 = rng.random();
+            let (du, dv) = if r < cum[0] {
+                (0, 0)
+            } else if r < cum[1] {
+                (0, 1)
+            } else if r < cum[2] {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if du == 0 {
+                hi_u = mid_u;
+            } else {
+                lo_u = mid_u;
+            }
+            if dv == 0 {
+                hi_v = mid_v;
+            } else {
+                lo_v = mid_v;
+            }
+        }
+        let (u, v) = (lo_u, lo_v);
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    dedupe(n, edges, name)
+}
+
+fn dedupe(n: usize, mut edges: Vec<Edge>, name: &'static str) -> Graph {
+    edges.sort_unstable();
+    edges.dedup();
+    Graph { n, edges, name }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_low_degree() {
+        let g = road_grid_graph(30, 1);
+        assert_eq!(g.n, 900);
+        let adj = g.adjacency();
+        assert!(adj.iter().all(|a| a.len() <= 4));
+        assert!(g.edges.len() > 1500);
+    }
+
+    #[test]
+    fn rmat_has_heavy_tail() {
+        let g = power_law_graph(12, 8, 2);
+        let adj = g.adjacency();
+        let max_deg = adj.iter().map(|a| a.len()).max().unwrap();
+        assert!(max_deg > 100, "expected a hub, got max degree {}", max_deg);
+    }
+
+    #[test]
+    fn graphs_have_no_self_loops_or_duplicates() {
+        for g in [
+            road_grid_graph(20, 3),
+            power_law_graph(10, 6, 3),
+            social_rmat_graph(10, 6, 3),
+            temporal_graph(2000, 4, 3),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in &g.edges {
+                assert_ne!(u, v, "{}: self loop", g.name);
+                assert!(u < g.n && v < g.n, "{}: vertex out of range", g.name);
+                assert!(seen.insert((u, v)), "{}: duplicate edge", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = temporal_graph(1000, 3, 7);
+        let b = temporal_graph(1000, 3, 7);
+        assert_eq!(a.edges, b.edges);
+    }
+}

@@ -1,0 +1,148 @@
+//! Workload generators reproducing the inputs of the paper's evaluation
+//! (Section 6): synthetic trees of varying diameter, Zipf-attachment trees for
+//! the diameter sweep, and synthetic stand-ins for the real-world graphs of
+//! Table 2 from which BFS and random-incremental spanning forests are
+//! extracted.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod forests;
+pub mod graphs;
+pub mod spanning;
+pub mod zipf;
+
+pub use forests::{
+    binary_tree, dandelion, kary_tree, path_tree, preferential_attachment_tree, random_tree,
+    random_tree_degree3, star_tree, SyntheticTree,
+};
+pub use graphs::{power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph, Graph};
+pub use spanning::{bfs_forest, ris_forest};
+pub use zipf::{zipf_tree, ZipfSampler};
+
+/// An edge of a generated tree or graph.
+pub type Edge = (usize, usize);
+
+/// A generated forest: number of vertices plus its edge list.
+#[derive(Clone, Debug)]
+pub struct Forest {
+    /// Number of vertices (`0..n`).
+    pub n: usize,
+    /// Edges of the forest (no duplicates, no self-loops, acyclic).
+    pub edges: Vec<Edge>,
+}
+
+impl Forest {
+    /// Diameter (in edges) of the largest component, computed by double BFS.
+    /// Intended for tests and reporting, not for hot paths.
+    pub fn diameter(&self) -> usize {
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.n];
+        let mut best = 0;
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            // first BFS finds the farthest vertex and marks the component
+            let (far, _) = bfs_far(&adj, s, Some(&mut seen));
+            let (_, d) = bfs_far(&adj, far, None);
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// Builds an adjacency-list view of the forest.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        adj
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency().iter().map(|a| a.len()).max().unwrap_or(0)
+    }
+
+    /// Asserts that the edge list really is a forest (used by tests).
+    pub fn is_forest(&self) -> bool {
+        let mut dsu = dyntree_primitives_dsu::Dsu::new(self.n);
+        self.edges.iter().all(|&(u, v)| u != v && dsu.union(u, v))
+    }
+}
+
+// Small shim so this crate does not need a hard dependency on the primitives
+// crate just for the forest validity check.
+mod dyntree_primitives_dsu {
+    pub struct Dsu {
+        parent: Vec<usize>,
+    }
+    impl Dsu {
+        pub fn new(n: usize) -> Self {
+            Self {
+                parent: (0..n).collect(),
+            }
+        }
+        fn find(&mut self, x: usize) -> usize {
+            if self.parent[x] != x {
+                let r = self.find(self.parent[x]);
+                self.parent[x] = r;
+            }
+            self.parent[x]
+        }
+        pub fn union(&mut self, a: usize, b: usize) -> bool {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                return false;
+            }
+            self.parent[ra] = rb;
+            true
+        }
+    }
+}
+
+fn bfs_far(adj: &[Vec<usize>], start: usize, mut seen: Option<&mut Vec<bool>>) -> (usize, usize) {
+    use std::collections::VecDeque;
+    let mut dist = vec![usize::MAX; adj.len()];
+    dist[start] = 0;
+    if let Some(seen) = seen.as_deref_mut() {
+        seen[start] = true;
+    }
+    let mut q = VecDeque::from([start]);
+    let mut best = (start, 0);
+    while let Some(x) = q.pop_front() {
+        if dist[x] > best.1 {
+            best = (x, dist[x]);
+        }
+        for &y in &adj[x] {
+            if dist[y] == usize::MAX {
+                dist[y] = dist[x] + 1;
+                if let Some(seen) = seen.as_deref_mut() {
+                    seen[y] = true;
+                }
+                q.push_back(y);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_diameter_of_path() {
+        let f = path_tree(10);
+        assert_eq!(f.diameter(), 9);
+        assert!(f.is_forest());
+    }
+
+    #[test]
+    fn forest_diameter_of_star() {
+        let f = star_tree(10);
+        assert_eq!(f.diameter(), 2);
+        assert_eq!(f.max_degree(), 9);
+    }
+}

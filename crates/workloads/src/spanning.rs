@@ -1,0 +1,113 @@
+//! Spanning forest extraction, matching the paper's two regimes:
+//! breadth-first spanning forests (BFS) and random-incremental spanning
+//! forests (RIS).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Forest, Graph};
+
+/// Breadth-first spanning forest of `graph`, starting each component's BFS at
+/// a random vertex.  BFS forests of low-diameter graphs are themselves
+/// low-diameter, which is exactly the property Figure 5/8 exploit.
+pub fn bfs_forest(graph: &Graph, seed: u64) -> Forest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let adj = graph.adjacency();
+    let n = graph.n;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut visited = vec![false; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for &start in &order {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut q = VecDeque::from([start]);
+        while let Some(x) = q.pop_front() {
+            for &y in &adj[x] {
+                if !visited[y] {
+                    visited[y] = true;
+                    edges.push((x, y));
+                    q.push_back(y);
+                }
+            }
+        }
+    }
+    Forest { n, edges }
+}
+
+/// Random incremental spanning forest: insert the graph's edges in a random
+/// order and keep each edge whose endpoints are not yet connected.
+pub fn ris_forest(graph: &Graph, seed: u64) -> Forest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..graph.edges.len()).collect();
+    order.shuffle(&mut rng);
+    let mut parent: Vec<usize> = (0..graph.n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut edges = Vec::with_capacity(graph.n.saturating_sub(1));
+    for idx in order {
+        let (u, v) = graph.edges[idx];
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            // randomised union keeps the forest's shape unbiased
+            if rng.random_bool(0.5) {
+                parent[ru] = rv;
+            } else {
+                parent[rv] = ru;
+            }
+            edges.push((u, v));
+        }
+    }
+    Forest { n: graph.n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{power_law_graph, road_grid_graph};
+
+    #[test]
+    fn bfs_forest_is_spanning() {
+        let g = road_grid_graph(20, 1);
+        let f = bfs_forest(&g, 2);
+        assert!(f.is_forest());
+        // the grid (with 97% edge retention) is essentially connected: the
+        // forest should cover almost every vertex
+        assert!(f.edges.len() >= g.n - 10);
+    }
+
+    #[test]
+    fn ris_forest_is_spanning() {
+        let g = power_law_graph(10, 8, 4);
+        let f = ris_forest(&g, 5);
+        assert!(f.is_forest());
+        assert!(!f.edges.is_empty());
+    }
+
+    #[test]
+    fn bfs_forest_of_low_diameter_graph_is_shallow() {
+        let g = power_law_graph(12, 16, 6);
+        let f = bfs_forest(&g, 7);
+        assert!(f.is_forest());
+        // BFS trees have depth = eccentricity of the root; a power-law graph's
+        // giant component has tiny diameter.
+        assert!(f.diameter() < 40, "diameter {}", f.diameter());
+    }
+
+    #[test]
+    fn spanning_forests_are_deterministic() {
+        let g = road_grid_graph(15, 9);
+        assert_eq!(bfs_forest(&g, 3).edges, bfs_forest(&g, 3).edges);
+        assert_eq!(ris_forest(&g, 3).edges, ris_forest(&g, 3).edges);
+    }
+}

@@ -1,0 +1,124 @@
+//! Zipf-attachment trees for the diameter-sweep experiment (Figure 6 and
+//! Figure 16 of the paper).
+//!
+//! The paper generates trees by having node `i` pick a target in `[0, i)`
+//! according to a Zipf distribution with parameter `alpha` and then randomly
+//! permuting node ids.  As `alpha` grows, attachment concentrates on the
+//! lowest-numbered vertices and the diameter shrinks towards a star.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::forests::permute_labels;
+use crate::Forest;
+
+/// Samples targets `j ∈ [0, limit)` with probability proportional to
+/// `1 / (j + 1)^alpha` using a precomputed prefix-sum table and binary search.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    prefix: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler able to draw targets below any `limit <= max_n`.
+    pub fn new(max_n: usize, alpha: f64) -> Self {
+        let mut prefix = Vec::with_capacity(max_n + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for j in 0..max_n {
+            acc += 1.0 / ((j + 1) as f64).powf(alpha);
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    /// Draws a target in `[0, limit)`.
+    pub fn sample(&self, limit: usize, rng: &mut StdRng) -> usize {
+        assert!(limit >= 1 && limit < self.prefix.len());
+        let total = self.prefix[limit];
+        let r: f64 = rng.random_range(0.0..total);
+        // Find the smallest j with prefix[j + 1] > r.
+        let mut lo = 0usize;
+        let mut hi = limit - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.prefix[mid + 1] > r {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+/// Generates the diameter-sweep tree with `n` vertices and Zipf parameter
+/// `alpha` (α = 0 behaves like a uniformly random recursive tree; large α
+/// approaches a star).
+pub fn zipf_tree(n: usize, alpha: f64, seed: u64) -> Forest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if n <= 1 {
+        return Forest {
+            n,
+            edges: Vec::new(),
+        };
+    }
+    let sampler = ZipfSampler::new(n, alpha);
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        let j = sampler.sample(i, &mut rng);
+        edges.push((j, i));
+    }
+    permute_labels(Forest { n, edges }, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_trees_are_forests() {
+        for alpha in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            let f = zipf_tree(2000, alpha, 5);
+            assert!(f.is_forest());
+            assert_eq!(f.edges.len(), 1999);
+        }
+    }
+
+    #[test]
+    fn diameter_decreases_with_alpha() {
+        let low = zipf_tree(5000, 0.0, 9).diameter();
+        let high = zipf_tree(5000, 2.5, 9).diameter();
+        assert!(
+            high < low,
+            "expected diameter to shrink with alpha: {} vs {}",
+            high,
+            low
+        );
+        assert!(high <= 10, "alpha = 2.5 should be close to a star: {}", high);
+    }
+
+    #[test]
+    fn sampler_respects_limit() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for limit in 1..100 {
+            for _ in 0..10 {
+                assert!(sampler.sample(limit, &mut rng) < limit);
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_biased_toward_small_targets() {
+        let sampler = ZipfSampler::new(1000, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zero_count = 0;
+        for _ in 0..1000 {
+            if sampler.sample(1000, &mut rng) == 0 {
+                zero_count += 1;
+            }
+        }
+        assert!(zero_count > 400, "alpha = 2 should mostly pick 0: {}", zero_count);
+    }
+}

@@ -1,0 +1,57 @@
+//! Batch-dynamic streaming: ingest a stream of edge batches (the Figure 8 /
+//! Figure 9 workload shape) into a UFO forest and a batch Euler tour forest,
+//! answering batch connectivity queries between batches.
+//!
+//! Run with: `cargo run --release --example batch_streaming`
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ufo_trees::seqs::TreapSequence;
+use ufo_trees::workloads::preferential_attachment_tree;
+use ufo_trees::{BatchEulerForest, UfoForest};
+
+fn main() {
+    let n = 100_000;
+    let batch_size = 10_000;
+    let tree = preferential_attachment_tree(n, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut edges = tree.edges.clone();
+    edges.shuffle(&mut rng);
+
+    let mut ufo = UfoForest::new(n);
+    let mut ett = BatchEulerForest::<TreapSequence>::new(n);
+
+    println!("streaming {} edges in batches of {}", edges.len(), batch_size);
+    let start = Instant::now();
+    for (i, batch) in edges.chunks(batch_size).enumerate() {
+        let t0 = Instant::now();
+        let a = ufo.batch_link(batch);
+        let t1 = Instant::now();
+        let b = ett.batch_link(batch);
+        let t2 = Instant::now();
+        // between batches, fire a burst of connectivity queries
+        let queries: Vec<(usize, usize)> = (0..1_000)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let ufo_answers = ufo.batch_connected(&queries);
+        let ett_answers = ett.batch_connected(&queries);
+        assert_eq!(ufo_answers, ett_answers, "batch {} answers disagree", i);
+        println!(
+            "batch {:>3}: ufo {:>4} edges in {:>7.2?} | ett {:>4} edges in {:>7.2?} | {} queries agree",
+            i,
+            a,
+            t1 - t0,
+            b,
+            t2 - t1,
+            queries.len()
+        );
+    }
+    println!(
+        "done in {:.2?}; components left: {} (UFO), {} tree edges",
+        start.elapsed(),
+        n - ufo.num_edges(),
+        ufo.num_edges()
+    );
+}

@@ -1,0 +1,65 @@
+//! Network monitoring: maintain a spanning tree of a road-like network under
+//! link failures and repairs while answering bottleneck path queries.
+//!
+//! This mirrors the motivation in the paper's introduction — dynamic trees as
+//! the building block for connectivity and path queries over an evolving
+//! network — and exercises the UFO forest against the link-cut baseline on the
+//! same operation stream.
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ufo_trees::workloads::{bfs_forest, road_grid_graph};
+use ufo_trees::{LinkCutForest, UfoForest};
+
+fn main() {
+    let side = 60;
+    let graph = road_grid_graph(side, 42);
+    let forest = bfs_forest(&graph, 7);
+    let n = forest.n;
+    println!("road network stand-in: {} vertices, spanning forest of {} edges", n, forest.edges.len());
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut ufo = UfoForest::new(n);
+    let mut lct = LinkCutForest::new(n);
+    for v in 0..n {
+        let latency = rng.random_range(1..100);
+        ufo.set_weight(v, latency);
+        lct.set_weight(v, latency);
+    }
+    for &(u, v) in &forest.edges {
+        ufo.link(u, v);
+        lct.link(u, v);
+    }
+
+    // Simulate failures and repairs with interleaved path queries.
+    let rounds = 2_000;
+    let start = Instant::now();
+    let mut agreement = 0;
+    for _ in 0..rounds {
+        let idx = rng.random_range(0..forest.edges.len());
+        let (u, v) = forest.edges[idx];
+        // fail the link, query, repair the link
+        ufo.cut(u, v);
+        lct.cut(u, v);
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        let ufo_answer = ufo.path_sum(a, b);
+        let lct_answer = lct.path_sum(a, b);
+        assert_eq!(ufo_answer, lct_answer, "structures disagree on path ({a},{b})");
+        if ufo_answer.is_some() {
+            agreement += 1;
+        }
+        ufo.link(u, v);
+        lct.link(u, v);
+    }
+    println!(
+        "{} failure/repair rounds with path queries in {:.3}s ({} queries answered, UFO and link-cut agree on all of them)",
+        rounds,
+        start.elapsed().as_secs_f64(),
+        agreement
+    );
+    println!("network diameter (hops): {}", ufo.component_diameter(0));
+}

@@ -1,0 +1,122 @@
+//! The operation/feature matrix of Table 1, generated from the structures
+//! this repository actually implements.
+
+/// The capabilities of one dynamic-tree structure (one row of Table 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capability {
+    /// Structure name as used in the paper's tables.
+    pub name: &'static str,
+    /// Asymptotic sequential update cost (as proven in the paper).
+    pub update_cost: &'static str,
+    /// Whether the input must be ternarized first.
+    pub ternarized: bool,
+    /// Whether batch-parallel updates are supported.
+    pub parallel_updates: bool,
+    /// Whether read-only queries can run in parallel.
+    pub parallel_queries: bool,
+    /// Subtree queries supported.
+    pub subtree_queries: bool,
+    /// Path queries supported.
+    pub path_queries: bool,
+    /// Non-local queries (diameter, nearest marked vertex, ...) supported.
+    pub non_local_queries: bool,
+}
+
+/// Returns one row per structure implemented in this repository, mirroring
+/// Table 1 of the paper.
+pub fn capability_matrix() -> Vec<Capability> {
+    vec![
+        Capability {
+            name: "Link-cut tree",
+            update_cost: "O(min{log n, D^2}) amortized",
+            ternarized: false,
+            parallel_updates: false,
+            parallel_queries: false,
+            subtree_queries: false,
+            path_queries: true,
+            non_local_queries: false,
+        },
+        Capability {
+            name: "Euler tour tree",
+            update_cost: "O(log n)",
+            ternarized: false,
+            parallel_updates: true,
+            parallel_queries: false,
+            subtree_queries: true,
+            path_queries: false,
+            non_local_queries: false,
+        },
+        Capability {
+            name: "Topology tree",
+            update_cost: "O(log n)",
+            ternarized: true,
+            parallel_updates: true,
+            parallel_queries: true,
+            subtree_queries: true,
+            path_queries: true,
+            non_local_queries: true,
+        },
+        Capability {
+            name: "UFO tree",
+            update_cost: "O(min{log n, D})",
+            ternarized: false,
+            parallel_updates: true,
+            parallel_queries: true,
+            subtree_queries: true,
+            path_queries: true,
+            non_local_queries: true,
+        },
+    ]
+}
+
+/// Renders the capability matrix as an aligned text table (used by the
+/// `table1` benchmark binary).
+pub fn render_matrix() -> String {
+    let rows = capability_matrix();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9}\n",
+        "Structure", "Update cost", "Ternar", "ParUpd", "ParQry", "Subtree", "Path", "Non-local"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9}\n",
+            r.name,
+            r.update_cost,
+            tick(r.ternarized),
+            tick(r.parallel_updates),
+            tick(r.parallel_queries),
+            tick(r.subtree_queries),
+            tick(r.path_queries),
+            tick(r.non_local_queries),
+        ));
+    }
+    out
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_table1_shape() {
+        let rows = capability_matrix();
+        assert_eq!(rows.len(), 4);
+        let ufo = rows.iter().find(|r| r.name == "UFO tree").unwrap();
+        assert!(ufo.path_queries && ufo.subtree_queries && ufo.non_local_queries);
+        assert!(!ufo.ternarized);
+        let lct = rows.iter().find(|r| r.name == "Link-cut tree").unwrap();
+        assert!(lct.path_queries && !lct.subtree_queries);
+        let render = render_matrix();
+        assert!(render.contains("UFO tree"));
+        assert!(render.lines().count() >= 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! # UFO Trees — practical and provably-efficient parallel batch-dynamic trees
+//!
+//! This is the umbrella crate of the reproduction of *"UFO Trees: Practical
+//! and Provably-Efficient Parallel Batch-Dynamic Trees"* (PPoPP 2026).  It
+//! re-exports every component of the workspace under one roof:
+//!
+//! * [`UfoForest`] — the paper's contribution: a dynamic-trees structure based
+//!   on tree contraction with unbounded fan-out merges.  Supports link/cut,
+//!   connectivity, path aggregates, subtree aggregates, diameter and
+//!   nearest-marked-vertex queries, plus batch updates and parallel batch
+//!   queries.
+//! * [`TopologyForest`] — topology trees (pair merges + dynamic
+//!   ternarization), sharing the same contraction engine.
+//! * [`LinkCutForest`] — splay-based link-cut trees, the strongest sequential
+//!   baseline.
+//! * [`TreapEulerForest`] / [`SplayEulerForest`] / [`BatchEulerForest`] —
+//!   Euler tour trees over pluggable sequence backends.
+//! * [`NaiveForest`] — an O(n)-per-operation oracle used by the test suite.
+//! * [`workloads`] — every input generator of the paper's evaluation.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduction of each table and figure.
+
+pub use dyntree_euler as euler;
+pub use dyntree_linkcut as linkcut;
+pub use dyntree_naive as naive;
+pub use dyntree_primitives as primitives;
+pub use dyntree_seqs as seqs;
+pub use dyntree_ternary as ternary;
+pub use dyntree_workloads as workloads;
+pub use ufo_forest as ufo;
+
+pub use dyntree_euler::{BatchEulerForest, EulerTourForest, SplayEulerForest, TreapEulerForest};
+pub use dyntree_linkcut::LinkCutForest;
+pub use dyntree_naive::NaiveForest;
+pub use dyntree_ternary::Ternarizer;
+pub use ufo_forest::{ContractionForest, Policy, TopologyForest, UfoForest};
+
+pub mod capabilities;
+
+pub use capabilities::{capability_matrix, Capability};

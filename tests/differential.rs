@@ -1,0 +1,227 @@
+//! Cross-structure differential tests: every dynamic-tree implementation in
+//! the workspace is driven with the same random operation sequences and must
+//! agree with the naive oracle on every query it supports.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ufo_trees::seqs::TreapSequence;
+use ufo_trees::workloads::{self, SyntheticTree};
+use ufo_trees::{EulerTourForest, LinkCutForest, NaiveForest, TopologyForest, UfoForest};
+
+/// Drives all structures with `steps` random link/cut operations over `n`
+/// vertices and checks connectivity, path and subtree queries after every
+/// operation.
+fn random_ops_agree(n: usize, steps: usize, seed: u64, check_every: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut naive = NaiveForest::new(n);
+    let mut ufo = UfoForest::new(n);
+    let mut topo = TopologyForest::new(n);
+    let mut lct = LinkCutForest::new(n);
+    let mut ett = EulerTourForest::<TreapSequence>::new(n);
+
+    for v in 0..n {
+        let w = rng.random_range(-50..50);
+        naive.set_weight(v, w);
+        ufo.set_weight(v, w);
+        topo.set_weight(v, w);
+        lct.set_weight(v, w);
+        ett.set_weight(v, w);
+    }
+
+    let mut live_edges: Vec<(usize, usize)> = Vec::new();
+    for step in 0..steps {
+        let insert = live_edges.is_empty() || rng.random_bool(0.6);
+        if insert {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            let expected = naive.link(u, v);
+            assert_eq!(ufo.link(u, v), expected, "ufo link ({u},{v}) step {step}");
+            assert_eq!(topo.link(u, v), expected, "topo link ({u},{v}) step {step}");
+            assert_eq!(lct.link(u, v), expected, "lct link ({u},{v}) step {step}");
+            assert_eq!(ett.link(u, v), expected, "ett link ({u},{v}) step {step}");
+            if expected {
+                live_edges.push((u, v));
+            }
+        } else {
+            let idx = rng.random_range(0..live_edges.len());
+            let (u, v) = live_edges.swap_remove(idx);
+            assert!(naive.cut(u, v));
+            assert!(ufo.cut(u, v), "ufo cut ({u},{v}) step {step}");
+            assert!(topo.cut(u, v), "topo cut ({u},{v}) step {step}");
+            assert!(lct.cut(u, v), "lct cut ({u},{v}) step {step}");
+            assert!(ett.cut(u, v), "ett cut ({u},{v}) step {step}");
+        }
+
+        if step % check_every != 0 {
+            continue;
+        }
+        ufo.engine().check_invariants().expect("ufo invariants");
+        topo.engine().check_invariants().expect("topo invariants");
+
+        for _ in 0..8 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            let conn = naive.connected(a, b);
+            assert_eq!(ufo.connected(a, b), conn, "ufo connected({a},{b}) step {step}");
+            assert_eq!(topo.connected(a, b), conn, "topo connected({a},{b}) step {step}");
+            assert_eq!(lct.connected(a, b), conn, "lct connected({a},{b}) step {step}");
+            assert_eq!(ett.connected(a, b), conn, "ett connected({a},{b}) step {step}");
+
+            assert_eq!(ufo.path_sum(a, b), naive.path_sum(a, b), "ufo path_sum({a},{b}) step {step}");
+            assert_eq!(ufo.path_max(a, b), naive.path_max(a, b), "ufo path_max({a},{b}) step {step}");
+            assert_eq!(ufo.path_min(a, b), naive.path_min(a, b), "ufo path_min({a},{b}) step {step}");
+            assert_eq!(
+                ufo.path_length(a, b),
+                naive.path_length(a, b).map(|x| x as u64),
+                "ufo path_length({a},{b}) step {step}"
+            );
+            assert_eq!(topo.path_sum(a, b), naive.path_sum(a, b), "topo path_sum({a},{b}) step {step}");
+            assert_eq!(lct.path_sum(a, b), naive.path_sum(a, b), "lct path_sum({a},{b}) step {step}");
+            assert_eq!(lct.path_max(a, b), naive.path_max(a, b), "lct path_max({a},{b}) step {step}");
+        }
+
+        // subtree queries over random live edges
+        if !live_edges.is_empty() {
+            for _ in 0..4 {
+                let (u, v) = live_edges[rng.random_range(0..live_edges.len())];
+                assert_eq!(ufo.subtree_sum(u, v), naive.subtree_sum(u, v), "ufo subtree({u},{v}) step {step}");
+                assert_eq!(
+                    ufo.subtree_size(u, v),
+                    naive.subtree_size(u, v).map(|x| x as u64),
+                    "ufo subtree_size({u},{v}) step {step}"
+                );
+                assert_eq!(ufo.subtree_max(u, v), naive.subtree_max(u, v), "ufo subtree_max({u},{v}) step {step}");
+                assert_eq!(ett.subtree_sum(u, v), naive.subtree_sum(u, v), "ett subtree({u},{v}) step {step}");
+            }
+        }
+
+        // diameter + component size spot checks
+        let a = rng.random_range(0..n);
+        assert_eq!(
+            ufo.component_size(a),
+            naive.component_size(a) as u64,
+            "component_size({a}) step {step}"
+        );
+        assert_eq!(
+            ufo.component_diameter(a),
+            naive.component_diameter(a) as u64,
+            "component_diameter({a}) step {step}"
+        );
+    }
+}
+
+#[test]
+fn differential_small_dense_churn() {
+    random_ops_agree(16, 300, 1, 1);
+}
+
+#[test]
+fn differential_medium_forest() {
+    random_ops_agree(60, 500, 2, 5);
+}
+
+#[test]
+fn differential_larger_sparse() {
+    random_ops_agree(200, 600, 3, 20);
+}
+
+#[test]
+fn synthetic_families_build_and_agree() {
+    for family in SyntheticTree::ALL {
+        let forest = family.generate(200, 17);
+        let n = forest.n;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut naive = NaiveForest::new(n);
+        let mut ufo = UfoForest::new(n);
+        let mut lct = LinkCutForest::new(n);
+        for v in 0..n {
+            let w = rng.random_range(0..1000);
+            naive.set_weight(v, w);
+            ufo.set_weight(v, w);
+            lct.set_weight(v, w);
+        }
+        for &(u, v) in &forest.edges {
+            assert!(naive.link(u, v));
+            assert!(ufo.link(u, v), "{:?}: ufo link failed", family);
+            assert!(lct.link(u, v), "{:?}: lct link failed", family);
+        }
+        ufo.engine()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("{:?}: {}", family, e));
+        for _ in 0..50 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            assert_eq!(ufo.path_sum(a, b), naive.path_sum(a, b), "{:?} path_sum({a},{b})", family);
+            assert_eq!(lct.path_sum(a, b), naive.path_sum(a, b), "{:?} lct path_sum({a},{b})", family);
+        }
+        assert_eq!(
+            ufo.component_diameter(forest.edges[0].0),
+            naive.component_diameter(forest.edges[0].0) as u64,
+            "{:?} diameter",
+            family
+        );
+        // tear the tree down in random order, checking connectivity afterwards
+        let mut edges = forest.edges.clone();
+        edges.shuffle(&mut rng);
+        for &(u, v) in edges.iter().take(n / 2) {
+            assert!(ufo.cut(u, v), "{:?}: cut failed", family);
+            assert!(naive.cut(u, v));
+        }
+        ufo.engine()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("{:?} after cuts: {}", family, e));
+        for _ in 0..50 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            assert_eq!(ufo.connected(a, b), naive.connected(a, b), "{:?} connected({a},{b})", family);
+        }
+    }
+}
+
+#[test]
+fn batch_interface_matches_sequential() {
+    let n = 500;
+    let tree = workloads::random_tree(n, 77);
+    let mut batched = UfoForest::new(n);
+    let mut sequential = UfoForest::new(n);
+    for chunk in tree.edges.chunks(64) {
+        batched.batch_link(chunk);
+        for &(u, v) in chunk {
+            sequential.link(u, v);
+        }
+    }
+    assert_eq!(batched.num_edges(), sequential.num_edges());
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        assert_eq!(batched.connected(a, b), sequential.connected(a, b));
+    }
+    batched.engine().check_invariants().unwrap();
+}
+
+#[test]
+fn nearest_marked_agrees_with_oracle() {
+    let n = 120;
+    let tree = workloads::random_tree_degree3(n, 5);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut naive = NaiveForest::new(n);
+    let mut ufo = UfoForest::new(n);
+    for &(u, v) in &tree.edges {
+        naive.link(u, v);
+        ufo.link(u, v);
+    }
+    for _ in 0..10 {
+        let m = rng.random_range(0..n);
+        naive.set_marked(m, true);
+        ufo.set_marked(m, true);
+    }
+    for v in 0..n {
+        assert_eq!(
+            ufo.nearest_marked_distance(v),
+            naive.nearest_marked_distance(v).map(|d| d as u64),
+            "nearest marked from {v}"
+        );
+    }
+}

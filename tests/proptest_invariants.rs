@@ -1,0 +1,113 @@
+//! Property-based tests: arbitrary operation sequences preserve the
+//! contraction-forest invariants and agree with the oracle.
+
+use proptest::prelude::*;
+use ufo_trees::{LinkCutForest, NaiveForest, UfoForest};
+
+/// A randomly generated operation on a small vertex universe.
+#[derive(Clone, Debug)]
+enum Op {
+    Link(usize, usize),
+    Cut(usize, usize),
+    SetWeight(usize, i64),
+    QueryPath(usize, usize),
+    QuerySubtree(usize, usize),
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n, 0..n).prop_map(|(u, v)| Op::Link(u, v)),
+        (0..n, 0..n).prop_map(|(u, v)| Op::Cut(u, v)),
+        (0..n, -100i64..100).prop_map(|(v, w)| Op::SetWeight(v, w)),
+        (0..n, 0..n).prop_map(|(u, v)| Op::QueryPath(u, v)),
+        (0..n, 0..n).prop_map(|(u, v)| Op::QuerySubtree(u, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ufo_agrees_with_oracle_on_arbitrary_programs(
+        ops in proptest::collection::vec(op_strategy(12), 1..120)
+    ) {
+        let n = 12;
+        let mut naive = NaiveForest::new(n);
+        let mut ufo = UfoForest::new(n);
+        let mut lct = LinkCutForest::new(n);
+        for op in ops {
+            match op {
+                Op::Link(u, v) => {
+                    let e = naive.link(u, v);
+                    prop_assert_eq!(ufo.link(u, v), e);
+                    prop_assert_eq!(lct.link(u, v), e);
+                }
+                Op::Cut(u, v) => {
+                    let e = naive.cut(u, v);
+                    prop_assert_eq!(ufo.cut(u, v), e);
+                    prop_assert_eq!(lct.cut(u, v), e);
+                }
+                Op::SetWeight(v, w) => {
+                    naive.set_weight(v, w);
+                    ufo.set_weight(v, w);
+                    lct.set_weight(v, w);
+                }
+                Op::QueryPath(u, v) => {
+                    prop_assert_eq!(ufo.path_sum(u, v), naive.path_sum(u, v));
+                    prop_assert_eq!(ufo.path_min(u, v), naive.path_min(u, v));
+                    prop_assert_eq!(lct.path_sum(u, v), naive.path_sum(u, v));
+                }
+                Op::QuerySubtree(v, p) => {
+                    prop_assert_eq!(ufo.subtree_sum(v, p), naive.subtree_sum(v, p));
+                    prop_assert_eq!(
+                        ufo.subtree_size(v, p),
+                        naive.subtree_size(v, p).map(|x| x as u64)
+                    );
+                }
+            }
+        }
+        prop_assert!(ufo.engine().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn ufo_hierarchy_height_is_bounded(
+        edges in proptest::collection::vec((0usize..64, 0usize..64), 0..63)
+    ) {
+        let n = 64;
+        let mut ufo = UfoForest::new(n);
+        let mut inserted = 0u32;
+        for (u, v) in edges {
+            if ufo.link(u, v) {
+                inserted += 1;
+            }
+        }
+        // Theorem 4.1: height is O(log n); log_{6/5}(64) ≈ 23, allow slack.
+        for v in 0..n {
+            prop_assert!(ufo.engine().height(v) <= 40, "height {} too large", ufo.engine().height(v));
+        }
+        prop_assert!(ufo.engine().check_invariants().is_ok());
+        prop_assert_eq!(ufo.num_edges() as u32, inserted);
+    }
+
+    #[test]
+    fn batch_and_sequential_builds_are_equivalent(
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+        batch in 1usize..16
+    ) {
+        let n = 40;
+        let mut a = UfoForest::new(n);
+        let mut b = UfoForest::new(n);
+        for (u, v) in &edges {
+            a.link(*u, *v);
+        }
+        for chunk in edges.chunks(batch) {
+            b.batch_link(chunk);
+        }
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        for u in 0..n {
+            for v in (u + 1)..n {
+                prop_assert_eq!(a.connected(u, v), b.connected(u, v));
+            }
+        }
+    }
+}
