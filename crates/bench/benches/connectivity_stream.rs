@@ -1,0 +1,37 @@
+//! Criterion bench for the connectivity subsystem: sequential and batched
+//! edge-stream replay throughput per spanning-forest backend, on a temporal
+//! graph's sliding-window trace (every edge inserted and deleted once) and a
+//! road grid's churn trace.  A JSON baseline recorded from this workload
+//! lives at `crates/bench/baselines/connectivity_stream.json` (regenerate
+//! with `cargo run --release -p dyntree_bench --bin connectivity_baseline`).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{
+    connectivity_bench_streams, stream_batch_replay_time, stream_replay_time, ConnBackend,
+};
+
+fn bench_connectivity_stream(c: &mut Criterion) {
+    let streams = connectivity_bench_streams();
+
+    let mut group = c.benchmark_group("connectivity_stream");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for stream in &streams {
+        for backend in ConnBackend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("seq/{}", backend.name()), &stream.name),
+                stream,
+                |b, s| b.iter(|| stream_replay_time(backend, s)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch64/{}", backend.name()), &stream.name),
+                stream,
+                |b, s| b.iter(|| stream_batch_replay_time(backend, s, 64)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity_stream);
+criterion_main!(benches);

@@ -12,7 +12,12 @@ fn bench_diameter_sweep(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     for alpha in [0.0f64, 1.0, 2.0] {
         let forest = zipf_tree(n, alpha, 11);
-        for s in [Structure::LinkCut, Structure::Ufo, Structure::EttTreap, Structure::Topology] {
+        for s in [
+            Structure::LinkCut,
+            Structure::Ufo,
+            Structure::EttTreap,
+            Structure::Topology,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{:?}", s), format!("alpha{alpha:.1}")),
                 &forest,

@@ -9,7 +9,11 @@ fn bench_seq_updates(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_millis(1500));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    for family in [SyntheticTree::Path, SyntheticTree::KAry64, SyntheticTree::Random] {
+    for family in [
+        SyntheticTree::Path,
+        SyntheticTree::KAry64,
+        SyntheticTree::Random,
+    ] {
         let forest = family.generate(n, 7);
         for s in Structure::ALL {
             group.bench_with_input(

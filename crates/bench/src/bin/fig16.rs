@@ -1,18 +1,23 @@
 //! Figure 16 (Appendix D.3): the diameter sweep for the batch-dynamic
 //! structures.
-use std::time::Instant;
 use dyntree_euler::BatchEulerForest;
 use dyntree_seqs::TreapSequence;
 use dyntree_workloads::zipf_tree;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 use ufo_forest::{TopologyForest, UfoForest};
 
 fn main() {
     let n = dyntree_bench::default_n();
     let batch = (n / 10).max(1_000);
-    println!("Figure 16 — batch-dynamic diameter sweep, n = {}, batch = {} (scale = {})\n", n, batch, dyntree_bench::scale());
+    println!(
+        "Figure 16 — batch-dynamic diameter sweep, n = {}, batch = {} (scale = {})\n",
+        n,
+        batch,
+        dyntree_bench::scale()
+    );
     for alpha in [0.0, 1.0, 2.0, 3.0, 4.0] {
         let forest = zipf_tree(n, alpha, 11);
         let mut rng = StdRng::seed_from_u64(13);
@@ -22,25 +27,45 @@ fn main() {
 
         let mut ufo = UfoForest::new(n);
         let t0 = Instant::now();
-        for b in &batches { ufo.batch_link(b); }
-        for b in &batches { ufo.batch_cut(b); }
+        for b in &batches {
+            ufo.batch_link(b);
+        }
+        for b in &batches {
+            ufo.batch_cut(b);
+        }
         let ufo_t = t0.elapsed().as_secs_f64();
 
         let mut ett = BatchEulerForest::<TreapSequence>::new(n);
         let t1 = Instant::now();
-        for b in &batches { ett.batch_link(b); }
-        for b in &batches { ett.batch_cut(b); }
+        for b in &batches {
+            ett.batch_link(b);
+        }
+        for b in &batches {
+            ett.batch_cut(b);
+        }
         let ett_t = t1.elapsed().as_secs_f64();
 
         let mut topo = TopologyForest::new(n);
         let t2 = Instant::now();
-        for b in &batches { for &(u, v) in b { topo.link(u, v); } }
-        for b in &batches { for &(u, v) in b { topo.cut(u, v); } }
+        for b in &batches {
+            for &(u, v) in b {
+                topo.link(u, v);
+            }
+        }
+        for b in &batches {
+            for &(u, v) in b {
+                topo.cut(u, v);
+            }
+        }
         let topo_t = t2.elapsed().as_secs_f64();
 
         println!(
             "alpha={:<4} D={:<8} ETT={:>8.3}s  UFO={:>8.3}s  Topology={:>8.3}s",
-            alpha, forest.diameter(), ett_t, ufo_t, topo_t
+            alpha,
+            forest.diameter(),
+            ett_t,
+            ufo_t,
+            topo_t
         );
     }
 }

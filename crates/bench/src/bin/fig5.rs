@@ -6,7 +6,11 @@ use dyntree_workloads::{bfs_forest, power_law_graph, ris_forest, road_grid_graph
 
 fn main() {
     let n = default_n();
-    println!("Figure 5 — sequential update speed, n = {} (scale = {})\n", n, dyntree_bench::scale());
+    println!(
+        "Figure 5 — sequential update speed, n = {} (scale = {})\n",
+        n,
+        dyntree_bench::scale()
+    );
     println!("-- synthetic trees --");
     for family in SyntheticTree::ALL {
         // star-like inputs are scaled down: without the paper's rank-tree
@@ -28,7 +32,10 @@ fn main() {
     }
     println!("\n-- real-world stand-ins (BFS and RIS spanning forests) --");
     let side = (n as f64).sqrt() as usize;
-    let graphs = vec![road_grid_graph(side, 1), power_law_graph(14.min(((n as f64).log2()) as u32), 8, 2)];
+    let graphs = vec![
+        road_grid_graph(side, 1),
+        power_law_graph(14.min(((n as f64).log2()) as u32), 8, 2),
+    ];
     for g in &graphs {
         for (label, forest) in [
             (format!("{}-BFS", g.name), bfs_forest(g, 3)),

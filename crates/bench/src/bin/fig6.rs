@@ -7,7 +7,12 @@ use dyntree_workloads::zipf_tree;
 fn main() {
     let n = dyntree_bench::default_n();
     let q = (n / 2).max(1_000);
-    println!("Figure 6 — diameter sweep, n = {}, q = {} (scale = {})\n", n, q, dyntree_bench::scale());
+    println!(
+        "Figure 6 — diameter sweep, n = {}, q = {} (scale = {})\n",
+        n,
+        q,
+        dyntree_bench::scale()
+    );
     for alpha in [0.0, 0.5, 1.0, 1.5, 2.0] {
         let forest = zipf_tree(n, alpha, 11);
         let label = format!("alpha={:.1} D={}", alpha, forest.diameter());

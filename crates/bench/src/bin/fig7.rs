@@ -5,7 +5,11 @@ use dyntree_workloads::SyntheticTree;
 
 fn main() {
     let n = default_n();
-    println!("Figure 7 — memory usage after build, n = {} (scale = {})\n", n, dyntree_bench::scale());
+    println!(
+        "Figure 7 — memory usage after build, n = {} (scale = {})\n",
+        n,
+        dyntree_bench::scale()
+    );
     print!("{:<10}", "input");
     for s in Structure::ALL {
         print!(" {:>14?}", s);

@@ -1,12 +1,12 @@
 //! Figure 8: batch-dynamic update speed.  Every batch structure ingests the
 //! same random batches of insertions followed by batches of deletions.
-use std::time::Instant;
 use dyntree_euler::BatchEulerForest;
 use dyntree_seqs::TreapSequence;
 use dyntree_workloads::{bfs_forest, power_law_graph, road_grid_graph, SyntheticTree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 use ufo_forest::{TopologyForest, UfoForest};
 
 fn batch_time_ufo(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
@@ -53,7 +53,8 @@ fn run(label: &str, n: usize, edges: &[(usize, usize)], batch_size: usize) {
     let mut rng = StdRng::seed_from_u64(17);
     let mut shuffled = edges.to_vec();
     shuffled.shuffle(&mut rng);
-    let batches: Vec<Vec<(usize, usize)>> = shuffled.chunks(batch_size).map(|c| c.to_vec()).collect();
+    let batches: Vec<Vec<(usize, usize)>> =
+        shuffled.chunks(batch_size).map(|c| c.to_vec()).collect();
     println!(
         "{:<12} ETT(batch)={:>8.3}s  UFO(batch)={:>8.3}s  Topology={:>8.3}s",
         label,
@@ -68,7 +69,9 @@ fn main() {
     let batch_size = (n / 10).max(1_000);
     println!(
         "Figure 8 — batch-dynamic update speed, n = {}, batch size = {} (scale = {})\n",
-        n, batch_size, dyntree_bench::scale()
+        n,
+        batch_size,
+        dyntree_bench::scale()
     );
     for family in SyntheticTree::ALL {
         let n_eff = match family {
@@ -76,7 +79,12 @@ fn main() {
             _ => n,
         };
         let forest = family.generate(n_eff, 7);
-        run(family.label(), forest.n, &forest.edges, batch_size.min(forest.edges.len().max(1)));
+        run(
+            family.label(),
+            forest.n,
+            &forest.edges,
+            batch_size.min(forest.edges.len().max(1)),
+        );
     }
     println!("\n-- real-world stand-ins --");
     let side = (n as f64).sqrt() as usize;

@@ -1,10 +1,10 @@
 //! Figure 9: scaling UFO-tree batch builds to large inputs (laptop-scaled from
 //! the paper's billion-edge experiment).
-use std::time::Instant;
 use dyntree_workloads::{binary_tree, kary_tree, path_tree, star_tree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 use ufo_forest::UfoForest;
 
 fn main() {
@@ -14,7 +14,11 @@ fn main() {
         _ => 100_000,
     };
     let batch = 50_000;
-    println!("Figure 9 — UFO batch build+destroy scaling, batch size = {} (scale = {})\n", batch, dyntree_bench::scale());
+    println!(
+        "Figure 9 — UFO batch build+destroy scaling, batch size = {} (scale = {})\n",
+        batch,
+        dyntree_bench::scale()
+    );
     println!("{:<10} {:>10} {:>12}", "input", "n", "time (s)");
     let mut n = max_n / 16;
     while n <= max_n {
@@ -35,7 +39,12 @@ fn main() {
             for chunk in edges.chunks(batch) {
                 f.batch_cut(chunk);
             }
-            println!("{:<10} {:>10} {:>12.3}", label, forest.n, start.elapsed().as_secs_f64());
+            println!(
+                "{:<10} {:>10} {:>12.3}",
+                label,
+                forest.n,
+                start.elapsed().as_secs_f64()
+            );
         }
         n *= 4;
     }

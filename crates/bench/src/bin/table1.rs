@@ -1,28 +1,8 @@
-//! Table 1: the operation/feature matrix of the implemented structures.
+//! Table 1: the operation/feature matrix of the implemented structures,
+//! rendered from the single source of truth in `ufo_trees::capabilities`.
 fn main() {
-    println!("Table 1 — supported operations and costs (generated from the implemented structures)\n");
-    println!("{}", ufo_trees_capabilities::render());
-}
-mod ufo_trees_capabilities {
-    /// Renders the same matrix as `ufo_trees::capabilities::render_matrix`,
-    /// re-stated here so the bench crate does not depend on the umbrella crate.
-    pub fn render() -> String {
-        let rows = [
-            ("Link-cut tree", "O(min{log n, D^2})", "-", "-", "-", "-", "yes", "-"),
-            ("Euler tour tree", "O(log n)", "-", "yes", "-", "yes", "-", "-"),
-            ("Topology tree", "O(log n)", "yes", "yes", "yes", "yes", "yes", "yes"),
-            ("UFO tree", "O(min{log n, D})", "-", "yes", "yes", "yes", "yes", "yes"),
-        ];
-        let mut out = format!(
-            "{:<16} {:<22} {:>7} {:>7} {:>7} {:>8} {:>6} {:>9}\n",
-            "Structure", "Update cost", "Ternar", "ParUpd", "ParQry", "Subtree", "Path", "Non-local"
-        );
-        for r in rows {
-            out.push_str(&format!(
-                "{:<16} {:<22} {:>7} {:>7} {:>7} {:>8} {:>6} {:>9}\n",
-                r.0, r.1, r.2, r.3, r.4, r.5, r.6, r.7
-            ));
-        }
-        out
-    }
+    println!(
+        "Table 1 — supported operations and costs (generated from the implemented structures)\n"
+    );
+    println!("{}", ufo_trees::capabilities::render_matrix());
 }

@@ -1,6 +1,8 @@
 //! Table 2: the (synthetic stand-in) graph datasets used by the real-world
 //! experiments, with their sizes and the diameters of their BFS forests.
-use dyntree_workloads::{bfs_forest, power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph};
+use dyntree_workloads::{
+    bfs_forest, power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph,
+};
 
 fn main() {
     let scale = dyntree_bench::scale();
@@ -10,7 +12,10 @@ fn main() {
         _ => (120, 13, 13, 40_000),
     };
     println!("Table 2 — real-world graph stand-ins (scale = {scale}); see DESIGN.md §5 for the substitution\n");
-    println!("{:<8} {:<10} {:>10} {:>12} {:>14}", "Name", "Type", "|V|", "|E|", "BFS diameter");
+    println!(
+        "{:<8} {:<10} {:>10} {:>12} {:>14}",
+        "Name", "Type", "|V|", "|E|", "BFS diameter"
+    );
     let graphs = vec![
         (road_grid_graph(side, 1), "Road"),
         (power_law_graph(pl_scale, 10, 2), "Web"),

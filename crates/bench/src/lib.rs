@@ -270,6 +270,166 @@ pub fn query_time(structure: Structure, forest: &Forest, q: usize, paths: bool, 
     start.elapsed().as_secs_f64()
 }
 
+// ------------------------------------------------------------------
+// Dynamic-connectivity stream harness
+// ------------------------------------------------------------------
+
+use dyntree_connectivity::{DynConnectivity, SpanningBackend};
+use dyntree_workloads::{EdgeStream, StreamOp};
+
+/// The two canonical edge streams of the connectivity benchmarks — the
+/// single source of truth shared by `benches/connectivity_stream.rs` and the
+/// `connectivity_baseline` binary, so the recorded baseline JSON always
+/// measures exactly the workload the criterion bench measures.
+pub fn connectivity_bench_streams() -> Vec<EdgeStream> {
+    use dyntree_workloads::{churn_stream, road_grid_graph, sliding_window_stream, temporal_graph};
+    let temporal = temporal_graph(4_000, 3, 17);
+    let road = road_grid_graph(40, 17);
+    vec![
+        sliding_window_stream(&temporal, 2_048, 0.1, 23),
+        churn_stream(&road, 6_000, 0.9, 0.1, 23),
+    ]
+}
+
+/// The spanning-forest backends raced by the connectivity benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnBackend {
+    /// UFO forest backend.
+    Ufo,
+    /// Link-cut forest backend.
+    LinkCut,
+    /// Euler tour forest (treap) backend.
+    EulerTreap,
+    /// Euler tour forest (splay) backend.
+    EulerSplay,
+}
+
+impl ConnBackend {
+    /// All raced backends, in legend order.
+    pub const ALL: [ConnBackend; 4] = [
+        ConnBackend::Ufo,
+        ConnBackend::LinkCut,
+        ConnBackend::EulerTreap,
+        ConnBackend::EulerSplay,
+    ];
+
+    /// Short name used in benchmark ids and the baseline JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConnBackend::Ufo => "ufo",
+            ConnBackend::LinkCut => "linkcut",
+            ConnBackend::EulerTreap => "euler-treap",
+            ConnBackend::EulerSplay => "euler-splay",
+        }
+    }
+}
+
+fn replay<B: SpanningBackend>(stream: &EdgeStream) -> (f64, u64) {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(stream.n);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for op in &stream.ops {
+        match *op {
+            StreamOp::Insert(u, v) => {
+                engine.insert_edge(u, v);
+            }
+            StreamOp::Delete(u, v) => {
+                engine.delete_edge(u, v);
+            }
+            StreamOp::Query(a, b) => {
+                checksum = checksum.wrapping_add(engine.connected(a, b) as u64)
+            }
+        }
+    }
+    checksum = checksum.wrapping_add(engine.component_count() as u64);
+    (
+        start.elapsed().as_secs_f64(),
+        std::hint::black_box(checksum),
+    )
+}
+
+fn replay_batched<B: SpanningBackend>(stream: &EdgeStream, batch: usize) -> (f64, u64) {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(stream.n);
+    // Batch *runs* of same-kind operations so the replay is semantically
+    // identical to the sequential one (an insert/delete of the same edge
+    // must not be reordered across a flush boundary).
+    let mut pending: Vec<(usize, usize)> = Vec::with_capacity(batch);
+    let mut pending_kind: Option<bool> = None; // Some(true) = inserts
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    let flush = |engine: &mut DynConnectivity<B>,
+                 pending: &mut Vec<(usize, usize)>,
+                 kind: &mut Option<bool>| {
+        match kind.take() {
+            Some(true) => {
+                engine.batch_insert(pending);
+            }
+            Some(false) => {
+                engine.batch_delete(pending);
+            }
+            None => {}
+        }
+        pending.clear();
+    };
+    for op in &stream.ops {
+        match *op {
+            StreamOp::Insert(u, v) => {
+                if pending_kind != Some(true) {
+                    flush(&mut engine, &mut pending, &mut pending_kind);
+                    pending_kind = Some(true);
+                }
+                pending.push((u, v));
+            }
+            StreamOp::Delete(u, v) => {
+                if pending_kind != Some(false) {
+                    flush(&mut engine, &mut pending, &mut pending_kind);
+                    pending_kind = Some(false);
+                }
+                pending.push((u, v));
+            }
+            StreamOp::Query(a, b) => {
+                // queries see a consistent state: flush the pending batch
+                flush(&mut engine, &mut pending, &mut pending_kind);
+                checksum = checksum.wrapping_add(engine.connected(a, b) as u64);
+            }
+        }
+        if pending.len() >= batch {
+            flush(&mut engine, &mut pending, &mut pending_kind);
+        }
+    }
+    flush(&mut engine, &mut pending, &mut pending_kind);
+    checksum = checksum.wrapping_add(engine.component_count() as u64);
+    (
+        start.elapsed().as_secs_f64(),
+        std::hint::black_box(checksum),
+    )
+}
+
+/// Replays `stream` one operation at a time on `backend`; returns elapsed
+/// seconds and a checksum of the query answers.
+pub fn stream_replay_time(backend: ConnBackend, stream: &EdgeStream) -> (f64, u64) {
+    match backend {
+        ConnBackend::Ufo => replay::<UfoForest>(stream),
+        ConnBackend::LinkCut => replay::<LinkCutForest>(stream),
+        ConnBackend::EulerTreap => replay::<EulerTourForest<TreapSequence>>(stream),
+        ConnBackend::EulerSplay => replay::<EulerTourForest<SplaySequence>>(stream),
+    }
+}
+
+/// Replays `stream` through the batch interface with the given batch size.
+pub fn stream_batch_replay_time(
+    backend: ConnBackend,
+    stream: &EdgeStream,
+    batch: usize,
+) -> (f64, u64) {
+    match backend {
+        ConnBackend::Ufo => replay_batched::<UfoForest>(stream, batch),
+        ConnBackend::LinkCut => replay_batched::<LinkCutForest>(stream, batch),
+        ConnBackend::EulerTreap => replay_batched::<EulerTourForest<TreapSequence>>(stream, batch),
+        ConnBackend::EulerSplay => replay_batched::<EulerTourForest<SplaySequence>>(stream, batch),
+    }
+}
+
 /// Formats a result row for the figure binaries.
 pub fn print_row(label: &str, cells: &[(String, f64)]) {
     print!("{:<14}", label);
@@ -282,7 +442,23 @@ pub fn print_row(label: &str, cells: &[(String, f64)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyntree_workloads::path_tree;
+    use dyntree_workloads::{path_tree, sliding_window_stream, temporal_graph};
+
+    #[test]
+    fn every_backend_replays_the_same_stream_identically() {
+        let graph = temporal_graph(300, 3, 5);
+        let stream = sliding_window_stream(&graph, 128, 0.3, 7);
+        let checksums: Vec<u64> = ConnBackend::ALL
+            .iter()
+            .map(|&b| stream_replay_time(b, &stream).1)
+            .collect();
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "backends disagree on query answers: {checksums:?}"
+        );
+        let (_, batched) = stream_batch_replay_time(ConnBackend::Ufo, &stream, 32);
+        assert_eq!(batched, checksums[0], "batched replay must agree");
+    }
 
     #[test]
     fn every_structure_runs_the_harness_workload() {

@@ -1,0 +1,258 @@
+//! The [`SpanningBackend`] trait: what the connectivity engine needs from a
+//! dynamic-tree structure, implemented here for every forest the workspace
+//! ships.
+//!
+//! The engine owns the decision of *which* edges form the spanning forest;
+//! the backend only ever sees link/cut operations that keep it a forest, so
+//! any structure with link, cut and connectivity queries qualifies.  Optional
+//! capabilities (component aggregates, vertex weights) have defaulted
+//! methods; the engine falls back to its own tree-adjacency walks when a
+//! backend opts out.
+
+use dyntree_euler::{BatchEulerForest, EulerTourForest};
+use dyntree_linkcut::LinkCutForest;
+use dyntree_naive::NaiveForest;
+use dyntree_seqs::DynSequence;
+use ufo_forest::{TopologyForest, UfoForest};
+
+/// A dynamic-tree structure able to host the spanning forest of a
+/// [`DynConnectivity`](crate::DynConnectivity) engine.
+///
+/// Queries take `&mut self` because several backends (link-cut trees, Euler
+/// tour trees) restructure themselves on reads.
+pub trait SpanningBackend {
+    /// Name used in benchmark output and diagnostics.
+    const NAME: &'static str;
+
+    /// Creates a forest of `n` isolated vertices.
+    fn new(n: usize) -> Self;
+
+    /// Inserts forest edge `(u, v)`.  The engine only calls this for edges
+    /// that join two distinct trees; returns whether the backend accepted.
+    fn link(&mut self, u: usize, v: usize) -> bool;
+
+    /// Removes forest edge `(u, v)`; returns whether the edge was present.
+    fn cut(&mut self, u: usize, v: usize) -> bool;
+
+    /// Whether `u` and `v` are in the same tree.
+    fn connected(&mut self, u: usize, v: usize) -> bool;
+
+    /// Sets the weight of vertex `v` (ignored by unweighted backends).
+    fn set_weight(&mut self, v: usize, w: i64) {
+        let _ = (v, w);
+    }
+
+    /// Number of vertices in `v`'s tree, when the backend can answer faster
+    /// than a forest walk.
+    fn component_size(&mut self, v: usize) -> Option<u64> {
+        let _ = v;
+        None
+    }
+
+    /// Sum of vertex weights in `v`'s tree, when supported.
+    fn component_sum(&mut self, v: usize) -> Option<i64> {
+        let _ = v;
+        None
+    }
+
+    /// Heap bytes owned by the backend (0 when not tracked).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl SpanningBackend for UfoForest {
+    const NAME: &'static str = "ufo";
+
+    fn new(n: usize) -> Self {
+        UfoForest::new(n)
+    }
+    fn link(&mut self, u: usize, v: usize) -> bool {
+        UfoForest::link(self, u, v)
+    }
+    fn cut(&mut self, u: usize, v: usize) -> bool {
+        UfoForest::cut(self, u, v)
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        UfoForest::connected(self, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        UfoForest::set_weight(self, v, w);
+    }
+    fn component_size(&mut self, v: usize) -> Option<u64> {
+        Some(UfoForest::component_size(self, v))
+    }
+    fn component_sum(&mut self, v: usize) -> Option<i64> {
+        Some(self.engine().component_aggregate(v).sum)
+    }
+    fn memory_bytes(&self) -> usize {
+        UfoForest::memory_bytes(self)
+    }
+}
+
+impl SpanningBackend for TopologyForest {
+    const NAME: &'static str = "topology";
+
+    fn new(n: usize) -> Self {
+        TopologyForest::new(n)
+    }
+    fn link(&mut self, u: usize, v: usize) -> bool {
+        TopologyForest::link(self, u, v)
+    }
+    fn cut(&mut self, u: usize, v: usize) -> bool {
+        TopologyForest::cut(self, u, v)
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        TopologyForest::connected(self, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        TopologyForest::set_weight(self, v, w);
+    }
+    fn component_size(&mut self, v: usize) -> Option<u64> {
+        Some(TopologyForest::component_size(self, v))
+    }
+    fn memory_bytes(&self) -> usize {
+        TopologyForest::memory_bytes(self)
+    }
+}
+
+impl SpanningBackend for LinkCutForest {
+    const NAME: &'static str = "linkcut";
+
+    fn new(n: usize) -> Self {
+        LinkCutForest::new(n)
+    }
+    fn link(&mut self, u: usize, v: usize) -> bool {
+        LinkCutForest::link(self, u, v)
+    }
+    fn cut(&mut self, u: usize, v: usize) -> bool {
+        LinkCutForest::cut(self, u, v)
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        LinkCutForest::connected(self, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        LinkCutForest::set_weight(self, v, w);
+    }
+    fn memory_bytes(&self) -> usize {
+        LinkCutForest::memory_bytes(self)
+    }
+}
+
+impl<S: DynSequence> SpanningBackend for EulerTourForest<S> {
+    const NAME: &'static str = "euler";
+
+    fn new(n: usize) -> Self {
+        EulerTourForest::new(n)
+    }
+    fn link(&mut self, u: usize, v: usize) -> bool {
+        EulerTourForest::link(self, u, v)
+    }
+    fn cut(&mut self, u: usize, v: usize) -> bool {
+        EulerTourForest::cut(self, u, v)
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        EulerTourForest::connected(self, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        EulerTourForest::set_weight(self, v, w);
+    }
+    fn component_size(&mut self, v: usize) -> Option<u64> {
+        Some(EulerTourForest::component_size(self, v) as u64)
+    }
+    fn component_sum(&mut self, v: usize) -> Option<i64> {
+        Some(EulerTourForest::component_sum(self, v))
+    }
+    fn memory_bytes(&self) -> usize {
+        EulerTourForest::memory_bytes(self)
+    }
+}
+
+impl<S: DynSequence> SpanningBackend for BatchEulerForest<S> {
+    const NAME: &'static str = "euler-batch";
+
+    fn new(n: usize) -> Self {
+        BatchEulerForest::new(n)
+    }
+    fn link(&mut self, u: usize, v: usize) -> bool {
+        self.forest_mut().link(u, v)
+    }
+    fn cut(&mut self, u: usize, v: usize) -> bool {
+        self.forest_mut().cut(u, v)
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        self.forest_mut().connected(u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        self.forest_mut().set_weight(v, w);
+    }
+    fn component_size(&mut self, v: usize) -> Option<u64> {
+        Some(self.forest_mut().component_size(v) as u64)
+    }
+    fn component_sum(&mut self, v: usize) -> Option<i64> {
+        Some(self.forest_mut().component_sum(v))
+    }
+    fn memory_bytes(&self) -> usize {
+        BatchEulerForest::memory_bytes(self)
+    }
+}
+
+impl SpanningBackend for NaiveForest {
+    const NAME: &'static str = "naive";
+
+    fn new(n: usize) -> Self {
+        NaiveForest::new(n)
+    }
+    fn link(&mut self, u: usize, v: usize) -> bool {
+        NaiveForest::link(self, u, v)
+    }
+    fn cut(&mut self, u: usize, v: usize) -> bool {
+        NaiveForest::cut(self, u, v)
+    }
+    fn connected(&mut self, u: usize, v: usize) -> bool {
+        NaiveForest::connected(self, u, v)
+    }
+    fn set_weight(&mut self, v: usize, w: i64) {
+        NaiveForest::set_weight(self, v, w);
+    }
+    fn component_size(&mut self, v: usize) -> Option<u64> {
+        Some(NaiveForest::component_size(self, v) as u64)
+    }
+    fn component_sum(&mut self, v: usize) -> Option<i64> {
+        Some(
+            NaiveForest::component(self, v)
+                .into_iter()
+                .map(|x| self.weight(x))
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyntree_seqs::TreapSequence;
+
+    fn exercise<B: SpanningBackend>() {
+        let mut b = B::new(4);
+        assert!(b.link(0, 1));
+        assert!(b.link(1, 2));
+        assert!(b.connected(0, 2));
+        assert!(!b.connected(0, 3));
+        assert!(b.cut(0, 1));
+        assert!(!b.connected(0, 2));
+        if let Some(s) = b.component_size(1) {
+            assert_eq!(s, 2);
+        }
+    }
+
+    #[test]
+    fn every_forest_implements_the_backend() {
+        exercise::<UfoForest>();
+        exercise::<TopologyForest>();
+        exercise::<LinkCutForest>();
+        exercise::<EulerTourForest<TreapSequence>>();
+        exercise::<BatchEulerForest<TreapSequence>>();
+        exercise::<NaiveForest>();
+    }
+}

@@ -1,0 +1,197 @@
+//! Batch front-end for [`DynConnectivity`]: canonicalise, group and
+//! deduplicate whole batches with the `dyntree_primitives` grouping
+//! primitives before the tree layer sees a single operation.
+//!
+//! Batched insertion additionally runs a union-find pre-pass over the batch
+//! itself: once earlier edges of the batch have united two endpoints, a later
+//! edge between them is provably a cycle edge and skips the backend's
+//! connectivity probe.  The pre-pass deliberately does **not** probe the live
+//! forest, so intra-component edges whose endpoints are only connected by
+//! pre-batch state still pay one backend probe each.
+
+use std::collections::HashMap;
+
+use dyntree_primitives::remove_duplicates;
+
+use crate::backend::SpanningBackend;
+use crate::engine::DynConnectivity;
+use crate::Vertex;
+
+impl<B: SpanningBackend> DynConnectivity<B> {
+    /// Applies a batch of edge insertions.  Self loops and duplicates (within
+    /// the batch or with live edges) are skipped.  Returns the number of
+    /// edges actually inserted.
+    pub fn batch_insert(&mut self, edges: &[(Vertex, Vertex)]) -> usize {
+        let batch = normalize(edges, self.len());
+        let mut applied = 0;
+        // Union-find pre-pass: once earlier batch edges have united two
+        // endpoints, a later edge between them is provably a cycle edge, so
+        // it can be classified non-tree without a backend connectivity probe.
+        // The DSU is sparse (keyed on batch endpoints only), so the pre-pass
+        // costs O(|batch| α) regardless of the graph's vertex count.
+        let mut dsu = SparseDsu::default();
+        for &(u, v) in &batch {
+            let inserted = if dsu.same(u, v) {
+                self.insert_nontree_edge(u, v)
+            } else {
+                self.insert_edge(u, v)
+            };
+            if inserted {
+                applied += 1;
+            }
+            dsu.union(u, v);
+        }
+        applied
+    }
+
+    /// Applies a batch of edge deletions.  Returns the number of edges
+    /// actually removed.
+    pub fn batch_delete(&mut self, edges: &[(Vertex, Vertex)]) -> usize {
+        let batch = normalize(edges, self.len());
+        let mut applied = 0;
+        for &(u, v) in &batch {
+            if self.delete_edge(u, v) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Answers a batch of connectivity queries.
+    pub fn batch_connected(&mut self, queries: &[(Vertex, Vertex)]) -> Vec<bool> {
+        queries.iter().map(|&(u, v)| self.connected(u, v)).collect()
+    }
+}
+
+/// Union-find over only the vertices that actually appear in a batch, so
+/// the insertion pre-pass never pays for the graph's full vertex range.
+#[derive(Default)]
+struct SparseDsu {
+    parent: HashMap<Vertex, Vertex>,
+}
+
+impl SparseDsu {
+    /// Iterative find with full path compression — a chain-shaped batch must
+    /// not recurse `O(batch)` deep.
+    fn find(&mut self, x: Vertex) -> Vertex {
+        let mut root = x;
+        loop {
+            let p = *self.parent.entry(root).or_insert(root);
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[&cur];
+            self.parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+
+    fn same(&mut self, a: Vertex, b: Vertex) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    fn union(&mut self, a: Vertex, b: Vertex) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Canonicalises a batch: drops self loops and out-of-range endpoints,
+/// orients edges `(min, max)`, and removes duplicates with the workspace's
+/// (parallel) grouping primitive.
+fn normalize(edges: &[(Vertex, Vertex)], n: usize) -> Vec<(Vertex, Vertex)> {
+    let cleaned: Vec<(Vertex, Vertex)> = edges
+        .iter()
+        .filter(|&&(u, v)| u != v && u < n && v < n)
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    remove_duplicates(cleaned)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::UfoConnectivity;
+
+    #[test]
+    fn batch_insert_dedupes_and_classifies() {
+        let mut g = UfoConnectivity::new(5);
+        let applied = g.batch_insert(&[(0, 1), (1, 0), (1, 2), (2, 0), (3, 3), (0, 9)]);
+        // (1,0) duplicates (0,1); (3,3) self loop; (0,9) out of range
+        assert_eq!(applied, 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.component_count(), 3); // {0,1,2}, {3}, {4}
+        assert_eq!(g.spanning_forest_size(), 2);
+    }
+
+    #[test]
+    fn batch_delete_triggers_replacements() {
+        let mut g = UfoConnectivity::new(6);
+        // two triangles bridged by (2, 3)
+        g.batch_insert(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(g.component_count(), 1);
+        // delete one tree edge per triangle: non-tree edges replace them
+        let removed = g.batch_delete(&[(0, 1), (3, 4)]);
+        assert_eq!(removed, 2);
+        assert_eq!(g.component_count(), 1);
+        assert!(g.connected(0, 5));
+        // deleting the bridge splits
+        assert_eq!(g.batch_delete(&[(2, 3), (2, 3)]), 1);
+        assert!(!g.connected(0, 5));
+        assert_eq!(g.component_count(), 2);
+    }
+
+    #[test]
+    fn huge_chain_batch_does_not_overflow_the_stack() {
+        // one chain-shaped batch plus a closing edge: the pre-pass DSU must
+        // resolve the length-k parent chain iteratively
+        let k = 200_000;
+        let mut g = crate::LinkCutConnectivity::new(k + 1);
+        let mut batch: Vec<(usize, usize)> = (0..k).map(|i| (i, i + 1)).collect();
+        batch.push((0, k));
+        assert_eq!(g.batch_insert(&batch), k + 1);
+        assert_eq!(g.component_count(), 1);
+        assert_eq!(g.spanning_forest_size(), k);
+    }
+
+    #[test]
+    fn batch_connected_queries() {
+        let mut g = UfoConnectivity::new(6);
+        g.batch_insert(&[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(
+            g.batch_connected(&[(0, 2), (0, 4), (4, 5), (3, 3)]),
+            vec![true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut batched = UfoConnectivity::new(40);
+        let mut sequential = UfoConnectivity::new(40);
+        let edges: Vec<(usize, usize)> = (0..40)
+            .flat_map(|u| [(u, (u + 1) % 40), (u, (u + 7) % 40)])
+            .collect();
+        for chunk in edges.chunks(8) {
+            batched.batch_insert(chunk);
+            for &(u, v) in chunk {
+                sequential.insert_edge(u, v);
+            }
+        }
+        assert_eq!(batched.num_edges(), sequential.num_edges());
+        assert_eq!(batched.component_count(), sequential.component_count());
+        for chunk in edges.chunks(16) {
+            batched.batch_delete(chunk);
+            for &(u, v) in chunk {
+                sequential.delete_edge(u, v);
+            }
+            assert_eq!(batched.component_count(), sequential.component_count());
+        }
+        assert_eq!(batched.num_edges(), 0);
+    }
+}

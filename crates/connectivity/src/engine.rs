@@ -1,0 +1,626 @@
+//! The [`DynConnectivity`] engine: a spanning forest in a pluggable backend,
+//! plus the HDT level machinery for replacement-edge search on deletions.
+
+use std::collections::HashMap;
+
+use dyntree_primitives::Dsu;
+
+use crate::backend::SpanningBackend;
+use crate::levels::LevelAdjacency;
+use crate::Vertex;
+
+/// Book-keeping for one live edge.
+#[derive(Clone, Copy, Debug)]
+struct EdgeInfo {
+    /// HDT level; only ever increases.
+    level: usize,
+    /// Whether the edge is currently in the spanning forest.
+    tree: bool,
+}
+
+/// Fully-dynamic connectivity over vertices `0..n`.
+///
+/// Maintains a spanning forest of the current graph in the backend `B` under
+/// arbitrary [`insert_edge`](Self::insert_edge) /
+/// [`delete_edge`](Self::delete_edge) calls; `connected` queries run at the
+/// backend's own query speed.  Deleting a tree edge triggers the
+/// Holm–de Lichtenberg–Thorup replacement search over the non-tree edges,
+/// amortized by edge-level increases.
+#[derive(Clone, Debug)]
+pub struct DynConnectivity<B: SpanningBackend> {
+    n: usize,
+    backend: B,
+    adj: LevelAdjacency,
+    /// Canonically-oriented `(min, max)` edge → its info.
+    edges: HashMap<(Vertex, Vertex), EdgeInfo>,
+    components: usize,
+    /// One past the highest level an edge may reach (`⌊log₂ n⌋ + 1`): an
+    /// F_i component holds ≤ n/2^i vertices, so higher levels are useless.
+    level_cap: usize,
+    /// Epoch-stamped scratch marker for side-membership tests.
+    mark: Vec<u64>,
+    stamp: u64,
+}
+
+impl<B: SpanningBackend> DynConnectivity<B> {
+    /// An empty graph over `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            backend: B::new(n),
+            adj: LevelAdjacency::new(n),
+            edges: HashMap::new(),
+            components: n,
+            level_cap: usize::BITS as usize - n.max(1).leading_zeros() as usize,
+            mark: vec![0; n],
+            stamp: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list (self loops and duplicates skipped).
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.insert_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of live edges (tree and non-tree).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of edges currently in the spanning forest (`n` minus the
+    /// component count, always).
+    pub fn spanning_forest_size(&self) -> usize {
+        self.n - self.components
+    }
+
+    /// Number of connected components (isolated vertices included).
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Whether edge `(u, v)` is live.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.edges.contains_key(&canonical(u, v))
+    }
+
+    /// Whether `(u, v)` is live *and* in the spanning forest.
+    pub fn is_tree_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.edges
+            .get(&canonical(u, v))
+            .is_some_and(|info| info.tree)
+    }
+
+    /// The HDT level of live edge `(u, v)`.
+    pub fn edge_level(&self, u: Vertex, v: Vertex) -> Option<usize> {
+        self.edges.get(&canonical(u, v)).map(|info| info.level)
+    }
+
+    /// Shared access to the spanning-forest backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the spanning-forest backend (for queries the
+    /// backend supports beyond the [`SpanningBackend`] surface).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Sets the weight of vertex `v` in the backend (for backends with
+    /// weighted component aggregates).  Out-of-range vertices are ignored.
+    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+        if v >= self.n {
+            return;
+        }
+        self.backend.set_weight(v, w);
+    }
+
+    /// Whether `u` and `v` are connected, answered by the backend's forest.
+    /// Out-of-range vertices are connected to nothing (mirroring the
+    /// mutators, which silently skip them).
+    pub fn connected(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u >= self.n || v >= self.n {
+            return false;
+        }
+        u == v || self.backend.connected(u, v)
+    }
+
+    /// Inserts edge `(u, v)`.  Returns `false` for self loops, out-of-range
+    /// endpoints and duplicates.  Joins two components (tree edge) or becomes
+    /// a level-0 non-tree edge.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u == v || u >= self.n || v >= self.n || self.has_edge(u, v) {
+            return false;
+        }
+        if self.backend.connected(u, v) {
+            self.adj.nontree_insert(u, v, 0);
+            self.edges.insert(
+                canonical(u, v),
+                EdgeInfo {
+                    level: 0,
+                    tree: false,
+                },
+            );
+        } else {
+            let linked = self.backend.link(u, v);
+            debug_assert!(linked, "backend rejected a joining link ({u},{v})");
+            self.adj.tree_insert(u, v, 0);
+            self.edges.insert(
+                canonical(u, v),
+                EdgeInfo {
+                    level: 0,
+                    tree: true,
+                },
+            );
+            self.components -= 1;
+        }
+        true
+    }
+
+    /// Inserts `(u, v)` that is already known to connect two connected
+    /// vertices (the batch layer proves this with its union-find pre-pass),
+    /// skipping the backend's connectivity probe.
+    pub(crate) fn insert_nontree_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u == v || u >= self.n || v >= self.n || self.has_edge(u, v) {
+            return false;
+        }
+        debug_assert!(self.backend.connected(u, v), "hint was wrong: ({u},{v})");
+        self.adj.nontree_insert(u, v, 0);
+        self.edges.insert(
+            canonical(u, v),
+            EdgeInfo {
+                level: 0,
+                tree: false,
+            },
+        );
+        true
+    }
+
+    /// Deletes edge `(u, v)`.  Returns `false` if not live.  Deleting a tree
+    /// edge searches the non-tree edges for a replacement; if none exists the
+    /// component splits.
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        let Some(info) = self.edges.remove(&canonical(u, v)) else {
+            return false;
+        };
+        if !info.tree {
+            let removed = self.adj.nontree_remove(u, v, info.level);
+            debug_assert!(removed, "non-tree edge ({u},{v}) missing from adjacency");
+            return true;
+        }
+        let removed = self.adj.tree_remove(u, v);
+        debug_assert_eq!(removed, Some(info.level));
+        let cut = self.backend.cut(u, v);
+        debug_assert!(cut, "backend rejected cutting tree edge ({u},{v})");
+        if !self.find_replacement(u, v, info.level) {
+            self.components += 1;
+        }
+        true
+    }
+
+    /// HDT replacement search after cutting tree edge `(u, v)` of level `l`.
+    /// Returns whether a replacement was found (and linked).
+    fn find_replacement(&mut self, u: Vertex, v: Vertex, l: usize) -> bool {
+        for level in (0..=l).rev() {
+            // The smaller of the two F_level components the cut produced.
+            let side = self.smaller_side(u, v, level);
+            self.stamp += 1;
+            for &x in &side {
+                self.mark[x] = self.stamp;
+            }
+
+            // Charge the search: push the side's level-`level` tree edges up.
+            if level + 1 < self.level_cap {
+                for &x in &side {
+                    let to_bump = self.adj.tree_neighbors_at(x, level);
+                    for w in to_bump {
+                        debug_assert_eq!(self.mark[w], self.stamp, "F_level tree edge leaves side");
+                        self.adj.tree_set_level(x, w, level + 1);
+                        if let Some(info) = self.edges.get_mut(&canonical(x, w)) {
+                            info.level = level + 1;
+                        }
+                    }
+                }
+            }
+
+            // Scan the side's level-`level` non-tree edges: the first one
+            // leaving the side reconnects the components; the scanned ones
+            // before it are pushed up a level (they stay inside the side).
+            // Each vertex's bucket is drained wholesale and every drained
+            // edge re-filed exactly once, so the scan is linear in the
+            // number of scanned edges (no per-edge remove-by-scan on `x`'s
+            // own shrinking bucket).
+            for &x in &side {
+                let bucket = self.adj.nontree_take_bucket(x, level);
+                let mut drained = bucket.into_iter();
+                let mut survivors: Vec<Vertex> = Vec::new();
+                let mut found: Option<Vertex> = None;
+                for y in drained.by_ref() {
+                    if self.mark[y] == self.stamp {
+                        if level + 1 < self.level_cap {
+                            let moved = self.adj.nontree_remove_one_sided(y, x, level);
+                            debug_assert!(moved, "mirror of ({x},{y}) missing");
+                            self.adj.nontree_push_one_sided(y, x, level + 1);
+                            self.adj.nontree_push_one_sided(x, y, level + 1);
+                            self.edges
+                                .get_mut(&canonical(x, y))
+                                .expect("live non-tree edge")
+                                .level = level + 1;
+                        } else {
+                            survivors.push(y);
+                        }
+                    } else {
+                        found = Some(y);
+                        break;
+                    }
+                }
+                if let Some(y) = found {
+                    // unscanned edges keep their level
+                    survivors.extend(drained);
+                    self.adj.nontree_set_bucket(x, level, survivors);
+                    // Replacement found: promote to a tree edge.
+                    let removed = self.adj.nontree_remove_one_sided(y, x, level);
+                    debug_assert!(removed, "mirror of ({x},{y}) missing");
+                    self.adj.tree_insert(x, y, level);
+                    self.edges
+                        .get_mut(&canonical(x, y))
+                        .expect("live non-tree edge")
+                        .tree = true;
+                    let linked = self.backend.link(x, y);
+                    debug_assert!(linked, "backend rejected replacement link ({x},{y})");
+                    return true;
+                }
+                self.adj.nontree_set_bucket(x, level, survivors);
+            }
+        }
+        false
+    }
+
+    /// Vertex set of the smaller (or tied) of the two `F_level` components
+    /// containing `u` and `v`, found by **per-edge** lock-step BFS over the
+    /// level-bucketed tree adjacency: the sides alternate consuming one
+    /// level ≥ `level` entry at a time, and lower-level entries are never
+    /// touched (they live in other buckets).  Within `F_level` each
+    /// component is a tree, so the side with fewer such entries is exactly
+    /// the side with fewer vertices — the HDT `n/2^i` promotion invariant
+    /// selects the right side, and a tiny side split off a hub returns
+    /// without scanning the hub's lower-level neighbour list.  Visited-set
+    /// membership uses the engine's epoch-stamped mark array (one stamp per
+    /// side; the sides are disjoint, so the stamps cannot collide).
+    fn smaller_side(&mut self, u: Vertex, v: Vertex, level: usize) -> Vec<Vertex> {
+        self.stamp += 1;
+        let stamp_a = self.stamp;
+        self.stamp += 1;
+        let stamp_b = self.stamp;
+        let adj = &self.adj;
+        let mark = &mut self.mark;
+        mark[u] = stamp_a;
+        mark[v] = stamp_b;
+        let mut a = EdgeLockstepBfs::new(u, adj, level);
+        let mut b = EdgeLockstepBfs::new(v, adj, level);
+        loop {
+            if !a.step(adj, mark, stamp_a, level) {
+                return a.queue;
+            }
+            if !b.step(adj, mark, stamp_b, level) {
+                return b.queue;
+            }
+        }
+    }
+
+    /// Number of vertices in `v`'s component (backend fast path, else a walk
+    /// over the engine's tree adjacency).  Out of range → 0.
+    pub fn component_size(&mut self, v: Vertex) -> u64 {
+        if v >= self.n {
+            return 0;
+        }
+        if let Some(s) = self.backend.component_size(v) {
+            return s;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let adj = &self.adj;
+        let mark = &mut self.mark;
+        let mut visited = vec![v];
+        mark[v] = stamp;
+        let mut i = 0;
+        while i < visited.len() {
+            let x = visited[i];
+            i += 1;
+            for (w, _) in adj.tree_neighbors(x) {
+                if mark[w] != stamp {
+                    mark[w] = stamp;
+                    visited.push(w);
+                }
+            }
+        }
+        visited.len() as u64
+    }
+
+    /// Sum of vertex weights in `v`'s component, when the backend tracks
+    /// weights.  Out of range → `None`.
+    pub fn component_sum(&mut self, v: Vertex) -> Option<i64> {
+        if v >= self.n {
+            return None;
+        }
+        self.backend.component_sum(v)
+    }
+
+    /// Approximate heap bytes owned by the engine and its backend.
+    pub fn memory_bytes(&self) -> usize {
+        let word = std::mem::size_of::<usize>();
+        self.backend.memory_bytes()
+            + self.adj.memory_bytes()
+            + self.edges.capacity() * (2 * word + std::mem::size_of::<EdgeInfo>() + word / 2)
+            + self.mark.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Verifies the engine's invariants; returns a description of the first
+    /// violation.  `O(n + m α(n))` — test/debug use only.
+    pub fn check_invariants(&mut self) -> Result<(), String> {
+        if self.spanning_forest_size() != self.edges.values().filter(|e| e.tree).count() {
+            return Err(format!(
+                "tree-edge count {} != n - components {}",
+                self.edges.values().filter(|e| e.tree).count(),
+                self.spanning_forest_size()
+            ));
+        }
+        let mut dsu = Dsu::new(self.n);
+        for (&(a, b), info) in &self.edges {
+            if info.level >= self.level_cap {
+                return Err(format!("edge ({a},{b}) level {} ≥ cap", info.level));
+            }
+            if info.tree && !dsu.union(a, b) {
+                return Err(format!("tree edge ({a},{b}) closes a cycle"));
+            }
+        }
+        for (&(a, b), info) in &self.edges {
+            if !info.tree && dsu.find(a) != dsu.find(b) {
+                return Err(format!("non-tree edge ({a},{b}) spans two components"));
+            }
+        }
+        let edges: Vec<(Vertex, Vertex, bool)> = self
+            .edges
+            .iter()
+            .map(|(&(a, b), info)| (a, b, info.tree))
+            .collect();
+        for (a, b, tree) in edges {
+            if !self.backend.connected(a, b) {
+                return Err(format!("backend disagrees: ({a},{b}) not connected"));
+            }
+            let in_tree_adj = self.adj.tree_neighbors(a).any(|(w, _)| w == b);
+            if tree != in_tree_adj {
+                return Err(format!("edge ({a},{b}) tree flag {tree} != adjacency"));
+            }
+            if tree {
+                let level = self.edges[&canonical(a, b)].level;
+                for (x, y) in [(a, b), (b, a)] {
+                    if !self.adj.tree_neighbors_at(x, level).contains(&y) {
+                        return Err(format!(
+                            "tree edge ({a},{b}) missing from {x}'s level-{level} bucket"
+                        ));
+                    }
+                }
+            }
+        }
+        // bucketed tree adjacency must mirror the neighbour→level map exactly
+        for v in 0..self.n {
+            let map_deg = self.adj.tree_neighbors(v).count();
+            let bucket_deg = self.adj.tree_neighbors_from(v, 0).count();
+            if map_deg != bucket_deg {
+                return Err(format!(
+                    "vertex {v}: tree map degree {map_deg} != bucket degree {bucket_deg}"
+                ));
+            }
+        }
+        // Non-tree adjacency: every non-tree edge sits in both endpoints'
+        // buckets at exactly its recorded level, and no stale entries exist
+        // (total bucket population must match the live non-tree edge count).
+        let mut nontree_edges = 0usize;
+        for (&(a, b), info) in &self.edges {
+            if info.tree {
+                continue;
+            }
+            nontree_edges += 1;
+            for (x, y) in [(a, b), (b, a)] {
+                if !self.adj.nontree_neighbors_at(x, info.level).contains(&y) {
+                    return Err(format!(
+                        "non-tree edge ({a},{b}) missing from {x}'s level-{} bucket",
+                        info.level
+                    ));
+                }
+            }
+        }
+        let bucket_population: usize = (0..self.n).map(|v| self.adj.nontree_degree(v)).sum();
+        if bucket_population != 2 * nontree_edges {
+            return Err(format!(
+                "stale non-tree adjacency: {} bucket entries for {} edges",
+                bucket_population, nontree_edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One side of the per-edge lock-step BFS in
+/// [`DynConnectivity::smaller_side`]: each `step` consumes at most one
+/// level ≥ `level` adjacency entry of the frontier (lower-level entries are
+/// never even visited — the bucketed adjacency keeps them out of the
+/// iterator), so alternating two sides costs `O(min(|A|, |B|))` `F_level`
+/// edges before the smaller one exhausts.
+struct EdgeLockstepBfs<'a> {
+    queue: Vec<Vertex>,
+    /// Index of the vertex currently being expanded.
+    qi: usize,
+    /// Lazy iterator over the current vertex's level ≥ `level` neighbours.
+    cur: Option<Box<dyn Iterator<Item = Vertex> + 'a>>,
+}
+
+impl<'a> EdgeLockstepBfs<'a> {
+    fn new(start: Vertex, adj: &'a LevelAdjacency, level: usize) -> Self {
+        Self {
+            queue: vec![start],
+            qi: 0,
+            cur: Some(Box::new(adj.tree_neighbors_from(start, level))),
+        }
+    }
+
+    /// Consumes one qualifying adjacency entry; returns `false` once the
+    /// component is exhausted.
+    fn step(
+        &mut self,
+        adj: &'a LevelAdjacency,
+        mark: &mut [u64],
+        stamp: u64,
+        level: usize,
+    ) -> bool {
+        loop {
+            if let Some(it) = self.cur.as_mut() {
+                if let Some(w) = it.next() {
+                    if mark[w] != stamp {
+                        mark[w] = stamp;
+                        self.queue.push(w);
+                    }
+                    return true;
+                }
+                self.cur = None;
+            }
+            self.qi += 1;
+            if self.qi >= self.queue.len() {
+                return false;
+            }
+            self.cur = Some(Box::new(
+                adj.tree_neighbors_from(self.queue[self.qi], level),
+            ));
+        }
+    }
+}
+
+fn canonical(u: Vertex, v: Vertex) -> (Vertex, Vertex) {
+    (u.min(v), u.max(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EulerConnectivity, LinkCutConnectivity, NaiveConnectivity, UfoConnectivity};
+
+    fn triangle_replacement<B: SpanningBackend>() {
+        let mut g: DynConnectivity<B> = DynConnectivity::new(4);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(1, 2));
+        assert!(g.insert_edge(2, 0), "cycle edge accepted as non-tree");
+        assert!(!g.insert_edge(0, 1), "duplicate rejected");
+        assert!(!g.insert_edge(3, 3), "self loop rejected");
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.component_count(), 2);
+        assert_eq!(g.spanning_forest_size(), 2);
+        assert!(g.is_tree_edge(0, 1));
+        assert!(!g.is_tree_edge(2, 0));
+
+        // deleting a tree edge of the triangle keeps it connected
+        assert!(g.delete_edge(0, 1));
+        assert!(g.connected(0, 1));
+        assert_eq!(g.component_count(), 2);
+        assert!(g.is_tree_edge(2, 0), "replacement promoted");
+
+        // now the cycle is gone: deleting a tree edge splits
+        assert!(g.delete_edge(1, 2));
+        assert!(!g.connected(0, 1));
+        assert_eq!(g.component_count(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn triangle_replacement_all_backends() {
+        triangle_replacement::<ufo_forest::UfoForest>();
+        triangle_replacement::<dyntree_linkcut::LinkCutForest>();
+        triangle_replacement::<dyntree_euler::EulerTourForest<dyntree_seqs::TreapSequence>>();
+        triangle_replacement::<ufo_forest::TopologyForest>();
+        triangle_replacement::<dyntree_naive::NaiveForest>();
+    }
+
+    #[test]
+    fn aliases_compile_and_run() {
+        let mut a = UfoConnectivity::new(3);
+        let mut b = LinkCutConnectivity::new(3);
+        let mut c = EulerConnectivity::new(3);
+        let mut d = NaiveConnectivity::new(3);
+        a.insert_edge(0, 1);
+        b.insert_edge(0, 1);
+        c.insert_edge(0, 1);
+        d.insert_edge(0, 1);
+        assert!(a.connected(0, 1) && b.connected(0, 1) && c.connected(0, 1) && d.connected(0, 1));
+    }
+
+    #[test]
+    fn dense_clique_deletions_keep_connectivity() {
+        let n = 12;
+        let mut g = UfoConnectivity::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.insert_edge(u, v);
+            }
+        }
+        assert_eq!(g.component_count(), 1);
+        // delete every edge incident to vertex 0 except (0, n-1)
+        for v in 1..n - 1 {
+            assert!(g.delete_edge(0, v));
+            assert!(g.connected(0, v), "clique survives single deletions");
+        }
+        g.check_invariants().unwrap();
+        // tear the whole graph down
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.delete_edge(u, v);
+            }
+        }
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.component_count(), n);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_lenient_everywhere() {
+        // queries must mirror the mutators' silent-skip contract, not panic
+        let mut g = UfoConnectivity::new(3);
+        g.insert_edge(0, 1);
+        assert!(!g.insert_edge(0, 7));
+        assert!(!g.connected(0, 7));
+        assert!(!g.connected(9, 9));
+        assert_eq!(g.batch_connected(&[(0, 7), (0, 1)]), vec![false, true]);
+        assert_eq!(g.component_size(7), 0);
+        assert_eq!(g.component_sum(7), None);
+        g.set_weight(7, 5); // ignored, no panic
+        assert!(!g.delete_edge(0, 7));
+    }
+
+    #[test]
+    fn path_then_bridge_deletion_splits() {
+        let mut g = LinkCutConnectivity::new(6);
+        for i in 0..5 {
+            g.insert_edge(i, i + 1);
+        }
+        assert_eq!(g.component_count(), 1);
+        assert!(g.delete_edge(2, 3), "bridge deletion");
+        assert!(!g.connected(0, 5));
+        assert_eq!(g.component_count(), 2);
+        assert_eq!(g.component_size(0), 3);
+        assert_eq!(g.component_size(5), 3);
+        g.check_invariants().unwrap();
+    }
+}

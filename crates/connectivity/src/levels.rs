@@ -1,0 +1,265 @@
+//! Per-vertex, per-level adjacency bookkeeping for the HDT level scheme.
+//!
+//! The engine keeps the *spanning forest* in the backend, but the level
+//! machinery needs its own view of the graph: for every vertex, which tree
+//! edges leave it (and at what level), and which non-tree edges leave it at
+//! each level.  Levels only ever increase, so the amortized work of the
+//! replacement searches is bounded by the total number of level bumps,
+//! `O(m log n)`.
+
+use std::collections::HashMap;
+
+/// Adjacency structures for one graph: tree edges with their levels, and
+/// non-tree edges bucketed by level.
+///
+/// Tree adjacency is stored **twice**: a neighbour→level map (O(1) level
+/// lookup for insert/remove/bump) and level→neighbour buckets (so traversals
+/// of the level-`l` forest `F_l` touch only level ≥ `l` entries — the
+/// smaller-side search must never pay for a hub's lower-level edges, or the
+/// HDT `n/2^i` component-size invariant would be selected against the wrong
+/// side).  A vertex carries at most `⌊log₂ n⌋ + 1` distinct levels, so the
+/// bucketed view adds only a logarithmic factor of map overhead.
+#[derive(Clone, Debug, Default)]
+pub struct LevelAdjacency {
+    /// `tree[v]`: neighbour → level, for spanning-forest edges at `v`.
+    tree: Vec<HashMap<usize, usize>>,
+    /// `tree_buckets[v]`: level → neighbours, same edges bucketed by level.
+    tree_buckets: Vec<HashMap<usize, Vec<usize>>>,
+    /// `nontree[v]`: level → neighbours, for non-tree edges at `v`.
+    nontree: Vec<HashMap<usize, Vec<usize>>>,
+}
+
+impl LevelAdjacency {
+    /// Empty adjacency over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tree: vec![HashMap::new(); n],
+            tree_buckets: vec![HashMap::new(); n],
+            nontree: vec![HashMap::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Records tree edge `(u, v)` at `level`.
+    pub fn tree_insert(&mut self, u: usize, v: usize, level: usize) {
+        let prev = self.tree[u].insert(v, level);
+        debug_assert!(prev.is_none(), "duplicate tree edge ({u},{v})");
+        let prev = self.tree[v].insert(u, level);
+        debug_assert!(prev.is_none());
+        self.tree_buckets[u].entry(level).or_default().push(v);
+        self.tree_buckets[v].entry(level).or_default().push(u);
+    }
+
+    /// Removes tree edge `(u, v)`, returning its level.
+    pub fn tree_remove(&mut self, u: usize, v: usize) -> Option<usize> {
+        let level = self.tree[u].remove(&v)?;
+        let other = self.tree[v].remove(&u);
+        debug_assert_eq!(other, Some(level));
+        self.tree_bucket_remove(u, v, level);
+        self.tree_bucket_remove(v, u, level);
+        Some(level)
+    }
+
+    /// Raises the level of tree edge `(u, v)` to `level`.
+    pub fn tree_set_level(&mut self, u: usize, v: usize, level: usize) {
+        let old = self.tree[u].insert(v, level).expect("live tree edge");
+        debug_assert!(old <= level);
+        self.tree[v].insert(u, level);
+        if old != level {
+            self.tree_bucket_remove(u, v, old);
+            self.tree_bucket_remove(v, u, old);
+            self.tree_buckets[u].entry(level).or_default().push(v);
+            self.tree_buckets[v].entry(level).or_default().push(u);
+        }
+    }
+
+    fn tree_bucket_remove(&mut self, v: usize, w: usize, level: usize) {
+        let bucket = self.tree_buckets[v]
+            .get_mut(&level)
+            .expect("bucket for live tree edge");
+        let pos = bucket
+            .iter()
+            .position(|&x| x == w)
+            .expect("tree edge present in its bucket");
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.tree_buckets[v].remove(&level);
+        }
+    }
+
+    /// All tree neighbours of `v` with their levels.
+    pub fn tree_neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.tree[v].iter().map(|(&w, &l)| (w, l))
+    }
+
+    /// Tree neighbours of `v` with edge level **at least** `level`, touching
+    /// only the qualifying buckets — never the lower-level ones.
+    pub fn tree_neighbors_from(&self, v: usize, level: usize) -> impl Iterator<Item = usize> + '_ {
+        self.tree_buckets[v]
+            .iter()
+            .filter(move |&(&l, _)| l >= level)
+            .flat_map(|(_, bucket)| bucket.iter().copied())
+    }
+
+    /// Snapshot of the tree neighbours of `v` at exactly `level`.
+    pub fn tree_neighbors_at(&self, v: usize, level: usize) -> Vec<usize> {
+        self.tree_buckets[v]
+            .get(&level)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Records non-tree edge `(u, v)` at `level`.
+    pub fn nontree_insert(&mut self, u: usize, v: usize, level: usize) {
+        self.nontree[u].entry(level).or_default().push(v);
+        self.nontree[v].entry(level).or_default().push(u);
+    }
+
+    /// Removes non-tree edge `(u, v)` at `level`; returns whether present.
+    pub fn nontree_remove(&mut self, u: usize, v: usize, level: usize) -> bool {
+        let mut removed = false;
+        for (a, b) in [(u, v), (v, u)] {
+            if let Some(bucket) = self.nontree[a].get_mut(&level) {
+                if let Some(pos) = bucket.iter().position(|&x| x == b) {
+                    bucket.swap_remove(pos);
+                    removed = true;
+                    if bucket.is_empty() {
+                        self.nontree[a].remove(&level);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Snapshot of the level-`level` non-tree neighbours of `v`.
+    pub fn nontree_neighbors_at(&self, v: usize, level: usize) -> Vec<usize> {
+        self.nontree[v].get(&level).cloned().unwrap_or_default()
+    }
+
+    /// Removes and returns `v`'s **own** level-`level` bucket wholesale.  The
+    /// mirror entries at the neighbours are left untouched — the caller is
+    /// responsible for them (used by the replacement scan, which re-files
+    /// every drained edge exactly once, keeping its cost linear in the bucket
+    /// instead of quadratic remove-by-scan).
+    pub fn nontree_take_bucket(&mut self, v: usize, level: usize) -> Vec<usize> {
+        self.nontree[v].remove(&level).unwrap_or_default()
+    }
+
+    /// Replaces `v`'s own level-`level` bucket wholesale (mirrors untouched).
+    pub fn nontree_set_bucket(&mut self, v: usize, level: usize, neighbors: Vec<usize>) {
+        if neighbors.is_empty() {
+            self.nontree[v].remove(&level);
+        } else {
+            self.nontree[v].insert(level, neighbors);
+        }
+    }
+
+    /// Appends `w` to `v`'s own level-`level` bucket (mirror untouched).
+    pub fn nontree_push_one_sided(&mut self, v: usize, w: usize, level: usize) {
+        self.nontree[v].entry(level).or_default().push(w);
+    }
+
+    /// Removes `w` from `v`'s own level-`level` bucket (mirror untouched);
+    /// returns whether it was present.
+    pub fn nontree_remove_one_sided(&mut self, v: usize, w: usize, level: usize) -> bool {
+        let Some(bucket) = self.nontree[v].get_mut(&level) else {
+            return false;
+        };
+        let Some(pos) = bucket.iter().position(|&x| x == w) else {
+            return false;
+        };
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.nontree[v].remove(&level);
+        }
+        true
+    }
+
+    /// Number of non-tree edge endpoints stored at `v` (across all levels).
+    pub fn nontree_degree(&self, v: usize) -> usize {
+        self.nontree[v].values().map(Vec::len).sum()
+    }
+
+    /// Approximate heap bytes owned by the adjacency structures (both tree
+    /// views, the bucketed mirror included, plus the non-tree buckets).
+    pub fn memory_bytes(&self) -> usize {
+        let word = std::mem::size_of::<usize>();
+        let map_entry = 2 * word + word / 2; // key + value + hashtable slack
+        let tree: usize = self.tree.iter().map(|m| m.capacity() * map_entry).sum();
+        let bucket_bytes = |maps: &Vec<HashMap<usize, Vec<usize>>>| -> usize {
+            maps.iter()
+                .map(|m| {
+                    m.capacity() * map_entry
+                        + m.values().map(|v| v.capacity() * word).sum::<usize>()
+                })
+                .sum()
+        };
+        tree + bucket_bytes(&self.tree_buckets)
+            + bucket_bytes(&self.nontree)
+            + self.tree.capacity() * 3 * word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_edge_roundtrip() {
+        let mut adj = LevelAdjacency::new(4);
+        adj.tree_insert(0, 1, 0);
+        adj.tree_insert(1, 2, 3);
+        assert_eq!(adj.tree_neighbors(1).count(), 2);
+        assert_eq!(adj.tree_neighbors(1).filter(|&(_, l)| l >= 1).count(), 1);
+        adj.tree_set_level(0, 1, 2);
+        assert_eq!(adj.tree_remove(0, 1), Some(2));
+        assert_eq!(adj.tree_remove(0, 1), None);
+        assert_eq!(adj.tree_neighbors(1).count(), 1);
+    }
+
+    #[test]
+    fn one_sided_bucket_ops_compose_with_two_sided_state() {
+        let mut adj = LevelAdjacency::new(4);
+        adj.nontree_insert(0, 1, 0);
+        adj.nontree_insert(0, 2, 0);
+        let bucket = adj.nontree_take_bucket(0, 0);
+        assert_eq!(bucket.len(), 2);
+        assert!(adj.nontree_neighbors_at(0, 0).is_empty());
+        // mirrors still present until the caller re-files them
+        assert!(adj.nontree_remove_one_sided(1, 0, 0));
+        adj.nontree_push_one_sided(1, 0, 1);
+        adj.nontree_push_one_sided(0, 1, 1);
+        adj.nontree_set_bucket(0, 0, vec![2]);
+        assert_eq!(adj.nontree_neighbors_at(0, 0), vec![2]);
+        assert_eq!(adj.nontree_neighbors_at(0, 1), vec![1]);
+        assert!(adj.nontree_remove(0, 2, 0));
+        assert!(adj.nontree_remove(0, 1, 1));
+        assert_eq!(adj.nontree_degree(0), 0);
+    }
+
+    #[test]
+    fn nontree_edge_roundtrip() {
+        let mut adj = LevelAdjacency::new(4);
+        adj.nontree_insert(0, 1, 0);
+        adj.nontree_insert(0, 2, 0);
+        adj.nontree_insert(0, 3, 1);
+        assert_eq!(adj.nontree_degree(0), 3);
+        let mut at0 = adj.nontree_neighbors_at(0, 0);
+        at0.sort_unstable();
+        assert_eq!(at0, vec![1, 2]);
+        assert!(adj.nontree_remove(0, 2, 0));
+        assert!(!adj.nontree_remove(0, 2, 0));
+        assert_eq!(adj.nontree_neighbors_at(0, 0), vec![1]);
+        assert_eq!(adj.nontree_neighbors_at(0, 1), vec![3]);
+    }
+}

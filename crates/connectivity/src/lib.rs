@@ -1,0 +1,65 @@
+//! Batch-dynamic connectivity for **general graphs** on top of the
+//! workspace's dynamic-tree forests.
+//!
+//! The dynamic-tree structures of the paper (UFO trees, topology trees,
+//! link-cut trees, Euler tour trees) maintain *forests*; their headline
+//! application is dynamic connectivity on arbitrary graphs, where a spanning
+//! forest must survive arbitrary edge insertions **and deletions**.  This
+//! crate implements the Holm–de Lichtenberg–Thorup (HDT) level scheme:
+//!
+//! * a spanning forest of the current graph lives in a pluggable dynamic-tree
+//!   *backend* (anything implementing [`SpanningBackend`] — every forest in
+//!   this workspace does), which answers `connected` queries in the backend's
+//!   own query time;
+//! * non-tree edges live in per-vertex, per-level adjacency structures
+//!   ([`levels::LevelAdjacency`]); every edge carries a level that only ever
+//!   increases, amortizing the replacement-edge searches that deletions of
+//!   tree edges trigger (`O(log² n)` amortized per update in the classic
+//!   analysis);
+//! * batches of insertions/deletions are canonicalised and deduplicated with
+//!   the `dyntree_primitives` grouping primitives before touching the tree
+//!   layer (see [`batch`]).
+//!
+//! The entry point is [`DynConnectivity`]; convenience aliases pick each
+//! forest of the workspace as the backend:
+//!
+//! ```
+//! use dyntree_connectivity::UfoConnectivity;
+//!
+//! let mut g = UfoConnectivity::new(5);
+//! g.insert_edge(0, 1);
+//! g.insert_edge(1, 2);
+//! g.insert_edge(2, 0); // cycle: kept as a non-tree edge
+//! assert!(g.connected(0, 2));
+//! g.delete_edge(0, 1); // tree edge: replaced by (2, 0) automatically
+//! assert!(g.connected(0, 2));
+//! assert_eq!(g.component_count(), 3); // {0,1,2} plus two isolated vertices
+//! ```
+
+pub mod backend;
+pub mod batch;
+pub mod engine;
+pub mod levels;
+
+pub use backend::SpanningBackend;
+pub use engine::DynConnectivity;
+
+use dyntree_seqs::TreapSequence;
+
+/// Vertex identifier in the graph.
+pub type Vertex = usize;
+
+/// Dynamic connectivity over a UFO-tree spanning forest.
+pub type UfoConnectivity = DynConnectivity<ufo_forest::UfoForest>;
+
+/// Dynamic connectivity over a topology-tree (ternarized) spanning forest.
+pub type TopologyConnectivity = DynConnectivity<ufo_forest::TopologyForest>;
+
+/// Dynamic connectivity over a link-cut-tree spanning forest.
+pub type LinkCutConnectivity = DynConnectivity<dyntree_linkcut::LinkCutForest>;
+
+/// Dynamic connectivity over a treap Euler-tour-tree spanning forest.
+pub type EulerConnectivity = DynConnectivity<dyntree_euler::EulerTourForest<TreapSequence>>;
+
+/// Dynamic connectivity over the naive oracle forest (for testing).
+pub type NaiveConnectivity = DynConnectivity<dyntree_naive::NaiveForest>;

@@ -225,7 +225,7 @@ mod tests {
         }
         assert_eq!(f.subtree_sum(1, 0), Some(1 + 2 + 3));
         assert_eq!(f.subtree_size(1, 0), Some(3));
-        assert_eq!(f.subtree_sum(0, 1), Some(0 + 4 + 5));
+        assert_eq!(f.subtree_sum(0, 1), Some(4 + 5));
         assert_eq!(f.subtree_sum(4, 0), Some(9));
         assert_eq!(f.subtree_max(0, 1), Some(5));
         assert_eq!(f.subtree_sum(2, 0), None, "(2, 0) is not an edge");

@@ -290,8 +290,7 @@ impl LinkCutForest {
             let p = self.nodes[x].parent;
             if !self.is_splay_root(p) {
                 let g = self.nodes[p].parent;
-                let zig_zig =
-                    (self.nodes[g].child[0] == p) == (self.nodes[p].child[0] == x);
+                let zig_zig = (self.nodes[g].child[0] == p) == (self.nodes[p].child[0] == x);
                 if zig_zig {
                     self.rotate(p);
                 } else {
@@ -384,7 +383,10 @@ mod tests {
         }
         f.link(3, 6);
         f.link(6, 7);
-        assert_eq!(f.path_sum(7, 5), Some((1 << 7) + (1 << 6) + (1 << 3) + 1 + (1 << 5)));
+        assert_eq!(
+            f.path_sum(7, 5),
+            Some((1 << 7) + (1 << 6) + (1 << 3) + 1 + (1 << 5))
+        );
         f.make_root(7);
         assert_eq!(f.path_sum(1, 2), Some(2 + 1 + 4));
         assert_eq!(f.path_len(7, 1), Some(4));
@@ -439,10 +441,7 @@ mod tests {
         }
         assert!(f.connected(0, n - 1));
         assert_eq!(f.path_len(0, n - 1), Some(n - 1));
-        assert_eq!(
-            f.path_sum(0, n - 1),
-            Some((n as i64 - 1) * n as i64 / 2)
-        );
+        assert_eq!(f.path_sum(0, n - 1), Some((n as i64 - 1) * n as i64 / 2));
         // cut in the middle
         assert!(f.cut(n / 2, n / 2 + 1));
         assert!(!f.connected(0, n - 1));

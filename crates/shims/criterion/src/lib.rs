@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external crates the code depends on are vendored as minimal shims under
+//! `crates/shims/`.  This one keeps criterion's macro and builder surface
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`) but replaces the statistics engine with a plain
+//! mean-over-samples timer that prints one line per benchmark:
+//!
+//! ```text
+//! group/function/param ... <mean> per iter (<samples> samples)
+//! ```
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) every benchmark body runs exactly once, so benches double
+//! as smoke tests.  Swapping the real crate back in is a one-line manifest
+//! change per crate.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new<F: ToString, P: ToString>(function: F, parameter: P) -> Self {
+        Self {
+            name: format!("{}/{}", function.to_string(), parameter.to_string()),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: ToString>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Measured samples, appended by [`Bencher::iter`].
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `f`, running it once per sample (plus one warm-up), or exactly
+    /// once in `--test` mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim is not time-budgeted.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up exactly once.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (`Throughput` reporting is not
+    /// implemented; report ops/s inside the benchmark instead).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_size: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            test_mode: self.criterion.test_mode,
+        }
+    }
+
+    fn report(&self, bench_name: &str, b: &Bencher) {
+        // Standalone benches (empty group name) report a bare id, matching
+        // real criterion's `bench_function` output.
+        let label = if self.name.is_empty() {
+            bench_name.to_string()
+        } else {
+            format!("{}/{}", self.name, bench_name)
+        };
+        if self.criterion.test_mode {
+            println!("test {label} ... ok (smoke)");
+            return;
+        }
+        let n = b.samples.len().max(1) as u32;
+        let mean = b.samples.iter().sum::<Duration>() / n;
+        println!(
+            "{label} ... {:?} per iter ({} samples)",
+            mean,
+            b.samples.len()
+        );
+    }
+}
+
+/// Throughput hint (accepted, not reported — see [`BenchmarkGroup::throughput`]).
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` only under `cargo bench`; under `cargo test`
+        // (which runs `harness = false` bench targets once to verify them)
+        // the flag is absent, and `--test` may be passed explicitly.  Mirror
+        // real criterion: benchmark only when invoked for benchmarking.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark (reported under its bare name).
+    pub fn bench_function<F>(&mut self, name: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.benchmark_group("").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external crates the code depends on are vendored as minimal shims under
+//! `crates/shims/` (wired in by path in every manifest).  This one implements
+//! exactly the subset of the rand 0.9 API the workspace uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::StdRng`]
+//! * [`Rng::random`] (for `u64` and `f64`), [`Rng::random_bool`],
+//!   [`Rng::random_range`] over integer and `f64` ranges
+//! * [`seq::SliceRandom::shuffle`]
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a different
+//! stream than the real `StdRng` (ChaCha12), but every consumer in this
+//! workspace only relies on *determinism for a given seed*, never on matching
+//! rand's exact stream.  Swapping the real crate back in is a one-line
+//! manifest change per crate.
+
+/// Types that can seed and construct a generator.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a type with a standard uniform distribution
+    /// (`u64` over its full range, `f64` uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self.next_u64()) < p
+    }
+
+    /// Samples uniformly from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_with(&mut || self.next_u64())
+    }
+}
+
+/// Marker for types samplable from 64 raw bits.
+pub trait Standard {
+    /// Maps 64 uniform bits to a uniform value of `Self`.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Samples a value from the range using the generator's raw bits.
+    fn sample_with(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::SeedableRng;
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl StdRng {
+        pub(crate) fn step(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::Rng;
+
+    /// Shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_with(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = bits() as u128 % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_with(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = bits() as u128 % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_with(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::sample(bits()) * (self.end - self.start)
+    }
+}

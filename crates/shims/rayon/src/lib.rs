@@ -1,0 +1,129 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external crates the code depends on are vendored as minimal shims under
+//! `crates/shims/`.  This one maps the parallel-iterator subset the workspace
+//! uses onto plain sequential `std` iterators:
+//!
+//! * `par_iter()` / `into_par_iter()` return the ordinary iterators,
+//! * `par_sort_unstable` / `par_sort_by_key` delegate to the `std` sorts,
+//! * rayon-only adaptor names (`flat_map_iter`) are provided as aliases,
+//! * [`current_num_threads`] reports 1 so that the workspace's
+//!   `worth_parallel` grain checks route every batch down the sequential
+//!   paths it would use for small batches anyway.
+//!
+//! Results are bit-for-bit identical to the parallel versions because every
+//! call site in the workspace only uses deterministic, order-preserving or
+//! order-insensitive combinators.  Swapping the real crate back in is a
+//! one-line manifest change per crate.
+
+/// Number of worker threads.  The shim executes everything on the calling
+/// thread, so this is honestly 1 — which also makes `worth_parallel`-style
+/// gates pick the sequential code paths.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures (sequentially, left first) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Borrowing "parallel" iteration over slices (and anything derefing to one).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Consuming "parallel" iteration.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Sequential stand-in for `rayon`'s `into_par_iter`.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Adaptor names that exist on rayon's `ParallelIterator` but not on
+/// `std::iter::Iterator`.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// rayon's `flat_map_iter`: flat-map through a serial inner iterator.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+/// Sequential stand-ins for rayon's parallel slice sorts.
+pub trait ParallelSliceMut<T> {
+    /// `par_sort_unstable` → `sort_unstable`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// `par_sort` → `sort`.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// `par_sort_by_key` → `sort_by_key`.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    /// `par_sort_unstable_by_key` → `sort_unstable_by_key`.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_by_key(f);
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIteratorExt, ParallelSliceMut,
+    };
+}

@@ -2,8 +2,9 @@
 //!
 //! Topology trees and rake-compress trees only accept inputs of degree ≤ 3.
 //! The [`Ternarizer`] maintains, for every original vertex, a *ternarized
-//! path* of underlying vertices ("slots"), each hosting at most one real edge,
-//! so that the underlying forest always has maximum degree 3.  Every original
+//! path* of underlying vertices ("slots") — the primary slot hosting up to two
+//! real edges, extra slots one each — so that the underlying forest always has
+//! maximum degree 3.  Every original
 //! `link`/`cut` is translated into a short sequence of underlying operations
 //! which the caller applies to whatever degree-bounded structure it wraps.
 //!
@@ -36,10 +37,14 @@ struct VertexPaths {
 pub struct Ternarizer {
     n: usize,
     verts: Vec<VertexPaths>,
-    /// For each slot, the number of real edges it currently hosts (0 or 1).
+    /// For each slot, the number of real edges it currently hosts (0..=2 for
+    /// primary slots, 0..=1 for extra slots).
     slot_load: Vec<u8>,
     /// Owner (original vertex) of every underlying slot.
     slot_owner: Vec<usize>,
+    /// For each slot, the *other* original endpoints of the real edges it
+    /// hosts (mirror of `slot_load`, used to relocate edges on compaction).
+    slot_hosted: Vec<Vec<usize>>,
     /// Recycled extra-slot ids.
     free_slots: Vec<usize>,
     /// Total allocated underlying ids (dense range `0..next_slot`).
@@ -56,6 +61,7 @@ impl Ternarizer {
             verts: (0..n).map(|v| VertexPaths { slots: vec![v] }).collect(),
             slot_load: vec![0; n],
             slot_owner: (0..n).collect(),
+            slot_hosted: vec![Vec::new(); n],
             free_slots: Vec::new(),
             next_slot: n,
             edge_slots: HashMap::new(),
@@ -130,7 +136,10 @@ impl Ternarizer {
         let sv = self.claim_slot(v, &mut ops);
         self.slot_load[su] += 1;
         self.slot_load[sv] += 1;
-        self.edge_slots.insert(canonical(u, v), order_for(u, v, su, sv));
+        self.slot_hosted[su].push(v);
+        self.slot_hosted[sv].push(u);
+        self.edge_slots
+            .insert(canonical(u, v), order_for(u, v, su, sv));
         ops.push(UnderlyingOp::Link(su, sv));
         Some(ops)
     }
@@ -144,8 +153,10 @@ impl Ternarizer {
         let mut ops = vec![UnderlyingOp::Cut(su, sv)];
         self.slot_load[su] -= 1;
         self.slot_load[sv] -= 1;
-        self.release_slot(u, su, &mut ops);
-        self.release_slot(v, sv, &mut ops);
+        unhost(&mut self.slot_hosted[su], v);
+        unhost(&mut self.slot_hosted[sv], u);
+        self.compact(u, &mut ops);
+        self.compact(v, &mut ops);
         Some(ops)
     }
 
@@ -156,22 +167,43 @@ impl Ternarizer {
             .iter()
             .map(|p| p.slots.capacity() * std::mem::size_of::<usize>())
             .sum();
+        let hosted: usize = self
+            .slot_hosted
+            .iter()
+            .map(|h| h.capacity() * std::mem::size_of::<usize>())
+            .sum();
         paths
+            + hosted
             + self.verts.capacity() * std::mem::size_of::<VertexPaths>()
             + self.slot_load.capacity()
             + self.slot_owner.capacity() * std::mem::size_of::<usize>()
+            + self.slot_hosted.capacity() * std::mem::size_of::<Vec<usize>>()
             + self.free_slots.capacity() * std::mem::size_of::<usize>()
             + self.edge_slots.capacity()
                 * (std::mem::size_of::<((usize, usize), (usize, usize))>() + 8)
     }
 
-    /// Finds (or creates, emitting the virtual link) a slot of `vertex` with a
+    /// Finds (or creates, emitting the virtual link) a slot of `vertex` with
     /// free real-edge capacity.
+    ///
+    /// The primary slot hosts up to **two** real edges (its third degree unit
+    /// is reserved for the chain edge towards the extra slots); extra slots
+    /// host one real edge each (plus up to two chain edges).  Hosting the
+    /// first two edges on the primary keeps vertex-weight path aggregates
+    /// exact through every vertex of degree ≤ 3: any two of its hosted edges
+    /// bracket the weight-carrying primary on the underlying path.  For
+    /// degree ≥ 4 two hosted edges can both sit on extra slots and the
+    /// underlying path between them misses the primary — that is a
+    /// fundamental limit of weight-on-one-slot ternarization (any two
+    /// disjoint host pairs would both need to bracket the same slot), and one
+    /// of the paper's motivations for UFO trees, which need no ternarization.
     fn claim_slot(&mut self, vertex: usize, ops: &mut Vec<UnderlyingOp>) -> usize {
         if let Some(&s) = self.verts[vertex]
             .slots
             .iter()
-            .find(|&&s| self.slot_load[s] == 0)
+            .enumerate()
+            .find(|&(i, &s)| (self.slot_load[s] as usize) < if i == 0 { 2 } else { 1 })
+            .map(|(_, s)| s)
         {
             return s;
         }
@@ -183,18 +215,65 @@ impl Ternarizer {
         s
     }
 
-    /// If `slot` is now an unused *extra* slot sitting at the end of the
-    /// ternarized path, trims it (emitting the virtual cut).  Interior slots
-    /// are left in place; they are reused by later links.
-    fn release_slot(&mut self, vertex: usize, slot: usize, ops: &mut Vec<UnderlyingOp>) {
-        if self.is_phantom(slot) && self.slot_load[slot] == 0 {
-            let slots = &mut self.verts[vertex].slots;
-            if slots.len() > 1 && *slots.last().unwrap() == slot {
-                slots.pop();
-                let prev = *slots.last().unwrap();
-                ops.push(UnderlyingOp::Cut(prev, slot));
-                self.free_slot(slot);
+    /// Restores `vertex`'s hosting invariant after a cut freed capacity: the
+    /// hosted edges must fill the slot chain as a *prefix* (primary slot
+    /// first, then extras in chain order, no gaps).  At most one edge is
+    /// relocated — from the outermost occupied slot into the innermost slot
+    /// with spare capacity — and trailing empty extra slots are trimmed.
+    ///
+    /// The invariant is what makes vertex-weight path aggregates exact for
+    /// every vertex of degree ≤ 3 *at query time*, independent of the
+    /// insertion/deletion history: a degree ≤ 3 vertex always hosts two edges
+    /// on the primary and at most one on the first extra slot, so any two of
+    /// its edges bracket the weight-carrying primary on the underlying path.
+    fn compact(&mut self, vertex: usize, ops: &mut Vec<UnderlyingOp>) {
+        // innermost slot with spare capacity
+        let spare = self.verts[vertex]
+            .slots
+            .iter()
+            .enumerate()
+            .position(|(i, &s)| (self.slot_load[s] as usize) < if i == 0 { 2 } else { 1 });
+        // outermost occupied slot
+        let occupied = self.verts[vertex]
+            .slots
+            .iter()
+            .rposition(|&s| self.slot_load[s] > 0);
+        if let (Some(i), Some(j)) = (spare, occupied) {
+            if j > i {
+                let from = self.verts[vertex].slots[j];
+                let to = self.verts[vertex].slots[i];
+                let w = *self.slot_hosted[from]
+                    .last()
+                    .expect("occupied slot hosts an edge");
+                // relocate edge (vertex, w) from `from` to `to`
+                let key = canonical(vertex, w);
+                let entry = self.edge_slots.get_mut(&key).expect("hosted edge is live");
+                let other = if entry.0 == from {
+                    entry.0 = to;
+                    entry.1
+                } else {
+                    debug_assert_eq!(entry.1, from);
+                    entry.1 = to;
+                    entry.0
+                };
+                ops.push(UnderlyingOp::Cut(from, other));
+                ops.push(UnderlyingOp::Link(to, other));
+                self.slot_load[from] -= 1;
+                self.slot_load[to] += 1;
+                unhost(&mut self.slot_hosted[from], w);
+                self.slot_hosted[to].push(w);
             }
+        }
+        // trim trailing empty extra slots
+        while self.verts[vertex].slots.len() > 1 {
+            let last = *self.verts[vertex].slots.last().unwrap();
+            if self.slot_load[last] > 0 {
+                break;
+            }
+            self.verts[vertex].slots.pop();
+            let prev = *self.verts[vertex].slots.last().unwrap();
+            ops.push(UnderlyingOp::Cut(prev, last));
+            self.free_slot(last);
         }
     }
 
@@ -202,12 +281,14 @@ impl Ternarizer {
         if let Some(s) = self.free_slots.pop() {
             self.slot_owner[s] = owner;
             self.slot_load[s] = 0;
+            self.slot_hosted[s].clear();
             s
         } else {
             let s = self.next_slot;
             self.next_slot += 1;
             self.slot_owner.push(owner);
             self.slot_load.push(0);
+            self.slot_hosted.push(Vec::new());
             s
         }
     }
@@ -219,6 +300,15 @@ impl Ternarizer {
 
 fn canonical(u: usize, v: usize) -> (usize, usize) {
     (u.min(v), u.max(v))
+}
+
+/// Removes one occurrence of `w` from a slot's hosted-edge list.
+fn unhost(hosted: &mut Vec<usize>, w: usize) {
+    let pos = hosted
+        .iter()
+        .position(|&x| x == w)
+        .expect("hosted edge must be recorded");
+    hosted.swap_remove(pos);
 }
 
 /// Stores the slot pair in the orientation of the canonical edge.

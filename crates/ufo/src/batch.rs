@@ -103,7 +103,10 @@ impl UfoForest {
                 .map(|&(v, p)| self.subtree_sum(v, p))
                 .collect()
         } else {
-            queries.iter().map(|&(v, p)| self.subtree_sum(v, p)).collect()
+            queries
+                .iter()
+                .map(|&(v, p)| self.subtree_sum(v, p))
+                .collect()
         }
     }
 }

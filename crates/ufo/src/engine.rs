@@ -426,6 +426,12 @@ impl ContractionForest {
                 my_end,
                 other_end,
             });
+            // A parentless cluster that gains an edge stops being a finished
+            // tree top: it must take part in the coming reclustering rounds,
+            // or its tree would never merge with the edge's other side.
+            if self.clusters[c].parent == NIL {
+                self.push_pending(c);
+            }
         } else {
             // keep the neighbour pointer fresh
             for e in &mut self.clusters[c].neighbors {
@@ -830,7 +836,11 @@ impl ContractionForest {
 
         if children.len() == 1 {
             let ch = &self.clusters[children[0]].summary;
-            s.path = if nbound == 2 { ch.path } else { PathAggregate::IDENTITY };
+            s.path = if nbound == 2 {
+                ch.path
+            } else {
+                PathAggregate::IDENTITY
+            };
             s.diam = ch.diam;
             for i in 0..nbound {
                 let bi = ch
@@ -965,9 +975,9 @@ impl ContractionForest {
         }
         // combine the two deepest pendants at each hub boundary vertex, and
         // across the hub's two boundary vertices
-        for hi in 0..(hub_sum.nbound as usize) {
-            if best_depth[hi][0] > 0 && best_depth[hi][1] > 0 {
-                diam = diam.max(best_depth[hi][0] + best_depth[hi][1]);
+        for depths in best_depth.iter().take(hub_sum.nbound as usize) {
+            if depths[0] > 0 && depths[1] > 0 {
+                diam = diam.max(depths[0] + depths[1]);
             }
         }
         if hub_sum.nbound == 2 && best_depth[0][0] > 0 && best_depth[1][0] > 0 {

@@ -283,6 +283,18 @@ impl TopologyForest {
 
     /// Sum of vertex weights on the `u`–`v` path (phantom ternarization
     /// vertices contribute nothing).
+    ///
+    /// **Exactness caveat** (applies to [`path_max`](Self::path_max) and
+    /// [`path_min`](Self::path_min) too): the answer is exact whenever every
+    /// *interior* vertex of the path has degree ≤ 3.  An interior vertex of
+    /// degree ≥ 4 may be entered and left through edges hosted on two extra
+    /// ternarization slots whose underlying path misses the weight-carrying
+    /// primary slot, silently omitting that vertex's weight.  This is a
+    /// fundamental limit of weight-on-one-slot dynamic ternarization (any two
+    /// disjoint pairs of hosted edges would both need to bracket the same
+    /// slot) and one of the paper's motivations for UFO trees, which support
+    /// unbounded degrees natively and are always exact.  Endpoint weights are
+    /// always included regardless of degree.
     pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
         self.inner.path_sum(
             self.ternarizer.representative(u),
@@ -290,7 +302,8 @@ impl TopologyForest {
         )
     }
 
-    /// Maximum vertex weight on the `u`–`v` path.
+    /// Maximum vertex weight on the `u`–`v` path (see the exactness caveat on
+    /// [`path_sum`](Self::path_sum)).
     pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
         self.inner.path_max(
             self.ternarizer.representative(u),
@@ -298,7 +311,8 @@ impl TopologyForest {
         )
     }
 
-    /// Minimum vertex weight on the `u`–`v` path.
+    /// Minimum vertex weight on the `u`–`v` path (see the exactness caveat on
+    /// [`path_sum`](Self::path_sum)).
     pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
         self.inner.path_min(
             self.ternarizer.representative(u),
@@ -379,7 +393,7 @@ mod tests {
         f.engine().check_invariants().unwrap();
         assert_eq!(f.component_size(0), 10);
         assert_eq!(f.component_diameter(0), 2);
-        assert_eq!(f.path_sum(3, 7), Some(3 + 0 + 7));
+        assert_eq!(f.path_sum(3, 7), Some(3 + 7));
         assert_eq!(f.path_length(3, 7), Some(2));
         assert_eq!(f.path_max(1, 2), Some(2));
         assert_eq!(f.subtree_sum(0, 4), Some((0..10).sum::<i64>() - 4));
@@ -442,7 +456,7 @@ mod tests {
         }
         assert!(f.connected(3, 9));
         assert_eq!(f.component_size(0), 12);
-        assert_eq!(f.path_sum(3, 7), Some(3 + 0 + 7));
+        assert_eq!(f.path_sum(3, 7), Some(3 + 7));
         assert_eq!(f.path_max(3, 7), Some(7));
         assert!(f.cut(0, 3));
         assert!(!f.connected(3, 9));

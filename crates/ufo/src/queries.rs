@@ -254,7 +254,11 @@ impl ContractionForest {
                     .unwrap_or(INF_DIST);
                 let ssum = &self.clusters[s].summary;
                 if let Some(si) = ssum.boundary_index(e.other_end) {
-                    best = best.min(dist_to_attach.saturating_add(1).saturating_add(ssum.near[si]));
+                    best = best.min(
+                        dist_to_attach
+                            .saturating_add(1)
+                            .saturating_add(ssum.near[si]),
+                    );
                 }
                 // second-hop siblings (leaves of a star hanging off this hub)
                 if self.clusters[p].fanout() > 2 && self.hub_of(p) == Some(s) {
@@ -267,10 +271,7 @@ impl ContractionForest {
                             ssum.boundary_index(e.other_end),
                             s2.boundary_index(e2.other_end),
                         ) {
-                            let through = ssum.boundary_distance(
-                                ssum.boundary[hi],
-                                e2.my_end,
-                            );
+                            let through = ssum.boundary_distance(ssum.boundary[hi], e2.my_end);
                             best = best.min(
                                 dist_to_attach
                                     .saturating_add(1)
@@ -359,8 +360,7 @@ impl ContractionForest {
                         }
                         let s2 = &self.clusters[e2.neighbor].summary;
                         if s2.boundary_index(b).is_some() {
-                            let to_hub_far =
-                                self.extend_across(base, origin, e, hubc, e2.my_end);
+                            let to_hub_far = self.extend_across(base, origin, e, hubc, e2.my_end);
                             let e2_adj = AdjEntry {
                                 neighbor: e2.neighbor,
                                 my_end: e2.my_end,
@@ -455,9 +455,7 @@ impl ContractionForest {
                         if s2.boundary_index(b).is_some() {
                             best = best.min(
                                 base.saturating_add(1)
-                                    .saturating_add(
-                                        ssum.boundary_distance(e.other_end, e2.my_end),
-                                    )
+                                    .saturating_add(ssum.boundary_distance(e.other_end, e2.my_end))
                                     .saturating_add(1)
                                     .saturating_add(s2.boundary_distance(e2.other_end, b)),
                             );
@@ -526,7 +524,11 @@ impl ContractionForest {
     ) -> bool {
         // direct siblings
         for e in internal {
-            if self.clusters[e.neighbor].summary.boundary_index(b).is_some() {
+            if self.clusters[e.neighbor]
+                .summary
+                .boundary_index(b)
+                .is_some()
+            {
                 return bset.contains(&e.my_end);
             }
         }

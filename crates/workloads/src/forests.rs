@@ -183,10 +183,7 @@ pub(crate) fn permute_labels(forest: Forest, rng: &mut StdRng) -> Forest {
         .into_iter()
         .map(|(u, v)| (perm[u], perm[v]))
         .collect();
-    Forest {
-        n: forest.n,
-        edges,
-    }
+    Forest { n: forest.n, edges }
 }
 
 #[cfg(test)]
@@ -229,7 +226,11 @@ mod tests {
     fn preferential_attachment_has_hubs() {
         let f = preferential_attachment_tree(5000, 11);
         assert!(f.is_forest());
-        assert!(f.max_degree() >= 10, "expected a hub, got {}", f.max_degree());
+        assert!(
+            f.max_degree() >= 10,
+            "expected a hub, got {}",
+            f.max_degree()
+        );
     }
 
     #[test]

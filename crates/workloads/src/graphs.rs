@@ -77,6 +77,11 @@ pub fn social_rmat_graph(scale: u32, avg_degree: usize, seed: u64) -> Graph {
 /// A temporal-interaction stand-in: preferential attachment where each new
 /// vertex posts several interactions to existing popular vertices (the
 /// StackOverflow profile).
+///
+/// Unlike the other generators, the edge list keeps **generation order**
+/// (deduplicated without sorting): the order *is* time, which is what makes
+/// this graph the natural input for
+/// [`crate::streams::sliding_window_stream`].
 pub fn temporal_graph(n: usize, edges_per_vertex: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut endpoints: Vec<usize> = vec![0];
@@ -95,7 +100,7 @@ pub fn temporal_graph(n: usize, edges_per_vertex: usize, seed: u64) -> Graph {
         }
         endpoints.push(v);
     }
-    dedupe(n, edges, "TEMP")
+    dedupe_keep_order(n, edges, "TEMP")
 }
 
 fn rmat(scale: u32, avg_degree: usize, p: [f64; 4], seed: u64, name: &'static str) -> Graph {
@@ -145,6 +150,14 @@ fn dedupe(n: usize, mut edges: Vec<Edge>, name: &'static str) -> Graph {
     Graph { n, edges, name }
 }
 
+/// Deduplication that preserves first-occurrence order (for generators whose
+/// edge order carries temporal meaning).
+fn dedupe_keep_order(n: usize, edges: Vec<Edge>, name: &'static str) -> Graph {
+    let mut seen = std::collections::HashSet::with_capacity(edges.len());
+    let edges = edges.into_iter().filter(|&e| seen.insert(e)).collect();
+    Graph { n, edges, name }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +194,17 @@ mod tests {
                 assert!(seen.insert((u, v)), "{}: duplicate edge", g.name);
             }
         }
+    }
+
+    #[test]
+    fn temporal_graph_preserves_generation_order() {
+        // each edge is created by its larger endpoint (targets are always
+        // older vertices), so generation order means nondecreasing max
+        let g = temporal_graph(2000, 4, 3);
+        assert!(
+            g.edges.windows(2).all(|w| w[0].1 <= w[1].1),
+            "edge order must be time order"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod forests;
 pub mod graphs;
 pub mod spanning;
+pub mod streams;
 pub mod zipf;
 
 pub use forests::{
@@ -17,6 +18,7 @@ pub use forests::{
 };
 pub use graphs::{power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph, Graph};
 pub use spanning::{bfs_forest, ris_forest};
+pub use streams::{churn_stream, sliding_window_stream, EdgeStream, StreamOp};
 pub use zipf::{zipf_tree, ZipfSampler};
 
 /// An edge of a generated tree or graph.

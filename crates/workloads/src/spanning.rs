@@ -47,7 +47,7 @@ pub fn ris_forest(graph: &Graph, seed: u64) -> Forest {
     let mut order: Vec<usize> = (0..graph.edges.len()).collect();
     order.shuffle(&mut rng);
     let mut parent: Vec<usize> = (0..graph.n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

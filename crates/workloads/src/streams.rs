@@ -1,0 +1,230 @@
+//! Dynamic edge streams: the live insert/delete/query traces that drive the
+//! general-graph connectivity engine.
+//!
+//! The static graph generators of [`crate::graphs`] describe *snapshots*; a
+//! connectivity engine consumes *streams*.  The generators here turn those
+//! snapshots into deterministic operation traces:
+//!
+//! * [`sliding_window_stream`] replays a graph's edges in generation order
+//!   through a sliding lifetime window — the natural trace for
+//!   [`crate::temporal_graph`], whose edge order *is* time — so the engine
+//!   sees every edge inserted once and deleted once;
+//! * [`churn_stream`] keeps a configurable fraction of a graph's edges live
+//!   and flips random edges in and out forever, modelling link
+//!   failure/repair on a fixed topology (roads, grids).
+//!
+//! Both interleave connectivity queries at a configurable rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Edge, Graph};
+
+/// One operation of a dynamic-graph trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Insert edge `(u, v)`.
+    Insert(usize, usize),
+    /// Delete edge `(u, v)`.
+    Delete(usize, usize),
+    /// Ask whether `u` and `v` are connected.
+    Query(usize, usize),
+}
+
+/// A generated operation trace over vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct EdgeStream {
+    /// Number of vertices.
+    pub n: usize,
+    /// The operations, in order.
+    pub ops: Vec<StreamOp>,
+    /// Human-readable name (`"<graph>-window"` / `"<graph>-churn"`).
+    pub name: String,
+}
+
+impl EdgeStream {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts of (inserts, deletes, queries).
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for op in &self.ops {
+            match op {
+                StreamOp::Insert(..) => c.0 += 1,
+                StreamOp::Delete(..) => c.1 += 1,
+                StreamOp::Query(..) => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Replays `graph.edges` in order through a sliding lifetime window: each
+/// edge is inserted when its position arrives and deleted once `window`
+/// younger edges have been inserted.  Edges still live at the end are deleted
+/// in age order, so every edge is inserted and deleted exactly once.
+/// `query_rate` ∈ [0, 1] is the probability of emitting one query (between
+/// random endpoints of recent edges) after each insertion — at most one
+/// query per insertion; values outside the domain are clamped.
+pub fn sliding_window_stream(
+    graph: &Graph,
+    window: usize,
+    query_rate: f64,
+    seed: u64,
+) -> EdgeStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = window.max(1);
+    let query_rate = query_rate.clamp(0.0, 1.0);
+    let mut ops = Vec::with_capacity(graph.edges.len() * 2);
+    let mut live: std::collections::VecDeque<Edge> = std::collections::VecDeque::new();
+    for &(u, v) in &graph.edges {
+        ops.push(StreamOp::Insert(u, v));
+        live.push_back((u, v));
+        if live.len() > window {
+            let (a, b) = live.pop_front().expect("window is non-empty");
+            ops.push(StreamOp::Delete(a, b));
+        }
+        if rng.random::<f64>() < query_rate {
+            let &(a, _) = live
+                .get(rng.random_range(0..live.len()))
+                .expect("live edge");
+            let &(_, b) = live
+                .get(rng.random_range(0..live.len()))
+                .expect("live edge");
+            ops.push(StreamOp::Query(a, b));
+        }
+    }
+    while let Some((a, b)) = live.pop_front() {
+        ops.push(StreamOp::Delete(a, b));
+    }
+    EdgeStream {
+        n: graph.n,
+        ops,
+        name: format!("{}-window{}", graph.name, window),
+    }
+}
+
+/// Builds the whole graph, then performs `rounds` failure/repair flips: each
+/// round deletes one random live edge or re-inserts one random failed edge,
+/// keeping roughly `live_fraction` of the edges alive.  `query_rate` ∈
+/// [0, 1] is the probability of one query per round (at most one; clamped).
+pub fn churn_stream(
+    graph: &Graph,
+    rounds: usize,
+    live_fraction: f64,
+    query_rate: f64,
+    seed: u64,
+) -> EdgeStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query_rate = query_rate.clamp(0.0, 1.0);
+    let mut ops = Vec::with_capacity(graph.edges.len() + rounds * 2);
+    let mut live: Vec<Edge> = graph.edges.clone();
+    let mut failed: Vec<Edge> = Vec::new();
+    for &(u, v) in &graph.edges {
+        ops.push(StreamOp::Insert(u, v));
+    }
+    let target = ((graph.edges.len() as f64) * live_fraction.clamp(0.05, 1.0)) as usize;
+    for _ in 0..rounds {
+        if live.is_empty() && failed.is_empty() {
+            // edgeless graph: there is nothing to churn
+            break;
+        }
+        let delete = if failed.is_empty() {
+            true
+        } else if live.is_empty() {
+            false
+        } else {
+            // bias flips towards the live-fraction target
+            let p = if live.len() > target { 0.7 } else { 0.3 };
+            rng.random_bool(p)
+        };
+        if delete {
+            let idx = rng.random_range(0..live.len());
+            let (u, v) = live.swap_remove(idx);
+            ops.push(StreamOp::Delete(u, v));
+            failed.push((u, v));
+        } else {
+            let idx = rng.random_range(0..failed.len());
+            let (u, v) = failed.swap_remove(idx);
+            ops.push(StreamOp::Insert(u, v));
+            live.push((u, v));
+        }
+        if rng.random::<f64>() < query_rate {
+            let a = rng.random_range(0..graph.n);
+            let b = rng.random_range(0..graph.n);
+            ops.push(StreamOp::Query(a, b));
+        }
+    }
+    EdgeStream {
+        n: graph.n,
+        ops,
+        name: format!("{}-churn", graph.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal_graph;
+
+    #[test]
+    fn window_stream_inserts_and_deletes_every_edge_once() {
+        let g = temporal_graph(500, 3, 5);
+        let s = sliding_window_stream(&g, 64, 0.25, 7);
+        let (ins, del, q) = s.op_counts();
+        assert_eq!(ins, g.edges.len());
+        assert_eq!(del, g.edges.len());
+        assert!(q > 0);
+        // deletions follow insertions (every delete targets a live edge)
+        let mut live = std::collections::HashSet::new();
+        for op in &s.ops {
+            match *op {
+                StreamOp::Insert(u, v) => assert!(live.insert((u, v)), "double insert"),
+                StreamOp::Delete(u, v) => assert!(live.remove(&(u, v)), "delete of dead edge"),
+                StreamOp::Query(..) => {}
+            }
+        }
+        assert!(live.is_empty(), "all edges deleted at the end");
+    }
+
+    #[test]
+    fn churn_stream_keeps_edges_valid() {
+        let g = temporal_graph(300, 2, 9);
+        let s = churn_stream(&g, 2_000, 0.8, 0.1, 11);
+        let mut live = std::collections::HashSet::new();
+        for op in &s.ops {
+            match *op {
+                StreamOp::Insert(u, v) => assert!(live.insert((u, v))),
+                StreamOp::Delete(u, v) => assert!(live.remove(&(u, v))),
+                StreamOp::Query(a, b) => assert!(a < s.n && b < s.n),
+            }
+        }
+    }
+
+    #[test]
+    fn streams_on_edgeless_graphs_are_empty_not_panicking() {
+        let g = crate::Graph {
+            n: 10,
+            edges: Vec::new(),
+            name: "EMPTY",
+        };
+        assert!(churn_stream(&g, 100, 0.9, 0.5, 3).is_empty());
+        assert!(sliding_window_stream(&g, 8, 0.5, 3).is_empty());
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let g = temporal_graph(200, 3, 1);
+        let a = sliding_window_stream(&g, 32, 0.5, 2);
+        let b = sliding_window_stream(&g, 32, 0.5, 2);
+        assert_eq!(a.ops, b.ops);
+    }
+}

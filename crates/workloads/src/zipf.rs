@@ -95,7 +95,11 @@ mod tests {
             high,
             low
         );
-        assert!(high <= 10, "alpha = 2.5 should be close to a star: {}", high);
+        assert!(
+            high <= 10,
+            "alpha = 2.5 should be close to a star: {}",
+            high
+        );
     }
 
     #[test]
@@ -119,6 +123,10 @@ mod tests {
                 zero_count += 1;
             }
         }
-        assert!(zero_count > 400, "alpha = 2 should mostly pick 0: {}", zero_count);
+        assert!(
+            zero_count > 400,
+            "alpha = 2 should mostly pick 0: {}",
+            zero_count
+        );
     }
 }

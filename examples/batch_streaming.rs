@@ -23,7 +23,11 @@ fn main() {
     let mut ufo = UfoForest::new(n);
     let mut ett = BatchEulerForest::<TreapSequence>::new(n);
 
-    println!("streaming {} edges in batches of {}", edges.len(), batch_size);
+    println!(
+        "streaming {} edges in batches of {}",
+        edges.len(),
+        batch_size
+    );
     let start = Instant::now();
     for (i, batch) in edges.chunks(batch_size).enumerate() {
         let t0 = Instant::now();

@@ -12,7 +12,17 @@ fn main() {
     }
 
     // Build a tree: a backbone path 0-1-2-3 with leaves hanging off it.
-    let edges = [(0, 1), (1, 2), (2, 3), (1, 4), (1, 5), (2, 6), (3, 7), (7, 8), (7, 9)];
+    let edges = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (1, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7),
+        (7, 8),
+        (7, 9),
+    ];
     for (u, v) in edges {
         assert!(forest.link(u, v), "link ({u},{v}) failed");
     }
@@ -21,22 +31,43 @@ fn main() {
     println!("connected(4, 9) = {}", forest.connected(4, 9));
     println!("path 4 -> 9: sum of loads   = {:?}", forest.path_sum(4, 9));
     println!("path 4 -> 9: max load       = {:?}", forest.path_max(4, 9));
-    println!("path 4 -> 9: hops           = {:?}", forest.path_length(4, 9));
-    println!("subtree under 7 (away from 3): size = {:?}", forest.subtree_size(7, 3));
-    println!("component diameter          = {}", forest.component_diameter(0));
+    println!(
+        "path 4 -> 9: hops           = {:?}",
+        forest.path_length(4, 9)
+    );
+    println!(
+        "subtree under 7 (away from 3): size = {:?}",
+        forest.subtree_size(7, 3)
+    );
+    println!(
+        "component diameter          = {}",
+        forest.component_diameter(0)
+    );
 
     // Mark two routers as gateways and ask for the nearest one.
     forest.set_marked(0, true);
     forest.set_marked(9, true);
-    println!("nearest gateway from 6      = {:?} hops", forest.nearest_marked_distance(6));
+    println!(
+        "nearest gateway from 6      = {:?} hops",
+        forest.nearest_marked_distance(6)
+    );
 
     // Dynamic updates: take the backbone link (1, 2) down.
     forest.cut(1, 2);
-    println!("after cutting (1,2): connected(4, 9) = {}", forest.connected(4, 9));
-    println!("component of 4 now has {} routers", forest.component_size(4));
+    println!(
+        "after cutting (1,2): connected(4, 9) = {}",
+        forest.connected(4, 9)
+    );
+    println!(
+        "component of 4 now has {} routers",
+        forest.component_size(4)
+    );
 
     // Batch-dynamic interface: reconnect and extend in one batch.
     let inserted = forest.batch_link(&[(1, 2), (5, 6)]);
-    println!("batch inserted {} edges (1 rejected: it would close a cycle)", inserted);
+    println!(
+        "batch inserted {} edges (1 rejected: it would close a cycle)",
+        inserted
+    );
     println!("connected(4, 9) again = {}", forest.connected(4, 9));
 }

@@ -1,5 +1,6 @@
 //! The operation/feature matrix of Table 1, generated from the structures
-//! this repository actually implements.
+//! this repository actually implements — extended with the general-graph
+//! column the connectivity subsystem opened.
 
 /// The capabilities of one dynamic-tree structure (one row of Table 1).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,10 +21,13 @@ pub struct Capability {
     pub path_queries: bool,
     /// Non-local queries (diameter, nearest marked vertex, ...) supported.
     pub non_local_queries: bool,
+    /// Whether the structure can serve as the spanning-forest backend of the
+    /// general-graph connectivity engine (`dyntree_connectivity`).
+    pub general_graphs: bool,
 }
 
 /// Returns one row per structure implemented in this repository, mirroring
-/// Table 1 of the paper.
+/// Table 1 of the paper plus the connectivity engine's row.
 pub fn capability_matrix() -> Vec<Capability> {
     vec![
         Capability {
@@ -35,6 +39,7 @@ pub fn capability_matrix() -> Vec<Capability> {
             subtree_queries: false,
             path_queries: true,
             non_local_queries: false,
+            general_graphs: true,
         },
         Capability {
             name: "Euler tour tree",
@@ -45,6 +50,7 @@ pub fn capability_matrix() -> Vec<Capability> {
             subtree_queries: true,
             path_queries: false,
             non_local_queries: false,
+            general_graphs: true,
         },
         Capability {
             name: "Topology tree",
@@ -55,6 +61,7 @@ pub fn capability_matrix() -> Vec<Capability> {
             subtree_queries: true,
             path_queries: true,
             non_local_queries: true,
+            general_graphs: true,
         },
         Capability {
             name: "UFO tree",
@@ -65,6 +72,20 @@ pub fn capability_matrix() -> Vec<Capability> {
             subtree_queries: true,
             path_queries: true,
             non_local_queries: true,
+            general_graphs: true,
+        },
+        Capability {
+            name: "HDT connectivity",
+            update_cost: "O(log^2 n) amortized",
+            ternarized: false,
+            // the batch interface deduplicates and classifies in bulk but
+            // applies operations sequentially today
+            parallel_updates: false,
+            parallel_queries: false,
+            subtree_queries: false,
+            path_queries: false,
+            non_local_queries: false,
+            general_graphs: true,
         },
     ]
 }
@@ -75,12 +96,20 @@ pub fn render_matrix() -> String {
     let rows = capability_matrix();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9}\n",
-        "Structure", "Update cost", "Ternar", "ParUpd", "ParQry", "Subtree", "Path", "Non-local"
+        "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8}\n",
+        "Structure",
+        "Update cost",
+        "Ternar",
+        "ParUpd",
+        "ParQry",
+        "Subtree",
+        "Path",
+        "Non-local",
+        "GenGraph"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9}\n",
+            "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8}\n",
             r.name,
             r.update_cost,
             tick(r.ternarized),
@@ -89,6 +118,7 @@ pub fn render_matrix() -> String {
             tick(r.subtree_queries),
             tick(r.path_queries),
             tick(r.non_local_queries),
+            tick(r.general_graphs),
         ));
     }
     out
@@ -109,14 +139,21 @@ mod tests {
     #[test]
     fn matrix_matches_table1_shape() {
         let rows = capability_matrix();
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         let ufo = rows.iter().find(|r| r.name == "UFO tree").unwrap();
         assert!(ufo.path_queries && ufo.subtree_queries && ufo.non_local_queries);
         assert!(!ufo.ternarized);
         let lct = rows.iter().find(|r| r.name == "Link-cut tree").unwrap();
         assert!(lct.path_queries && !lct.subtree_queries);
+        let hdt = rows.iter().find(|r| r.name == "HDT connectivity").unwrap();
+        assert!(hdt.general_graphs && !hdt.path_queries);
+        assert!(
+            rows.iter().all(|r| r.general_graphs),
+            "every forest backs the connectivity engine"
+        );
         let render = render_matrix();
         assert!(render.contains("UFO tree"));
-        assert!(render.lines().count() >= 5);
+        assert!(render.contains("HDT connectivity"));
+        assert!(render.lines().count() >= 6);
     }
 }

@@ -16,20 +16,31 @@
 //! * [`TreapEulerForest`] / [`SplayEulerForest`] / [`BatchEulerForest`] —
 //!   Euler tour trees over pluggable sequence backends.
 //! * [`NaiveForest`] — an O(n)-per-operation oracle used by the test suite.
-//! * [`workloads`] — every input generator of the paper's evaluation.
+//! * [`DynConnectivity`] — fully-dynamic connectivity on **general graphs**
+//!   (HDT levels), generic over any of the forests above as its
+//!   spanning-forest backend ([`UfoConnectivity`], [`LinkCutConnectivity`],
+//!   [`EulerConnectivity`], ...).
+//! * [`workloads`] — every input generator of the paper's evaluation, plus
+//!   dynamic edge streams for the connectivity engine.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the reproduction of each table and figure.
 
+pub use dyntree_connectivity as connectivity;
 pub use dyntree_euler as euler;
 pub use dyntree_linkcut as linkcut;
 pub use dyntree_naive as naive;
 pub use dyntree_primitives as primitives;
+pub use dyntree_rctree as rctree;
 pub use dyntree_seqs as seqs;
 pub use dyntree_ternary as ternary;
 pub use dyntree_workloads as workloads;
 pub use ufo_forest as ufo;
 
+pub use dyntree_connectivity::{
+    DynConnectivity, EulerConnectivity, LinkCutConnectivity, NaiveConnectivity, SpanningBackend,
+    TopologyConnectivity, UfoConnectivity,
+};
 pub use dyntree_euler::{BatchEulerForest, EulerTourForest, SplayEulerForest, TreapEulerForest};
 pub use dyntree_linkcut::LinkCutForest;
 pub use dyntree_naive::NaiveForest;

@@ -1,7 +1,10 @@
 //! Property-based tests: arbitrary operation sequences preserve the
-//! contraction-forest invariants and agree with the oracle.
+//! contraction-forest invariants and agree with the oracle, and arbitrary
+//! batch programs preserve the connectivity engine's spanning-forest
+//! invariant.
 
 use proptest::prelude::*;
+use ufo_trees::connectivity::DynConnectivity;
 use ufo_trees::{LinkCutForest, NaiveForest, UfoForest};
 
 /// A randomly generated operation on a small vertex universe.
@@ -12,6 +15,26 @@ enum Op {
     SetWeight(usize, i64),
     QueryPath(usize, usize),
     QuerySubtree(usize, usize),
+}
+
+/// Object-safe probe over [`DynConnectivity`] engines with different
+/// backends, so one proptest can sweep them uniformly.
+trait ConnectivityProbe {
+    fn spanning_size(&self) -> usize;
+    fn components(&self) -> usize;
+    fn invariants_ok(&mut self) -> bool;
+}
+
+impl<B: ufo_trees::SpanningBackend> ConnectivityProbe for DynConnectivity<B> {
+    fn spanning_size(&self) -> usize {
+        self.spanning_forest_size()
+    }
+    fn components(&self) -> usize {
+        self.component_count()
+    }
+    fn invariants_ok(&mut self) -> bool {
+        self.check_invariants().is_ok()
+    }
 }
 
 fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
@@ -87,6 +110,45 @@ proptest! {
         }
         prop_assert!(ufo.engine().check_invariants().is_ok());
         prop_assert_eq!(ufo.num_edges() as u32, inserted);
+    }
+
+    #[test]
+    fn connectivity_spanning_forest_matches_component_count(
+        batches in proptest::collection::vec(
+            (proptest::collection::vec((0usize..24, 0usize..24), 1..40), 0usize..2),
+            1..12
+        )
+    ) {
+        // Arbitrary batch programs: each entry is a batch of edges plus a
+        // discriminant choosing insert (0) or delete (1).  After *every*
+        // batch, the engine must satisfy
+        //     spanning_forest_size == n - component_count
+        // and the spanning forest must actually be a forest (engine
+        // invariants), for a UFO backend and the naive oracle backend alike.
+        let n = 24;
+        let mut ufo: DynConnectivity<UfoForest> = DynConnectivity::new(n);
+        let mut naive: DynConnectivity<NaiveForest> = DynConnectivity::new(n);
+        for (batch, kind) in batches {
+            if kind == 0 {
+                let a = ufo.batch_insert(&batch);
+                let b = naive.batch_insert(&batch);
+                prop_assert_eq!(a, b);
+            } else {
+                let a = ufo.batch_delete(&batch);
+                let b = naive.batch_delete(&batch);
+                prop_assert_eq!(a, b);
+            }
+            for g in [&mut ufo as &mut dyn ConnectivityProbe, &mut naive] {
+                prop_assert_eq!(
+                    g.spanning_size(),
+                    n - g.components(),
+                    "spanning forest size must equal n - component count"
+                );
+                prop_assert!(g.invariants_ok());
+            }
+            prop_assert_eq!(ufo.component_count(), naive.component_count());
+            prop_assert_eq!(ufo.num_edges(), naive.num_edges());
+        }
     }
 
     #[test]
