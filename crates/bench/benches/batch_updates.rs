@@ -15,7 +15,7 @@ fn bench_batch(c: &mut Criterion) {
     for (label, forest) in [("path", path_tree(n)), ("64ary", kary_tree(n, 64))] {
         group.bench_with_input(BenchmarkId::new("ufo_batch", label), &forest, |b, f| {
             b.iter(|| {
-                let mut t = UfoForest::new(f.n);
+                let mut t: UfoForest = UfoForest::new(f.n);
                 for chunk in f.edges.chunks(batch) {
                     t.batch_link(chunk);
                 }

@@ -1,0 +1,33 @@
+//! Criterion bench for the algebra layer through the connectivity engine:
+//! mixed path-aggregate / set-weight throughput per spanning-forest backend
+//! on a random tree and on a path (the longest-tree-path adversary).  The
+//! Euler backend's O(component) path fallback is raced on purpose, to keep
+//! its cost visible next to the polylog structures.  A JSON baseline recorded
+//! from this workload lives at
+//! `crates/bench/baselines/weighted_path_queries.json` (regenerate with
+//! `cargo run --release -p dyntree_bench --bin weighted_baseline`).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{weighted_bench_forests, weighted_path_query_time, WeightedBackend};
+
+fn bench_weighted_path_queries(c: &mut Criterion) {
+    let forests = weighted_bench_forests();
+    let queries = 1_000;
+
+    let mut group = c.benchmark_group("weighted_path_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, forest) in &forests {
+        for backend in WeightedBackend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name().to_string(), name),
+                forest,
+                |b, f| b.iter(|| weighted_path_query_time(backend, f, queries, 23)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_path_queries);
+criterion_main!(benches);

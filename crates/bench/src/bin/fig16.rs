@@ -25,7 +25,7 @@ fn main() {
         edges.shuffle(&mut rng);
         let batches: Vec<Vec<(usize, usize)>> = edges.chunks(batch).map(|c| c.to_vec()).collect();
 
-        let mut ufo = UfoForest::new(n);
+        let mut ufo: UfoForest = UfoForest::new(n);
         let t0 = Instant::now();
         for b in &batches {
             ufo.batch_link(b);
@@ -45,7 +45,7 @@ fn main() {
         }
         let ett_t = t1.elapsed().as_secs_f64();
 
-        let mut topo = TopologyForest::new(n);
+        let mut topo: TopologyForest = TopologyForest::new(n);
         let t2 = Instant::now();
         for b in &batches {
             for &(u, v) in b {

@@ -10,7 +10,7 @@ use std::time::Instant;
 use ufo_forest::{TopologyForest, UfoForest};
 
 fn batch_time_ufo(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
-    let mut f = UfoForest::new(n);
+    let mut f: UfoForest = UfoForest::new(n);
     let start = Instant::now();
     for b in batches {
         f.batch_link(b);
@@ -34,7 +34,7 @@ fn batch_time_ett(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
 }
 
 fn batch_time_topology(n: usize, batches: &[Vec<(usize, usize)>]) -> f64 {
-    let mut f = TopologyForest::new(n);
+    let mut f: TopologyForest = TopologyForest::new(n);
     let start = Instant::now();
     for b in batches {
         for &(u, v) in b {

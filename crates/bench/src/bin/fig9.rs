@@ -31,7 +31,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(3);
             let mut edges = forest.edges.clone();
             edges.shuffle(&mut rng);
-            let mut f = UfoForest::new(forest.n);
+            let mut f: UfoForest = UfoForest::new(forest.n);
             let start = Instant::now();
             for chunk in edges.chunks(batch) {
                 f.batch_link(chunk);

@@ -1,0 +1,36 @@
+//! Measures weighted path-aggregate throughput through the connectivity
+//! engine per backend and emits the baseline JSON stored at
+//! `crates/bench/baselines/weighted_path_queries.json`.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin weighted_baseline`
+
+use dyntree_bench::{weighted_bench_forests, weighted_path_query_time, WeightedBackend};
+
+fn main() {
+    let forests = weighted_bench_forests();
+    let queries = 1_000usize;
+
+    println!("{{");
+    println!("  \"workload\": \"weighted_path_queries\",");
+    println!("  \"unit\": \"ops_per_second\",");
+    println!("  \"results\": [");
+    let mut rows = Vec::new();
+    for (name, forest) in &forests {
+        for backend in WeightedBackend::ALL {
+            // best of 3 to damp scheduler noise
+            let secs = (0..3)
+                .map(|_| weighted_path_query_time(backend, forest, queries, 23).0)
+                .fold(f64::INFINITY, f64::min);
+            rows.push(format!(
+                "    {{\"forest\": \"{}\", \"ops\": {}, \"backend\": \"{}\", \"ops_per_s\": {:.0}}}",
+                name,
+                queries,
+                backend.name(),
+                queries as f64 / secs,
+            ));
+        }
+    }
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

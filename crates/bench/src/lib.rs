@@ -430,6 +430,112 @@ pub fn stream_batch_replay_time(
     }
 }
 
+// ------------------------------------------------------------------
+// Weighted path-query harness (the algebra layer through the engine)
+// ------------------------------------------------------------------
+
+use dyntree_naive::NaiveForest;
+use dyntree_workloads::{path_tree, random_tree};
+
+/// The forests raced by the weighted path-query benchmark: a random tree
+/// (typical case) and a path (maximum tree-path length), labelled for the
+/// benchmark ids and the baseline JSON.
+pub fn weighted_bench_forests() -> Vec<(&'static str, Forest)> {
+    vec![
+        ("RND-2048", random_tree(2_048, 99)),
+        ("PATH-2048", path_tree(2_048)),
+    ]
+}
+
+/// The spanning-forest backends raced on weighted path aggregates.  The
+/// topology backend is absent by design: it declines engine path aggregates
+/// (ternarized answers would be inexact); the Euler backend is included to
+/// expose the cost of its O(component) fallback next to the polylog
+/// structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedBackend {
+    /// UFO forest backend.
+    Ufo,
+    /// Link-cut forest backend.
+    LinkCut,
+    /// Euler tour forest (treap) backend — O(component) path fallback.
+    EulerTreap,
+    /// Naive oracle backend (small inputs only).
+    Naive,
+}
+
+impl WeightedBackend {
+    /// The backends raced by default, in legend order.
+    pub const ALL: [WeightedBackend; 3] = [
+        WeightedBackend::Ufo,
+        WeightedBackend::LinkCut,
+        WeightedBackend::EulerTreap,
+    ];
+
+    /// Short name used in benchmark ids and the baseline JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightedBackend::Ufo => "ufo",
+            WeightedBackend::LinkCut => "linkcut",
+            WeightedBackend::EulerTreap => "euler-treap",
+            WeightedBackend::Naive => "naive",
+        }
+    }
+}
+
+fn weighted_replay<B>(forest: &Forest, queries: usize, seed: u64) -> (f64, u64)
+where
+    B: SpanningBackend<Weights = ufo_forest::SumMinMax>,
+{
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(forest.n);
+    for &(u, v) in &forest.edges {
+        engine.insert_edge(u, v);
+    }
+    for v in 0..forest.n {
+        engine.set_weight(v, ((v * 37) % 1001) as i64 - 500);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for i in 0..queries {
+        let u = rng.random_range(0..forest.n);
+        let v = rng.random_range(0..forest.n);
+        if i % 5 == 4 {
+            // 20% weight churn keeps the aggregates hot
+            engine.set_weight(u, rng.random_range(-500..=500));
+        } else if let Some(a) = engine.path_agg(u, v) {
+            checksum = checksum
+                .wrapping_add(a.sum as u64)
+                .wrapping_add(a.edges)
+                .wrapping_add(a.max as u64);
+        }
+    }
+    (
+        start.elapsed().as_secs_f64(),
+        std::hint::black_box(checksum),
+    )
+}
+
+/// Replays a mixed 80/20 path-aggregate / set-weight workload over a fully
+/// built tree; returns elapsed seconds and a checksum of the answers.
+pub fn weighted_path_query_time(
+    backend: WeightedBackend,
+    forest: &Forest,
+    queries: usize,
+    seed: u64,
+) -> (f64, u64) {
+    match backend {
+        WeightedBackend::Ufo => weighted_replay::<UfoForest>(forest, queries, seed),
+        WeightedBackend::LinkCut => weighted_replay::<LinkCutForest>(forest, queries, seed),
+        WeightedBackend::EulerTreap => {
+            weighted_replay::<EulerTourForest<TreapSequence>>(forest, queries, seed)
+        }
+        WeightedBackend::Naive => weighted_replay::<NaiveForest>(forest, queries, seed),
+    }
+}
+
 /// Formats a result row for the figure binaries.
 pub fn print_row(label: &str, cells: &[(String, f64)]) {
     print!("{:<14}", label);
@@ -469,6 +575,24 @@ mod tests {
             let m = build_memory(s, &forest);
             assert!(m > 0, "{:?} reported zero memory", s);
         }
+    }
+
+    #[test]
+    fn weighted_backends_agree_on_the_query_stream() {
+        let forest = path_tree(96);
+        let checksums: Vec<u64> = [
+            WeightedBackend::Ufo,
+            WeightedBackend::LinkCut,
+            WeightedBackend::EulerTreap,
+            WeightedBackend::Naive,
+        ]
+        .iter()
+        .map(|&b| weighted_path_query_time(b, &forest, 200, 5).1)
+        .collect();
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "weighted backends disagree: {checksums:?}"
+        );
     }
 
     #[test]

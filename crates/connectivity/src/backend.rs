@@ -4,14 +4,18 @@
 //!
 //! The engine owns the decision of *which* edges form the spanning forest;
 //! the backend only ever sees link/cut operations that keep it a forest, so
-//! any structure with link, cut and connectivity queries qualifies.  Optional
-//! capabilities (component aggregates, vertex weights) have defaulted
-//! methods; the engine falls back to its own tree-adjacency walks when a
-//! backend opts out.
+//! any structure with link, cut and connectivity queries qualifies.  Weighted
+//! capabilities are part of the contract: each backend names the
+//! [`CommutativeMonoid`] its vertex weights aggregate under (`Weights`) and
+//! answers component / spanning-tree-path aggregates as `Agg<Weights>` when
+//! it can.  `set_weight` returns a support flag, so the engine can
+//! distinguish "aggregate is zero" from "backend is unweighted" instead of
+//! silently returning wrong answers.
 
 use dyntree_euler::{BatchEulerForest, EulerTourForest};
 use dyntree_linkcut::LinkCutForest;
 use dyntree_naive::NaiveForest;
+use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax, WeightOf};
 use dyntree_seqs::DynSequence;
 use ufo_forest::{TopologyForest, UfoForest};
 
@@ -21,8 +25,17 @@ use ufo_forest::{TopologyForest, UfoForest};
 /// Queries take `&mut self` because several backends (link-cut trees, Euler
 /// tour trees) restructure themselves on reads.
 pub trait SpanningBackend {
+    /// The monoid the backend's vertex weights aggregate under.  Unweighted
+    /// backends still pick one (conventionally [`SumMinMax`]) but report
+    /// `WEIGHTED = false` and decline `set_weight`.
+    type Weights: CommutativeMonoid;
+
     /// Name used in benchmark output and diagnostics.
     const NAME: &'static str;
+
+    /// Whether the backend maintains vertex weights at all.  When `false`,
+    /// `set_weight` returns `false` and the aggregate queries return `None`.
+    const WEIGHTED: bool;
 
     /// Creates a forest of `n` isolated vertices.
     fn new(n: usize) -> Self;
@@ -37,9 +50,12 @@ pub trait SpanningBackend {
     /// Whether `u` and `v` are in the same tree.
     fn connected(&mut self, u: usize, v: usize) -> bool;
 
-    /// Sets the weight of vertex `v` (ignored by unweighted backends).
-    fn set_weight(&mut self, v: usize, w: i64) {
+    /// Sets the weight of vertex `v`.  Returns whether the backend actually
+    /// recorded it; the default declines, so an unweighted backend can never
+    /// silently swallow weights.
+    fn set_weight(&mut self, v: usize, w: WeightOf<Self::Weights>) -> bool {
         let _ = (v, w);
+        false
     }
 
     /// Number of vertices in `v`'s tree, when the backend can answer faster
@@ -49,9 +65,17 @@ pub trait SpanningBackend {
         None
     }
 
-    /// Sum of vertex weights in `v`'s tree, when supported.
-    fn component_sum(&mut self, v: usize) -> Option<i64> {
+    /// Monoid aggregate over `v`'s whole tree, when supported.
+    fn component_agg(&mut self, v: usize) -> Option<Agg<Self::Weights>> {
         let _ = v;
+        None
+    }
+
+    /// Monoid aggregate over the spanning-tree path from `u` to `v`, when
+    /// supported.  Callers must check connectivity first; `None` means
+    /// "unsupported or disconnected".
+    fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<Self::Weights>> {
+        let _ = (u, v);
         None
     }
 
@@ -61,8 +85,10 @@ pub trait SpanningBackend {
     }
 }
 
-impl SpanningBackend for UfoForest {
+impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
+    type Weights = M;
     const NAME: &'static str = "ufo";
+    const WEIGHTED: bool = true;
 
     fn new(n: usize) -> Self {
         UfoForest::new(n)
@@ -76,22 +102,28 @@ impl SpanningBackend for UfoForest {
     fn connected(&mut self, u: usize, v: usize) -> bool {
         UfoForest::connected(self, u, v)
     }
-    fn set_weight(&mut self, v: usize, w: i64) {
+    fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         UfoForest::set_weight(self, v, w);
+        true
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(UfoForest::component_size(self, v))
     }
-    fn component_sum(&mut self, v: usize) -> Option<i64> {
-        Some(self.engine().component_aggregate(v).sum)
+    fn component_agg(&mut self, v: usize) -> Option<Agg<M>> {
+        Some(UfoForest::component_aggregate(self, v))
+    }
+    fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
+        UfoForest::path_aggregate(self, u, v)
     }
     fn memory_bytes(&self) -> usize {
         UfoForest::memory_bytes(self)
     }
 }
 
-impl SpanningBackend for TopologyForest {
+impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
+    type Weights = M;
     const NAME: &'static str = "topology";
+    const WEIGHTED: bool = true;
 
     fn new(n: usize) -> Self {
         TopologyForest::new(n)
@@ -105,19 +137,29 @@ impl SpanningBackend for TopologyForest {
     fn connected(&mut self, u: usize, v: usize) -> bool {
         TopologyForest::connected(self, u, v)
     }
-    fn set_weight(&mut self, v: usize, w: i64) {
+    fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         TopologyForest::set_weight(self, v, w);
+        true
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(TopologyForest::component_size(self, v))
     }
+    fn component_agg(&mut self, v: usize) -> Option<Agg<M>> {
+        Some(TopologyForest::component_aggregate(self, v))
+    }
+    // path_agg deliberately stays at the unsupported default: ternarized path
+    // aggregates are inexact for interior vertices of degree ≥ 4 (see
+    // `TopologyForest::path_sum`), and the engine must not serve approximate
+    // answers for a general graph's spanning-tree paths.
     fn memory_bytes(&self) -> usize {
         TopologyForest::memory_bytes(self)
     }
 }
 
-impl SpanningBackend for LinkCutForest {
+impl<M: CommutativeMonoid> SpanningBackend for LinkCutForest<M> {
+    type Weights = M;
     const NAME: &'static str = "linkcut";
+    const WEIGHTED: bool = true;
 
     fn new(n: usize) -> Self {
         LinkCutForest::new(n)
@@ -131,16 +173,24 @@ impl SpanningBackend for LinkCutForest {
     fn connected(&mut self, u: usize, v: usize) -> bool {
         LinkCutForest::connected(self, u, v)
     }
-    fn set_weight(&mut self, v: usize, w: i64) {
+    fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         LinkCutForest::set_weight(self, v, w);
+        true
+    }
+    // component_agg stays `None`: link-cut trees aggregate preferred paths,
+    // not whole trees (Table 1's "no subtree queries" row).
+    fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
+        LinkCutForest::path_aggregate(self, u, v)
     }
     fn memory_bytes(&self) -> usize {
         LinkCutForest::memory_bytes(self)
     }
 }
 
-impl<S: DynSequence> SpanningBackend for EulerTourForest<S> {
+impl<M: CommutativeMonoid, S: DynSequence<M>> SpanningBackend for EulerTourForest<S, M> {
+    type Weights = M;
     const NAME: &'static str = "euler";
+    const WEIGHTED: bool = true;
 
     fn new(n: usize) -> Self {
         EulerTourForest::new(n)
@@ -154,22 +204,29 @@ impl<S: DynSequence> SpanningBackend for EulerTourForest<S> {
     fn connected(&mut self, u: usize, v: usize) -> bool {
         EulerTourForest::connected(self, u, v)
     }
-    fn set_weight(&mut self, v: usize, w: i64) {
+    fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         EulerTourForest::set_weight(self, v, w);
+        true
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(EulerTourForest::component_size(self, v) as u64)
     }
-    fn component_sum(&mut self, v: usize) -> Option<i64> {
-        Some(EulerTourForest::component_sum(self, v))
+    fn component_agg(&mut self, v: usize) -> Option<Agg<M>> {
+        Some(EulerTourForest::component_aggregate(self, v))
+    }
+    fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
+        // O(component) fallback walk; see `EulerTourForest::path_aggregate`.
+        EulerTourForest::path_aggregate(self, u, v)
     }
     fn memory_bytes(&self) -> usize {
         EulerTourForest::memory_bytes(self)
     }
 }
 
-impl<S: DynSequence> SpanningBackend for BatchEulerForest<S> {
+impl<S: DynSequence<SumMinMax>> SpanningBackend for BatchEulerForest<S> {
+    type Weights = SumMinMax;
     const NAME: &'static str = "euler-batch";
+    const WEIGHTED: bool = true;
 
     fn new(n: usize) -> Self {
         BatchEulerForest::new(n)
@@ -183,22 +240,28 @@ impl<S: DynSequence> SpanningBackend for BatchEulerForest<S> {
     fn connected(&mut self, u: usize, v: usize) -> bool {
         self.forest_mut().connected(u, v)
     }
-    fn set_weight(&mut self, v: usize, w: i64) {
+    fn set_weight(&mut self, v: usize, w: i64) -> bool {
         self.forest_mut().set_weight(v, w);
+        true
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(self.forest_mut().component_size(v) as u64)
     }
-    fn component_sum(&mut self, v: usize) -> Option<i64> {
-        Some(self.forest_mut().component_sum(v))
+    fn component_agg(&mut self, v: usize) -> Option<Agg<SumMinMax>> {
+        Some(self.forest_mut().component_aggregate(v))
+    }
+    fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<SumMinMax>> {
+        self.forest_mut().path_aggregate(u, v)
     }
     fn memory_bytes(&self) -> usize {
         BatchEulerForest::memory_bytes(self)
     }
 }
 
-impl SpanningBackend for NaiveForest {
+impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
+    type Weights = M;
     const NAME: &'static str = "naive";
+    const WEIGHTED: bool = true;
 
     fn new(n: usize) -> Self {
         NaiveForest::new(n)
@@ -212,19 +275,18 @@ impl SpanningBackend for NaiveForest {
     fn connected(&mut self, u: usize, v: usize) -> bool {
         NaiveForest::connected(self, u, v)
     }
-    fn set_weight(&mut self, v: usize, w: i64) {
+    fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         NaiveForest::set_weight(self, v, w);
+        true
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(NaiveForest::component_size(self, v) as u64)
     }
-    fn component_sum(&mut self, v: usize) -> Option<i64> {
-        Some(
-            NaiveForest::component(self, v)
-                .into_iter()
-                .map(|x| self.weight(x))
-                .sum(),
-        )
+    fn component_agg(&mut self, v: usize) -> Option<Agg<M>> {
+        Some(NaiveForest::component_aggregate(self, v))
+    }
+    fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
+        NaiveForest::path_aggregate(self, u, v)
     }
 }
 
@@ -246,6 +308,33 @@ mod tests {
         }
     }
 
+    fn exercise_weighted<B: SpanningBackend<Weights = SumMinMax>>() {
+        let mut b = B::new(4);
+        b.link(0, 1);
+        b.link(1, 2);
+        let recorded = b.set_weight(1, 7);
+        assert_eq!(
+            recorded,
+            B::WEIGHTED,
+            "{}: set_weight flag must match WEIGHTED",
+            B::NAME
+        );
+        if let Some(agg) = b.component_agg(0) {
+            assert_eq!(agg.sum, 7);
+            assert_eq!(agg.count, 3);
+        }
+        if let Some(agg) = b.path_agg(0, 2) {
+            assert_eq!(agg.sum, 7);
+            assert_eq!(agg.edges, 2);
+            assert_eq!(agg.max, 7);
+        }
+        assert!(
+            b.path_agg(0, 3).is_none(),
+            "{}: disconnected path must be None",
+            B::NAME
+        );
+    }
+
     #[test]
     fn every_forest_implements_the_backend() {
         exercise::<UfoForest>();
@@ -254,5 +343,15 @@ mod tests {
         exercise::<EulerTourForest<TreapSequence>>();
         exercise::<BatchEulerForest<TreapSequence>>();
         exercise::<NaiveForest>();
+    }
+
+    #[test]
+    fn weighted_surface_is_consistent() {
+        exercise_weighted::<UfoForest>();
+        exercise_weighted::<TopologyForest>();
+        exercise_weighted::<LinkCutForest>();
+        exercise_weighted::<EulerTourForest<TreapSequence>>();
+        exercise_weighted::<BatchEulerForest<TreapSequence>>();
+        exercise_weighted::<NaiveForest>();
     }
 }

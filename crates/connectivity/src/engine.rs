@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
 use dyntree_primitives::Dsu;
 
 use crate::backend::SpanningBackend;
@@ -120,13 +121,20 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         &mut self.backend
     }
 
-    /// Sets the weight of vertex `v` in the backend (for backends with
-    /// weighted component aggregates).  Out-of-range vertices are ignored.
-    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+    /// Sets the weight of vertex `v` in the backend.  Returns whether the
+    /// weight was actually recorded — `false` for out-of-range vertices and
+    /// for backends that do not maintain weights, so callers can tell "zero"
+    /// apart from "unweighted backend".
+    pub fn set_weight(&mut self, v: Vertex, w: WeightOf<B::Weights>) -> bool {
         if v >= self.n {
-            return;
+            return false;
         }
-        self.backend.set_weight(v, w);
+        self.backend.set_weight(v, w)
+    }
+
+    /// Whether the backend maintains vertex weights at all.
+    pub fn weighted(&self) -> bool {
+        B::WEIGHTED
     }
 
     /// Whether `u` and `v` are connected, answered by the backend's forest.
@@ -351,13 +359,32 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         visited.len() as u64
     }
 
-    /// Sum of vertex weights in `v`'s component, when the backend tracks
-    /// weights.  Out of range → `None`.
-    pub fn component_sum(&mut self, v: Vertex) -> Option<i64> {
+    /// Monoid aggregate over `v`'s whole component, when the backend
+    /// supports component aggregates.  Out of range → `None`.
+    pub fn component_agg(&mut self, v: Vertex) -> Option<Agg<B::Weights>> {
         if v >= self.n {
             return None;
         }
-        self.backend.component_sum(v)
+        self.backend.component_agg(v)
+    }
+
+    /// Monoid aggregate over the spanning-tree path between `u` and `v`.
+    /// `None` when the vertices are disconnected (or out of range), or when
+    /// the backend cannot answer path aggregates (e.g. the ternarized
+    /// topology backend, whose path answers would be inexact).
+    ///
+    /// On a general graph this is a *spanning-tree* path — the tree the HDT
+    /// engine happens to maintain — not a shortest path.  Workloads that
+    /// control which edges enter the forest (e.g. `examples/dynamic_mst.rs`,
+    /// which only ever inserts forest edges) can rely on its exact shape.
+    pub fn path_agg(&mut self, u: Vertex, v: Vertex) -> Option<Agg<B::Weights>> {
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        // No connectivity pre-check: every backend's path_agg already
+        // returns None for disconnected pairs, and re-probing here would
+        // double the backend traversals per query.
+        self.backend.path_agg(u, v)
     }
 
     /// Approximate heap bytes owned by the engine and its backend.
@@ -510,6 +537,27 @@ impl<'a> EdgeLockstepBfs<'a> {
     }
 }
 
+/// `i64` conveniences for backends aggregating under the default monoid.
+impl<B: SpanningBackend<Weights = SumMinMax>> DynConnectivity<B> {
+    /// Sum of vertex weights in `v`'s component.  `None` when the backend
+    /// has no component aggregates (never a silent zero: an unweighted or
+    /// path-only backend reports `None`, a weighted one reports the true
+    /// sum even if it is `0`).
+    pub fn component_sum(&mut self, v: Vertex) -> Option<i64> {
+        self.component_agg(v).map(|a| a.sum)
+    }
+
+    /// Sum of vertex weights on the spanning-tree path between `u` and `v`.
+    pub fn path_sum(&mut self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_agg(u, v).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight on the spanning-tree path between `u` and `v`.
+    pub fn path_max(&mut self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_agg(u, v).map(|a| a.max)
+    }
+}
+
 fn canonical(u: Vertex, v: Vertex) -> (Vertex, Vertex) {
     (u.min(v), u.max(v))
 }
@@ -607,6 +655,41 @@ mod tests {
         assert_eq!(g.component_sum(7), None);
         g.set_weight(7, 5); // ignored, no panic
         assert!(!g.delete_edge(0, 7));
+    }
+
+    #[test]
+    fn weighted_queries_distinguish_zero_from_unsupported() {
+        // UFO backend: full weighted surface — a zero sum is a real zero.
+        let mut g = UfoConnectivity::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        assert!(g.weighted());
+        assert!(g.set_weight(1, 0));
+        assert_eq!(g.component_sum(0), Some(0), "true zero, not a default");
+        assert!(g.set_weight(1, 7));
+        assert_eq!(g.component_sum(0), Some(7));
+        let p = g.path_agg(0, 2).expect("ufo answers path aggregates");
+        assert_eq!(p.sum, 7);
+        assert_eq!(p.edges, 2);
+        assert!(g.path_agg(0, 3).is_none(), "disconnected");
+        assert!(!g.set_weight(9, 1), "out of range is declined");
+
+        // Link-cut backend: paths yes, component aggregates no — and the
+        // engine reports the gap as None instead of a silent zero.
+        let mut h = LinkCutConnectivity::new(3);
+        h.insert_edge(0, 1);
+        assert!(h.set_weight(0, 5));
+        assert_eq!(h.component_sum(0), None, "no component aggregates");
+        assert_eq!(h.path_sum(0, 1), Some(5));
+        assert_eq!(h.path_max(0, 1), Some(5));
+
+        // Topology backend: declines path aggregates (ternarized answers
+        // would be inexact) but answers component aggregates.
+        let mut t: DynConnectivity<ufo_forest::TopologyForest> = DynConnectivity::new(3);
+        t.insert_edge(0, 1);
+        assert!(t.set_weight(0, 3));
+        assert_eq!(t.component_sum(0), Some(3));
+        assert!(t.path_agg(0, 1).is_none());
     }
 
     #[test]

@@ -1,33 +1,65 @@
-//! The Euler tour forest, generic over the sequence backend.
+//! The Euler tour forest, generic over the sequence backend and the
+//! aggregation monoid.
 
 use std::collections::HashMap;
 
-use dyntree_seqs::{DynSequence, Handle};
+use dyntree_seqs::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
-/// An Euler tour forest over vertices `0..n` with `i64` vertex weights.
+/// An Euler tour forest over vertices `0..n` with vertex weights drawn from
+/// the commutative monoid `M` (default: the `i64` sum/min/max aggregate).
 ///
 /// Each tree's Euler tour is stored as a sequence containing one *vertex
 /// occurrence* node per vertex (carrying the vertex weight) and two *arc*
 /// nodes per edge.  Supported operations: `link`, `cut`, `connected`,
-/// `reroot`, component aggregates and subtree aggregates.
+/// `reroot`, component aggregates and subtree aggregates — all answered as
+/// [`Agg<M>`].  Path aggregates are *not* an ETT primitive (the paper
+/// stresses this); [`path_aggregate`](Self::path_aggregate) is an honest
+/// `O(component)` walk over the explicit adjacency lists kept alongside the
+/// tour, provided so every forest answers the full shared query surface.
 #[derive(Clone, Debug)]
-pub struct EulerTourForest<S: DynSequence> {
+pub struct EulerTourForest<S: DynSequence<M>, M: CommutativeMonoid = SumMinMax> {
     seq: S,
     vertex_node: Vec<Handle>,
     arcs: HashMap<(usize, usize), Handle>,
-    weights: Vec<i64>,
+    /// Explicit forest adjacency, used only by the path-aggregate fallback.
+    adj: Vec<Vec<usize>>,
+    /// Position of `v` within `adj[u]`, keyed by `(u, v)`, so `cut` removes
+    /// adjacency entries in O(1) instead of scanning high-degree lists.
+    adj_pos: HashMap<(usize, usize), usize>,
+    weights: Vec<M::Weight>,
 }
 
-impl<S: DynSequence> EulerTourForest<S> {
-    /// Creates a forest of `n` isolated vertices with weight zero.
+impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
+    /// Creates a forest of `n` isolated vertices with default weight.
     pub fn new(n: usize) -> Self {
         let mut seq = S::new();
-        let vertex_node = (0..n).map(|_| seq.make(0, true)).collect();
+        let vertex_node = (0..n)
+            .map(|_| seq.make(M::Weight::default(), true))
+            .collect();
         Self {
             seq,
             vertex_node,
             arcs: HashMap::new(),
-            weights: vec![0; n],
+            adj: vec![Vec::new(); n],
+            adj_pos: HashMap::new(),
+            weights: vec![M::Weight::default(); n],
+        }
+    }
+
+    fn adj_insert(&mut self, u: usize, v: usize) {
+        self.adj_pos.insert((u, v), self.adj[u].len());
+        self.adj[u].push(v);
+    }
+
+    fn adj_remove(&mut self, u: usize, v: usize) {
+        let pos = self
+            .adj_pos
+            .remove(&(u, v))
+            .expect("adjacency entry exists");
+        let last = self.adj[u].pop().expect("non-empty adjacency");
+        if last != v {
+            self.adj[u][pos] = last;
+            self.adj_pos.insert((u, last), pos);
         }
     }
 
@@ -52,13 +84,13 @@ impl<S: DynSequence> EulerTourForest<S> {
     }
 
     /// Sets the weight of vertex `v`.
-    pub fn set_weight(&mut self, v: usize, w: i64) {
+    pub fn set_weight(&mut self, v: usize, w: M::Weight) {
         self.weights[v] = w;
         self.seq.set_value(self.vertex_node[v], w);
     }
 
     /// Returns the weight of vertex `v`.
-    pub fn weight(&self, v: usize) -> i64 {
+    pub fn weight(&self, v: usize) -> M::Weight {
         self.weights[v]
     }
 
@@ -79,10 +111,12 @@ impl<S: DynSequence> EulerTourForest<S> {
         }
         self.reroot(u);
         self.reroot(v);
-        let uv = self.seq.make(0, false);
-        let vu = self.seq.make(0, false);
+        let uv = self.seq.make(M::Weight::default(), false);
+        let vu = self.seq.make(M::Weight::default(), false);
         self.arcs.insert((u, v), uv);
         self.arcs.insert((v, u), vu);
+        self.adj_insert(u, v);
+        self.adj_insert(v, u);
         let tu = self.seq.root(self.vertex_node[u]);
         let tv = self.seq.root(self.vertex_node[v]);
         let t = self.seq.join(Some(tu), Some(uv));
@@ -98,6 +132,8 @@ impl<S: DynSequence> EulerTourForest<S> {
         };
         self.arcs.remove(&(u, v));
         self.arcs.remove(&(v, u));
+        self.adj_remove(u, v);
+        self.adj_remove(v, u);
         let (first, second) = if self.seq.position(a) < self.seq.position(b) {
             (a, b)
         } else {
@@ -126,33 +162,19 @@ impl<S: DynSequence> EulerTourForest<S> {
         self.seq.root(self.vertex_node[u]) == self.seq.root(self.vertex_node[v])
     }
 
+    /// Aggregate over every vertex of the component containing `v`.
+    pub fn component_aggregate(&mut self, v: usize) -> Agg<M> {
+        self.seq.aggregate(self.vertex_node[v])
+    }
+
     /// Number of vertices in the component containing `v`.
     pub fn component_size(&mut self, v: usize) -> usize {
-        self.seq.aggregate(self.vertex_node[v]).count
+        self.component_aggregate(v).count as usize
     }
 
-    /// Sum of vertex weights in the component containing `v`.
-    pub fn component_sum(&mut self, v: usize) -> i64 {
-        self.seq.aggregate(self.vertex_node[v]).sum
-    }
-
-    /// Sum of vertex weights in the subtree of `v` away from its neighbour
-    /// `parent`, or `None` if `(v, parent)` is not an edge.
-    pub fn subtree_sum(&mut self, v: usize, parent: usize) -> Option<i64> {
-        self.subtree_agg(v, parent).map(|a| a.sum)
-    }
-
-    /// Number of vertices in the subtree of `v` away from `parent`.
-    pub fn subtree_size(&mut self, v: usize, parent: usize) -> Option<usize> {
-        self.subtree_agg(v, parent).map(|a| a.count)
-    }
-
-    /// Maximum vertex weight in the subtree of `v` away from `parent`.
-    pub fn subtree_max(&mut self, v: usize, parent: usize) -> Option<i64> {
-        self.subtree_agg(v, parent).map(|a| a.max)
-    }
-
-    fn subtree_agg(&mut self, v: usize, parent: usize) -> Option<dyntree_seqs::Agg> {
+    /// Aggregate over the subtree of `v` away from its neighbour `parent`,
+    /// or `None` if `(v, parent)` is not an edge.
+    pub fn subtree_aggregate(&mut self, v: usize, parent: usize) -> Option<Agg<M>> {
         if !self.has_edge(parent, v) {
             return None;
         }
@@ -168,7 +190,7 @@ impl<S: DynSequence> EulerTourForest<S> {
         let (inner, b_alone) = self.seq.split_before(b);
         let agg = inner
             .map(|i| self.seq.aggregate(i))
-            .unwrap_or(dyntree_seqs::Agg::IDENTITY);
+            .unwrap_or(Agg::IDENTITY);
         // stitch the tour back together: prefix ++ [a] ++ inner ++ [b] ++ suffix
         let t = self.seq.join(prefix, Some(a_alone));
         let t = self.seq.join(t, inner);
@@ -177,13 +199,90 @@ impl<S: DynSequence> EulerTourForest<S> {
         Some(agg)
     }
 
+    /// Number of vertices in the subtree of `v` away from `parent`.
+    pub fn subtree_size(&mut self, v: usize, parent: usize) -> Option<usize> {
+        self.subtree_aggregate(v, parent).map(|a| a.count as usize)
+    }
+
+    /// Aggregate over the vertex weights on the `u`–`v` path (endpoints
+    /// inclusive), or `None` if the vertices are disconnected.
+    ///
+    /// **Cost caveat:** Euler tours do not support path decomposition, so
+    /// this is a BFS over the explicit forest adjacency — `O(k)` time and
+    /// space for a component of `k` vertices, vs. the polylogarithmic path
+    /// queries of UFO / link-cut trees.  Table 1's `weighted_aggregates`
+    /// column records this asymmetry.
+    pub fn path_aggregate(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
+        if u == v {
+            return Some(Agg::vertex(self.weights[u]));
+        }
+        // predecessor map confined to the traversed component
+        let mut pred: HashMap<usize, usize> = HashMap::new();
+        pred.insert(u, u);
+        let mut queue = std::collections::VecDeque::from([u]);
+        'bfs: while let Some(x) = queue.pop_front() {
+            for &y in &self.adj[x] {
+                if let std::collections::hash_map::Entry::Vacant(e) = pred.entry(y) {
+                    e.insert(x);
+                    if y == v {
+                        break 'bfs;
+                    }
+                    queue.push_back(y);
+                }
+            }
+        }
+        if !pred.contains_key(&v) {
+            return None;
+        }
+        let mut agg = Agg::vertex(self.weights[v]);
+        let mut cur = v;
+        while cur != u {
+            cur = pred[&cur];
+            agg = Agg::<M>::combine(agg, Agg::vertex(self.weights[cur])).cross_edge();
+        }
+        Some(agg)
+    }
+
     /// Exact heap bytes owned by the structure.
     pub fn memory_bytes(&self) -> usize {
         let arc_entry = std::mem::size_of::<((usize, usize), Handle)>() + 8;
+        let adj_bytes: usize = self
+            .adj
+            .iter()
+            .map(|a| a.capacity() * std::mem::size_of::<usize>())
+            .sum::<usize>()
+            + self.adj.capacity() * std::mem::size_of::<Vec<usize>>();
         self.seq.memory_bytes()
             + self.vertex_node.capacity() * std::mem::size_of::<Handle>()
-            + self.weights.capacity() * std::mem::size_of::<i64>()
-            + self.arcs.capacity() * arc_entry
+            + self.weights.capacity() * std::mem::size_of::<M::Weight>()
+            + (self.arcs.capacity() + self.adj_pos.capacity()) * arc_entry
+            + adj_bytes
+    }
+}
+
+/// The historical `i64` convenience surface, preserved for the default
+/// monoid.
+impl<S: DynSequence<SumMinMax>> EulerTourForest<S, SumMinMax> {
+    /// Sum of vertex weights in the component containing `v`.
+    pub fn component_sum(&mut self, v: usize) -> i64 {
+        self.component_aggregate(v).sum
+    }
+
+    /// Sum of vertex weights in the subtree of `v` away from its neighbour
+    /// `parent`, or `None` if `(v, parent)` is not an edge.
+    pub fn subtree_sum(&mut self, v: usize, parent: usize) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_max(&mut self, v: usize, parent: usize) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.max)
+    }
+
+    /// Sum of vertex weights on the `u`–`v` path (see the cost caveat on
+    /// [`path_aggregate`](Self::path_aggregate)).
+    pub fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.sum)
     }
 }
 
@@ -249,6 +348,30 @@ mod tests {
         assert_eq!(f.weight(3), -4);
     }
 
+    fn path_fallback<S: DynSequence>() {
+        let mut f = EulerTourForest::<S>::new(7);
+        for v in 0..7 {
+            f.set_weight(v, 10 * v as i64);
+        }
+        // path 0-1-2-3 plus a branch 1-4-5, isolated 6
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (1, 4), (4, 5)] {
+            assert!(f.link(u, v));
+        }
+        let a = f.path_aggregate(0, 3).unwrap();
+        assert_eq!(a.sum, 10 + 20 + 30);
+        assert_eq!(a.edges, 3);
+        assert_eq!(a.count, 4);
+        let b = f.path_aggregate(3, 5).unwrap();
+        assert_eq!(b.sum, 30 + 20 + 10 + 40 + 50);
+        assert_eq!(b.max, 50);
+        assert_eq!(f.path_sum(2, 2), Some(20));
+        assert!(f.path_aggregate(0, 6).is_none(), "disconnected");
+        // the walk must not disturb the tour
+        assert!(f.cut(1, 2));
+        assert!(f.path_aggregate(0, 3).is_none());
+        assert_eq!(f.path_sum(0, 4), Some(10 + 40));
+    }
+
     #[test]
     fn treap_basic() {
         basic_ops::<TreapSequence>();
@@ -277,6 +400,49 @@ mod tests {
     #[test]
     fn splay_weights() {
         weights_update::<SplaySequence>();
+    }
+
+    #[test]
+    fn treap_path_fallback() {
+        path_fallback::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_path_fallback() {
+        path_fallback::<SplaySequence>();
+    }
+
+    fn star_teardown_keeps_adjacency_consistent<S: DynSequence>() {
+        // hub with many leaves: every cut must remove the hub's adjacency
+        // entry in O(1) (swap-remove via the position map), and the path
+        // fallback must stay correct as positions are recycled
+        let n = 64;
+        let mut f = EulerTourForest::<S>::new(n);
+        for v in 1..n {
+            f.set_weight(v, v as i64);
+            assert!(f.link(0, v));
+        }
+        assert_eq!(f.path_sum(5, 9), Some(5 + 9));
+        for v in (1..n).step_by(2) {
+            assert!(f.cut(0, v));
+        }
+        for v in (2..n).step_by(2) {
+            assert!(f.connected(0, v));
+            assert_eq!(f.path_sum(v, 0), Some(v as i64));
+        }
+        assert_eq!(f.path_sum(4, 6), Some(4 + 6));
+        assert!(f.path_aggregate(0, 1).is_none(), "odd leaves detached");
+        assert_eq!(f.num_edges(), (n - 1) / 2);
+    }
+
+    #[test]
+    fn treap_star_teardown() {
+        star_teardown_keeps_adjacency_consistent::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_star_teardown() {
+        star_teardown_keeps_adjacency_consistent::<SplaySequence>();
     }
 
     #[test]

@@ -1,59 +1,60 @@
-//! The link-cut forest implementation.
+//! The link-cut forest implementation, generic over the aggregation monoid.
+
+use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax};
 
 const NIL: usize = usize::MAX;
 
 /// One splay-tree node per represented vertex.
 #[derive(Clone, Debug)]
-struct Node {
+struct Node<M: CommutativeMonoid> {
     parent: usize,
     child: [usize; 2],
     /// Lazy "reverse this path" bit used by `make_root`.
     flip: bool,
     /// Vertex weight.
-    value: i64,
-    /// Aggregates over the splay subtree (a contiguous path segment).
-    sum: i64,
-    max: i64,
-    min: i64,
+    value: M::Weight,
+    /// Monoid aggregate over the splay subtree (a contiguous path segment).
+    /// Soundness under the lazy `flip` reversal is exactly why the monoid
+    /// must be commutative.
+    agg: M::Value,
     size: usize,
 }
 
-impl Node {
-    fn new(value: i64) -> Self {
+impl<M: CommutativeMonoid> Node<M> {
+    fn new(value: M::Weight) -> Self {
         Self {
             parent: NIL,
             child: [NIL, NIL],
             flip: false,
             value,
-            sum: value,
-            max: value,
-            min: value,
+            agg: M::lift(value),
             size: 1,
         }
     }
 }
 
-/// A forest of vertices `0..n` maintained with link-cut trees.
+/// A forest of vertices `0..n` maintained with link-cut trees, generic over
+/// the vertex-weight monoid (default: the `i64` sum/min/max aggregate).
 ///
-/// Vertex weights are `i64`; path aggregates are computed over the vertices of
-/// the queried path, endpoints inclusive.
+/// Path aggregates are computed over the vertices of the queried path,
+/// endpoints inclusive, and returned as [`Agg<M>`].
 #[derive(Clone, Debug)]
-pub struct LinkCutForest {
-    nodes: Vec<Node>,
+pub struct LinkCutForest<M: CommutativeMonoid = SumMinMax> {
+    nodes: Vec<Node<M>>,
     num_edges: usize,
 }
 
-impl LinkCutForest {
-    /// Creates a forest of `n` isolated vertices with weight zero.
+impl<M: CommutativeMonoid> LinkCutForest<M> {
+    /// Creates a forest of `n` isolated vertices with default weight.
     pub fn new(n: usize) -> Self {
         Self {
-            nodes: (0..n).map(|_| Node::new(0)).collect(),
+            nodes: (0..n).map(|_| Node::new(M::Weight::default())).collect(),
             num_edges: 0,
         }
     }
 
     /// Creates a forest with the given vertex weights.
-    pub fn with_weights(weights: &[i64]) -> Self {
+    pub fn with_weights(weights: &[M::Weight]) -> Self {
         Self {
             nodes: weights.iter().map(|&w| Node::new(w)).collect(),
             num_edges: 0,
@@ -77,18 +78,18 @@ impl LinkCutForest {
 
     /// Exact number of heap bytes owned by the structure.
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>()
+        self.nodes.capacity() * std::mem::size_of::<Node<M>>()
     }
 
     /// Sets the weight of vertex `v`.
-    pub fn set_weight(&mut self, v: usize, w: i64) {
+    pub fn set_weight(&mut self, v: usize, w: M::Weight) {
         self.access(v);
         self.nodes[v].value = w;
         self.update(v);
     }
 
     /// Returns the weight of vertex `v`.
-    pub fn weight(&self, v: usize) -> i64 {
+    pub fn weight(&self, v: usize) -> M::Weight {
         self.nodes[v].value
     }
 
@@ -162,20 +163,14 @@ impl LinkCutForest {
         self.push(v);
     }
 
-    /// Sum of vertex weights on the `u`–`v` path (inclusive), or `None` if the
-    /// vertices are not connected.
-    pub fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
-        self.expose_path(u, v).map(|x| self.nodes[x].sum)
-    }
-
-    /// Maximum vertex weight on the `u`–`v` path (inclusive).
-    pub fn path_max(&mut self, u: usize, v: usize) -> Option<i64> {
-        self.expose_path(u, v).map(|x| self.nodes[x].max)
-    }
-
-    /// Minimum vertex weight on the `u`–`v` path (inclusive).
-    pub fn path_min(&mut self, u: usize, v: usize) -> Option<i64> {
-        self.expose_path(u, v).map(|x| self.nodes[x].min)
+    /// Monoid aggregate over the vertex weights on the `u`–`v` path
+    /// (inclusive), or `None` if the vertices are not connected.
+    pub fn path_aggregate(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
+        self.expose_path(u, v).map(|x| Agg {
+            value: self.nodes[x].agg,
+            count: self.nodes[x].size as u64,
+            edges: (self.nodes[x].size - 1) as u64,
+        })
     }
 
     /// Number of edges on the `u`–`v` path.
@@ -209,22 +204,16 @@ impl LinkCutForest {
 
     fn update(&mut self, x: usize) {
         let (l, r) = (self.nodes[x].child[0], self.nodes[x].child[1]);
-        let mut sum = self.nodes[x].value;
-        let mut max = self.nodes[x].value;
-        let mut min = self.nodes[x].value;
+        let mut agg = M::lift(self.nodes[x].value);
         let mut size = 1;
         for c in [l, r] {
             if c != NIL {
-                sum += self.nodes[c].sum;
-                max = max.max(self.nodes[c].max);
-                min = min.min(self.nodes[c].min);
+                agg = M::combine(agg, self.nodes[c].agg);
                 size += self.nodes[c].size;
             }
         }
         let node = &mut self.nodes[x];
-        node.sum = sum;
-        node.max = max;
-        node.min = min;
+        node.agg = agg;
         node.size = size;
     }
 
@@ -321,13 +310,33 @@ impl LinkCutForest {
     }
 }
 
+/// The historical `i64` convenience surface, preserved for the default
+/// monoid.
+impl LinkCutForest<SumMinMax> {
+    /// Sum of vertex weights on the `u`–`v` path (inclusive), or `None` if the
+    /// vertices are not connected.
+    pub fn path_sum(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight on the `u`–`v` path (inclusive).
+    pub fn path_max(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.max)
+    }
+
+    /// Minimum vertex weight on the `u`–`v` path (inclusive).
+    pub fn path_min(&mut self, u: usize, v: usize) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.min)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn basic_link_cut_connected() {
-        let mut f = LinkCutForest::new(6);
+        let mut f: LinkCutForest = LinkCutForest::new(6);
         assert!(f.link(0, 1));
         assert!(f.link(1, 2));
         assert!(f.link(3, 4));
@@ -343,7 +352,7 @@ mod tests {
 
     #[test]
     fn cut_requires_actual_edge() {
-        let mut f = LinkCutForest::new(4);
+        let mut f: LinkCutForest = LinkCutForest::new(4);
         f.link(0, 1);
         f.link(1, 2);
         f.link(2, 3);
@@ -356,7 +365,7 @@ mod tests {
 
     #[test]
     fn path_aggregates_on_a_path() {
-        let mut f = LinkCutForest::new(6);
+        let mut f: LinkCutForest = LinkCutForest::new(6);
         for v in 0..6 {
             f.set_weight(v, v as i64 * 10);
         }
@@ -373,7 +382,7 @@ mod tests {
 
     #[test]
     fn path_aggregates_survive_rerooting() {
-        let mut f = LinkCutForest::new(8);
+        let mut f: LinkCutForest = LinkCutForest::new(8);
         for v in 0..8 {
             f.set_weight(v, 1 << v);
         }
@@ -394,7 +403,7 @@ mod tests {
 
     #[test]
     fn lca_with_explicit_root() {
-        let mut f = LinkCutForest::new(7);
+        let mut f: LinkCutForest = LinkCutForest::new(7);
         // 0 - 1, 1 - 2, 1 - 3, 0 - 4, 4 - 5, unrelated 6
         f.link(0, 1);
         f.link(1, 2);
@@ -410,7 +419,7 @@ mod tests {
 
     #[test]
     fn weights_update_after_set() {
-        let mut f = LinkCutForest::new(3);
+        let mut f: LinkCutForest = LinkCutForest::new(3);
         f.link(0, 1);
         f.link(1, 2);
         f.set_weight(1, 7);
@@ -423,7 +432,7 @@ mod tests {
 
     #[test]
     fn memory_accounting_is_positive() {
-        let f = LinkCutForest::new(1000);
+        let f: LinkCutForest = LinkCutForest::new(1000);
         assert!(f.memory_bytes() >= 1000 * std::mem::size_of::<usize>());
         assert_eq!(f.len(), 1000);
         assert!(!f.is_empty());
@@ -432,7 +441,7 @@ mod tests {
     #[test]
     fn long_path_stress() {
         let n = 2000;
-        let mut f = LinkCutForest::new(n);
+        let mut f: LinkCutForest = LinkCutForest::new(n);
         for v in 0..n {
             f.set_weight(v, v as i64);
         }

@@ -5,28 +5,33 @@
 //! testing oracle*: every query that the UFO tree, link-cut tree, Euler tour
 //! tree, topology tree and rake-compress tree crates answer is also answered
 //! here, and the property tests assert they agree on random operation
-//! sequences.
+//! sequences.  Like the real structures, the oracle is generic over the
+//! [`CommutativeMonoid`] its weights aggregate under and answers path /
+//! subtree / component queries as [`Agg<M>`], folding with the same
+//! (saturating) `combine` the structures use.
 
 use std::collections::{HashSet, VecDeque};
+
+use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax};
 
 /// A vertex identifier.
 pub type Vertex = usize;
 
-/// Reference dynamic forest over `n` vertices with `i64` vertex weights and
-/// unit edge lengths.
+/// Reference dynamic forest over `n` vertices with monoid vertex weights
+/// (default: `i64` sum/min/max) and unit edge lengths.
 #[derive(Clone, Debug)]
-pub struct NaiveForest {
+pub struct NaiveForest<M: CommutativeMonoid = SumMinMax> {
     adj: Vec<Vec<Vertex>>,
-    weight: Vec<i64>,
+    weight: Vec<M::Weight>,
     marked: Vec<bool>,
 }
 
-impl NaiveForest {
-    /// Creates a forest of `n` isolated vertices with weight zero.
+impl<M: CommutativeMonoid> NaiveForest<M> {
+    /// Creates a forest of `n` isolated vertices with default weight.
     pub fn new(n: usize) -> Self {
         Self {
             adj: vec![Vec::new(); n],
-            weight: vec![0; n],
+            weight: vec![M::Weight::default(); n],
             marked: vec![false; n],
         }
     }
@@ -47,12 +52,12 @@ impl NaiveForest {
     }
 
     /// Sets the weight of vertex `v`.
-    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+    pub fn set_weight(&mut self, v: Vertex, w: M::Weight) {
         self.weight[v] = w;
     }
 
     /// Returns the weight of vertex `v`.
-    pub fn weight(&self, v: Vertex) -> i64 {
+    pub fn weight(&self, v: Vertex) -> M::Weight {
         self.weight[v]
     }
 
@@ -100,22 +105,19 @@ impl NaiveForest {
         self.bfs_path(u, v)
     }
 
-    /// Sum of vertex weights along the `u`–`v` path (inclusive).
-    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.path(u, v)
-            .map(|p| p.iter().map(|&x| self.weight[x]).sum())
-    }
-
-    /// Maximum vertex weight along the `u`–`v` path (inclusive).
-    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.path(u, v)
-            .and_then(|p| p.iter().map(|&x| self.weight[x]).max())
-    }
-
-    /// Minimum vertex weight along the `u`–`v` path (inclusive).
-    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.path(u, v)
-            .and_then(|p| p.iter().map(|&x| self.weight[x]).min())
+    /// Monoid aggregate over the vertex weights along the `u`–`v` path
+    /// (inclusive), or `None` if disconnected.
+    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<Agg<M>> {
+        self.path(u, v).map(|p| {
+            let mut agg = Agg::<M>::IDENTITY;
+            for (i, &x) in p.iter().enumerate() {
+                agg = Agg::combine(agg, Agg::vertex(self.weight[x]));
+                if i > 0 {
+                    agg = agg.cross_edge();
+                }
+            }
+            agg
+        })
     }
 
     /// Number of edges on the `u`–`v` path.
@@ -146,21 +148,14 @@ impl NaiveForest {
         Some(out)
     }
 
-    /// Sum of vertex weights in the subtree of `v` away from `parent`.
-    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.subtree_vertices(v, parent)
-            .map(|s| s.iter().map(|&x| self.weight[x]).sum())
+    /// Monoid aggregate over the subtree of `v` away from `parent`.
+    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<Agg<M>> {
+        self.subtree_vertices(v, parent).map(|s| self.fold(&s))
     }
 
     /// Number of vertices in the subtree of `v` away from `parent`.
     pub fn subtree_size(&self, v: Vertex, parent: Vertex) -> Option<usize> {
         self.subtree_vertices(v, parent).map(|s| s.len())
-    }
-
-    /// Maximum vertex weight in the subtree of `v` away from `parent`.
-    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.subtree_vertices(v, parent)
-            .and_then(|s| s.iter().map(|&x| self.weight[x]).max())
     }
 
     /// All vertices in the same component as `v`.
@@ -178,6 +173,11 @@ impl NaiveForest {
             }
         }
         out
+    }
+
+    /// Monoid aggregate over the whole component containing `v`.
+    pub fn component_aggregate(&self, v: Vertex) -> Agg<M> {
+        self.fold(&self.component(v))
     }
 
     /// Size of the component containing `v`.
@@ -222,6 +222,12 @@ impl NaiveForest {
     /// Total number of edges currently in the forest.
     pub fn num_edges(&self) -> usize {
         self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    fn fold(&self, vertices: &[Vertex]) -> Agg<M> {
+        vertices.iter().fold(Agg::IDENTITY, |acc, &x| {
+            Agg::combine(acc, Agg::vertex(self.weight[x]))
+        })
     }
 
     fn bfs_path(&self, u: Vertex, v: Vertex) -> Option<Vec<Vertex>> {
@@ -271,6 +277,36 @@ impl NaiveForest {
     }
 }
 
+/// The historical `i64` convenience surface, preserved for the default
+/// monoid.  These fold through [`Agg`], so they saturate exactly where the
+/// real structures saturate.
+impl NaiveForest<SumMinMax> {
+    /// Sum of vertex weights along the `u`–`v` path (inclusive).
+    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight along the `u`–`v` path (inclusive).
+    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.max)
+    }
+
+    /// Minimum vertex weight along the `u`–`v` path (inclusive).
+    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.min)
+    }
+
+    /// Sum of vertex weights in the subtree of `v` away from `parent`.
+    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,7 +321,7 @@ mod tests {
 
     #[test]
     fn link_cut_connectivity() {
-        let mut f = NaiveForest::new(5);
+        let mut f: NaiveForest = NaiveForest::new(5);
         assert!(f.link(0, 1));
         assert!(f.link(1, 2));
         assert!(!f.link(0, 2), "cycle rejected");
@@ -307,12 +343,15 @@ mod tests {
         assert_eq!(f.path_min(2, 5), Some(20));
         assert_eq!(f.path_length(0, 5), Some(5));
         assert_eq!(f.path_sum(3, 3), Some(30));
+        let agg = f.path_aggregate(1, 4).unwrap();
+        assert_eq!(agg.edges, 3);
+        assert_eq!(agg.count, 4);
     }
 
     #[test]
     fn subtree_queries() {
         // star centred at 0 with leaves 1..=4
-        let mut f = NaiveForest::new(5);
+        let mut f: NaiveForest = NaiveForest::new(5);
         for v in 1..5 {
             f.link(0, v);
             f.set_weight(v, v as i64);
@@ -323,6 +362,7 @@ mod tests {
         assert_eq!(f.subtree_size(0, 1), Some(4));
         assert_eq!(f.subtree_max(0, 2), Some(100));
         assert_eq!(f.subtree_sum(1, 3), None, "not an edge");
+        assert_eq!(f.component_aggregate(2).sum, 100 + 1 + 2 + 3 + 4);
     }
 
     #[test]
@@ -338,7 +378,7 @@ mod tests {
     #[test]
     fn lca_queries() {
         // rooted at 0: 0-1, 1-2, 1-3, 0-4
-        let mut f = NaiveForest::new(5);
+        let mut f: NaiveForest = NaiveForest::new(5);
         f.link(0, 1);
         f.link(1, 2);
         f.link(1, 3);
@@ -350,7 +390,7 @@ mod tests {
 
     #[test]
     fn components() {
-        let mut f = NaiveForest::new(6);
+        let mut f: NaiveForest = NaiveForest::new(6);
         f.link(0, 1);
         f.link(2, 3);
         f.link(3, 4);
@@ -358,5 +398,20 @@ mod tests {
         assert_eq!(f.component_size(3), 3);
         assert_eq!(f.component_size(5), 1);
         assert_eq!(f.num_edges(), 3);
+    }
+
+    #[test]
+    fn generic_monoid_oracle() {
+        use dyntree_primitives::algebra::{MaxEdge, WeightedId};
+        let mut f: NaiveForest<MaxEdge> = NaiveForest::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            f.link(u, v);
+        }
+        f.set_weight(1, WeightedId { weight: 9, id: 1 });
+        f.set_weight(2, WeightedId { weight: 4, id: 2 });
+        let a = f.path_aggregate(0, 3).unwrap();
+        assert_eq!(a.value, WeightedId { weight: 9, id: 1 });
+        let b = f.path_aggregate(2, 3).unwrap();
+        assert_eq!(b.value, WeightedId { weight: 4, id: 2 });
     }
 }

@@ -1,0 +1,426 @@
+//! The algebraic aggregation layer shared by every forest in the workspace.
+//!
+//! Section 4.2 of the paper phrases augmented values as *commutative monoid*
+//! aggregates over vertex weights, splitting them into invertible ones (sums,
+//! counts — a deleted child's contribution can be subtracted back out) and
+//! non-invertible ones (min/max — a deletion forces recomputation from the
+//! surviving children).  This module is the workspace-wide home of that
+//! abstraction: a [`Monoid`] describes how per-vertex weights lift into
+//! aggregate values and how those values combine; [`Agg`] packages a monoid
+//! value with the structural counters (vertex count, edge count) every query
+//! also needs.
+//!
+//! All forests — UFO trees, topology trees, link-cut trees, Euler tour trees
+//! and the naive oracle — are generic over a [`CommutativeMonoid`] and answer
+//! path / subtree / component queries as `Agg<M>`, so a new aggregate (e.g.
+//! the [`MaxEdge`] argmax monoid behind dynamic MST maintenance) is one
+//! marker type away from working across the whole stack, connectivity engine
+//! included.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Deref;
+
+/// A monoid over vertex weights: an identity element and an associative
+/// `combine`.
+///
+/// Implementors are zero-sized *marker* types (usually uninhabited enums);
+/// the data lives in the associated `Weight` (per-vertex input) and `Value`
+/// (aggregate) types.  `lift` injects a weight into the aggregate domain.
+///
+/// Laws (checked by `tests/monoid_laws.rs`):
+/// * `combine(IDENTITY, a) == a == combine(a, IDENTITY)`
+/// * `combine(a, combine(b, c)) == combine(combine(a, b), c)`
+///
+/// **Saturation caveat:** the shipped sum-based monoids harden against
+/// overflow with saturating adds, which makes their `combine` associative
+/// only away from the `i64` boundary (e.g. `[MAX, 1, -1]` folds to `MAX-1`
+/// left-to-right but `MAX` right-to-left).  Min/max/argmax stay exactly
+/// lawful everywhere.  Keep weights within `i64::MIN/2..i64::MAX/2` of
+/// total magnitude when exact cross-structure agreement matters.
+pub trait Monoid: Copy + Clone + Debug + PartialEq + Eq + Send + Sync + 'static {
+    /// Per-vertex input weight.  `Default` is the weight of a fresh vertex.
+    type Weight: Copy + Clone + Debug + Default + PartialEq + Send + Sync + 'static;
+    /// Aggregate value.
+    type Value: Copy + Clone + Debug + PartialEq + Send + Sync + 'static;
+
+    /// Name used in diagnostics and benchmark output.
+    const NAME: &'static str;
+
+    /// The identity element of `combine`.
+    const IDENTITY: Self::Value;
+
+    /// Injects a single vertex weight into the aggregate domain.
+    fn lift(w: Self::Weight) -> Self::Value;
+
+    /// Associative combination of two aggregates.
+    fn combine(a: Self::Value, b: Self::Value) -> Self::Value;
+}
+
+/// Marker for monoids whose `combine` is commutative.
+///
+/// Every forest requires this: cluster merges (UFO/topology), tour rotations
+/// (Euler) and lazy path reversal (link-cut) all reorder the elements being
+/// folded, which is only sound when the fold is order-insensitive.
+pub trait CommutativeMonoid: Monoid {}
+
+/// Marker for commutative monoids with an inverse (Section 4.2's *invertible*
+/// aggregates): a part's contribution can be subtracted from a total without
+/// refolding the rest.
+pub trait InvertibleMonoid: CommutativeMonoid {
+    /// Removes `part`'s contribution from `total`.
+    ///
+    /// Law: `uncombine(combine(a, b), b) == a` (up to saturation at the
+    /// extremes of the value domain).
+    fn uncombine(total: Self::Value, part: Self::Value) -> Self::Value;
+}
+
+/// The weight type of a monoid (bound-shortening alias).
+pub type WeightOf<M> = <M as Monoid>::Weight;
+/// The value type of a monoid (bound-shortening alias).
+pub type ValueOf<M> = <M as Monoid>::Value;
+
+// ---------------------------------------------------------------------------
+// Shipped monoids
+// ---------------------------------------------------------------------------
+
+/// Value of the [`SumMinMax`] monoid: saturating sum plus min and max.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WeightStats {
+    /// Saturating sum of the weights.
+    pub sum: i64,
+    /// Minimum weight (`i64::MAX` when empty).
+    pub min: i64,
+    /// Maximum weight (`i64::MIN` when empty).
+    pub max: i64,
+}
+
+/// The workspace's historical default aggregate: `i64` sum, min and max in
+/// one pass.  Not invertible as a whole (min/max are not), commutative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SumMinMax {}
+
+impl Monoid for SumMinMax {
+    type Weight = i64;
+    type Value = WeightStats;
+    const NAME: &'static str = "sum+min+max";
+    const IDENTITY: WeightStats = WeightStats {
+        sum: 0,
+        min: i64::MAX,
+        max: i64::MIN,
+    };
+    fn lift(w: i64) -> WeightStats {
+        WeightStats {
+            sum: w,
+            min: w,
+            max: w,
+        }
+    }
+    fn combine(a: WeightStats, b: WeightStats) -> WeightStats {
+        WeightStats {
+            sum: a.sum.saturating_add(b.sum),
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+}
+impl CommutativeMonoid for SumMinMax {}
+
+/// Saturating `i64` sum — the canonical invertible aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum I64Sum {}
+
+impl Monoid for I64Sum {
+    type Weight = i64;
+    type Value = i64;
+    const NAME: &'static str = "sum";
+    const IDENTITY: i64 = 0;
+    fn lift(w: i64) -> i64 {
+        w
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.saturating_add(b)
+    }
+}
+impl CommutativeMonoid for I64Sum {}
+impl InvertibleMonoid for I64Sum {
+    /// Exact away from the saturation boundary; saturating at the extremes.
+    fn uncombine(total: i64, part: i64) -> i64 {
+        total.saturating_sub(part)
+    }
+}
+
+/// `i64` minimum — non-invertible (Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum I64Min {}
+
+impl Monoid for I64Min {
+    type Weight = i64;
+    type Value = i64;
+    const NAME: &'static str = "min";
+    const IDENTITY: i64 = i64::MAX;
+    fn lift(w: i64) -> i64 {
+        w
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.min(b)
+    }
+}
+impl CommutativeMonoid for I64Min {}
+
+/// `i64` maximum — non-invertible (Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum I64Max {}
+
+impl Monoid for I64Max {
+    type Weight = i64;
+    type Value = i64;
+    const NAME: &'static str = "max";
+    const IDENTITY: i64 = i64::MIN;
+    fn lift(w: i64) -> i64 {
+        w
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.max(b)
+    }
+}
+impl CommutativeMonoid for I64Max {}
+
+/// A weight tagged with the identity of its carrier — the value of the
+/// [`MaxEdge`] argmax monoid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WeightedId {
+    /// The weight being maximised over.
+    pub weight: i64,
+    /// Identifier of the vertex (or subdivision vertex standing in for an
+    /// edge) that carries `weight`.
+    pub id: usize,
+}
+
+impl WeightedId {
+    /// "No carrier": the identity of [`MaxEdge`].  The id `usize::MAX` is
+    /// *reserved* as this sentinel — real carriers must use smaller ids.
+    pub const NONE: WeightedId = WeightedId {
+        weight: i64::MIN,
+        id: usize::MAX,
+    };
+
+    /// Whether this value actually names a carrier.
+    pub fn is_some(&self) -> bool {
+        self.id != usize::MAX
+    }
+}
+
+impl Default for WeightedId {
+    /// Fresh vertices carry the identity, so they never win an argmax.
+    fn default() -> Self {
+        WeightedId::NONE
+    }
+}
+
+/// Argmax over tagged weights: `combine` keeps the heavier carrier (ties
+/// break towards the *smaller* id, deterministically, so the reserved
+/// [`WeightedId::NONE`] sentinel — weight `i64::MIN`, id `usize::MAX` —
+/// loses to every real carrier, including ones of weight `i64::MIN`).
+/// This is the monoid behind max-edge-on-path queries — the primitive of
+/// dynamic MST maintenance (`examples/dynamic_mst.rs`), with each edge
+/// represented by a subdivision vertex carrying the edge weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaxEdge {}
+
+impl Monoid for MaxEdge {
+    type Weight = WeightedId;
+    type Value = WeightedId;
+    const NAME: &'static str = "max-edge";
+    const IDENTITY: WeightedId = WeightedId::NONE;
+    fn lift(w: WeightedId) -> WeightedId {
+        w
+    }
+    fn combine(a: WeightedId, b: WeightedId) -> WeightedId {
+        // max by weight, ties to the smaller id: a total-order selection,
+        // hence associative and commutative, with NONE as the least element
+        if (b.weight, std::cmp::Reverse(b.id)) > (a.weight, std::cmp::Reverse(a.id)) {
+            b
+        } else {
+            a
+        }
+    }
+}
+impl CommutativeMonoid for MaxEdge {}
+
+/// Product of two monoids over the same weight type: both aggregates are
+/// maintained in one pass.  Commutative iff both factors are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pair<A, B>(PhantomData<(A, B)>);
+
+impl<A: Monoid, B: Monoid<Weight = A::Weight>> Monoid for Pair<A, B> {
+    type Weight = A::Weight;
+    type Value = (A::Value, B::Value);
+    const NAME: &'static str = "pair";
+    const IDENTITY: (A::Value, B::Value) = (A::IDENTITY, B::IDENTITY);
+    fn lift(w: Self::Weight) -> Self::Value {
+        (A::lift(w), B::lift(w))
+    }
+    fn combine(a: Self::Value, b: Self::Value) -> Self::Value {
+        (A::combine(a.0, b.0), B::combine(a.1, b.1))
+    }
+}
+impl<A: CommutativeMonoid, B: CommutativeMonoid<Weight = A::Weight>> CommutativeMonoid
+    for Pair<A, B>
+{
+}
+
+// ---------------------------------------------------------------------------
+// Agg
+// ---------------------------------------------------------------------------
+
+/// A monoid aggregate plus the structural counters every forest query also
+/// reports: the number of (non-phantom) vertices folded in and the number of
+/// edges crossed.
+///
+/// `Agg<M>` derefs to `M::Value`, so component accesses read naturally —
+/// `agg.sum` / `agg.min` / `agg.max` for [`SumMinMax`] — while `agg.count`
+/// and `agg.edges` are direct fields.  Counter arithmetic saturates, as does
+/// every shipped monoid's `combine`, so `i64::MAX`-weighted inputs degrade
+/// to pinned values instead of overflowing (see `tests/weighted_differential.rs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Agg<M: Monoid> {
+    /// The combined monoid value.
+    pub value: M::Value,
+    /// Number of non-phantom vertices folded into `value`.
+    pub count: u64,
+    /// Number of edges crossed (path queries) — 0 for single vertices.
+    pub edges: u64,
+}
+
+impl<M: Monoid> Agg<M> {
+    /// Aggregate of an empty vertex set.
+    pub const IDENTITY: Agg<M> = Agg {
+        value: M::IDENTITY,
+        count: 0,
+        edges: 0,
+    };
+
+    /// Aggregate of a single vertex of weight `w`.
+    pub fn vertex(w: M::Weight) -> Self {
+        Agg {
+            value: M::lift(w),
+            count: 1,
+            edges: 0,
+        }
+    }
+
+    /// Aggregate of a single vertex, or the identity when the vertex is a
+    /// phantom (ternarization helper slots contribute nothing).
+    pub fn vertex_if(w: M::Weight, phantom: bool) -> Self {
+        if phantom {
+            Self::IDENTITY
+        } else {
+            Self::vertex(w)
+        }
+    }
+
+    /// Combines two aggregates (values via the monoid, counters saturating).
+    pub fn combine(a: Self, b: Self) -> Self {
+        Agg {
+            value: M::combine(a.value, b.value),
+            count: a.count.saturating_add(b.count),
+            edges: a.edges.saturating_add(b.edges),
+        }
+    }
+
+    /// Adds one edge crossing to the aggregate.
+    pub fn cross_edge(mut self) -> Self {
+        self.edges = self.edges.saturating_add(1);
+        self
+    }
+}
+
+impl<M: Monoid> Deref for Agg<M> {
+    type Target = M::Value;
+    /// Transparent access to the monoid value's components (`agg.sum`,
+    /// `agg.max`, ... for [`SumMinMax`]); the structural counters stay
+    /// direct fields.
+    fn deref(&self) -> &M::Value {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_min_max_combines() {
+        let a = Agg::<SumMinMax>::vertex(3);
+        let b = Agg::<SumMinMax>::vertex(-1).cross_edge();
+        let c = Agg::combine(a, b);
+        assert_eq!(c.sum, 2);
+        assert_eq!(c.min, -1);
+        assert_eq!(c.max, 3);
+        assert_eq!(c.edges, 1);
+        assert_eq!(c.count, 2);
+        let d = Agg::combine(c, Agg::IDENTITY);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn phantom_vertices_contribute_identity() {
+        let a = Agg::<SumMinMax>::vertex_if(5, false);
+        let b = Agg::<SumMinMax>::vertex_if(100, true);
+        let c = Agg::combine(a, b);
+        assert_eq!(c.sum, 5);
+        assert_eq!(c.count, 1);
+        let d = Agg::combine(c, Agg::vertex(-2));
+        assert_eq!(d.min, -2);
+        assert_eq!(d.max, 5);
+        assert_eq!(d.count, 2);
+    }
+
+    #[test]
+    fn saturating_sum_at_extremes() {
+        let a = Agg::<SumMinMax>::vertex(i64::MAX);
+        let c = Agg::combine(a, a);
+        assert_eq!(c.sum, i64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(c.max, i64::MAX);
+        let lo = Agg::<SumMinMax>::vertex(i64::MIN);
+        assert_eq!(Agg::combine(lo, lo).sum, i64::MIN);
+        assert_eq!(I64Sum::combine(i64::MAX, 1), i64::MAX);
+        assert_eq!(I64Sum::uncombine(i64::MIN, 1), i64::MIN);
+    }
+
+    #[test]
+    fn max_edge_argmax_keeps_carrier() {
+        let e1 = WeightedId { weight: 7, id: 1 };
+        let e2 = WeightedId { weight: 9, id: 2 };
+        assert_eq!(MaxEdge::combine(e1, e2), e2);
+        assert_eq!(MaxEdge::combine(e2, e1), e2);
+        assert_eq!(MaxEdge::combine(e1, MaxEdge::IDENTITY), e1);
+        // the identity loses even to a minimum-weight real carrier
+        let floor = WeightedId {
+            weight: i64::MIN,
+            id: 3,
+        };
+        assert_eq!(MaxEdge::combine(MaxEdge::IDENTITY, floor), floor);
+        assert_eq!(MaxEdge::combine(floor, MaxEdge::IDENTITY), floor);
+        assert!(!WeightedId::NONE.is_some());
+        assert!(e1.is_some());
+        assert_eq!(WeightedId::default(), WeightedId::NONE);
+    }
+
+    #[test]
+    fn pair_runs_both_factors() {
+        type SumAndMax = Pair<I64Sum, I64Max>;
+        let a = SumAndMax::lift(4);
+        let b = SumAndMax::lift(-2);
+        let c = SumAndMax::combine(a, b);
+        assert_eq!(c, (2, 4));
+        assert_eq!(SumAndMax::combine(c, SumAndMax::IDENTITY), c);
+    }
+
+    #[test]
+    fn invertible_sum_roundtrip() {
+        let t = I64Sum::combine(10, 32);
+        assert_eq!(I64Sum::uncombine(t, 32), 10);
+    }
+}

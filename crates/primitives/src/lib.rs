@@ -11,6 +11,7 @@
 //! based grouping rather than hashing) so that differential tests against the
 //! naive oracle are reproducible.
 
+pub mod algebra;
 pub mod dsu;
 pub mod groupby;
 pub mod listrank;
@@ -18,6 +19,7 @@ pub mod matching;
 pub mod slab;
 pub mod stats;
 
+pub use algebra::{Agg, CommutativeMonoid, InvertibleMonoid, Monoid};
 pub use dsu::Dsu;
 pub use groupby::{dedup_sorted, group_by_key, group_by_key_seq, remove_duplicates};
 pub use listrank::{list_rank, ListNode};

@@ -6,9 +6,12 @@
 //! split before/after a handle, join, position, and aggregate over a sequence
 //! — and provides balanced implementations.
 //!
-//! Every node carries an `i64` value and an *item* flag; aggregates (sum /
-//! min / max / count) are computed over item nodes only, which lets the Euler
-//! tour tree store vertex occurrences as items and edge arcs as non-items.
+//! Every node carries a weight of the [`CommutativeMonoid`] the sequence is
+//! instantiated with (the historical `i64` sum/min/max behaviour is the
+//! default [`SumMinMax`] monoid) and an *item* flag; aggregates are
+//! [`Agg<M>`] values computed over item nodes only, which lets the Euler tour
+//! tree store vertex occurrences as items and edge arcs as non-items.
+//! Commutativity is required because splits and joins reorder the fold.
 
 pub mod splay;
 pub mod treap;
@@ -16,75 +19,31 @@ pub mod treap;
 pub use splay::SplaySequence;
 pub use treap::TreapSequence;
 
+pub use dyntree_primitives::algebra::{Agg, CommutativeMonoid, Monoid, SumMinMax};
+
 /// Handle to a node of a sequence.  Handles are stable for the lifetime of the
 /// node (until [`DynSequence::free`]).
 pub type Handle = usize;
 
-/// Aggregate over the item nodes of a (sub)sequence.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Agg {
-    /// Sum of item values.
-    pub sum: i64,
-    /// Minimum item value (`i64::MAX` when there are no items).
-    pub min: i64,
-    /// Maximum item value (`i64::MIN` when there are no items).
-    pub max: i64,
-    /// Number of item nodes.
-    pub count: usize,
-}
-
-impl Agg {
-    /// The aggregate of an empty sequence.
-    pub const IDENTITY: Agg = Agg {
-        sum: 0,
-        min: i64::MAX,
-        max: i64::MIN,
-        count: 0,
-    };
-
-    /// Aggregate of a single node.
-    pub fn leaf(value: i64, is_item: bool) -> Agg {
-        if is_item {
-            Agg {
-                sum: value,
-                min: value,
-                max: value,
-                count: 1,
-            }
-        } else {
-            Agg::IDENTITY
-        }
-    }
-
-    /// Combines two aggregates.
-    pub fn combine(a: Agg, b: Agg) -> Agg {
-        Agg {
-            sum: a.sum + b.sum,
-            min: a.min.min(b.min),
-            max: a.max.max(b.max),
-            count: a.count + b.count,
-        }
-    }
-}
-
-/// A dynamic sequence supporting split/join by handle.
+/// A dynamic sequence supporting split/join by handle, generic over the
+/// aggregation monoid (default: the `i64` sum/min/max of [`SumMinMax`]).
 ///
 /// All operations may restructure the sequence internally (splay trees do so
 /// on every access), hence the `&mut self` receivers even on queries.
-pub trait DynSequence {
+pub trait DynSequence<M: CommutativeMonoid = SumMinMax> {
     /// Creates an empty structure (no nodes).
     fn new() -> Self;
 
     /// Allocates a new singleton sequence holding one node and returns its
     /// handle.  `is_item` controls whether the value participates in
     /// aggregates.
-    fn make(&mut self, value: i64, is_item: bool) -> Handle;
+    fn make(&mut self, value: M::Weight, is_item: bool) -> Handle;
 
     /// Updates the value stored at `h`.
-    fn set_value(&mut self, h: Handle, value: i64);
+    fn set_value(&mut self, h: Handle, value: M::Weight);
 
     /// Returns the value stored at `h`.
-    fn value(&self, h: Handle) -> i64;
+    fn value(&self, h: Handle) -> M::Weight;
 
     /// Representative (root) of the sequence containing `h`.  Two handles are
     /// in the same sequence iff their roots are equal at the same point in
@@ -109,7 +68,7 @@ pub trait DynSequence {
     fn join(&mut self, left: Option<Handle>, right: Option<Handle>) -> Option<Handle>;
 
     /// Aggregate over the item nodes of the sequence containing `h`.
-    fn aggregate(&mut self, h: Handle) -> Agg;
+    fn aggregate(&mut self, h: Handle) -> Agg<M>;
 
     /// Releases a node.  The node must form a singleton sequence.
     fn free(&mut self, h: Handle);
@@ -182,13 +141,30 @@ mod trait_tests {
         assert!(s.memory_bytes() > 0);
     }
 
+    /// The sequences work with any commutative monoid, not just the default.
+    fn exercise_generic<S: DynSequence<dyntree_primitives::algebra::MaxEdge>>() {
+        use dyntree_primitives::algebra::WeightedId;
+        let mut s = S::new();
+        let a = s.make(WeightedId { weight: 5, id: 0 }, true);
+        let b = s.make(WeightedId { weight: 9, id: 1 }, true);
+        let c = s.make(WeightedId { weight: 7, id: 2 }, true);
+        let r = s.join(Some(a), Some(b));
+        let r = s.join(r, Some(c)).unwrap();
+        assert_eq!(s.aggregate(r).value, WeightedId { weight: 9, id: 1 });
+        s.set_value(b, WeightedId { weight: 1, id: 1 });
+        let r = s.root(a);
+        assert_eq!(s.aggregate(r).value, WeightedId { weight: 7, id: 2 });
+    }
+
     #[test]
     fn treap_satisfies_contract() {
         exercise::<TreapSequence>();
+        exercise_generic::<TreapSequence<dyntree_primitives::algebra::MaxEdge>>();
     }
 
     #[test]
     fn splay_satisfies_contract() {
         exercise::<SplaySequence>();
+        exercise_generic::<SplaySequence<dyntree_primitives::algebra::MaxEdge>>();
     }
 }

@@ -1,30 +1,30 @@
 //! A splay-tree-backed dynamic sequence, mirroring the "ETT (Splay Tree)"
 //! baseline of the paper.  Amortized `O(log n)` per operation.
 
-use crate::{Agg, DynSequence, Handle};
+use crate::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
 const NIL: usize = usize::MAX;
 
 #[derive(Clone, Debug)]
-struct Node {
+struct Node<M: CommutativeMonoid> {
     left: usize,
     right: usize,
     parent: usize,
-    value: i64,
+    value: M::Weight,
     is_item: bool,
-    agg: Agg,
+    agg: Agg<M>,
     size: usize,
 }
 
 /// Splay-tree-based implementation of [`DynSequence`].
-#[derive(Clone, Debug, Default)]
-pub struct SplaySequence {
-    nodes: Vec<Node>,
+#[derive(Clone, Debug)]
+pub struct SplaySequence<M: CommutativeMonoid = SumMinMax> {
+    nodes: Vec<Node<M>>,
     free: Vec<usize>,
     live: usize,
 }
 
-impl SplaySequence {
+impl<M: CommutativeMonoid> SplaySequence<M> {
     fn size_of(&self, t: usize) -> usize {
         if t == NIL {
             0
@@ -33,7 +33,7 @@ impl SplaySequence {
         }
     }
 
-    fn agg_of(&self, t: usize) -> Agg {
+    fn agg_of(&self, t: usize) -> Agg<M> {
         if t == NIL {
             Agg::IDENTITY
         } else {
@@ -43,7 +43,7 @@ impl SplaySequence {
 
     fn pull(&mut self, t: usize) {
         let (l, r) = (self.nodes[t].left, self.nodes[t].right);
-        let own = Agg::leaf(self.nodes[t].value, self.nodes[t].is_item);
+        let own = Agg::vertex_if(self.nodes[t].value, !self.nodes[t].is_item);
         let agg = Agg::combine(Agg::combine(self.agg_of(l), own), self.agg_of(r));
         let size = 1 + self.size_of(l) + self.size_of(r);
         let node = &mut self.nodes[t];
@@ -122,19 +122,23 @@ impl SplaySequence {
     }
 }
 
-impl DynSequence for SplaySequence {
+impl<M: CommutativeMonoid> DynSequence<M> for SplaySequence<M> {
     fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 
-    fn make(&mut self, value: i64, is_item: bool) -> Handle {
+    fn make(&mut self, value: M::Weight, is_item: bool) -> Handle {
         let node = Node {
             left: NIL,
             right: NIL,
             parent: NIL,
             value,
             is_item,
-            agg: Agg::leaf(value, is_item),
+            agg: Agg::vertex_if(value, !is_item),
             size: 1,
         };
         self.live += 1;
@@ -147,13 +151,13 @@ impl DynSequence for SplaySequence {
         }
     }
 
-    fn set_value(&mut self, h: Handle, value: i64) {
+    fn set_value(&mut self, h: Handle, value: M::Weight) {
         self.splay(h);
         self.nodes[h].value = value;
         self.pull(h);
     }
 
-    fn value(&self, h: Handle) -> i64 {
+    fn value(&self, h: Handle) -> M::Weight {
         self.nodes[h].value
     }
 
@@ -222,7 +226,7 @@ impl DynSequence for SplaySequence {
         }
     }
 
-    fn aggregate(&mut self, h: Handle) -> Agg {
+    fn aggregate(&mut self, h: Handle) -> Agg<M> {
         let r = self.root(h);
         self.nodes[r].agg
     }
@@ -242,7 +246,7 @@ impl DynSequence for SplaySequence {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>()
+        self.nodes.capacity() * std::mem::size_of::<Node<M>>()
             + self.free.capacity() * std::mem::size_of::<usize>()
     }
 
@@ -257,7 +261,7 @@ mod tests {
 
     #[test]
     fn splay_positions_match_build_order() {
-        let mut s = SplaySequence::new();
+        let mut s: SplaySequence = DynSequence::new();
         let hs: Vec<usize> = (0..500).map(|i| s.make(i, true)).collect();
         let mut root = None;
         for &h in &hs {
@@ -271,7 +275,7 @@ mod tests {
 
     #[test]
     fn split_in_the_middle() {
-        let mut s = SplaySequence::new();
+        let mut s: SplaySequence = DynSequence::new();
         let hs: Vec<usize> = (0..20).map(|i| s.make(i, true)).collect();
         let mut root = None;
         for &h in &hs {
@@ -285,7 +289,7 @@ mod tests {
 
     #[test]
     fn interleaved_splits_and_joins_keep_order() {
-        let mut s = SplaySequence::new();
+        let mut s: SplaySequence = DynSequence::new();
         let hs: Vec<usize> = (0..64).map(|i| s.make(i, true)).collect();
         let mut root = None;
         for &h in &hs {

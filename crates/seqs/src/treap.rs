@@ -4,32 +4,32 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Agg, DynSequence, Handle};
+use crate::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
 const NIL: usize = usize::MAX;
 
 #[derive(Clone, Debug)]
-struct Node {
+struct Node<M: CommutativeMonoid> {
     left: usize,
     right: usize,
     parent: usize,
     priority: u64,
-    value: i64,
+    value: M::Weight,
     is_item: bool,
-    agg: Agg,
+    agg: Agg<M>,
     size: usize,
 }
 
 /// Treap-based implementation of [`DynSequence`].
 #[derive(Clone, Debug)]
-pub struct TreapSequence {
-    nodes: Vec<Node>,
+pub struct TreapSequence<M: CommutativeMonoid = SumMinMax> {
+    nodes: Vec<Node<M>>,
     free: Vec<usize>,
     rng: StdRng,
     live: usize,
 }
 
-impl TreapSequence {
+impl<M: CommutativeMonoid> TreapSequence<M> {
     fn size_of(&self, t: usize) -> usize {
         if t == NIL {
             0
@@ -38,7 +38,7 @@ impl TreapSequence {
         }
     }
 
-    fn agg_of(&self, t: usize) -> Agg {
+    fn agg_of(&self, t: usize) -> Agg<M> {
         if t == NIL {
             Agg::IDENTITY
         } else {
@@ -48,7 +48,7 @@ impl TreapSequence {
 
     fn pull(&mut self, t: usize) {
         let (l, r) = (self.nodes[t].left, self.nodes[t].right);
-        let own = Agg::leaf(self.nodes[t].value, self.nodes[t].is_item);
+        let own = Agg::vertex_if(self.nodes[t].value, !self.nodes[t].is_item);
         let agg = Agg::combine(Agg::combine(self.agg_of(l), own), self.agg_of(r));
         let size = 1 + self.size_of(l) + self.size_of(r);
         let node = &mut self.nodes[t];
@@ -155,7 +155,7 @@ impl TreapSequence {
     }
 }
 
-impl DynSequence for TreapSequence {
+impl<M: CommutativeMonoid> DynSequence<M> for TreapSequence<M> {
     fn new() -> Self {
         Self {
             nodes: Vec::new(),
@@ -165,7 +165,7 @@ impl DynSequence for TreapSequence {
         }
     }
 
-    fn make(&mut self, value: i64, is_item: bool) -> Handle {
+    fn make(&mut self, value: M::Weight, is_item: bool) -> Handle {
         let node = Node {
             left: NIL,
             right: NIL,
@@ -173,7 +173,7 @@ impl DynSequence for TreapSequence {
             priority: self.rng.random(),
             value,
             is_item,
-            agg: Agg::leaf(value, is_item),
+            agg: Agg::vertex_if(value, !is_item),
             size: 1,
         };
         self.live += 1;
@@ -186,12 +186,12 @@ impl DynSequence for TreapSequence {
         }
     }
 
-    fn set_value(&mut self, h: Handle, value: i64) {
+    fn set_value(&mut self, h: Handle, value: M::Weight) {
         self.nodes[h].value = value;
         self.fix_to_root(h);
     }
 
-    fn value(&self, h: Handle) -> i64 {
+    fn value(&self, h: Handle) -> M::Weight {
         self.nodes[h].value
     }
 
@@ -237,7 +237,7 @@ impl DynSequence for TreapSequence {
         }
     }
 
-    fn aggregate(&mut self, h: Handle) -> Agg {
+    fn aggregate(&mut self, h: Handle) -> Agg<M> {
         let r = self.find_root(h);
         self.nodes[r].agg
     }
@@ -257,7 +257,7 @@ impl DynSequence for TreapSequence {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>()
+        self.nodes.capacity() * std::mem::size_of::<Node<M>>()
             + self.free.capacity() * std::mem::size_of::<usize>()
     }
 
@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn treap_stays_balanced_enough() {
         // Build a long sequence by repeated joins and check positions.
-        let mut s = TreapSequence::new();
+        let mut s: TreapSequence = DynSequence::new();
         let hs: Vec<usize> = (0..2000).map(|i| s.make(i, true)).collect();
         let mut root = None;
         for &h in &hs {
@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn split_and_rejoin_roundtrip() {
-        let mut s = TreapSequence::new();
+        let mut s: TreapSequence = DynSequence::new();
         let hs: Vec<usize> = (0..100).map(|i| s.make(i, true)).collect();
         let mut root = None;
         for &h in &hs {
@@ -297,17 +297,17 @@ mod tests {
             let (l, r) = s.split_before(hs[split_at]);
             assert_eq!(s.position(hs[split_at]), 0);
             if let Some(l) = l {
-                assert_eq!(s.aggregate(l).count, split_at);
+                assert_eq!(s.aggregate(l).count, split_at as u64);
             }
             let joined = s.join(l, Some(r)).unwrap();
-            assert_eq!(s.aggregate(joined).count, 100);
+            assert_eq!(s.aggregate(joined).count, 100u64);
             assert_eq!(s.position(hs[split_at]), split_at);
         }
     }
 
     #[test]
     fn free_list_reuses_slots() {
-        let mut s = TreapSequence::new();
+        let mut s: TreapSequence = DynSequence::new();
         let a = s.make(1, true);
         s.free(a);
         let b = s.make(2, true);

@@ -12,7 +12,11 @@
 //! vertices; additional slots are allocated above `n` (and recycled).  The
 //! total number of underlying vertices is at most `n + Σ deg(v) < 3n`.
 //! Primary slots carry the original vertex weights; extra slots are *phantom*
-//! vertices whose weight must be ignored by the wrapped structure.
+//! vertices whose weight must be ignored by the wrapped structure.  The
+//! ternarizer itself is weight-agnostic, so generic monoid weights thread
+//! through unchanged: the wrapped structure makes phantom slots contribute
+//! the monoid identity (`Agg::vertex_if` in `dyntree_primitives::algebra`),
+//! which is how `TopologyForest<M>` stays exact for any `CommutativeMonoid`.
 
 use std::collections::HashMap;
 

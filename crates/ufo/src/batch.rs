@@ -12,10 +12,12 @@
 //! so the relative comparison is preserved, but the absolute parallel speedup
 //! of the restructuring phase is not reproduced.
 
+use dyntree_primitives::algebra::SumMinMax;
 use dyntree_primitives::{worth_parallel, Dsu};
 use rayon::prelude::*;
 
 use crate::forest::UfoForest;
+use crate::summary::CommutativeMonoid;
 use crate::Vertex;
 
 /// A single update in a mixed batch.
@@ -27,7 +29,7 @@ pub enum BatchOp {
     Cut(Vertex, Vertex),
 }
 
-impl UfoForest {
+impl<M: CommutativeMonoid> UfoForest<M> {
     /// Applies a batch of edge insertions.  Self loops, duplicates and edges
     /// that would close a cycle (within the batch or with existing edges) are
     /// skipped.  Returns the number of edges inserted.
@@ -82,7 +84,10 @@ impl UfoForest {
             queries.iter().map(|&(u, v)| self.connected(u, v)).collect()
         }
     }
+}
 
+/// Batched `i64` queries for the default monoid.
+impl UfoForest<SumMinMax> {
     /// Answers a batch of path-sum queries in parallel.
     pub fn batch_path_sum(&self, queries: &[(Vertex, Vertex)]) -> Vec<Option<i64>> {
         if worth_parallel(queries.len()) {
@@ -153,7 +158,7 @@ mod tests {
     #[test]
     fn batch_build_and_teardown() {
         let n = 300;
-        let mut f = UfoForest::new(n);
+        let mut f: UfoForest = UfoForest::new(n);
         let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         assert_eq!(f.batch_link(&edges), n - 1);
         assert!(f.connected(0, n - 1));
@@ -167,7 +172,7 @@ mod tests {
 
     #[test]
     fn batch_link_filters_bad_edges() {
-        let mut f = UfoForest::new(5);
+        let mut f: UfoForest = UfoForest::new(5);
         let applied = f.batch_link(&[(0, 1), (1, 0), (1, 2), (2, 0), (4, 4)]);
         assert_eq!(applied, 2);
         assert_eq!(f.num_edges(), 2);
@@ -175,7 +180,7 @@ mod tests {
 
     #[test]
     fn mixed_batch_updates() {
-        let mut f = UfoForest::new(6);
+        let mut f: UfoForest = UfoForest::new(6);
         let ops = vec![
             BatchOp::Link(0, 1),
             BatchOp::Link(1, 2),
@@ -192,7 +197,7 @@ mod tests {
     #[test]
     fn batch_queries_match_singletons() {
         let n = 100;
-        let mut f = UfoForest::new(n);
+        let mut f: UfoForest = UfoForest::new(n);
         for v in 0..n {
             f.set_weight(v, v as i64);
         }

@@ -13,7 +13,9 @@
 //! aggregates, distances) are refreshed in one deferred bottom-up pass at the
 //! end of each update.
 
-use crate::summary::{PathAggregate, SubtreeAggregate, Summary};
+use dyntree_primitives::algebra::SumMinMax;
+
+use crate::summary::{Agg, CommutativeMonoid, Summary};
 use crate::{ClusterId, Vertex, INF_DIST, NIL};
 
 /// Which contraction rules the engine uses.
@@ -42,7 +44,7 @@ pub struct AdjEntry {
 
 /// A cluster of the contraction hierarchy.
 #[derive(Clone, Debug)]
-pub struct Cluster {
+pub struct Cluster<M: CommutativeMonoid = SumMinMax> {
     /// Parent cluster (one level up) or `NIL`.
     pub parent: ClusterId,
     /// Level in the hierarchy (leaves are level 0).
@@ -55,11 +57,11 @@ pub struct Cluster {
     /// Child clusters (empty for leaves).
     pub children: Vec<ClusterId>,
     /// Augmented values.
-    pub summary: Summary,
+    pub summary: Summary<M>,
 }
 
-impl Cluster {
-    fn new_leaf(summary: Summary) -> Self {
+impl<M: CommutativeMonoid> Cluster<M> {
+    fn new_leaf(summary: Summary<M>) -> Self {
         Cluster {
             parent: NIL,
             level: 0,
@@ -81,14 +83,15 @@ impl Cluster {
     }
 }
 
-/// The contraction forest over vertices `0..n`.
+/// The contraction forest over vertices `0..n`, generic over the vertex
+/// weight monoid (default: the `i64` sum/min/max aggregate).
 #[derive(Clone, Debug)]
-pub struct ContractionForest {
+pub struct ContractionForest<M: CommutativeMonoid = SumMinMax> {
     policy: Policy,
-    pub(crate) weights: Vec<i64>,
+    pub(crate) weights: Vec<M::Weight>,
     pub(crate) phantom: Vec<bool>,
     pub(crate) marked: Vec<bool>,
-    pub(crate) clusters: Vec<Cluster>,
+    pub(crate) clusters: Vec<Cluster<M>>,
     free: Vec<ClusterId>,
     /// Root clusters awaiting reclustering, indexed by level.
     pending: Vec<Vec<ClusterId>>,
@@ -97,12 +100,12 @@ pub struct ContractionForest {
     num_edges: usize,
 }
 
-impl ContractionForest {
+impl<M: CommutativeMonoid> ContractionForest<M> {
     /// Creates a forest of `n` isolated vertices under the given policy.
     pub fn new(n: usize, policy: Policy) -> Self {
         let mut forest = ContractionForest {
             policy,
-            weights: vec![0; n],
+            weights: vec![M::Weight::default(); n],
             phantom: vec![false; n],
             marked: vec![false; n],
             clusters: Vec::with_capacity(2 * n),
@@ -146,13 +149,13 @@ impl ContractionForest {
     }
 
     /// Sets the weight of vertex `v`.
-    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+    pub fn set_weight(&mut self, v: Vertex, w: M::Weight) {
         self.weights[v] = w;
         self.refresh_vertex(v);
     }
 
     /// Returns the weight of vertex `v`.
-    pub fn weight(&self, v: Vertex) -> i64 {
+    pub fn weight(&self, v: Vertex) -> M::Weight {
         self.weights[v]
     }
 
@@ -228,8 +231,8 @@ impl ContractionForest {
 
     /// Exact heap bytes owned by the structure.
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes = self.clusters.capacity() * std::mem::size_of::<Cluster>()
-            + self.weights.capacity() * 8
+        let mut bytes = self.clusters.capacity() * std::mem::size_of::<Cluster<M>>()
+            + self.weights.capacity() * std::mem::size_of::<M::Weight>()
             + self.phantom.capacity()
             + self.marked.capacity()
             + self.free.capacity() * std::mem::size_of::<ClusterId>();
@@ -764,15 +767,15 @@ impl ContractionForest {
         }
     }
 
-    fn leaf_summary(&self, v: Vertex) -> Summary {
+    fn leaf_summary(&self, v: Vertex) -> Summary<M> {
         let w = self.weights[v];
         let phantom = self.phantom[v];
         Summary {
             boundary: [v, v],
             nbound: 1,
-            sub: SubtreeAggregate::vertex(w, phantom),
+            sub: Agg::vertex_if(w, phantom),
             vertices: 1,
-            path: PathAggregate::IDENTITY,
+            path: Agg::IDENTITY,
             ecc: [0, 0],
             diam: 0,
             near: if self.marked[v] {
@@ -785,17 +788,17 @@ impl ContractionForest {
 
     /// The vertex-weight contribution of `v` to a path aggregate (identity for
     /// phantom vertices, but the vertex still counts as a hop).
-    pub(crate) fn vertex_path_value(&self, v: Vertex) -> PathAggregate {
+    pub(crate) fn vertex_path_value(&self, v: Vertex) -> Agg<M> {
         if self.phantom[v] {
-            PathAggregate::IDENTITY
+            Agg::IDENTITY
         } else {
-            PathAggregate::vertex(self.weights[v])
+            Agg::vertex(self.weights[v])
         }
     }
 
     /// Recomputes the summary of cluster `c` from its children (or from the
     /// vertex data for leaves).
-    pub(crate) fn compute_summary(&self, c: ClusterId) -> Summary {
+    pub(crate) fn compute_summary(&self, c: ClusterId) -> Summary<M> {
         let cl = &self.clusters[c];
         // Boundaries come from the cluster's own adjacency.
         let mut boundary = [NIL, NIL];
@@ -830,17 +833,13 @@ impl ContractionForest {
         s.boundary = boundary;
         s.nbound = nbound as u8;
         for &ch in children {
-            s.sub = SubtreeAggregate::combine(s.sub, self.clusters[ch].summary.sub);
+            s.sub = Agg::combine(s.sub, self.clusters[ch].summary.sub);
             s.vertices += self.clusters[ch].summary.vertices;
         }
 
         if children.len() == 1 {
             let ch = &self.clusters[children[0]].summary;
-            s.path = if nbound == 2 {
-                ch.path
-            } else {
-                PathAggregate::IDENTITY
-            };
+            s.path = if nbound == 2 { ch.path } else { Agg::IDENTITY };
             s.diam = ch.diam;
             for i in 0..nbound {
                 let bi = ch
@@ -1005,7 +1004,7 @@ impl ContractionForest {
         hub_internal: &[AdjEntry],
         b0: Vertex,
         b1: Vertex,
-    ) -> PathAggregate {
+    ) -> Agg<M> {
         let hub_sum = &self.clusters[hub].summary;
         let loc = |b: Vertex| -> Option<usize> { hub_sum.boundary_index(b) };
         match (loc(b0), loc(b1)) {
@@ -1013,7 +1012,7 @@ impl ContractionForest {
                 // both boundaries are inside the hub: the parent path is the
                 // hub's own cluster path
                 if b0 == b1 {
-                    PathAggregate::IDENTITY
+                    Agg::IDENTITY
                 } else {
                     hub_sum.path
                 }
@@ -1028,10 +1027,10 @@ impl ContractionForest {
                         ch.boundary_index(b).map(|_| (e.neighbor, *e))
                     })
                 };
-                let inside_child = |child: ClusterId, from: Vertex, to: Vertex| -> PathAggregate {
+                let inside_child = |child: ClusterId, from: Vertex, to: Vertex| -> Agg<M> {
                     let cs = &self.clusters[child].summary;
                     if from == to {
-                        PathAggregate::IDENTITY
+                        Agg::IDENTITY
                     } else {
                         let _ = cs;
                         cs.path
@@ -1042,18 +1041,14 @@ impl ContractionForest {
                         // b0 in hub, b1 in child c1 attached via e1
                         let x = e1.my_end; // in hub
                         let y = e1.other_end; // in c1
-                        let mut agg = if b0 == x {
-                            PathAggregate::IDENTITY
-                        } else {
-                            hub_sum.path
-                        };
+                        let mut agg = if b0 == x { Agg::IDENTITY } else { hub_sum.path };
                         if x != b0 {
-                            agg = PathAggregate::combine(agg, self.vertex_path_value(x));
+                            agg = Agg::combine(agg, self.vertex_path_value(x));
                         }
                         agg = agg.cross_edge();
                         if y != b1 {
-                            agg = PathAggregate::combine(agg, self.vertex_path_value(y));
-                            agg = PathAggregate::combine(agg, inside_child(c1, y, b1));
+                            agg = Agg::combine(agg, self.vertex_path_value(y));
+                            agg = Agg::combine(agg, inside_child(c1, y, b1));
                         }
                         agg
                     }
@@ -1061,18 +1056,14 @@ impl ContractionForest {
                         // symmetric case
                         let x = e0.my_end;
                         let y = e0.other_end;
-                        let mut agg = if b1 == x {
-                            PathAggregate::IDENTITY
-                        } else {
-                            hub_sum.path
-                        };
+                        let mut agg = if b1 == x { Agg::IDENTITY } else { hub_sum.path };
                         if x != b1 {
-                            agg = PathAggregate::combine(agg, self.vertex_path_value(x));
+                            agg = Agg::combine(agg, self.vertex_path_value(x));
                         }
                         agg = agg.cross_edge();
                         if y != b0 {
-                            agg = PathAggregate::combine(agg, self.vertex_path_value(y));
-                            agg = PathAggregate::combine(agg, inside_child(c0, y, b0));
+                            agg = Agg::combine(agg, self.vertex_path_value(y));
+                            agg = Agg::combine(agg, inside_child(c0, y, b0));
                         }
                         agg
                     }
@@ -1080,28 +1071,28 @@ impl ContractionForest {
                         // both boundaries in (distinct) non-hub children:
                         // b0 .. e0 .. hub .. e1 .. b1
                         let mut agg = if e0.other_end != b0 {
-                            PathAggregate::combine(
+                            Agg::combine(
                                 inside_child(c0, b0, e0.other_end),
                                 self.vertex_path_value(e0.other_end),
                             )
                         } else {
-                            PathAggregate::IDENTITY
+                            Agg::IDENTITY
                         };
                         agg = agg.cross_edge();
                         // through the hub from e0.my_end to e1.my_end
-                        agg = PathAggregate::combine(agg, self.vertex_path_value(e0.my_end));
+                        agg = Agg::combine(agg, self.vertex_path_value(e0.my_end));
                         if e0.my_end != e1.my_end {
-                            agg = PathAggregate::combine(agg, hub_sum.path);
-                            agg = PathAggregate::combine(agg, self.vertex_path_value(e1.my_end));
+                            agg = Agg::combine(agg, hub_sum.path);
+                            agg = Agg::combine(agg, self.vertex_path_value(e1.my_end));
                         }
                         agg = agg.cross_edge();
                         if e1.other_end != b1 {
-                            agg = PathAggregate::combine(agg, self.vertex_path_value(e1.other_end));
-                            agg = PathAggregate::combine(agg, inside_child(c1, e1.other_end, b1));
+                            agg = Agg::combine(agg, self.vertex_path_value(e1.other_end));
+                            agg = Agg::combine(agg, inside_child(c1, e1.other_end, b1));
                         }
                         agg
                     }
-                    _ => PathAggregate::IDENTITY,
+                    _ => Agg::IDENTITY,
                 }
             }
         }

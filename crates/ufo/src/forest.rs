@@ -1,22 +1,24 @@
 //! The public forest types: [`UfoForest`] (the paper's contribution) and
 //! [`TopologyForest`] (topology trees behind dynamic ternarization).
 
+use dyntree_primitives::algebra::SumMinMax;
 use dyntree_ternary::{Ternarizer, UnderlyingOp};
 
 use crate::engine::{ContractionForest, Policy};
-use crate::summary::{PathAggregate, SubtreeAggregate};
+use crate::summary::{Agg, CommutativeMonoid};
 use crate::Vertex;
 
-/// A UFO tree forest over vertices `0..n` with `i64` vertex weights.
+/// A UFO tree forest over vertices `0..n`, generic over the vertex weight
+/// monoid (default: `i64` sum/min/max).
 ///
 /// Thin façade over [`ContractionForest`] with the UFO merge policy; see the
 /// crate documentation for the supported operations.
 #[derive(Clone, Debug)]
-pub struct UfoForest {
-    inner: ContractionForest,
+pub struct UfoForest<M: CommutativeMonoid = SumMinMax> {
+    inner: ContractionForest<M>,
 }
 
-impl UfoForest {
+impl<M: CommutativeMonoid> UfoForest<M> {
     /// Creates a forest of `n` isolated vertices.
     pub fn new(n: usize) -> Self {
         Self {
@@ -36,12 +38,12 @@ impl UfoForest {
 
     /// Access to the underlying contraction engine (for advanced queries and
     /// instrumentation).
-    pub fn engine(&self) -> &ContractionForest {
+    pub fn engine(&self) -> &ContractionForest<M> {
         &self.inner
     }
 
     /// Mutable access to the underlying contraction engine.
-    pub fn engine_mut(&mut self) -> &mut ContractionForest {
+    pub fn engine_mut(&mut self) -> &mut ContractionForest<M> {
         &mut self.inner
     }
 
@@ -82,12 +84,12 @@ impl UfoForest {
     }
 
     /// Sets the weight of vertex `v`.
-    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+    pub fn set_weight(&mut self, v: Vertex, w: M::Weight) {
         self.inner.set_weight(v, w);
     }
 
     /// Returns the weight of vertex `v`.
-    pub fn weight(&self, v: Vertex) -> i64 {
+    pub fn weight(&self, v: Vertex) -> M::Weight {
         self.inner.weight(v)
     }
 
@@ -96,24 +98,9 @@ impl UfoForest {
         self.inner.set_marked(v, m);
     }
 
-    /// Aggregate over the vertex weights on the `u`–`v` path.
-    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<PathAggregate> {
+    /// Monoid aggregate over the vertex weights on the `u`–`v` path.
+    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<Agg<M>> {
         self.inner.path_aggregate(u, v)
-    }
-
-    /// Sum of vertex weights on the `u`–`v` path.
-    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.inner.path_sum(u, v)
-    }
-
-    /// Maximum vertex weight on the `u`–`v` path.
-    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.inner.path_max(u, v)
-    }
-
-    /// Minimum vertex weight on the `u`–`v` path.
-    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.inner.path_min(u, v)
     }
 
     /// Number of edges on the `u`–`v` path.
@@ -121,14 +108,10 @@ impl UfoForest {
         self.inner.path_length(u, v)
     }
 
-    /// Aggregate over the subtree of `v` away from its neighbour `parent`.
-    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<SubtreeAggregate> {
+    /// Monoid aggregate over the subtree of `v` away from its neighbour
+    /// `parent`.
+    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<Agg<M>> {
         self.inner.subtree_aggregate(v, parent)
-    }
-
-    /// Sum of vertex weights in the subtree of `v` away from `parent`.
-    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.inner.subtree_sum(v, parent)
     }
 
     /// Number of vertices in the subtree of `v` away from `parent`.
@@ -136,14 +119,9 @@ impl UfoForest {
         self.inner.subtree_size(v, parent)
     }
 
-    /// Maximum vertex weight in the subtree of `v` away from `parent`.
-    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.inner.subtree_max(v, parent)
-    }
-
-    /// Minimum vertex weight in the subtree of `v` away from `parent`.
-    pub fn subtree_min(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.inner.subtree_min(v, parent)
+    /// Monoid aggregate over the whole component containing `v`.
+    pub fn component_aggregate(&self, v: Vertex) -> Agg<M> {
+        self.inner.component_aggregate(v)
     }
 
     /// Number of vertices in the component containing `v`.
@@ -167,22 +145,58 @@ impl UfoForest {
     }
 }
 
+/// The historical `i64` convenience surface, preserved for the default
+/// monoid.
+impl UfoForest<SumMinMax> {
+    /// Sum of vertex weights on the `u`–`v` path.
+    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.inner.path_sum(u, v)
+    }
+
+    /// Maximum vertex weight on the `u`–`v` path.
+    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.inner.path_max(u, v)
+    }
+
+    /// Minimum vertex weight on the `u`–`v` path.
+    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.inner.path_min(u, v)
+    }
+
+    /// Sum of vertex weights in the subtree of `v` away from `parent`.
+    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.inner.subtree_sum(v, parent)
+    }
+
+    /// Maximum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.inner.subtree_max(v, parent)
+    }
+
+    /// Minimum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_min(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.inner.subtree_min(v, parent)
+    }
+}
+
 /// Topology trees over arbitrary-degree inputs: the contraction engine with
 /// the topology policy, wrapped in dynamic ternarization exactly as the paper
 /// does for its topology-tree and RC-tree baselines.
 #[derive(Clone, Debug)]
-pub struct TopologyForest {
+pub struct TopologyForest<M: CommutativeMonoid = SumMinMax> {
     ternarizer: Ternarizer,
-    inner: ContractionForest,
+    inner: ContractionForest<M>,
     n: usize,
 }
 
-impl TopologyForest {
+impl<M: CommutativeMonoid> TopologyForest<M> {
     /// Creates a forest of `n` isolated vertices.
     pub fn new(n: usize) -> Self {
         let cap = Ternarizer::capacity_bound(n);
-        let mut inner = ContractionForest::new(cap, Policy::Topology);
-        // Vertices above `n` are phantom ternarization helpers.
+        let mut inner: ContractionForest<M> = ContractionForest::new(cap, Policy::Topology);
+        // Vertices above `n` are phantom ternarization helpers: they carry
+        // the monoid identity (via the phantom flag), so the generic interior
+        // weights thread through ternarization untouched.
         for v in n..cap {
             inner.set_phantom(v, true);
         }
@@ -272,15 +286,58 @@ impl TopologyForest {
     }
 
     /// Sets the weight of original vertex `v` (stored on its primary slot).
-    pub fn set_weight(&mut self, v: Vertex, w: i64) {
+    pub fn set_weight(&mut self, v: Vertex, w: M::Weight) {
         self.inner.set_weight(self.ternarizer.representative(v), w);
     }
 
     /// Returns the weight of vertex `v`.
-    pub fn weight(&self, v: Vertex) -> i64 {
+    pub fn weight(&self, v: Vertex) -> M::Weight {
         self.inner.weight(self.ternarizer.representative(v))
     }
 
+    /// Monoid aggregate over the vertex weights on the `u`–`v` path (phantom
+    /// ternarization vertices contribute the identity; see the exactness
+    /// caveat on [`path_sum`](TopologyForest::path_sum), which applies to
+    /// every weight component — the `edges` counter counts *underlying*
+    /// edges and is exact only for degree ≤ 3 interiors too).
+    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<Agg<M>> {
+        self.inner.path_aggregate(
+            self.ternarizer.representative(u),
+            self.ternarizer.representative(v),
+        )
+    }
+
+    /// Monoid aggregate over the subtree of `v` away from `parent`.
+    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<Agg<M>> {
+        let (sv, sp) = self.ternarizer.edge_slots(v, parent)?;
+        self.inner.subtree_aggregate(sv, sp)
+    }
+
+    /// Monoid aggregate over the whole component containing `v`.
+    pub fn component_aggregate(&self, v: Vertex) -> Agg<M> {
+        self.inner
+            .component_aggregate(self.ternarizer.representative(v))
+    }
+
+    /// Number of original vertices in the component containing `v`.
+    pub fn component_size(&self, v: Vertex) -> u64 {
+        self.component_aggregate(v).count
+    }
+
+    /// Exact heap bytes owned (engine + ternarizer).
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes() + self.ternarizer.memory_bytes()
+    }
+
+    /// Access to the underlying contraction engine.
+    pub fn engine(&self) -> &ContractionForest<M> {
+        &self.inner
+    }
+}
+
+/// The historical `i64` convenience surface, preserved for the default
+/// monoid.
+impl TopologyForest<SumMinMax> {
     /// Sum of vertex weights on the `u`–`v` path (phantom ternarization
     /// vertices contribute nothing).
     ///
@@ -336,29 +393,6 @@ impl TopologyForest {
     pub fn subtree_size(&self, v: Vertex, parent: Vertex) -> Option<u64> {
         self.subtree_aggregate(v, parent).map(|a| a.count)
     }
-
-    /// Aggregate over the subtree of `v` away from `parent`.
-    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<SubtreeAggregate> {
-        let (sv, sp) = self.ternarizer.edge_slots(v, parent)?;
-        self.inner.subtree_aggregate(sv, sp)
-    }
-
-    /// Number of original vertices in the component containing `v`.
-    pub fn component_size(&self, v: Vertex) -> u64 {
-        self.inner
-            .component_aggregate(self.ternarizer.representative(v))
-            .count
-    }
-
-    /// Exact heap bytes owned (engine + ternarizer).
-    pub fn memory_bytes(&self) -> usize {
-        self.inner.memory_bytes() + self.ternarizer.memory_bytes()
-    }
-
-    /// Access to the underlying contraction engine.
-    pub fn engine(&self) -> &ContractionForest {
-        &self.inner
-    }
 }
 
 #[cfg(test)]
@@ -367,7 +401,7 @@ mod tests {
 
     #[test]
     fn ufo_basic_link_cut() {
-        let mut f = UfoForest::new(8);
+        let mut f: UfoForest = UfoForest::new(8);
         assert!(f.link(0, 1));
         assert!(f.link(1, 2));
         assert!(f.link(2, 3));
@@ -383,7 +417,7 @@ mod tests {
 
     #[test]
     fn ufo_star_and_queries() {
-        let mut f = UfoForest::new(10);
+        let mut f: UfoForest = UfoForest::new(10);
         for v in 0..10 {
             f.set_weight(v, v as i64);
         }
@@ -404,7 +438,7 @@ mod tests {
     #[test]
     fn ufo_path_graph_queries() {
         let n = 50;
-        let mut f = UfoForest::new(n);
+        let mut f: UfoForest = UfoForest::new(n);
         for v in 0..n {
             f.set_weight(v, v as i64);
         }
@@ -429,14 +463,14 @@ mod tests {
     #[test]
     fn ufo_height_is_logarithmic_on_paths_and_constant_on_stars() {
         let n = 1024;
-        let mut path = UfoForest::new(n);
+        let mut path: UfoForest = UfoForest::new(n);
         for v in 0..n - 1 {
             path.link(v, v + 1);
         }
         let h_path = path.engine().height(0);
         assert!(h_path <= 4 * 11, "path height too large: {}", h_path);
 
-        let mut star = UfoForest::new(n);
+        let mut star: UfoForest = UfoForest::new(n);
         for v in 1..n {
             star.link(0, v);
         }
@@ -446,7 +480,7 @@ mod tests {
 
     #[test]
     fn topology_forest_with_ternarization() {
-        let mut f = TopologyForest::new(12);
+        let mut f: TopologyForest = TopologyForest::new(12);
         for v in 0..12 {
             f.set_weight(v, v as i64);
         }

@@ -28,9 +28,12 @@ pub mod forest;
 pub mod queries;
 pub mod summary;
 
+pub use dyntree_primitives::algebra::{
+    Agg, CommutativeMonoid, InvertibleMonoid, Monoid, SumMinMax, WeightStats,
+};
 pub use engine::{ContractionForest, Policy};
 pub use forest::{TopologyForest, UfoForest};
-pub use summary::{PathAggregate, SubtreeAggregate};
+pub use summary::{PathAggregate, SubtreeAggregate, Summary};
 
 /// Vertex identifier in the represented forest.
 pub type Vertex = usize;

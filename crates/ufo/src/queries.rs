@@ -6,19 +6,21 @@
 //! run concurrently (e.g. from a rayon parallel iterator) while no update is
 //! in flight.
 
+use dyntree_primitives::algebra::SumMinMax;
+
 use crate::engine::{AdjEntry, ContractionForest};
-use crate::summary::{PathAggregate, SubtreeAggregate};
+use crate::summary::{Agg, CommutativeMonoid};
 use crate::{ClusterId, Vertex, INF_DIST, NIL};
 
 /// Looks up the interior aggregate for boundary vertex `v` in a walk state.
-fn lookup(state: &[(Vertex, PathAggregate)], v: Vertex) -> Option<PathAggregate> {
+fn lookup<M: CommutativeMonoid>(state: &[(Vertex, Agg<M>)], v: Vertex) -> Option<Agg<M>> {
     state.iter().find(|(b, _)| *b == v).map(|(_, a)| *a)
 }
 
-impl ContractionForest {
+impl<M: CommutativeMonoid> ContractionForest<M> {
     /// Aggregate over the vertex weights on the `u`–`v` path (both endpoints
     /// inclusive), or `None` if `u` and `v` are not connected.
-    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<PathAggregate> {
+    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<Agg<M>> {
         if u >= self.len() || v >= self.len() {
             return None;
         }
@@ -75,28 +77,13 @@ impl ContractionForest {
 
         let sv = lookup(&state_v, entry)?;
         let mut total = self.vertex_path_value(u);
-        total = PathAggregate::combine(total, interior_to_entry);
+        total = Agg::combine(total, interior_to_entry);
         if entry != v {
-            total = PathAggregate::combine(total, self.vertex_path_value(entry));
+            total = Agg::combine(total, self.vertex_path_value(entry));
         }
-        total = PathAggregate::combine(total, sv);
-        total = PathAggregate::combine(total, self.vertex_path_value(v));
+        total = Agg::combine(total, sv);
+        total = Agg::combine(total, self.vertex_path_value(v));
         Some(total)
-    }
-
-    /// Sum of vertex weights on the `u`–`v` path.
-    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.path_aggregate(u, v).map(|a| a.sum)
-    }
-
-    /// Maximum vertex weight on the `u`–`v` path.
-    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.path_aggregate(u, v).map(|a| a.max)
-    }
-
-    /// Minimum vertex weight on the `u`–`v` path.
-    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
-        self.path_aggregate(u, v).map(|a| a.min)
     }
 
     /// Number of edges on the `u`–`v` path.
@@ -105,7 +92,7 @@ impl ContractionForest {
     }
 
     /// Aggregate over every vertex of the component containing `v`.
-    pub fn component_aggregate(&self, v: Vertex) -> SubtreeAggregate {
+    pub fn component_aggregate(&self, v: Vertex) -> Agg<M> {
         self.clusters[self.top_cluster(v)].summary.sub
     }
 
@@ -122,7 +109,7 @@ impl ContractionForest {
     /// Aggregate over the subtree of `v` on the far side of its neighbour
     /// `parent` (i.e. the component of `v` after removing edge `(v, parent)`),
     /// or `None` if `(v, parent)` is not an edge.
-    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<SubtreeAggregate> {
+    pub fn subtree_aggregate(&self, v: Vertex, parent: Vertex) -> Option<Agg<M>> {
         if !self.has_edge(v, parent) {
             return None;
         }
@@ -142,7 +129,7 @@ impl ContractionForest {
             for e in self.internal_edges(child_v, lca) {
                 let s = e.neighbor;
                 if s != child_p && s != child_v {
-                    acc = SubtreeAggregate::combine(acc, self.clusters[s].summary.sub);
+                    acc = Agg::combine(acc, self.clusters[s].summary.sub);
                 }
             }
         }
@@ -176,16 +163,13 @@ impl ContractionForest {
                 let attach = e.my_end;
                 let sib_vside = bset.contains(&attach);
                 if sib_vside {
-                    acc = SubtreeAggregate::combine(acc, self.clusters[e.neighbor].summary.sub);
+                    acc = Agg::combine(acc, self.clusters[e.neighbor].summary.sub);
                     // if the sibling is the hub of a star, the other leaves
                     // hang off it and are v-side too
                     if self.clusters[p].fanout() > 2 && self.hub_of(p) == Some(e.neighbor) {
                         for e2 in self.internal_edges(e.neighbor, p) {
                             if e2.neighbor != x {
-                                acc = SubtreeAggregate::combine(
-                                    acc,
-                                    self.clusters[e2.neighbor].summary.sub,
-                                );
+                                acc = Agg::combine(acc, self.clusters[e2.neighbor].summary.sub);
                             }
                         }
                     }
@@ -213,25 +197,9 @@ impl ContractionForest {
         Some(acc)
     }
 
-    /// Sum of vertex weights in the subtree of `v` away from `parent`.
-    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.subtree_aggregate(v, parent).map(|a| a.sum)
-    }
-
     /// Number of vertices in the subtree of `v` away from `parent`.
     pub fn subtree_size(&self, v: Vertex, parent: Vertex) -> Option<u64> {
         self.subtree_aggregate(v, parent).map(|a| a.count)
-    }
-
-    /// Maximum vertex weight in the subtree of `v` away from `parent`
-    /// (a non-invertible aggregate, per Section 4.2 of the paper).
-    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.subtree_aggregate(v, parent).map(|a| a.max)
-    }
-
-    /// Minimum vertex weight in the subtree of `v` away from `parent`.
-    pub fn subtree_min(&self, v: Vertex, parent: Vertex) -> Option<i64> {
-        self.subtree_aggregate(v, parent).map(|a| a.min)
     }
 
     /// Distance (in edges) from `v` to the nearest marked vertex in its
@@ -301,12 +269,8 @@ impl ContractionForest {
     /// cluster of `chain` (the chain runs from the leaf of `origin` upwards).
     /// The `edges` field of each aggregate is the number of edges between the
     /// two vertices.
-    fn walk_state(
-        &self,
-        origin: Vertex,
-        chain: &[ClusterId],
-    ) -> Option<Vec<(Vertex, PathAggregate)>> {
-        let mut state: Vec<(Vertex, PathAggregate)> = vec![(origin, PathAggregate::IDENTITY)];
+    fn walk_state(&self, origin: Vertex, chain: &[ClusterId]) -> Option<Vec<(Vertex, Agg<M>)>> {
+        let mut state: Vec<(Vertex, Agg<M>)> = vec![(origin, Agg::IDENTITY)];
         for w in chain.windows(2) {
             let (c, p) = (w[0], w[1]);
             state = self.interior_state(origin, c, p, &state)?;
@@ -319,8 +283,8 @@ impl ContractionForest {
         origin: Vertex,
         c: ClusterId,
         p: ClusterId,
-        state: &[(Vertex, PathAggregate)],
-    ) -> Option<Vec<(Vertex, PathAggregate)>> {
+        state: &[(Vertex, Agg<M>)],
+    ) -> Option<Vec<(Vertex, Agg<M>)>> {
         let p_sum = &self.clusters[p].summary;
         let c_sum = &self.clusters[c].summary;
         let internal = self.internal_edges(c, p);
@@ -391,22 +355,22 @@ impl ContractionForest {
     /// and further to `target`, a boundary vertex of `s`.
     fn extend_across(
         &self,
-        base: PathAggregate,
+        base: Agg<M>,
         origin: Vertex,
         e: &AdjEntry,
         s: ClusterId,
         target: Vertex,
-    ) -> PathAggregate {
+    ) -> Agg<M> {
         let mut agg = base;
         if e.my_end != origin {
-            agg = PathAggregate::combine(agg, self.vertex_path_value(e.my_end));
+            agg = Agg::combine(agg, self.vertex_path_value(e.my_end));
         }
         agg = agg.cross_edge();
         if e.other_end != target {
-            agg = PathAggregate::combine(agg, self.vertex_path_value(e.other_end));
+            agg = Agg::combine(agg, self.vertex_path_value(e.other_end));
             let ssum = &self.clusters[s].summary;
             if ssum.boundary_distance(e.other_end, target) > 0 {
-                agg = PathAggregate::combine(agg, ssum.path);
+                agg = Agg::combine(agg, ssum.path);
             }
         }
         agg
@@ -548,5 +512,40 @@ impl ContractionForest {
             }
         }
         false
+    }
+}
+
+/// The historical `i64` convenience surface, preserved for the default
+/// monoid.
+impl ContractionForest<SumMinMax> {
+    /// Sum of vertex weights on the `u`–`v` path.
+    pub fn path_sum(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight on the `u`–`v` path.
+    pub fn path_max(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.max)
+    }
+
+    /// Minimum vertex weight on the `u`–`v` path.
+    pub fn path_min(&self, u: Vertex, v: Vertex) -> Option<i64> {
+        self.path_aggregate(u, v).map(|a| a.min)
+    }
+
+    /// Sum of vertex weights in the subtree of `v` away from `parent`.
+    pub fn subtree_sum(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.sum)
+    }
+
+    /// Maximum vertex weight in the subtree of `v` away from `parent`
+    /// (a non-invertible aggregate, per Section 4.2 of the paper).
+    pub fn subtree_max(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.max)
+    }
+
+    /// Minimum vertex weight in the subtree of `v` away from `parent`.
+    pub fn subtree_min(&self, v: Vertex, parent: Vertex) -> Option<i64> {
+        self.subtree_aggregate(v, parent).map(|a| a.min)
     }
 }

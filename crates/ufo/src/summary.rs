@@ -1,126 +1,47 @@
-//! Per-cluster summaries (the augmented values maintained during contraction)
-//! and the small aggregate types returned by queries.
+//! Per-cluster summaries (the augmented values maintained during contraction).
+//!
+//! The aggregate types themselves live in `dyntree_primitives::algebra`: the
+//! engine is generic over a [`CommutativeMonoid`] `M`, and every path or
+//! subtree aggregate is an [`Agg<M>`].  The historical `i64` sum/min/max
+//! structs survive as type aliases over the [`SumMinMax`] monoid —
+//! [`PathAggregate`] and [`SubtreeAggregate`] are the same type today, and
+//! `Agg`'s `Deref` to the monoid value keeps `agg.sum` / `agg.min` /
+//! `agg.max` field reads compiling unchanged.
+
+use dyntree_primitives::algebra::SumMinMax;
+pub use dyntree_primitives::algebra::{Agg, CommutativeMonoid, Monoid};
 
 use crate::{INF_DIST, NIL};
 
 /// Aggregate over the vertex weights of a path (endpoints inclusive unless
-/// stated otherwise).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PathAggregate {
-    /// Sum of vertex weights.
-    pub sum: i64,
-    /// Minimum vertex weight (`i64::MAX` when empty).
-    pub min: i64,
-    /// Maximum vertex weight (`i64::MIN` when empty).
-    pub max: i64,
-    /// Number of edges on the path.
-    pub edges: u64,
-}
+/// stated otherwise) under the default `i64` sum/min/max monoid.
+pub type PathAggregate = Agg<SumMinMax>;
 
-impl PathAggregate {
-    /// Aggregate of an empty path.
-    pub const IDENTITY: PathAggregate = PathAggregate {
-        sum: 0,
-        min: i64::MAX,
-        max: i64::MIN,
-        edges: 0,
-    };
+/// Aggregate over the vertex weights of a subtree (or whole component) under
+/// the default `i64` sum/min/max monoid.
+pub type SubtreeAggregate = Agg<SumMinMax>;
 
-    /// Aggregate of a single vertex of weight `w`.
-    pub fn vertex(w: i64) -> Self {
-        PathAggregate {
-            sum: w,
-            min: w,
-            max: w,
-            edges: 0,
-        }
-    }
-
-    /// Combines two path aggregates (weights combine; edge counts add).
-    pub fn combine(a: Self, b: Self) -> Self {
-        PathAggregate {
-            sum: a.sum + b.sum,
-            min: a.min.min(b.min),
-            max: a.max.max(b.max),
-            edges: a.edges + b.edges,
-        }
-    }
-
-    /// Adds one edge crossing to the aggregate.
-    pub fn cross_edge(mut self) -> Self {
-        self.edges += 1;
-        self
-    }
-}
-
-/// Aggregate over the vertex weights of a subtree (or whole component).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SubtreeAggregate {
-    /// Sum of vertex weights.
-    pub sum: i64,
-    /// Minimum vertex weight (`i64::MAX` when empty).
-    pub min: i64,
-    /// Maximum vertex weight (`i64::MIN` when empty).
-    pub max: i64,
-    /// Number of (non-phantom) vertices.
-    pub count: u64,
-}
-
-impl SubtreeAggregate {
-    /// Aggregate of an empty vertex set.
-    pub const IDENTITY: SubtreeAggregate = SubtreeAggregate {
-        sum: 0,
-        min: i64::MAX,
-        max: i64::MIN,
-        count: 0,
-    };
-
-    /// Aggregate of a single vertex of weight `w` (phantom vertices contribute
-    /// the identity).
-    pub fn vertex(w: i64, phantom: bool) -> Self {
-        if phantom {
-            Self::IDENTITY
-        } else {
-            SubtreeAggregate {
-                sum: w,
-                min: w,
-                max: w,
-                count: 1,
-            }
-        }
-    }
-
-    /// Combines two subtree aggregates.
-    pub fn combine(a: Self, b: Self) -> Self {
-        SubtreeAggregate {
-            sum: a.sum + b.sum,
-            min: a.min.min(b.min),
-            max: a.max.max(b.max),
-            count: a.count + b.count,
-        }
-    }
-}
-
-/// The augmented values each cluster maintains.
+/// The augmented values each cluster maintains, generic over the vertex
+/// weight monoid.
 ///
 /// `boundary` holds the cluster's boundary vertices (the endpoints, inside the
 /// cluster, of its external edges).  The paper proves every cluster has at
 /// most two boundary vertices and that high-degree clusters have exactly one;
 /// the engine asserts this in debug builds.
 #[derive(Clone, Debug)]
-pub struct Summary {
+pub struct Summary<M: CommutativeMonoid = SumMinMax> {
     /// Boundary vertices (`NIL`-padded).
     pub boundary: [usize; 2],
     /// Number of valid entries of `boundary` (0, 1 or 2).
     pub nbound: u8,
     /// Aggregate over every vertex contained in the cluster.
-    pub sub: SubtreeAggregate,
+    pub sub: Agg<M>,
     /// Total number of vertices contained (including phantom vertices).
     pub vertices: u64,
     /// Aggregate over the vertices strictly between the two boundary vertices
     /// (identity unless `nbound == 2`); `path.edges` is the number of edges on
     /// that cluster path.
-    pub path: PathAggregate,
+    pub path: Agg<M>,
     /// Eccentricity (max distance in edges to any contained vertex) from each
     /// boundary vertex.
     pub ecc: [u64; 2],
@@ -131,15 +52,15 @@ pub struct Summary {
     pub near: [u64; 2],
 }
 
-impl Summary {
+impl<M: CommutativeMonoid> Summary<M> {
     /// Summary of an empty cluster (used as a starting point for folds).
     pub fn empty() -> Self {
         Summary {
             boundary: [NIL, NIL],
             nbound: 0,
-            sub: SubtreeAggregate::IDENTITY,
+            sub: Agg::IDENTITY,
             vertices: 0,
-            path: PathAggregate::IDENTITY,
+            path: Agg::IDENTITY,
             ecc: [0, 0],
             diam: 0,
             near: [INF_DIST, INF_DIST],
@@ -181,12 +102,12 @@ mod tests {
 
     #[test]
     fn subtree_aggregate_combines() {
-        let a = SubtreeAggregate::vertex(5, false);
-        let b = SubtreeAggregate::vertex(100, true); // phantom ignored
+        let a = SubtreeAggregate::vertex_if(5, false);
+        let b = SubtreeAggregate::vertex_if(100, true); // phantom ignored
         let c = SubtreeAggregate::combine(a, b);
         assert_eq!(c.sum, 5);
         assert_eq!(c.count, 1);
-        let d = SubtreeAggregate::combine(c, SubtreeAggregate::vertex(-2, false));
+        let d = SubtreeAggregate::combine(c, SubtreeAggregate::vertex_if(-2, false));
         assert_eq!(d.min, -2);
         assert_eq!(d.max, 5);
         assert_eq!(d.count, 2);
@@ -194,7 +115,7 @@ mod tests {
 
     #[test]
     fn summary_boundary_helpers() {
-        let mut s = Summary::empty();
+        let mut s: Summary = Summary::empty();
         s.boundary = [7, 9];
         s.nbound = 2;
         s.path.edges = 4;

@@ -20,7 +20,7 @@ fn main() {
     let mut edges = tree.edges.clone();
     edges.shuffle(&mut rng);
 
-    let mut ufo = UfoForest::new(n);
+    let mut ufo: UfoForest = UfoForest::new(n);
     let mut ett = BatchEulerForest::<TreapSequence>::new(n);
 
     println!(

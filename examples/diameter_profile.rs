@@ -20,7 +20,7 @@ fn main() {
         let diameter = tree.diameter();
 
         let t0 = Instant::now();
-        let mut ufo = UfoForest::new(n);
+        let mut ufo: UfoForest = UfoForest::new(n);
         for &(u, v) in &tree.edges {
             ufo.link(u, v);
         }
@@ -28,7 +28,7 @@ fn main() {
         let height = ufo.engine().height(tree.edges[0].0);
 
         let t1 = Instant::now();
-        let mut lct = LinkCutForest::new(n);
+        let mut lct: LinkCutForest = LinkCutForest::new(n);
         for &(u, v) in &tree.edges {
             lct.link(u, v);
         }

@@ -1,0 +1,173 @@
+//! Incremental minimum-spanning-forest maintenance over the connectivity
+//! engine — the first workload unlocked by the generic algebra layer.
+//!
+//! The classic incremental MST rule needs exactly one non-trivial primitive:
+//! *max-edge-on-path*.  On inserting an edge `(u, v, w)`:
+//!
+//! * if `u` and `v` are in different trees, the edge joins the forest;
+//! * otherwise find the maximum-weight edge on the current `u`–`v` tree path;
+//!   if it is heavier than `w`, swap it out for the new edge, else discard
+//!   the new edge.  (Both the evicted and the discarded edge were the
+//!   maximum of some cycle, so by the cycle property they can never re-enter
+//!   the MSF under insert-only workloads — dropping them is exact.)
+//!
+//! The forests in this workspace aggregate *vertex* weights, so each graph
+//! edge is subdivided: an *edge-vertex* carries the edge's weight tagged with
+//! its id ([`WeightedId`]) under the [`MaxEdge`] argmax monoid, and real
+//! vertices carry the monoid identity.  The engine is a plain
+//! [`DynConnectivity`] over a link-cut backend instantiated at `MaxEdge`;
+//! `path_agg` then *is* max-edge-on-path, and its `id` names the edge to
+//! evict.  Every maintained state is verified against a from-scratch Kruskal
+//! recompute over all edges inserted so far.
+//!
+//! Run with: `cargo run --release --example dynamic_mst`
+
+use dyntree_connectivity::DynConnectivity;
+use dyntree_linkcut::LinkCutForest;
+use dyntree_primitives::algebra::{MaxEdge, WeightedId};
+use dyntree_primitives::Dsu;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Incremental minimum spanning forest over `n` real vertices.
+struct IncrementalMsf {
+    n: usize,
+    engine: DynConnectivity<LinkCutForest<MaxEdge>>,
+    /// Endpoints and weight of every *forest* edge, by edge id.
+    forest_edges: Vec<Option<(usize, usize, i64)>>,
+    total_weight: i64,
+    next_id: usize,
+}
+
+impl IncrementalMsf {
+    /// `max_edges` bounds the number of `insert` calls (each consumes one
+    /// edge-vertex slot in the engine's universe).
+    fn new(n: usize, max_edges: usize) -> Self {
+        Self {
+            n,
+            engine: DynConnectivity::new(n + max_edges),
+            forest_edges: vec![None; max_edges],
+            total_weight: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The engine vertex standing in for edge id `e`.
+    fn edge_vertex(&self, e: usize) -> usize {
+        self.n + e
+    }
+
+    /// Inserts edge `(u, v, w)`; returns whether the forest changed.
+    fn insert(&mut self, u: usize, v: usize, w: i64) -> bool {
+        let e = self.next_id;
+        self.next_id += 1;
+        if self.engine.connected(u, v) {
+            // Max edge on the current tree path; the subdivision vertices are
+            // the only weight carriers, so the argmax names a forest edge.
+            let top = self
+                .engine
+                .path_agg(u, v)
+                .expect("connected ⇒ path aggregate")
+                .value;
+            debug_assert!(top.is_some(), "tree path must carry at least one edge");
+            if top.weight <= w {
+                return false; // new edge is the cycle maximum: discard
+            }
+            self.remove_forest_edge(top.id);
+        }
+        self.add_forest_edge(e, u, v, w);
+        true
+    }
+
+    fn add_forest_edge(&mut self, e: usize, u: usize, v: usize, w: i64) {
+        let ev = self.edge_vertex(e);
+        // The engine only ever holds forest edges, so both subdivision
+        // segments join distinct trees (ev is isolated before this).
+        assert!(self.engine.insert_edge(u, ev));
+        assert!(self.engine.insert_edge(ev, v));
+        assert!(self.engine.set_weight(ev, WeightedId { weight: w, id: e }));
+        self.forest_edges[e] = Some((u, v, w));
+        self.total_weight += w;
+    }
+
+    fn remove_forest_edge(&mut self, e: usize) {
+        let (u, v, w) = self.forest_edges[e].take().expect("evicting a live edge");
+        let ev = self.edge_vertex(e);
+        // No non-tree edges exist, so each deletion splits (no replacement
+        // search can rewire the forest behind our back).
+        assert!(self.engine.delete_edge(u, ev));
+        assert!(self.engine.delete_edge(ev, v));
+        self.total_weight -= w;
+    }
+
+    fn forest_size(&self) -> usize {
+        self.forest_edges.iter().flatten().count()
+    }
+}
+
+/// From-scratch Kruskal over `edges`; returns (total weight, edge count).
+fn kruskal(n: usize, edges: &[(usize, usize, i64)]) -> (i64, usize) {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by_key(|&i| (edges[i].2, i));
+    let mut dsu = Dsu::new(n);
+    let (mut total, mut picked) = (0i64, 0usize);
+    for i in order {
+        let (u, v, w) = edges[i];
+        if dsu.union(u, v) {
+            total += w;
+            picked += 1;
+        }
+    }
+    (total, picked)
+}
+
+fn main() {
+    let n = 600;
+    let rounds = 6_000;
+    let mut rng = StdRng::seed_from_u64(0x5eed0757);
+    let mut msf = IncrementalMsf::new(n, rounds);
+    let mut all_edges: Vec<(usize, usize, i64)> = Vec::with_capacity(rounds);
+    let mut swaps = 0usize;
+    let mut rejects = 0usize;
+
+    for step in 1..=rounds {
+        let u = rng.random_range(0..n);
+        let mut v = rng.random_range(0..n);
+        while v == u {
+            v = rng.random_range(0..n);
+        }
+        let w = rng.random_range(1..=1_000_000i64);
+        let before = msf.forest_size();
+        let changed = msf.insert(u, v, w);
+        all_edges.push((u, v, w));
+        if changed && msf.forest_size() == before {
+            swaps += 1;
+        } else if !changed {
+            rejects += 1;
+        }
+
+        // Verify against Kruskal at increasing intervals (it is O(m α m)).
+        if step % 500 == 0 || step == rounds {
+            let (kw, kn) = kruskal(n, &all_edges);
+            assert_eq!(
+                (msf.total_weight, msf.forest_size()),
+                (kw, kn),
+                "step {step}: maintained MSF diverged from Kruskal"
+            );
+            println!(
+                "step {:>5}: forest edges {:>4}, total weight {:>10}  (swaps {:>4}, rejected {:>4})  ✓ Kruskal",
+                step,
+                msf.forest_size(),
+                msf.total_weight,
+                swaps,
+                rejects
+            );
+        }
+    }
+    println!(
+        "final: {} inserted edges → {}-edge minimum spanning forest of weight {}",
+        rounds,
+        msf.forest_size(),
+        msf.total_weight
+    );
+}

@@ -6,7 +6,7 @@ use ufo_trees::UfoForest;
 
 fn main() {
     // A small corporate network: routers 0..10, weighted by load.
-    let mut forest = UfoForest::new(10);
+    let mut forest: UfoForest = UfoForest::new(10);
     for v in 0..10 {
         forest.set_weight(v, (v as i64) * 10);
     }

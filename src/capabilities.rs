@@ -24,6 +24,27 @@ pub struct Capability {
     /// Whether the structure can serve as the spanning-forest backend of the
     /// general-graph connectivity engine (`dyntree_connectivity`).
     pub general_graphs: bool,
+    /// Whether weighted path aggregates (`Agg<M>` over any commutative
+    /// monoid) are answered, and at what cost: `true` only for exact
+    /// polylog-per-query support.
+    pub weighted_path: bool,
+    /// Whether weighted subtree/component aggregates are answered exactly.
+    pub weighted_subtree: bool,
+}
+
+impl Capability {
+    /// The `weighted_aggregates` cell of Table 1, generated from the row's
+    /// weighted capabilities (all structures share the same `Agg<M>` monoid
+    /// API; this records which query families each answers exactly and
+    /// fast).
+    pub fn weighted_aggregates(&self) -> &'static str {
+        match (self.weighted_path, self.weighted_subtree) {
+            (true, true) => "path+subtree",
+            (true, false) => "path",
+            (false, true) => "subtree",
+            (false, false) => "-",
+        }
+    }
 }
 
 /// Returns one row per structure implemented in this repository, mirroring
@@ -40,6 +61,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             path_queries: true,
             non_local_queries: false,
             general_graphs: true,
+            weighted_path: true,
+            weighted_subtree: false,
         },
         Capability {
             name: "Euler tour tree",
@@ -51,6 +74,9 @@ pub fn capability_matrix() -> Vec<Capability> {
             path_queries: false,
             non_local_queries: false,
             general_graphs: true,
+            // path aggregates exist but only as an O(component) walk
+            weighted_path: false,
+            weighted_subtree: true,
         },
         Capability {
             name: "Topology tree",
@@ -62,6 +88,9 @@ pub fn capability_matrix() -> Vec<Capability> {
             path_queries: true,
             non_local_queries: true,
             general_graphs: true,
+            // exact only for interior degree ≤ 3 (ternarization caveat)
+            weighted_path: false,
+            weighted_subtree: true,
         },
         Capability {
             name: "UFO tree",
@@ -73,6 +102,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             path_queries: true,
             non_local_queries: true,
             general_graphs: true,
+            weighted_path: true,
+            weighted_subtree: true,
         },
         Capability {
             name: "HDT connectivity",
@@ -86,6 +117,9 @@ pub fn capability_matrix() -> Vec<Capability> {
             path_queries: false,
             non_local_queries: false,
             general_graphs: true,
+            // surfaced from the backend: tree-path and component aggregates
+            weighted_path: true,
+            weighted_subtree: true,
         },
     ]
 }
@@ -96,7 +130,7 @@ pub fn render_matrix() -> String {
     let rows = capability_matrix();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8}\n",
+        "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8} {:>13}\n",
         "Structure",
         "Update cost",
         "Ternar",
@@ -105,11 +139,13 @@ pub fn render_matrix() -> String {
         "Subtree",
         "Path",
         "Non-local",
-        "GenGraph"
+        "GenGraph",
+        "WeightedAgg"
     ));
     for r in rows {
+        let weighted = r.weighted_aggregates();
         out.push_str(&format!(
-            "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8}\n",
+            "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8} {:>13}\n",
             r.name,
             r.update_cost,
             tick(r.ternarized),
@@ -119,6 +155,7 @@ pub fn render_matrix() -> String {
             tick(r.path_queries),
             tick(r.non_local_queries),
             tick(r.general_graphs),
+            weighted,
         ));
     }
     out
@@ -154,6 +191,22 @@ mod tests {
         let render = render_matrix();
         assert!(render.contains("UFO tree"));
         assert!(render.contains("HDT connectivity"));
+        assert!(render.contains("WeightedAgg"));
         assert!(render.lines().count() >= 6);
+    }
+
+    #[test]
+    fn weighted_aggregates_column_matches_the_shared_agg_surface() {
+        let rows = capability_matrix();
+        let ufo = rows.iter().find(|r| r.name == "UFO tree").unwrap();
+        assert_eq!(ufo.weighted_aggregates(), "path+subtree");
+        let lct = rows.iter().find(|r| r.name == "Link-cut tree").unwrap();
+        assert_eq!(lct.weighted_aggregates(), "path");
+        let ett = rows.iter().find(|r| r.name == "Euler tour tree").unwrap();
+        assert_eq!(ett.weighted_aggregates(), "subtree");
+        let topo = rows.iter().find(|r| r.name == "Topology tree").unwrap();
+        assert_eq!(topo.weighted_aggregates(), "subtree");
+        let hdt = rows.iter().find(|r| r.name == "HDT connectivity").unwrap();
+        assert_eq!(hdt.weighted_aggregates(), "path+subtree");
     }
 }

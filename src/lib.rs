@@ -44,6 +44,10 @@ pub use dyntree_connectivity::{
 pub use dyntree_euler::{BatchEulerForest, EulerTourForest, SplayEulerForest, TreapEulerForest};
 pub use dyntree_linkcut::LinkCutForest;
 pub use dyntree_naive::NaiveForest;
+pub use dyntree_primitives::algebra::{
+    Agg, CommutativeMonoid, I64Max, I64Min, I64Sum, InvertibleMonoid, MaxEdge, Monoid, Pair,
+    SumMinMax, WeightStats, WeightedId,
+};
 pub use dyntree_ternary::Ternarizer;
 pub use ufo_forest::{ContractionForest, Policy, TopologyForest, UfoForest};
 

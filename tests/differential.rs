@@ -15,10 +15,10 @@ use ufo_trees::{EulerTourForest, LinkCutForest, NaiveForest, TopologyForest, Ufo
 /// operation.
 fn random_ops_agree(n: usize, steps: usize, seed: u64, check_every: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut naive = NaiveForest::new(n);
-    let mut ufo = UfoForest::new(n);
-    let mut topo = TopologyForest::new(n);
-    let mut lct = LinkCutForest::new(n);
+    let mut naive: NaiveForest = NaiveForest::new(n);
+    let mut ufo: UfoForest = UfoForest::new(n);
+    let mut topo: TopologyForest = TopologyForest::new(n);
+    let mut lct: LinkCutForest = LinkCutForest::new(n);
     let mut ett = EulerTourForest::<TreapSequence>::new(n);
 
     for v in 0..n {
@@ -207,9 +207,9 @@ fn synthetic_families_build_and_agree() {
         let forest = family.generate(200, 17);
         let n = forest.n;
         let mut rng = StdRng::seed_from_u64(23);
-        let mut naive = NaiveForest::new(n);
-        let mut ufo = UfoForest::new(n);
-        let mut lct = LinkCutForest::new(n);
+        let mut naive: NaiveForest = NaiveForest::new(n);
+        let mut ufo: UfoForest = UfoForest::new(n);
+        let mut lct: LinkCutForest = LinkCutForest::new(n);
         for v in 0..n {
             let w = rng.random_range(0..1000);
             naive.set_weight(v, w);
@@ -273,8 +273,8 @@ fn synthetic_families_build_and_agree() {
 fn batch_interface_matches_sequential() {
     let n = 500;
     let tree = workloads::random_tree(n, 77);
-    let mut batched = UfoForest::new(n);
-    let mut sequential = UfoForest::new(n);
+    let mut batched: UfoForest = UfoForest::new(n);
+    let mut sequential: UfoForest = UfoForest::new(n);
     for chunk in tree.edges.chunks(64) {
         batched.batch_link(chunk);
         for &(u, v) in chunk {
@@ -493,8 +493,8 @@ fn nearest_marked_agrees_with_oracle() {
     let n = 120;
     let tree = workloads::random_tree_degree3(n, 5);
     let mut rng = StdRng::seed_from_u64(9);
-    let mut naive = NaiveForest::new(n);
-    let mut ufo = UfoForest::new(n);
+    let mut naive: NaiveForest = NaiveForest::new(n);
+    let mut ufo: UfoForest = UfoForest::new(n);
     for &(u, v) in &tree.edges {
         naive.link(u, v);
         ufo.link(u, v);

@@ -1,0 +1,138 @@
+//! Property tests for the algebra layer: every shipped monoid satisfies the
+//! monoid laws (identity, associativity), every `CommutativeMonoid` really
+//! commutes, the invertible ones invert, and `Agg` itself is a lawful monoid
+//! under `combine`.
+
+use proptest::prelude::*;
+use ufo_trees::{
+    Agg, CommutativeMonoid, I64Max, I64Min, I64Sum, InvertibleMonoid, MaxEdge, Monoid, Pair,
+    SumMinMax, WeightedId,
+};
+
+/// Checks identity + associativity + commutativity for one monoid on three
+/// lifted weights.  (Commutativity is part of the contract for every monoid
+/// the forests accept, which is all of the shipped ones.)
+fn laws<M: CommutativeMonoid>(a: M::Weight, b: M::Weight, c: M::Weight) -> Result<(), String> {
+    let (la, lb, lc) = (M::lift(a), M::lift(b), M::lift(c));
+    if M::combine(M::IDENTITY, la) != la {
+        return Err(format!("{}: left identity broken for {la:?}", M::NAME));
+    }
+    if M::combine(la, M::IDENTITY) != la {
+        return Err(format!("{}: right identity broken for {la:?}", M::NAME));
+    }
+    let left = M::combine(M::combine(la, lb), lc);
+    let right = M::combine(la, M::combine(lb, lc));
+    if left != right {
+        return Err(format!(
+            "{}: associativity broken: {left:?} != {right:?}",
+            M::NAME
+        ));
+    }
+    if M::combine(la, lb) != M::combine(lb, la) {
+        return Err(format!("{}: commutativity broken", M::NAME));
+    }
+    Ok(())
+}
+
+/// The same laws at the `Agg` level, including the counters.
+fn agg_laws<M: CommutativeMonoid>(a: M::Weight, b: M::Weight, c: M::Weight) -> Result<(), String> {
+    let (va, vb, vc) = (
+        Agg::<M>::vertex(a),
+        Agg::<M>::vertex(b).cross_edge(),
+        Agg::<M>::vertex(c),
+    );
+    if Agg::combine(Agg::IDENTITY, va) != va || Agg::combine(va, Agg::IDENTITY) != va {
+        return Err(format!("Agg<{}>: identity broken", M::NAME));
+    }
+    let left = Agg::combine(Agg::combine(va, vb), vc);
+    let right = Agg::combine(va, Agg::combine(vb, vc));
+    if left != right {
+        return Err(format!("Agg<{}>: associativity broken", M::NAME));
+    }
+    if Agg::combine(va, vb) != Agg::combine(vb, va) {
+        return Err(format!("Agg<{}>: commutativity broken", M::NAME));
+    }
+    if left.count != 3 || left.edges != 1 {
+        return Err(format!(
+            "Agg<{}>: counters wrong: count {} edges {}",
+            M::NAME,
+            left.count,
+            left.edges
+        ));
+    }
+    Ok(())
+}
+
+fn weighted_id(w: i64, id: usize) -> WeightedId {
+    WeightedId { weight: w, id }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn i64_monoids_satisfy_the_laws(abc in (-1000i64..1000, -1000i64..1000, -1000i64..1000)) {
+        let (a, b, c) = abc;
+        prop_assert!(laws::<I64Sum>(a, b, c).is_ok());
+        prop_assert!(laws::<I64Min>(a, b, c).is_ok());
+        prop_assert!(laws::<I64Max>(a, b, c).is_ok());
+        prop_assert!(laws::<SumMinMax>(a, b, c).is_ok());
+        prop_assert!(laws::<Pair<I64Sum, I64Max>>(a, b, c).is_ok());
+    }
+
+    #[test]
+    fn agg_is_a_lawful_monoid(abc in (-1000i64..1000, -1000i64..1000, -1000i64..1000)) {
+        let (a, b, c) = abc;
+        prop_assert!(agg_laws::<SumMinMax>(a, b, c).is_ok());
+        prop_assert!(agg_laws::<I64Sum>(a, b, c).is_ok());
+        prop_assert!(agg_laws::<Pair<I64Min, I64Max>>(a, b, c).is_ok());
+    }
+
+    #[test]
+    fn max_edge_satisfies_the_laws(
+        ws in (
+            proptest::prop_oneof![(-1000i64..1000).boxed(), Just(i64::MIN).boxed(), Just(i64::MAX).boxed()],
+            proptest::prop_oneof![(-1000i64..1000).boxed(), Just(i64::MIN).boxed(), Just(i64::MAX).boxed()],
+            proptest::prop_oneof![(-1000i64..1000).boxed(), Just(i64::MIN).boxed(), Just(i64::MAX).boxed()],
+        ),
+        ids in (0usize..64, 0usize..64, 0usize..64),
+    ) {
+        let ((wa, wb, wc), (ia, ib, ic)) = (ws, ids);
+        let (a, b, c) = (weighted_id(wa, ia), weighted_id(wb, ib), weighted_id(wc, ic));
+        prop_assert!(laws::<MaxEdge>(a, b, c).is_ok());
+        // argmax picks an element that was actually present
+        let m = MaxEdge::combine(MaxEdge::combine(a, b), c);
+        prop_assert!(m == a || m == b || m == c);
+        prop_assert_eq!(m.weight, wa.max(wb).max(wc));
+    }
+
+    #[test]
+    fn sum_is_invertible(ab in (-1_000_000i64..1_000_000, -1_000_000i64..1_000_000)) {
+        let (a, b) = ab;
+        // away from the saturation boundary the inverse law is exact
+        prop_assert_eq!(I64Sum::uncombine(I64Sum::combine(a, b), b), a);
+    }
+
+    #[test]
+    fn laws_hold_even_at_saturating_extremes(a in proptest::prop_oneof![
+        Just(i64::MIN), Just(i64::MIN + 1), Just(-1i64), Just(0i64), Just(1i64),
+        Just(i64::MAX - 1), Just(i64::MAX)
+    ]) {
+        // identity and commutativity survive saturation (associativity of the
+        // saturating sum does not in general — that is the documented price
+        // of overflow hardening, and min/max stay exact)
+        prop_assert_eq!(I64Sum::combine(a, I64Sum::IDENTITY), a);
+        prop_assert_eq!(I64Sum::combine(a, i64::MAX), I64Sum::combine(i64::MAX, a));
+        prop_assert_eq!(SumMinMax::combine(SumMinMax::lift(a), SumMinMax::IDENTITY),
+                        SumMinMax::lift(a));
+    }
+}
+
+#[test]
+fn non_invertibility_is_documented_by_construction() {
+    // min/max deliberately do not implement InvertibleMonoid: removing the
+    // current maximum cannot be answered without refolding (Section 4.2).
+    // This test pins the *invertible* half of the split.
+    fn assert_invertible<M: InvertibleMonoid>() {}
+    assert_invertible::<I64Sum>();
+}

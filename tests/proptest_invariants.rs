@@ -55,9 +55,9 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(12), 1..120)
     ) {
         let n = 12;
-        let mut naive = NaiveForest::new(n);
-        let mut ufo = UfoForest::new(n);
-        let mut lct = LinkCutForest::new(n);
+        let mut naive: NaiveForest = NaiveForest::new(n);
+        let mut ufo: UfoForest = UfoForest::new(n);
+        let mut lct: LinkCutForest = LinkCutForest::new(n);
         for op in ops {
             match op {
                 Op::Link(u, v) => {
@@ -97,7 +97,7 @@ proptest! {
         edges in proptest::collection::vec((0usize..64, 0usize..64), 0..63)
     ) {
         let n = 64;
-        let mut ufo = UfoForest::new(n);
+        let mut ufo: UfoForest = UfoForest::new(n);
         let mut inserted = 0u32;
         for (u, v) in edges {
             if ufo.link(u, v) {
@@ -157,8 +157,8 @@ proptest! {
         batch in 1usize..16
     ) {
         let n = 40;
-        let mut a = UfoForest::new(n);
-        let mut b = UfoForest::new(n);
+        let mut a: UfoForest = UfoForest::new(n);
+        let mut b: UfoForest = UfoForest::new(n);
         for (u, v) in &edges {
             a.link(*u, *v);
         }

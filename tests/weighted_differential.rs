@@ -1,0 +1,228 @@
+//! Weighted differential tests: random link / cut / set-weight / query
+//! programs must produce identical [`Agg`] answers across every forest that
+//! claims the shared aggregation surface, for more than one monoid — plus
+//! the overflow regression pinning saturating behaviour at `i64::MAX`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ufo_trees::{
+    Agg, EulerTourForest, LinkCutForest, MaxEdge, NaiveForest, SumMinMax, TopologyForest,
+    UfoForest, WeightedId,
+};
+
+use ufo_trees::seqs::TreapSequence;
+
+/// One random weighted operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Link(usize, usize),
+    Cut(usize, usize),
+    SetWeight(usize, i64),
+    QueryPath(usize, usize),
+    QuerySubtree(usize, usize),
+    QueryComponent(usize),
+}
+
+fn random_program(n: usize, len: usize, seed: u64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let (u, v) = (rng.random_range(0..n), rng.random_range(0..n));
+            match rng.random_range(0..10u32) {
+                0..=2 => Op::Link(u, v),
+                3 => Op::Cut(u, v),
+                4..=5 => Op::SetWeight(u, rng.random_range(-1000..=1000)),
+                6..=7 => Op::QueryPath(u, v),
+                8 => Op::QuerySubtree(u, v),
+                _ => Op::QueryComponent(u),
+            }
+        })
+        .collect()
+}
+
+/// Runs a random program across UFO, link-cut, Euler-tour and naive forests
+/// (four backends), comparing every aggregate through the shared `Agg<M>`
+/// API with `M = SumMinMax`.  Link-cut trees answer the path surface only
+/// (no subtree/component aggregates — Table 1).
+#[test]
+fn four_backends_agree_on_weighted_programs() {
+    let n = 28;
+    for seed in 0..6u64 {
+        let mut naive: NaiveForest = NaiveForest::new(n);
+        let mut ufo: UfoForest = UfoForest::new(n);
+        let mut lct: LinkCutForest = LinkCutForest::new(n);
+        let mut ett: EulerTourForest<TreapSequence> = EulerTourForest::new(n);
+        for (step, op) in random_program(n, 420, 0xd1ff + seed)
+            .into_iter()
+            .enumerate()
+        {
+            match op {
+                Op::Link(u, v) => {
+                    let expect = naive.link(u, v);
+                    assert_eq!(ufo.link(u, v), expect, "seed {seed} step {step} link");
+                    assert_eq!(lct.link(u, v), expect, "seed {seed} step {step} lct link");
+                    assert_eq!(ett.link(u, v), expect, "seed {seed} step {step} ett link");
+                }
+                Op::Cut(u, v) => {
+                    let expect = naive.cut(u, v);
+                    assert_eq!(ufo.cut(u, v), expect, "seed {seed} step {step} cut");
+                    assert_eq!(lct.cut(u, v), expect);
+                    assert_eq!(ett.cut(u, v), expect);
+                }
+                Op::SetWeight(v, w) => {
+                    naive.set_weight(v, w);
+                    ufo.set_weight(v, w);
+                    lct.set_weight(v, w);
+                    ett.set_weight(v, w);
+                }
+                Op::QueryPath(u, v) => {
+                    let expect: Option<Agg<SumMinMax>> = naive.path_aggregate(u, v);
+                    assert_eq!(
+                        ufo.path_aggregate(u, v),
+                        expect,
+                        "seed {seed} step {step} ufo path {u}-{v}"
+                    );
+                    assert_eq!(
+                        lct.path_aggregate(u, v),
+                        expect,
+                        "seed {seed} step {step} lct path {u}-{v}"
+                    );
+                    assert_eq!(
+                        ett.path_aggregate(u, v),
+                        expect,
+                        "seed {seed} step {step} ett path {u}-{v}"
+                    );
+                }
+                Op::QuerySubtree(v, p) => {
+                    let expect = naive.subtree_aggregate(v, p);
+                    assert_eq!(
+                        ufo.subtree_aggregate(v, p),
+                        expect,
+                        "seed {seed} step {step} ufo subtree {v}|{p}"
+                    );
+                    assert_eq!(
+                        ett.subtree_aggregate(v, p),
+                        expect,
+                        "seed {seed} step {step} ett subtree {v}|{p}"
+                    );
+                }
+                Op::QueryComponent(v) => {
+                    let expect = naive.component_aggregate(v);
+                    assert_eq!(
+                        ufo.component_aggregate(v),
+                        expect,
+                        "seed {seed} step {step} ufo component {v}"
+                    );
+                    assert_eq!(
+                        ett.component_aggregate(v),
+                        expect,
+                        "seed {seed} step {step} ett component {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same differential under a *different* monoid: the `MaxEdge` argmax.
+/// Exercising a second monoid end-to-end is what proves the layer is
+/// actually generic rather than specialised to sum/min/max.
+#[test]
+fn backends_agree_under_the_argmax_monoid() {
+    let n = 20;
+    for seed in 0..4u64 {
+        let mut naive: NaiveForest<MaxEdge> = NaiveForest::new(n);
+        let mut ufo: UfoForest<MaxEdge> = UfoForest::new(n);
+        let mut lct: LinkCutForest<MaxEdge> = LinkCutForest::new(n);
+        let mut rng = StdRng::seed_from_u64(0xa59 + seed);
+        for step in 0..300 {
+            let (u, v) = (rng.random_range(0..n), rng.random_range(0..n));
+            match rng.random_range(0..8u32) {
+                0..=2 => {
+                    let expect = naive.link(u, v);
+                    assert_eq!(ufo.link(u, v), expect);
+                    lct.link(u, v);
+                }
+                3 => {
+                    let expect = naive.cut(u, v);
+                    assert_eq!(ufo.cut(u, v), expect);
+                    assert_eq!(lct.cut(u, v), expect);
+                }
+                4..=5 => {
+                    let w = WeightedId {
+                        weight: rng.random_range(-500..=500),
+                        id: u,
+                    };
+                    naive.set_weight(u, w);
+                    ufo.set_weight(u, w);
+                    lct.set_weight(u, w);
+                }
+                _ => {
+                    let expect = naive.path_aggregate(u, v);
+                    assert_eq!(
+                        ufo.path_aggregate(u, v),
+                        expect,
+                        "seed {seed} step {step} argmax ufo path {u}-{v}"
+                    );
+                    assert_eq!(
+                        lct.path_aggregate(u, v),
+                        expect,
+                        "seed {seed} step {step} argmax lct path {u}-{v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Overflow regression (satellite): `i64::MAX` vertex weights must saturate,
+/// not wrap or panic, in every structure's combine path — including the
+/// counters-carrying `Agg` arithmetic.
+#[test]
+fn extreme_weights_saturate_everywhere() {
+    let n = 6;
+    let mut naive: NaiveForest = NaiveForest::new(n);
+    let mut ufo: UfoForest = UfoForest::new(n);
+    let mut lct: LinkCutForest = LinkCutForest::new(n);
+    let mut ett: EulerTourForest<TreapSequence> = EulerTourForest::new(n);
+    let mut topo: TopologyForest = TopologyForest::new(n);
+    for v in 0..n - 1 {
+        assert!(naive.link(v, v + 1));
+        assert!(ufo.link(v, v + 1));
+        assert!(lct.link(v, v + 1));
+        assert!(ett.link(v, v + 1));
+        assert!(topo.link(v, v + 1));
+    }
+    for v in 0..n {
+        naive.set_weight(v, i64::MAX);
+        ufo.set_weight(v, i64::MAX);
+        lct.set_weight(v, i64::MAX);
+        ett.set_weight(v, i64::MAX);
+        topo.set_weight(v, i64::MAX);
+    }
+    // path over all n maxed vertices: sum pins to i64::MAX, min/max exact
+    assert_eq!(naive.path_sum(0, n - 1), Some(i64::MAX));
+    assert_eq!(ufo.path_sum(0, n - 1), Some(i64::MAX));
+    assert_eq!(lct.path_sum(0, n - 1), Some(i64::MAX));
+    assert_eq!(ett.path_sum(0, n - 1), Some(i64::MAX));
+    assert_eq!(topo.path_sum(0, n - 1), Some(i64::MAX));
+    assert_eq!(ufo.path_min(0, n - 1), Some(i64::MAX));
+    assert_eq!(ufo.path_max(0, n - 1), Some(i64::MAX));
+    // component / subtree aggregates saturate identically
+    assert_eq!(ufo.component_aggregate(0).sum, i64::MAX);
+    assert_eq!(ett.component_sum(0), i64::MAX);
+    assert_eq!(ufo.subtree_sum(1, 0), Some(i64::MAX));
+    assert_eq!(naive.subtree_sum(1, 0), Some(i64::MAX));
+    // and the negative extreme pins to i64::MIN
+    for v in 0..n {
+        ufo.set_weight(v, i64::MIN);
+        lct.set_weight(v, i64::MIN);
+    }
+    assert_eq!(ufo.path_sum(0, n - 1), Some(i64::MIN));
+    assert_eq!(lct.path_sum(0, n - 1), Some(i64::MIN));
+    // updates after saturation remain consistent
+    ufo.set_weight(2, 0);
+    lct.set_weight(2, 0);
+    assert_eq!(ufo.path_max(0, n - 1), Some(0));
+    assert_eq!(lct.path_max(0, n - 1), Some(0));
+}
