@@ -1,0 +1,37 @@
+//! Criterion bench for the `GraphOp` transaction surface: the benchmark
+//! streams' mutation traces replayed through `apply(&[GraphOp])` at two
+//! transaction sizes versus the looped single-op `try_*` baseline, per
+//! spanning-forest backend.  A JSON baseline recorded from this workload
+//! lives at `crates/bench/baselines/batch_ops.json` (regenerate with
+//! `cargo run --release -p dyntree_bench --bin batch_ops_baseline`).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{batch_ops_apply_time, batch_ops_single_time, batch_ops_traces, ConnBackend};
+
+fn bench_batch_ops(c: &mut Criterion) {
+    let traces = batch_ops_traces();
+
+    let mut group = c.benchmark_group("batch_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, ops) in &traces {
+        for backend in ConnBackend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("single/{}", backend.name()), name),
+                ops,
+                |b, ops| b.iter(|| batch_ops_single_time(backend, ops)),
+            );
+            for batch in [64usize, 1024] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("apply{}/{}", batch, backend.name()), name),
+                    ops,
+                    |b, ops| b.iter(|| batch_ops_apply_time(backend, ops, batch)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_ops);
+criterion_main!(benches);

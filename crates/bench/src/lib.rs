@@ -431,6 +431,81 @@ pub fn stream_batch_replay_time(
 }
 
 // ------------------------------------------------------------------
+// GraphOp transaction harness (apply vs looped single ops)
+// ------------------------------------------------------------------
+
+use dyntree_primitives::ops::GraphOp;
+
+/// The benchmark streams' mutation traces as `GraphOp` transactions (the
+/// `AddVertices` bootstrap included — the engines start **empty**), labelled
+/// with the source stream's name.
+pub fn batch_ops_traces() -> Vec<(String, Vec<GraphOp>)> {
+    connectivity_bench_streams()
+        .iter()
+        .map(|s| (s.name.clone(), s.to_graph_ops()))
+        .collect()
+}
+
+fn apply_ops<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMax>>(
+    ops: &[GraphOp],
+    batch: usize,
+) -> (f64, u64) {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(0);
+    let mut applied = 0u64;
+    let start = Instant::now();
+    for chunk in ops.chunks(batch.max(1)) {
+        applied += engine.apply(chunk).applied as u64;
+    }
+    applied = applied.wrapping_add(engine.component_count() as u64);
+    (start.elapsed().as_secs_f64(), std::hint::black_box(applied))
+}
+
+fn single_ops<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMax>>(
+    ops: &[GraphOp],
+) -> (f64, u64) {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(0);
+    let mut applied = 0u64;
+    let start = Instant::now();
+    for &op in ops {
+        let ok = match op {
+            GraphOp::AddVertices(k) => {
+                let first = engine.len();
+                engine.ensure_vertices(first + k);
+                true
+            }
+            GraphOp::InsertEdge(u, v) => engine.try_insert_edge(u, v).is_ok(),
+            GraphOp::DeleteEdge(u, v) => engine.try_delete_edge(u, v).is_ok(),
+            GraphOp::SetWeight(v, w) => engine.try_set_weight(v, w).is_ok(),
+        };
+        applied += ok as u64;
+    }
+    applied = applied.wrapping_add(engine.component_count() as u64);
+    (start.elapsed().as_secs_f64(), std::hint::black_box(applied))
+}
+
+/// Applies `ops` in transactions of `batch` ops through `apply`; returns
+/// elapsed seconds and a checksum (applied count + final components).
+pub fn batch_ops_apply_time(backend: ConnBackend, ops: &[GraphOp], batch: usize) -> (f64, u64) {
+    match backend {
+        ConnBackend::Ufo => apply_ops::<UfoForest>(ops, batch),
+        ConnBackend::LinkCut => apply_ops::<LinkCutForest>(ops, batch),
+        ConnBackend::EulerTreap => apply_ops::<EulerTourForest<TreapSequence>>(ops, batch),
+        ConnBackend::EulerSplay => apply_ops::<EulerTourForest<SplaySequence>>(ops, batch),
+    }
+}
+
+/// Applies `ops` one `try_*` call at a time (the looped-singles baseline the
+/// `batch_ops` bench compares `apply` against).
+pub fn batch_ops_single_time(backend: ConnBackend, ops: &[GraphOp]) -> (f64, u64) {
+    match backend {
+        ConnBackend::Ufo => single_ops::<UfoForest>(ops),
+        ConnBackend::LinkCut => single_ops::<LinkCutForest>(ops),
+        ConnBackend::EulerTreap => single_ops::<EulerTourForest<TreapSequence>>(ops),
+        ConnBackend::EulerSplay => single_ops::<EulerTourForest<SplaySequence>>(ops),
+    }
+}
+
+// ------------------------------------------------------------------
 // Weighted path-query harness (the algebra layer through the engine)
 // ------------------------------------------------------------------
 

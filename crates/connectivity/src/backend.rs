@@ -37,8 +37,24 @@ pub trait SpanningBackend {
     /// `set_weight` returns `false` and the aggregate queries return `None`.
     const WEIGHTED: bool;
 
+    /// Whether [`path_agg`](Self::path_agg) can answer (exactly).  `false`
+    /// for the ternarized topology backend, whose spanning-tree path answers
+    /// would be inexact at interior degree ≥ 4.  The engine uses this to
+    /// report [`UnsupportedQuery`](dyntree_primitives::ops::GraphError)
+    /// instead of conflating "unsupported" with "disconnected".
+    const SUPPORTS_PATH_AGG: bool;
+
+    /// Whether [`component_agg`](Self::component_agg) can answer.  `false`
+    /// for link-cut trees, which aggregate preferred paths, not whole trees.
+    const SUPPORTS_COMPONENT_AGG: bool;
+
     /// Creates a forest of `n` isolated vertices.
     fn new(n: usize) -> Self;
+
+    /// Appends isolated vertices until the forest has `n` of them (a smaller
+    /// `n` is a no-op).  The engine calls this for `AddVertices` ops, so
+    /// every backend must support in-place growth.
+    fn ensure_vertices(&mut self, n: usize);
 
     /// Inserts forest edge `(u, v)`.  The engine only calls this for edges
     /// that join two distinct trees; returns whether the backend accepted.
@@ -89,9 +105,14 @@ impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
     type Weights = M;
     const NAME: &'static str = "ufo";
     const WEIGHTED: bool = true;
+    const SUPPORTS_PATH_AGG: bool = true;
+    const SUPPORTS_COMPONENT_AGG: bool = true;
 
     fn new(n: usize) -> Self {
         UfoForest::new(n)
+    }
+    fn ensure_vertices(&mut self, n: usize) {
+        UfoForest::ensure_vertices(self, n)
     }
     fn link(&mut self, u: usize, v: usize) -> bool {
         UfoForest::link(self, u, v)
@@ -124,9 +145,16 @@ impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
     type Weights = M;
     const NAME: &'static str = "topology";
     const WEIGHTED: bool = true;
+    // Ternarized path answers are inexact at interior degree ≥ 4, so the
+    // engine must treat path aggregates as unsupported here.
+    const SUPPORTS_PATH_AGG: bool = false;
+    const SUPPORTS_COMPONENT_AGG: bool = true;
 
     fn new(n: usize) -> Self {
         TopologyForest::new(n)
+    }
+    fn ensure_vertices(&mut self, n: usize) {
+        TopologyForest::ensure_vertices(self, n)
     }
     fn link(&mut self, u: usize, v: usize) -> bool {
         TopologyForest::link(self, u, v)
@@ -160,9 +188,16 @@ impl<M: CommutativeMonoid> SpanningBackend for LinkCutForest<M> {
     type Weights = M;
     const NAME: &'static str = "linkcut";
     const WEIGHTED: bool = true;
+    const SUPPORTS_PATH_AGG: bool = true;
+    // Link-cut trees aggregate preferred paths, not whole trees (Table 1's
+    // "no subtree queries" row).
+    const SUPPORTS_COMPONENT_AGG: bool = false;
 
     fn new(n: usize) -> Self {
         LinkCutForest::new(n)
+    }
+    fn ensure_vertices(&mut self, n: usize) {
+        LinkCutForest::ensure_vertices(self, n)
     }
     fn link(&mut self, u: usize, v: usize) -> bool {
         LinkCutForest::link(self, u, v)
@@ -191,9 +226,14 @@ impl<M: CommutativeMonoid, S: DynSequence<M>> SpanningBackend for EulerTourFores
     type Weights = M;
     const NAME: &'static str = "euler";
     const WEIGHTED: bool = true;
+    const SUPPORTS_PATH_AGG: bool = true;
+    const SUPPORTS_COMPONENT_AGG: bool = true;
 
     fn new(n: usize) -> Self {
         EulerTourForest::new(n)
+    }
+    fn ensure_vertices(&mut self, n: usize) {
+        EulerTourForest::ensure_vertices(self, n)
     }
     fn link(&mut self, u: usize, v: usize) -> bool {
         EulerTourForest::link(self, u, v)
@@ -227,9 +267,14 @@ impl<S: DynSequence<SumMinMax>> SpanningBackend for BatchEulerForest<S> {
     type Weights = SumMinMax;
     const NAME: &'static str = "euler-batch";
     const WEIGHTED: bool = true;
+    const SUPPORTS_PATH_AGG: bool = true;
+    const SUPPORTS_COMPONENT_AGG: bool = true;
 
     fn new(n: usize) -> Self {
         BatchEulerForest::new(n)
+    }
+    fn ensure_vertices(&mut self, n: usize) {
+        BatchEulerForest::ensure_vertices(self, n)
     }
     fn link(&mut self, u: usize, v: usize) -> bool {
         self.forest_mut().link(u, v)
@@ -262,9 +307,14 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     type Weights = M;
     const NAME: &'static str = "naive";
     const WEIGHTED: bool = true;
+    const SUPPORTS_PATH_AGG: bool = true;
+    const SUPPORTS_COMPONENT_AGG: bool = true;
 
     fn new(n: usize) -> Self {
         NaiveForest::new(n)
+    }
+    fn ensure_vertices(&mut self, n: usize) {
+        NaiveForest::ensure_vertices(self, n)
     }
     fn link(&mut self, u: usize, v: usize) -> bool {
         NaiveForest::link(self, u, v)
@@ -333,6 +383,74 @@ mod tests {
             "{}: disconnected path must be None",
             B::NAME
         );
+    }
+
+    fn exercise_growth<B: SpanningBackend>() {
+        let mut b = B::new(2);
+        assert!(b.link(0, 1), "{}", B::NAME);
+        b.ensure_vertices(5);
+        assert!(b.connected(0, 1), "{}: old edge survives growth", B::NAME);
+        assert!(!b.connected(0, 4), "{}: new vertex isolated", B::NAME);
+        assert!(b.link(1, 4), "{}: link to grown vertex", B::NAME);
+        assert!(b.connected(0, 4), "{}", B::NAME);
+        if let Some(s) = b.component_size(4) {
+            assert_eq!(s, 3, "{}", B::NAME);
+        }
+        assert!(b.cut(1, 4), "{}", B::NAME);
+        assert!(!b.connected(0, 4), "{}", B::NAME);
+        b.ensure_vertices(3); // shrinking is a no-op
+        assert!(b.connected(0, 1), "{}", B::NAME);
+    }
+
+    #[test]
+    fn every_backend_supports_growth() {
+        exercise_growth::<UfoForest>();
+        exercise_growth::<TopologyForest>();
+        exercise_growth::<LinkCutForest>();
+        exercise_growth::<EulerTourForest<TreapSequence>>();
+        exercise_growth::<BatchEulerForest<TreapSequence>>();
+        exercise_growth::<NaiveForest>();
+    }
+
+    #[test]
+    fn growth_from_empty_forest() {
+        fn go<B: SpanningBackend>() {
+            let mut b = B::new(0);
+            b.ensure_vertices(3);
+            assert!(b.link(0, 2), "{}", B::NAME);
+            assert!(b.connected(0, 2), "{}", B::NAME);
+            assert!(!b.connected(0, 1), "{}", B::NAME);
+        }
+        go::<UfoForest>();
+        go::<TopologyForest>();
+        go::<LinkCutForest>();
+        go::<EulerTourForest<TreapSequence>>();
+        go::<BatchEulerForest<TreapSequence>>();
+        go::<NaiveForest>();
+    }
+
+    #[test]
+    fn grown_vertices_carry_weights() {
+        fn go<B: SpanningBackend<Weights = SumMinMax>>() {
+            let mut b = B::new(1);
+            b.ensure_vertices(3);
+            b.link(0, 1);
+            b.link(1, 2);
+            assert!(b.set_weight(2, 9), "{}", B::NAME);
+            if let Some(agg) = b.component_agg(0) {
+                assert_eq!(agg.sum, 9, "{}", B::NAME);
+                assert_eq!(agg.count, 3, "{}", B::NAME);
+            }
+            if let Some(agg) = b.path_agg(0, 2) {
+                assert_eq!(agg.max, 9, "{}", B::NAME);
+            }
+        }
+        go::<UfoForest>();
+        go::<TopologyForest>();
+        go::<LinkCutForest>();
+        go::<EulerTourForest<TreapSequence>>();
+        go::<BatchEulerForest<TreapSequence>>();
+        go::<NaiveForest>();
     }
 
     #[test]

@@ -11,11 +11,17 @@
 
 use std::collections::HashMap;
 
+use dyntree_primitives::algebra::WeightOf;
+use dyntree_primitives::ops::{BatchReport, EdgeKind, GraphError, GraphOp, OpOutcome};
 use dyntree_primitives::remove_duplicates;
 
 use crate::backend::SpanningBackend;
 use crate::engine::DynConnectivity;
 use crate::Vertex;
+
+/// The [`GraphOp`] type a `DynConnectivity<B>` engine accepts: weights are
+/// drawn from the backend's monoid.
+pub type OpOf<B> = GraphOp<WeightOf<<B as SpanningBackend>::Weights>>;
 
 impl<B: SpanningBackend> DynConnectivity<B> {
     /// Applies a batch of edge insertions.  Self loops and duplicates (within
@@ -60,6 +66,136 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// Answers a batch of connectivity queries.
     pub fn batch_connected(&mut self, queries: &[(Vertex, Vertex)]) -> Vec<bool> {
         queries.iter().map(|&(u, v)| self.connected(u, v)).collect()
+    }
+
+    /// Applies a transaction of [`GraphOp`]s in submission order and reports
+    /// per-op outcomes plus aggregate counters.
+    ///
+    /// Every op is validated at the engine boundary — nothing invalid ever
+    /// reaches a backend, and nothing panics: self loops, out-of-range
+    /// vertices and unweighted backends surface as
+    /// [`Rejected`](OpOutcome::Rejected) outcomes, while duplicate inserts
+    /// and missing deletes are benign [`Skipped`](OpOutcome::Skipped)
+    /// no-ops, so replaying a batch is safe.  `AddVertices` grows the vertex
+    /// set mid-batch, and later ops in the same batch may use the new ids.
+    ///
+    /// Consecutive runs of `InsertEdge` ops are applied in bulk through the
+    /// same sparse union-find pre-pass as [`batch_insert`](Self::batch_insert):
+    /// once earlier inserts of the run have united two endpoints, a later
+    /// edge between them is classified non-tree without a backend
+    /// connectivity probe.  The outcomes are exactly those of applying the
+    /// ops one at a time.
+    ///
+    /// ```
+    /// use dyntree_connectivity::UfoConnectivity;
+    /// use dyntree_primitives::ops::GraphOp;
+    ///
+    /// let mut g = UfoConnectivity::new(0);
+    /// let report = g.apply(&[
+    ///     GraphOp::AddVertices(3),
+    ///     GraphOp::InsertEdge(0, 1),
+    ///     GraphOp::InsertEdge(0, 1), // duplicate: skipped
+    ///     GraphOp::InsertEdge(2, 2), // self loop: rejected
+    ///     GraphOp::SetWeight(1, 7),
+    /// ]);
+    /// assert_eq!((report.applied, report.skipped, report.rejected), (3, 1, 1));
+    /// assert_eq!(report.vertices_after, 3);
+    /// assert_eq!(report.components_after, 2);
+    /// ```
+    pub fn apply(&mut self, ops: &[OpOf<B>]) -> BatchReport {
+        let mut report = BatchReport::new(self.len(), self.component_count());
+        report.outcomes.reserve(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            match ops[i] {
+                GraphOp::InsertEdge(..) => {
+                    let mut j = i;
+                    while j < ops.len() && matches!(ops[j], GraphOp::InsertEdge(..)) {
+                        j += 1;
+                    }
+                    self.apply_insert_run(&ops[i..j], &mut report);
+                    i = j;
+                }
+                GraphOp::DeleteEdge(u, v) => {
+                    report.record(match self.try_delete_edge(u, v) {
+                        Ok(d) => OpOutcome::EdgeDeleted {
+                            kind: d.kind,
+                            split: d.split,
+                        },
+                        Err(e) => OpOutcome::from_error(e),
+                    });
+                    i += 1;
+                }
+                GraphOp::AddVertices(count) => {
+                    let first = self.len();
+                    // an id-space overflow is a typed rejection, not a panic
+                    report.record(match first.checked_add(count) {
+                        Some(target) => {
+                            self.ensure_vertices(target);
+                            OpOutcome::VerticesAdded { first, count }
+                        }
+                        None => OpOutcome::Rejected(GraphError::VertexOutOfRange {
+                            v: usize::MAX,
+                            len: first,
+                        }),
+                    });
+                    i += 1;
+                }
+                GraphOp::SetWeight(v, w) => {
+                    report.record(match self.try_set_weight(v, w) {
+                        Ok(()) => OpOutcome::WeightSet,
+                        Err(e) => OpOutcome::from_error(e),
+                    });
+                    i += 1;
+                }
+            }
+        }
+        report.close(self.len(), self.component_count());
+        report
+    }
+
+    /// Applies one maximal run of consecutive `InsertEdge` ops with the
+    /// sparse-DSU cycle-classification pre-pass, recording one outcome per
+    /// op.  The DSU is seeded from the run itself: an edge is unioned once
+    /// it is live (freshly applied or already present), so `same(u, v)`
+    /// proves engine connectivity and the backend probe can be skipped.
+    fn apply_insert_run(&mut self, run: &[OpOf<B>], report: &mut BatchReport) {
+        let mut dsu = SparseDsu::default();
+        for op in run {
+            let &GraphOp::InsertEdge(u, v) = op else {
+                unreachable!("insert runs contain only InsertEdge ops");
+            };
+            let outcome = if u == v {
+                OpOutcome::from_error(GraphError::SelfLoop { v: u })
+            } else if u >= self.len() || v >= self.len() {
+                // same endpoint order as `check_edge`, so the bulk path
+                // reports byte-identical errors to the single-op path
+                let bad = if u >= self.len() { u } else { v };
+                OpOutcome::from_error(GraphError::VertexOutOfRange {
+                    v: bad,
+                    len: self.len(),
+                })
+            } else if self.has_edge(u, v) {
+                dsu.union(u, v);
+                OpOutcome::from_error(GraphError::DuplicateEdge {
+                    u: u.min(v),
+                    v: u.max(v),
+                })
+            } else if dsu.same(u, v) {
+                let inserted = self.insert_nontree_edge(u, v);
+                debug_assert!(inserted, "pre-validated non-tree insert rejected");
+                OpOutcome::EdgeInserted {
+                    kind: EdgeKind::NonTree,
+                }
+            } else {
+                let kind = self
+                    .try_insert_edge(u, v)
+                    .expect("pre-validated insert rejected");
+                dsu.union(u, v);
+                OpOutcome::EdgeInserted { kind }
+            };
+            report.record(outcome);
+        }
     }
 }
 
@@ -117,7 +253,137 @@ fn normalize(edges: &[(Vertex, Vertex)], n: usize) -> Vec<(Vertex, Vertex)> {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::UfoConnectivity;
+
+    #[test]
+    fn apply_reports_per_op_outcomes_and_counters() {
+        let mut g = UfoConnectivity::new(0);
+        let report = g.apply(&[
+            GraphOp::AddVertices(4),
+            GraphOp::InsertEdge(0, 1),
+            GraphOp::InsertEdge(1, 2),
+            GraphOp::InsertEdge(2, 0),  // closes a cycle within the run
+            GraphOp::InsertEdge(0, 1),  // duplicate
+            GraphOp::InsertEdge(3, 3),  // self loop
+            GraphOp::InsertEdge(0, 99), // out of range
+            GraphOp::SetWeight(2, 5),
+            GraphOp::SetWeight(42, 5), // out of range
+            GraphOp::DeleteEdge(0, 1), // tree edge, replaced by (2,0)
+            GraphOp::DeleteEdge(0, 1), // now missing
+            GraphOp::DeleteEdge(1, 2), // splits
+        ]);
+        use OpOutcome::*;
+        assert_eq!(
+            report.outcomes,
+            vec![
+                VerticesAdded { first: 0, count: 4 },
+                EdgeInserted {
+                    kind: EdgeKind::Tree
+                },
+                EdgeInserted {
+                    kind: EdgeKind::Tree
+                },
+                EdgeInserted {
+                    kind: EdgeKind::NonTree
+                },
+                Skipped(GraphError::DuplicateEdge { u: 0, v: 1 }),
+                Rejected(GraphError::SelfLoop { v: 3 }),
+                Rejected(GraphError::VertexOutOfRange { v: 99, len: 4 }),
+                WeightSet,
+                Rejected(GraphError::VertexOutOfRange { v: 42, len: 4 }),
+                EdgeDeleted {
+                    kind: EdgeKind::Tree,
+                    split: false
+                },
+                Skipped(GraphError::MissingEdge { u: 0, v: 1 }),
+                EdgeDeleted {
+                    kind: EdgeKind::Tree,
+                    split: true
+                },
+            ]
+        );
+        assert_eq!((report.applied, report.skipped, report.rejected), (7, 2, 3));
+        assert_eq!((report.vertices_before, report.vertices_after), (0, 4));
+        assert_eq!(report.components_before, 0);
+        assert_eq!(report.components_after, 3); // {0,2}, {1}, {3}
+        assert!(g.connected(0, 2) && !g.connected(0, 1));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_rejects_vertex_id_space_overflow() {
+        let mut g = UfoConnectivity::new(1);
+        let report = g.apply(&[GraphOp::AddVertices(usize::MAX)]);
+        assert_eq!(
+            report.outcomes,
+            vec![OpOutcome::Rejected(GraphError::VertexOutOfRange {
+                v: usize::MAX,
+                len: 1,
+            })]
+        );
+        assert_eq!(g.len(), 1, "no growth on a rejected op");
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn apply_vertex_growth_mid_batch_enables_later_ops() {
+        let mut g = UfoConnectivity::new(2);
+        let report = g.apply(&[
+            GraphOp::InsertEdge(0, 3), // not yet grown: rejected
+            GraphOp::AddVertices(2),
+            GraphOp::InsertEdge(0, 3), // now valid
+            GraphOp::SetWeight(3, 9),
+        ]);
+        assert_eq!(
+            report.outcomes[0],
+            OpOutcome::Rejected(GraphError::VertexOutOfRange { v: 3, len: 2 })
+        );
+        assert_eq!(
+            report.outcomes[2],
+            OpOutcome::EdgeInserted {
+                kind: EdgeKind::Tree
+            }
+        );
+        assert_eq!(report.outcomes[3], OpOutcome::WeightSet);
+        assert!(g.connected(0, 3));
+        assert_eq!(g.component_sum(3), Some(9));
+    }
+
+    #[test]
+    fn apply_matches_singleton_ops() {
+        // one big mixed batch vs the same ops applied one at a time
+        let n = 30;
+        let mut ops: Vec<OpOf<ufo_forest::UfoForest>> = vec![GraphOp::AddVertices(n)];
+        let mut x = 1u64;
+        for _ in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (x >> 33) as usize % (n + 2); // occasionally out of range
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) as usize % (n + 2);
+            ops.push(if x & 4 == 0 {
+                GraphOp::DeleteEdge(u, v)
+            } else {
+                GraphOp::InsertEdge(u, v)
+            });
+        }
+        let mut bulk = UfoConnectivity::new(0);
+        let bulk_report = bulk.apply(&ops);
+        let mut single = UfoConnectivity::new(0);
+        let mut single_outcomes = Vec::new();
+        for op in &ops {
+            let r = single.apply(std::slice::from_ref(op));
+            single_outcomes.extend(r.outcomes);
+        }
+        assert_eq!(bulk_report.outcomes, single_outcomes);
+        assert_eq!(bulk.component_count(), single.component_count());
+        assert_eq!(bulk.num_edges(), single.num_edges());
+        bulk.check_invariants().unwrap();
+    }
 
     #[test]
     fn batch_insert_dedupes_and_classifies() {

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
+use dyntree_primitives::ops::{DeleteOutcome, EdgeKind, GraphError};
 use dyntree_primitives::Dsu;
 
 use crate::backend::SpanningBackend;
@@ -19,14 +20,19 @@ struct EdgeInfo {
     tree: bool,
 }
 
-/// Fully-dynamic connectivity over vertices `0..n`.
+/// Fully-dynamic connectivity over a growable vertex set `0..len()`.
 ///
 /// Maintains a spanning forest of the current graph in the backend `B` under
-/// arbitrary [`insert_edge`](Self::insert_edge) /
-/// [`delete_edge`](Self::delete_edge) calls; `connected` queries run at the
-/// backend's own query speed.  Deleting a tree edge triggers the
+/// arbitrary [`try_insert_edge`](Self::try_insert_edge) /
+/// [`try_delete_edge`](Self::try_delete_edge) calls (with lenient bool
+/// wrappers kept for callers that do not need outcomes); `connected` queries
+/// run at the backend's own query speed.  Deleting a tree edge triggers the
 /// Holm–de Lichtenberg–Thorup replacement search over the non-tree edges,
-/// amortized by edge-level increases.
+/// amortized by edge-level increases.  The vertex set grows in place via
+/// [`add_vertices`](Self::add_vertices) /
+/// [`ensure_vertices`](Self::ensure_vertices), and whole transactions of
+/// typed ops go through [`apply`](Self::apply), which reports per-op
+/// outcomes.
 #[derive(Clone, Debug)]
 pub struct DynConnectivity<B: SpanningBackend> {
     n: usize,
@@ -70,6 +76,39 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// Number of vertices.
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    /// Grows the vertex set to `n` isolated new vertices appended at the top
+    /// of the id range (a smaller `n` is a no-op).  The vertex set is no
+    /// longer frozen at construction: a graph may start at
+    /// [`new(0)`](Self::new) and grow as the workload discovers vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        self.backend.ensure_vertices(n);
+        self.adj.ensure_vertices(n);
+        self.mark.resize(n, 0);
+        self.components += n - self.n;
+        self.n = n;
+        // the cap only ever increases, so existing edge levels stay valid
+        self.level_cap = usize::BITS as usize - n.max(1).leading_zeros() as usize;
+    }
+
+    /// Appends one isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> Vertex {
+        let v = self.n;
+        self.ensure_vertices(v + 1);
+        v
+    }
+
+    /// Appends `count` isolated vertices and returns their id range.  The
+    /// vertex id space saturates at `usize::MAX` (the returned range is the
+    /// growth that actually happened).
+    pub fn add_vertices(&mut self, count: usize) -> std::ops::Range<Vertex> {
+        let first = self.n;
+        self.ensure_vertices(first.saturating_add(count));
+        first..self.n
     }
 
     /// Whether the graph has no vertices.
@@ -121,15 +160,41 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         &mut self.backend
     }
 
-    /// Sets the weight of vertex `v` in the backend.  Returns whether the
-    /// weight was actually recorded — `false` for out-of-range vertices and
-    /// for backends that do not maintain weights, so callers can tell "zero"
-    /// apart from "unweighted backend".
-    pub fn set_weight(&mut self, v: Vertex, w: WeightOf<B::Weights>) -> bool {
-        if v >= self.n {
-            return false;
+    /// Sets the weight of vertex `v`, reporting exactly why it could not be
+    /// recorded: [`GraphError::VertexOutOfRange`] for an invalid id,
+    /// [`GraphError::Unweighted`] for a backend without weights.
+    pub fn try_set_weight(&mut self, v: Vertex, w: WeightOf<B::Weights>) -> Result<(), GraphError> {
+        self.check_vertex(v)?;
+        if self.backend.set_weight(v, w) {
+            Ok(())
+        } else {
+            Err(GraphError::Unweighted)
         }
-        self.backend.set_weight(v, w)
+    }
+
+    /// Sets the weight of vertex `v` in the backend.  Returns whether the
+    /// weight was actually recorded.  Thin wrapper over
+    /// [`try_set_weight`](Self::try_set_weight), kept for callers that do
+    /// not care *why* a weight was declined; prefer the typed variant.
+    pub fn set_weight(&mut self, v: Vertex, w: WeightOf<B::Weights>) -> bool {
+        self.try_set_weight(v, w).is_ok()
+    }
+
+    /// Validates a vertex id against the current vertex set.
+    fn check_vertex(&self, v: Vertex) -> Result<(), GraphError> {
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { v, len: self.n });
+        }
+        Ok(())
+    }
+
+    /// Validates an edge's endpoints (distinct and in range).
+    fn check_edge(&self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { v: u });
+        }
+        self.check_vertex(u)?;
+        self.check_vertex(v)
     }
 
     /// Whether the backend maintains vertex weights at all.
@@ -137,22 +202,33 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         B::WEIGHTED
     }
 
-    /// Whether `u` and `v` are connected, answered by the backend's forest.
-    /// Out-of-range vertices are connected to nothing (mirroring the
-    /// mutators, which silently skip them).
-    pub fn connected(&mut self, u: Vertex, v: Vertex) -> bool {
-        if u >= self.n || v >= self.n {
-            return false;
-        }
-        u == v || self.backend.connected(u, v)
+    /// Whether `u` and `v` are connected, with out-of-range vertices
+    /// reported as a typed error instead of a silent `false`.
+    pub fn try_connected(&mut self, u: Vertex, v: Vertex) -> Result<bool, GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        Ok(u == v || self.backend.connected(u, v))
     }
 
-    /// Inserts edge `(u, v)`.  Returns `false` for self loops, out-of-range
-    /// endpoints and duplicates.  Joins two components (tree edge) or becomes
-    /// a level-0 non-tree edge.
-    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
-        if u == v || u >= self.n || v >= self.n || self.has_edge(u, v) {
-            return false;
+    /// Whether `u` and `v` are connected, answered by the backend's forest.
+    /// Out-of-range vertices are connected to nothing (mirroring the lenient
+    /// bool mutators); prefer [`try_connected`](Self::try_connected) when the
+    /// distinction matters.
+    pub fn connected(&mut self, u: Vertex, v: Vertex) -> bool {
+        self.try_connected(u, v).unwrap_or(false)
+    }
+
+    /// Inserts edge `(u, v)`, reporting what happened: `Ok(EdgeKind::Tree)`
+    /// when the edge joined two components, `Ok(EdgeKind::NonTree)` when it
+    /// closed a cycle, and a typed [`GraphError`] (self loop, out-of-range
+    /// endpoint, duplicate) otherwise.
+    pub fn try_insert_edge(&mut self, u: Vertex, v: Vertex) -> Result<EdgeKind, GraphError> {
+        self.check_edge(u, v)?;
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
         }
         if self.backend.connected(u, v) {
             self.adj.nontree_insert(u, v, 0);
@@ -163,6 +239,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     tree: false,
                 },
             );
+            Ok(EdgeKind::NonTree)
         } else {
             let linked = self.backend.link(u, v);
             debug_assert!(linked, "backend rejected a joining link ({u},{v})");
@@ -175,8 +252,16 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 },
             );
             self.components -= 1;
+            Ok(EdgeKind::Tree)
         }
-        true
+    }
+
+    /// Inserts edge `(u, v)`.  Returns `false` for self loops, out-of-range
+    /// endpoints and duplicates.  Thin wrapper over
+    /// [`try_insert_edge`](Self::try_insert_edge); prefer the typed variant,
+    /// which also reports whether the edge entered the spanning forest.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        self.try_insert_edge(u, v).is_ok()
     }
 
     /// Inserts `(u, v)` that is already known to connect two connected
@@ -198,26 +283,45 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         true
     }
 
-    /// Deletes edge `(u, v)`.  Returns `false` if not live.  Deleting a tree
-    /// edge searches the non-tree edges for a replacement; if none exists the
-    /// component splits.
-    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+    /// Deletes edge `(u, v)`, reporting what happened: the deleted edge's
+    /// [`EdgeKind`] and whether the deletion split a component (a tree edge
+    /// with no replacement).  Typed errors for self loops, out-of-range
+    /// endpoints and edges that are not live.
+    pub fn try_delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<DeleteOutcome, GraphError> {
+        self.check_edge(u, v)?;
         let Some(info) = self.edges.remove(&canonical(u, v)) else {
-            return false;
+            return Err(GraphError::MissingEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
         };
         if !info.tree {
             let removed = self.adj.nontree_remove(u, v, info.level);
             debug_assert!(removed, "non-tree edge ({u},{v}) missing from adjacency");
-            return true;
+            return Ok(DeleteOutcome {
+                kind: EdgeKind::NonTree,
+                split: false,
+            });
         }
         let removed = self.adj.tree_remove(u, v);
         debug_assert_eq!(removed, Some(info.level));
         let cut = self.backend.cut(u, v);
         debug_assert!(cut, "backend rejected cutting tree edge ({u},{v})");
-        if !self.find_replacement(u, v, info.level) {
+        let split = !self.find_replacement(u, v, info.level);
+        if split {
             self.components += 1;
         }
-        true
+        Ok(DeleteOutcome {
+            kind: EdgeKind::Tree,
+            split,
+        })
+    }
+
+    /// Deletes edge `(u, v)`.  Returns `false` if not live.  Thin wrapper
+    /// over [`try_delete_edge`](Self::try_delete_edge); prefer the typed
+    /// variant, which also reports whether the component split.
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        self.try_delete_edge(u, v).is_ok()
     }
 
     /// HDT replacement search after cutting tree edge `(u, v)` of level `l`.
@@ -359,13 +463,26 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         visited.len() as u64
     }
 
-    /// Monoid aggregate over `v`'s whole component, when the backend
-    /// supports component aggregates.  Out of range → `None`.
-    pub fn component_agg(&mut self, v: Vertex) -> Option<Agg<B::Weights>> {
-        if v >= self.n {
-            return None;
+    /// Monoid aggregate over `v`'s whole component, with typed errors:
+    /// [`GraphError::VertexOutOfRange`] for an invalid id,
+    /// [`GraphError::UnsupportedQuery`] for a backend without component
+    /// aggregates (e.g. link-cut trees).
+    pub fn try_component_agg(&mut self, v: Vertex) -> Result<Agg<B::Weights>, GraphError> {
+        self.check_vertex(v)?;
+        if !B::SUPPORTS_COMPONENT_AGG {
+            return Err(GraphError::UnsupportedQuery);
         }
-        self.backend.component_agg(v)
+        self.backend
+            .component_agg(v)
+            .ok_or(GraphError::UnsupportedQuery)
+    }
+
+    /// Monoid aggregate over `v`'s whole component, when the backend
+    /// supports component aggregates.  Out of range → `None`; prefer
+    /// [`try_component_agg`](Self::try_component_agg) to tell the cases
+    /// apart.
+    pub fn component_agg(&mut self, v: Vertex) -> Option<Agg<B::Weights>> {
+        self.try_component_agg(v).ok()
     }
 
     /// Monoid aggregate over the spanning-tree path between `u` and `v`.
@@ -378,13 +495,28 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// control which edges enter the forest (e.g. `examples/dynamic_mst.rs`,
     /// which only ever inserts forest edges) can rely on its exact shape.
     pub fn path_agg(&mut self, u: Vertex, v: Vertex) -> Option<Agg<B::Weights>> {
-        if u >= self.n || v >= self.n {
-            return None;
+        self.try_path_agg(u, v).ok().flatten()
+    }
+
+    /// Typed variant of [`path_agg`](Self::path_agg), separating the three
+    /// ways it can decline: `Err(VertexOutOfRange)` for invalid ids,
+    /// `Err(UnsupportedQuery)` for backends whose path answers would be
+    /// inexact or absent (the ternarized topology backend), and `Ok(None)`
+    /// for a genuinely disconnected pair.
+    pub fn try_path_agg(
+        &mut self,
+        u: Vertex,
+        v: Vertex,
+    ) -> Result<Option<Agg<B::Weights>>, GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if !B::SUPPORTS_PATH_AGG {
+            return Err(GraphError::UnsupportedQuery);
         }
         // No connectivity pre-check: every backend's path_agg already
         // returns None for disconnected pairs, and re-probing here would
         // double the backend traversals per query.
-        self.backend.path_agg(u, v)
+        Ok(self.backend.path_agg(u, v))
     }
 
     /// Approximate heap bytes owned by the engine and its backend.
@@ -640,6 +772,139 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.component_count(), n);
         g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn vertex_growth_preserves_connectivity_everywhere() {
+        fn go<B: SpanningBackend>() {
+            let mut g: DynConnectivity<B> = DynConnectivity::new(0);
+            assert!(g.is_empty());
+            assert_eq!(g.add_vertices(3), 0..3);
+            assert_eq!(g.component_count(), 3);
+            assert!(g.insert_edge(0, 1));
+            assert!(g.insert_edge(1, 2));
+            assert!(g.insert_edge(2, 0)); // non-tree
+            let v = g.add_vertex();
+            assert_eq!(v, 3);
+            assert_eq!(g.len(), 4);
+            assert_eq!(g.component_count(), 2);
+            assert!(!g.connected(0, 3));
+            assert!(g.insert_edge(1, 3));
+            assert!(g.connected(0, 3));
+            // deletions through the grown region still find replacements
+            assert!(g.delete_edge(0, 1));
+            assert!(g.connected(0, 3), "replacement via (2,0)");
+            g.check_invariants().unwrap();
+            g.ensure_vertices(2); // shrinking is a no-op
+            assert_eq!(g.len(), 4);
+        }
+        go::<ufo_forest::UfoForest>();
+        go::<ufo_forest::TopologyForest>();
+        go::<dyntree_linkcut::LinkCutForest>();
+        go::<dyntree_euler::EulerTourForest<dyntree_seqs::TreapSequence>>();
+        go::<dyntree_naive::NaiveForest>();
+    }
+
+    #[test]
+    fn growth_raises_the_level_cap() {
+        // 2 vertices -> cap 2; growth to 64 must allow levels up to 6, or
+        // dense churn after growth would trip the level-cap invariant
+        let mut g = UfoConnectivity::new(2);
+        g.insert_edge(0, 1);
+        g.ensure_vertices(64);
+        for u in 0..16 {
+            for v in (u + 1)..16 {
+                g.insert_edge(u, v);
+            }
+        }
+        for u in 0..16 {
+            for v in (u + 1)..16 {
+                g.delete_edge(u, v);
+            }
+        }
+        g.check_invariants().unwrap();
+        assert_eq!(g.component_count(), 64);
+    }
+
+    #[test]
+    fn typed_errors_cover_every_mutating_entry_point() {
+        let mut g = UfoConnectivity::new(3);
+        assert_eq!(g.try_insert_edge(1, 1), Err(GraphError::SelfLoop { v: 1 }));
+        assert_eq!(
+            g.try_insert_edge(0, 7),
+            Err(GraphError::VertexOutOfRange { v: 7, len: 3 })
+        );
+        assert_eq!(g.try_insert_edge(0, 1), Ok(EdgeKind::Tree));
+        assert_eq!(
+            g.try_insert_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+        assert_eq!(g.try_insert_edge(1, 2), Ok(EdgeKind::Tree));
+        assert_eq!(g.try_insert_edge(2, 0), Ok(EdgeKind::NonTree));
+
+        assert_eq!(g.try_delete_edge(2, 2), Err(GraphError::SelfLoop { v: 2 }));
+        assert_eq!(
+            g.try_delete_edge(9, 0),
+            Err(GraphError::VertexOutOfRange { v: 9, len: 3 })
+        );
+        assert_eq!(
+            g.try_delete_edge(0, 1),
+            Ok(DeleteOutcome {
+                kind: EdgeKind::Tree,
+                split: false, // (2,0) replaces it
+            })
+        );
+        assert_eq!(
+            g.try_delete_edge(0, 1),
+            Err(GraphError::MissingEdge { u: 0, v: 1 })
+        );
+        assert_eq!(
+            g.try_delete_edge(1, 2),
+            Ok(DeleteOutcome {
+                kind: EdgeKind::Tree,
+                split: true,
+            })
+        );
+
+        assert_eq!(
+            g.try_set_weight(5, 1),
+            Err(GraphError::VertexOutOfRange { v: 5, len: 3 })
+        );
+        assert_eq!(g.try_set_weight(1, 7), Ok(()));
+    }
+
+    #[test]
+    fn typed_errors_cover_every_query_entry_point() {
+        let mut g = UfoConnectivity::new(3);
+        g.insert_edge(0, 1);
+        assert_eq!(
+            g.try_connected(0, 8),
+            Err(GraphError::VertexOutOfRange { v: 8, len: 3 })
+        );
+        assert_eq!(g.try_connected(0, 1), Ok(true));
+        assert_eq!(g.try_connected(0, 2), Ok(false));
+        assert_eq!(
+            g.try_component_agg(4).map(|a| a.sum),
+            Err(GraphError::VertexOutOfRange { v: 4, len: 3 })
+        );
+        assert!(g.try_component_agg(0).is_ok());
+        assert_eq!(
+            g.try_path_agg(3, 0).map(|a| a.map(|x| x.sum)),
+            Err(GraphError::VertexOutOfRange { v: 3, len: 3 })
+        );
+        assert!(g.try_path_agg(0, 1).unwrap().is_some());
+        assert!(g.try_path_agg(0, 2).unwrap().is_none(), "disconnected");
+
+        // backends that cannot answer a query family say so, instead of
+        // conflating "unsupported" with "disconnected" or "zero"
+        let mut lct = LinkCutConnectivity::new(2);
+        lct.insert_edge(0, 1);
+        assert_eq!(lct.try_component_agg(0), Err(GraphError::UnsupportedQuery));
+        assert!(lct.try_path_agg(0, 1).unwrap().is_some());
+        let mut topo: DynConnectivity<ufo_forest::TopologyForest> = DynConnectivity::new(2);
+        topo.insert_edge(0, 1);
+        assert_eq!(topo.try_path_agg(0, 1), Err(GraphError::UnsupportedQuery));
+        assert!(topo.try_component_agg(0).is_ok());
     }
 
     #[test]

@@ -44,6 +44,16 @@ impl LevelAdjacency {
         self.tree.len()
     }
 
+    /// Appends isolated vertices (empty adjacency) until there are `n` of
+    /// them.  A smaller `n` is a no-op.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.tree.len() {
+            self.tree.resize_with(n, HashMap::new);
+            self.tree_buckets.resize_with(n, HashMap::new);
+            self.nontree.resize_with(n, HashMap::new);
+        }
+    }
+
     /// Whether there are no vertices.
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()

@@ -20,20 +20,39 @@
 //!   the `dyntree_primitives` grouping primitives before touching the tree
 //!   layer (see [`batch`]).
 //!
+//! The public surface is batch-first and typed: the vertex set grows in
+//! place (`add_vertices` / `AddVertices` ops — `new(0)` is a perfectly good
+//! starting point), every mutation has a fallible `try_*` form returning
+//! [`GraphError`] instead of a flat `false`, and whole transactions of
+//! [`GraphOp`]s go through [`DynConnectivity::apply`], which returns a
+//! [`BatchReport`] of per-op outcomes.
+//!
 //! The entry point is [`DynConnectivity`]; convenience aliases pick each
 //! forest of the workspace as the backend:
 //!
 //! ```
-//! use dyntree_connectivity::UfoConnectivity;
+//! use dyntree_connectivity::{EdgeKind, GraphOp, UfoConnectivity};
 //!
 //! let mut g = UfoConnectivity::new(5);
-//! g.insert_edge(0, 1);
-//! g.insert_edge(1, 2);
-//! g.insert_edge(2, 0); // cycle: kept as a non-tree edge
+//! assert_eq!(g.try_insert_edge(0, 1), Ok(EdgeKind::Tree));
+//! assert_eq!(g.try_insert_edge(1, 2), Ok(EdgeKind::Tree));
+//! assert_eq!(g.try_insert_edge(2, 0), Ok(EdgeKind::NonTree)); // cycle
 //! assert!(g.connected(0, 2));
-//! g.delete_edge(0, 1); // tree edge: replaced by (2, 0) automatically
+//! g.try_delete_edge(0, 1).unwrap(); // tree edge: replaced by (2, 0)
 //! assert!(g.connected(0, 2));
 //! assert_eq!(g.component_count(), 3); // {0,1,2} plus two isolated vertices
+//!
+//! // the same graph, as one reported transaction
+//! let mut h = UfoConnectivity::new(0);
+//! let report = h.apply(&[
+//!     GraphOp::AddVertices(5),
+//!     GraphOp::InsertEdge(0, 1),
+//!     GraphOp::InsertEdge(1, 2),
+//!     GraphOp::InsertEdge(2, 0),
+//!     GraphOp::DeleteEdge(0, 1),
+//! ]);
+//! assert_eq!((report.applied, report.skipped, report.rejected), (5, 0, 0));
+//! assert_eq!(report.components_after, 3);
 //! ```
 
 pub mod backend;
@@ -42,7 +61,14 @@ pub mod engine;
 pub mod levels;
 
 pub use backend::SpanningBackend;
+pub use batch::OpOf;
 pub use engine::DynConnectivity;
+// The typed operations vocabulary the engine speaks (defined in
+// `dyntree_primitives::ops`, re-exported here so engine users need one
+// import path).
+pub use dyntree_primitives::ops::{
+    BatchReport, DeleteOutcome, EdgeKind, GraphError, GraphOp, OpOutcome,
+};
 
 use dyntree_seqs::TreapSequence;
 

@@ -68,6 +68,18 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         self.vertex_node.len()
     }
 
+    /// Appends isolated vertices (with default weight) until the forest has
+    /// `n` of them.  Each new vertex becomes a singleton Euler tour; existing
+    /// tours are untouched.  A smaller `n` is a no-op.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.vertex_node.len() < n {
+            let h = self.seq.make(M::Weight::default(), true);
+            self.vertex_node.push(h);
+            self.adj.push(Vec::new());
+            self.weights.push(M::Weight::default());
+        }
+    }
+
     /// Whether the forest has no vertices.
     pub fn is_empty(&self) -> bool {
         self.vertex_node.is_empty()

@@ -1,7 +1,8 @@
 //! Euler tour trees (ETT) over a pluggable sequence backend.
 //!
-//! The Euler tour of each tree in the forest is stored in a [`DynSequence`]
-//! (`dyntree_seqs`); linking splices tours together, cutting splits the tour
+//! The Euler tour of each tree in the forest is stored in a
+//! [`DynSequence`](dyntree_seqs::DynSequence); linking splices tours
+//! together, cutting splits the tour
 //! around the two arcs of the removed edge.  ETTs support connectivity and
 //! subtree queries — but, as the paper stresses, not path queries — and are
 //! the fastest parallel batch-dynamic baseline in the paper's evaluation.

@@ -66,6 +66,15 @@ impl<M: CommutativeMonoid> LinkCutForest<M> {
         self.nodes.len()
     }
 
+    /// Appends isolated vertices (with default weight) until the forest has
+    /// `n` of them.  Each new vertex is its own one-node splay tree, so no
+    /// existing preferred path is disturbed.  A smaller `n` is a no-op.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.nodes.len() < n {
+            self.nodes.push(Node::new(M::Weight::default()));
+        }
+    }
+
     /// Whether the forest has no vertices.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()

@@ -41,6 +41,17 @@ impl<M: CommutativeMonoid> NaiveForest<M> {
         self.adj.len()
     }
 
+    /// Appends isolated vertices (with default weight, unmarked) until the
+    /// forest has `n` of them.  Shrinking is not supported; a smaller `n` is
+    /// a no-op.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.adj.len() {
+            self.adj.resize_with(n, Vec::new);
+            self.weight.resize(n, M::Weight::default());
+            self.marked.resize(n, false);
+        }
+    }
+
     /// Whether the forest has no vertices.
     pub fn is_empty(&self) -> bool {
         self.adj.is_empty()

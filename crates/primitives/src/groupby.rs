@@ -1,6 +1,6 @@
 //! Grouping and deduplication primitives.
 //!
-//! The paper uses a parallel *semisort* [28] to group directed edge updates by
+//! The paper uses a parallel *semisort* \[28\] to group directed edge updates by
 //! their endpoint before applying them to adjacency lists (Algorithm 3 line 1,
 //! Algorithm 4 line 1).  A semisort only guarantees that equal keys end up
 //! adjacent; a stable parallel sort gives the same guarantee with

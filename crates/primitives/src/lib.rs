@@ -16,6 +16,7 @@ pub mod dsu;
 pub mod groupby;
 pub mod listrank;
 pub mod matching;
+pub mod ops;
 pub mod slab;
 pub mod stats;
 
@@ -24,6 +25,7 @@ pub use dsu::Dsu;
 pub use groupby::{dedup_sorted, group_by_key, group_by_key_seq, remove_duplicates};
 pub use listrank::{list_rank, ListNode};
 pub use matching::{match_chain_greedy, match_chains_parallel, ChainMatch};
+pub use ops::{BatchReport, DeleteOutcome, EdgeKind, GraphError, GraphOp, OpOutcome};
 pub use slab::SharedSlab;
 pub use stats::{vec_bytes, OnlineStats};
 

@@ -126,6 +126,81 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         self.weights.len()
     }
 
+    /// Appends isolated vertices (with default weight, non-phantom, unmarked)
+    /// until the forest has `n` of them.  A smaller `n` is a no-op.
+    ///
+    /// Leaf clusters must occupy ids `0..n` — queries and the ternarization
+    /// layer rely on `leaf id == vertex id` — so an internal cluster
+    /// currently sitting on a soon-to-be-leaf id is relocated to a fresh slot
+    /// at the end of the arena first, with every reference to it (parent's
+    /// child list, children's parent pointers, adjacency mirrors) repointed.
+    /// Must be called between updates (the engine holds no pending
+    /// reclustering work then); cost is O(added + relocated degrees).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        let old = self.len();
+        if n <= old {
+            return;
+        }
+        debug_assert!(
+            self.pending.iter().all(Vec::is_empty) && self.dirty.is_empty(),
+            "ensure_vertices during an update"
+        );
+        // ids below `n` stop being available for internal clusters
+        self.free.retain(|&id| id >= n);
+        self.weights.resize(n, M::Weight::default());
+        self.phantom.resize(n, false);
+        self.marked.resize(n, false);
+        for v in old..n {
+            if v < self.clusters.len() && self.clusters[v].alive {
+                self.relocate_cluster(v);
+            }
+            let summary = self.leaf_summary(v);
+            if v < self.clusters.len() {
+                self.clusters[v] = Cluster::new_leaf(summary);
+            } else {
+                debug_assert_eq!(self.clusters.len(), v);
+                self.clusters.push(Cluster::new_leaf(summary));
+            }
+        }
+    }
+
+    /// Moves the internal cluster at id `from` to a fresh id at the end of
+    /// the arena, repointing its parent's child list, its children's parent
+    /// pointers and its neighbours' mirror adjacency entries.  Only
+    /// [`ensure_vertices`](Self::ensure_vertices) calls this, to vacate a
+    /// slot needed for a new leaf.
+    fn relocate_cluster(&mut self, from: ClusterId) {
+        let to = self.clusters.len();
+        let dead = Cluster {
+            parent: NIL,
+            level: 0,
+            alive: false,
+            neighbors: Vec::new(),
+            children: Vec::new(),
+            summary: Summary::empty(),
+        };
+        let cluster = std::mem::replace(&mut self.clusters[from], dead);
+        debug_assert!(cluster.level > 0, "leaves are never relocated");
+        if cluster.parent != NIL {
+            for ch in self.clusters[cluster.parent].children.iter_mut() {
+                if *ch == from {
+                    *ch = to;
+                }
+            }
+        }
+        for &ch in &cluster.children {
+            self.clusters[ch].parent = to;
+        }
+        for e in &cluster.neighbors {
+            for m in self.clusters[e.neighbor].neighbors.iter_mut() {
+                if m.neighbor == from && m.my_end == e.other_end && m.other_end == e.my_end {
+                    m.neighbor = to;
+                }
+            }
+        }
+        self.clusters.push(cluster);
+    }
+
     /// Whether the forest has no vertices.
     pub fn is_empty(&self) -> bool {
         self.weights.is_empty()

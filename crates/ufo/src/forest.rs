@@ -52,6 +52,11 @@ impl<M: CommutativeMonoid> UfoForest<M> {
         self.inner.len()
     }
 
+    /// Appends isolated vertices until the forest has `n` of them.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.inner.ensure_vertices(n);
+    }
+
     /// Whether the forest has no vertices.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
@@ -219,6 +224,29 @@ impl<M: CommutativeMonoid> TopologyForest<M> {
     /// Number of original vertices.
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    /// Appends isolated original vertices until the forest has `n` of them.
+    ///
+    /// The underlying contraction engine is grown to the ternarizer's
+    /// capacity bound for the new vertex count; freshly grown underlying
+    /// slots default to phantom (they are ternarization helpers), and the
+    /// new vertices' primary slots — possibly recycled extra-slot ids — get
+    /// their phantom flag cleared so their weights count again.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        let cap = Ternarizer::capacity_bound(n);
+        let old_cap = self.inner.len();
+        self.inner.ensure_vertices(cap);
+        for s in old_cap..cap {
+            self.inner.set_phantom(s, true);
+        }
+        for s in self.ternarizer.grow(n) {
+            self.inner.set_phantom(s, false);
+        }
+        self.n = n;
     }
 
     /// Whether the forest has no vertices.
@@ -476,6 +504,86 @@ mod tests {
         }
         let h_star = star.engine().height(0);
         assert!(h_star <= 6, "star height should be O(D): {}", h_star);
+    }
+
+    #[test]
+    fn ufo_growth_relocates_internal_clusters() {
+        // links first, so internal clusters occupy the ids the new leaves
+        // need; ensure_vertices must relocate them and stay consistent
+        let mut f: UfoForest = UfoForest::new(4);
+        for v in 0..4 {
+            f.set_weight(v, 10 + v as i64);
+        }
+        assert!(f.link(0, 1));
+        assert!(f.link(1, 2));
+        assert!(f.link(2, 3));
+        f.engine().check_invariants().unwrap();
+        f.ensure_vertices(9);
+        f.engine().check_invariants().unwrap();
+        assert_eq!(f.len(), 9);
+        assert!(f.connected(0, 3), "old path survives growth");
+        assert!(!f.connected(0, 7), "new vertices start isolated");
+        assert_eq!(f.path_sum(0, 3), Some(10 + 11 + 12 + 13));
+        // the grown vertices are full citizens: link, weigh, query
+        for v in 4..9 {
+            f.set_weight(v, v as i64);
+            assert!(f.link(v - 1, v));
+        }
+        f.engine().check_invariants().unwrap();
+        assert_eq!(f.component_size(0), 9);
+        assert_eq!(f.path_sum(4, 6), Some(4 + 5 + 6));
+        assert_eq!(f.subtree_sum(8, 7), Some(8));
+        // growth is repeatable
+        f.ensure_vertices(12);
+        f.engine().check_invariants().unwrap();
+        assert!(f.link(8, 11));
+        assert!(f.connected(0, 11));
+    }
+
+    #[test]
+    fn ufo_growth_on_star_hub() {
+        // a star makes the hub's ancestor a high-fanout cluster; growth must
+        // not disturb it even when its id gets claimed by a new leaf
+        let mut f: UfoForest = UfoForest::new(6);
+        for v in 1..6 {
+            assert!(f.link(0, v));
+        }
+        f.ensure_vertices(40);
+        f.engine().check_invariants().unwrap();
+        for v in 6..40 {
+            assert!(f.link(0, v), "hub absorbs grown vertex {v}");
+        }
+        f.engine().check_invariants().unwrap();
+        assert_eq!(f.component_size(0), 40);
+        assert_eq!(f.component_diameter(0), 2);
+    }
+
+    #[test]
+    fn topology_growth_reuses_recycled_slots_correctly() {
+        let mut f: TopologyForest = TopologyForest::new(5);
+        for v in 0..5 {
+            f.set_weight(v, 1);
+        }
+        // star forces extra ternarization slots, teardown recycles them
+        for v in 1..5 {
+            assert!(f.link(0, v));
+        }
+        for v in 1..5 {
+            assert!(f.cut(0, v));
+        }
+        f.ensure_vertices(8);
+        assert_eq!(f.len(), 8);
+        // new vertices may sit on recycled (previously phantom) slots: their
+        // weights must count again
+        for v in 5..8 {
+            f.set_weight(v, 100);
+        }
+        assert!(f.link(4, 5));
+        assert!(f.link(5, 6));
+        assert!(f.connected(4, 6));
+        assert_eq!(f.component_aggregate(4).sum, 1 + 100 + 100);
+        assert_eq!(f.component_size(4), 3);
+        f.engine().check_invariants().unwrap();
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!
 //! Both interleave connectivity queries at a configurable rate.
 
+use dyntree_primitives::ops::GraphOp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,6 +30,18 @@ pub enum StreamOp {
     Delete(usize, usize),
     /// Ask whether `u` and `v` are connected.
     Query(usize, usize),
+}
+
+impl StreamOp {
+    /// The typed [`GraphOp`] equivalent of a mutation; queries are reads and
+    /// have none.
+    pub fn as_graph_op(&self) -> Option<GraphOp> {
+        match *self {
+            StreamOp::Insert(u, v) => Some(GraphOp::InsertEdge(u, v)),
+            StreamOp::Delete(u, v) => Some(GraphOp::DeleteEdge(u, v)),
+            StreamOp::Query(..) => None,
+        }
+    }
 }
 
 /// A generated operation trace over vertices `0..n`.
@@ -64,6 +77,40 @@ impl EdgeStream {
             }
         }
         c
+    }
+
+    /// The whole trace as one [`GraphOp`] transaction: a leading
+    /// `AddVertices(n)` (so the consumer can start from an **empty** graph)
+    /// followed by every mutation in stream order.  Queries are reads, not
+    /// `GraphOp`s, and are skipped; answer them between batches instead.
+    pub fn to_graph_ops(&self) -> Vec<GraphOp> {
+        let mut out = Vec::with_capacity(self.ops.len() + 1);
+        out.push(GraphOp::AddVertices(self.n));
+        out.extend(self.ops.iter().filter_map(StreamOp::as_graph_op));
+        out
+    }
+
+    /// The trace as [`GraphOp`] batches of at most `batch_size` mutations
+    /// each (the first prefixed with the `AddVertices(n)` bootstrap).
+    /// Mutation order is preserved across batch boundaries, so applying the
+    /// batches in order replays the stream exactly; queries are skipped as
+    /// in [`to_graph_ops`](Self::to_graph_ops).
+    pub fn graph_op_batches(&self, batch_size: usize) -> Vec<Vec<GraphOp>> {
+        let batch_size = batch_size.max(1);
+        let mut batches = vec![vec![GraphOp::AddVertices(self.n)]];
+        let mut in_last = 0; // mutations in the last batch (bootstrap excluded)
+        for op in self.ops.iter().filter_map(StreamOp::as_graph_op) {
+            if in_last == batch_size {
+                batches.push(Vec::with_capacity(batch_size));
+                in_last = 0;
+            }
+            batches
+                .last_mut()
+                .expect("at least the bootstrap batch")
+                .push(op);
+            in_last += 1;
+        }
+        batches
     }
 }
 
@@ -218,6 +265,25 @@ mod tests {
         };
         assert!(churn_stream(&g, 100, 0.9, 0.5, 3).is_empty());
         assert!(sliding_window_stream(&g, 8, 0.5, 3).is_empty());
+    }
+
+    #[test]
+    fn graph_op_emission_covers_every_mutation() {
+        use dyntree_primitives::ops::GraphOp;
+        let g = temporal_graph(200, 3, 4);
+        let s = sliding_window_stream(&g, 32, 0.3, 5);
+        let (ins, del, _) = s.op_counts();
+        let ops = s.to_graph_ops();
+        assert_eq!(ops[0], GraphOp::AddVertices(s.n));
+        assert_eq!(ops.len(), 1 + ins + del);
+        // batched emission preserves order and content exactly
+        let batches = s.graph_op_batches(57);
+        let flat: Vec<GraphOp> = batches.iter().flatten().copied().collect();
+        assert_eq!(flat, ops);
+        assert_eq!(batches[0].len(), 58, "bootstrap rides the first batch");
+        for b in &batches[1..] {
+            assert!(!b.is_empty() && b.len() <= 57);
+        }
     }
 
     #[test]

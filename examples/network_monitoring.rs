@@ -1,7 +1,9 @@
-//! Network monitoring on a **live edge stream**: maintain connectivity of a
-//! road-like network — the full cyclic graph, not a precomputed spanning
-//! forest — under link failures and repairs, answering connectivity and
-//! component-count questions while the stream flows.
+//! Network monitoring on a **live edge stream**, driven through the typed
+//! batch-first operations API: the monitor starts from an *empty* graph,
+//! grows the vertex set when the topology is discovered, and ingests link
+//! failures/repairs as [`GraphOp`] transactions whose [`BatchReport`]s are
+//! the monitoring signal — every applied/skipped/rejected op is accounted
+//! for, and the component counters come straight from the reports.
 //!
 //! This is the workload the paper's dynamic trees exist to serve: the
 //! `DynConnectivity` engine keeps a spanning forest of the surviving links in
@@ -15,6 +17,7 @@ use std::time::Instant;
 use ufo_trees::connectivity::UfoConnectivity;
 use ufo_trees::primitives::Dsu;
 use ufo_trees::workloads::{churn_stream, road_grid_graph, StreamOp};
+use ufo_trees::{BatchReport, GraphOp};
 
 fn main() {
     let side = 60;
@@ -33,28 +36,72 @@ fn main() {
         ins, del, q
     );
 
-    let mut engine = UfoConnectivity::new(graph.n);
+    // The engine starts EMPTY; the stream's own AddVertices bootstrap grows
+    // it.  Queries are answered between transactions, so each burst of
+    // mutations becomes one `apply` with a full per-op outcome report.
+    let mut engine = UfoConnectivity::new(0);
+    let mut pending: Vec<GraphOp> = vec![GraphOp::AddVertices(stream.n)];
+    let mut total = BatchReport::new(0, 0);
+    let mut transactions = 0usize;
     let mut reachable = 0usize;
     let mut partitioned = 0usize;
     let start = Instant::now();
-    for op in &stream.ops {
-        match *op {
-            StreamOp::Insert(u, v) => {
-                engine.insert_edge(u, v);
+    {
+        let mut flush = |engine: &mut UfoConnectivity, pending: &mut Vec<GraphOp>| {
+            if pending.is_empty() {
+                return;
             }
-            StreamOp::Delete(u, v) => {
-                engine.delete_edge(u, v);
-            }
-            StreamOp::Query(a, b) => {
-                if engine.connected(a, b) {
-                    reachable += 1;
-                } else {
-                    partitioned += 1;
+            let report = engine.apply(pending);
+            total.applied += report.applied;
+            total.skipped += report.skipped;
+            total.rejected += report.rejected;
+            total.vertices_after = report.vertices_after;
+            total.components_after = report.components_after;
+            transactions += 1;
+            pending.clear();
+        };
+        for op in &stream.ops {
+            match op.as_graph_op() {
+                Some(g) => pending.push(g),
+                None => {
+                    let StreamOp::Query(a, b) = *op else {
+                        unreachable!("only queries lack a GraphOp form")
+                    };
+                    flush(&mut engine, &mut pending);
+                    if engine.connected(a, b) {
+                        reachable += 1;
+                    } else {
+                        partitioned += 1;
+                    }
                 }
             }
         }
+        flush(&mut engine, &mut pending);
     }
     let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "replayed {} ops as {} GraphOp transactions in {:.3}s ({:.0} ops/s) on the ufo backend",
+        stream.len(),
+        transactions,
+        elapsed,
+        stream.len() as f64 / elapsed,
+    );
+    println!(
+        "aggregate report: {} applied, {} skipped, {} rejected | vertices 0 -> {} | components now {}",
+        total.applied, total.skipped, total.rejected, total.vertices_after, total.components_after,
+    );
+    println!(
+        "monitoring answers: {} reachable, {} partitioned pairs",
+        reachable, partitioned
+    );
+    assert_eq!(
+        total.rejected, 0,
+        "a well-formed stream produces no rejected ops"
+    );
+    // every mutation is accounted for (plus the AddVertices bootstrap)
+    assert_eq!(total.applied + total.skipped, ins + del + 1);
+
     // Rebuild the surviving edge set outside the timed window (bookkeeping
     // must not be billed to the engine).
     let mut live: std::collections::HashSet<(usize, usize)> = Default::default();
@@ -69,16 +116,6 @@ fn main() {
             StreamOp::Query(..) => {}
         }
     }
-    println!(
-        "replayed {} ops in {:.3}s ({:.0} ops/s) on the ufo backend",
-        stream.len(),
-        elapsed,
-        stream.len() as f64 / elapsed,
-    );
-    println!(
-        "monitoring answers: {} reachable, {} partitioned pairs",
-        reachable, partitioned
-    );
 
     // Verify the final component count against an offline DSU oracle.
     let mut dsu = Dsu::new(graph.n);
@@ -95,6 +132,10 @@ fn main() {
         engine.spanning_forest_size(),
     );
     assert_eq!(reported, expected, "engine and oracle disagree");
+    assert_eq!(
+        total.components_after, expected,
+        "BatchReport counters disagree with the oracle"
+    );
     engine.check_invariants().expect("engine invariants");
     println!("component counts verified against the DSU oracle ✓");
 }

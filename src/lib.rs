@@ -38,8 +38,9 @@ pub use dyntree_workloads as workloads;
 pub use ufo_forest as ufo;
 
 pub use dyntree_connectivity::{
-    DynConnectivity, EulerConnectivity, LinkCutConnectivity, NaiveConnectivity, SpanningBackend,
-    TopologyConnectivity, UfoConnectivity,
+    BatchReport, DeleteOutcome, DynConnectivity, EdgeKind, EulerConnectivity, GraphError, GraphOp,
+    LinkCutConnectivity, NaiveConnectivity, OpOf, OpOutcome, SpanningBackend, TopologyConnectivity,
+    UfoConnectivity,
 };
 pub use dyntree_euler::{BatchEulerForest, EulerTourForest, SplayEulerForest, TreapEulerForest};
 pub use dyntree_linkcut::LinkCutForest;

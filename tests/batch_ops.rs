@@ -1,0 +1,198 @@
+//! Property tests for the batch-first operations API: arbitrary `GraphOp`
+//! sequences — invalid ops and mid-stream vertex growth included — are
+//! pushed through `apply` on four backends and must (a) never panic,
+//! (b) produce exactly the outcomes of a sequentially replayed naive-backend
+//! oracle, and (c) leave every backend agreeing with the oracle on
+//! connectivity, component counts and weights.
+
+use proptest::prelude::*;
+use ufo_trees::connectivity::{DynConnectivity, SpanningBackend};
+use ufo_trees::seqs::TreapSequence;
+use ufo_trees::{
+    EulerTourForest, GraphOp, LinkCutForest, NaiveConnectivity, NaiveForest, OpOutcome, SumMinMax,
+    UfoForest,
+};
+
+/// Initial vertex count: small, so the generated id range (`0..24`) mixes
+/// valid, not-yet-grown and permanently invalid vertices.
+const N0: usize = 8;
+
+fn op_strategy() -> BoxedStrategy<GraphOp> {
+    let ids = 0usize..24;
+    prop_oneof![
+        (1usize..4).prop_map(GraphOp::AddVertices).boxed(),
+        (ids.clone(), ids.clone())
+            .prop_map(|(u, v)| GraphOp::InsertEdge(u, v))
+            .boxed(),
+        (ids.clone(), ids.clone())
+            .prop_map(|(u, v)| GraphOp::InsertEdge(u, v))
+            .boxed(),
+        (ids.clone(), ids.clone())
+            .prop_map(|(u, v)| GraphOp::DeleteEdge(u, v))
+            .boxed(),
+        (ids, -100i64..100)
+            .prop_map(|(v, w)| GraphOp::SetWeight(v, w))
+            .boxed(),
+    ]
+    .boxed()
+}
+
+/// Replays the ops one at a time through the typed single-op surface of the
+/// naive backend, recording the expected outcome of every op.  This is the
+/// ground truth `apply` must reproduce on every backend.
+fn oracle_replay(ops: &[GraphOp]) -> (NaiveConnectivity, Vec<OpOutcome>) {
+    let mut g = NaiveConnectivity::new(N0);
+    let mut expected = Vec::with_capacity(ops.len());
+    for &op in ops {
+        expected.push(match op {
+            GraphOp::AddVertices(count) => {
+                let first = g.len();
+                match first.checked_add(count) {
+                    Some(target) => {
+                        g.ensure_vertices(target);
+                        OpOutcome::VerticesAdded { first, count }
+                    }
+                    None => OpOutcome::Rejected(ufo_trees::GraphError::VertexOutOfRange {
+                        v: usize::MAX,
+                        len: first,
+                    }),
+                }
+            }
+            GraphOp::InsertEdge(u, v) => match g.try_insert_edge(u, v) {
+                Ok(kind) => OpOutcome::EdgeInserted { kind },
+                Err(e) => OpOutcome::from_error(e),
+            },
+            GraphOp::DeleteEdge(u, v) => match g.try_delete_edge(u, v) {
+                Ok(d) => OpOutcome::EdgeDeleted {
+                    kind: d.kind,
+                    split: d.split,
+                },
+                Err(e) => OpOutcome::from_error(e),
+            },
+            GraphOp::SetWeight(v, w) => match g.try_set_weight(v, w) {
+                Ok(()) => OpOutcome::WeightSet,
+                Err(e) => OpOutcome::from_error(e),
+            },
+        });
+    }
+    (g, expected)
+}
+
+fn check_backend<B: SpanningBackend<Weights = SumMinMax>>(
+    ops: &[GraphOp],
+    oracle: &mut NaiveConnectivity,
+    expected: &[OpOutcome],
+    chunk_size: usize,
+) -> Result<(), proptest::TestCaseError> {
+    let mut g: DynConnectivity<B> = DynConnectivity::new(N0);
+    let mut pos = 0;
+    for chunk in ops.chunks(chunk_size.max(1)) {
+        let report = g.apply(chunk);
+        prop_assert_eq!(
+            &report.outcomes[..],
+            &expected[pos..pos + chunk.len()],
+            "[{}] outcomes diverge from the oracle at ops {}..{}",
+            B::NAME,
+            pos,
+            pos + chunk.len()
+        );
+        prop_assert_eq!(
+            report.applied + report.skipped + report.rejected,
+            chunk.len(),
+            "[{}] counters must cover the batch",
+            B::NAME
+        );
+        pos += chunk.len();
+    }
+    prop_assert_eq!(g.len(), oracle.len(), "[{}] vertex count", B::NAME);
+    prop_assert_eq!(
+        g.component_count(),
+        oracle.component_count(),
+        "[{}] component count",
+        B::NAME
+    );
+    prop_assert_eq!(g.num_edges(), oracle.num_edges(), "[{}] edges", B::NAME);
+    // connectivity answers over a deterministic pair sample, including
+    // out-of-range probes (lenient surface answers false, never panics)
+    let n = g.len();
+    for u in (0..n + 2).step_by(2) {
+        for v in (1..n + 2).step_by(3) {
+            prop_assert_eq!(
+                g.connected(u, v),
+                oracle.connected(u, v),
+                "[{}] connected({}, {})",
+                B::NAME,
+                u,
+                v
+            );
+        }
+    }
+    // weighted component sums where the backend supports them
+    if B::SUPPORTS_COMPONENT_AGG {
+        for v in 0..n {
+            prop_assert_eq!(
+                g.component_sum(v),
+                oracle.component_sum(v),
+                "[{}] component_sum({})",
+                B::NAME,
+                v
+            );
+        }
+    }
+    if let Err(e) = g.check_invariants() {
+        return Err(proptest::TestCaseError(format!(
+            "[{}] invariants: {}",
+            B::NAME,
+            e
+        )));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apply_matches_oracle_on_arbitrary_op_sequences(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+        chunk in 1usize..24,
+    ) {
+        let (mut oracle, expected) = oracle_replay(&ops);
+        check_backend::<UfoForest>(&ops, &mut oracle, &expected, chunk)?;
+        check_backend::<LinkCutForest>(&ops, &mut oracle, &expected, chunk)?;
+        check_backend::<EulerTourForest<TreapSequence>>(&ops, &mut oracle, &expected, chunk)?;
+        check_backend::<NaiveForest>(&ops, &mut oracle, &expected, chunk)?;
+    }
+
+    #[test]
+    fn growth_mid_stream_preserves_connectivity_answers(
+        edges in proptest::collection::vec((0usize..N0, 0usize..N0), 0..30),
+        grow_by in 1usize..12,
+    ) {
+        // build an arbitrary graph on the original vertex range
+        let mut g: DynConnectivity<UfoForest> = DynConnectivity::new(N0);
+        for &(u, v) in &edges {
+            let _ = g.try_insert_edge(u, v);
+        }
+        let before: Vec<Vec<bool>> = (0..N0)
+            .map(|u| (0..N0).map(|v| g.connected(u, v)).collect())
+            .collect();
+        let components = g.component_count();
+        // grow; every old answer must be unchanged, new vertices isolated
+        let range = g.add_vertices(grow_by);
+        prop_assert_eq!(range, N0..N0 + grow_by);
+        prop_assert_eq!(g.component_count(), components + grow_by);
+        for (u, row) in before.iter().enumerate() {
+            for (v, &was) in row.iter().enumerate() {
+                prop_assert_eq!(g.connected(u, v), was, "({}, {})", u, v);
+            }
+        }
+        for x in N0..N0 + grow_by {
+            for u in 0..N0 {
+                prop_assert!(!g.connected(x, u), "grown vertex {} must be isolated", x);
+            }
+            prop_assert!(g.connected(x, x));
+        }
+        g.check_invariants().map_err(proptest::TestCaseError)?;
+    }
+}
