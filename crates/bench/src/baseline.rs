@@ -1,0 +1,462 @@
+//! Recorded-baseline plumbing shared by the `*_baseline` binaries (which
+//! *write* `crates/bench/baselines/*.json`) and the `bench_gate` binary
+//! (which re-runs the same workloads and *compares* against those files).
+//!
+//! The JSON schema is deliberately tiny — one flat object per measurement
+//! row, identity fields as strings/integers plus `*_per_s` throughput
+//! metrics — so this module can round-trip it with a ~50-line parser instead
+//! of a serde dependency the offline container does not have.  Writer and
+//! parser only ever meet files this module itself produced.
+
+use crate::{
+    batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, connectivity_bench_streams,
+    parallel_scaling_apply_time, parallel_scaling_trace, stream_batch_replay_time,
+    stream_replay_time, weighted_bench_forests, weighted_path_query_time, ConnBackend,
+    WeightedBackend,
+};
+use dyntree_primitives::ParallelConfig;
+
+/// One measurement row: identity fields (trace, backend, threads, …) plus
+/// named throughput metrics (keys end in `_per_s`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRow {
+    /// Identity key/value pairs, in emission order.
+    pub id: Vec<(String, String)>,
+    /// Throughput metrics in ops/second.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BaselineRow {
+    /// Canonical identity string (`trace=TEMP backend=ufo threads=4`).
+    pub fn id_string(&self) -> String {
+        self.id
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A whole recorded baseline: the workload name and its rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// Workload identifier (matches the file stem).
+    pub workload: String,
+    /// Rows, one per (input, contender, …) combination.
+    pub results: Vec<BaselineRow>,
+}
+
+impl Baseline {
+    /// Serialises to the JSON layout stored under `crates/bench/baselines/`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload));
+        out.push_str("  \"unit\": \"ops_per_second\",\n");
+        out.push_str("  \"results\": [\n");
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|row| {
+                let mut fields: Vec<String> = row
+                    .id
+                    .iter()
+                    .map(|(k, v)| {
+                        if v.parse::<i64>().is_ok() {
+                            format!("\"{k}\": {v}")
+                        } else {
+                            format!("\"{k}\": \"{v}\"")
+                        }
+                    })
+                    .collect();
+                fields.extend(row.metrics.iter().map(|(k, v)| format!("\"{k}\": {v:.0}")));
+                format!("    {{{}}}", fields.join(", "))
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a file produced by [`to_json`](Self::to_json).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let workload = scalar_field(text, "workload")
+            .ok_or_else(|| "missing \"workload\" field".to_string())?;
+        let results_at = text
+            .find("\"results\"")
+            .ok_or_else(|| "missing \"results\" field".to_string())?;
+        let mut results = Vec::new();
+        let mut rest = &text[results_at..];
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..]
+                .find('}')
+                .ok_or_else(|| "unterminated row object".to_string())?;
+            let body = &rest[open + 1..open + close];
+            results.push(parse_row(body)?);
+            rest = &rest[open + close + 1..];
+        }
+        Ok(Baseline { workload, results })
+    }
+}
+
+fn scalar_field(text: &str, key: &str) -> Option<String> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at..];
+    let colon = rest.find(':')?;
+    let value = rest[colon + 1..].trim_start();
+    let value = value.strip_prefix('"')?;
+    Some(value[..value.find('"')?].to_string())
+}
+
+fn parse_row(body: &str) -> Result<BaselineRow, String> {
+    let mut row = BaselineRow {
+        id: Vec::new(),
+        metrics: Vec::new(),
+    };
+    for field in body.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field {field:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        if let Some(stripped) = value.strip_prefix('"') {
+            row.id
+                .push((key, stripped.trim_end_matches('"').to_string()));
+        } else if key.ends_with("_per_s") {
+            let v: f64 = value
+                .parse()
+                .map_err(|_| format!("bad metric value {value:?} for {key}"))?;
+            row.metrics.push((key, v));
+        } else {
+            row.id.push((key, value.to_string()));
+        }
+    }
+    Ok(row)
+}
+
+// ---------------------------------------------------------------------------
+// Workload measurement (shared by the baseline recorders and the gate)
+// ---------------------------------------------------------------------------
+
+/// Repetitions per measurement (best-of); `DYNTREE_BENCH_REPS` overrides the
+/// default of 3 (the gate uses fewer to keep CI fast).
+pub fn bench_reps() -> usize {
+    std::env::var("DYNTREE_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the `connectivity_stream` workload (per-stream, per-backend
+/// sequential and batch-64 replay throughput).
+pub fn connectivity_stream_rows() -> Baseline {
+    let reps = bench_reps();
+    let mut results = Vec::new();
+    for stream in &connectivity_bench_streams() {
+        let ops = stream.len() as f64;
+        for backend in ConnBackend::ALL {
+            let seq = best_of(reps, || stream_replay_time(backend, stream).0);
+            let batch = best_of(reps, || stream_batch_replay_time(backend, stream, 64).0);
+            results.push(BaselineRow {
+                id: vec![
+                    ("stream".into(), stream.name.clone()),
+                    ("ops".into(), stream.len().to_string()),
+                    ("backend".into(), backend.name().into()),
+                ],
+                metrics: vec![
+                    ("seq_ops_per_s".into(), ops / seq),
+                    ("batch64_ops_per_s".into(), ops / batch),
+                ],
+            });
+        }
+    }
+    Baseline {
+        workload: "connectivity_stream".into(),
+        results,
+    }
+}
+
+/// Measures the `batch_ops` workload: `apply` in 64- and 1024-op
+/// transactions at an effective width of 1 and 4 threads, plus the
+/// looped-singles reference on the 1-thread rows.
+pub fn batch_ops_rows() -> Baseline {
+    let reps = bench_reps();
+    let mut results = Vec::new();
+    for (name, ops) in &batch_ops_traces() {
+        let n = ops.len() as f64;
+        for backend in ConnBackend::ALL {
+            for threads in [1usize, 4] {
+                let cfg = ParallelConfig::with_threads(threads);
+                let mut metrics = Vec::new();
+                if threads == 1 {
+                    let single = best_of(reps, || batch_ops_single_time(backend, ops).0);
+                    metrics.push(("single_ops_per_s".into(), n / single));
+                }
+                for batch in [64usize, 1024] {
+                    let t = best_of(reps, || {
+                        batch_ops_apply_time_with(backend, ops, batch, cfg).0
+                    });
+                    metrics.push((format!("apply{batch}_ops_per_s"), n / t));
+                }
+                results.push(BaselineRow {
+                    id: vec![
+                        ("trace".into(), name.clone()),
+                        ("ops".into(), ops.len().to_string()),
+                        ("backend".into(), backend.name().into()),
+                        ("threads".into(), threads.to_string()),
+                    ],
+                    metrics,
+                });
+            }
+        }
+    }
+    Baseline {
+        workload: "batch_ops".into(),
+        results,
+    }
+}
+
+/// Measures the `weighted_path_queries` workload (thread-independent: pure
+/// query/update stream through the aggregation layer).
+pub fn weighted_path_query_rows() -> Baseline {
+    let reps = bench_reps();
+    let queries = 1000usize;
+    let mut results = Vec::new();
+    for (label, forest) in &weighted_bench_forests() {
+        for backend in WeightedBackend::ALL {
+            let t = best_of(reps, || {
+                weighted_path_query_time(backend, forest, queries, 23).0
+            });
+            results.push(BaselineRow {
+                id: vec![
+                    ("forest".into(), (*label).into()),
+                    ("ops".into(), queries.to_string()),
+                    ("backend".into(), backend.name().into()),
+                ],
+                metrics: vec![("ops_per_s".into(), queries as f64 / t)],
+            });
+        }
+    }
+    Baseline {
+        workload: "weighted_path_queries".into(),
+        results,
+    }
+}
+
+/// Measures the `parallel_scaling` workload: `apply` throughput over the
+/// 64k-op trace at effective widths 1/2/4/8 on one shared pool.
+pub fn parallel_scaling_rows() -> Baseline {
+    let reps = bench_reps();
+    let (name, ops) = parallel_scaling_trace();
+    let n = ops.len() as f64;
+    let mut results = Vec::new();
+    for backend in [ConnBackend::Ufo, ConnBackend::LinkCut] {
+        for threads in [1usize, 2, 4, 8] {
+            let t = best_of(reps, || {
+                parallel_scaling_apply_time(backend, &ops, threads).0
+            });
+            results.push(BaselineRow {
+                id: vec![
+                    ("trace".into(), name.clone()),
+                    ("ops".into(), ops.len().to_string()),
+                    ("backend".into(), backend.name().into()),
+                    ("threads".into(), threads.to_string()),
+                ],
+                metrics: vec![("apply_ops_per_s".into(), n / t)],
+            });
+        }
+    }
+    Baseline {
+        workload: "parallel_scaling".into(),
+        results,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate comparison
+// ---------------------------------------------------------------------------
+
+/// Outcome of re-measuring one workload against its recorded baseline.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Workload name.
+    pub workload: String,
+    /// `measured / recorded` per metric, labelled `row-id metric`.
+    pub ratios: Vec<(String, f64)>,
+    /// Median of [`ratios`](Self::ratios) (1.0 when empty).
+    pub median_ratio: f64,
+    /// Baseline rows the fresh measurement did not reproduce at all.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the workload passes at `tolerance` (a median throughput drop
+    /// of more than `tolerance` — e.g. 0.25 — fails, as do missing rows).
+    pub fn passes(&self, tolerance: f64) -> bool {
+        self.missing.is_empty() && self.median_ratio >= 1.0 - tolerance
+    }
+}
+
+/// Compares a fresh measurement against the recorded baseline, matching
+/// rows by identity fields **except** `ops` (trace sizes may legitimately
+/// drift when workloads are retuned; throughput is already size-normalised).
+pub fn compare(recorded: &Baseline, measured: &Baseline) -> GateReport {
+    let key = |row: &BaselineRow| -> Vec<(String, String)> {
+        row.id.iter().filter(|(k, _)| k != "ops").cloned().collect()
+    };
+    let mut ratios = Vec::new();
+    let mut missing = Vec::new();
+    for old in &recorded.results {
+        let Some(new) = measured.results.iter().find(|r| key(r) == key(old)) else {
+            missing.push(old.id_string());
+            continue;
+        };
+        for (metric, old_v) in &old.metrics {
+            let Some((_, new_v)) = new.metrics.iter().find(|(k, _)| k == metric) else {
+                missing.push(format!("{} {metric}", old.id_string()));
+                continue;
+            };
+            if *old_v > 0.0 {
+                ratios.push((format!("{} {metric}", old.id_string()), new_v / old_v));
+            }
+        }
+    }
+    let median_ratio = median(ratios.iter().map(|(_, r)| *r));
+    GateReport {
+        workload: recorded.workload.clone(),
+        ratios,
+        median_ratio,
+        missing,
+    }
+}
+
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 1.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Directory holding the recorded baseline JSON files.
+pub fn baselines_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            workload: "demo".into(),
+            results: vec![
+                BaselineRow {
+                    id: vec![
+                        ("trace".into(), "T-1".into()),
+                        ("ops".into(), "100".into()),
+                        ("threads".into(), "4".into()),
+                    ],
+                    metrics: vec![("apply_ops_per_s".into(), 1234.0)],
+                },
+                BaselineRow {
+                    id: vec![("trace".into(), "T-2".into()), ("ops".into(), "7".into())],
+                    metrics: vec![
+                        ("seq_ops_per_s".into(), 10.0),
+                        ("batch64_ops_per_s".into(), 20.0),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn parses_the_preexisting_schema() {
+        // the shape PR 1–3 recorded (numeric ops, no threads field)
+        let text = r#"{
+  "workload": "connectivity_stream",
+  "unit": "ops_per_second",
+  "results": [
+    {"stream": "TEMP", "ops": 25021, "backend": "ufo", "seq_ops_per_s": 61581, "batch64_ops_per_s": 65614}
+  ]
+}"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.workload, "connectivity_stream");
+        assert_eq!(b.results.len(), 1);
+        assert_eq!(b.results[0].id.len(), 3);
+        assert_eq!(b.results[0].metrics.len(), 2);
+    }
+
+    #[test]
+    fn gate_math_flags_regressions_and_missing_rows() {
+        let recorded = sample();
+        let mut measured = sample();
+        // 50% regression on one metric, the rest unchanged → median sits at
+        // the unchanged 1.0 and the gate passes at 25%
+        measured.results[0].metrics[0].1 = 617.0;
+        let report = compare(&recorded, &measured);
+        assert!(report.passes(0.25));
+        // regress everything → fail
+        for row in &mut measured.results {
+            for m in &mut row.metrics {
+                m.1 *= 0.5;
+            }
+        }
+        let report = compare(&recorded, &measured);
+        assert!(!report.passes(0.25));
+        assert!((report.median_ratio - 0.5).abs() < 1e-9);
+        // a vanished row is always a failure
+        measured.results.pop();
+        let report = compare(&recorded, &measured);
+        assert!(!report.missing.is_empty());
+        assert!(!report.passes(0.25));
+    }
+
+    #[test]
+    fn ops_field_is_ignored_when_matching_rows() {
+        let recorded = sample();
+        let mut measured = sample();
+        measured.results[0].id[1].1 = "999".into(); // ops drifted
+        let report = compare(&recorded, &measured);
+        assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn scaling_trace_has_the_advertised_shape() {
+        let (name, ops) = crate::parallel_scaling_trace();
+        assert_eq!(name, "SCALE-64k");
+        assert_eq!(ops.len(), 65_536);
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, dyntree_primitives::GraphOp::InsertEdge(..)))
+            .count();
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, dyntree_primitives::GraphOp::DeleteEdge(..)))
+            .count();
+        assert!(inserts > 50_000, "insert-heavy: {inserts}");
+        assert!(deletes > 5_000, "with real deletes: {deletes}");
+    }
+}

@@ -1,44 +1,20 @@
 //! Measures the `GraphOp` transaction surface — `apply` at two transaction
-//! sizes against the looped single-op baseline — and emits the baseline JSON
-//! stored at `crates/bench/baselines/batch_ops.json`.
+//! sizes against the looped single-op baseline, at effective pool widths 1
+//! and 4 — and emits the baseline JSON stored at
+//! `crates/bench/baselines/batch_ops.json`.
 //!
 //! Run with: `cargo run --release -p dyntree_bench --bin batch_ops_baseline`
+//!
+//! The row computation lives in [`dyntree_bench::baseline`], shared with the
+//! `bench_gate` binary so the gate re-measures exactly what was recorded.
 
-use dyntree_bench::{batch_ops_apply_time, batch_ops_single_time, batch_ops_traces, ConnBackend};
+use dyntree_bench::baseline::batch_ops_rows;
 
 fn main() {
-    let traces = batch_ops_traces();
-
-    println!("{{");
-    println!("  \"workload\": \"batch_ops\",");
-    println!("  \"unit\": \"ops_per_second\",");
-    println!("  \"results\": [");
-    let mut rows = Vec::new();
-    for (name, ops) in &traces {
-        let total = ops.len() as f64;
-        for backend in ConnBackend::ALL {
-            // best of 3 to damp scheduler noise
-            let single = (0..3)
-                .map(|_| batch_ops_single_time(backend, ops).0)
-                .fold(f64::INFINITY, f64::min);
-            let apply64 = (0..3)
-                .map(|_| batch_ops_apply_time(backend, ops, 64).0)
-                .fold(f64::INFINITY, f64::min);
-            let apply1024 = (0..3)
-                .map(|_| batch_ops_apply_time(backend, ops, 1024).0)
-                .fold(f64::INFINITY, f64::min);
-            rows.push(format!(
-                "    {{\"trace\": \"{}\", \"ops\": {}, \"backend\": \"{}\", \"single_ops_per_s\": {:.0}, \"apply64_ops_per_s\": {:.0}, \"apply1024_ops_per_s\": {:.0}}}",
-                name,
-                ops.len(),
-                backend.name(),
-                total / single,
-                total / apply64,
-                total / apply1024,
-            ));
-        }
-    }
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    // The threads=4 rows need pool headroom regardless of the host's
+    // DYNTREE_THREADS; capping happens per-measurement via ParallelConfig.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global();
+    print!("{}", batch_ops_rows().to_json());
 }

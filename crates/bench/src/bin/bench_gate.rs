@@ -1,0 +1,113 @@
+//! Bench-regression gate: re-runs every recorded workload and fails (exit 1)
+//! when median throughput regresses more than the tolerance against the
+//! JSON baselines under `crates/bench/baselines/`.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin bench_gate`
+//!
+//! Per workload, every `*_per_s` metric of every baseline row is re-measured
+//! (same row-computation code the `*_baseline` binaries use) and turned into
+//! a `measured / recorded` ratio; the **median** ratio is compared against
+//! `1 - tolerance`, so a single noisy cell cannot flip the verdict while a
+//! real across-the-board regression still does.  Rows that vanish from the
+//! fresh measurement always fail.
+//!
+//! Environment knobs:
+//! * `BENCH_GATE_TOLERANCE` — allowed median drop, default `0.25`.  CI
+//!   runners are slower and noisier than the machine that recorded a
+//!   baseline; the median plus a wide tolerance absorbs that, and the
+//!   baselines should be re-recorded (`*_baseline` binaries) whenever a
+//!   deliberate perf-relevant change lands.
+//! * `DYNTREE_BENCH_REPS` — best-of repetitions per cell, default 2 here
+//!   (the recorders default to 3).
+
+use dyntree_bench::baseline::{
+    baselines_dir, batch_ops_rows, compare, connectivity_stream_rows, parallel_scaling_rows,
+    weighted_path_query_rows, Baseline,
+};
+
+/// A baseline file name paired with its re-measurement function.
+type Workload = (&'static str, fn() -> Baseline);
+
+fn main() {
+    // The threads=4/8 rows need pool headroom; per-measurement caps come
+    // from ParallelConfig.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global();
+    if std::env::var("DYNTREE_BENCH_REPS").is_err() {
+        std::env::set_var("DYNTREE_BENCH_REPS", "2");
+    }
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    let workloads: [Workload; 4] = [
+        ("connectivity_stream.json", connectivity_stream_rows),
+        ("batch_ops.json", batch_ops_rows),
+        ("weighted_path_queries.json", weighted_path_query_rows),
+        ("parallel_scaling.json", parallel_scaling_rows),
+    ];
+
+    let mut failed = false;
+    println!(
+        "bench gate: tolerance {:.0}% median drop",
+        tolerance * 100.0
+    );
+    for (file, measure) in workloads {
+        let path = baselines_dir().join(file);
+        let recorded = match std::fs::read_to_string(&path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    println!("FAIL {file}: unparsable baseline: {e}");
+                    failed = true;
+                    continue;
+                }
+            },
+            Err(e) => {
+                println!(
+                    "FAIL {file}: unreadable baseline at {}: {e}",
+                    path.display()
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let report = compare(&recorded, &measure());
+        let verdict = if report.passes(tolerance) {
+            "ok  "
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{verdict} {:<24} median ratio {:.3} over {} metrics",
+            report.workload,
+            report.median_ratio,
+            report.ratios.len()
+        );
+        for missing in &report.missing {
+            println!("     missing row: {missing}");
+        }
+        if !report.passes(tolerance) {
+            // the worst cells are what a human debugs first
+            let mut worst = report.ratios.clone();
+            worst.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            for (label, ratio) in worst.iter().take(5) {
+                println!("     {ratio:.3}x  {label}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        println!("bench gate: FAILED");
+        println!(
+            "     A *uniform* drop across workloads usually means this host is \
+             simply slower than the one that recorded the baselines — re-record \
+             them there (`*_baseline` binaries) or raise BENCH_GATE_TOLERANCE; \
+             a drop concentrated in one workload is a real regression."
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate: passed");
+}

@@ -3,40 +3,12 @@
 //! `crates/bench/baselines/connectivity_stream.json`.
 //!
 //! Run with: `cargo run --release -p dyntree_bench --bin connectivity_baseline`
+//!
+//! The row computation lives in [`dyntree_bench::baseline`], shared with the
+//! `bench_gate` binary so the gate re-measures exactly what was recorded.
 
-use dyntree_bench::{
-    connectivity_bench_streams, stream_batch_replay_time, stream_replay_time, ConnBackend,
-};
+use dyntree_bench::baseline::connectivity_stream_rows;
 
 fn main() {
-    let streams = connectivity_bench_streams();
-
-    println!("{{");
-    println!("  \"workload\": \"connectivity_stream\",");
-    println!("  \"unit\": \"ops_per_second\",");
-    println!("  \"results\": [");
-    let mut rows = Vec::new();
-    for stream in &streams {
-        let ops = stream.len() as f64;
-        for backend in ConnBackend::ALL {
-            // best of 3 to damp scheduler noise
-            let seq = (0..3)
-                .map(|_| stream_replay_time(backend, stream).0)
-                .fold(f64::INFINITY, f64::min);
-            let batch = (0..3)
-                .map(|_| stream_batch_replay_time(backend, stream, 64).0)
-                .fold(f64::INFINITY, f64::min);
-            rows.push(format!(
-                "    {{\"stream\": \"{}\", \"ops\": {}, \"backend\": \"{}\", \"seq_ops_per_s\": {:.0}, \"batch64_ops_per_s\": {:.0}}}",
-                stream.name,
-                stream.len(),
-                backend.name(),
-                ops / seq,
-                ops / batch,
-            ));
-        }
-    }
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    print!("{}", connectivity_stream_rows().to_json());
 }

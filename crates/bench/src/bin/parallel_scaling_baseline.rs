@@ -1,0 +1,19 @@
+//! Measures `apply` throughput on the 64k-op insert/delete trace at
+//! effective pool widths 1/2/4/8 and emits the baseline JSON stored at
+//! `crates/bench/baselines/parallel_scaling.json`.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin parallel_scaling_baseline`
+//!
+//! All widths share one 8-worker pool; the per-measurement cap comes from
+//! `ParallelConfig::with_threads`, so the numbers isolate fan-out from pool
+//! start-up.  Note that speedup beyond width 1 requires real cores: on a
+//! single-CPU host every width records parity (see `EXPERIMENTS.md`).
+
+use dyntree_bench::baseline::parallel_scaling_rows;
+
+fn main() {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global();
+    print!("{}", parallel_scaling_rows().to_json());
+}

@@ -3,34 +3,12 @@
 //! `crates/bench/baselines/weighted_path_queries.json`.
 //!
 //! Run with: `cargo run --release -p dyntree_bench --bin weighted_baseline`
+//!
+//! The row computation lives in [`dyntree_bench::baseline`], shared with the
+//! `bench_gate` binary so the gate re-measures exactly what was recorded.
 
-use dyntree_bench::{weighted_bench_forests, weighted_path_query_time, WeightedBackend};
+use dyntree_bench::baseline::weighted_path_query_rows;
 
 fn main() {
-    let forests = weighted_bench_forests();
-    let queries = 1_000usize;
-
-    println!("{{");
-    println!("  \"workload\": \"weighted_path_queries\",");
-    println!("  \"unit\": \"ops_per_second\",");
-    println!("  \"results\": [");
-    let mut rows = Vec::new();
-    for (name, forest) in &forests {
-        for backend in WeightedBackend::ALL {
-            // best of 3 to damp scheduler noise
-            let secs = (0..3)
-                .map(|_| weighted_path_query_time(backend, forest, queries, 23).0)
-                .fold(f64::INFINITY, f64::min);
-            rows.push(format!(
-                "    {{\"forest\": \"{}\", \"ops\": {}, \"backend\": \"{}\", \"ops_per_s\": {:.0}}}",
-                name,
-                queries,
-                backend.name(),
-                queries as f64 / secs,
-            ));
-        }
-    }
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    print!("{}", weighted_path_query_rows().to_json());
 }

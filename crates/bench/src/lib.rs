@@ -435,6 +435,9 @@ pub fn stream_batch_replay_time(
 // ------------------------------------------------------------------
 
 use dyntree_primitives::ops::GraphOp;
+use dyntree_primitives::ParallelConfig;
+
+pub mod baseline;
 
 /// The benchmark streams' mutation traces as `GraphOp` transactions (the
 /// `AddVertices` bootstrap included — the engines start **empty**), labelled
@@ -449,8 +452,9 @@ pub fn batch_ops_traces() -> Vec<(String, Vec<GraphOp>)> {
 fn apply_ops<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMax>>(
     ops: &[GraphOp],
     batch: usize,
+    cfg: ParallelConfig,
 ) -> (f64, u64) {
-    let mut engine: DynConnectivity<B> = DynConnectivity::new(0);
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
     let mut applied = 0u64;
     let start = Instant::now();
     for chunk in ops.chunks(batch.max(1)) {
@@ -486,12 +490,86 @@ fn single_ops<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMa
 /// Applies `ops` in transactions of `batch` ops through `apply`; returns
 /// elapsed seconds and a checksum (applied count + final components).
 pub fn batch_ops_apply_time(backend: ConnBackend, ops: &[GraphOp], batch: usize) -> (f64, u64) {
+    batch_ops_apply_time_with(backend, ops, batch, ParallelConfig::default())
+}
+
+/// [`batch_ops_apply_time`] with explicit [`ParallelConfig`] tunables — the
+/// thread-scaling benchmarks sweep `cfg.threads` over one shared pool, so a
+/// single process can measure the same workload at several effective widths.
+pub fn batch_ops_apply_time_with(
+    backend: ConnBackend,
+    ops: &[GraphOp],
+    batch: usize,
+    cfg: ParallelConfig,
+) -> (f64, u64) {
     match backend {
-        ConnBackend::Ufo => apply_ops::<UfoForest>(ops, batch),
-        ConnBackend::LinkCut => apply_ops::<LinkCutForest>(ops, batch),
-        ConnBackend::EulerTreap => apply_ops::<EulerTourForest<TreapSequence>>(ops, batch),
-        ConnBackend::EulerSplay => apply_ops::<EulerTourForest<SplaySequence>>(ops, batch),
+        ConnBackend::Ufo => apply_ops::<UfoForest>(ops, batch, cfg),
+        ConnBackend::LinkCut => apply_ops::<LinkCutForest>(ops, batch, cfg),
+        ConnBackend::EulerTreap => apply_ops::<EulerTourForest<TreapSequence>>(ops, batch, cfg),
+        ConnBackend::EulerSplay => apply_ops::<EulerTourForest<SplaySequence>>(ops, batch, cfg),
     }
+}
+
+// ------------------------------------------------------------------
+// Parallel-scaling harness (one pool, several effective widths)
+// ------------------------------------------------------------------
+
+/// The 64k-op insert/delete trace of the `parallel_scaling` benchmark: a
+/// spanning chain over 8192 vertices followed by rounds of one 4096-edge
+/// insert burst (mostly cycle edges once the chain exists — exactly the
+/// shape the parallel pre-pass classifies without live probes) and one
+/// 1024-edge delete burst over the live edge set.  Bursts are longer than
+/// the default `batch_grain`, so applying the trace in 8192-op transactions
+/// drives the chunked pre-pass on every insert run.
+pub fn parallel_scaling_trace() -> (String, Vec<GraphOp>) {
+    const N: usize = 8192;
+    const TOTAL: usize = 65_536;
+    let mut ops: Vec<GraphOp> = Vec::with_capacity(TOTAL);
+    ops.push(GraphOp::AddVertices(N));
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    for i in 0..N - 1 {
+        ops.push(GraphOp::InsertEdge(i, i + 1));
+        live.push((i, i + 1));
+    }
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut rand = move |m: usize| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) as usize) % m
+    };
+    while ops.len() < TOTAL {
+        for _ in 0..4096 {
+            if ops.len() >= TOTAL {
+                break;
+            }
+            let u = rand(N);
+            let v = rand(N);
+            ops.push(GraphOp::InsertEdge(u, v));
+            if u != v {
+                live.push((u, v));
+            }
+        }
+        for _ in 0..1024 {
+            if ops.len() >= TOTAL || live.is_empty() {
+                break;
+            }
+            let (u, v) = live.swap_remove(rand(live.len()));
+            ops.push(GraphOp::DeleteEdge(u, v));
+        }
+    }
+    ("SCALE-64k".to_string(), ops)
+}
+
+/// Applies the scaling trace in 8192-op transactions with the fan-out
+/// capped at `threads`; returns elapsed seconds and a checksum.  The
+/// checksum is thread-count-invariant — the determinism tests rely on it.
+pub fn parallel_scaling_apply_time(
+    backend: ConnBackend,
+    ops: &[GraphOp],
+    threads: usize,
+) -> (f64, u64) {
+    batch_ops_apply_time_with(backend, ops, 8192, ParallelConfig::with_threads(threads))
 }
 
 /// Applies `ops` one `try_*` call at a time (the looped-singles baseline the

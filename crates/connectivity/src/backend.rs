@@ -23,8 +23,14 @@ use ufo_forest::{TopologyForest, UfoForest};
 /// [`DynConnectivity`](crate::DynConnectivity) engine.
 ///
 /// Queries take `&mut self` because several backends (link-cut trees, Euler
-/// tour trees) restructure themselves on reads.
-pub trait SpanningBackend {
+/// tour trees) restructure themselves on reads; backends whose queries are
+/// genuinely read-only can additionally expose
+/// [`connected_snapshot`](Self::connected_snapshot), which the parallel
+/// batch pre-pass probes from multiple threads at once.  Backends must be
+/// `Send + Sync` so a shared reference can cross into the pool during that
+/// pre-pass (all in-tree backends are plain owned data, so this is
+/// automatic).
+pub trait SpanningBackend: Send + Sync {
     /// The monoid the backend's vertex weights aggregate under.  Unweighted
     /// backends still pick one (conventionally [`SumMinMax`]) but report
     /// `WEIGHTED = false` and decline `set_weight`.
@@ -48,6 +54,13 @@ pub trait SpanningBackend {
     /// for link-cut trees, which aggregate preferred paths, not whole trees.
     const SUPPORTS_COMPONENT_AGG: bool;
 
+    /// Whether [`connected_snapshot`](Self::connected_snapshot) answers
+    /// (`Some`).  The batch layer runs its parallel insert pre-pass only
+    /// when this is `true`: without snapshot probes the chunk-local DSU
+    /// certificates are a strict subset of what the sequential walk's own
+    /// prefix DSU already proves, so the fan-out would be pure overhead.
+    const SNAPSHOT_QUERIES: bool = false;
+
     /// Creates a forest of `n` isolated vertices.
     fn new(n: usize) -> Self;
 
@@ -65,6 +78,19 @@ pub trait SpanningBackend {
 
     /// Whether `u` and `v` are in the same tree.
     fn connected(&mut self, u: usize, v: usize) -> bool;
+
+    /// Read-only connectivity probe against the current state, for backends
+    /// whose queries do not restructure the tree.  `None` means "cannot
+    /// answer without `&mut self`" (splay-based structures), and callers
+    /// fall back to [`connected`](Self::connected).
+    ///
+    /// The batch layer calls this concurrently from pool workers during the
+    /// insert pre-pass, always strictly before any mutation of the same
+    /// batch, so implementations only need plain shared-read safety.
+    fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
+        let _ = (u, v);
+        None
+    }
 
     /// Sets the weight of vertex `v`.  Returns whether the backend actually
     /// recorded it; the default declines, so an unweighted backend can never
@@ -107,6 +133,7 @@ impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
     const WEIGHTED: bool = true;
     const SUPPORTS_PATH_AGG: bool = true;
     const SUPPORTS_COMPONENT_AGG: bool = true;
+    const SNAPSHOT_QUERIES: bool = true;
 
     fn new(n: usize) -> Self {
         UfoForest::new(n)
@@ -122,6 +149,9 @@ impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
     }
     fn connected(&mut self, u: usize, v: usize) -> bool {
         UfoForest::connected(self, u, v)
+    }
+    fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
+        Some(UfoForest::connected(self, u, v))
     }
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         UfoForest::set_weight(self, v, w);
@@ -149,6 +179,7 @@ impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
     // engine must treat path aggregates as unsupported here.
     const SUPPORTS_PATH_AGG: bool = false;
     const SUPPORTS_COMPONENT_AGG: bool = true;
+    const SNAPSHOT_QUERIES: bool = true;
 
     fn new(n: usize) -> Self {
         TopologyForest::new(n)
@@ -164,6 +195,9 @@ impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
     }
     fn connected(&mut self, u: usize, v: usize) -> bool {
         TopologyForest::connected(self, u, v)
+    }
+    fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
+        Some(TopologyForest::connected(self, u, v))
     }
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         TopologyForest::set_weight(self, v, w);
@@ -309,6 +343,7 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     const WEIGHTED: bool = true;
     const SUPPORTS_PATH_AGG: bool = true;
     const SUPPORTS_COMPONENT_AGG: bool = true;
+    const SNAPSHOT_QUERIES: bool = true;
 
     fn new(n: usize) -> Self {
         NaiveForest::new(n)
@@ -324,6 +359,9 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     }
     fn connected(&mut self, u: usize, v: usize) -> bool {
         NaiveForest::connected(self, u, v)
+    }
+    fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
+        Some(NaiveForest::connected(self, u, v))
     }
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         NaiveForest::set_weight(self, v, w);

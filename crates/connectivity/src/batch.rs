@@ -5,15 +5,23 @@
 //! Batched insertion additionally runs a union-find pre-pass over the batch
 //! itself: once earlier edges of the batch have united two endpoints, a later
 //! edge between them is provably a cycle edge and skips the backend's
-//! connectivity probe.  The pre-pass deliberately does **not** probe the live
-//! forest, so intra-component edges whose endpoints are only connected by
-//! pre-batch state still pay one backend probe each.
+//! connectivity probe.  For batches past the
+//! [`ParallelConfig`](dyntree_primitives::ParallelConfig) grain the pre-pass
+//! runs **in parallel**: the batch is split into contiguous chunks, each
+//! chunk builds its own sparse DSU (and, for backends with read-only
+//! queries, probes the pre-batch forest via
+//! [`SpanningBackend::connected_snapshot`]), and the sequential application
+//! walk then consumes the per-chunk certificates.  Both certificates are
+//! *sound* under the one property insert runs have — connectivity only ever
+//! grows — so the outcomes are byte-identical to the sequential pre-pass at
+//! every thread count and chunk split; see `DESIGN.md` §8.
 
 use std::collections::HashMap;
 
 use dyntree_primitives::algebra::WeightOf;
 use dyntree_primitives::ops::{BatchReport, EdgeKind, GraphError, GraphOp, OpOutcome};
 use dyntree_primitives::remove_duplicates;
+use rayon::prelude::*;
 
 use crate::backend::SpanningBackend;
 use crate::engine::DynConnectivity;
@@ -34,10 +42,13 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         // endpoints, a later edge between them is provably a cycle edge, so
         // it can be classified non-tree without a backend connectivity probe.
         // The DSU is sparse (keyed on batch endpoints only), so the pre-pass
-        // costs O(|batch| α) regardless of the graph's vertex count.
+        // costs O(|batch| α) regardless of the graph's vertex count.  Large
+        // batches compute per-chunk certificates in parallel first.
+        let known = self.plan_insert_pairs(&batch);
         let mut dsu = SparseDsu::default();
-        for &(u, v) in &batch {
-            let inserted = if dsu.same(u, v) {
+        for (i, &(u, v)) in batch.iter().enumerate() {
+            let certified = known.as_deref().is_some_and(|k| k[i]);
+            let inserted = if certified || dsu.same(u, v) {
                 self.insert_nontree_edge(u, v)
             } else {
                 self.insert_edge(u, v)
@@ -48,6 +59,61 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             dsu.union(u, v);
         }
         applied
+    }
+
+    /// Parallel pre-pass over an insert batch: splits the pairs into
+    /// contiguous chunks and computes, per edge, whether its endpoints are
+    /// *provably already connected* at the moment the edge will be applied.
+    ///
+    /// Two sound certificates feed the flag:
+    /// * **chunk-prefix DSU** — earlier edges *of the same chunk* united the
+    ///   endpoints.  Those edges precede this one in the whole batch, and
+    ///   every valid batch edge is live by the time later edges apply.
+    /// * **snapshot probe** — the endpoints were connected in the pre-batch
+    ///   forest ([`SpanningBackend::connected_snapshot`]).  Insert runs only
+    ///   ever merge components, so pre-batch connectivity persists.
+    ///
+    /// `false` merely means "no cheap proof": the sequential walk falls back
+    /// to its own prefix DSU and, lastly, a live backend probe.  Outcomes
+    /// are therefore byte-identical whichever certificates fire, which is
+    /// what makes results independent of thread count and chunk boundaries.
+    ///
+    /// Returns `None` (purely sequential classification) below the
+    /// configured grain, on a 1-thread pool, or for backends without
+    /// snapshot probes ([`SpanningBackend::SNAPSHOT_QUERIES`]): the
+    /// sequential walk's own prefix DSU subsumes every chunk-prefix
+    /// certificate, so for those backends the fan-out could never save a
+    /// live probe.
+    fn plan_insert_pairs(&self, pairs: &[(Vertex, Vertex)]) -> Option<Vec<bool>> {
+        if !B::SNAPSHOT_QUERIES || !self.par.worth(pairs.len()) {
+            return None;
+        }
+        let chunks = self.par.chunks_for(pairs.len());
+        if chunks <= 1 {
+            return None;
+        }
+        let n = self.len();
+        let backend = self.backend();
+        let ranges = dyntree_primitives::chunk_ranges(pairs.len(), chunks);
+        let parts: Vec<Vec<bool>> = ranges
+            .par_iter()
+            .map(|&(lo, hi)| {
+                let mut dsu = SparseDsu::default();
+                pairs[lo..hi]
+                    .iter()
+                    .map(|&(u, v)| {
+                        if u == v || u >= n || v >= n {
+                            return false;
+                        }
+                        let known =
+                            dsu.same(u, v) || backend.connected_snapshot(u, v).unwrap_or(false);
+                        dsu.union(u, v);
+                        known
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(parts.concat())
     }
 
     /// Applies a batch of edge deletions.  Returns the number of edges
@@ -159,9 +225,32 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// op.  The DSU is seeded from the run itself: an edge is unioned once
     /// it is live (freshly applied or already present), so `same(u, v)`
     /// proves engine connectivity and the backend probe can be skipped.
+    ///
+    /// An `AddVertices` op can never sit inside a run, so `self.len()` is
+    /// constant across it — which is what lets the parallel pre-pass
+    /// ([`plan_insert_pairs`](Self::plan_insert_pairs)) validate endpoints
+    /// and compute connectedness certificates chunk-by-chunk up front.
     fn apply_insert_run(&mut self, run: &[OpOf<B>], report: &mut BatchReport) {
+        // Only materialize the pair list when the run can actually take the
+        // parallel pre-pass — short runs (the common case in mixed streams)
+        // and snapshot-less backends must not pay an allocation on the
+        // engine's hottest entry point.
+        let known = if B::SNAPSHOT_QUERIES && self.par.worth(run.len()) {
+            let pairs: Vec<(Vertex, Vertex)> = run
+                .iter()
+                .map(|op| {
+                    let &GraphOp::InsertEdge(u, v) = op else {
+                        unreachable!("insert runs contain only InsertEdge ops");
+                    };
+                    (u, v)
+                })
+                .collect();
+            self.plan_insert_pairs(&pairs)
+        } else {
+            None
+        };
         let mut dsu = SparseDsu::default();
-        for op in run {
+        for (i, op) in run.iter().enumerate() {
             let &GraphOp::InsertEdge(u, v) = op else {
                 unreachable!("insert runs contain only InsertEdge ops");
             };
@@ -181,9 +270,13 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     u: u.min(v),
                     v: u.max(v),
                 })
-            } else if dsu.same(u, v) {
+            } else if known.as_deref().is_some_and(|k| k[i]) || dsu.same(u, v) {
+                // Either certificate proves the endpoints are already
+                // connected, so this is a cycle edge — same conclusion the
+                // live probe below would reach, minus the probe.
                 let inserted = self.insert_nontree_edge(u, v);
                 debug_assert!(inserted, "pre-validated non-tree insert rejected");
+                dsu.union(u, v);
                 OpOutcome::EdgeInserted {
                     kind: EdgeKind::NonTree,
                 }
@@ -383,6 +476,90 @@ mod tests {
         assert_eq!(bulk.component_count(), single.component_count());
         assert_eq!(bulk.num_edges(), single.num_edges());
         bulk.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_pre_pass_outcomes_match_sequential() {
+        use dyntree_primitives::ParallelConfig;
+        // A grain of 8 forces the chunked pre-pass on modest batches even
+        // when the global pool has a single thread (the chunked *code path*
+        // still runs; the pool just executes its chunks inline).
+        let forced = ParallelConfig {
+            threads: 4,
+            batch_grain: 8,
+            chunk_grain: 4,
+        };
+        fn trace(n: usize) -> Vec<GraphOp> {
+            let mut ops = vec![GraphOp::AddVertices(n)];
+            let mut x = 7u64;
+            for i in 0..600 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (x >> 33) as usize % (n + 2); // sometimes out of range
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = (x >> 33) as usize % (n + 2);
+                // long insert runs (the parallel pre-pass needs runs, not
+                // singletons) with occasional delete breaks
+                ops.push(if i % 97 == 96 {
+                    GraphOp::DeleteEdge(u, v)
+                } else {
+                    GraphOp::InsertEdge(u, v)
+                });
+            }
+            ops
+        }
+        fn check<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMax>>(
+            forced: ParallelConfig,
+        ) {
+            let ops = trace(40);
+            let mut par: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(forced);
+            let mut seq: DynConnectivity<B> =
+                DynConnectivity::new(0).with_parallel_config(ParallelConfig::sequential());
+            let pr = par.apply(&ops);
+            let sr = seq.apply(&ops);
+            assert_eq!(pr.outcomes, sr.outcomes, "byte-identical outcomes");
+            assert_eq!(pr.applied, sr.applied);
+            assert_eq!(par.component_count(), seq.component_count());
+            assert_eq!(par.num_edges(), seq.num_edges());
+            par.check_invariants().unwrap();
+
+            // batch_insert path: same certificate machinery, count-level API
+            let edges: Vec<(usize, usize)> = (0..200).map(|i| (i % 23, (i * 7 + 1) % 23)).collect();
+            let mut a: DynConnectivity<B> = DynConnectivity::new(23).with_parallel_config(forced);
+            let mut b: DynConnectivity<B> =
+                DynConnectivity::new(23).with_parallel_config(ParallelConfig::sequential());
+            assert_eq!(a.batch_insert(&edges), b.batch_insert(&edges));
+            assert_eq!(a.component_count(), b.component_count());
+            a.check_invariants().unwrap();
+        }
+        // ufo runs the chunked pre-pass (snapshot probes); link-cut skips it
+        // entirely (`SNAPSHOT_QUERIES = false` — its chunk-DSU certificates
+        // would be subsumed by the walk's own DSU) — both capability classes
+        // must match the sequential walk exactly.
+        check::<ufo_forest::UfoForest>(forced);
+        check::<dyntree_linkcut::LinkCutForest>(forced);
+    }
+
+    #[test]
+    fn pre_pass_survives_more_chunks_than_items_per_chunk() {
+        // Regression: a uniform ceil-division chunk split sent trailing
+        // chunks past the end of the batch (lo > hi slice panic) whenever
+        // chunks² exceeded the batch length, e.g. a wide explicit fan-out
+        // over a modest batch.
+        use dyntree_primitives::ParallelConfig;
+        let cfg = ParallelConfig {
+            threads: 64,
+            batch_grain: 8,
+            chunk_grain: 1,
+        };
+        let mut g: DynConnectivity<ufo_forest::UfoForest> =
+            DynConnectivity::new(200).with_parallel_config(cfg);
+        let edges: Vec<(usize, usize)> = (0..100).map(|i| (i, i + 100)).collect();
+        assert_eq!(g.batch_insert(&edges), 100);
+        g.check_invariants().unwrap();
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
 use dyntree_primitives::ops::{DeleteOutcome, EdgeKind, GraphError};
-use dyntree_primitives::Dsu;
+use dyntree_primitives::{Dsu, ParallelConfig};
 
 use crate::backend::SpanningBackend;
 use crate::levels::LevelAdjacency;
@@ -47,6 +47,8 @@ pub struct DynConnectivity<B: SpanningBackend> {
     /// Epoch-stamped scratch marker for side-membership tests.
     mark: Vec<u64>,
     stamp: u64,
+    /// Grain sizes and fan-out for the parallel batch pre-pass.
+    pub(crate) par: ParallelConfig,
 }
 
 impl<B: SpanningBackend> DynConnectivity<B> {
@@ -61,7 +63,27 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             level_cap: usize::BITS as usize - n.max(1).leading_zeros() as usize,
             mark: vec![0; n],
             stamp: 0,
+            par: ParallelConfig::default(),
         }
+    }
+
+    /// The engine's parallel-execution tunables (see
+    /// [`ParallelConfig`]).
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.par
+    }
+
+    /// Replaces the engine's parallel-execution tunables.  Results are
+    /// byte-identical under every config — this only moves the boundary
+    /// between the sequential and the chunked-parallel batch pre-pass.
+    pub fn set_parallel_config(&mut self, cfg: ParallelConfig) {
+        self.par = cfg;
+    }
+
+    /// Builder-style variant of [`set_parallel_config`](Self::set_parallel_config).
+    pub fn with_parallel_config(mut self, cfg: ParallelConfig) -> Self {
+        self.par = cfg;
+        self
     }
 
     /// Builds a graph from an edge list (self loops and duplicates skipped).

@@ -7,35 +7,45 @@
 //! replacement searches is bounded by the total number of level bumps,
 //! `O(m log n)`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Adjacency structures for one graph: tree edges with their levels, and
 /// non-tree edges bucketed by level.
 ///
-/// Tree adjacency is stored **twice**: a neighbour→level map (O(1) level
+/// Tree adjacency is stored **twice**: a neighbour→level map (cheap level
 /// lookup for insert/remove/bump) and level→neighbour buckets (so traversals
 /// of the level-`l` forest `F_l` touch only level ≥ `l` entries — the
 /// smaller-side search must never pay for a hub's lower-level edges, or the
 /// HDT `n/2^i` component-size invariant would be selected against the wrong
 /// side).  A vertex carries at most `⌊log₂ n⌋ + 1` distinct levels, so the
 /// bucketed view adds only a logarithmic factor of map overhead.
+///
+/// The maps are `BTreeMap`s, not `HashMap`s, **deliberately**: the
+/// replacement search iterates them, and the iteration order decides which
+/// replacement edge is promoted and which edges are level-bumped.  With
+/// randomized hashers every engine instance made different (all valid, but
+/// different) choices, so per-op outcome reports were not reproducible
+/// across instances or processes — exactly what the cross-thread-count
+/// determinism contract forbids.  Ordered maps make every choice canonical;
+/// the maps are per-vertex and tiny (≤ `⌊log₂ n⌋ + 1` keys), so the switch
+/// is performance-neutral.
 #[derive(Clone, Debug, Default)]
 pub struct LevelAdjacency {
     /// `tree[v]`: neighbour → level, for spanning-forest edges at `v`.
-    tree: Vec<HashMap<usize, usize>>,
+    tree: Vec<BTreeMap<usize, usize>>,
     /// `tree_buckets[v]`: level → neighbours, same edges bucketed by level.
-    tree_buckets: Vec<HashMap<usize, Vec<usize>>>,
+    tree_buckets: Vec<BTreeMap<usize, Vec<usize>>>,
     /// `nontree[v]`: level → neighbours, for non-tree edges at `v`.
-    nontree: Vec<HashMap<usize, Vec<usize>>>,
+    nontree: Vec<BTreeMap<usize, Vec<usize>>>,
 }
 
 impl LevelAdjacency {
     /// Empty adjacency over `n` vertices.
     pub fn new(n: usize) -> Self {
         Self {
-            tree: vec![HashMap::new(); n],
-            tree_buckets: vec![HashMap::new(); n],
-            nontree: vec![HashMap::new(); n],
+            tree: vec![BTreeMap::new(); n],
+            tree_buckets: vec![BTreeMap::new(); n],
+            nontree: vec![BTreeMap::new(); n],
         }
     }
 
@@ -48,9 +58,9 @@ impl LevelAdjacency {
     /// them.  A smaller `n` is a no-op.
     pub fn ensure_vertices(&mut self, n: usize) {
         if n > self.tree.len() {
-            self.tree.resize_with(n, HashMap::new);
-            self.tree_buckets.resize_with(n, HashMap::new);
-            self.nontree.resize_with(n, HashMap::new);
+            self.tree.resize_with(n, BTreeMap::new);
+            self.tree_buckets.resize_with(n, BTreeMap::new);
+            self.nontree.resize_with(n, BTreeMap::new);
         }
     }
 
@@ -112,11 +122,13 @@ impl LevelAdjacency {
     }
 
     /// Tree neighbours of `v` with edge level **at least** `level`, touching
-    /// only the qualifying buckets — never the lower-level ones.
+    /// only the qualifying buckets — never the lower-level ones — in
+    /// ascending level order (a deterministic order: the lock-step BFS
+    /// consumes these entries one at a time, and its consumption order picks
+    /// the replacement edge).
     pub fn tree_neighbors_from(&self, v: usize, level: usize) -> impl Iterator<Item = usize> + '_ {
         self.tree_buckets[v]
-            .iter()
-            .filter(move |&(&l, _)| l >= level)
+            .range(level..)
             .flat_map(|(_, bucket)| bucket.iter().copied())
     }
 
@@ -204,13 +216,12 @@ impl LevelAdjacency {
     /// views, the bucketed mirror included, plus the non-tree buckets).
     pub fn memory_bytes(&self) -> usize {
         let word = std::mem::size_of::<usize>();
-        let map_entry = 2 * word + word / 2; // key + value + hashtable slack
-        let tree: usize = self.tree.iter().map(|m| m.capacity() * map_entry).sum();
-        let bucket_bytes = |maps: &Vec<HashMap<usize, Vec<usize>>>| -> usize {
+        let map_entry = 2 * word + word / 2; // key + value + tree-node slack
+        let tree: usize = self.tree.iter().map(|m| m.len() * map_entry).sum();
+        let bucket_bytes = |maps: &Vec<BTreeMap<usize, Vec<usize>>>| -> usize {
             maps.iter()
                 .map(|m| {
-                    m.capacity() * map_entry
-                        + m.values().map(|v| v.capacity() * word).sum::<usize>()
+                    m.len() * map_entry + m.values().map(|v| v.capacity() * word).sum::<usize>()
                 })
                 .sum()
         };

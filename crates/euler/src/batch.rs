@@ -4,8 +4,9 @@
 //! cuts with a phase-concurrent skip list.  This front-end keeps the batch
 //! *interface* (deduplicated, validated batches of links and cuts) and
 //! parallelises the batch preparation (deduplication, validity filtering via
-//! a union-find pre-pass), while the tour splicing itself runs sequentially
-//! over the prepared batch.  `DESIGN.md` §5 records this substitution; the
+//! a union-find pre-pass) — real pool threads once a batch passes the
+//! `worth_parallel` grain, with byte-identical output at every thread count —
+//! while the tour splicing itself runs sequentially over the prepared batch.  `DESIGN.md` §5 records this substitution; the
 //! batch benchmarks measure both this front-end and the UFO batch updates the
 //! same way (wall-clock per batch).
 

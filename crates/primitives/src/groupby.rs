@@ -20,8 +20,8 @@ use crate::worth_parallel;
 /// `O(k)` where `k` is the batch size).
 pub fn group_by_key<K, V>(mut records: Vec<(K, V)>) -> (Vec<(K, V)>, Vec<usize>)
 where
-    K: Ord + Send + Copy,
-    V: Send,
+    K: Ord + Send + Sync + Copy,
+    V: Send + Sync,
 {
     if worth_parallel(records.len()) {
         records.par_sort_by_key(|(k, _)| *k);
@@ -60,7 +60,7 @@ fn boundaries<K: Ord + Copy, V>(records: &[(K, V)]) -> Vec<usize> {
 /// Removes duplicates from an unsorted vector of keys (the paper's
 /// `MapToParents` / `MapToChildren` steps are always followed by a parallel
 /// remove-duplicates pass).
-pub fn remove_duplicates<K: Ord + Send + Copy>(mut keys: Vec<K>) -> Vec<K> {
+pub fn remove_duplicates<K: Ord + Send + Sync + Copy>(mut keys: Vec<K>) -> Vec<K> {
     if worth_parallel(keys.len()) {
         keys.par_sort_unstable();
     } else {

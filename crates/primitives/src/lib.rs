@@ -17,6 +17,7 @@ pub mod groupby;
 pub mod listrank;
 pub mod matching;
 pub mod ops;
+pub mod par;
 pub mod slab;
 pub mod stats;
 
@@ -26,15 +27,6 @@ pub use groupby::{dedup_sorted, group_by_key, group_by_key_seq, remove_duplicate
 pub use listrank::{list_rank, ListNode};
 pub use matching::{match_chain_greedy, match_chains_parallel, ChainMatch};
 pub use ops::{BatchReport, DeleteOutcome, EdgeKind, GraphError, GraphOp, OpOutcome};
+pub use par::{chunk_ranges, worth_parallel, ParallelConfig, CHUNK_GRAIN, PAR_GRAIN};
 pub use slab::SharedSlab;
 pub use stats::{vec_bytes, OnlineStats};
-
-/// The crate-wide threshold below which we stay sequential: parallelising tiny
-/// batches costs more in scheduling than it saves.
-pub const PAR_GRAIN: usize = 2048;
-
-/// Returns `true` when a batch of `len` items is worth processing in parallel.
-#[inline]
-pub fn worth_parallel(len: usize) -> bool {
-    len >= PAR_GRAIN && rayon::current_num_threads() > 1
-}

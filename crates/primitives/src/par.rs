@@ -1,0 +1,193 @@
+//! Parallel-execution configuration: grain sizes and worker fan-out.
+//!
+//! Every parallel path in the workspace sits behind a *grain check*: below a
+//! threshold batch size, scheduling overhead exceeds the work, so the code
+//! takes the sequential path it would use anyway.  With the rayon shim now
+//! backed by a real pool ([`rayon::current_num_threads`] reports the true
+//! size), these thresholds are load-bearing, so they live here as one
+//! documented, overridable [`ParallelConfig`] instead of scattered
+//! constants.  The engine layers thread a config through their batch entry
+//! points; the free function [`worth_parallel`] keeps the historical
+//! call-site API and uses the defaults.
+//!
+//! Changing the config never changes *results* — only which of two
+//! byte-identical code paths (sequential or chunked-parallel) computes them.
+
+/// Default minimum batch length before any batch layer goes parallel.
+/// Measured against the cost of waking pool workers for a chunk: below ~2k
+/// items even a 2-chunk fan-out loses to the plain loop.
+pub const PAR_GRAIN: usize = 2048;
+
+/// Default minimum number of items per worker chunk in the batch pre-pass.
+/// Smaller chunks would multiply per-chunk fixed costs (a sparse DSU
+/// allocation, one queue round-trip) past the work they carry.
+pub const CHUNK_GRAIN: usize = 512;
+
+/// Tunables for the parallel batch paths.
+///
+/// `threads == 0` (the default) means "use the whole rayon pool"; any other
+/// value caps the fan-out of the configured component without touching the
+/// global pool — the `parallel_scaling` benchmark uses this to measure the
+/// same pool at several effective widths in one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker fan-out cap; 0 = the rayon pool size.
+    pub threads: usize,
+    /// Minimum batch length before the batch layers go parallel.
+    pub batch_grain: usize,
+    /// Minimum number of items per pre-pass chunk.
+    pub chunk_grain: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            batch_grain: PAR_GRAIN,
+            chunk_grain: CHUNK_GRAIN,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config that forces every gated path sequential regardless of pool
+    /// size (the 1-thread reference the determinism tests compare against).
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Default grains with an explicit fan-out cap.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The fan-out this config asks for: its own `threads`, or the pool size
+    /// when unset.  Deliberately **not** clamped to the pool: a cap above
+    /// the pool size still splits batches into that many chunks (they just
+    /// share the available workers), so tests can force the chunked code
+    /// paths deterministically even on a single-threaded pool — where the
+    /// chunks run inline, byte-identical by construction.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Whether a batch of `len` items is worth processing in parallel under
+    /// this config.
+    #[inline]
+    pub fn worth(&self, len: usize) -> bool {
+        len >= self.batch_grain && self.effective_and_wide()
+    }
+
+    /// Number of chunks to split a `len`-item batch into: at most one per
+    /// effective thread, and never so many that a chunk drops below
+    /// [`chunk_grain`](Self::chunk_grain) items.
+    pub fn chunks_for(&self, len: usize) -> usize {
+        let by_grain = len / self.chunk_grain.max(1);
+        self.effective_threads().min(by_grain).max(1)
+    }
+
+    fn effective_and_wide(&self) -> bool {
+        // `threads == 1` pins sequential even on a wide pool; a capped
+        // config on a 1-thread pool is still sequential.
+        self.effective_threads() > 1
+    }
+}
+
+/// Splits `0..len` into `chunks` contiguous ranges whose lengths differ by
+/// at most one (never an empty or out-of-bounds range for `chunks ≤ len`).
+/// The one canonical balanced split for every chunked batch path — a
+/// hand-rolled ceil-division split once sent trailing chunks past the end
+/// of the batch.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.max(1);
+    let (base, rem) = (len / chunks, len % chunks);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for c in 0..chunks {
+        let hi = lo + base + usize::from(c < rem);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
+/// Returns `true` when a batch of `len` items is worth processing in
+/// parallel under the default grain ([`PAR_GRAIN`]) on the global pool.
+#[inline]
+pub fn worth_parallel(len: usize) -> bool {
+    ParallelConfig::default().worth(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batches_stay_sequential_at_any_width() {
+        // The dead-constant regression this module fixes: grains must gate
+        // even when a wide fan-out is requested.
+        for threads in [0, 1, 2, 8, 64] {
+            let cfg = ParallelConfig::with_threads(threads);
+            assert!(!cfg.worth(0));
+            assert!(!cfg.worth(1));
+            assert!(!cfg.worth(PAR_GRAIN - 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_config_never_parallelizes() {
+        let cfg = ParallelConfig::sequential();
+        assert!(!cfg.worth(usize::MAX));
+        assert_eq!(cfg.effective_threads(), 1);
+    }
+
+    #[test]
+    fn fan_out_is_bounded_by_pool_and_grain() {
+        let cfg = ParallelConfig {
+            threads: 4,
+            batch_grain: 8,
+            chunk_grain: 16,
+        };
+        assert_eq!(cfg.chunks_for(0), 1);
+        assert_eq!(cfg.chunks_for(31), 1);
+        assert!(cfg.chunks_for(32) <= 2);
+        assert!(cfg.chunks_for(10_000) <= 4, "cap respected");
+        // an explicit cap is honoured verbatim (not clamped to the pool), so
+        // tests can force the chunked paths on any machine
+        let wide = ParallelConfig::with_threads(1024);
+        assert_eq!(wide.effective_threads(), 1024);
+        assert!(wide.worth(wide.batch_grain));
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly_even_when_oversplit() {
+        for (len, chunks) in [(0, 1), (1, 1), (10, 3), (100, 64), (12, 8), (81, 10)] {
+            let ranges = chunk_ranges(len, chunks);
+            assert_eq!(ranges.len(), chunks.max(1));
+            let mut expect = 0;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, expect, "len={len} chunks={chunks}");
+                assert!(hi >= lo && hi <= len, "len={len} chunks={chunks}");
+                expect = hi;
+            }
+            assert_eq!(expect, len);
+        }
+    }
+
+    #[test]
+    fn worth_parallel_matches_default_config() {
+        for len in [0, 1, PAR_GRAIN - 1, PAR_GRAIN, 10 * PAR_GRAIN] {
+            assert_eq!(worth_parallel(len), ParallelConfig::default().worth(len));
+        }
+    }
+}

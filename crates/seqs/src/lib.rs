@@ -30,7 +30,10 @@ pub type Handle = usize;
 ///
 /// All operations may restructure the sequence internally (splay trees do so
 /// on every access), hence the `&mut self` receivers even on queries.
-pub trait DynSequence<M: CommutativeMonoid = SumMinMax> {
+/// Implementations must be `Send + Sync` so forests built over them qualify
+/// as connectivity backends, which cross into the batch pre-pass thread pool
+/// by shared reference (plain owned node arrays satisfy this automatically).
+pub trait DynSequence<M: CommutativeMonoid = SumMinMax>: Send + Sync {
     /// Creates an empty structure (no nodes).
     fn new() -> Self;
 

@@ -7,6 +7,10 @@
 //! normalisation (deduplication, self-loop and cycle filtering) and
 //! batch-query evaluation — while the per-level restructuring itself reuses
 //! the sequential core with a single deferred summary-refresh pass per batch.
+//! With the rayon shim now backed by a real pool these phases execute on
+//! worker threads once a batch passes the `worth_parallel` grain; results
+//! are byte-identical at every thread count (the combinators are
+//! order-preserving and the parallel sorts produce the stable permutation).
 //! `DESIGN.md` §4.4 records this deviation: the benchmark comparisons in
 //! Figures 8, 9 and 16 run every batch structure through the same interface,
 //! so the relative comparison is preserved, but the absolute parallel speedup

@@ -1,0 +1,100 @@
+//! Cross-thread-count determinism: the parallel batch paths must produce
+//! **byte-identical** results at every pool width and fan-out.
+//!
+//! Two layers of defence:
+//! * the CI thread matrix runs the whole workspace test suite (including the
+//!   differential and proptest oracles) under `DYNTREE_THREADS=1`, `2` and
+//!   `8`, so any thread-count-dependent divergence fails an entire CI leg;
+//! * this file varies the *effective* fan-out in-process via
+//!   [`ParallelConfig`] with grains forced low, so the chunked pre-pass and
+//!   the parallel sorts are exercised (and compared against the sequential
+//!   reference) on every machine, even when the global pool has one thread.
+
+use dyntree_connectivity::{DynConnectivity, SpanningBackend};
+use dyntree_primitives::algebra::SumMinMax;
+use dyntree_primitives::{group_by_key, remove_duplicates, GraphOp, ParallelConfig};
+use dyntree_workloads::{churn_stream, road_grid_graph, sliding_window_stream, temporal_graph};
+use ufo_forest::UfoForest;
+
+/// A low-grain config: parallel code paths engage on small batches.
+fn forced(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        batch_grain: 16,
+        chunk_grain: 8,
+    }
+}
+
+fn replay<B: SpanningBackend<Weights = SumMinMax>>(
+    batches: &[Vec<GraphOp>],
+    cfg: ParallelConfig,
+) -> (Vec<String>, usize, usize) {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
+    let mut lines = Vec::new();
+    for batch in batches {
+        let report = engine.apply(batch);
+        // the Debug rendering covers every per-op outcome byte-for-byte
+        lines.push(format!("{:?}", report.outcomes));
+    }
+    engine.check_invariants().unwrap();
+    (lines, engine.component_count(), engine.num_edges())
+}
+
+#[test]
+fn apply_reports_are_identical_across_fanouts() {
+    let temporal = temporal_graph(600, 3, 17);
+    let stream = sliding_window_stream(&temporal, 256, 0.1, 23);
+    let batches = stream.graph_op_batches(512);
+    let reference = replay::<UfoForest>(&batches, ParallelConfig::sequential());
+    for threads in [2, 4, 8] {
+        let wide = replay::<UfoForest>(&batches, forced(threads));
+        assert_eq!(wide, reference, "fan-out {threads} diverged");
+    }
+    // and the default config (whatever DYNTREE_THREADS says) agrees too
+    let default = replay::<UfoForest>(&batches, ParallelConfig::default());
+    assert_eq!(default, reference);
+}
+
+#[test]
+fn churn_stream_batches_are_identical_across_fanouts() {
+    let road = road_grid_graph(16, 5);
+    let stream = churn_stream(&road, 2_000, 0.9, 0.1, 7);
+    let batches = stream.graph_op_batches(1024);
+    let reference = replay::<UfoForest>(&batches, ParallelConfig::sequential());
+    let wide = replay::<UfoForest>(&batches, forced(8));
+    assert_eq!(wide, reference);
+    let lct = replay::<dyntree_linkcut::LinkCutForest>(&batches, forced(8));
+    let lct_ref = replay::<dyntree_linkcut::LinkCutForest>(&batches, ParallelConfig::sequential());
+    assert_eq!(lct, lct_ref, "snapshot-less backend diverged");
+}
+
+#[test]
+fn grouping_primitives_are_identical_across_pool_widths() {
+    // These run on the *global* pool, so this assertion is only interesting
+    // under DYNTREE_THREADS>1 (the CI matrix) — but it must also hold, and
+    // does trivially, on a 1-thread pool.
+    let records: Vec<(u32, u32)> = (0..40_000u32).map(|i| ((i * 31) % 257, i)).collect();
+    let (par, par_off) = group_by_key(records.clone());
+    let mut seq = records.clone();
+    seq.sort_by_key(|&(k, _)| k);
+    assert_eq!(
+        par, seq,
+        "group_by_key must equal the stable sequential sort"
+    );
+    assert_eq!(par_off.len(), 258);
+
+    let keys: Vec<u64> = (0..30_000u64).map(|i| i % 613).collect();
+    let mut expected: Vec<u64> = (0..613).collect();
+    expected.sort_unstable();
+    assert_eq!(remove_duplicates(keys), expected);
+}
+
+#[test]
+fn worth_parallel_still_gates_small_batches() {
+    // the engine must take the sequential pre-pass for tiny batches no
+    // matter how wide the pool is — outcome equality is checked above, this
+    // pins the *config* contract satellite
+    let cfg = ParallelConfig::with_threads(64);
+    assert!(!cfg.worth(cfg.batch_grain - 1));
+    assert!(!ParallelConfig::sequential().worth(1 << 30));
+}
