@@ -1,27 +1,30 @@
-//! Thread-scaling of `DynConnectivity::apply` on the 64k-op insert/delete
-//! trace: the same 8-worker pool measured at effective widths 1/2/4/8 via
-//! `ParallelConfig::with_threads`.  Results are recorded to
-//! `baselines/parallel_scaling.json` by the `parallel_scaling_baseline`
+//! Thread-scaling of `DynConnectivity::apply` on the insert-heavy and the
+//! delete-heavy 64k-op traces: the same 8-worker pool measured at effective
+//! widths 1/2/4/8 via `ParallelConfig::with_threads`.  Results are recorded
+//! to `baselines/parallel_scaling.json` by the `parallel_scaling_baseline`
 //! binary and guarded by the `bench_gate` CI step; under `cargo test` each
 //! cell runs once as a smoke test.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dyntree_bench::{parallel_scaling_apply_time, parallel_scaling_trace, ConnBackend};
+use dyntree_bench::{
+    parallel_scaling_apply_time, parallel_scaling_delete_trace, parallel_scaling_trace, ConnBackend,
+};
 
 fn bench_parallel_scaling(c: &mut Criterion) {
     let _ = rayon::ThreadPoolBuilder::new()
         .num_threads(8)
         .build_global();
-    let (trace, ops) = parallel_scaling_trace();
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(3);
-    for backend in [ConnBackend::Ufo, ConnBackend::LinkCut] {
-        for threads in [1usize, 2, 4, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("apply/{}/{trace}", backend.name()), threads),
-                &threads,
-                |b, &t| b.iter(|| parallel_scaling_apply_time(backend, &ops, t)),
-            );
+    for (trace, ops) in [parallel_scaling_trace(), parallel_scaling_delete_trace()] {
+        for backend in [ConnBackend::Ufo, ConnBackend::LinkCut] {
+            for threads in [1usize, 2, 4, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("apply/{}/{trace}", backend.name()), threads),
+                    &threads,
+                    |b, &t| b.iter(|| parallel_scaling_apply_time(backend, &ops, t)),
+                );
+            }
         }
     }
     group.finish();

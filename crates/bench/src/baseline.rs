@@ -10,9 +10,9 @@
 
 use crate::{
     batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, connectivity_bench_streams,
-    parallel_scaling_apply_time, parallel_scaling_trace, stream_batch_replay_time,
-    stream_replay_time, weighted_bench_forests, weighted_path_query_time, ConnBackend,
-    WeightedBackend,
+    parallel_scaling_apply_time, parallel_scaling_delete_trace, parallel_scaling_trace,
+    stream_batch_replay_time, stream_replay_time, weighted_bench_forests, weighted_path_query_time,
+    ConnBackend, WeightedBackend,
 };
 use dyntree_primitives::ParallelConfig;
 
@@ -253,26 +253,28 @@ pub fn weighted_path_query_rows() -> Baseline {
 }
 
 /// Measures the `parallel_scaling` workload: `apply` throughput over the
-/// 64k-op trace at effective widths 1/2/4/8 on one shared pool.
+/// insert-heavy and the delete-heavy 64k-op traces at effective widths
+/// 1/2/4/8 on one shared pool.
 pub fn parallel_scaling_rows() -> Baseline {
     let reps = bench_reps();
-    let (name, ops) = parallel_scaling_trace();
-    let n = ops.len() as f64;
     let mut results = Vec::new();
-    for backend in [ConnBackend::Ufo, ConnBackend::LinkCut] {
-        for threads in [1usize, 2, 4, 8] {
-            let t = best_of(reps, || {
-                parallel_scaling_apply_time(backend, &ops, threads).0
-            });
-            results.push(BaselineRow {
-                id: vec![
-                    ("trace".into(), name.clone()),
-                    ("ops".into(), ops.len().to_string()),
-                    ("backend".into(), backend.name().into()),
-                    ("threads".into(), threads.to_string()),
-                ],
-                metrics: vec![("apply_ops_per_s".into(), n / t)],
-            });
+    for (name, ops) in [parallel_scaling_trace(), parallel_scaling_delete_trace()] {
+        let n = ops.len() as f64;
+        for backend in [ConnBackend::Ufo, ConnBackend::LinkCut] {
+            for threads in [1usize, 2, 4, 8] {
+                let t = best_of(reps, || {
+                    parallel_scaling_apply_time(backend, &ops, threads).0
+                });
+                results.push(BaselineRow {
+                    id: vec![
+                        ("trace".into(), name.clone()),
+                        ("ops".into(), ops.len().to_string()),
+                        ("backend".into(), backend.name().into()),
+                        ("threads".into(), threads.to_string()),
+                    ],
+                    metrics: vec![("apply_ops_per_s".into(), n / t)],
+                });
+            }
         }
     }
     Baseline {
@@ -458,5 +460,46 @@ mod tests {
             .count();
         assert!(inserts > 50_000, "insert-heavy: {inserts}");
         assert!(deletes > 5_000, "with real deletes: {deletes}");
+    }
+
+    #[test]
+    fn delete_scaling_trace_has_the_advertised_shape() {
+        let (name, ops) = crate::parallel_scaling_delete_trace();
+        assert_eq!(name, "SCALE-DEL-64k");
+        assert_eq!(ops.len(), 65_536);
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, dyntree_primitives::GraphOp::DeleteEdge(..)))
+            .count();
+        // deletions dominate the churn half of the trace …
+        assert!(deletes > 25_000, "delete-heavy: {deletes}");
+        // … in long consecutive runs past the default delete grain
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for op in &ops {
+            if matches!(op, dyntree_primitives::GraphOp::DeleteEdge(..)) {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(
+            longest >= dyntree_primitives::DELETE_GRAIN,
+            "longest delete run {longest} below the delete grain"
+        );
+        // every delete targets a then-live edge (drain certificates fire)
+        let mut live = std::collections::HashSet::new();
+        for op in &ops {
+            match *op {
+                dyntree_primitives::GraphOp::InsertEdge(u, v) if u != v => {
+                    live.insert((u.min(v), u.max(v)));
+                }
+                dyntree_primitives::GraphOp::DeleteEdge(u, v) => {
+                    assert!(live.remove(&(u.min(v), u.max(v))), "dead delete ({u},{v})");
+                }
+                _ => {}
+            }
+        }
     }
 }

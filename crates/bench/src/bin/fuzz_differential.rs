@@ -1,0 +1,233 @@
+//! Differential fuzz harness for the batch-dynamic connectivity engine.
+//!
+//! Replays [`FuzzTraceGen`] traces — adversarial star/chain/clique bursts,
+//! mixed churn and delete-heavy teardown phases, invalid ops included —
+//! through `DynConnectivity::apply` on the ufo, link-cut, Euler-tour and
+//! naive backends, and diffs the **full `BatchReport` renderings** between
+//! all of them, against a one-op-at-a-time naive-oracle replay, and (for the
+//! snapshot-capable ufo backend) between the sequential and a forced-wide
+//! parallel configuration.  Any divergence prints the reproducing seed and
+//! the first differing operation, then exits non-zero.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin fuzz_differential
+//! -- [--seeds 32] [--ops 20000] [--start-seed 1] [--batch 1024]
+//! [--vertices 96]`
+//!
+//! CI runs the default 32 seeds × 20 000 ops on every thread-matrix leg
+//! (`DYNTREE_THREADS` ∈ {1, 2, 8}), so the whole scenario space is checked
+//! at several pool widths per push.
+
+use dyntree_connectivity::{DynConnectivity, SpanningBackend};
+use dyntree_naive::NaiveForest;
+use dyntree_primitives::algebra::SumMinMax;
+use dyntree_primitives::ops::{GraphOp, OpOutcome};
+use dyntree_primitives::ParallelConfig;
+use dyntree_seqs::TreapSequence;
+use dyntree_workloads::FuzzTraceGen;
+
+/// Everything one replay produces that another replay must reproduce.
+struct Run {
+    /// Full `BatchReport` Debug renderings, one per applied batch.
+    reports: Vec<String>,
+    /// Per-op outcomes, flattened across batches (comparable against the
+    /// singleton oracle, whose batches are all of size one).
+    outcomes: Vec<OpOutcome>,
+    components: usize,
+    edges: usize,
+    invariant_error: Option<String>,
+}
+
+fn replay<B: SpanningBackend<Weights = SumMinMax>>(
+    batches: &[Vec<GraphOp>],
+    cfg: ParallelConfig,
+) -> Run {
+    let mut g: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
+    let mut reports = Vec::with_capacity(batches.len());
+    let mut outcomes = Vec::new();
+    for batch in batches {
+        let report = g.apply(batch);
+        outcomes.extend(report.outcomes.iter().copied());
+        reports.push(format!("{report:?}"));
+    }
+    Run {
+        reports,
+        outcomes,
+        components: g.component_count(),
+        edges: g.num_edges(),
+        invariant_error: g.check_invariants().err(),
+    }
+}
+
+/// The ground truth: the naive backend fed one op at a time.
+fn oracle(batches: &[Vec<GraphOp>]) -> Run {
+    let singletons: Vec<Vec<GraphOp>> = batches.iter().flatten().map(|&op| vec![op]).collect();
+    replay::<NaiveForest>(&singletons, ParallelConfig::sequential())
+}
+
+/// Reports the first divergence between two runs; `true` when they agree.
+/// `reports_comparable` is false against the oracle, whose batch boundaries
+/// (all singletons) legitimately differ.
+fn diff(
+    seed: u64,
+    name: &str,
+    reference: &str,
+    a: &Run,
+    b: &Run,
+    reports_comparable: bool,
+) -> bool {
+    let mut ok = true;
+    if let Some(err) = &a.invariant_error {
+        println!("seed {seed}: [{name}] invariant violation: {err}");
+        ok = false;
+    }
+    if a.outcomes != b.outcomes {
+        let at = a
+            .outcomes
+            .iter()
+            .zip(&b.outcomes)
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.outcomes.len().min(b.outcomes.len()));
+        println!(
+            "seed {seed}: [{name}] outcome diverges from [{reference}] at op {at}: {:?} vs {:?}",
+            a.outcomes.get(at),
+            b.outcomes.get(at),
+        );
+        ok = false;
+    }
+    if reports_comparable && a.reports != b.reports {
+        let at = a
+            .reports
+            .iter()
+            .zip(&b.reports)
+            .position(|(x, y)| x != y)
+            .unwrap_or(0);
+        println!(
+            "seed {seed}: [{name}] BatchReport rendering diverges from [{reference}] at batch {at}:\n  {}\n  {}",
+            a.reports.get(at).map_or("<none>", |s| s.as_str()),
+            b.reports.get(at).map_or("<none>", |s| s.as_str()),
+        );
+        ok = false;
+    }
+    if (a.components, a.edges) != (b.components, b.edges) {
+        println!(
+            "seed {seed}: [{name}] final state ({} components, {} edges) != [{reference}] ({}, {})",
+            a.components, a.edges, b.components, b.edges
+        );
+        ok = false;
+    }
+    ok
+}
+
+fn main() {
+    let mut seeds = 32u64;
+    let mut ops = 20_000usize;
+    let mut start_seed = 1u64;
+    let mut batch = 1_024usize;
+    let mut vertices = 96usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut grab = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => seeds = grab("--seeds").parse().expect("--seeds: u64"),
+            "--ops" => ops = grab("--ops").parse().expect("--ops: usize"),
+            "--start-seed" => start_seed = grab("--start-seed").parse().expect("--start-seed: u64"),
+            "--batch" => batch = grab("--batch").parse().expect("--batch: usize"),
+            "--vertices" => vertices = grab("--vertices").parse().expect("--vertices: usize"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: fuzz_differential [--seeds N] [--ops N] \
+                     [--start-seed S] [--batch B] [--vertices V]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A forced-wide config: the chunked delete/insert pre-passes engage on
+    // every real batch regardless of pool width (chunks run inline on a
+    // 1-thread pool, byte-identical by construction).
+    let wide = ParallelConfig {
+        threads: 8,
+        batch_grain: 64,
+        chunk_grain: 16,
+        delete_grain: 32,
+    };
+
+    println!(
+        "fuzz_differential: {seeds} seeds x {ops} ops (start seed {start_seed}, batch {batch}, \
+         {vertices} vertices, pool of {})",
+        rayon::current_num_threads()
+    );
+    let mut divergences = 0usize;
+    for seed in start_seed..start_seed + seeds {
+        // alternate profiles: even seeds mixed churn, odd seeds delete-heavy
+        let mut gen = FuzzTraceGen::new(seed)
+            .with_ops(ops)
+            .with_vertices(vertices);
+        if seed % 2 == 1 {
+            gen = gen.delete_heavy();
+        }
+        let batches = gen.batches(batch);
+        let truth = oracle(&batches);
+        let mut seed_ok = true;
+        // the ground truth itself must be internally consistent, or every
+        // comparison below is vacuous
+        if let Some(err) = &truth.invariant_error {
+            println!("seed {seed}: [oracle] invariant violation: {err}");
+            seed_ok = false;
+        }
+
+        let runs = [
+            (
+                "ufo",
+                replay::<ufo_forest::UfoForest>(&batches, ParallelConfig::default()),
+            ),
+            (
+                "ufo-seq",
+                replay::<ufo_forest::UfoForest>(&batches, ParallelConfig::sequential()),
+            ),
+            ("ufo-wide", replay::<ufo_forest::UfoForest>(&batches, wide)),
+            (
+                "linkcut",
+                replay::<dyntree_linkcut::LinkCutForest>(&batches, ParallelConfig::default()),
+            ),
+            (
+                "euler-treap",
+                replay::<dyntree_euler::EulerTourForest<TreapSequence>>(
+                    &batches,
+                    ParallelConfig::default(),
+                ),
+            ),
+            (
+                "naive",
+                replay::<NaiveForest>(&batches, ParallelConfig::default()),
+            ),
+        ];
+        for (name, run) in &runs {
+            // identical batching across backends/configs: full BatchReport
+            // renderings must be byte-identical to the first run's …
+            seed_ok &= diff(seed, name, runs[0].0, run, &runs[0].1, true);
+            // … and per-op outcomes + final state must match the oracle
+            seed_ok &= diff(seed, name, "oracle", run, &truth, false);
+        }
+        if seed_ok {
+            println!(
+                "seed {seed}: ok ({} ops, {} components, {} edges)",
+                truth.outcomes.len(),
+                truth.components,
+                truth.edges
+            );
+        } else {
+            divergences += 1;
+            println!("seed {seed}: DIVERGED (reproduce with --start-seed {seed} --seeds 1)");
+        }
+    }
+    if divergences > 0 {
+        println!("fuzz_differential: FAILED — {divergences} diverging seed(s)");
+        std::process::exit(1);
+    }
+    println!("fuzz_differential: zero divergences over {seeds} seeds x {ops} ops");
+}

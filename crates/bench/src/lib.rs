@@ -561,6 +561,69 @@ pub fn parallel_scaling_trace() -> (String, Vec<GraphOp>) {
     ("SCALE-64k".to_string(), ops)
 }
 
+/// The delete-heavy companion to [`parallel_scaling_trace`]: after the same
+/// spanning chain over 8192 vertices, a dense 12k-edge insert phase seeds a
+/// large non-tree population, and the remaining ops alternate one 1024-edge
+/// insert burst with one 3072-edge delete burst over the live edge set — so
+/// deletions dominate the churn and every 8192-op transaction contains
+/// consecutive delete runs far past the default `delete_grain`, driving the
+/// classification pre-pass and the parallel non-tree drain.
+pub fn parallel_scaling_delete_trace() -> (String, Vec<GraphOp>) {
+    const N: usize = 8192;
+    const TOTAL: usize = 65_536;
+    let mut ops: Vec<GraphOp> = Vec::with_capacity(TOTAL);
+    ops.push(GraphOp::AddVertices(N));
+    // `live` tracks canonically-oriented distinct edges, so every delete the
+    // trace emits targets a then-live edge (the drain path, not the
+    // missing-edge skip, is what this trace measures).
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    let mut live_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut x = 0x00D1_E5CA_1E64_B17E_u64;
+    let mut rand = move |m: usize| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) as usize) % m
+    };
+    for i in 0..N - 1 {
+        ops.push(GraphOp::InsertEdge(i, i + 1));
+        live.push((i, i + 1));
+        live_set.insert((i, i + 1));
+    }
+    let insert = |ops: &mut Vec<GraphOp>,
+                  live: &mut Vec<(usize, usize)>,
+                  live_set: &mut std::collections::HashSet<(usize, usize)>,
+                  u: usize,
+                  v: usize| {
+        ops.push(GraphOp::InsertEdge(u, v));
+        if u != v && live_set.insert((u.min(v), u.max(v))) {
+            live.push((u.min(v), u.max(v)));
+        }
+    };
+    for _ in 0..12_288 {
+        let (u, v) = (rand(N), rand(N));
+        insert(&mut ops, &mut live, &mut live_set, u, v);
+    }
+    while ops.len() < TOTAL {
+        for _ in 0..1024 {
+            if ops.len() >= TOTAL {
+                break;
+            }
+            let (u, v) = (rand(N), rand(N));
+            insert(&mut ops, &mut live, &mut live_set, u, v);
+        }
+        for _ in 0..3072 {
+            if ops.len() >= TOTAL || live.is_empty() {
+                break;
+            }
+            let (u, v) = live.swap_remove(rand(live.len()));
+            live_set.remove(&(u, v));
+            ops.push(GraphOp::DeleteEdge(u, v));
+        }
+    }
+    ("SCALE-DEL-64k".to_string(), ops)
+}
+
 /// Applies the scaling trace in 8192-op transactions with the fan-out
 /// capped at `threads`; returns elapsed seconds and a checksum.  The
 /// checksum is thread-count-invariant — the determinism tests rely on it.

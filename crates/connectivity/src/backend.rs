@@ -16,6 +16,7 @@ use dyntree_euler::{BatchEulerForest, EulerTourForest};
 use dyntree_linkcut::LinkCutForest;
 use dyntree_naive::NaiveForest;
 use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax, WeightOf};
+use dyntree_primitives::ops::EdgeKind;
 use dyntree_seqs::DynSequence;
 use ufo_forest::{TopologyForest, UfoForest};
 
@@ -92,6 +93,23 @@ pub trait SpanningBackend: Send + Sync {
         None
     }
 
+    /// Read-only probe of the current spanning forest for the delete
+    /// pre-pass: `Some(EdgeKind::Tree)` when `(u, v)` is an edge of the
+    /// backend's forest, `Some(EdgeKind::NonTree)` when it is not (the
+    /// caller combines this with its own edge registry to tell a live
+    /// non-tree edge from a missing one), and `None` when the backend cannot
+    /// answer without `&mut self` (splay-based structures, which also report
+    /// [`SNAPSHOT_QUERIES`](Self::SNAPSHOT_QUERIES)` = false`).
+    ///
+    /// Like [`connected_snapshot`](Self::connected_snapshot), this is probed
+    /// concurrently from pool workers, always strictly before any mutation
+    /// of the same batch, so implementations only need plain shared-read
+    /// safety.
+    fn edge_kind_snapshot(&self, u: usize, v: usize) -> Option<EdgeKind> {
+        let _ = (u, v);
+        None
+    }
+
     /// Sets the weight of vertex `v`.  Returns whether the backend actually
     /// recorded it; the default declines, so an unweighted backend can never
     /// silently swallow weights.
@@ -153,6 +171,13 @@ impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
     fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
         Some(UfoForest::connected(self, u, v))
     }
+    fn edge_kind_snapshot(&self, u: usize, v: usize) -> Option<EdgeKind> {
+        Some(if UfoForest::has_edge(self, u, v) {
+            EdgeKind::Tree
+        } else {
+            EdgeKind::NonTree
+        })
+    }
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         UfoForest::set_weight(self, v, w);
         true
@@ -199,6 +224,13 @@ impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
     fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
         Some(TopologyForest::connected(self, u, v))
     }
+    fn edge_kind_snapshot(&self, u: usize, v: usize) -> Option<EdgeKind> {
+        Some(if TopologyForest::has_edge(self, u, v) {
+            EdgeKind::Tree
+        } else {
+            EdgeKind::NonTree
+        })
+    }
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         TopologyForest::set_weight(self, v, w);
         true
@@ -226,6 +258,9 @@ impl<M: CommutativeMonoid> SpanningBackend for LinkCutForest<M> {
     // Link-cut trees aggregate preferred paths, not whole trees (Table 1's
     // "no subtree queries" row).
     const SUPPORTS_COMPONENT_AGG: bool = false;
+    // SNAPSHOT_QUERIES stays false: splaying restructures on every access,
+    // so `connected_snapshot` / `edge_kind_snapshot` keep their declining
+    // defaults and the batch layers take the sequential walk.
 
     fn new(n: usize) -> Self {
         LinkCutForest::new(n)
@@ -363,6 +398,13 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     fn connected_snapshot(&self, u: usize, v: usize) -> Option<bool> {
         Some(NaiveForest::connected(self, u, v))
     }
+    fn edge_kind_snapshot(&self, u: usize, v: usize) -> Option<EdgeKind> {
+        Some(if NaiveForest::has_edge(self, u, v) {
+            EdgeKind::Tree
+        } else {
+            EdgeKind::NonTree
+        })
+    }
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         NaiveForest::set_weight(self, v, w);
         true
@@ -481,6 +523,34 @@ mod tests {
             }
             if let Some(agg) = b.path_agg(0, 2) {
                 assert_eq!(agg.max, 9, "{}", B::NAME);
+            }
+        }
+        go::<UfoForest>();
+        go::<TopologyForest>();
+        go::<LinkCutForest>();
+        go::<EulerTourForest<TreapSequence>>();
+        go::<BatchEulerForest<TreapSequence>>();
+        go::<NaiveForest>();
+    }
+
+    #[test]
+    fn snapshot_probes_answer_iff_advertised() {
+        fn go<B: SpanningBackend>() {
+            let mut b = B::new(4);
+            b.link(0, 1);
+            let conn = b.connected_snapshot(0, 1);
+            let kind = b.edge_kind_snapshot(0, 1);
+            assert_eq!(conn.is_some(), B::SNAPSHOT_QUERIES, "{}", B::NAME);
+            assert_eq!(kind.is_some(), B::SNAPSHOT_QUERIES, "{}", B::NAME);
+            if B::SNAPSHOT_QUERIES {
+                assert_eq!(conn, Some(true), "{}", B::NAME);
+                assert_eq!(kind, Some(EdgeKind::Tree), "{}", B::NAME);
+                // a connected pair without a direct forest edge is NonTree …
+                b.link(1, 2);
+                assert_eq!(b.edge_kind_snapshot(0, 2), Some(EdgeKind::NonTree));
+                // … and so is a disconnected pair (the caller's edge registry
+                // tells live non-tree edges from missing ones)
+                assert_eq!(b.edge_kind_snapshot(0, 3), Some(EdgeKind::NonTree));
             }
         }
         go::<UfoForest>();

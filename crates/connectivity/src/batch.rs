@@ -16,7 +16,7 @@
 //! grows — so the outcomes are byte-identical to the sequential pre-pass at
 //! every thread count and chunk split; see `DESIGN.md` §8.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dyntree_primitives::algebra::WeightOf;
 use dyntree_primitives::ops::{BatchReport, EdgeKind, GraphError, GraphOp, OpOutcome};
@@ -30,6 +30,27 @@ use crate::Vertex;
 /// The [`GraphOp`] type a `DynConnectivity<B>` engine accepts: weights are
 /// drawn from the backend's monoid.
 pub type OpOf<B> = GraphOp<WeightOf<<B as SpanningBackend>::Weights>>;
+
+/// What the delete pre-pass concluded about one pair of a delete run,
+/// against the pre-batch state (with in-run duplicate accounting).
+///
+/// Public only as test instrumentation for the classification proptests;
+/// hidden from docs.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeleteClass {
+    /// Self loop or out-of-range endpoint: rejected without touching state.
+    Invalid(GraphError),
+    /// Not live at its application moment (dead pre-batch, or an earlier op
+    /// of the same run already deletes it): a benign skip.
+    Missing,
+    /// Live non-tree edge — drainable without the replacement search,
+    /// unless an earlier in-run tree deletion promotes it first.
+    NonTree,
+    /// Live spanning-forest edge: must take the sequential HDT replacement
+    /// search.
+    Tree,
+}
 
 impl<B: SpanningBackend> DynConnectivity<B> {
     /// Applies a batch of edge insertions.  Self loops and duplicates (within
@@ -118,15 +139,247 @@ impl<B: SpanningBackend> DynConnectivity<B> {
 
     /// Applies a batch of edge deletions.  Returns the number of edges
     /// actually removed.
+    ///
+    /// Runs past the [`ParallelConfig::delete_grain`](dyntree_primitives::ParallelConfig::delete_grain)
+    /// take the same classification pre-pass + non-tree drain as `apply`'s
+    /// consecutive delete runs; the removals performed are **defined** to
+    /// equal deleting the normalized batch one edge at a time.
     pub fn batch_delete(&mut self, edges: &[(Vertex, Vertex)]) -> usize {
         let batch = normalize(edges, self.len());
         let mut applied = 0;
-        for &(u, v) in &batch {
-            if self.delete_edge(u, v) {
-                applied += 1;
+        self.apply_delete_pairs(&batch, |outcome| applied += outcome.is_applied() as usize);
+        applied
+    }
+
+    /// Applies one run of edge deletions in order, reporting one
+    /// [`OpOutcome`] per pair — the shared core of `apply`'s consecutive
+    /// `DeleteEdge` runs and [`batch_delete`](Self::batch_delete).
+    ///
+    /// Below the [`ParallelConfig::delete_grain`](dyntree_primitives::ParallelConfig::delete_grain) (or for backends without
+    /// read-only snapshot probes) this is the plain sequential walk.  Past
+    /// it, a chunked **classification pre-pass**
+    /// ([`classify_delete_pairs`](Self::classify_delete_pairs)) labels every
+    /// pair missing / non-tree / tree against the pre-batch forest, and the
+    /// walk then *drains* certified non-tree deletions — record removal now,
+    /// adjacency mirrors in one grouped parallel flush — while every
+    /// tree-edge deletion still runs the sequential HDT replacement search
+    /// in canonical order.  Outcomes and end state are byte-identical to the
+    /// sequential walk at every thread count and chunk split; `DESIGN.md` §8
+    /// gives the soundness argument (non-tree drains commute; promotions are
+    /// the one way a certificate can go stale, and they are tracked
+    /// exactly).
+    fn apply_delete_pairs(
+        &mut self,
+        pairs: &[(Vertex, Vertex)],
+        mut record: impl FnMut(OpOutcome),
+    ) {
+        let chunks = self.par.chunks_for(pairs.len());
+        if !B::SNAPSHOT_QUERIES || !self.par.worth_delete(pairs.len()) || chunks <= 1 {
+            for &(u, v) in pairs {
+                record(self.delete_outcome(u, v));
+            }
+            return;
+        }
+        let classes = self.classify_delete_pairs(pairs, chunks);
+        // Certified non-tree removals of the current drain segment, in run
+        // order; flushed (grouped, parallel) before any tree deletion runs.
+        let mut drain: Vec<(Vertex, Vertex, usize)> = Vec::new();
+        // Non-tree edges promoted into the forest by this run's replacement
+        // searches: the only certificates that can go stale, tracked exactly.
+        let mut promoted: HashSet<(Vertex, Vertex)> = HashSet::new();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            match classes[i] {
+                DeleteClass::Invalid(e) => record(OpOutcome::from_error(e)),
+                DeleteClass::Missing => record(OpOutcome::from_error(GraphError::MissingEdge {
+                    u: u.min(v),
+                    v: u.max(v),
+                })),
+                DeleteClass::NonTree if !promoted.contains(&(u.min(v), u.max(v))) => {
+                    let level = self.take_certified_nontree_record(u, v);
+                    drain.push((u, v, level));
+                    record(OpOutcome::EdgeDeleted {
+                        kind: EdgeKind::NonTree,
+                        split: false,
+                    });
+                }
+                // A tree edge — or a non-tree certificate invalidated by an
+                // earlier in-run promotion.  The replacement search must see
+                // current adjacency, so the pending drain flushes first.
+                DeleteClass::Tree | DeleteClass::NonTree => {
+                    self.flush_nontree_drain(&mut drain);
+                    record(match self.try_delete_edge_traced(u, v) {
+                        Ok((outcome, promo)) => {
+                            if let Some(edge) = promo {
+                                promoted.insert(edge);
+                            }
+                            OpOutcome::EdgeDeleted {
+                                kind: outcome.kind,
+                                split: outcome.split,
+                            }
+                        }
+                        Err(e) => OpOutcome::from_error(e),
+                    });
+                }
             }
         }
-        applied
+        self.flush_nontree_drain(&mut drain);
+    }
+
+    /// One delete through the typed single-op surface, as an [`OpOutcome`].
+    fn delete_outcome(&mut self, u: Vertex, v: Vertex) -> OpOutcome {
+        match self.try_delete_edge(u, v) {
+            Ok(d) => OpOutcome::EdgeDeleted {
+                kind: d.kind,
+                split: d.split,
+            },
+            Err(e) => OpOutcome::from_error(e),
+        }
+    }
+
+    /// Chunked classification pre-pass over a delete run: labels every pair
+    /// against the **pre-batch** state — endpoint validity, liveness from
+    /// the engine's edge registry, and tree-ness from the backend's
+    /// read-only [`SpanningBackend::edge_kind_snapshot`] probe — then runs a
+    /// sequential in-run duplicate fixup (a later occurrence of an edge the
+    /// run already deletes is [`DeleteClass::Missing`]).  Chunks are probed
+    /// on the pool; the result is independent of the chunk split, which the
+    /// classification proptests pin down.
+    ///
+    /// Public only as test instrumentation (hidden from docs): the
+    /// differential proptests compare chunked against sequential
+    /// classification at arbitrary splits.
+    #[doc(hidden)]
+    pub fn classify_delete_pairs(
+        &self,
+        pairs: &[(Vertex, Vertex)],
+        chunks: usize,
+    ) -> Vec<DeleteClass> {
+        let classify = |&(u, v): &(Vertex, Vertex)| self.classify_one_delete(u, v);
+        let mut classes: Vec<DeleteClass> = if chunks <= 1 {
+            pairs.iter().map(classify).collect()
+        } else {
+            let ranges = dyntree_primitives::chunk_ranges(pairs.len(), chunks);
+            let parts: Vec<Vec<DeleteClass>> = ranges
+                .par_iter()
+                .map(|&(lo, hi)| pairs[lo..hi].iter().map(classify).collect())
+                .collect();
+            parts.concat()
+        };
+        // In-run duplicates: only the first occurrence of a live edge sees
+        // the pre-batch state; every later one finds it already deleted.
+        let mut deleted: HashSet<(Vertex, Vertex)> = HashSet::new();
+        for (class, &(u, v)) in classes.iter_mut().zip(pairs) {
+            if matches!(class, DeleteClass::NonTree | DeleteClass::Tree)
+                && !deleted.insert((u.min(v), u.max(v)))
+            {
+                *class = DeleteClass::Missing;
+            }
+        }
+        classes
+    }
+
+    /// Classifies a single pair against the pre-batch state (no duplicate
+    /// accounting — [`classify_delete_pairs`](Self::classify_delete_pairs)
+    /// layers that on top).  Validation order matches `check_edge`, so the
+    /// drained path reports byte-identical errors to the single-op path.
+    fn classify_one_delete(&self, u: Vertex, v: Vertex) -> DeleteClass {
+        let n = self.len();
+        if u == v {
+            return DeleteClass::Invalid(GraphError::SelfLoop { v: u });
+        }
+        if u >= n || v >= n {
+            let bad = if u >= n { u } else { v };
+            return DeleteClass::Invalid(GraphError::VertexOutOfRange { v: bad, len: n });
+        }
+        match self.edge_info_snapshot(u, v) {
+            None => DeleteClass::Missing,
+            Some((_, tree)) => match self.backend().edge_kind_snapshot(u, v) {
+                Some(kind) => {
+                    debug_assert_eq!(
+                        kind == EdgeKind::Tree,
+                        tree,
+                        "backend forest disagrees with the edge registry on ({u},{v})"
+                    );
+                    match kind {
+                        EdgeKind::Tree => DeleteClass::Tree,
+                        EdgeKind::NonTree => DeleteClass::NonTree,
+                    }
+                }
+                // Unreachable when gated on SNAPSHOT_QUERIES; the registry
+                // answers for backends that decline the probe (test hook).
+                None if tree => DeleteClass::Tree,
+                None => DeleteClass::NonTree,
+            },
+        }
+    }
+
+    /// Removes the drained non-tree edges' adjacency mirrors, grouped by
+    /// endpoint.  Each touched vertex's level buckets are rebuilt by
+    /// replaying that vertex's removals in run order with the exact
+    /// swap-remove the per-op path uses — per-vertex effects are disjoint,
+    /// so the final adjacency is byte-identical to one-at-a-time deletion at
+    /// every thread count and chunk split.  Past the chunk grain the rebuild
+    /// fans out over [`dyntree_primitives::chunk_ranges`] vertex groups.
+    fn flush_nontree_drain(&mut self, drain: &mut Vec<(Vertex, Vertex, usize)>) {
+        if drain.is_empty() {
+            return;
+        }
+        let chunks = self.par.chunks_for(drain.len());
+        if chunks <= 1 {
+            for &(u, v, level) in drain.iter() {
+                let removed = self.adj_mut().nontree_remove(u, v, level);
+                debug_assert!(removed, "drained non-tree edge ({u},{v}) not in adjacency");
+            }
+            drain.clear();
+            return;
+        }
+        let mut by_vertex: HashMap<Vertex, Vec<(Vertex, usize)>> = HashMap::new();
+        for &(u, v, level) in drain.iter() {
+            by_vertex.entry(u).or_default().push((v, level));
+            by_vertex.entry(v).or_default().push((u, level));
+        }
+        let mut verts: Vec<Vertex> = by_vertex.keys().copied().collect();
+        verts.sort_unstable();
+        // per worker chunk: one `(vertex, [(level, rebuilt bucket)])` entry
+        // per touched vertex
+        type RebuiltChunk = Vec<(Vertex, Vec<(usize, Vec<Vertex>)>)>;
+        let rebuilt: Vec<RebuiltChunk> = {
+            let adj = self.adj_ref();
+            let ranges = dyntree_primitives::chunk_ranges(verts.len(), chunks.min(verts.len()));
+            ranges
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    verts[lo..hi]
+                        .iter()
+                        .map(|&x| {
+                            // evolving copies of x's touched level buckets
+                            let mut touched: Vec<(usize, Vec<Vertex>)> = Vec::new();
+                            for &(y, level) in &by_vertex[&x] {
+                                let bucket = match touched.iter_mut().find(|(l, _)| *l == level) {
+                                    Some((_, b)) => b,
+                                    None => {
+                                        touched.push((level, adj.nontree_neighbors_at(x, level)));
+                                        &mut touched.last_mut().expect("just pushed").1
+                                    }
+                                };
+                                let pos = bucket
+                                    .iter()
+                                    .position(|&w| w == y)
+                                    .expect("drained non-tree edge in its bucket");
+                                bucket.swap_remove(pos);
+                            }
+                            (x, touched)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        for (x, touched) in rebuilt.into_iter().flatten() {
+            for (level, bucket) in touched {
+                self.adj_mut().nontree_set_bucket(x, level, bucket);
+            }
+        }
+        drain.clear();
     }
 
     /// Answers a batch of connectivity queries.
@@ -149,8 +402,11 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// same sparse union-find pre-pass as [`batch_insert`](Self::batch_insert):
     /// once earlier inserts of the run have united two endpoints, a later
     /// edge between them is classified non-tree without a backend
-    /// connectivity probe.  The outcomes are exactly those of applying the
-    /// ops one at a time.
+    /// connectivity probe.  Consecutive runs of `DeleteEdge` ops past the
+    /// [`ParallelConfig::delete_grain`](dyntree_primitives::ParallelConfig::delete_grain) likewise take a chunked
+    /// classification pre-pass and drain certified non-tree deletions in
+    /// bulk ([`batch_delete`](Self::batch_delete) shares the machinery).
+    /// The outcomes are exactly those of applying the ops one at a time.
     ///
     /// ```
     /// use dyntree_connectivity::UfoConnectivity;
@@ -182,15 +438,13 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     self.apply_insert_run(&ops[i..j], &mut report);
                     i = j;
                 }
-                GraphOp::DeleteEdge(u, v) => {
-                    report.record(match self.try_delete_edge(u, v) {
-                        Ok(d) => OpOutcome::EdgeDeleted {
-                            kind: d.kind,
-                            split: d.split,
-                        },
-                        Err(e) => OpOutcome::from_error(e),
-                    });
-                    i += 1;
+                GraphOp::DeleteEdge(..) => {
+                    let mut j = i;
+                    while j < ops.len() && matches!(ops[j], GraphOp::DeleteEdge(..)) {
+                        j += 1;
+                    }
+                    self.apply_delete_run(&ops[i..j], &mut report);
+                    i = j;
                 }
                 GraphOp::AddVertices(count) => {
                     let first = self.len();
@@ -288,6 +542,35 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 OpOutcome::EdgeInserted { kind }
             };
             report.record(outcome);
+        }
+    }
+
+    /// Applies one maximal run of consecutive `DeleteEdge` ops, recording
+    /// one outcome per op.  Short runs (the common case in mixed streams)
+    /// and snapshot-less backends take the per-op walk without materializing
+    /// a pair list; past the delete grain the run goes through the
+    /// classification pre-pass + non-tree drain of
+    /// [`apply_delete_pairs`](Self::apply_delete_pairs).
+    ///
+    /// An `AddVertices` op can never sit inside a run, so `self.len()` is
+    /// constant across it — endpoint validity certified by the pre-pass
+    /// cannot go stale mid-run.
+    fn apply_delete_run(&mut self, run: &[OpOf<B>], report: &mut BatchReport) {
+        let as_pair = |op: &OpOf<B>| -> (Vertex, Vertex) {
+            let &GraphOp::DeleteEdge(u, v) = op else {
+                unreachable!("delete runs contain only DeleteEdge ops");
+            };
+            (u, v)
+        };
+        if B::SNAPSHOT_QUERIES && self.par.worth_delete(run.len()) {
+            let pairs: Vec<(Vertex, Vertex)> = run.iter().map(as_pair).collect();
+            self.apply_delete_pairs(&pairs, |outcome| report.record(outcome));
+        } else {
+            for op in run {
+                let (u, v) = as_pair(op);
+                let outcome = self.delete_outcome(u, v);
+                report.record(outcome);
+            }
         }
     }
 }
@@ -488,6 +771,7 @@ mod tests {
             threads: 4,
             batch_grain: 8,
             chunk_grain: 4,
+            delete_grain: 8,
         };
         fn trace(n: usize) -> Vec<GraphOp> {
             let mut ops = vec![GraphOp::AddVertices(n)];
@@ -544,6 +828,122 @@ mod tests {
     }
 
     #[test]
+    fn parallel_delete_pre_pass_outcomes_match_sequential() {
+        use dyntree_primitives::ParallelConfig;
+        // Low grains force the classification pre-pass + drain on modest
+        // runs even on a 1-thread pool (chunks then run inline).
+        let forced = ParallelConfig {
+            threads: 4,
+            batch_grain: 8,
+            chunk_grain: 4,
+            delete_grain: 8,
+        };
+        fn delete_heavy_trace(n: usize) -> Vec<GraphOp> {
+            let mut ops = vec![GraphOp::AddVertices(n)];
+            let mut live: Vec<(usize, usize)> = Vec::new();
+            let mut x = 42u64;
+            let mut rand = move |m: usize| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) as usize) % m
+            };
+            // build: chain + random extra edges (plenty of non-tree cycles)
+            for i in 0..n - 1 {
+                ops.push(GraphOp::InsertEdge(i, i + 1));
+                live.push((i, i + 1));
+            }
+            for _ in 0..3 * n {
+                let (u, v) = (rand(n), rand(n));
+                ops.push(GraphOp::InsertEdge(u, v));
+                if u != v {
+                    live.push((u, v));
+                }
+            }
+            // one long delete run: live edges (tree deletions trigger
+            // replacements that promote later-deleted non-tree edges),
+            // duplicates, missing edges, self loops and out-of-range ids
+            let total = live.len() + 40;
+            for i in 0..total {
+                ops.push(match i % 10 {
+                    7 => GraphOp::DeleteEdge(rand(n), rand(n)), // often missing
+                    8 => {
+                        let v = rand(n);
+                        GraphOp::DeleteEdge(v, v) // self loop
+                    }
+                    9 => GraphOp::DeleteEdge(rand(n), n + rand(4)), // out of range
+                    _ if !live.is_empty() => {
+                        let idx = rand(live.len());
+                        let (u, v) = live[idx];
+                        if i % 3 == 0 {
+                            live.swap_remove(idx);
+                        } // else: keep → a later duplicate delete
+                        GraphOp::DeleteEdge(u, v)
+                    }
+                    _ => GraphOp::DeleteEdge(rand(n), rand(n)),
+                });
+            }
+            ops
+        }
+        let ops = delete_heavy_trace(48);
+        let mut par: DynConnectivity<ufo_forest::UfoForest> =
+            DynConnectivity::new(0).with_parallel_config(forced);
+        let mut seq: DynConnectivity<ufo_forest::UfoForest> =
+            DynConnectivity::new(0).with_parallel_config(ParallelConfig::sequential());
+        let pr = par.apply(&ops);
+        let sr = seq.apply(&ops);
+        assert_eq!(pr.outcomes, sr.outcomes, "byte-identical outcomes");
+        assert_eq!(
+            (pr.applied, pr.skipped, pr.rejected),
+            (sr.applied, sr.skipped, sr.rejected)
+        );
+        assert_eq!(par.component_count(), seq.component_count());
+        assert_eq!(par.num_edges(), seq.num_edges());
+        par.check_invariants().unwrap();
+
+        // batch_delete shares the machinery, count-level API
+        let edges: Vec<(usize, usize)> = (0..200).map(|i| (i % 29, (i * 11 + 1) % 29)).collect();
+        let mut a: DynConnectivity<ufo_forest::UfoForest> =
+            DynConnectivity::new(29).with_parallel_config(forced);
+        let mut b: DynConnectivity<ufo_forest::UfoForest> =
+            DynConnectivity::new(29).with_parallel_config(ParallelConfig::sequential());
+        a.batch_insert(&edges);
+        b.batch_insert(&edges);
+        assert_eq!(a.batch_delete(&edges), b.batch_delete(&edges));
+        assert_eq!(a.component_count(), b.component_count());
+        assert_eq!(a.num_edges(), 0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshotless_backends_take_the_sequential_delete_walk() {
+        use dyntree_primitives::ParallelConfig;
+        let forced = ParallelConfig {
+            threads: 8,
+            batch_grain: 8,
+            chunk_grain: 2,
+            delete_grain: 4,
+        };
+        // link-cut declines snapshot probes; the delete run must still give
+        // byte-identical outcomes through the per-op fallback
+        let edges: Vec<(usize, usize)> = (0..60).map(|i| (i % 13, (i * 5 + 1) % 13)).collect();
+        let mut par: DynConnectivity<dyntree_linkcut::LinkCutForest> =
+            DynConnectivity::new(13).with_parallel_config(forced);
+        let mut seq: DynConnectivity<dyntree_linkcut::LinkCutForest> =
+            DynConnectivity::new(13).with_parallel_config(ParallelConfig::sequential());
+        par.batch_insert(&edges);
+        seq.batch_insert(&edges);
+        let ops: Vec<GraphOp> = edges
+            .iter()
+            .flat_map(|&(u, v)| [GraphOp::DeleteEdge(u, v); 2]) // with duplicates
+            .collect();
+        let pr = par.apply(&ops);
+        let sr = seq.apply(&ops);
+        assert_eq!(pr.outcomes, sr.outcomes);
+        par.check_invariants().unwrap();
+    }
+
+    #[test]
     fn pre_pass_survives_more_chunks_than_items_per_chunk() {
         // Regression: a uniform ceil-division chunk split sent trailing
         // chunks past the end of the batch (lo > hi slice panic) whenever
@@ -554,6 +954,7 @@ mod tests {
             threads: 64,
             batch_grain: 8,
             chunk_grain: 1,
+            delete_grain: 8,
         };
         let mut g: DynConnectivity<ufo_forest::UfoForest> =
             DynConnectivity::new(200).with_parallel_config(cfg);

@@ -305,11 +305,62 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         true
     }
 
+    /// Read-only snapshot of a live edge's book-keeping for the batch-delete
+    /// classification pre-pass: `(level, is_tree)`, or `None` when `(u, v)`
+    /// is not live.  Probed concurrently from pool workers — a plain shared
+    /// `HashMap` read, always strictly before any mutation of the batch.
+    pub(crate) fn edge_info_snapshot(&self, u: Vertex, v: Vertex) -> Option<(usize, bool)> {
+        self.edges.get(&canonical(u, v)).map(|i| (i.level, i.tree))
+    }
+
+    /// Removes a *certified non-tree* edge's record, returning its level at
+    /// this moment (earlier tree deletions of the same run may have bumped
+    /// it past its pre-pass snapshot).  The adjacency mirrors are the
+    /// caller's responsibility — the batch-delete drain removes them in
+    /// bulk.  Non-tree deletions never change connectivity, so `components`
+    /// is deliberately untouched.
+    pub(crate) fn take_certified_nontree_record(&mut self, u: Vertex, v: Vertex) -> usize {
+        let info = self
+            .edges
+            .remove(&canonical(u, v))
+            .expect("certified non-tree delete of a dead edge");
+        debug_assert!(
+            !info.tree,
+            "certified non-tree edge ({u},{v}) is a tree edge"
+        );
+        info.level
+    }
+
+    /// Shared access to the level adjacency (batch-delete drain flush).
+    pub(crate) fn adj_ref(&self) -> &LevelAdjacency {
+        &self.adj
+    }
+
+    /// Mutable access to the level adjacency (batch-delete drain flush).
+    pub(crate) fn adj_mut(&mut self) -> &mut LevelAdjacency {
+        &mut self.adj
+    }
+
     /// Deletes edge `(u, v)`, reporting what happened: the deleted edge's
     /// [`EdgeKind`] and whether the deletion split a component (a tree edge
     /// with no replacement).  Typed errors for self loops, out-of-range
     /// endpoints and edges that are not live.
     pub fn try_delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<DeleteOutcome, GraphError> {
+        self.try_delete_edge_traced(u, v)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`try_delete_edge`](Self::try_delete_edge) that additionally reports
+    /// which non-tree edge (canonically oriented) the replacement search
+    /// promoted into the spanning forest, if any.  The batch-delete drain
+    /// needs this to invalidate its pre-pass certificates: a promoted edge
+    /// is the *only* way a live edge changes kind without being touched by
+    /// its own operation.
+    pub(crate) fn try_delete_edge_traced(
+        &mut self,
+        u: Vertex,
+        v: Vertex,
+    ) -> Result<(DeleteOutcome, Option<(Vertex, Vertex)>), GraphError> {
         self.check_edge(u, v)?;
         let Some(info) = self.edges.remove(&canonical(u, v)) else {
             return Err(GraphError::MissingEdge {
@@ -320,23 +371,30 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         if !info.tree {
             let removed = self.adj.nontree_remove(u, v, info.level);
             debug_assert!(removed, "non-tree edge ({u},{v}) missing from adjacency");
-            return Ok(DeleteOutcome {
-                kind: EdgeKind::NonTree,
-                split: false,
-            });
+            return Ok((
+                DeleteOutcome {
+                    kind: EdgeKind::NonTree,
+                    split: false,
+                },
+                None,
+            ));
         }
         let removed = self.adj.tree_remove(u, v);
         debug_assert_eq!(removed, Some(info.level));
         let cut = self.backend.cut(u, v);
         debug_assert!(cut, "backend rejected cutting tree edge ({u},{v})");
-        let split = !self.find_replacement(u, v, info.level);
+        let promoted = self.find_replacement(u, v, info.level);
+        let split = promoted.is_none();
         if split {
             self.components += 1;
         }
-        Ok(DeleteOutcome {
-            kind: EdgeKind::Tree,
-            split,
-        })
+        Ok((
+            DeleteOutcome {
+                kind: EdgeKind::Tree,
+                split,
+            },
+            promoted,
+        ))
     }
 
     /// Deletes edge `(u, v)`.  Returns `false` if not live.  Thin wrapper
@@ -347,8 +405,9 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     }
 
     /// HDT replacement search after cutting tree edge `(u, v)` of level `l`.
-    /// Returns whether a replacement was found (and linked).
-    fn find_replacement(&mut self, u: Vertex, v: Vertex, l: usize) -> bool {
+    /// Returns the (canonically oriented) non-tree edge that was promoted
+    /// and linked as the replacement, or `None` when the component split.
+    fn find_replacement(&mut self, u: Vertex, v: Vertex, l: usize) -> Option<(Vertex, Vertex)> {
         for level in (0..=l).rev() {
             // The smaller of the two F_level components the cut produced.
             let side = self.smaller_side(u, v, level);
@@ -416,12 +475,12 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                         .tree = true;
                     let linked = self.backend.link(x, y);
                     debug_assert!(linked, "backend rejected replacement link ({x},{y})");
-                    return true;
+                    return Some(canonical(x, y));
                 }
                 self.adj.nontree_set_bucket(x, level, survivors);
             }
         }
-        false
+        None
     }
 
     /// Vertex set of the smaller (or tied) of the two `F_level` components

@@ -1,0 +1,134 @@
+//! Property tests for the batch-delete classification pre-pass: the chunked
+//! classification (`DynConnectivity::classify_delete_pairs`, exposed as test
+//! instrumentation) must equal the sequential classification — and an
+//! independently computed model — for arbitrary batches at arbitrary chunk
+//! splits, including oversplit, empty and all-duplicate batches.
+
+use std::collections::HashSet;
+
+use dyntree_connectivity::batch::DeleteClass;
+use dyntree_connectivity::{DynConnectivity, GraphError};
+use proptest::prelude::*;
+use ufo_forest::UfoForest;
+
+/// Vertex count of the generated graphs; delete endpoints range past it so
+/// out-of-range classifications are exercised.
+const N: usize = 16;
+
+/// The classification contract, computed independently of the pre-pass: the
+/// class every delete pair must get, derived from the engine's public edge
+/// queries plus the in-run duplicate rule.
+fn model(g: &DynConnectivity<UfoForest>, pairs: &[(usize, usize)]) -> Vec<DeleteClass> {
+    let n = g.len();
+    let mut deleted: HashSet<(usize, usize)> = HashSet::new();
+    pairs
+        .iter()
+        .map(|&(u, v)| {
+            if u == v {
+                DeleteClass::Invalid(GraphError::SelfLoop { v: u })
+            } else if u >= n || v >= n {
+                let bad = if u >= n { u } else { v };
+                DeleteClass::Invalid(GraphError::VertexOutOfRange { v: bad, len: n })
+            } else if !g.has_edge(u, v) || !deleted.insert((u.min(v), u.max(v))) {
+                DeleteClass::Missing
+            } else if g.is_tree_edge(u, v) {
+                DeleteClass::Tree
+            } else {
+                DeleteClass::NonTree
+            }
+        })
+        .collect()
+}
+
+fn build(edges: &[(usize, usize)]) -> DynConnectivity<UfoForest> {
+    let mut g = DynConnectivity::new(N);
+    for &(u, v) in edges {
+        let _ = g.try_insert_edge(u, v);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunked_classification_equals_sequential_at_any_split(
+        edges in proptest::collection::vec((0usize..N, 0usize..N), 0..60),
+        dels in proptest::collection::vec((0usize..N + 4, 0usize..N + 4), 0..80),
+        chunks in 0usize..50,
+    ) {
+        let g = build(&edges);
+        let sequential = g.classify_delete_pairs(&dels, 1);
+        let chunked = g.classify_delete_pairs(&dels, chunks);
+        prop_assert_eq!(&chunked, &sequential, "chunks={} diverged", chunks);
+        prop_assert_eq!(&sequential, &model(&g, &dels), "model disagrees");
+    }
+
+    #[test]
+    fn all_duplicate_batches_keep_exactly_the_first_live_class(
+        u in 0usize..N,
+        v in 0usize..N,
+        copies in 1usize..30,
+        chunks in 0usize..40,
+        tree_flag in 0usize..2,
+    ) {
+        // a graph where (u, v) is live as a tree or a non-tree edge
+        let mut g = DynConnectivity::<UfoForest>::new(N);
+        let tree = tree_flag == 1;
+        if u != v {
+            if tree {
+                let _ = g.try_insert_edge(u, v);
+            } else {
+                // connect u-v through a detour first so (u, v) closes a cycle
+                let w = (u + 1) % N;
+                if w != u && w != v {
+                    let _ = g.try_insert_edge(u, w);
+                    let _ = g.try_insert_edge(w, v);
+                }
+                let _ = g.try_insert_edge(u, v);
+            }
+        }
+        let dels = vec![(u, v); copies];
+        let classes = g.classify_delete_pairs(&dels, chunks);
+        prop_assert_eq!(&classes, &model(&g, &dels));
+        if u != v && g.has_edge(u, v) {
+            // first occurrence carries the live class, every later one the
+            // duplicate rule's Missing
+            prop_assert!(matches!(classes[0], DeleteClass::Tree | DeleteClass::NonTree));
+            for c in &classes[1..] {
+                prop_assert_eq!(*c, DeleteClass::Missing);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_batches_classify_to_nothing_at_every_split() {
+    let g = build(&[(0, 1), (1, 2), (2, 0)]);
+    for chunks in [0, 1, 2, 7, 100] {
+        assert_eq!(g.classify_delete_pairs(&[], chunks), Vec::new());
+    }
+}
+
+#[test]
+fn oversplit_batches_classify_identically() {
+    // more chunks than pairs: trailing ranges are empty, the concatenation
+    // must still cover every pair exactly once
+    let g = build(&[(0, 1), (1, 2), (2, 0), (3, 4)]);
+    let dels = vec![(0, 1), (2, 0), (5, 5), (3, 4), (0, 99), (2, 0)];
+    let reference = g.classify_delete_pairs(&dels, 1);
+    assert_eq!(
+        reference,
+        vec![
+            DeleteClass::Tree,
+            DeleteClass::NonTree,
+            DeleteClass::Invalid(GraphError::SelfLoop { v: 5 }),
+            DeleteClass::Tree,
+            DeleteClass::Invalid(GraphError::VertexOutOfRange { v: 99, len: N }),
+            DeleteClass::Missing, // duplicate of the already-deleted (2, 0)
+        ]
+    );
+    for chunks in [2, 3, 6, 7, 64] {
+        assert_eq!(g.classify_delete_pairs(&dels, chunks), reference);
+    }
+}

@@ -27,6 +27,6 @@ pub use groupby::{dedup_sorted, group_by_key, group_by_key_seq, remove_duplicate
 pub use listrank::{list_rank, ListNode};
 pub use matching::{match_chain_greedy, match_chains_parallel, ChainMatch};
 pub use ops::{BatchReport, DeleteOutcome, EdgeKind, GraphError, GraphOp, OpOutcome};
-pub use par::{chunk_ranges, worth_parallel, ParallelConfig, CHUNK_GRAIN, PAR_GRAIN};
+pub use par::{chunk_ranges, worth_parallel, ParallelConfig, CHUNK_GRAIN, DELETE_GRAIN, PAR_GRAIN};
 pub use slab::SharedSlab;
 pub use stats::{vec_bytes, OnlineStats};

@@ -1,0 +1,351 @@
+//! Seeded fuzz-trace generation for differential testing: [`FuzzTraceGen`]
+//! turns a printable `u64` seed into a long, adversarial [`GraphOp`] trace.
+//!
+//! The generator is the scenario-diversity engine behind the workspace's
+//! differential fuzz harness (`fuzz_differential` in the bench crate) and
+//! the delete-heavy determinism tests: it cycles through *phases* — star,
+//! chain and clique topology bursts, mixed churn, delete-heavy teardown —
+//! while sprinkling in vertex growth, weight updates, duplicate edges,
+//! missing deletes and outright invalid operations (self loops,
+//! out-of-range endpoints), so a single trace crosses every outcome class
+//! of the batch API many times.
+//!
+//! Every trace is **reproducible from its seed alone**: the same seed and
+//! configuration produce the same ops on every machine, so a divergence
+//! report only ever needs to print one `u64`.
+
+use dyntree_primitives::ops::GraphOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::HashSet;
+
+/// One phase kind of a generated trace.  Phases give the trace *shape*:
+/// bursts build adversarial topologies (a star concentrates tree edges on a
+/// hub, a clique is almost all non-tree edges, a chain maximizes bridge
+/// deletions), churn interleaves the op kinds, teardown produces the long
+/// consecutive delete runs the parallel drain feeds on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Insert a star around a random hub (tree-edge heavy, high degree).
+    StarBurst,
+    /// Insert a path through a random vertex window (bridges everywhere).
+    ChainBurst,
+    /// Insert all pairs of a small vertex subset (non-tree heavy).
+    CliqueBurst,
+    /// Insert uniformly random edges.
+    RandomBurst,
+    /// Alternate inserts and deletes roughly 50/50.
+    Churn,
+    /// Delete-heavy phase (~75 % deletes) over the live edge set.
+    Teardown,
+}
+
+/// Deterministic, seeded generator of adversarial [`GraphOp`] traces.
+///
+/// ```
+/// use dyntree_workloads::FuzzTraceGen;
+///
+/// let trace = FuzzTraceGen::new(7).with_ops(500).generate();
+/// assert_eq!(trace, FuzzTraceGen::new(7).with_ops(500).generate());
+/// assert!(trace.len() >= 500);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FuzzTraceGen {
+    seed: u64,
+    ops: usize,
+    initial_vertices: usize,
+    max_vertices: usize,
+    invalid_rate: f64,
+    weight_rate: f64,
+    /// Probability that a phase pick lands on churn/teardown instead of an
+    /// insert burst; raising it makes traces delete-heavy.
+    mutate_bias: f64,
+}
+
+impl FuzzTraceGen {
+    /// A generator with the default mixed profile: 10 000 ops over an
+    /// initially 64-vertex graph that may grow to 256, ~2 % invalid ops and
+    /// ~3 % weight updates.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ops: 10_000,
+            initial_vertices: 64,
+            max_vertices: 256,
+            invalid_rate: 0.02,
+            weight_rate: 0.03,
+            mutate_bias: 0.5,
+        }
+    }
+
+    /// The seed this generator reproduces from (print it in failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the approximate trace length (the trace is clipped to exactly
+    /// this many ops after the leading `AddVertices` bootstrap).
+    pub fn with_ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the initial vertex count (the leading `AddVertices`).
+    pub fn with_vertices(mut self, n: usize) -> Self {
+        self.initial_vertices = n;
+        self.max_vertices = self.max_vertices.max(n);
+        self
+    }
+
+    /// Caps mid-trace vertex growth.
+    pub fn with_max_vertices(mut self, n: usize) -> Self {
+        self.max_vertices = n.max(self.initial_vertices);
+        self
+    }
+
+    /// Sets the fraction of deliberately invalid ops (self loops and
+    /// out-of-range endpoints).
+    pub fn with_invalid_rate(mut self, rate: f64) -> Self {
+        self.invalid_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Biases phase selection towards churn/teardown so that deletions make
+    /// up well over half of the mutations once the graph is built — the
+    /// profile the parallel batch-deletion path is measured and tested on.
+    pub fn delete_heavy(mut self) -> Self {
+        self.mutate_bias = 0.85;
+        self
+    }
+
+    /// Generates the trace: a leading `AddVertices` bootstrap (consumers
+    /// start from an **empty** engine) followed by exactly
+    /// [`with_ops`](Self::with_ops) operations.
+    pub fn generate(&self) -> Vec<GraphOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut n = self.initial_vertices.max(2);
+        let mut ops: Vec<GraphOp> = Vec::with_capacity(self.ops + 1);
+        ops.push(GraphOp::AddVertices(n));
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        let mut live_set: HashSet<(usize, usize)> = HashSet::new();
+        while ops.len() < self.ops + 1 {
+            let phase = self.pick_phase(&mut rng, live.len());
+            let len = rng.random_range(16..(self.ops / 8).max(17));
+            for _ in 0..len {
+                if ops.len() > self.ops {
+                    break;
+                }
+                // cross-cutting sprinkles first: growth / weights / invalid
+                if n < self.max_vertices && rng.random::<f64>() < 0.004 {
+                    let grow = rng.random_range(1..8usize).min(self.max_vertices - n);
+                    ops.push(GraphOp::AddVertices(grow));
+                    n += grow;
+                    continue;
+                }
+                if rng.random::<f64>() < self.weight_rate {
+                    // occasionally out of range, exercising the rejection
+                    let v = rng.random_range(0..n + 2);
+                    ops.push(GraphOp::SetWeight(v, rng.random_range(-100..100)));
+                    continue;
+                }
+                if rng.random::<f64>() < self.invalid_rate {
+                    ops.push(self.invalid_op(&mut rng, n));
+                    continue;
+                }
+                let delete = match phase {
+                    Phase::Churn => rng.random_bool(0.5),
+                    Phase::Teardown => rng.random_bool(0.75),
+                    _ => rng.random_bool(0.05),
+                };
+                if delete {
+                    ops.push(self.delete_op(&mut rng, n, &mut live, &mut live_set));
+                } else {
+                    let (u, v) = self.insert_endpoints(&mut rng, n, phase);
+                    ops.push(GraphOp::InsertEdge(u, v));
+                    if u != v && live_set.insert((u.min(v), u.max(v))) {
+                        live.push((u.min(v), u.max(v)));
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// The trace as batches of at most `batch_size` ops each, preserving
+    /// order (the bootstrap rides the first batch), so replaying the batches
+    /// in order replays the trace exactly.
+    pub fn batches(&self, batch_size: usize) -> Vec<Vec<GraphOp>> {
+        let ops = self.generate();
+        ops.chunks(batch_size.max(1))
+            .map(<[GraphOp]>::to_vec)
+            .collect()
+    }
+
+    fn pick_phase(&self, rng: &mut StdRng, live: usize) -> Phase {
+        if live > 4 && rng.random::<f64>() < self.mutate_bias {
+            return if rng.random_bool(0.55) {
+                Phase::Teardown
+            } else {
+                Phase::Churn
+            };
+        }
+        match rng.random_range(0..4) {
+            0 => Phase::StarBurst,
+            1 => Phase::ChainBurst,
+            2 => Phase::CliqueBurst,
+            _ => Phase::RandomBurst,
+        }
+    }
+
+    /// Endpoints for one insertion under the current phase's topology.
+    fn insert_endpoints(&self, rng: &mut StdRng, n: usize, phase: Phase) -> (usize, usize) {
+        match phase {
+            Phase::StarBurst => {
+                // hub chosen per-op from a small pool so stars overlap
+                let hub = rng.random_range(0..8.min(n));
+                (hub, rng.random_range(0..n))
+            }
+            Phase::ChainBurst => {
+                let i = rng.random_range(0..n - 1);
+                (i, i + 1)
+            }
+            Phase::CliqueBurst => {
+                // all pairs of a small window: almost every edge after the
+                // first few closes a cycle
+                let base = rng.random_range(0..n);
+                let k = 12.min(n);
+                (
+                    (base + rng.random_range(0..k)) % n,
+                    (base + rng.random_range(0..k)) % n,
+                )
+            }
+            _ => (rng.random_range(0..n), rng.random_range(0..n)),
+        }
+    }
+
+    /// One deletion: mostly a live edge (tree and non-tree alike), sometimes
+    /// a random pair (usually missing), occasionally a *repeat* of a live
+    /// edge kept in the pool so a later delete of the same edge is a benign
+    /// skip.
+    fn delete_op(
+        &self,
+        rng: &mut StdRng,
+        n: usize,
+        live: &mut Vec<(usize, usize)>,
+        live_set: &mut HashSet<(usize, usize)>,
+    ) -> GraphOp {
+        if !live.is_empty() && rng.random_bool(0.8) {
+            let idx = rng.random_range(0..live.len());
+            let (u, v) = live[idx];
+            if rng.random_bool(0.9) {
+                live.swap_remove(idx);
+                live_set.remove(&(u, v));
+            } // else: keep it listed — a later pick emits a duplicate delete
+            GraphOp::DeleteEdge(u, v)
+        } else {
+            GraphOp::DeleteEdge(rng.random_range(0..n), rng.random_range(0..n))
+        }
+    }
+
+    fn invalid_op(&self, rng: &mut StdRng, n: usize) -> GraphOp {
+        match rng.random_range(0..4) {
+            0 => {
+                let v = rng.random_range(0..n);
+                GraphOp::InsertEdge(v, v)
+            }
+            1 => {
+                let v = rng.random_range(0..n);
+                GraphOp::DeleteEdge(v, v)
+            }
+            2 => GraphOp::InsertEdge(rng.random_range(0..n), n + rng.random_range(0..5usize)),
+            _ => GraphOp::DeleteEdge(n + rng.random_range(0..5usize), rng.random_range(0..n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_reproducible_from_the_seed() {
+        let a = FuzzTraceGen::new(99).with_ops(2_000).generate();
+        let b = FuzzTraceGen::new(99).with_ops(2_000).generate();
+        assert_eq!(a, b);
+        let c = FuzzTraceGen::new(100).with_ops(2_000).generate();
+        assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    #[test]
+    fn traces_have_the_advertised_length_and_bootstrap() {
+        let g = FuzzTraceGen::new(3).with_ops(1_234).with_vertices(32);
+        let ops = g.generate();
+        assert_eq!(ops.len(), 1_235);
+        assert_eq!(ops[0], GraphOp::AddVertices(32));
+        let batches = g.batches(100);
+        let flat: Vec<GraphOp> = batches.iter().flatten().copied().collect();
+        assert_eq!(flat, ops);
+        assert!(batches.iter().all(|b| !b.is_empty() && b.len() <= 100));
+    }
+
+    #[test]
+    fn traces_cross_every_op_kind() {
+        let ops = FuzzTraceGen::new(1).with_ops(5_000).generate();
+        let mut counts = [0usize; 4];
+        for op in &ops {
+            match op {
+                GraphOp::AddVertices(..) => counts[0] += 1,
+                GraphOp::InsertEdge(..) => counts[1] += 1,
+                GraphOp::DeleteEdge(..) => counts[2] += 1,
+                GraphOp::SetWeight(..) => counts[3] += 1,
+            }
+        }
+        assert!(counts.iter().all(|&c| c > 0), "counts={counts:?}");
+        // invalid ops show up too
+        assert!(
+            ops.iter().any(|op| matches!(op,
+                GraphOp::InsertEdge(u, v) | GraphOp::DeleteEdge(u, v) if u == v)),
+            "self loops present"
+        );
+    }
+
+    #[test]
+    fn delete_heavy_traces_are_actually_delete_heavy() {
+        let ops = FuzzTraceGen::new(5)
+            .with_ops(8_000)
+            .delete_heavy()
+            .generate();
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, GraphOp::InsertEdge(..)))
+            .count();
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, GraphOp::DeleteEdge(..)))
+            .count();
+        assert!(
+            deletes * 2 >= inserts,
+            "deletes={deletes} vs inserts={inserts}"
+        );
+        assert!(deletes > 2_000, "deletes={deletes}");
+    }
+
+    #[test]
+    fn growth_never_exceeds_the_cap() {
+        let cap = 80;
+        let ops = FuzzTraceGen::new(11)
+            .with_ops(6_000)
+            .with_vertices(64)
+            .with_max_vertices(cap)
+            .generate();
+        let total: usize = ops
+            .iter()
+            .filter_map(|op| match op {
+                GraphOp::AddVertices(k) => Some(*k),
+                _ => None,
+            })
+            .sum();
+        assert!(total <= cap, "grew to {total} > cap {cap}");
+    }
+}

@@ -7,6 +7,7 @@
 //! All generators are deterministic given a seed.
 
 pub mod forests;
+pub mod fuzz;
 pub mod graphs;
 pub mod spanning;
 pub mod streams;
@@ -16,6 +17,7 @@ pub use forests::{
     binary_tree, dandelion, kary_tree, path_tree, preferential_attachment_tree, random_tree,
     random_tree_degree3, star_tree, SyntheticTree,
 };
+pub use fuzz::FuzzTraceGen;
 pub use graphs::{power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph, Graph};
 pub use spanning::{bfs_forest, ris_forest};
 pub use streams::{churn_stream, sliding_window_stream, EdgeStream, StreamOp};

@@ -149,6 +149,80 @@ fn check_backend<B: SpanningBackend<Weights = SumMinMax>>(
     Ok(())
 }
 
+/// Counter-contract regression: a `Skipped` delete of a missing edge must
+/// land in `skipped` — never in `applied` — **identically** on the bulk
+/// (drained) delete path and the one-at-a-time path, and the aggregate
+/// counters must partition the batch exactly.  The bulk path is forced on
+/// with a low-grain [`ParallelConfig`](ufo_trees::primitives::ParallelConfig)
+/// so this holds even on a 1-thread CI pool.
+#[test]
+fn skipped_deletes_count_identically_on_bulk_and_singleton_paths() {
+    use ufo_trees::primitives::ParallelConfig;
+    let forced = ParallelConfig {
+        threads: 4,
+        batch_grain: 8,
+        chunk_grain: 4,
+        delete_grain: 4,
+    };
+    // triangle + stray edge, then a delete run mixing: live non-tree, live
+    // tree, missing, duplicate (missing by the time it applies), rejected
+    let ops: Vec<GraphOp> = vec![
+        GraphOp::AddVertices(6),
+        GraphOp::InsertEdge(0, 1),
+        GraphOp::InsertEdge(1, 2),
+        GraphOp::InsertEdge(2, 0), // non-tree
+        GraphOp::InsertEdge(3, 4),
+        GraphOp::DeleteEdge(2, 0), // applied (non-tree drain)
+        GraphOp::DeleteEdge(4, 5), // skipped: never live
+        GraphOp::DeleteEdge(0, 1), // applied (tree; (2,0) already gone -> split)
+        GraphOp::DeleteEdge(0, 1), // skipped: duplicate of the one above
+        GraphOp::DeleteEdge(5, 5), // rejected: self loop
+        GraphOp::DeleteEdge(0, 9), // rejected: out of range
+        GraphOp::DeleteEdge(3, 4), // applied
+    ];
+    let mut bulk: DynConnectivity<UfoForest> = DynConnectivity::new(0).with_parallel_config(forced);
+    let bulk_report = bulk.apply(&ops);
+    let mut single: DynConnectivity<UfoForest> =
+        DynConnectivity::new(0).with_parallel_config(ParallelConfig::sequential());
+    let mut single_outcomes = Vec::new();
+    let (mut applied, mut skipped, mut rejected) = (0, 0, 0);
+    for op in &ops {
+        let r = single.apply(std::slice::from_ref(op));
+        applied += r.applied;
+        skipped += r.skipped;
+        rejected += r.rejected;
+        single_outcomes.extend(r.outcomes);
+    }
+    assert_eq!(bulk_report.outcomes, single_outcomes);
+    assert_eq!(
+        (
+            bulk_report.applied,
+            bulk_report.skipped,
+            bulk_report.rejected
+        ),
+        (applied, skipped, rejected),
+        "bulk counters must equal summed singleton counters"
+    );
+    // the missing-edge deletes are skips, not applications, on both paths
+    assert_eq!((applied, skipped, rejected), (8, 2, 2));
+    assert_eq!(
+        bulk_report.applied + bulk_report.skipped + bulk_report.rejected,
+        ops.len(),
+        "counters partition the batch"
+    );
+    // the Display line (the human-facing counter surface) agrees too
+    assert_eq!(
+        bulk_report.to_string(),
+        "12 ops: 8 applied, 2 skipped, 2 rejected | vertices 0 -> 6 | components 0 -> 5"
+    );
+    // count-level bulk API: duplicates collapse in normalize, but a missing
+    // edge still never counts as removed
+    let mut g: DynConnectivity<UfoForest> = DynConnectivity::new(4).with_parallel_config(forced);
+    g.batch_insert(&[(0, 1), (1, 2)]);
+    assert_eq!(g.batch_delete(&[(0, 1), (0, 1), (2, 3), (1, 2)]), 2);
+    assert_eq!(g.num_edges(), 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

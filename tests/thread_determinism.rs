@@ -13,7 +13,9 @@
 use dyntree_connectivity::{DynConnectivity, SpanningBackend};
 use dyntree_primitives::algebra::SumMinMax;
 use dyntree_primitives::{group_by_key, remove_duplicates, GraphOp, ParallelConfig};
-use dyntree_workloads::{churn_stream, road_grid_graph, sliding_window_stream, temporal_graph};
+use dyntree_workloads::{
+    churn_stream, road_grid_graph, sliding_window_stream, temporal_graph, FuzzTraceGen,
+};
 use ufo_forest::UfoForest;
 
 /// A low-grain config: parallel code paths engage on small batches.
@@ -22,6 +24,7 @@ fn forced(threads: usize) -> ParallelConfig {
         threads,
         batch_grain: 16,
         chunk_grain: 8,
+        delete_grain: 16,
     }
 }
 
@@ -66,6 +69,112 @@ fn churn_stream_batches_are_identical_across_fanouts() {
     let lct = replay::<dyntree_linkcut::LinkCutForest>(&batches, forced(8));
     let lct_ref = replay::<dyntree_linkcut::LinkCutForest>(&batches, ParallelConfig::sequential());
     assert_eq!(lct, lct_ref, "snapshot-less backend diverged");
+}
+
+/// Like [`replay`], but renders the **whole** `BatchReport` (outcomes and
+/// every counter) per batch, so a drained delete that miscounted applied vs
+/// skipped would diverge even if the outcome list happened to agree.
+fn replay_full_reports<B: SpanningBackend<Weights = SumMinMax>>(
+    batches: &[Vec<GraphOp>],
+    cfg: ParallelConfig,
+) -> (Vec<String>, usize, usize) {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
+    let mut lines = Vec::new();
+    for batch in batches {
+        lines.push(format!("{:?}", engine.apply(batch)));
+    }
+    engine.check_invariants().unwrap();
+    (lines, engine.component_count(), engine.num_edges())
+}
+
+#[test]
+fn delete_heavy_fuzz_traces_are_identical_across_fanouts() {
+    // teardown-dominated fuzz trace: long consecutive delete runs over
+    // star/chain/clique topologies — the parallel drain's home turf
+    let batches = FuzzTraceGen::new(0x00DE_1E7E)
+        .with_ops(6_000)
+        .with_vertices(96)
+        .delete_heavy()
+        .batches(512);
+    let reference = replay_full_reports::<UfoForest>(&batches, ParallelConfig::sequential());
+    for threads in [1, 2, 4, 8] {
+        let wide = replay_full_reports::<UfoForest>(&batches, forced(threads));
+        assert_eq!(wide, reference, "fan-out {threads} diverged");
+    }
+    let default = replay_full_reports::<UfoForest>(&batches, ParallelConfig::default());
+    assert_eq!(default, reference);
+}
+
+#[test]
+fn insert_burst_then_heavy_delete_traces_are_identical_across_fanouts() {
+    // explicit two-act churn: build bursts, then majority-delete teardown of
+    // the very edges just inserted (plus repeats, which skip) — more than
+    // half of the mutations after the build are deletes
+    let n = 128;
+    let mut ops: Vec<GraphOp> = vec![GraphOp::AddVertices(n)];
+    let mut x = 0x5EEDu64;
+    let mut rand = move |m: usize| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) as usize) % m
+    };
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    for _round in 0..6 {
+        // insert burst: chain backbone + random chords
+        for _ in 0..400 {
+            let (u, v) = if rand(4) == 0 {
+                let i = rand(n - 1);
+                (i, i + 1)
+            } else {
+                (rand(n), rand(n))
+            };
+            ops.push(GraphOp::InsertEdge(u, v));
+            if u != v {
+                live.push((u, v));
+            }
+        }
+        // delete wave: > 50% of the burst, mostly live edges, some repeats
+        for _ in 0..450 {
+            if live.is_empty() {
+                break;
+            }
+            let idx = rand(live.len());
+            let (u, v) = live[idx];
+            if rand(8) != 0 {
+                live.swap_remove(idx);
+            }
+            ops.push(GraphOp::DeleteEdge(u, v));
+        }
+    }
+    let batches: Vec<Vec<GraphOp>> = ops.chunks(700).map(<[GraphOp]>::to_vec).collect();
+    let reference = replay_full_reports::<UfoForest>(&batches, ParallelConfig::sequential());
+    for threads in [1, 2, 4, 8] {
+        let wide = replay_full_reports::<UfoForest>(&batches, forced(threads));
+        assert_eq!(wide, reference, "fan-out {threads} diverged");
+    }
+    // snapshot-less splay backend takes the sequential walk and must agree
+    // with itself across fan-outs too
+    let lct_ref = replay_full_reports::<dyntree_linkcut::LinkCutForest>(
+        &batches,
+        ParallelConfig::sequential(),
+    );
+    let lct_wide = replay_full_reports::<dyntree_linkcut::LinkCutForest>(&batches, forced(8));
+    assert_eq!(lct_wide, lct_ref);
+}
+
+#[test]
+fn mixed_churn_fuzz_traces_are_identical_across_fanouts() {
+    // the default fuzz profile interleaves all op kinds (growth and weight
+    // updates included), so delete runs start and stop at arbitrary offsets
+    for seed in [11u64, 12] {
+        let batches = FuzzTraceGen::new(seed).with_ops(4_000).batches(640);
+        let reference = replay_full_reports::<UfoForest>(&batches, ParallelConfig::sequential());
+        for threads in [2, 8] {
+            let wide = replay_full_reports::<UfoForest>(&batches, forced(threads));
+            assert_eq!(wide, reference, "seed {seed} fan-out {threads} diverged");
+        }
+    }
 }
 
 #[test]
