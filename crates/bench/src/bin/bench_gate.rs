@@ -80,8 +80,14 @@ fn main() {
         } else {
             "FAIL"
         };
+        let mut worst = report.ratios.clone();
+        worst.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let spread = match (worst.first(), worst.last()) {
+            (Some((_, lo)), Some((_, hi))) => format!(" (min {lo:.3}, max {hi:.3})"),
+            _ => String::new(),
+        };
         println!(
-            "{verdict} {:<24} median ratio {:.3} over {} metrics",
+            "{verdict} {:<24} median ratio {:.3} over {} metrics{spread}",
             report.workload,
             report.median_ratio,
             report.ratios.len()
@@ -89,13 +95,13 @@ fn main() {
         for missing in &report.missing {
             println!("     missing row: {missing}");
         }
+        // the worst cells are what a human (or trajectory review) reads
+        // first, so print them on success too
+        let show = if report.passes(tolerance) { 3 } else { 5 };
+        for (label, ratio) in worst.iter().take(show) {
+            println!("     {ratio:.3}x  {label}");
+        }
         if !report.passes(tolerance) {
-            // the worst cells are what a human debugs first
-            let mut worst = report.ratios.clone();
-            worst.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            for (label, ratio) in worst.iter().take(5) {
-                println!("     {ratio:.3}x  {label}");
-            }
             failed = true;
         }
     }

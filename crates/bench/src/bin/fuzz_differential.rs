@@ -11,7 +11,14 @@
 //!
 //! Run with: `cargo run --release -p dyntree_bench --bin fuzz_differential
 //! -- [--seeds 32] [--ops 20000] [--start-seed 1] [--batch 1024]
-//! [--vertices 96]`
+//! [--vertices 96] [--telemetry]`
+//!
+//! `--telemetry` (needs the `telemetry` cargo feature) attaches an enabled
+//! telemetry handle to every replay and dumps each backend's counter
+//! fingerprint when a seed diverges, so a failing seed ships its phase
+//! fingerprint in the report.  The timing half of the snapshot is stripped
+//! from the rendered `BatchReport`s either way — byte-comparability across
+//! configs is the whole point of this harness.
 //!
 //! CI runs the default 32 seeds × 20 000 ops on every thread-matrix leg
 //! (`DYNTREE_THREADS` ∈ {1, 2, 8}), so the whole scenario space is checked
@@ -21,7 +28,7 @@ use dyntree_connectivity::{DynConnectivity, SpanningBackend};
 use dyntree_naive::NaiveForest;
 use dyntree_primitives::algebra::SumMinMax;
 use dyntree_primitives::ops::{GraphOp, OpOutcome};
-use dyntree_primitives::ParallelConfig;
+use dyntree_primitives::{ParallelConfig, Telemetry};
 use dyntree_seqs::TreapSequence;
 use dyntree_workloads::FuzzTraceGen;
 
@@ -35,17 +42,26 @@ struct Run {
     components: usize,
     edges: usize,
     invariant_error: Option<String>,
+    /// Counter fingerprint of the replay (`--telemetry` + feature only).
+    counters: Option<String>,
 }
 
 fn replay<B: SpanningBackend<Weights = SumMinMax>>(
     batches: &[Vec<GraphOp>],
     cfg: ParallelConfig,
+    telemetry: bool,
 ) -> Run {
     let mut g: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
+    if telemetry {
+        g.set_telemetry(Telemetry::enabled());
+    }
     let mut reports = Vec::with_capacity(batches.len());
     let mut outcomes = Vec::new();
     for batch in batches {
-        let report = g.apply(batch);
+        let mut report = g.apply(batch);
+        // strip the timing half before rendering: nanos are never
+        // byte-comparable, and this harness diffs renderings
+        report.telemetry = None;
         outcomes.extend(report.outcomes.iter().copied());
         reports.push(format!("{report:?}"));
     }
@@ -55,13 +71,14 @@ fn replay<B: SpanningBackend<Weights = SumMinMax>>(
         components: g.component_count(),
         edges: g.num_edges(),
         invariant_error: g.check_invariants().err(),
+        counters: g.telemetry_snapshot().map(|s| s.counters_fingerprint()),
     }
 }
 
 /// The ground truth: the naive backend fed one op at a time.
-fn oracle(batches: &[Vec<GraphOp>]) -> Run {
+fn oracle(batches: &[Vec<GraphOp>], telemetry: bool) -> Run {
     let singletons: Vec<Vec<GraphOp>> = batches.iter().flatten().map(|&op| vec![op]).collect();
-    replay::<NaiveForest>(&singletons, ParallelConfig::sequential())
+    replay::<NaiveForest>(&singletons, ParallelConfig::sequential(), telemetry)
 }
 
 /// Reports the first divergence between two runs; `true` when they agree.
@@ -124,6 +141,7 @@ fn main() {
     let mut start_seed = 1u64;
     let mut batch = 1_024usize;
     let mut vertices = 96usize;
+    let mut telemetry = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut grab = |what: &str| -> String {
@@ -136,14 +154,21 @@ fn main() {
             "--start-seed" => start_seed = grab("--start-seed").parse().expect("--start-seed: u64"),
             "--batch" => batch = grab("--batch").parse().expect("--batch: usize"),
             "--vertices" => vertices = grab("--vertices").parse().expect("--vertices: usize"),
+            "--telemetry" => telemetry = true,
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: fuzz_differential [--seeds N] [--ops N] \
-                     [--start-seed S] [--batch B] [--vertices V]"
+                     [--start-seed S] [--batch B] [--vertices V] [--telemetry]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if telemetry && !Telemetry::enabled().is_enabled() {
+        eprintln!(
+            "warning: --telemetry requested but the `telemetry` cargo feature is not \
+             compiled in; counter fingerprints will be absent"
+        );
     }
 
     // A forced-wide config: the chunked delete/insert pre-passes engage on
@@ -171,7 +196,7 @@ fn main() {
             gen = gen.delete_heavy();
         }
         let batches = gen.batches(batch);
-        let truth = oracle(&batches);
+        let truth = oracle(&batches, telemetry);
         let mut seed_ok = true;
         // the ground truth itself must be internally consistent, or every
         // comparison below is vacuous
@@ -183,27 +208,35 @@ fn main() {
         let runs = [
             (
                 "ufo",
-                replay::<ufo_forest::UfoForest>(&batches, ParallelConfig::default()),
+                replay::<ufo_forest::UfoForest>(&batches, ParallelConfig::default(), telemetry),
             ),
             (
                 "ufo-seq",
-                replay::<ufo_forest::UfoForest>(&batches, ParallelConfig::sequential()),
+                replay::<ufo_forest::UfoForest>(&batches, ParallelConfig::sequential(), telemetry),
             ),
-            ("ufo-wide", replay::<ufo_forest::UfoForest>(&batches, wide)),
+            (
+                "ufo-wide",
+                replay::<ufo_forest::UfoForest>(&batches, wide, telemetry),
+            ),
             (
                 "linkcut",
-                replay::<dyntree_linkcut::LinkCutForest>(&batches, ParallelConfig::default()),
+                replay::<dyntree_linkcut::LinkCutForest>(
+                    &batches,
+                    ParallelConfig::default(),
+                    telemetry,
+                ),
             ),
             (
                 "euler-treap",
                 replay::<dyntree_euler::EulerTourForest<TreapSequence>>(
                     &batches,
                     ParallelConfig::default(),
+                    telemetry,
                 ),
             ),
             (
                 "naive",
-                replay::<NaiveForest>(&batches, ParallelConfig::default()),
+                replay::<NaiveForest>(&batches, ParallelConfig::default(), telemetry),
             ),
         ];
         for (name, run) in &runs {
@@ -222,6 +255,16 @@ fn main() {
             );
         } else {
             divergences += 1;
+            // a failing seed ships its counter fingerprints: which backend
+            // drained/promoted/probed differently is usually the lead
+            for (name, run) in &runs {
+                if let Some(counters) = &run.counters {
+                    println!("seed {seed}: [{name}] counters: {counters}");
+                }
+            }
+            if let Some(counters) = &truth.counters {
+                println!("seed {seed}: [oracle] counters: {counters}");
+            }
             println!("seed {seed}: DIVERGED (reproduce with --start-seed {seed} --seeds 1)");
         }
     }

@@ -1,0 +1,348 @@
+//! `profile` — replay a SCALE or fuzz trace with telemetry enabled and print
+//! a per-phase, per-backend breakdown (plus machine-readable JSON).
+//!
+//! Requires the `telemetry` cargo feature:
+//!
+//! ```text
+//! cargo run --release --features telemetry -p dyntree_bench --bin profile -- \
+//!     --trace SCALE-DEL-64k --check
+//! ```
+//!
+//! Flags: `--trace SCALE-64k|SCALE-DEL-64k|fuzz`, `--backends a,b,...`,
+//! `--batch N` (transaction size, default 8192), `--threads N`,
+//! `--seed/--ops/--vertices/--delete-heavy` (fuzz traces only), and
+//! `--check`, which verifies the snapshot JSON round-trips, phase times nest
+//! (children ≤ parent, apply ≤ wall) and — for delete-heavy traces — that
+//! ≥ 90% of wall time is attributed to named phases; any violation exits 1.
+
+#[cfg(not(feature = "telemetry"))]
+fn main() {
+    eprintln!(
+        "profile requires the `telemetry` feature:\n  cargo run --release --features telemetry -p dyntree_bench --bin profile"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(feature = "telemetry")]
+fn main() {
+    telemetry_main::run();
+}
+
+#[cfg(feature = "telemetry")]
+mod telemetry_main {
+    use std::time::Instant;
+
+    use dyntree_bench::{parallel_scaling_delete_trace, parallel_scaling_trace, ConnBackend};
+    use dyntree_connectivity::{DynConnectivity, MemoryBreakdown, SpanningBackend};
+    use dyntree_euler::EulerTourForest;
+    use dyntree_linkcut::LinkCutForest;
+    use dyntree_primitives::algebra::SumMinMax;
+    use dyntree_primitives::telemetry::{Telemetry, TelemetrySnapshot};
+    use dyntree_primitives::{GraphOp, ParallelConfig};
+    use dyntree_seqs::{SplaySequence, TreapSequence};
+    use dyntree_workloads::FuzzTraceGen;
+    use ufo_forest::UfoForest;
+
+    struct Args {
+        trace: String,
+        backends: Vec<ConnBackend>,
+        batch: usize,
+        threads: Option<usize>,
+        seed: u64,
+        ops: usize,
+        vertices: usize,
+        delete_heavy: bool,
+        check: bool,
+    }
+
+    fn parse_args() -> Args {
+        let mut out = Args {
+            trace: "SCALE-DEL-64k".to_string(),
+            backends: ConnBackend::ALL.to_vec(),
+            batch: 8192,
+            threads: None,
+            seed: 1,
+            ops: 60_000,
+            vertices: 2048,
+            delete_heavy: false,
+            check: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut grab = || {
+                args.next()
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--trace" => out.trace = grab(),
+                "--backends" => {
+                    let list = grab();
+                    out.backends = list
+                        .split(',')
+                        .map(|name| {
+                            ConnBackend::ALL
+                                .into_iter()
+                                .find(|b| b.name() == name.trim())
+                                .unwrap_or_else(|| panic!("unknown backend {name:?}"))
+                        })
+                        .collect();
+                }
+                "--batch" => out.batch = grab().parse().expect("--batch takes a number"),
+                "--threads" => {
+                    out.threads = Some(grab().parse().expect("--threads takes a number"));
+                }
+                "--seed" => out.seed = grab().parse().expect("--seed takes a number"),
+                "--ops" => out.ops = grab().parse().expect("--ops takes a number"),
+                "--vertices" => {
+                    out.vertices = grab().parse().expect("--vertices takes a number");
+                }
+                "--delete-heavy" => out.delete_heavy = true,
+                "--check" => out.check = true,
+                other => panic!("unknown flag {other:?} (see the module docs)"),
+            }
+        }
+        out
+    }
+
+    struct Run {
+        backend: &'static str,
+        wall_nanos: u64,
+        applied: u64,
+        snapshot: TelemetrySnapshot,
+        memory: MemoryBreakdown,
+    }
+
+    fn profile_backend<B: SpanningBackend<Weights = SumMinMax>>(
+        name: &'static str,
+        ops: &[GraphOp],
+        batch: usize,
+        cfg: ParallelConfig,
+    ) -> Run {
+        let mut engine: DynConnectivity<B> = DynConnectivity::new(0)
+            .with_parallel_config(cfg)
+            .with_telemetry(Telemetry::enabled());
+        let mut applied = 0u64;
+        let start = Instant::now();
+        for chunk in ops.chunks(batch.max(1)) {
+            applied += engine.apply(chunk).applied as u64;
+        }
+        let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Run {
+            backend: name,
+            wall_nanos,
+            applied: std::hint::black_box(applied),
+            snapshot: engine.telemetry_snapshot().expect("telemetry enabled"),
+            memory: engine.memory_breakdown(),
+        }
+    }
+
+    fn dispatch(backend: ConnBackend, ops: &[GraphOp], batch: usize, cfg: ParallelConfig) -> Run {
+        match backend {
+            ConnBackend::Ufo => profile_backend::<UfoForest>("ufo", ops, batch, cfg),
+            ConnBackend::LinkCut => profile_backend::<LinkCutForest>("linkcut", ops, batch, cfg),
+            ConnBackend::EulerTreap => {
+                profile_backend::<EulerTourForest<TreapSequence>>("euler-treap", ops, batch, cfg)
+            }
+            ConnBackend::EulerSplay => {
+                profile_backend::<EulerTourForest<SplaySequence>>("euler-splay", ops, batch, cfg)
+            }
+        }
+    }
+
+    fn ms(nanos: u64) -> f64 {
+        nanos as f64 / 1e6
+    }
+
+    /// Share of wall time attributed to `apply`'s direct children (the named
+    /// top-level phases).
+    fn attributed_fraction(run: &Run) -> f64 {
+        let children: u64 = run
+            .snapshot
+            .phases
+            .iter()
+            .filter(|p| p.parent == Some("apply"))
+            .map(|p| p.nanos)
+            .sum();
+        children as f64 / run.wall_nanos.max(1) as f64
+    }
+
+    fn print_run(run: &Run) {
+        println!("\n== {} ==", run.backend);
+        println!(
+            "wall {:>10.2} ms   applied {}   attributed to named phases {:.1}%",
+            ms(run.wall_nanos),
+            run.applied,
+            100.0 * attributed_fraction(run)
+        );
+        println!(
+            "{:<28} {:>12} {:>7} {:>10}",
+            "phase", "ms", "%wall", "enters"
+        );
+        for p in &run.snapshot.phases {
+            let depth = {
+                let mut d = 0;
+                let mut cur = p.parent;
+                while let Some(parent) = cur {
+                    d += 1;
+                    cur = run.snapshot.phase(parent).and_then(|q| q.parent);
+                }
+                d
+            };
+            println!(
+                "{:<28} {:>12.2} {:>6.1}% {:>10}",
+                format!("{}{}", "  ".repeat(depth), p.phase),
+                ms(p.nanos),
+                100.0 * p.nanos as f64 / run.wall_nanos.max(1) as f64,
+                p.enters
+            );
+        }
+        println!("{:<42} {:>12}", "counter", "value");
+        for &(name, v) in &run.snapshot.counters {
+            println!("{name:<42} {v:>12}");
+        }
+        println!("memory: {}", run.memory);
+    }
+
+    /// Self-checks on one run; returns human-readable violations.
+    fn check_run(run: &Run, require_attribution: bool) -> Vec<String> {
+        let mut bad = Vec::new();
+        // 1. the JSON export round-trips
+        match TelemetrySnapshot::parse(&run.snapshot.to_json()) {
+            Ok(back) => {
+                if back != run.snapshot {
+                    bad.push(format!("{}: JSON round-trip mismatch", run.backend));
+                }
+            }
+            Err(e) => bad.push(format!("{}: JSON does not parse: {e}", run.backend)),
+        }
+        // 2. phase times nest: children sum to ≤ the parent (5% slack for
+        //    timer overhead), and the root phase fits inside the wall time
+        for parent in &run.snapshot.phases {
+            let children: u64 = run
+                .snapshot
+                .phases
+                .iter()
+                .filter(|p| p.parent == Some(parent.phase))
+                .map(|p| p.nanos)
+                .sum();
+            if children as f64 > parent.nanos as f64 * 1.05 + 1e6 {
+                bad.push(format!(
+                    "{}: children of {} sum to {} ns > parent {} ns",
+                    run.backend, parent.phase, children, parent.nanos
+                ));
+            }
+        }
+        let apply = run.snapshot.phase("apply").expect("apply phase exists");
+        if apply.nanos > run.wall_nanos {
+            bad.push(format!(
+                "{}: apply {} ns exceeds wall {} ns",
+                run.backend, apply.nanos, run.wall_nanos
+            ));
+        }
+        // 3. the named phases account for the wall time (delete traces)
+        if require_attribution && attributed_fraction(run) < 0.90 {
+            bad.push(format!(
+                "{}: only {:.1}% of wall time attributed to named phases",
+                run.backend,
+                100.0 * attributed_fraction(run)
+            ));
+        }
+        bad
+    }
+
+    pub fn run() {
+        let args = parse_args();
+        let (trace_name, ops): (String, Vec<GraphOp>) = match args.trace.as_str() {
+            "SCALE-64k" => parallel_scaling_trace(),
+            "SCALE-DEL-64k" => parallel_scaling_delete_trace(),
+            "fuzz" => {
+                let mut gen = FuzzTraceGen::new(args.seed)
+                    .with_ops(args.ops)
+                    .with_vertices(args.vertices);
+                if args.delete_heavy {
+                    gen = gen.delete_heavy();
+                }
+                (
+                    format!(
+                        "fuzz(seed={}, ops={}, vertices={}{})",
+                        args.seed,
+                        args.ops,
+                        args.vertices,
+                        if args.delete_heavy {
+                            ", delete-heavy"
+                        } else {
+                            ""
+                        }
+                    ),
+                    gen.generate(),
+                )
+            }
+            other => panic!("unknown trace {other:?} (SCALE-64k | SCALE-DEL-64k | fuzz)"),
+        };
+        let cfg = match args.threads {
+            Some(t) => ParallelConfig::with_threads(t),
+            None => ParallelConfig::default(),
+        };
+        println!(
+            "trace {trace_name}: {} ops in transactions of {}, {} pool threads",
+            ops.len(),
+            args.batch,
+            rayon::current_num_threads()
+        );
+
+        let mut runs = Vec::new();
+        for backend in &args.backends {
+            rayon::reset_global_pool_metrics();
+            let run = dispatch(*backend, &ops, args.batch, cfg);
+            let pool = rayon::global_pool_metrics();
+            print_run(&run);
+            println!(
+                "pool: {} jobs ({} helper steals), queue depth hwm {}, busy per slot {:?} ms",
+                pool.jobs_executed,
+                pool.helper_jobs,
+                pool.queue_depth_hwm,
+                pool.busy_nanos
+                    .iter()
+                    .map(|&n| (ms(n) * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
+            );
+            runs.push(run);
+        }
+
+        // machine-readable epilogue: one self-contained JSON document per
+        // backend (each parses with TelemetrySnapshot::parse)
+        println!("\n--- JSON ---");
+        for run in &runs {
+            println!(
+                "{{\"trace\": \"{trace_name}\", \"backend\": \"{}\", \"batch\": {}, \"wall_nanos\": {}, \"applied\": {}, \"memory_bytes\": {}, \"snapshot\":",
+                run.backend,
+                args.batch,
+                run.wall_nanos,
+                run.applied,
+                run.memory.total()
+            );
+            print!("{}", run.snapshot.to_json());
+            println!("}}");
+        }
+
+        if args.check {
+            // the attribution bound is part of the acceptance criteria for
+            // the delete-heavy SCALE trace (where the engine, not trace
+            // generation or report plumbing, dominates)
+            let require_attribution = args.trace == "SCALE-DEL-64k";
+            let violations: Vec<String> = runs
+                .iter()
+                .flat_map(|r| check_run(r, require_attribution))
+                .collect();
+            if violations.is_empty() {
+                println!("\ncheck: OK ({} backends)", runs.len());
+            } else {
+                eprintln!("\ncheck: FAILED");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

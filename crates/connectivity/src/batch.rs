@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet};
 use dyntree_primitives::algebra::WeightOf;
 use dyntree_primitives::ops::{BatchReport, EdgeKind, GraphError, GraphOp, OpOutcome};
 use dyntree_primitives::remove_duplicates;
+use dyntree_primitives::telemetry::{BatchTelemetry, Counter, Phase};
 use rayon::prelude::*;
 
 use crate::backend::SpanningBackend;
@@ -66,10 +67,17 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         // costs O(|batch| α) regardless of the graph's vertex count.  Large
         // batches compute per-chunk certificates in parallel first.
         let known = self.plan_insert_pairs(&batch);
+        let _walk_span = self.telemetry().span(Phase::InsertWalk);
         let mut dsu = SparseDsu::default();
         for (i, &(u, v)) in batch.iter().enumerate() {
             let certified = known.as_deref().is_some_and(|k| k[i]);
             let inserted = if certified || dsu.same(u, v) {
+                self.telemetry().incr(if certified {
+                    Counter::InsertCertificatesUsed
+                } else {
+                    Counter::InsertDsuHits
+                });
+                self.telemetry().incr(Counter::LiveProbesSaved);
                 self.insert_nontree_edge(u, v)
             } else {
                 self.insert_edge(u, v)
@@ -113,28 +121,45 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         if chunks <= 1 {
             return None;
         }
+        let _pre_pass_span = self.telemetry().span(Phase::InsertPrePass);
         let n = self.len();
         let backend = self.backend();
         let ranges = dyntree_primitives::chunk_ranges(pairs.len(), chunks);
-        let parts: Vec<Vec<bool>> = ranges
+        // per chunk: (certificates, snapshot probes issued, certificates set)
+        let parts: Vec<(Vec<bool>, u64, u64)> = ranges
             .par_iter()
             .map(|&(lo, hi)| {
                 let mut dsu = SparseDsu::default();
-                pairs[lo..hi]
+                let mut probes = 0u64;
+                let mut issued = 0u64;
+                let flags = pairs[lo..hi]
                     .iter()
                     .map(|&(u, v)| {
                         if u == v || u >= n || v >= n {
                             return false;
                         }
-                        let known =
-                            dsu.same(u, v) || backend.connected_snapshot(u, v).unwrap_or(false);
+                        let known = if dsu.same(u, v) {
+                            true
+                        } else {
+                            probes += 1;
+                            backend.connected_snapshot(u, v).unwrap_or(false)
+                        };
                         dsu.union(u, v);
+                        issued += u64::from(known);
                         known
                     })
-                    .collect()
+                    .collect();
+                (flags, probes, issued)
             })
             .collect();
-        Some(parts.concat())
+        let mut flags = Vec::with_capacity(pairs.len());
+        for (chunk_flags, probes, issued) in parts {
+            self.telemetry().add(Counter::SnapshotProbes, probes);
+            self.telemetry()
+                .add(Counter::InsertCertificatesIssued, issued);
+            flags.extend(chunk_flags);
+        }
+        Some(flags)
     }
 
     /// Applies a batch of edge deletions.  Returns the number of edges
@@ -175,12 +200,14 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     ) {
         let chunks = self.par.chunks_for(pairs.len());
         if !B::SNAPSHOT_QUERIES || !self.par.worth_delete(pairs.len()) || chunks <= 1 {
+            let _walk_span = self.telemetry().span(Phase::DeleteWalk);
             for &(u, v) in pairs {
                 record(self.delete_outcome(u, v));
             }
             return;
         }
         let classes = self.classify_delete_pairs(pairs, chunks);
+        let _walk_span = self.telemetry().span(Phase::DeleteWalk);
         // Certified non-tree removals of the current drain segment, in run
         // order; flushed (grouped, parallel) before any tree deletion runs.
         let mut drain: Vec<(Vertex, Vertex, usize)> = Vec::new();
@@ -195,6 +222,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     v: u.max(v),
                 })),
                 DeleteClass::NonTree if !promoted.contains(&(u.min(v), u.max(v))) => {
+                    self.telemetry().incr(Counter::DeleteNonTreeDrained);
                     let level = self.take_certified_nontree_record(u, v);
                     drain.push((u, v, level));
                     record(OpOutcome::EdgeDeleted {
@@ -205,7 +233,10 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 // A tree edge — or a non-tree certificate invalidated by an
                 // earlier in-run promotion.  The replacement search must see
                 // current adjacency, so the pending drain flushes first.
-                DeleteClass::Tree | DeleteClass::NonTree => {
+                class @ (DeleteClass::Tree | DeleteClass::NonTree) => {
+                    if class == DeleteClass::NonTree {
+                        self.telemetry().incr(Counter::DeleteCertificatesStale);
+                    }
                     self.flush_nontree_drain(&mut drain);
                     record(match self.try_delete_edge_traced(u, v) {
                         Ok((outcome, promo)) => {
@@ -254,6 +285,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         pairs: &[(Vertex, Vertex)],
         chunks: usize,
     ) -> Vec<DeleteClass> {
+        let _classify_span = self.telemetry().span(Phase::DeleteClassify);
         let classify = |&(u, v): &(Vertex, Vertex)| self.classify_one_delete(u, v);
         let mut classes: Vec<DeleteClass> = if chunks <= 1 {
             pairs.iter().map(classify).collect()
@@ -274,6 +306,14 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             {
                 *class = DeleteClass::Missing;
             }
+        }
+        if self.telemetry().is_enabled() {
+            let issued = classes
+                .iter()
+                .filter(|c| matches!(c, DeleteClass::NonTree))
+                .count() as u64;
+            self.telemetry()
+                .add(Counter::DeleteCertificatesIssued, issued);
         }
         classes
     }
@@ -324,6 +364,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         if drain.is_empty() {
             return;
         }
+        let _drain_span = self.telemetry().span(Phase::NonTreeDrain);
         let chunks = self.par.chunks_for(drain.len());
         if chunks <= 1 {
             for &(u, v, level) in drain.iter() {
@@ -425,8 +466,27 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// assert_eq!(report.components_after, 2);
     /// ```
     pub fn apply(&mut self, ops: &[OpOf<B>]) -> BatchReport {
+        // With telemetry enabled, the report carries this batch's counter and
+        // phase deltas (cumulative snapshot before vs after).
+        let before = self.telemetry_snapshot();
         let mut report = BatchReport::new(self.len(), self.component_count());
         report.outcomes.reserve(ops.len());
+        {
+            let _apply_span = self.telemetry().span(Phase::Apply);
+            self.apply_runs(ops, &mut report);
+        }
+        report.close(self.len(), self.component_count());
+        if let (Some(before), Some(now)) = (before, self.telemetry_snapshot()) {
+            report.telemetry = Some(BatchTelemetry {
+                delta: now.delta_since(&before),
+            });
+        }
+        report
+    }
+
+    /// The run-splitting walk of [`Self::apply`], factored out so the
+    /// `apply` phase span can scope exactly the op execution.
+    fn apply_runs(&mut self, ops: &[OpOf<B>], report: &mut BatchReport) {
         let mut i = 0;
         while i < ops.len() {
             match ops[i] {
@@ -435,7 +495,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     while j < ops.len() && matches!(ops[j], GraphOp::InsertEdge(..)) {
                         j += 1;
                     }
-                    self.apply_insert_run(&ops[i..j], &mut report);
+                    self.apply_insert_run(&ops[i..j], report);
                     i = j;
                 }
                 GraphOp::DeleteEdge(..) => {
@@ -443,7 +503,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     while j < ops.len() && matches!(ops[j], GraphOp::DeleteEdge(..)) {
                         j += 1;
                     }
-                    self.apply_delete_run(&ops[i..j], &mut report);
+                    self.apply_delete_run(&ops[i..j], report);
                     i = j;
                 }
                 GraphOp::AddVertices(count) => {
@@ -470,8 +530,6 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 }
             }
         }
-        report.close(self.len(), self.component_count());
-        report
     }
 
     /// Applies one maximal run of consecutive `InsertEdge` ops with the
@@ -503,6 +561,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         } else {
             None
         };
+        let _walk_span = self.telemetry().span(Phase::InsertWalk);
         let mut dsu = SparseDsu::default();
         for (i, op) in run.iter().enumerate() {
             let &GraphOp::InsertEdge(u, v) = op else {
@@ -524,22 +583,31 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     u: u.min(v),
                     v: u.max(v),
                 })
-            } else if known.as_deref().is_some_and(|k| k[i]) || dsu.same(u, v) {
-                // Either certificate proves the endpoints are already
-                // connected, so this is a cycle edge — same conclusion the
-                // live probe below would reach, minus the probe.
-                let inserted = self.insert_nontree_edge(u, v);
-                debug_assert!(inserted, "pre-validated non-tree insert rejected");
-                dsu.union(u, v);
-                OpOutcome::EdgeInserted {
-                    kind: EdgeKind::NonTree,
-                }
             } else {
-                let kind = self
-                    .try_insert_edge(u, v)
-                    .expect("pre-validated insert rejected");
-                dsu.union(u, v);
-                OpOutcome::EdgeInserted { kind }
+                let certified = known.as_deref().is_some_and(|k| k[i]);
+                if certified || dsu.same(u, v) {
+                    // Either certificate proves the endpoints are already
+                    // connected, so this is a cycle edge — same conclusion
+                    // the live probe below would reach, minus the probe.
+                    self.telemetry().incr(if certified {
+                        Counter::InsertCertificatesUsed
+                    } else {
+                        Counter::InsertDsuHits
+                    });
+                    self.telemetry().incr(Counter::LiveProbesSaved);
+                    let inserted = self.insert_nontree_edge(u, v);
+                    debug_assert!(inserted, "pre-validated non-tree insert rejected");
+                    dsu.union(u, v);
+                    OpOutcome::EdgeInserted {
+                        kind: EdgeKind::NonTree,
+                    }
+                } else {
+                    let kind = self
+                        .try_insert_edge(u, v)
+                        .expect("pre-validated insert rejected");
+                    dsu.union(u, v);
+                    OpOutcome::EdgeInserted { kind }
+                }
             };
             report.record(outcome);
         }
@@ -566,6 +634,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             let pairs: Vec<(Vertex, Vertex)> = run.iter().map(as_pair).collect();
             self.apply_delete_pairs(&pairs, |outcome| report.record(outcome));
         } else {
+            let _walk_span = self.telemetry().span(Phase::DeleteWalk);
             for op in run {
                 let (u, v) = as_pair(op);
                 let outcome = self.delete_outcome(u, v);

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 
 use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
 use dyntree_primitives::ops::{DeleteOutcome, EdgeKind, GraphError};
-use dyntree_primitives::{Dsu, ParallelConfig};
+use dyntree_primitives::telemetry::{Counter, Phase, TelemetrySnapshot};
+use dyntree_primitives::{Dsu, ParallelConfig, Telemetry};
 
 use crate::backend::SpanningBackend;
 use crate::levels::LevelAdjacency;
@@ -49,6 +50,8 @@ pub struct DynConnectivity<B: SpanningBackend> {
     stamp: u64,
     /// Grain sizes and fan-out for the parallel batch pre-pass.
     pub(crate) par: ParallelConfig,
+    /// Telemetry handle (disabled by default; clones share accumulators).
+    pub(crate) tel: Telemetry,
 }
 
 impl<B: SpanningBackend> DynConnectivity<B> {
@@ -64,7 +67,36 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             mark: vec![0; n],
             stamp: 0,
             par: ParallelConfig::default(),
+            tel: Telemetry::from_env(),
         }
+    }
+
+    /// The engine's telemetry handle (disabled unless the `telemetry`
+    /// feature is compiled in and it was enabled explicitly or via
+    /// `DYNTREE_TELEMETRY=1`).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Replaces the telemetry handle.  An enabled handle makes every
+    /// [`apply`](Self::apply) attach a per-batch
+    /// [`BatchTelemetry`](dyntree_primitives::BatchTelemetry) delta to its
+    /// report; note the report timings then differ run to run (counters do
+    /// not — see the determinism contract).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Builder-style variant of [`set_telemetry`](Self::set_telemetry).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Copies the cumulative telemetry accumulators (`None` when the handle
+    /// is disabled or the `telemetry` feature is off).
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.tel.snapshot()
     }
 
     /// The engine's parallel-execution tunables (see
@@ -387,6 +419,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         let split = promoted.is_none();
         if split {
             self.components += 1;
+            self.tel.incr(Counter::ComponentSplits);
         }
         Ok((
             DeleteOutcome {
@@ -408,9 +441,16 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// Returns the (canonically oriented) non-tree edge that was promoted
     /// and linked as the replacement, or `None` when the component split.
     fn find_replacement(&mut self, u: Vertex, v: Vertex, l: usize) -> Option<(Vertex, Vertex)> {
+        let _search_span = self.tel.span(Phase::ReplacementSearch);
+        self.tel.incr(Counter::ReplacementSearches);
         for level in (0..=l).rev() {
             // The smaller of the two F_level components the cut produced.
-            let side = self.smaller_side(u, v, level);
+            let side = {
+                let _side_span = self.tel.span(Phase::SmallerSide);
+                self.smaller_side(u, v, level)
+            };
+            self.tel
+                .add(Counter::SmallerSideVertices, side.len() as u64);
             self.stamp += 1;
             for &x in &side {
                 self.mark[x] = self.stamp;
@@ -418,6 +458,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
 
             // Charge the search: push the side's level-`level` tree edges up.
             if level + 1 < self.level_cap {
+                let mut bumps = 0u64;
                 for &x in &side {
                     let to_bump = self.adj.tree_neighbors_at(x, level);
                     for w in to_bump {
@@ -426,8 +467,10 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                         if let Some(info) = self.edges.get_mut(&canonical(x, w)) {
                             info.level = level + 1;
                         }
+                        bumps += 1;
                     }
                 }
+                self.tel.add(Counter::LevelBumpsTree, bumps);
             }
 
             // Scan the side's level-`level` non-tree edges: the first one
@@ -442,7 +485,10 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 let mut drained = bucket.into_iter();
                 let mut survivors: Vec<Vertex> = Vec::new();
                 let mut found: Option<Vertex> = None;
+                let mut scanned = 0u64;
+                let mut bumped = 0u64;
                 for y in drained.by_ref() {
+                    scanned += 1;
                     if self.mark[y] == self.stamp {
                         if level + 1 < self.level_cap {
                             let moved = self.adj.nontree_remove_one_sided(y, x, level);
@@ -453,6 +499,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                                 .get_mut(&canonical(x, y))
                                 .expect("live non-tree edge")
                                 .level = level + 1;
+                            bumped += 1;
                         } else {
                             survivors.push(y);
                         }
@@ -461,6 +508,8 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                         break;
                     }
                 }
+                self.tel.add(Counter::ReplacementEdgesScanned, scanned);
+                self.tel.add(Counter::LevelBumpsNonTree, bumped);
                 if let Some(y) = found {
                     // unscanned edges keep their level
                     survivors.extend(drained);
@@ -475,6 +524,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                         .tree = true;
                     let linked = self.backend.link(x, y);
                     debug_assert!(linked, "backend rejected replacement link ({x},{y})");
+                    self.tel.incr(Counter::ReplacementPromotions);
                     return Some(canonical(x, y));
                 }
                 self.adj.nontree_set_bucket(x, level, survivors);
@@ -602,11 +652,26 @@ impl<B: SpanningBackend> DynConnectivity<B> {
 
     /// Approximate heap bytes owned by the engine and its backend.
     pub fn memory_bytes(&self) -> usize {
+        self.memory_breakdown().total()
+    }
+
+    /// Approximate heap bytes per substructure (backend, the three level
+    /// adjacency views — BTreeMap node overhead included — the edge
+    /// registry, and the scratch mark array).  Feeds the bytes-per-edge
+    /// rows of the memory benchmarks.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
         let word = std::mem::size_of::<usize>();
-        self.backend.memory_bytes()
-            + self.adj.memory_bytes()
-            + self.edges.capacity() * (2 * word + std::mem::size_of::<EdgeInfo>() + word / 2)
-            + self.mark.capacity() * std::mem::size_of::<u64>()
+        let (adjacency_tree_map, adjacency_tree_buckets, adjacency_nontree) =
+            self.adj.memory_breakdown();
+        MemoryBreakdown {
+            backend: self.backend.memory_bytes(),
+            adjacency_tree_map,
+            adjacency_tree_buckets,
+            adjacency_nontree,
+            edge_registry: self.edges.capacity()
+                * (2 * word + std::mem::size_of::<EdgeInfo>() + word / 2),
+            scratch: self.mark.capacity() * std::mem::size_of::<u64>(),
+        }
     }
 
     /// Verifies the engine's invariants; returns a description of the first
@@ -768,6 +833,51 @@ impl<B: SpanningBackend<Weights = SumMinMax>> DynConnectivity<B> {
     /// Maximum vertex weight on the spanning-tree path between `u` and `v`.
     pub fn path_max(&mut self, u: Vertex, v: Vertex) -> Option<i64> {
         self.path_agg(u, v).map(|a| a.max)
+    }
+}
+
+/// Per-substructure heap-byte estimate of a [`DynConnectivity`] engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Bytes owned by the spanning-forest backend.
+    pub backend: usize,
+    /// Level adjacency: the tree neighbour→level maps.
+    pub adjacency_tree_map: usize,
+    /// Level adjacency: the bucketed (level→neighbours) tree mirror.
+    pub adjacency_tree_buckets: usize,
+    /// Level adjacency: the non-tree level buckets.
+    pub adjacency_nontree: usize,
+    /// The canonical edge → `(level, tree)` registry.
+    pub edge_registry: usize,
+    /// Epoch-stamped scratch mark array.
+    pub scratch: usize,
+}
+
+impl MemoryBreakdown {
+    /// Sum of every substructure.
+    pub fn total(&self) -> usize {
+        self.backend
+            + self.adjacency_tree_map
+            + self.adjacency_tree_buckets
+            + self.adjacency_nontree
+            + self.edge_registry
+            + self.scratch
+    }
+}
+
+impl std::fmt::Display for MemoryBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {} B (backend {}, adj tree map {}, adj tree buckets {}, adj non-tree {}, edge registry {}, scratch {})",
+            self.total(),
+            self.backend,
+            self.adjacency_tree_map,
+            self.adjacency_tree_buckets,
+            self.adjacency_nontree,
+            self.edge_registry,
+            self.scratch
+        )
     }
 }
 

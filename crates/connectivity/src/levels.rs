@@ -215,19 +215,57 @@ impl LevelAdjacency {
     /// Approximate heap bytes owned by the adjacency structures (both tree
     /// views, the bucketed mirror included, plus the non-tree buckets).
     pub fn memory_bytes(&self) -> usize {
+        let (tree_map, tree_buckets, nontree) = self.memory_breakdown();
+        tree_map + tree_buckets + nontree
+    }
+
+    /// Approximate heap bytes per substructure:
+    /// `(tree neighbour→level map, bucketed tree mirror, non-tree buckets)`.
+    ///
+    /// BTreeMap overhead is modelled at node granularity: std's B-tree
+    /// (B = 6) holds up to 11 entries per node, and a map that grew by
+    /// insertion runs ~70% full, so we charge one node — 11 entry slots plus
+    /// pointer/length/parent slack — per ⌈len / 8⌉ entries.  That replaces
+    /// the old flat "half a word per entry" fudge, which undercounted small
+    /// maps badly (a 1-entry map still owns a whole node).
+    pub fn memory_breakdown(&self) -> (usize, usize, usize) {
         let word = std::mem::size_of::<usize>();
-        let map_entry = 2 * word + word / 2; // key + value + tree-node slack
-        let tree: usize = self.tree.iter().map(|m| m.len() * map_entry).sum();
+        let spine = |cap: usize| cap * std::mem::size_of::<BTreeMap<usize, usize>>();
+        // neighbour → level: key + value, both words
+        let tree_map: usize = self
+            .tree
+            .iter()
+            .map(|m| btree_map_bytes(m.len(), 2 * word))
+            .sum::<usize>()
+            + spine(self.tree.capacity());
+        // level → Vec<neighbour>: key + Vec header (3 words) per entry, plus
+        // each bucket's own heap allocation
         let bucket_bytes = |maps: &Vec<BTreeMap<usize, Vec<usize>>>| -> usize {
             maps.iter()
                 .map(|m| {
-                    m.len() * map_entry + m.values().map(|v| v.capacity() * word).sum::<usize>()
+                    btree_map_bytes(m.len(), 4 * word)
+                        + m.values().map(|v| v.capacity() * word).sum::<usize>()
                 })
-                .sum()
+                .sum::<usize>()
+                + spine(maps.capacity())
         };
-        tree + bucket_bytes(&self.tree_buckets)
-            + bucket_bytes(&self.nontree)
-            + self.tree.capacity() * 3 * word
+        (
+            tree_map,
+            bucket_bytes(&self.tree_buckets),
+            bucket_bytes(&self.nontree),
+        )
+    }
+}
+
+/// Heap bytes of a `BTreeMap` with `len` entries of `entry_bytes` each,
+/// modelled at node granularity (see
+/// [`memory_breakdown`](LevelAdjacency::memory_breakdown)).
+fn btree_map_bytes(len: usize, entry_bytes: usize) -> usize {
+    let word = std::mem::size_of::<usize>();
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(8) * (11 * entry_bytes + 3 * word)
     }
 }
 

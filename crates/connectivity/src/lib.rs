@@ -62,7 +62,7 @@ pub mod levels;
 
 pub use backend::SpanningBackend;
 pub use batch::OpOf;
-pub use engine::DynConnectivity;
+pub use engine::{DynConnectivity, MemoryBreakdown};
 // The typed operations vocabulary the engine speaks (defined in
 // `dyntree_primitives::ops`, re-exported here so engine users need one
 // import path).

@@ -20,6 +20,7 @@ pub mod ops;
 pub mod par;
 pub mod slab;
 pub mod stats;
+pub mod telemetry;
 
 pub use algebra::{Agg, CommutativeMonoid, InvertibleMonoid, Monoid};
 pub use dsu::Dsu;
@@ -30,3 +31,4 @@ pub use ops::{BatchReport, DeleteOutcome, EdgeKind, GraphError, GraphOp, OpOutco
 pub use par::{chunk_ranges, worth_parallel, ParallelConfig, CHUNK_GRAIN, DELETE_GRAIN, PAR_GRAIN};
 pub use slab::SharedSlab;
 pub use stats::{vec_bytes, OnlineStats};
+pub use telemetry::{BatchTelemetry, Counter, Phase, Telemetry, TelemetrySnapshot};

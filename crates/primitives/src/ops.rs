@@ -18,6 +18,8 @@
 
 use std::fmt;
 
+use crate::telemetry::BatchTelemetry;
+
 /// Why a graph operation or query could not be applied.
 ///
 /// The two *benign* variants — [`DuplicateEdge`](GraphError::DuplicateEdge)
@@ -221,6 +223,11 @@ pub struct BatchReport {
     pub components_before: usize,
     /// Connected-component count after the batch.
     pub components_after: usize,
+    /// Per-batch telemetry delta, attached only when the engine's
+    /// [`Telemetry`](crate::Telemetry) handle is enabled.  Contains wall
+    /// timings, so reports with telemetry attached are not byte-comparable
+    /// across runs (counters are; see the determinism contract).
+    pub telemetry: Option<BatchTelemetry>,
 }
 
 impl BatchReport {

@@ -48,6 +48,8 @@ use std::ops::Range;
 mod pool;
 
 pub use pool::{current_num_threads, GlobalPoolAlreadyInitialized, ThreadPoolBuilder};
+#[cfg(feature = "telemetry")]
+pub use pool::{global_pool_metrics, reset_global_pool_metrics, PoolMetrics};
 
 /// Runs both closures, potentially in parallel, and returns both results.
 ///

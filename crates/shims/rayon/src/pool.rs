@@ -16,6 +16,8 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -28,6 +30,66 @@ struct Shared {
     /// Signalled when a job is pushed; workers park here when idle.
     available: Condvar,
     threads: usize,
+    #[cfg(feature = "telemetry")]
+    metrics: PoolCounters,
+}
+
+/// Relaxed-atomic scheduler metrics, compiled only under the `telemetry`
+/// feature so the disabled build keeps the exact pre-telemetry hot path.
+#[cfg(feature = "telemetry")]
+struct PoolCounters {
+    /// Total jobs run to completion, on any thread.
+    jobs_executed: AtomicU64,
+    /// Jobs run by a *helping submitter* inside `run_all_with`'s drain loop
+    /// (the fork-and-help equivalent of a work steal).
+    helper_jobs: AtomicU64,
+    /// Highest queue length observed right after a batch was pushed.
+    queue_depth_hwm: AtomicUsize,
+    /// Busy nanoseconds per slot: slot 0 is the submitting/helping thread
+    /// (and the inline `threads <= 1` path), slots `1..` are the workers.
+    busy_nanos: Vec<AtomicU64>,
+}
+
+#[cfg(feature = "telemetry")]
+impl PoolCounters {
+    fn new(threads: usize) -> PoolCounters {
+        PoolCounters {
+            jobs_executed: AtomicU64::new(0),
+            helper_jobs: AtomicU64::new(0),
+            queue_depth_hwm: AtomicUsize::new(0),
+            busy_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record_job(&self, slot: usize, nanos: u64, helper: bool) {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        if helper {
+            self.helper_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(busy) = self.busy_nanos.get(slot) {
+            busy.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    fn note_queue_depth(&self, depth: usize) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the pool's scheduler metrics.
+#[cfg(feature = "telemetry")]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Total pool width (including the always-helping submitter slot).
+    pub threads: usize,
+    /// Jobs run to completion on any thread.
+    pub jobs_executed: u64,
+    /// Jobs stolen and run by helping submitters.
+    pub helper_jobs: u64,
+    /// Highest injector-queue length observed after a batch push.
+    pub queue_depth_hwm: usize,
+    /// Busy nanoseconds per slot (slot 0 = submitters, `1..` = workers).
+    pub busy_nanos: Vec<u64>,
 }
 
 /// A handle to a pool of worker threads (plus the shared queue).
@@ -55,6 +117,8 @@ impl Pool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             threads,
+            #[cfg(feature = "telemetry")]
+            metrics: PoolCounters::new(threads),
         });
         // The submitting thread always helps, so `threads` total parallelism
         // needs `threads - 1` dedicated workers.
@@ -62,7 +126,7 @@ impl Pool {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("dyntree-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i))
                 .expect("failed to spawn pool worker");
         }
         Pool { shared }
@@ -99,9 +163,15 @@ impl Pool {
             let local_result = catch_unwind(AssertUnwindSafe(local));
             let mut first_panic = None;
             for task in tasks {
+                #[cfg(feature = "telemetry")]
+                let start = std::time::Instant::now();
                 if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
                     first_panic.get_or_insert(p);
                 }
+                #[cfg(feature = "telemetry")]
+                self.shared
+                    .metrics
+                    .record_job(0, elapsed_nanos(start), false);
             }
             return match local_result {
                 Err(p) => resume_unwind(p),
@@ -136,6 +206,8 @@ impl Pool {
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(wrapped) };
                 q.push_back(job);
             }
+            #[cfg(feature = "telemetry")]
+            self.shared.metrics.note_queue_depth(q.len());
             self.shared.available.notify_all();
         }
 
@@ -151,7 +223,13 @@ impl Pool {
             let job = self.shared.queue.lock().unwrap().pop_front();
             match job {
                 Some(job) => {
+                    #[cfg(feature = "telemetry")]
+                    let start = std::time::Instant::now();
                     job();
+                    #[cfg(feature = "telemetry")]
+                    self.shared
+                        .metrics
+                        .record_job(0, elapsed_nanos(start), true);
                     idle_spins = 0;
                 }
                 None => {
@@ -180,6 +258,50 @@ impl Pool {
     }
 }
 
+#[cfg(feature = "telemetry")]
+impl Pool {
+    /// Copies the pool's scheduler metrics.
+    pub(crate) fn metrics(&self) -> PoolMetrics {
+        let m = &self.shared.metrics;
+        PoolMetrics {
+            threads: self.shared.threads,
+            jobs_executed: m.jobs_executed.load(Ordering::Relaxed),
+            helper_jobs: m.helper_jobs.load(Ordering::Relaxed),
+            queue_depth_hwm: m.queue_depth_hwm.load(Ordering::Relaxed),
+            busy_nanos: m
+                .busy_nanos
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Zeroes the pool's scheduler metrics (for per-run attribution).
+    pub(crate) fn reset_metrics(&self) {
+        let m = &self.shared.metrics;
+        m.jobs_executed.store(0, Ordering::Relaxed);
+        m.helper_jobs.store(0, Ordering::Relaxed);
+        m.queue_depth_hwm.store(0, Ordering::Relaxed);
+        for b in &m.busy_nanos {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Metrics of the process-wide pool (creating it on first use).
+#[cfg(feature = "telemetry")]
+pub fn global_pool_metrics() -> PoolMetrics {
+    global().metrics()
+}
+
+/// Zeroes the global pool's metrics, so the next read attributes work to a
+/// single run.  Racing in-flight jobs only smear a few nanos — acceptable
+/// for a profiling aid.
+#[cfg(feature = "telemetry")]
+pub fn reset_global_pool_metrics() {
+    global().reset_metrics();
+}
+
 /// Completion state of one `run_all` batch, shared between the submitting
 /// frame (on whose stack it lives) and the workers running its jobs.
 struct Batch {
@@ -187,7 +309,9 @@ struct Batch {
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = index;
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -199,8 +323,19 @@ fn worker_loop(shared: &Shared) {
             }
         };
         // Jobs are panic-wrapped by `run_all`, so this cannot unwind.
+        #[cfg(feature = "telemetry")]
+        let start = std::time::Instant::now();
         job();
+        #[cfg(feature = "telemetry")]
+        shared
+            .metrics
+            .record_job(index, elapsed_nanos(start), false);
     }
+}
+
+#[cfg(feature = "telemetry")]
+fn elapsed_nanos(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Fork-join over an explicit pool: runs `oper_a` on the calling thread and
@@ -320,3 +455,57 @@ impl std::fmt::Display for GlobalPoolAlreadyInitialized {
 }
 
 impl std::error::Error for GlobalPoolAlreadyInitialized {}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod metric_tests {
+    use super::*;
+
+    #[test]
+    fn pool_metrics_account_every_job() {
+        let pool = Pool::start(3);
+        let n = 64;
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_all(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        let m = pool.metrics();
+        assert_eq!(m.threads, 3);
+        assert_eq!(m.busy_nanos.len(), 3);
+        assert_eq!(m.jobs_executed, n as u64);
+        assert!(m.helper_jobs <= m.jobs_executed);
+        assert!(m.queue_depth_hwm >= 1 && m.queue_depth_hwm <= n);
+        pool.reset_metrics();
+        let m = pool.metrics();
+        assert_eq!(
+            (m.jobs_executed, m.helper_jobs, m.queue_depth_hwm),
+            (0, 0, 0)
+        );
+        assert!(m.busy_nanos.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn inline_pool_counts_jobs_in_slot_zero() {
+        let pool = Pool::start(1);
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_all(tasks);
+        let m = pool.metrics();
+        assert_eq!(m.jobs_executed, 5);
+        assert_eq!(m.helper_jobs, 0);
+        assert_eq!(m.busy_nanos.len(), 1);
+    }
+}

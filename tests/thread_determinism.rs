@@ -81,7 +81,12 @@ fn replay_full_reports<B: SpanningBackend<Weights = SumMinMax>>(
     let mut engine: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
     let mut lines = Vec::new();
     for batch in batches {
-        lines.push(format!("{:?}", engine.apply(batch)));
+        let mut report = engine.apply(batch);
+        // byte-comparisons here are about outcomes and counts; a stray
+        // DYNTREE_TELEMETRY=1 in the environment must not smuggle
+        // wall-clock nanos into the rendering
+        report.telemetry = None;
+        lines.push(format!("{report:?}"));
     }
     engine.check_invariants().unwrap();
     (lines, engine.component_count(), engine.num_edges())
@@ -196,6 +201,99 @@ fn grouping_primitives_are_identical_across_pool_widths() {
     let mut expected: Vec<u64> = (0..613).collect();
     expected.sort_unstable();
     assert_eq!(remove_duplicates(keys), expected);
+}
+
+/// Telemetry counter determinism (`--features telemetry`): the counter part
+/// of a snapshot is data, not timing, and must obey the same determinism
+/// contract as the reports themselves.
+///
+/// Two strengths are asserted:
+/// * the **full** counter set (certificates, probes, drains included) is a
+///   pure function of the trace and the `ParallelConfig` — identical across
+///   repeated runs at the same config, whatever the pool width (the CI
+///   thread matrix varies `DYNTREE_THREADS` over this very test);
+/// * the **core HDT counters** (replacement searches / scanned edges /
+///   promotions, level bumps, smaller-side sizes, component splits) don't
+///   depend on the fan-out at all — the sequential walk and every forced
+///   chunking agree, even though the certificate/probe counters legitimately
+///   differ between the sequential and classified delete paths.
+#[cfg(feature = "telemetry")]
+mod telemetry_counters {
+    use super::{forced, FuzzTraceGen, ParallelConfig, SumMinMax};
+    use dyntree_connectivity::{DynConnectivity, SpanningBackend};
+    use dyntree_primitives::{GraphOp, Telemetry};
+
+    const CORE: [&str; 7] = [
+        "replacement_searches",
+        "replacement_edges_scanned",
+        "replacement_promotions",
+        "level_bumps_tree",
+        "level_bumps_nontree",
+        "smaller_side_vertices",
+        "component_splits",
+    ];
+
+    /// Replays `batches` with an engine-local enabled telemetry handle and
+    /// returns (full counter fingerprint, core-counter fingerprint).
+    fn counter_fingerprints<B: SpanningBackend<Weights = SumMinMax>>(
+        batches: &[Vec<GraphOp>],
+        cfg: ParallelConfig,
+    ) -> (String, String) {
+        let mut engine: DynConnectivity<B> = DynConnectivity::new(0)
+            .with_parallel_config(cfg)
+            .with_telemetry(Telemetry::enabled());
+        for batch in batches {
+            engine.apply(batch);
+        }
+        engine.check_invariants().unwrap();
+        let snap = engine.telemetry_snapshot().expect("telemetry enabled");
+        let core = CORE
+            .iter()
+            .map(|name| format!("{name}={}", snap.counter(name)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        (snap.counters_fingerprint(), core)
+    }
+
+    #[test]
+    fn counters_are_deterministic_across_fanouts() {
+        let batches = FuzzTraceGen::new(0x7E1E)
+            .with_ops(6_000)
+            .with_vertices(96)
+            .delete_heavy()
+            .batches(512);
+        type Ufo = ufo_forest::UfoForest;
+
+        let (seq_full, seq_core) =
+            counter_fingerprints::<Ufo>(&batches, ParallelConfig::sequential());
+        assert!(
+            seq_core.contains("replacement_searches=")
+                && !seq_core.contains("replacement_searches=0 "),
+            "trace too tame to exercise replacement search: {seq_core}"
+        );
+
+        // full fingerprint: reproducible at a fixed config
+        let (again_full, _) = counter_fingerprints::<Ufo>(&batches, ParallelConfig::sequential());
+        assert_eq!(seq_full, again_full, "sequential replay not reproducible");
+        let (wide_a, _) = counter_fingerprints::<Ufo>(&batches, forced(4));
+        let (wide_b, _) = counter_fingerprints::<Ufo>(&batches, forced(4));
+        assert_eq!(wide_a, wide_b, "forced(4) replay not reproducible");
+
+        // core HDT counters: invariant across every fan-out AND the
+        // sequential walk
+        for threads in [1, 2, 8] {
+            let (_, core) = counter_fingerprints::<Ufo>(&batches, forced(threads));
+            assert_eq!(
+                core, seq_core,
+                "core counters diverged at fan-out {threads}"
+            );
+        }
+        let (_, default_core) = counter_fingerprints::<Ufo>(&batches, ParallelConfig::default());
+        assert_eq!(
+            default_core, seq_core,
+            "default config core counters diverged"
+        );
+    }
 }
 
 #[test]
