@@ -10,9 +10,10 @@
 
 use crate::{
     batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, connectivity_bench_streams,
-    parallel_scaling_apply_time, parallel_scaling_delete_trace, parallel_scaling_trace,
-    stream_batch_replay_time, stream_replay_time, weighted_bench_forests, weighted_path_query_time,
-    ConnBackend, WeightedBackend,
+    parallel_scaling_apply_time, parallel_scaling_apply_time_rebuild,
+    parallel_scaling_delete_trace, parallel_scaling_trace, stream_batch_replay_time,
+    stream_replay_time, weighted_bench_forests, weighted_path_query_time, ConnBackend,
+    WeightedBackend, REBUILD_BENCH_THRESHOLD,
 };
 use dyntree_primitives::ParallelConfig;
 
@@ -254,7 +255,8 @@ pub fn weighted_path_query_rows() -> Baseline {
 
 /// Measures the `parallel_scaling` workload: `apply` throughput over the
 /// insert-heavy and the delete-heavy 64k-op traces at effective widths
-/// 1/2/4/8 on one shared pool.
+/// 1/2/4/8 on one shared pool, plus the delete-heavy trace re-run under the
+/// rebuild-enabled config (`config=rebuild5` rows).
 pub fn parallel_scaling_rows() -> Baseline {
     let reps = bench_reps();
     let mut results = Vec::new();
@@ -276,6 +278,27 @@ pub fn parallel_scaling_rows() -> Baseline {
                 });
             }
         }
+    }
+    // the delete-heavy gate leg: SCALE-DEL-64k again with the rebuild
+    // escape hatch armed (ufo only — the hatch needs a snapshot-capable
+    // backend), so a regression in the relaxed canonical-outcome path
+    // fails the gate like any other row
+    let (name, ops) = parallel_scaling_delete_trace();
+    let n = ops.len() as f64;
+    for threads in [1usize, 2, 4, 8] {
+        let t = best_of(reps, || {
+            parallel_scaling_apply_time_rebuild(ConnBackend::Ufo, &ops, threads).0
+        });
+        results.push(BaselineRow {
+            id: vec![
+                ("trace".into(), name.clone()),
+                ("ops".into(), ops.len().to_string()),
+                ("backend".into(), "ufo".into()),
+                ("threads".into(), threads.to_string()),
+                ("config".into(), format!("rebuild{REBUILD_BENCH_THRESHOLD}")),
+            ],
+            metrics: vec![("apply_ops_per_s".into(), n / t)],
+        });
     }
     Baseline {
         workload: "parallel_scaling".into(),

@@ -10,10 +10,13 @@
 //!
 //! Flags: `--trace SCALE-64k|SCALE-DEL-64k|fuzz`, `--backends a,b,...`,
 //! `--batch N` (transaction size, default 8192), `--threads N`,
+//! `--rebuild-threshold P` (arms the rebuild escape hatch at P percent),
 //! `--seed/--ops/--vertices/--delete-heavy` (fuzz traces only), and
-//! `--check`, which verifies the snapshot JSON round-trips, phase times nest
-//! (children ≤ parent, apply ≤ wall) and — for delete-heavy traces — that
-//! ≥ 90% of wall time is attributed to named phases; any violation exits 1.
+//! `--check`, which verifies the snapshot JSON round-trips, the delete-walk
+//! sub-phases (`search_fan_out`, `rebuild`) parse with the right parent,
+//! phase times nest (children ≤ parent, apply ≤ wall) and — for
+//! delete-heavy traces — that ≥ 90% of wall time is attributed to named
+//! phases; any violation exits 1.
 
 #[cfg(not(feature = "telemetry"))]
 fn main() {
@@ -52,6 +55,7 @@ mod telemetry_main {
         ops: usize,
         vertices: usize,
         delete_heavy: bool,
+        rebuild_threshold: usize,
         check: bool,
     }
 
@@ -65,6 +69,7 @@ mod telemetry_main {
             ops: 60_000,
             vertices: 2048,
             delete_heavy: false,
+            rebuild_threshold: 0,
             check: false,
         };
         let mut args = std::env::args().skip(1);
@@ -97,6 +102,10 @@ mod telemetry_main {
                     out.vertices = grab().parse().expect("--vertices takes a number");
                 }
                 "--delete-heavy" => out.delete_heavy = true,
+                "--rebuild-threshold" => {
+                    out.rebuild_threshold =
+                        grab().parse().expect("--rebuild-threshold takes a percent");
+                }
                 "--check" => out.check = true,
                 other => panic!("unknown flag {other:?} (see the module docs)"),
             }
@@ -215,6 +224,20 @@ mod telemetry_main {
             }
             Err(e) => bad.push(format!("{}: JSON does not parse: {e}", run.backend)),
         }
+        // 1b. the schema carries the delete-walk sub-phases end to end: the
+        //     fan-out and rebuild phases must survive the JSON round-trip
+        //     (they are zero-entered on hatch-off runs, but never absent)
+        for phase in ["search_fan_out", "rebuild"] {
+            let round_tripped = TelemetrySnapshot::parse(&run.snapshot.to_json())
+                .ok()
+                .and_then(|s| s.phase(phase).map(|p| p.parent == Some("delete_walk")));
+            if round_tripped != Some(true) {
+                bad.push(format!(
+                    "{}: phase {phase} missing or misparented after JSON round-trip",
+                    run.backend
+                ));
+            }
+        }
         // 2. phase times nest: children sum to ≤ the parent (5% slack for
         //    timer overhead), and the root phase fits inside the wall time
         for parent in &run.snapshot.phases {
@@ -282,7 +305,8 @@ mod telemetry_main {
         let cfg = match args.threads {
             Some(t) => ParallelConfig::with_threads(t),
             None => ParallelConfig::default(),
-        };
+        }
+        .with_rebuild_threshold(args.rebuild_threshold);
         println!(
             "trace {trace_name}: {} ops in transactions of {}, {} pool threads",
             ops.len(),

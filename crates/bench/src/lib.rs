@@ -635,6 +635,26 @@ pub fn parallel_scaling_apply_time(
     batch_ops_apply_time_with(backend, ops, 8192, ParallelConfig::with_threads(threads))
 }
 
+/// The rebuild-threshold percent the delete-heavy gate leg and the recorded
+/// baselines arm the escape hatch at.
+pub const REBUILD_BENCH_THRESHOLD: usize = 5;
+
+/// Like [`parallel_scaling_apply_time`], with the rebuild escape hatch armed
+/// at [`REBUILD_BENCH_THRESHOLD`] percent — the relaxed canonical-outcome
+/// config, so the checksum is *not* comparable against the hatch-off runs.
+pub fn parallel_scaling_apply_time_rebuild(
+    backend: ConnBackend,
+    ops: &[GraphOp],
+    threads: usize,
+) -> (f64, u64) {
+    batch_ops_apply_time_with(
+        backend,
+        ops,
+        8192,
+        ParallelConfig::with_threads(threads).with_rebuild_threshold(REBUILD_BENCH_THRESHOLD),
+    )
+}
+
 /// Applies `ops` one `try_*` call at a time (the looped-singles baseline the
 /// `batch_ops` bench compares `apply` against).
 pub fn batch_ops_single_time(backend: ConnBackend, ops: &[GraphOp]) -> (f64, u64) {

@@ -26,6 +26,7 @@ use rayon::prelude::*;
 
 use crate::backend::SpanningBackend;
 use crate::engine::DynConnectivity;
+use crate::search::{canonical, search_replacement, OverlayAdj, OverlayDiffs, SearchScratch};
 use crate::Vertex;
 
 /// The [`GraphOp`] type a `DynConnectivity<B>` engine accepts: weights are
@@ -51,6 +52,48 @@ pub enum DeleteClass {
     /// Live spanning-forest edge: must take the sequential HDT replacement
     /// search.
     Tree,
+}
+
+/// One pre-batch forest component's worth of certified deletions from a
+/// delete run: the unit of independence for the search fan-out and the
+/// rebuild escape hatch (DESIGN.md §10).
+struct DeleteGroup {
+    /// Canonical DSU root of the pre-batch component.
+    root: Vertex,
+    /// Run indices of the component's certified deletions, ascending.
+    indices: Vec<usize>,
+    /// How many of those are certified tree deletions (searches to run).
+    tree_dels: usize,
+    /// Vertex count of the pre-batch component.
+    comp_size: usize,
+    /// Whether the rebuild hatch takes this group wholesale.
+    rebuild: bool,
+}
+
+/// The component partition of one delete run, plus the DSU that certified
+/// it (the rebuild path reuses it to attribute surviving registry edges to
+/// their component).
+struct DeletePlan {
+    /// Retained groups in canonical (first run index) order.
+    groups: Vec<DeleteGroup>,
+    /// Union-find over the endpoints of every pre-batch tree edge.
+    dsu: SparseDsu,
+    /// Whether the non-rebuild groups fan out over the pool (≥ 2 searcher
+    /// groups on a multi-thread config).
+    fan_out: bool,
+}
+
+/// What one fanned-out search group produced on a pool worker, ready to
+/// install wholesale in canonical group order.
+struct GroupRun {
+    /// `(run index, outcome)` per certified deletion, in run order.
+    outcomes: Vec<(usize, OpOutcome)>,
+    /// Touched vertex states and edge-registry deltas from the overlay.
+    diffs: OverlayDiffs,
+    /// Backend mutations in op order: `(is_link, u, v)`.
+    backend_ops: Vec<(bool, Vertex, Vertex)>,
+    /// Component splits the group's deletions caused.
+    splits: usize,
 }
 
 impl<B: SpanningBackend> DynConnectivity<B> {
@@ -199,7 +242,13 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         mut record: impl FnMut(OpOutcome),
     ) {
         let chunks = self.par.chunks_for(pairs.len());
-        if !B::SNAPSHOT_QUERIES || !self.par.worth_delete(pairs.len()) || chunks <= 1 {
+        // The bulk path fires for chunkable multi-thread runs as before, and
+        // additionally for any run past the delete grain when the rebuild
+        // hatch is on — the hatch pays off even on a 1-thread pool.
+        let bulk = B::SNAPSHOT_QUERIES
+            && ((self.par.worth_delete(pairs.len()) && chunks > 1)
+                || (self.par.rebuild_enabled() && pairs.len() >= self.par.delete_grain));
+        if !bulk {
             let _walk_span = self.telemetry().span(Phase::DeleteWalk);
             for &(u, v) in pairs {
                 record(self.delete_outcome(u, v));
@@ -208,6 +257,16 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         }
         let classes = self.classify_delete_pairs(pairs, chunks);
         let _walk_span = self.telemetry().span(Phase::DeleteWalk);
+        // Component grouping: certified deletions in distinct pre-batch
+        // forest components are independent.  Groups taken by the rebuild
+        // hatch or the search fan-out land their outcomes in `slots`; the
+        // sequential walk below records them in run order and handles
+        // everything else exactly as before.
+        let mut slots: Vec<Option<OpOutcome>> = vec![None; pairs.len()];
+        if let Some(mut plan) = self.plan_delete_groups(pairs, &classes) {
+            self.execute_rebuild_groups(pairs, &classes, &mut plan, &mut slots);
+            self.execute_search_groups(pairs, &classes, &plan, &mut slots);
+        }
         // Certified non-tree removals of the current drain segment, in run
         // order; flushed (grouped, parallel) before any tree deletion runs.
         let mut drain: Vec<(Vertex, Vertex, usize)> = Vec::new();
@@ -215,6 +274,10 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         // searches: the only certificates that can go stale, tracked exactly.
         let mut promoted: HashSet<(Vertex, Vertex)> = HashSet::new();
         for (i, &(u, v)) in pairs.iter().enumerate() {
+            if let Some(outcome) = slots[i].take() {
+                record(outcome);
+                continue;
+            }
             match classes[i] {
                 DeleteClass::Invalid(e) => record(OpOutcome::from_error(e)),
                 DeleteClass::Missing => record(OpOutcome::from_error(GraphError::MissingEdge {
@@ -254,6 +317,369 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             }
         }
         self.flush_nontree_drain(&mut drain);
+    }
+
+    /// Partitions a classified delete run by pre-batch forest component and
+    /// decides, per component, between the rebuild hatch and the search
+    /// fan-out.  Returns `None` when nothing is worth grouping — the
+    /// sequential walk then handles every op, exactly as before.
+    ///
+    /// The independence certificate: a replacement search only ever reads
+    /// and writes inside its deletion's pre-batch component, and certified
+    /// deletions in *distinct* components therefore commute with each other
+    /// (DESIGN.md §10).  The partition comes from a sparse union-find over
+    /// the endpoints of every live tree edge — the spanning forest covers
+    /// every component of size ≥ 2, and every certified deletion's endpoints
+    /// carry at least one tree edge, so every grouped endpoint is a DSU key.
+    fn plan_delete_groups(
+        &self,
+        pairs: &[(Vertex, Vertex)],
+        classes: &[DeleteClass],
+    ) -> Option<DeletePlan> {
+        if !self.par.rebuild_enabled() && self.par.effective_threads() <= 1 {
+            return None;
+        }
+        if !classes.contains(&DeleteClass::Tree) {
+            // No searches to fan out and nothing the hatch could save.
+            return None;
+        }
+        let mut dsu = SparseDsu::default();
+        for (&(a, b), info) in &self.edges {
+            if info.tree {
+                dsu.union(a, b);
+            }
+        }
+        // Component vertex counts: every vertex of a size ≥ 2 component has
+        // a tree edge, so the DSU key set is exactly the non-isolated
+        // vertex set.
+        let keys: Vec<Vertex> = dsu.parent.keys().copied().collect();
+        let mut sizes: HashMap<Vertex, usize> = HashMap::new();
+        for k in keys {
+            *sizes.entry(dsu.find(k)).or_insert(0) += 1;
+        }
+        let mut group_of: HashMap<Vertex, usize> = HashMap::new();
+        let mut groups: Vec<DeleteGroup> = Vec::new();
+        for (i, &(u, _)) in pairs.iter().enumerate() {
+            if !matches!(classes[i], DeleteClass::Tree | DeleteClass::NonTree) {
+                continue;
+            }
+            let root = dsu.find(u);
+            let gi = *group_of.entry(root).or_insert_with(|| {
+                groups.push(DeleteGroup {
+                    root,
+                    indices: Vec::new(),
+                    tree_dels: 0,
+                    comp_size: sizes.get(&root).copied().unwrap_or(0),
+                    rebuild: false,
+                });
+                groups.len() - 1
+            });
+            groups[gi].indices.push(i);
+            groups[gi].tree_dels += usize::from(classes[i] == DeleteClass::Tree);
+        }
+        for g in &mut groups {
+            g.rebuild = self.par.rebuild_worth(g.tree_dels, g.comp_size);
+        }
+        // Fan-out needs at least two searcher groups to overlap; a lone
+        // searcher group stays on the (cheaper) sequential walk.
+        let searchers = groups
+            .iter()
+            .filter(|g| !g.rebuild && g.tree_dels > 0)
+            .count();
+        let fan_out = searchers >= 2 && self.par.effective_threads() > 1;
+        groups.retain(|g| g.rebuild || (fan_out && g.tree_dels > 0));
+        if groups.is_empty() {
+            return None;
+        }
+        Some(DeletePlan {
+            groups,
+            dsu,
+            fan_out,
+        })
+    }
+
+    /// Executes the rebuild-hatch groups of a delete plan: removes every
+    /// certified deletion wholesale, then rebuilds each component's spanning
+    /// forest from the surviving registry edges with a sparse union-find,
+    /// and finally attributes per-op split flags by a **reverse replay** of
+    /// the group's deletions (checking `(u, v)` connectivity before
+    /// re-unioning it examines exactly the post-op live graph, so the split
+    /// flags are identical to the sequential walk's).  This skips the
+    /// replacement searches entirely — the relaxed canonical-outcome
+    /// contract (DESIGN.md §10): tree membership, edge levels, and the
+    /// search counters may diverge from the sequential walk; connectivity,
+    /// the component partition, split flags and the live edge set do not.
+    fn execute_rebuild_groups(
+        &mut self,
+        pairs: &[(Vertex, Vertex)],
+        classes: &[DeleteClass],
+        plan: &mut DeletePlan,
+        slots: &mut [Option<OpOutcome>],
+    ) {
+        if !plan.groups.iter().any(|g| g.rebuild) {
+            return;
+        }
+        let _rebuild_span = self.telemetry().span(Phase::Rebuild);
+        // Remove every certified deletion of every rebuild group.  No
+        // searches run here, so no certificate can go stale: the registry
+        // still agrees with the pre-pass classes.
+        for g in plan.groups.iter().filter(|g| g.rebuild) {
+            for &i in &g.indices {
+                let (u, v) = pairs[i];
+                let info = self
+                    .edges
+                    .remove(&canonical(u, v))
+                    .expect("certified delete of a dead edge");
+                if info.tree {
+                    let removed = self.adj.tree_remove(u, v);
+                    debug_assert_eq!(removed, Some(info.level));
+                    let cut = self.backend.cut(u, v);
+                    debug_assert!(cut, "backend rejected cutting tree edge ({u},{v})");
+                } else {
+                    self.tel.incr(Counter::DeleteNonTreeDrained);
+                    let removed = self.adj.nontree_remove(u, v, info.level);
+                    debug_assert!(removed, "drained non-tree edge ({u},{v}) not in adjacency");
+                }
+            }
+        }
+        // One shared scan attributes every surviving registry edge to its
+        // rebuild group (survivors of other components are skipped).
+        let mut group_of_root: HashMap<Vertex, usize> = HashMap::new();
+        for (gi, g) in plan.groups.iter().enumerate() {
+            if g.rebuild {
+                group_of_root.insert(g.root, gi);
+            }
+        }
+        let mut survivors: Vec<Vec<(Vertex, Vertex, usize, bool)>> =
+            vec![Vec::new(); plan.groups.len()];
+        for (&(a, b), info) in &self.edges {
+            if let Some(&gi) = group_of_root.get(&plan.dsu.find(a)) {
+                survivors[gi].push((a, b, info.level, info.tree));
+            }
+        }
+        for (gi, g) in plan.groups.iter().enumerate() {
+            if !g.rebuild {
+                continue;
+            }
+            // Deterministic rebuild order regardless of registry hashing:
+            // canonical (min, max) keys are unique, so the sort is total.
+            let mut edges = std::mem::take(&mut survivors[gi]);
+            edges.sort_unstable();
+            let mut forest = SparseDsu::default();
+            for &(a, b, _, tree) in &edges {
+                if tree {
+                    debug_assert!(!forest.same(a, b), "surviving spanning forest has a cycle");
+                    forest.union(a, b);
+                }
+            }
+            // Promote non-tree survivors (at their kept level) until the
+            // component's spanning forest is maximal again.
+            for &(a, b, level, tree) in &edges {
+                if tree {
+                    continue;
+                }
+                if !forest.same(a, b) {
+                    let removed = self.adj.nontree_remove(a, b, level);
+                    debug_assert!(
+                        removed,
+                        "surviving non-tree edge ({a},{b}) not in adjacency"
+                    );
+                    self.adj.tree_insert(a, b, level);
+                    self.edges.get_mut(&(a, b)).expect("surviving edge").tree = true;
+                    let linked = self.backend.link(a, b);
+                    debug_assert!(linked, "backend rejected rebuild link ({a},{b})");
+                }
+                forest.union(a, b);
+            }
+            // Reverse replay: walking the group's deletions last-to-first,
+            // `!same(u, v)` *before* re-unioning is connectivity in the live
+            // graph right after op `i` ran — the sequential split flag.
+            let mut splits = 0u64;
+            for &i in g.indices.iter().rev() {
+                let (u, v) = pairs[i];
+                let split = !forest.same(u, v);
+                forest.union(u, v);
+                splits += u64::from(split);
+                let kind = if classes[i] == DeleteClass::Tree {
+                    EdgeKind::Tree
+                } else {
+                    EdgeKind::NonTree
+                };
+                slots[i] = Some(OpOutcome::EdgeDeleted { kind, split });
+            }
+            self.components += splits as usize;
+            self.tel.add(Counter::ComponentSplits, splits);
+            self.tel.incr(Counter::RebuildsTaken);
+        }
+    }
+
+    /// Fans the plan's searcher groups out over the pool: each worker runs
+    /// its groups' deletions — replacement searches included — against a
+    /// copy-on-touch [`OverlayAdj`] of the shared engine, with its own mark
+    /// array and scratch arena, and the finished diffs install sequentially
+    /// in canonical group order.  Because the groups live in distinct
+    /// pre-batch components, the installed state and every outcome are
+    /// byte-identical to the sequential walk at every fan-out width; the
+    /// workers share the engine's telemetry handle (counters only — no
+    /// phase spans, whose overlapping wall times would break the profile's
+    /// nesting), so the deterministic counters are also preserved exactly.
+    fn execute_search_groups(
+        &mut self,
+        pairs: &[(Vertex, Vertex)],
+        classes: &[DeleteClass],
+        plan: &DeletePlan,
+        slots: &mut [Option<OpOutcome>],
+    ) {
+        if !plan.fan_out {
+            return;
+        }
+        let _fan_span = self.telemetry().span(Phase::SearchFanOut);
+        let runs: Vec<GroupRun> = {
+            let searchers: Vec<&DeleteGroup> = plan.groups.iter().filter(|g| !g.rebuild).collect();
+            debug_assert!(searchers.len() >= 2, "fan-out planned for < 2 groups");
+            let workers = self.par.effective_threads().min(searchers.len());
+            let ranges = dyntree_primitives::chunk_ranges(searchers.len(), workers);
+            let n = self.len();
+            let this: &Self = self;
+            let parts: Vec<Vec<GroupRun>> = ranges
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut mark = vec![0u64; n];
+                    let mut stamp = 0u64;
+                    let mut scratch = SearchScratch::default();
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for g in &searchers[lo..hi] {
+                        out.push(this.run_search_group(
+                            pairs,
+                            classes,
+                            g,
+                            &mut mark,
+                            &mut stamp,
+                            &mut scratch,
+                        ));
+                    }
+                    out
+                })
+                .collect();
+            parts.into_iter().flatten().collect()
+        };
+        // Install in canonical group order.  The groups touch disjoint
+        // vertices and edges, so any order yields the same state; canonical
+        // order keeps the backend's op sequence deterministic too.
+        for run in runs {
+            for (v, state) in run.diffs.vertices {
+                self.adj.set_vertex(v, state);
+            }
+            for (key, delta) in run.diffs.edges {
+                match delta {
+                    Some(info) => {
+                        self.edges.insert(key, info);
+                    }
+                    None => {
+                        self.edges.remove(&key);
+                    }
+                }
+            }
+            for (is_link, a, b) in run.backend_ops {
+                let ok = if is_link {
+                    self.backend.link(a, b)
+                } else {
+                    self.backend.cut(a, b)
+                };
+                debug_assert!(ok, "backend rejected fanned-out op ({a},{b})");
+            }
+            self.components += run.splits;
+            for (i, outcome) in run.outcomes {
+                slots[i] = Some(outcome);
+            }
+        }
+    }
+
+    /// Runs one searcher group's certified deletions, in run order, against
+    /// an overlay of the shared engine — the pool-worker body of
+    /// [`execute_search_groups`](Self::execute_search_groups).  Mirrors the
+    /// sequential walk's per-class logic exactly (drained non-tree removals,
+    /// stale-certificate detection via the group-local promoted set, full
+    /// replacement searches for tree deletions), so outcomes and counters
+    /// are byte-identical to running the same ops in place.
+    #[allow(clippy::too_many_arguments)]
+    fn run_search_group(
+        &self,
+        pairs: &[(Vertex, Vertex)],
+        classes: &[DeleteClass],
+        group: &DeleteGroup,
+        mark: &mut [u64],
+        stamp: &mut u64,
+        scratch: &mut SearchScratch,
+    ) -> GroupRun {
+        let mut overlay = OverlayAdj::new(&self.adj, &self.edges);
+        let mut outcomes = Vec::with_capacity(group.indices.len());
+        let mut backend_ops: Vec<(bool, Vertex, Vertex)> = Vec::new();
+        let mut promoted: HashSet<(Vertex, Vertex)> = HashSet::new();
+        let mut splits = 0usize;
+        let mut searches = 0u64;
+        for &i in &group.indices {
+            let (u, v) = pairs[i];
+            let outcome = match classes[i] {
+                DeleteClass::NonTree if !promoted.contains(&canonical(u, v)) => {
+                    self.tel.incr(Counter::DeleteNonTreeDrained);
+                    let info = overlay.remove_edge_record(u, v);
+                    debug_assert!(
+                        !info.tree,
+                        "certified non-tree edge ({u},{v}) is a tree edge"
+                    );
+                    overlay.nontree_remove(u, v, info.level);
+                    OpOutcome::EdgeDeleted {
+                        kind: EdgeKind::NonTree,
+                        split: false,
+                    }
+                }
+                class @ (DeleteClass::Tree | DeleteClass::NonTree) => {
+                    if class == DeleteClass::NonTree {
+                        self.tel.incr(Counter::DeleteCertificatesStale);
+                    }
+                    let info = overlay.remove_edge_record(u, v);
+                    debug_assert!(info.tree, "grouped tree delete of a non-tree edge");
+                    let removed = overlay.tree_remove(u, v);
+                    debug_assert_eq!(removed, Some(info.level));
+                    backend_ops.push((false, u, v));
+                    searches += 1;
+                    let promo = search_replacement(
+                        &mut overlay,
+                        mark,
+                        stamp,
+                        scratch,
+                        &self.tel,
+                        false,
+                        self.level_cap,
+                        u,
+                        v,
+                        info.level,
+                    );
+                    let split = promo.is_none();
+                    if let Some((x, y)) = promo {
+                        backend_ops.push((true, x, y));
+                        promoted.insert((x, y));
+                    } else {
+                        splits += 1;
+                        self.tel.incr(Counter::ComponentSplits);
+                    }
+                    OpOutcome::EdgeDeleted {
+                        kind: EdgeKind::Tree,
+                        split,
+                    }
+                }
+                _ => unreachable!("only certified deletions are grouped"),
+            };
+            outcomes.push((i, outcome));
+        }
+        self.tel.add(Counter::SearchesFannedOut, searches);
+        GroupRun {
+            outcomes,
+            diffs: overlay.into_diffs(),
+            backend_ops,
+            splits,
+        }
     }
 
     /// One delete through the typed single-op surface, as an [`OpOutcome`].
@@ -630,7 +1056,10 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             };
             (u, v)
         };
-        if B::SNAPSHOT_QUERIES && self.par.worth_delete(run.len()) {
+        if B::SNAPSHOT_QUERIES
+            && (self.par.worth_delete(run.len())
+                || (self.par.rebuild_enabled() && run.len() >= self.par.delete_grain))
+        {
             let pairs: Vec<(Vertex, Vertex)> = run.iter().map(as_pair).collect();
             self.apply_delete_pairs(&pairs, |outcome| report.record(outcome));
         } else {
@@ -841,6 +1270,7 @@ mod tests {
             batch_grain: 8,
             chunk_grain: 4,
             delete_grain: 8,
+            ..ParallelConfig::default()
         };
         fn trace(n: usize) -> Vec<GraphOp> {
             let mut ops = vec![GraphOp::AddVertices(n)];
@@ -906,6 +1336,7 @@ mod tests {
             batch_grain: 8,
             chunk_grain: 4,
             delete_grain: 8,
+            ..ParallelConfig::default()
         };
         fn delete_heavy_trace(n: usize) -> Vec<GraphOp> {
             let mut ops = vec![GraphOp::AddVertices(n)];
@@ -992,6 +1423,7 @@ mod tests {
             batch_grain: 8,
             chunk_grain: 2,
             delete_grain: 4,
+            ..ParallelConfig::default()
         };
         // link-cut declines snapshot probes; the delete run must still give
         // byte-identical outcomes through the per-op fallback
@@ -1024,6 +1456,7 @@ mod tests {
             batch_grain: 8,
             chunk_grain: 1,
             delete_grain: 8,
+            ..ParallelConfig::default()
         };
         let mut g: DynConnectivity<ufo_forest::UfoForest> =
             DynConnectivity::new(200).with_parallel_config(cfg);

@@ -5,21 +5,13 @@ use std::collections::HashMap;
 
 use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
 use dyntree_primitives::ops::{DeleteOutcome, EdgeKind, GraphError};
-use dyntree_primitives::telemetry::{Counter, Phase, TelemetrySnapshot};
+use dyntree_primitives::telemetry::{Counter, TelemetrySnapshot};
 use dyntree_primitives::{Dsu, ParallelConfig, Telemetry};
 
 use crate::backend::SpanningBackend;
 use crate::levels::LevelAdjacency;
+use crate::search::{canonical, search_replacement, DirectAdj, EdgeInfo, SearchScratch};
 use crate::Vertex;
-
-/// Book-keeping for one live edge.
-#[derive(Clone, Copy, Debug)]
-struct EdgeInfo {
-    /// HDT level; only ever increases.
-    level: usize,
-    /// Whether the edge is currently in the spanning forest.
-    tree: bool,
-}
 
 /// Fully-dynamic connectivity over a growable vertex set `0..len()`.
 ///
@@ -36,18 +28,20 @@ struct EdgeInfo {
 /// outcomes.
 #[derive(Clone, Debug)]
 pub struct DynConnectivity<B: SpanningBackend> {
-    n: usize,
-    backend: B,
-    adj: LevelAdjacency,
+    pub(crate) n: usize,
+    pub(crate) backend: B,
+    pub(crate) adj: LevelAdjacency,
     /// Canonically-oriented `(min, max)` edge → its info.
-    edges: HashMap<(Vertex, Vertex), EdgeInfo>,
-    components: usize,
+    pub(crate) edges: HashMap<(Vertex, Vertex), EdgeInfo>,
+    pub(crate) components: usize,
     /// One past the highest level an edge may reach (`⌊log₂ n⌋ + 1`): an
     /// F_i component holds ≤ n/2^i vertices, so higher levels are useless.
-    level_cap: usize,
+    pub(crate) level_cap: usize,
     /// Epoch-stamped scratch marker for side-membership tests.
-    mark: Vec<u64>,
-    stamp: u64,
+    pub(crate) mark: Vec<u64>,
+    pub(crate) stamp: u64,
+    /// Reusable replacement-search arena (side queues + bump buffer).
+    pub(crate) scratch: SearchScratch,
     /// Grain sizes and fan-out for the parallel batch pre-pass.
     pub(crate) par: ParallelConfig,
     /// Telemetry handle (disabled by default; clones share accumulators).
@@ -66,6 +60,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             level_cap: usize::BITS as usize - n.max(1).leading_zeros() as usize,
             mark: vec![0; n],
             stamp: 0,
+            scratch: SearchScratch::default(),
             par: ParallelConfig::default(),
             tel: Telemetry::from_env(),
         }
@@ -440,129 +435,36 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// HDT replacement search after cutting tree edge `(u, v)` of level `l`.
     /// Returns the (canonically oriented) non-tree edge that was promoted
     /// and linked as the replacement, or `None` when the component split.
+    ///
+    /// The search core lives in [`crate::search`], generic over an adjacency
+    /// view; this sequential path drives it through the zero-cost
+    /// [`DirectAdj`] field-borrow split and applies the backend link itself
+    /// (the search never touches the backend — that is what lets the batch
+    /// layer run the same core against a copy-on-write overlay on pool
+    /// workers).
     fn find_replacement(&mut self, u: Vertex, v: Vertex, l: usize) -> Option<(Vertex, Vertex)> {
-        let _search_span = self.tel.span(Phase::ReplacementSearch);
-        self.tel.incr(Counter::ReplacementSearches);
-        for level in (0..=l).rev() {
-            // The smaller of the two F_level components the cut produced.
-            let side = {
-                let _side_span = self.tel.span(Phase::SmallerSide);
-                self.smaller_side(u, v, level)
-            };
-            self.tel
-                .add(Counter::SmallerSideVertices, side.len() as u64);
-            self.stamp += 1;
-            for &x in &side {
-                self.mark[x] = self.stamp;
-            }
-
-            // Charge the search: push the side's level-`level` tree edges up.
-            if level + 1 < self.level_cap {
-                let mut bumps = 0u64;
-                for &x in &side {
-                    let to_bump = self.adj.tree_neighbors_at(x, level);
-                    for w in to_bump {
-                        debug_assert_eq!(self.mark[w], self.stamp, "F_level tree edge leaves side");
-                        self.adj.tree_set_level(x, w, level + 1);
-                        if let Some(info) = self.edges.get_mut(&canonical(x, w)) {
-                            info.level = level + 1;
-                        }
-                        bumps += 1;
-                    }
-                }
-                self.tel.add(Counter::LevelBumpsTree, bumps);
-            }
-
-            // Scan the side's level-`level` non-tree edges: the first one
-            // leaving the side reconnects the components; the scanned ones
-            // before it are pushed up a level (they stay inside the side).
-            // Each vertex's bucket is drained wholesale and every drained
-            // edge re-filed exactly once, so the scan is linear in the
-            // number of scanned edges (no per-edge remove-by-scan on `x`'s
-            // own shrinking bucket).
-            for &x in &side {
-                let bucket = self.adj.nontree_take_bucket(x, level);
-                let mut drained = bucket.into_iter();
-                let mut survivors: Vec<Vertex> = Vec::new();
-                let mut found: Option<Vertex> = None;
-                let mut scanned = 0u64;
-                let mut bumped = 0u64;
-                for y in drained.by_ref() {
-                    scanned += 1;
-                    if self.mark[y] == self.stamp {
-                        if level + 1 < self.level_cap {
-                            let moved = self.adj.nontree_remove_one_sided(y, x, level);
-                            debug_assert!(moved, "mirror of ({x},{y}) missing");
-                            self.adj.nontree_push_one_sided(y, x, level + 1);
-                            self.adj.nontree_push_one_sided(x, y, level + 1);
-                            self.edges
-                                .get_mut(&canonical(x, y))
-                                .expect("live non-tree edge")
-                                .level = level + 1;
-                            bumped += 1;
-                        } else {
-                            survivors.push(y);
-                        }
-                    } else {
-                        found = Some(y);
-                        break;
-                    }
-                }
-                self.tel.add(Counter::ReplacementEdgesScanned, scanned);
-                self.tel.add(Counter::LevelBumpsNonTree, bumped);
-                if let Some(y) = found {
-                    // unscanned edges keep their level
-                    survivors.extend(drained);
-                    self.adj.nontree_set_bucket(x, level, survivors);
-                    // Replacement found: promote to a tree edge.
-                    let removed = self.adj.nontree_remove_one_sided(y, x, level);
-                    debug_assert!(removed, "mirror of ({x},{y}) missing");
-                    self.adj.tree_insert(x, y, level);
-                    self.edges
-                        .get_mut(&canonical(x, y))
-                        .expect("live non-tree edge")
-                        .tree = true;
-                    let linked = self.backend.link(x, y);
-                    debug_assert!(linked, "backend rejected replacement link ({x},{y})");
-                    self.tel.incr(Counter::ReplacementPromotions);
-                    return Some(canonical(x, y));
-                }
-                self.adj.nontree_set_bucket(x, level, survivors);
-            }
+        let mut view = DirectAdj {
+            adj: &mut self.adj,
+            edges: &mut self.edges,
+            par: self.par,
+        };
+        let promoted = search_replacement(
+            &mut view,
+            &mut self.mark,
+            &mut self.stamp,
+            &mut self.scratch,
+            &self.tel,
+            true,
+            self.level_cap,
+            u,
+            v,
+            l,
+        );
+        if let Some((x, y)) = promoted {
+            let linked = self.backend.link(x, y);
+            debug_assert!(linked, "backend rejected replacement link ({x},{y})");
         }
-        None
-    }
-
-    /// Vertex set of the smaller (or tied) of the two `F_level` components
-    /// containing `u` and `v`, found by **per-edge** lock-step BFS over the
-    /// level-bucketed tree adjacency: the sides alternate consuming one
-    /// level ≥ `level` entry at a time, and lower-level entries are never
-    /// touched (they live in other buckets).  Within `F_level` each
-    /// component is a tree, so the side with fewer such entries is exactly
-    /// the side with fewer vertices — the HDT `n/2^i` promotion invariant
-    /// selects the right side, and a tiny side split off a hub returns
-    /// without scanning the hub's lower-level neighbour list.  Visited-set
-    /// membership uses the engine's epoch-stamped mark array (one stamp per
-    /// side; the sides are disjoint, so the stamps cannot collide).
-    fn smaller_side(&mut self, u: Vertex, v: Vertex, level: usize) -> Vec<Vertex> {
-        self.stamp += 1;
-        let stamp_a = self.stamp;
-        self.stamp += 1;
-        let stamp_b = self.stamp;
-        let adj = &self.adj;
-        let mark = &mut self.mark;
-        mark[u] = stamp_a;
-        mark[v] = stamp_b;
-        let mut a = EdgeLockstepBfs::new(u, adj, level);
-        let mut b = EdgeLockstepBfs::new(v, adj, level);
-        loop {
-            if !a.step(adj, mark, stamp_a, level) {
-                return a.queue;
-            }
-            if !b.step(adj, mark, stamp_b, level) {
-                return b.queue;
-            }
-        }
+        promoted
     }
 
     /// Number of vertices in `v`'s component (backend fast path, else a walk
@@ -670,7 +572,8 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             adjacency_nontree,
             edge_registry: self.edges.capacity()
                 * (2 * word + std::mem::size_of::<EdgeInfo>() + word / 2),
-            scratch: self.mark.capacity() * std::mem::size_of::<u64>(),
+            scratch: self.mark.capacity() * std::mem::size_of::<u64>()
+                + self.scratch.memory_bytes(),
         }
     }
 
@@ -761,60 +664,6 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     }
 }
 
-/// One side of the per-edge lock-step BFS in
-/// [`DynConnectivity::smaller_side`]: each `step` consumes at most one
-/// level ≥ `level` adjacency entry of the frontier (lower-level entries are
-/// never even visited — the bucketed adjacency keeps them out of the
-/// iterator), so alternating two sides costs `O(min(|A|, |B|))` `F_level`
-/// edges before the smaller one exhausts.
-struct EdgeLockstepBfs<'a> {
-    queue: Vec<Vertex>,
-    /// Index of the vertex currently being expanded.
-    qi: usize,
-    /// Lazy iterator over the current vertex's level ≥ `level` neighbours.
-    cur: Option<Box<dyn Iterator<Item = Vertex> + 'a>>,
-}
-
-impl<'a> EdgeLockstepBfs<'a> {
-    fn new(start: Vertex, adj: &'a LevelAdjacency, level: usize) -> Self {
-        Self {
-            queue: vec![start],
-            qi: 0,
-            cur: Some(Box::new(adj.tree_neighbors_from(start, level))),
-        }
-    }
-
-    /// Consumes one qualifying adjacency entry; returns `false` once the
-    /// component is exhausted.
-    fn step(
-        &mut self,
-        adj: &'a LevelAdjacency,
-        mark: &mut [u64],
-        stamp: u64,
-        level: usize,
-    ) -> bool {
-        loop {
-            if let Some(it) = self.cur.as_mut() {
-                if let Some(w) = it.next() {
-                    if mark[w] != stamp {
-                        mark[w] = stamp;
-                        self.queue.push(w);
-                    }
-                    return true;
-                }
-                self.cur = None;
-            }
-            self.qi += 1;
-            if self.qi >= self.queue.len() {
-                return false;
-            }
-            self.cur = Some(Box::new(
-                adj.tree_neighbors_from(self.queue[self.qi], level),
-            ));
-        }
-    }
-}
-
 /// `i64` conveniences for backends aggregating under the default monoid.
 impl<B: SpanningBackend<Weights = SumMinMax>> DynConnectivity<B> {
     /// Sum of vertex weights in `v`'s component.  `None` when the backend
@@ -879,10 +728,6 @@ impl std::fmt::Display for MemoryBreakdown {
             self.scratch
         )
     }
-}
-
-fn canonical(u: Vertex, v: Vertex) -> (Vertex, Vertex) {
-    (u.min(v), u.max(v))
 }
 
 #[cfg(test)]

@@ -6,19 +6,23 @@
 //! each level.  Levels only ever increase, so the amortized work of the
 //! replacement searches is bounded by the total number of level bumps,
 //! `O(m log n)`.
+//!
+//! The state is factored into one [`VertexAdj`] per vertex holding that
+//! vertex's **one-sided** view of its edges, with [`LevelAdjacency`]
+//! composing the two-sided operations out of per-endpoint primitives.  The
+//! split is load-bearing for the parallel replacement searches: a search
+//! running on a pool worker operates on copy-on-write clones of the touched
+//! vertices' `VertexAdj` entries (see `search::OverlayAdj`), going through
+//! the *same* primitive operations — so the overlay evolves byte-identically
+//! to what in-place mutation would have produced, and the finished clones
+//! can be swapped back in wholesale via [`LevelAdjacency::set_vertex`].
 
 use std::collections::BTreeMap;
 
-/// Adjacency structures for one graph: tree edges with their levels, and
-/// non-tree edges bucketed by level.
-///
-/// Tree adjacency is stored **twice**: a neighbour→level map (cheap level
-/// lookup for insert/remove/bump) and level→neighbour buckets (so traversals
-/// of the level-`l` forest `F_l` touch only level ≥ `l` entries — the
-/// smaller-side search must never pay for a hub's lower-level edges, or the
-/// HDT `n/2^i` component-size invariant would be selected against the wrong
-/// side).  A vertex carries at most `⌊log₂ n⌋ + 1` distinct levels, so the
-/// bucketed view adds only a logarithmic factor of map overhead.
+/// One vertex's adjacency state: its tree edges (neighbour→level map plus a
+/// level-bucketed mirror) and its non-tree edges bucketed by level.  Every
+/// operation here is **one-sided** — it maintains this endpoint's view only;
+/// [`LevelAdjacency`] (and the search overlay) compose the two-sided edits.
 ///
 /// The maps are `BTreeMap`s, not `HashMap`s, **deliberately**: the
 /// replacement search iterates them, and the iteration order decides which
@@ -29,81 +33,50 @@ use std::collections::BTreeMap;
 /// determinism contract forbids.  Ordered maps make every choice canonical;
 /// the maps are per-vertex and tiny (≤ `⌊log₂ n⌋ + 1` keys), so the switch
 /// is performance-neutral.
-#[derive(Clone, Debug, Default)]
-pub struct LevelAdjacency {
-    /// `tree[v]`: neighbour → level, for spanning-forest edges at `v`.
-    tree: Vec<BTreeMap<usize, usize>>,
-    /// `tree_buckets[v]`: level → neighbours, same edges bucketed by level.
-    tree_buckets: Vec<BTreeMap<usize, Vec<usize>>>,
-    /// `nontree[v]`: level → neighbours, for non-tree edges at `v`.
-    nontree: Vec<BTreeMap<usize, Vec<usize>>>,
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexAdj {
+    /// Neighbour → level, for spanning-forest edges at this vertex.
+    tree: BTreeMap<usize, usize>,
+    /// Level → neighbours, same tree edges bucketed by level (so traversals
+    /// of the level-`l` forest `F_l` touch only level ≥ `l` entries — the
+    /// smaller-side search must never pay for a hub's lower-level edges, or
+    /// the HDT `n/2^i` component-size invariant would be selected against
+    /// the wrong side).
+    tree_buckets: BTreeMap<usize, Vec<usize>>,
+    /// Level → neighbours, for non-tree edges at this vertex.
+    nontree: BTreeMap<usize, Vec<usize>>,
 }
 
-impl LevelAdjacency {
-    /// Empty adjacency over `n` vertices.
-    pub fn new(n: usize) -> Self {
-        Self {
-            tree: vec![BTreeMap::new(); n],
-            tree_buckets: vec![BTreeMap::new(); n],
-            nontree: vec![BTreeMap::new(); n],
-        }
+impl VertexAdj {
+    /// Records tree neighbour `w` at `level` (this endpoint only).
+    pub fn tree_insert_one(&mut self, w: usize, level: usize) {
+        let prev = self.tree.insert(w, level);
+        debug_assert!(prev.is_none(), "duplicate tree neighbour {w}");
+        self.tree_buckets.entry(level).or_default().push(w);
     }
 
-    /// Number of vertices.
-    pub fn len(&self) -> usize {
-        self.tree.len()
-    }
-
-    /// Appends isolated vertices (empty adjacency) until there are `n` of
-    /// them.  A smaller `n` is a no-op.
-    pub fn ensure_vertices(&mut self, n: usize) {
-        if n > self.tree.len() {
-            self.tree.resize_with(n, BTreeMap::new);
-            self.tree_buckets.resize_with(n, BTreeMap::new);
-            self.nontree.resize_with(n, BTreeMap::new);
-        }
-    }
-
-    /// Whether there are no vertices.
-    pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
-    }
-
-    /// Records tree edge `(u, v)` at `level`.
-    pub fn tree_insert(&mut self, u: usize, v: usize, level: usize) {
-        let prev = self.tree[u].insert(v, level);
-        debug_assert!(prev.is_none(), "duplicate tree edge ({u},{v})");
-        let prev = self.tree[v].insert(u, level);
-        debug_assert!(prev.is_none());
-        self.tree_buckets[u].entry(level).or_default().push(v);
-        self.tree_buckets[v].entry(level).or_default().push(u);
-    }
-
-    /// Removes tree edge `(u, v)`, returning its level.
-    pub fn tree_remove(&mut self, u: usize, v: usize) -> Option<usize> {
-        let level = self.tree[u].remove(&v)?;
-        let other = self.tree[v].remove(&u);
-        debug_assert_eq!(other, Some(level));
-        self.tree_bucket_remove(u, v, level);
-        self.tree_bucket_remove(v, u, level);
+    /// Removes tree neighbour `w` (this endpoint only), returning its level.
+    pub fn tree_remove_one(&mut self, w: usize) -> Option<usize> {
+        let level = self.tree.remove(&w)?;
+        self.tree_bucket_remove(w, level);
         Some(level)
     }
 
-    /// Raises the level of tree edge `(u, v)` to `level`.
-    pub fn tree_set_level(&mut self, u: usize, v: usize, level: usize) {
-        let old = self.tree[u].insert(v, level).expect("live tree edge");
+    /// Raises tree neighbour `w` to `level` (this endpoint only), returning
+    /// the previous level.
+    pub fn tree_set_level_one(&mut self, w: usize, level: usize) -> usize {
+        let old = self.tree.insert(w, level).expect("live tree edge");
         debug_assert!(old <= level);
-        self.tree[v].insert(u, level);
         if old != level {
-            self.tree_bucket_remove(u, v, old);
-            self.tree_bucket_remove(v, u, old);
-            self.tree_buckets[u].entry(level).or_default().push(v);
-            self.tree_buckets[v].entry(level).or_default().push(u);
+            self.tree_bucket_remove(w, old);
+            self.tree_buckets.entry(level).or_default().push(w);
         }
+        old
     }
 
-    fn tree_bucket_remove(&mut self, v: usize, w: usize, level: usize) {
-        let bucket = self.tree_buckets[v]
+    fn tree_bucket_remove(&mut self, w: usize, level: usize) {
+        let bucket = self
+            .tree_buckets
             .get_mut(&level)
             .expect("bucket for live tree edge");
         let pos = bucket
@@ -112,60 +85,217 @@ impl LevelAdjacency {
             .expect("tree edge present in its bucket");
         bucket.swap_remove(pos);
         if bucket.is_empty() {
-            self.tree_buckets[v].remove(&level);
+            self.tree_buckets.remove(&level);
         }
     }
 
-    /// All tree neighbours of `v` with their levels.
-    pub fn tree_neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.tree[v].iter().map(|(&w, &l)| (w, l))
+    /// The level of the tree edge to `w`, if it exists.
+    pub fn tree_level(&self, w: usize) -> Option<usize> {
+        self.tree.get(&w).copied()
     }
 
-    /// Tree neighbours of `v` with edge level **at least** `level`, touching
-    /// only the qualifying buckets — never the lower-level ones — in
-    /// ascending level order (a deterministic order: the lock-step BFS
-    /// consumes these entries one at a time, and its consumption order picks
-    /// the replacement edge).
-    pub fn tree_neighbors_from(&self, v: usize, level: usize) -> impl Iterator<Item = usize> + '_ {
-        self.tree_buckets[v]
+    /// All tree neighbours with their levels.
+    pub fn tree_neighbors(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.tree.iter().map(|(&w, &l)| (w, l))
+    }
+
+    /// Tree neighbours with edge level **at least** `level`, touching only
+    /// the qualifying buckets in ascending level order (a deterministic
+    /// order: the lock-step BFS consumes these entries one at a time, and
+    /// its consumption order picks the replacement edge).
+    pub fn tree_neighbors_from(&self, level: usize) -> impl Iterator<Item = usize> + '_ {
+        self.tree_buckets
             .range(level..)
             .flat_map(|(_, bucket)| bucket.iter().copied())
     }
 
+    /// Appends the tree neighbours at exactly `level` to `out` (the arena
+    /// variant of a snapshot: the caller reuses one buffer across searches).
+    pub fn tree_neighbors_at_into(&self, level: usize, out: &mut Vec<usize>) {
+        if let Some(bucket) = self.tree_buckets.get(&level) {
+            out.extend_from_slice(bucket);
+        }
+    }
+
+    /// Tree neighbours at exactly `level`, in bucket order, without
+    /// allocating.
+    pub fn tree_neighbors_at(&self, level: usize) -> impl Iterator<Item = usize> + '_ {
+        self.tree_buckets.get(&level).into_iter().flatten().copied()
+    }
+
+    /// Appends `w` to the level-`level` non-tree bucket (this endpoint only).
+    pub fn nontree_push_one(&mut self, w: usize, level: usize) {
+        self.nontree.entry(level).or_default().push(w);
+    }
+
+    /// Removes `w` from the level-`level` non-tree bucket (this endpoint
+    /// only); returns whether it was present.
+    pub fn nontree_remove_one(&mut self, w: usize, level: usize) -> bool {
+        let Some(bucket) = self.nontree.get_mut(&level) else {
+            return false;
+        };
+        let Some(pos) = bucket.iter().position(|&x| x == w) else {
+            return false;
+        };
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.nontree.remove(&level);
+        }
+        true
+    }
+
+    /// Removes and returns the level-`level` non-tree bucket wholesale.
+    pub fn nontree_take_bucket_one(&mut self, level: usize) -> Vec<usize> {
+        self.nontree.remove(&level).unwrap_or_default()
+    }
+
+    /// Replaces the level-`level` non-tree bucket wholesale.
+    pub fn nontree_set_bucket_one(&mut self, level: usize, neighbors: Vec<usize>) {
+        if neighbors.is_empty() {
+            self.nontree.remove(&level);
+        } else {
+            self.nontree.insert(level, neighbors);
+        }
+    }
+
+    /// Snapshot of the level-`level` non-tree neighbours.
+    pub fn nontree_neighbors_at(&self, level: usize) -> Vec<usize> {
+        self.nontree.get(&level).cloned().unwrap_or_default()
+    }
+
+    /// Number of non-tree edge endpoints stored here (across all levels).
+    pub fn nontree_degree(&self) -> usize {
+        self.nontree.values().map(Vec::len).sum()
+    }
+
+    /// Approximate heap bytes per substructure:
+    /// `(tree neighbour→level map, bucketed tree mirror, non-tree buckets)`.
+    fn memory_parts(&self) -> (usize, usize, usize) {
+        let word = std::mem::size_of::<usize>();
+        let bucket_bytes = |m: &BTreeMap<usize, Vec<usize>>| -> usize {
+            btree_map_bytes(m.len(), 4 * word)
+                + m.values().map(|v| v.capacity() * word).sum::<usize>()
+        };
+        (
+            btree_map_bytes(self.tree.len(), 2 * word),
+            bucket_bytes(&self.tree_buckets),
+            bucket_bytes(&self.nontree),
+        )
+    }
+}
+
+/// Adjacency structures for one graph: tree edges with their levels, and
+/// non-tree edges bucketed by level — a [`VertexAdj`] per vertex, with the
+/// two-sided edge operations composed from per-endpoint primitives.
+///
+/// Tree adjacency is stored **twice** per endpoint (neighbour→level map for
+/// cheap level lookups, level→neighbour buckets for level-restricted
+/// traversals); a vertex carries at most `⌊log₂ n⌋ + 1` distinct levels, so
+/// the bucketed view adds only a logarithmic factor of map overhead.
+#[derive(Clone, Debug, Default)]
+pub struct LevelAdjacency {
+    verts: Vec<VertexAdj>,
+}
+
+impl LevelAdjacency {
+    /// Empty adjacency over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            verts: vec![VertexAdj::default(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Appends isolated vertices (empty adjacency) until there are `n` of
+    /// them.  A smaller `n` is a no-op.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.verts.len() {
+            self.verts.resize_with(n, VertexAdj::default);
+        }
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Shared access to one vertex's adjacency state (the search overlay
+    /// reads un-touched vertices straight from here).
+    pub fn vertex(&self, v: usize) -> &VertexAdj {
+        &self.verts[v]
+    }
+
+    /// Replaces one vertex's adjacency state wholesale — the bulk entry
+    /// point the parallel-search overlay and the rebuild escape hatch use to
+    /// install their finished per-vertex states.
+    pub fn set_vertex(&mut self, v: usize, state: VertexAdj) {
+        self.verts[v] = state;
+    }
+
+    /// Records tree edge `(u, v)` at `level`.
+    pub fn tree_insert(&mut self, u: usize, v: usize, level: usize) {
+        self.verts[u].tree_insert_one(v, level);
+        self.verts[v].tree_insert_one(u, level);
+    }
+
+    /// Removes tree edge `(u, v)`, returning its level.
+    pub fn tree_remove(&mut self, u: usize, v: usize) -> Option<usize> {
+        let level = self.verts[u].tree_remove_one(v)?;
+        let other = self.verts[v].tree_remove_one(u);
+        debug_assert_eq!(other, Some(level));
+        Some(level)
+    }
+
+    /// Raises the level of tree edge `(u, v)` to `level`.
+    pub fn tree_set_level(&mut self, u: usize, v: usize, level: usize) {
+        self.verts[u].tree_set_level_one(v, level);
+        self.verts[v].tree_set_level_one(u, level);
+    }
+
+    /// The level of tree edge `(u, v)`, if it is a live tree edge.
+    pub fn tree_level(&self, u: usize, v: usize) -> Option<usize> {
+        self.verts[u].tree_level(v)
+    }
+
+    /// All tree neighbours of `v` with their levels.
+    pub fn tree_neighbors(&self, v: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.verts[v].tree_neighbors()
+    }
+
+    /// Tree neighbours of `v` with edge level **at least** `level`, touching
+    /// only the qualifying buckets — never the lower-level ones — in
+    /// ascending level order.
+    pub fn tree_neighbors_from(&self, v: usize, level: usize) -> impl Iterator<Item = usize> + '_ {
+        self.verts[v].tree_neighbors_from(level)
+    }
+
     /// Snapshot of the tree neighbours of `v` at exactly `level`.
     pub fn tree_neighbors_at(&self, v: usize, level: usize) -> Vec<usize> {
-        self.tree_buckets[v]
-            .get(&level)
-            .cloned()
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.verts[v].tree_neighbors_at_into(level, &mut out);
+        out
     }
 
     /// Records non-tree edge `(u, v)` at `level`.
     pub fn nontree_insert(&mut self, u: usize, v: usize, level: usize) {
-        self.nontree[u].entry(level).or_default().push(v);
-        self.nontree[v].entry(level).or_default().push(u);
+        self.verts[u].nontree_push_one(v, level);
+        self.verts[v].nontree_push_one(u, level);
     }
 
     /// Removes non-tree edge `(u, v)` at `level`; returns whether present.
     pub fn nontree_remove(&mut self, u: usize, v: usize, level: usize) -> bool {
-        let mut removed = false;
-        for (a, b) in [(u, v), (v, u)] {
-            if let Some(bucket) = self.nontree[a].get_mut(&level) {
-                if let Some(pos) = bucket.iter().position(|&x| x == b) {
-                    bucket.swap_remove(pos);
-                    removed = true;
-                    if bucket.is_empty() {
-                        self.nontree[a].remove(&level);
-                    }
-                }
-            }
-        }
-        removed
+        let a = self.verts[u].nontree_remove_one(v, level);
+        let b = self.verts[v].nontree_remove_one(u, level);
+        a || b
     }
 
     /// Snapshot of the level-`level` non-tree neighbours of `v`.
     pub fn nontree_neighbors_at(&self, v: usize, level: usize) -> Vec<usize> {
-        self.nontree[v].get(&level).cloned().unwrap_or_default()
+        self.verts[v].nontree_neighbors_at(level)
     }
 
     /// Removes and returns `v`'s **own** level-`level` bucket wholesale.  The
@@ -174,42 +304,28 @@ impl LevelAdjacency {
     /// every drained edge exactly once, keeping its cost linear in the bucket
     /// instead of quadratic remove-by-scan).
     pub fn nontree_take_bucket(&mut self, v: usize, level: usize) -> Vec<usize> {
-        self.nontree[v].remove(&level).unwrap_or_default()
+        self.verts[v].nontree_take_bucket_one(level)
     }
 
     /// Replaces `v`'s own level-`level` bucket wholesale (mirrors untouched).
     pub fn nontree_set_bucket(&mut self, v: usize, level: usize, neighbors: Vec<usize>) {
-        if neighbors.is_empty() {
-            self.nontree[v].remove(&level);
-        } else {
-            self.nontree[v].insert(level, neighbors);
-        }
+        self.verts[v].nontree_set_bucket_one(level, neighbors);
     }
 
     /// Appends `w` to `v`'s own level-`level` bucket (mirror untouched).
     pub fn nontree_push_one_sided(&mut self, v: usize, w: usize, level: usize) {
-        self.nontree[v].entry(level).or_default().push(w);
+        self.verts[v].nontree_push_one(w, level);
     }
 
     /// Removes `w` from `v`'s own level-`level` bucket (mirror untouched);
     /// returns whether it was present.
     pub fn nontree_remove_one_sided(&mut self, v: usize, w: usize, level: usize) -> bool {
-        let Some(bucket) = self.nontree[v].get_mut(&level) else {
-            return false;
-        };
-        let Some(pos) = bucket.iter().position(|&x| x == w) else {
-            return false;
-        };
-        bucket.swap_remove(pos);
-        if bucket.is_empty() {
-            self.nontree[v].remove(&level);
-        }
-        true
+        self.verts[v].nontree_remove_one(w, level)
     }
 
     /// Number of non-tree edge endpoints stored at `v` (across all levels).
     pub fn nontree_degree(&self, v: usize) -> usize {
-        self.nontree[v].values().map(Vec::len).sum()
+        self.verts[v].nontree_degree()
     }
 
     /// Approximate heap bytes owned by the adjacency structures (both tree
@@ -229,31 +345,15 @@ impl LevelAdjacency {
     /// the old flat "half a word per entry" fudge, which undercounted small
     /// maps badly (a 1-entry map still owns a whole node).
     pub fn memory_breakdown(&self) -> (usize, usize, usize) {
-        let word = std::mem::size_of::<usize>();
-        let spine = |cap: usize| cap * std::mem::size_of::<BTreeMap<usize, usize>>();
-        // neighbour → level: key + value, both words
-        let tree_map: usize = self
-            .tree
-            .iter()
-            .map(|m| btree_map_bytes(m.len(), 2 * word))
-            .sum::<usize>()
-            + spine(self.tree.capacity());
-        // level → Vec<neighbour>: key + Vec header (3 words) per entry, plus
-        // each bucket's own heap allocation
-        let bucket_bytes = |maps: &Vec<BTreeMap<usize, Vec<usize>>>| -> usize {
-            maps.iter()
-                .map(|m| {
-                    btree_map_bytes(m.len(), 4 * word)
-                        + m.values().map(|v| v.capacity() * word).sum::<usize>()
-                })
-                .sum::<usize>()
-                + spine(maps.capacity())
-        };
-        (
-            tree_map,
-            bucket_bytes(&self.tree_buckets),
-            bucket_bytes(&self.nontree),
-        )
+        let map_spine = self.verts.capacity() * std::mem::size_of::<BTreeMap<usize, usize>>();
+        let (mut tree_map, mut tree_buckets, mut nontree) = (map_spine, map_spine, map_spine);
+        for v in &self.verts {
+            let (t, tb, nt) = v.memory_parts();
+            tree_map += t;
+            tree_buckets += tb;
+            nontree += nt;
+        }
+        (tree_map, tree_buckets, nontree)
     }
 }
 
@@ -281,8 +381,10 @@ mod tests {
         assert_eq!(adj.tree_neighbors(1).count(), 2);
         assert_eq!(adj.tree_neighbors(1).filter(|&(_, l)| l >= 1).count(), 1);
         adj.tree_set_level(0, 1, 2);
+        assert_eq!(adj.tree_level(0, 1), Some(2));
         assert_eq!(adj.tree_remove(0, 1), Some(2));
         assert_eq!(adj.tree_remove(0, 1), None);
+        assert_eq!(adj.tree_level(0, 1), None);
         assert_eq!(adj.tree_neighbors(1).count(), 1);
     }
 
@@ -320,5 +422,31 @@ mod tests {
         assert!(!adj.nontree_remove(0, 2, 0));
         assert_eq!(adj.nontree_neighbors_at(0, 0), vec![1]);
         assert_eq!(adj.nontree_neighbors_at(0, 1), vec![3]);
+    }
+
+    #[test]
+    fn vertex_state_swaps_wholesale_and_replays_identically() {
+        // The overlay contract: cloning a VertexAdj, mutating the clone with
+        // the same one-sided primitives, and swapping it back must equal
+        // in-place mutation.
+        let mut a = LevelAdjacency::new(3);
+        a.tree_insert(0, 1, 0);
+        a.nontree_insert(0, 2, 1);
+        let mut b = a.clone();
+        // in place
+        a.tree_set_level(0, 1, 2);
+        assert!(a.nontree_remove(0, 2, 1));
+        // via cloned vertex states
+        for v in 0..3 {
+            let mut s = b.vertex(v).clone();
+            if s.tree_level(if v == 0 { 1 } else { 0 }).is_some() && (v == 0 || v == 1) {
+                s.tree_set_level_one(if v == 0 { 1 } else { 0 }, 2);
+            }
+            s.nontree_remove_one(if v == 0 { 2 } else { 0 }, 1);
+            b.set_vertex(v, s);
+        }
+        for v in 0..3 {
+            assert_eq!(b.vertex(v), a.vertex(v), "vertex {v}");
+        }
     }
 }

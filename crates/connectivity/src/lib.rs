@@ -59,6 +59,7 @@ pub mod backend;
 pub mod batch;
 pub mod engine;
 pub mod levels;
+pub(crate) mod search;
 
 pub use backend::SpanningBackend;
 pub use batch::OpOf;

@@ -10,8 +10,14 @@
 //! points; the free function [`worth_parallel`] keeps the historical
 //! call-site API and uses the defaults.
 //!
-//! Changing the config never changes *results* — only which of two
-//! byte-identical code paths (sequential or chunked-parallel) computes them.
+//! Changing the grain/fan-out knobs never changes *results* — only which of
+//! two byte-identical code paths (sequential or chunked-parallel) computes
+//! them.  The one exception is the opt-in
+//! [`rebuild_threshold`](ParallelConfig::rebuild_threshold): a non-zero
+//! threshold trades byte-identical replacement choices for a *canonical
+//! outcome* contract (same components, same live edges — spanning-tree
+//! membership of individual edges may differ), in exchange for wholesale
+//! component rebuilds when a batch deletes most of a component's tree edges.
 
 /// Default minimum batch length before any batch layer goes parallel.
 /// Measured against the cost of waking pool workers for a chunk: below ~2k
@@ -53,6 +59,17 @@ pub struct ParallelConfig {
     /// work the sequential walk would do anyway (no live probes saved), so
     /// its dispatch cost amortizes later than the insert pre-pass's.
     pub delete_grain: usize,
+    /// Rebuild escape hatch, in **percent** of a component's vertex count:
+    /// when one delete run's certified tree deletions inside a component
+    /// reach this fraction of its size, the engine skips the per-edge HDT
+    /// replacement searches and rebuilds that component's spanning forest
+    /// wholesale from the surviving edges.  `0` (the default) disables the
+    /// hatch and keeps the byte-identity contract; any non-zero value opts
+    /// into the *canonical outcome* contract (same component partition, same
+    /// live edge set — which edges are tree vs non-tree may differ from the
+    /// one-at-a-time walk).  Stored as an integer percentage so the config
+    /// stays `Copy + Eq`.
+    pub rebuild_threshold: usize,
 }
 
 impl Default for ParallelConfig {
@@ -62,6 +79,7 @@ impl Default for ParallelConfig {
             batch_grain: PAR_GRAIN,
             chunk_grain: CHUNK_GRAIN,
             delete_grain: DELETE_GRAIN,
+            rebuild_threshold: 0,
         }
     }
 }
@@ -125,6 +143,31 @@ impl ParallelConfig {
         // `threads == 1` pins sequential even on a wide pool; a capped
         // config on a 1-thread pool is still sequential.
         self.effective_threads() > 1
+    }
+
+    /// Builder-style variant setting the
+    /// [`rebuild_threshold`](Self::rebuild_threshold) percentage.
+    pub fn with_rebuild_threshold(mut self, percent: usize) -> Self {
+        self.rebuild_threshold = percent;
+        self
+    }
+
+    /// Whether the rebuild escape hatch is enabled at all (any non-zero
+    /// threshold opts into the canonical-outcome contract).
+    #[inline]
+    pub fn rebuild_enabled(&self) -> bool {
+        self.rebuild_threshold > 0
+    }
+
+    /// Whether `tree_deletions` certified tree-edge deletions inside a
+    /// component of `component_size` vertices trip the rebuild hatch:
+    /// `tree_deletions / component_size ≥ rebuild_threshold %`.  Always
+    /// `false` when the hatch is disabled or the component is empty.
+    #[inline]
+    pub fn rebuild_worth(&self, tree_deletions: usize, component_size: usize) -> bool {
+        self.rebuild_threshold > 0
+            && component_size > 0
+            && tree_deletions.saturating_mul(100) >= component_size * self.rebuild_threshold
     }
 }
 
@@ -226,6 +269,26 @@ mod tests {
         assert!(!tuned.worth(64));
         // sequential configs never fan deletes out either
         assert!(!ParallelConfig::sequential().worth_delete(usize::MAX));
+    }
+
+    #[test]
+    fn rebuild_threshold_is_off_by_default_and_gates_by_percent() {
+        let cfg = ParallelConfig::default();
+        assert!(!cfg.rebuild_enabled());
+        assert!(
+            !cfg.rebuild_worth(usize::MAX / 100, 1),
+            "disabled hatch never fires"
+        );
+        let half = ParallelConfig::default().with_rebuild_threshold(50);
+        assert!(half.rebuild_enabled());
+        assert!(half.rebuild_worth(50, 100));
+        assert!(half.rebuild_worth(51, 100));
+        assert!(!half.rebuild_worth(49, 100));
+        assert!(!half.rebuild_worth(0, 0), "empty component never trips");
+        // a 100% threshold needs deletions ≥ the component size
+        let all = ParallelConfig::default().with_rebuild_threshold(100);
+        assert!(!all.rebuild_worth(99, 100));
+        assert!(all.rebuild_worth(100, 100));
     }
 
     #[test]

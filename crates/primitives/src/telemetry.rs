@@ -65,11 +65,21 @@ pub enum Counter {
     DeleteNonTreeDrained,
     /// Delete certificates invalidated by an earlier promotion in the batch.
     DeleteCertificatesStale,
+    /// Replacement searches executed on pool workers as part of an
+    /// independent-component fan-out (the canonical-order sequential walk
+    /// replays their logs, so this is batch machinery, not HDT structure).
+    SearchesFannedOut,
+    /// Wholesale component rebuilds taken by the escape hatch instead of
+    /// per-edge replacement searches.
+    RebuildsTaken,
+    /// Replacement-search scratch buffers served from the reusable per-engine
+    /// arena instead of a fresh allocation.
+    ScratchArenaReuses,
 }
 
 impl Counter {
     /// Every counter, in canonical export order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::ReplacementSearches,
         Counter::ReplacementEdgesScanned,
         Counter::ReplacementPromotions,
@@ -85,6 +95,9 @@ impl Counter {
         Counter::DeleteCertificatesIssued,
         Counter::DeleteNonTreeDrained,
         Counter::DeleteCertificatesStale,
+        Counter::SearchesFannedOut,
+        Counter::RebuildsTaken,
+        Counter::ScratchArenaReuses,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -105,6 +118,9 @@ impl Counter {
             Counter::DeleteCertificatesIssued => "delete_certificates_issued",
             Counter::DeleteNonTreeDrained => "delete_nontree_drained",
             Counter::DeleteCertificatesStale => "delete_certificates_stale",
+            Counter::SearchesFannedOut => "searches_fanned_out",
+            Counter::RebuildsTaken => "rebuilds_taken",
+            Counter::ScratchArenaReuses => "scratch_arena_reuses",
         }
     }
 }
@@ -131,11 +147,17 @@ pub enum Phase {
     ReplacementSearch,
     /// Smaller-side enumeration + tree-edge level bumps (inside the search).
     SmallerSide,
+    /// Parallel fan-out of independent-component replacement searches
+    /// (inside the delete walk; the canonical replay is charged here too).
+    SearchFanOut,
+    /// Wholesale component rebuild taken by the escape hatch (inside the
+    /// delete walk).
+    Rebuild,
 }
 
 impl Phase {
     /// Every phase, in canonical export order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Apply,
         Phase::InsertPrePass,
         Phase::InsertWalk,
@@ -144,6 +166,8 @@ impl Phase {
         Phase::NonTreeDrain,
         Phase::ReplacementSearch,
         Phase::SmallerSide,
+        Phase::SearchFanOut,
+        Phase::Rebuild,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -157,6 +181,8 @@ impl Phase {
             Phase::NonTreeDrain => "nontree_drain",
             Phase::ReplacementSearch => "replacement_search",
             Phase::SmallerSide => "smaller_side",
+            Phase::SearchFanOut => "search_fan_out",
+            Phase::Rebuild => "rebuild",
         }
     }
 
@@ -170,6 +196,7 @@ impl Phase {
             | Phase::DeleteWalk => Some(Phase::Apply),
             Phase::NonTreeDrain | Phase::ReplacementSearch => Some(Phase::DeleteWalk),
             Phase::SmallerSide => Some(Phase::ReplacementSearch),
+            Phase::SearchFanOut | Phase::Rebuild => Some(Phase::DeleteWalk),
         }
     }
 }
@@ -630,10 +657,13 @@ mod tests {
         let mut snap = TelemetrySnapshot::zeroed();
         snap.counters[0].1 = 42;
         snap.counters[14].1 = 7;
+        snap.counters[Counter::ALL.len() - 1].1 = 9;
         snap.phases[0].nanos = 123_456_789;
         snap.phases[0].enters = 3;
         snap.phases[7].nanos = 11;
         snap.phases[7].enters = 1;
+        snap.phases[Phase::ALL.len() - 1].nanos = 5;
+        snap.phases[Phase::ALL.len() - 1].enters = 2;
         let json = snap.to_json();
         let back = TelemetrySnapshot::parse(&json).expect("round-trip parse");
         assert_eq!(back, snap);

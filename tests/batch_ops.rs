@@ -163,6 +163,7 @@ fn skipped_deletes_count_identically_on_bulk_and_singleton_paths() {
         batch_grain: 8,
         chunk_grain: 4,
         delete_grain: 4,
+        ..ParallelConfig::default()
     };
     // triangle + stray edge, then a delete run mixing: live non-tree, live
     // tree, missing, duplicate (missing by the time it applies), rejected

@@ -25,6 +25,7 @@ fn forced(threads: usize) -> ParallelConfig {
         batch_grain: 16,
         chunk_grain: 8,
         delete_grain: 16,
+        ..ParallelConfig::default()
     }
 }
 
@@ -168,6 +169,43 @@ fn insert_burst_then_heavy_delete_traces_are_identical_across_fanouts() {
     assert_eq!(lct_wide, lct_ref);
 }
 
+/// Disjoint chorded rings torn down by round-robin delete runs: every run
+/// certifies tree deletions in many distinct pre-batch components, which is
+/// exactly what the parallel independent-search fan-out groups on.  The
+/// telemetry module below proves the fan-out actually engages on this trace.
+fn multi_component_teardown_batches() -> Vec<Vec<GraphOp>> {
+    let (comps, size) = (8usize, 12usize);
+    let mut ops = vec![GraphOp::AddVertices(comps * size)];
+    for c in 0..comps {
+        let base = c * size;
+        for i in 0..size {
+            ops.push(GraphOp::InsertEdge(base + i, base + (i + 1) % size));
+        }
+        // a chord, so early ring deletions find replacements
+        ops.push(GraphOp::InsertEdge(base, base + size / 2));
+    }
+    // one long delete run, round-robin across the components
+    for i in 0..size {
+        for c in 0..comps {
+            let base = c * size;
+            ops.push(GraphOp::DeleteEdge(base + i, base + (i + 1) % size));
+        }
+    }
+    vec![ops]
+}
+
+#[test]
+fn multi_component_teardowns_are_identical_across_fanouts() {
+    let batches = multi_component_teardown_batches();
+    let reference = replay_full_reports::<UfoForest>(&batches, ParallelConfig::sequential());
+    for threads in [1, 2, 4, 8] {
+        let wide = replay_full_reports::<UfoForest>(&batches, forced(threads));
+        assert_eq!(wide, reference, "fan-out {threads} diverged");
+    }
+    let default = replay_full_reports::<UfoForest>(&batches, ParallelConfig::default());
+    assert_eq!(default, reference);
+}
+
 #[test]
 fn mixed_churn_fuzz_traces_are_identical_across_fanouts() {
     // the default fuzz profile interleaves all op kinds (growth and weight
@@ -293,6 +331,39 @@ mod telemetry_counters {
             default_core, seq_core,
             "default config core counters diverged"
         );
+    }
+
+    /// The independent-search fan-out must actually engage on a
+    /// multi-component teardown (`searches_fanned_out > 0` at pool width
+    /// ≥ 2) while the byte-identity sweep over the same trace holds — a
+    /// fan-out that silently never fires would make that sweep vacuous.
+    #[test]
+    fn fan_out_engages_on_multi_component_teardowns() {
+        use dyntree_connectivity::DynConnectivity;
+        type Ufo = ufo_forest::UfoForest;
+
+        let batches = super::multi_component_teardown_batches();
+        let fanned = |cfg: ParallelConfig| -> u64 {
+            let mut engine: DynConnectivity<Ufo> = DynConnectivity::new(0)
+                .with_parallel_config(cfg)
+                .with_telemetry(Telemetry::enabled());
+            for batch in &batches {
+                engine.apply(batch);
+            }
+            engine.check_invariants().unwrap();
+            engine
+                .telemetry_snapshot()
+                .expect("telemetry enabled")
+                .counter("searches_fanned_out")
+        };
+        assert_eq!(fanned(ParallelConfig::sequential()), 0);
+        assert_eq!(fanned(forced(1)), 0, "1-thread pool must not fan out");
+        for threads in [2, 4, 8] {
+            assert!(
+                fanned(forced(threads)) > 0,
+                "fan-out never engaged at pool width {threads}"
+            );
+        }
     }
 }
 
