@@ -1,13 +1,20 @@
 //! Differential fuzz harness for the batch-dynamic connectivity engine.
 //!
 //! Replays [`FuzzTraceGen`] traces — adversarial star/chain/clique bursts,
-//! mixed churn and delete-heavy teardown phases, invalid ops included —
+//! mixed churn, delete-heavy teardown phases, and a small-universe
+//! level-churn profile (dense cliques whose repeated tree deletions drive
+//! HDT edge levels up between delete bursts), invalid ops included —
 //! through `DynConnectivity::apply` on the ufo, link-cut, Euler-tour and
 //! naive backends, and diffs the **full `BatchReport` renderings** between
 //! all of them, against a one-op-at-a-time naive-oracle replay, and (for the
 //! snapshot-capable ufo backend) between the sequential and a forced-wide
-//! parallel configuration.  Any divergence prints the reproducing seed and
-//! the first differing operation, then exits non-zero.
+//! parallel configuration.  Every replay also asserts the engine's full
+//! invariant set — the HDT level invariant included — after every batch
+//! (strided for the singleton-batch oracle, which would otherwise check
+//! quadratically), so structural damage is caught at the batch that caused
+//! it even when no later op would have turned it into a divergent answer.
+//! Any divergence prints the reproducing seed and the first differing
+//! operation, then exits non-zero.
 //!
 //! Run with: `cargo run --release -p dyntree_bench --bin fuzz_differential
 //! -- [--seeds 32] [--ops 20000] [--start-seed 1] [--batch 1024]
@@ -98,13 +105,27 @@ fn replay<B: SpanningBackend<Weights = SumMinMax>>(
     }
     let mut reports = Vec::with_capacity(batches.len());
     let mut outcomes = Vec::new();
-    for batch in batches {
+    let mut invariant_error = None;
+    // The invariants — the HDT level invariant included — must hold after
+    // *every* real batch, not just at trace end: a rebuild can leave damage
+    // that only a later targeted delete turns into a wrong answer, and the
+    // end-state comparison alone would miss it.  The oracle replays
+    // singleton batches, where a per-batch check would make the sweep
+    // quadratic — checking every `stride` batches bounds the replay at
+    // ~256 invariant passes while still checking real batches one by one.
+    let stride = batches.len().div_ceil(256);
+    for (bi, batch) in batches.iter().enumerate() {
         let mut report = g.apply(batch);
         // strip the timing half before rendering: nanos are never
         // byte-comparable, and this harness diffs renderings
         report.telemetry = None;
         outcomes.extend(report.outcomes.iter().copied());
         reports.push(format!("{report:?}"));
+        if invariant_error.is_none() && (bi % stride == 0 || bi + 1 == batches.len()) {
+            if let Err(e) = g.check_invariants() {
+                invariant_error = Some(format!("after batch {bi}: {e}"));
+            }
+        }
     }
     let n = g.len();
     let mut live_edges = Vec::new();
@@ -124,7 +145,7 @@ fn replay<B: SpanningBackend<Weights = SumMinMax>>(
         vertices: n,
         live_edges,
         partition,
-        invariant_error: g.check_invariants().err(),
+        invariant_error,
         counters: g.telemetry_snapshot().map(|s| s.counters_fingerprint()),
         component_splits: g
             .telemetry_snapshot()
@@ -329,10 +350,18 @@ fn main() {
         delete_grain: 32,
         ..ParallelConfig::default()
     };
-    // The rebuild escape hatch armed over the same forced-wide grains: this
-    // config trades byte-identity for the relaxed canonical-outcome contract,
-    // so it is *always* compared semantically, never byte-for-byte.
-    let rebuild = wide.with_rebuild_threshold(30);
+    // The rebuild escape hatch armed at the recorded bench threshold (5 %)
+    // over a *fine* delete grain: a grain of 32 would require 32 consecutive
+    // deletes before the bulk path even engages, which interleaved traces
+    // essentially never produce — the hatch would ride the sweep without
+    // firing once.  This config trades byte-identity for the relaxed
+    // canonical-outcome contract, so it is *always* compared semantically,
+    // never byte-for-byte.
+    let rebuild = ParallelConfig {
+        delete_grain: 8,
+        ..wide
+    }
+    .with_rebuild_threshold(5);
 
     println!(
         "fuzz_differential: {seeds} seeds x {ops} ops (start seed {start_seed}, batch {batch}, \
@@ -341,12 +370,18 @@ fn main() {
     );
     let mut divergences = 0usize;
     for seed in start_seed..start_seed + seeds {
-        // alternate profiles: even seeds mixed churn, odd seeds delete-heavy
+        // alternating profiles: odd seeds delete-heavy, seeds ≡ 2 (mod 4)
+        // level-churn (dense cliques over a 24-vertex universe, so repeated
+        // tree deletions drive HDT levels up before the rebuild batches —
+        // the composition that exposes level-invariant bugs in the hatch),
+        // remaining seeds mixed churn
         let mut gen = FuzzTraceGen::new(seed)
             .with_ops(ops)
             .with_vertices(vertices);
         if seed % 2 == 1 {
             gen = gen.delete_heavy();
+        } else if seed % 4 == 2 {
+            gen = gen.with_vertices(24).with_max_vertices(24).level_churn();
         }
         let batches = gen.batches(batch);
         let truth = oracle(&batches, telemetry);

@@ -400,7 +400,9 @@ impl<B: SpanningBackend> DynConnectivity<B> {
 
     /// Executes the rebuild-hatch groups of a delete plan: removes every
     /// certified deletion wholesale, then rebuilds each component's spanning
-    /// forest from the surviving registry edges with a sparse union-find,
+    /// forest from the surviving registry edges with a sparse union-find
+    /// (surviving non-tree edges are reset to level 0, which re-establishes
+    /// the HDT level invariant the later replacement searches depend on),
     /// and finally attributes per-op split flags by a **reverse replay** of
     /// the group's deletions (checking `(u, v)` connectivity before
     /// re-unioning it examines exactly the post-op live graph, so the split
@@ -472,8 +474,17 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     forest.union(a, b);
                 }
             }
-            // Promote non-tree survivors (at their kept level) until the
-            // component's spanning forest is maximal again.
+            // Promote non-tree survivors until the component's spanning
+            // forest is maximal again, resetting every surviving non-tree
+            // edge — promoted or not — to level 0.  Keeping higher levels
+            // would break the HDT level invariant (a level-i non-tree edge
+            // must have its endpoints connected by tree edges of level ≥ i):
+            // the forced tree survivors plus the promotions give no ≥ i
+            // path guarantee, and a later replacement search for a
+            // lower-level tree edge never scans the stranded bucket — a
+            // false split with the edge still live.  Tree survivors keep
+            // their levels: F_i components only shrink here, and every
+            // non-tree edge they must cover now sits at level 0.
             for &(a, b, level, tree) in &edges {
                 if tree {
                     continue;
@@ -484,10 +495,20 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                         removed,
                         "surviving non-tree edge ({a},{b}) not in adjacency"
                     );
-                    self.adj.tree_insert(a, b, level);
-                    self.edges.get_mut(&(a, b)).expect("surviving edge").tree = true;
+                    self.adj.tree_insert(a, b, 0);
+                    let info = self.edges.get_mut(&(a, b)).expect("surviving edge");
+                    info.tree = true;
+                    info.level = 0;
                     let linked = self.backend.link(a, b);
                     debug_assert!(linked, "backend rejected rebuild link ({a},{b})");
+                } else if level != 0 {
+                    let removed = self.adj.nontree_remove(a, b, level);
+                    debug_assert!(
+                        removed,
+                        "surviving non-tree edge ({a},{b}) not in adjacency"
+                    );
+                    self.adj.nontree_insert(a, b, 0);
+                    self.edges.get_mut(&(a, b)).expect("surviving edge").level = 0;
                 }
                 forest.union(a, b);
             }

@@ -601,6 +601,37 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 return Err(format!("non-tree edge ({a},{b}) spans two components"));
             }
         }
+        // HDT level invariant: a non-tree edge at level i must have its
+        // endpoints connected in F_i, the forest of tree edges with level
+        // ≥ i.  The replacement search depends on this structurally — the
+        // search for a level-l tree edge scans non-tree buckets only at
+        // levels ≤ l, so an edge stranded above its tree path's minimum
+        // level is invisible to it and a still-connected component would
+        // falsely split.  One descending sweep: at level i the DSU holds
+        // exactly the tree edges of level ≥ i.
+        let mut tree_by_level: Vec<Vec<(Vertex, Vertex)>> = vec![Vec::new(); self.level_cap];
+        let mut nontree_by_level: Vec<Vec<(Vertex, Vertex)>> = vec![Vec::new(); self.level_cap];
+        for (&(a, b), info) in &self.edges {
+            if info.tree {
+                tree_by_level[info.level].push((a, b));
+            } else {
+                nontree_by_level[info.level].push((a, b));
+            }
+        }
+        let mut fi = Dsu::new(self.n);
+        for level in (0..self.level_cap).rev() {
+            for &(a, b) in &tree_by_level[level] {
+                fi.union(a, b);
+            }
+            for &(a, b) in &nontree_by_level[level] {
+                if fi.find(a) != fi.find(b) {
+                    return Err(format!(
+                        "level invariant: non-tree edge ({a},{b}) at level {level} has no \
+                         tree path of level ≥ {level}"
+                    ));
+                }
+            }
+        }
         let edges: Vec<(Vertex, Vertex, bool)> = self
             .edges
             .iter()

@@ -69,10 +69,15 @@ fn replay<B: SpanningBackend<Weights = SumMinMax>>(
 ) -> Run {
     let mut engine: DynConnectivity<B> = DynConnectivity::new(0).with_parallel_config(cfg);
     let mut outcomes = Vec::new();
-    for batch in batches {
+    for (bi, batch) in batches.iter().enumerate() {
         outcomes.push(engine.apply(batch).outcomes);
+        // every hatched batch must leave the full invariant set intact —
+        // the HDT level invariant included, which a rebuild can silently
+        // break in ways only a *later* targeted delete would surface
+        if let Err(e) = engine.check_invariants() {
+            panic!("invariant violation after batch {bi}: {e}");
+        }
     }
-    engine.check_invariants().unwrap();
     let mut edges = Vec::new();
     let mut connected = Vec::new();
     for u in 0..n {
@@ -187,6 +192,59 @@ fn stale_promotion_kind_divergence_is_one_directional() {
             split: true
         }
     );
+}
+
+/// Regression: a rebuild must not strand a non-tree survivor above its
+/// endpoints' tree-path level (the HDT level invariant).  Survivors used to
+/// be promoted at their *kept* levels in sorted order, so here (0,5) at
+/// level 0 was promoted first and (2,5) stayed non-tree at level 1 with
+/// only a level-0 tree path — and the later delete of tree edge (0,5)
+/// searched levels ≤ 0 only, missed (2,5), and reported a false split
+/// while the edge was still live.  The fix resets every surviving
+/// non-tree edge of a rebuilt component to level 0.
+#[test]
+fn rebuild_resets_survivor_levels_so_later_searches_find_them() {
+    let n = 16;
+    // Triangle 2-3-5 (tree (2,3),(3,5); non-tree (2,5)) hanging off a
+    // heavier chain 7-8-9-10 via tree edge (3,7).
+    let mut build = vec![GraphOp::AddVertices(n)];
+    for &(u, v) in &[(2, 3), (3, 5), (2, 5), (3, 7), (7, 8), (8, 9), (9, 10)] {
+        build.push(GraphOp::InsertEdge(u, v));
+    }
+    // Deleting (3,7) makes {2,3,5} the smaller side of the level-0 search:
+    // its tree edges (2,3),(3,5) and internal non-tree edge (2,5) are all
+    // bumped to level 1.
+    let bump = vec![GraphOp::DeleteEdge(3, 7)];
+    // Attach vertex 0: (0,2) joins as a level-0 tree edge, then (0,5)
+    // closes a cycle as a level-0 non-tree edge.
+    let attach = vec![GraphOp::InsertEdge(0, 2), GraphOp::InsertEdge(0, 5)];
+    // One delete run at exactly delete_grain = 8 killing the level-1 path
+    // (2,3),(3,5): 2 certified tree deletions on the 4-vertex component
+    // {0,2,3,5} (50 % ≥ 30 %) trips the hatch; the padding pairs are all
+    // dead (classified Missing, never grouped).
+    let mut dels = vec![GraphOp::DeleteEdge(2, 3), GraphOp::DeleteEdge(3, 5)];
+    for &(u, v) in &[(1, 4), (1, 6), (4, 6), (1, 11), (4, 11), (6, 11)] {
+        dels.push(GraphOp::DeleteEdge(u, v));
+    }
+    // The targeted later delete: under the hatch (0,5) was promoted into
+    // the forest, and its replacement search must find (2,5).
+    let probe = vec![GraphOp::DeleteEdge(0, 5)];
+    let batches = vec![build, bump, attach, dels, probe];
+
+    let oracle = replay::<UfoForest>(&batches, n, oracle_cfg());
+    let hatched = replay::<UfoForest>(&batches, n, hatch(1, 30));
+    assert_relaxed_equiv(&oracle, &hatched);
+    // 0, 2 and 5 stay one component via the surviving (0,2) and (2,5):
+    // the probe delete must NOT split
+    assert!(hatched.connected[2 * n + 5], "(2,5) still connects");
+    assert!(hatched.connected[2], "(0,2) still connects");
+    assert!(hatched.edges.contains(&(2, 5)), "(2,5) still live");
+    match hatched.outcomes[4][0] {
+        OpOutcome::EdgeDeleted { split, .. } => {
+            assert!(!split, "deleting (0,5) falsely split the component")
+        }
+        ref other => panic!("probe delete reported {other:?}"),
+    }
 }
 
 /// The hatch path must itself be deterministic: byte-identical outcomes at

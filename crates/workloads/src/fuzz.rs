@@ -61,6 +61,9 @@ pub struct FuzzTraceGen {
     /// Probability that a phase pick lands on churn/teardown instead of an
     /// insert burst; raising it makes traces delete-heavy.
     mutate_bias: f64,
+    /// When set, every insert burst is a clique burst over a small window
+    /// (see [`level_churn`](Self::level_churn)).
+    clique_bias: bool,
 }
 
 impl FuzzTraceGen {
@@ -76,6 +79,7 @@ impl FuzzTraceGen {
             invalid_rate: 0.02,
             weight_rate: 0.03,
             mutate_bias: 0.5,
+            clique_bias: false,
         }
     }
 
@@ -119,6 +123,20 @@ impl FuzzTraceGen {
         self
     }
 
+    /// Dense small-component profile: every insert burst is a clique over a
+    /// small window, and mutation phases dominate, so repeated tree-edge
+    /// deletions inside those dense pockets drive the survivors' HDT levels
+    /// up *between* the long delete runs.  Combine with a small vertex
+    /// universe: this is the shape that exercises the rebuild escape
+    /// hatch's level handling, where a bug needs bumped non-tree edges plus
+    /// a rebuild plus a targeted later delete to surface — a composition
+    /// uniform random traces rarely hit.
+    pub fn level_churn(mut self) -> Self {
+        self.mutate_bias = 0.7;
+        self.clique_bias = true;
+        self
+    }
+
     /// Generates the trace: a leading `AddVertices` bootstrap (consumers
     /// start from an **empty** engine) followed by exactly
     /// [`with_ops`](Self::with_ops) operations.
@@ -155,6 +173,10 @@ impl FuzzTraceGen {
                 }
                 let delete = match phase {
                     Phase::Churn => rng.random_bool(0.5),
+                    // the clique-biased profile tears down in dense blocks:
+                    // long consecutive delete runs are what arm the
+                    // batch-delete bulk path (and the rebuild hatch) at all
+                    Phase::Teardown if self.clique_bias => rng.random_bool(0.95),
                     Phase::Teardown => rng.random_bool(0.75),
                     _ => rng.random_bool(0.05),
                 };
@@ -189,6 +211,9 @@ impl FuzzTraceGen {
             } else {
                 Phase::Churn
             };
+        }
+        if self.clique_bias {
+            return Phase::CliqueBurst;
         }
         match rng.random_range(0..4) {
             0 => Phase::StarBurst,
@@ -329,6 +354,22 @@ mod tests {
             "deletes={deletes} vs inserts={inserts}"
         );
         assert!(deletes > 2_000, "deletes={deletes}");
+    }
+
+    #[test]
+    fn level_churn_traces_are_reproducible_and_mutation_heavy() {
+        let g = FuzzTraceGen::new(17)
+            .with_ops(3_000)
+            .with_vertices(24)
+            .with_max_vertices(24)
+            .level_churn();
+        let ops = g.generate();
+        assert_eq!(ops, g.generate());
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, GraphOp::DeleteEdge(..)))
+            .count();
+        assert!(deletes > 500, "deletes={deletes}");
     }
 
     #[test]
