@@ -1,0 +1,34 @@
+//! The serving layer under load: writer apply+publish throughput against
+//! the bare engine's apply (the gap is snapshot-build cost), and reader
+//! query throughput at 1/2/8 reader threads while the writer keeps
+//! publishing.  Results are recorded to `baselines/serve_throughput.json`
+//! by the `serve_baseline` binary and guarded by the `bench_gate` CI step;
+//! under `cargo test` each cell runs once as a smoke test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{
+    serve_apply_time, serve_bench_mix, serve_plain_apply_time, serve_reader_query_time,
+};
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (trace, mix) = serve_bench_mix();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(3);
+    group.bench_function(format!("apply_publish/{trace}"), |b| {
+        b.iter(|| serve_apply_time(&mix))
+    });
+    group.bench_function(format!("apply_plain/{trace}"), |b| {
+        b.iter(|| serve_plain_apply_time(&mix))
+    });
+    for readers in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("reader_queries/{trace}"), readers),
+            &readers,
+            |b, &r| b.iter(|| serve_reader_query_time(&mix, r)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -11,9 +11,10 @@
 use crate::{
     batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, connectivity_bench_streams,
     parallel_scaling_apply_time, parallel_scaling_apply_time_rebuild,
-    parallel_scaling_delete_trace, parallel_scaling_trace, stream_batch_replay_time,
-    stream_replay_time, weighted_bench_forests, weighted_path_query_time, ConnBackend,
-    WeightedBackend, REBUILD_BENCH_THRESHOLD,
+    parallel_scaling_delete_trace, parallel_scaling_trace, serve_apply_time, serve_bench_mix,
+    serve_plain_apply_time, serve_reader_query_time, stream_batch_replay_time, stream_replay_time,
+    weighted_bench_forests, weighted_path_query_time, ConnBackend, WeightedBackend,
+    REBUILD_BENCH_THRESHOLD,
 };
 use dyntree_primitives::ParallelConfig;
 
@@ -302,6 +303,54 @@ pub fn parallel_scaling_rows() -> Baseline {
     }
     Baseline {
         workload: "parallel_scaling".into(),
+        results,
+    }
+}
+
+/// Measures the `serve_throughput` workload: the writer's apply+publish
+/// throughput next to the bare engine's (their gap is the snapshot-build
+/// cost `EXPERIMENTS.md` reports as a percentage of apply wall), and reader
+/// query throughput at 1/2/8 reader threads under continuous writer churn.
+/// On a single-CPU host the reader rows measure interleaving, not
+/// parallelism — same caveat as `parallel_scaling`.
+pub fn serve_throughput_rows() -> Baseline {
+    let reps = bench_reps();
+    let (trace, mix) = serve_bench_mix();
+    let ops: usize = mix.writer_batches.iter().map(Vec::len).sum();
+    let mut results = Vec::new();
+
+    // writer row (readers=0): publish-per-batch vs bare apply
+    let serve_t = best_of(reps, || serve_apply_time(&mix).0);
+    let plain_t = best_of(reps, || serve_plain_apply_time(&mix).0);
+    results.push(BaselineRow {
+        id: vec![
+            ("trace".into(), trace.clone()),
+            ("ops".into(), ops.to_string()),
+            ("backend".into(), "ufo".into()),
+            ("readers".into(), "0".into()),
+        ],
+        metrics: vec![
+            ("apply_publish_ops_per_s".into(), ops as f64 / serve_t),
+            ("apply_plain_ops_per_s".into(), ops as f64 / plain_t),
+        ],
+    });
+
+    // reader rows: fixed query streams drained under live churn
+    for readers in [1usize, 2, 8] {
+        let queries = (readers * mix.reader_queries[0].len()) as f64;
+        let t = best_of(reps, || serve_reader_query_time(&mix, readers).0);
+        results.push(BaselineRow {
+            id: vec![
+                ("trace".into(), trace.clone()),
+                ("ops".into(), ops.to_string()),
+                ("backend".into(), "ufo".into()),
+                ("readers".into(), readers.to_string()),
+            ],
+            metrics: vec![("reader_query_ops_per_s".into(), queries / t)],
+        });
+    }
+    Baseline {
+        workload: "serve_throughput".into(),
         results,
     }
 }

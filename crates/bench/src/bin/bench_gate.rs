@@ -22,7 +22,7 @@
 
 use dyntree_bench::baseline::{
     baselines_dir, batch_ops_rows, compare, connectivity_stream_rows, parallel_scaling_rows,
-    weighted_path_query_rows, Baseline,
+    serve_throughput_rows, weighted_path_query_rows, Baseline,
 };
 
 /// A baseline file name paired with its re-measurement function.
@@ -42,11 +42,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
 
-    let workloads: [Workload; 4] = [
+    let workloads: [Workload; 5] = [
         ("connectivity_stream.json", connectivity_stream_rows),
         ("batch_ops.json", batch_ops_rows),
         ("weighted_path_queries.json", weighted_path_query_rows),
         ("parallel_scaling.json", parallel_scaling_rows),
+        ("serve_throughput.json", serve_throughput_rows),
     ];
 
     let mut failed = false;

@@ -1,0 +1,355 @@
+//! Linearizability-style differential for the serving layer.
+//!
+//! Per seed, a [`ServeMixGen`] workload runs live — one writer applying
+//! batches through a `ServingEngine` while reader threads drain their query
+//! streams concurrently, recording every `(epoch, query, answer)` triple —
+//! and is then checked against a deterministic oracle: the writer trace
+//! replayed batch-by-batch on a plain edge set + weight array, with one
+//! frozen partition/size/aggregate table per epoch.  A read stamped epoch E
+//! must equal the oracle replayed to exactly batch E, regardless of when
+//! the scheduler actually ran it; the check is therefore timing-independent
+//! even though the run itself is genuinely concurrent.
+//!
+//! After the concurrent phase, each seed also checks the final snapshot's
+//! component partition against the oracle's (label↔representative
+//! bijection), the pinned-reader contract at the oldest retained epoch, and
+//! that evicted epochs surface as typed `EpochRetired` errors.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin fuzz_serve --
+//! [--seeds 16] [--ops 20000] [--start-seed 1] [--batch 64] [--readers N]`
+//!
+//! Without `--readers`, every seed runs at reader counts 1, 2 and 8 — the
+//! acceptance matrix.  Any divergence prints the reproducing seed and exits
+//! non-zero.
+
+use std::collections::{HashMap, HashSet};
+
+use dyntree_primitives::algebra::{Agg, SumMinMax};
+use dyntree_primitives::ops::GraphOp;
+use dyntree_primitives::Dsu;
+use dyntree_serve::UfoServingEngine;
+use dyntree_workloads::{ServeMixGen, ServeQuery};
+
+/// Writer-trace replay on plain containers, mirroring the engine's
+/// validation rules (independent of the serving crate's labels machinery).
+#[derive(Default)]
+struct Oracle {
+    len: usize,
+    edges: HashSet<(usize, usize)>,
+    weights: Vec<i64>,
+}
+
+/// Frozen per-epoch answers.
+struct OracleEpoch {
+    len: usize,
+    rep: Vec<usize>,
+    size: HashMap<usize, u64>,
+    agg: HashMap<usize, Agg<SumMinMax>>,
+}
+
+impl Oracle {
+    fn apply(&mut self, ops: &[GraphOp]) {
+        for op in ops {
+            match *op {
+                GraphOp::AddVertices(c) => {
+                    if let Some(t) = self.len.checked_add(c) {
+                        self.len = t;
+                        self.weights.resize(t, 0);
+                    }
+                }
+                GraphOp::InsertEdge(u, v) => {
+                    if u != v && u < self.len && v < self.len {
+                        self.edges.insert((u.min(v), u.max(v)));
+                    }
+                }
+                GraphOp::DeleteEdge(u, v) => {
+                    if u != v && u < self.len && v < self.len {
+                        self.edges.remove(&(u.min(v), u.max(v)));
+                    }
+                }
+                GraphOp::SetWeight(v, w) => {
+                    if v < self.len {
+                        self.weights[v] = w;
+                    }
+                }
+            }
+        }
+    }
+
+    fn freeze(&self) -> OracleEpoch {
+        let mut dsu = Dsu::new(self.len);
+        for &(u, v) in &self.edges {
+            dsu.union(u, v);
+        }
+        let rep: Vec<usize> = (0..self.len).map(|v| dsu.find(v)).collect();
+        let mut size: HashMap<usize, u64> = HashMap::new();
+        let mut agg: HashMap<usize, Agg<SumMinMax>> = HashMap::new();
+        for (v, &r) in rep.iter().enumerate() {
+            *size.entry(r).or_insert(0) += 1;
+            let slot = agg.entry(r).or_insert(Agg::IDENTITY);
+            *slot = Agg::combine(*slot, Agg::vertex(self.weights[v]));
+        }
+        OracleEpoch {
+            len: self.len,
+            rep,
+            size,
+            agg,
+        }
+    }
+}
+
+impl OracleEpoch {
+    fn connected(&self, u: usize, v: usize) -> bool {
+        u < self.len && v < self.len && (u == v || self.rep[u] == self.rep[v])
+    }
+    fn component_size(&self, v: usize) -> u64 {
+        if v < self.len {
+            self.size[&self.rep[v]]
+        } else {
+            0
+        }
+    }
+    fn component_agg(&self, v: usize) -> Option<Agg<SumMinMax>> {
+        if v < self.len {
+            Some(self.agg[&self.rep[v]])
+        } else {
+            None
+        }
+    }
+}
+
+/// One recorded reader answer.
+enum Recorded {
+    Bool(ServeQuery, u64, bool),
+    Size(ServeQuery, u64, u64),
+    Agg(ServeQuery, u64, Option<Agg<SumMinMax>>),
+}
+
+/// Validates a recorded answer against the oracle at its epoch; returns a
+/// divergence description if they disagree.
+fn check(epochs: &[OracleEpoch], rec: &Recorded) -> Option<String> {
+    match *rec {
+        Recorded::Bool(ServeQuery::Connected(u, v), e, got) => {
+            let want = epochs[e as usize].connected(u, v);
+            (got != want).then(|| format!("connected({u},{v}) @ epoch {e}: {got} vs {want}"))
+        }
+        Recorded::Size(ServeQuery::ComponentSize(v), e, got) => {
+            let want = epochs[e as usize].component_size(v);
+            (got != want).then(|| format!("component_size({v}) @ epoch {e}: {got} vs {want}"))
+        }
+        Recorded::Agg(ServeQuery::ComponentAgg(v), e, got) => {
+            let want = epochs[e as usize].component_agg(v);
+            (got != want).then(|| format!("component_agg({v}) @ epoch {e}: {got:?} vs {want:?}"))
+        }
+        _ => Some("recorded answer does not match its query kind".into()),
+    }
+}
+
+/// Runs one seed at one reader count; returns divergence descriptions
+/// (empty = the seed passed at this reader count).
+fn run_seed(seed: u64, ops: usize, batch: usize, readers: usize) -> Vec<String> {
+    let mix = ServeMixGen::new(seed)
+        .with_ops(ops)
+        .with_batch_size(batch)
+        .with_readers(readers)
+        .with_queries_per_reader(2_500)
+        .generate();
+
+    // the deterministic oracle: one frozen table per epoch
+    let mut oracle = Oracle::default();
+    let mut epochs = vec![oracle.freeze()];
+    for b in &mix.writer_batches {
+        oracle.apply(b);
+        epochs.push(oracle.freeze());
+    }
+
+    // the live run: writer + concurrent readers recording stamped answers
+    let mut serving = UfoServingEngine::new(0);
+    let handle = serving.reader();
+    let recorded: Vec<Vec<Recorded>> = std::thread::scope(|scope| {
+        let joins: Vec<_> = mix
+            .reader_queries
+            .iter()
+            .map(|stream| {
+                let mut reader = handle.clone();
+                scope.spawn(move || {
+                    stream
+                        .iter()
+                        .map(|&q| match q {
+                            ServeQuery::Connected(u, v) => {
+                                let a = reader.connected(u, v);
+                                Recorded::Bool(q, a.epoch, a.value)
+                            }
+                            ServeQuery::ComponentSize(v) => {
+                                let a = reader.component_size(v);
+                                Recorded::Size(q, a.epoch, a.value)
+                            }
+                            ServeQuery::ComponentAgg(v) => {
+                                let a = reader.component_agg(v);
+                                Recorded::Agg(q, a.epoch, a.value)
+                            }
+                        })
+                        .collect::<Vec<Recorded>>()
+                })
+            })
+            .collect();
+        for b in &mix.writer_batches {
+            serving.apply(b);
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let mut diverged = Vec::new();
+    for (r, stream) in recorded.iter().enumerate() {
+        let mut last_epoch = 0u64;
+        for rec in stream {
+            if let Some(d) = check(&epochs, rec) {
+                diverged.push(format!("reader {r}: {d}"));
+                if diverged.len() > 4 {
+                    return diverged; // enough to diagnose; stop flooding
+                }
+            }
+            let e = match rec {
+                Recorded::Bool(_, e, _) | Recorded::Size(_, e, _) | Recorded::Agg(_, e, _) => *e,
+            };
+            if e < last_epoch {
+                diverged.push(format!("reader {r}: epoch regressed {last_epoch} -> {e}"));
+            }
+            last_epoch = e;
+        }
+    }
+
+    // final snapshot: its labels must induce exactly the oracle's partition
+    let final_epoch = serving.latest_epoch();
+    if final_epoch != mix.writer_batches.len() as u64 {
+        diverged.push(format!(
+            "final epoch {final_epoch} != {} batches applied",
+            mix.writer_batches.len()
+        ));
+        return diverged;
+    }
+    let mut reader = serving.reader();
+    let snap = reader.snapshot();
+    let truth = &epochs[final_epoch as usize];
+    if snap.vertices != truth.len {
+        diverged.push(format!(
+            "final vertices {} vs oracle {}",
+            snap.vertices, truth.len
+        ));
+    }
+    let mut label_to_rep: HashMap<u32, usize> = HashMap::new();
+    let mut rep_to_label: HashMap<usize, u32> = HashMap::new();
+    for v in 0..truth.len {
+        let Some(label) = snap.component_label(v) else {
+            diverged.push(format!("final snapshot has no label for vertex {v}"));
+            break;
+        };
+        let ok_a = *label_to_rep.entry(label).or_insert(truth.rep[v]) == truth.rep[v];
+        let ok_b = *rep_to_label.entry(truth.rep[v]).or_insert(label) == label;
+        if !(ok_a && ok_b) {
+            diverged.push(format!(
+                "final partition: vertex {v} label {label} breaks the label<->rep bijection"
+            ));
+            break;
+        }
+        if snap.component_size(v) != truth.component_size(v) {
+            diverged.push(format!(
+                "final component_size({v}): {} vs {}",
+                snap.component_size(v),
+                truth.component_size(v)
+            ));
+            break;
+        }
+    }
+
+    // retention contract: the oldest retained epoch pins and answers its own
+    // epoch's table; anything older is a typed refusal
+    let oldest = serving.ring().oldest_retained();
+    match reader.at(oldest) {
+        Ok(pin) => {
+            let t = &epochs[oldest as usize];
+            for v in [0usize, 1, 7, t.len.saturating_sub(1)] {
+                let got = pin.component_size(v).value;
+                if got != t.component_size(v) {
+                    diverged.push(format!(
+                        "pinned @ {oldest}: component_size({v}) {got} vs {}",
+                        t.component_size(v)
+                    ));
+                }
+            }
+        }
+        Err(e) => diverged.push(format!("oldest retained epoch {oldest} refused: {e}")),
+    }
+    if oldest > 0 {
+        if let Ok(pin) = reader.at(oldest - 1) {
+            diverged.push(format!(
+                "evicted epoch {} served (as epoch {})",
+                oldest - 1,
+                pin.epoch()
+            ));
+        }
+    }
+    if reader.at(final_epoch + 1).is_ok() {
+        diverged.push("future epoch served".into());
+    }
+    diverged
+}
+
+fn main() {
+    let mut seeds = 16u64;
+    let mut ops = 20_000usize;
+    let mut start_seed = 1u64;
+    let mut batch = 64usize;
+    let mut readers: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut grab = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => seeds = grab("--seeds").parse().expect("--seeds: u64"),
+            "--ops" => ops = grab("--ops").parse().expect("--ops: usize"),
+            "--start-seed" => start_seed = grab("--start-seed").parse().expect("--start-seed: u64"),
+            "--batch" => batch = grab("--batch").parse().expect("--batch: usize"),
+            "--readers" => readers = Some(grab("--readers").parse().expect("--readers: usize")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: fuzz_serve [--seeds N] [--ops N] \
+                     [--start-seed S] [--batch B] [--readers R]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let reader_counts: Vec<usize> = readers.map_or_else(|| vec![1, 2, 8], |r| vec![r]);
+    println!(
+        "fuzz_serve: {seeds} seeds x {ops} ops (start seed {start_seed}, batch {batch}, \
+         readers {reader_counts:?})"
+    );
+    let mut divergences = 0usize;
+    for seed in start_seed..start_seed + seeds {
+        let mut seed_ok = true;
+        for &r in &reader_counts {
+            let diverged = run_seed(seed, ops, batch, r);
+            for d in &diverged {
+                println!("seed {seed} ({r} readers): {d}");
+            }
+            seed_ok &= diverged.is_empty();
+        }
+        if seed_ok {
+            println!("seed {seed}: ok ({ops} ops, readers {reader_counts:?})");
+        } else {
+            divergences += 1;
+            println!("seed {seed}: DIVERGED (reproduce with --start-seed {seed} --seeds 1)");
+        }
+    }
+    if divergences > 0 {
+        println!("fuzz_serve: FAILED — {divergences} diverging seed(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz_serve: zero divergences over {seeds} seeds x {ops} ops x {} reader count(s)",
+        reader_counts.len()
+    );
+}

@@ -1,0 +1,16 @@
+//! Measures the serving layer — writer apply+publish throughput vs the bare
+//! engine, and reader query throughput at 1/2/8 reader threads under
+//! continuous churn — and emits the baseline JSON stored at
+//! `crates/bench/baselines/serve_throughput.json`.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin serve_baseline`
+//!
+//! On a single-CPU host the reader rows measure OS interleaving rather than
+//! parallel speedup (see `EXPERIMENTS.md`); the gate's wide tolerance plus
+//! the median absorb the extra scheduling noise.
+
+use dyntree_bench::baseline::serve_throughput_rows;
+
+fn main() {
+    print!("{}", serve_throughput_rows().to_json());
+}

@@ -772,6 +772,123 @@ pub fn weighted_path_query_time(
     }
 }
 
+// ------------------------------------------------------------------
+// Serving-layer harness (epoch snapshots under a writing engine)
+// ------------------------------------------------------------------
+
+use dyntree_serve::UfoServingEngine;
+use dyntree_workloads::{ServeMix, ServeMixGen, ServeQuery};
+
+/// The mixed readers+writer trace the serving benchmark and its baseline
+/// replay: a 16k-op writer trace in batches of 64 over a 256→512-vertex
+/// graph, with 8 pre-generated reader streams of 100k queries each (the
+/// baseline rows use the first 1, 2, and 8 of them).
+pub fn serve_bench_mix() -> (String, ServeMix) {
+    (
+        "SERVE-16k".to_string(),
+        ServeMixGen::new(4242)
+            .with_ops(16_384)
+            .with_batch_size(64)
+            .with_readers(8)
+            .with_queries_per_reader(100_000)
+            .with_vertices(256)
+            .with_max_vertices(512)
+            .generate(),
+    )
+}
+
+/// Replays the writer trace through a [`UfoServingEngine`] — every batch
+/// publishes a snapshot — and returns elapsed seconds plus the final epoch.
+pub fn serve_apply_time(mix: &ServeMix) -> (f64, u64) {
+    let mut serving = UfoServingEngine::new(0);
+    let start = Instant::now();
+    for batch in &mix.writer_batches {
+        serving.apply(batch);
+    }
+    (
+        start.elapsed().as_secs_f64(),
+        std::hint::black_box(serving.latest_epoch()),
+    )
+}
+
+/// The same writer trace through the bare engine (no snapshot publication):
+/// the reference the writer-row metrics compare against, so the recorded
+/// baseline captures snapshot-build cost as the gap between the two.
+pub fn serve_plain_apply_time(mix: &ServeMix) -> (f64, u64) {
+    let mut engine: DynConnectivity<UfoForest> = DynConnectivity::new(0);
+    let start = Instant::now();
+    for batch in &mix.writer_batches {
+        engine.apply(batch);
+    }
+    (
+        start.elapsed().as_secs_f64(),
+        std::hint::black_box(engine.version()),
+    )
+}
+
+/// Runs the first `readers` query streams of `mix` on their own threads
+/// against a live [`UfoServingEngine`] while the writer keeps publishing —
+/// first the real trace, then (if the readers outlast it) a small
+/// insert/delete flip so churn never stops.  Returns elapsed seconds (start
+/// of churn to last reader done) and an answer checksum; the caller derives
+/// throughput from `readers × queries_per_reader`.
+pub fn serve_reader_query_time(mix: &ServeMix, readers: usize) -> (f64, u64) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    assert!(
+        readers >= 1 && readers <= mix.reader_queries.len(),
+        "mix has {} reader streams",
+        mix.reader_queries.len()
+    );
+    let mut serving = UfoServingEngine::new(0);
+    // bootstrap the vertex universe so readers query a populated graph
+    serving.apply(&mix.writer_batches[0]);
+    let handle = serving.reader();
+    let done = AtomicUsize::new(0);
+    let start = Instant::now();
+    let checksum = std::thread::scope(|scope| {
+        let joins: Vec<_> = mix.reader_queries[..readers]
+            .iter()
+            .map(|stream| {
+                let mut reader = handle.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut acc = 0u64;
+                    for &q in stream {
+                        acc = acc.wrapping_add(match q {
+                            ServeQuery::Connected(u, v) => reader.connected(u, v).value as u64,
+                            ServeQuery::ComponentSize(v) => reader.component_size(v).value,
+                            ServeQuery::ComponentAgg(v) => {
+                                reader.component_agg(v).value.map_or(0, |a| a.count)
+                            }
+                        });
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                    acc
+                })
+            })
+            .collect();
+        for batch in &mix.writer_batches[1..] {
+            serving.apply(batch);
+            if done.load(Ordering::Relaxed) == readers {
+                break;
+            }
+        }
+        // trace exhausted with readers still running: keep epochs coming
+        // without growing the graph
+        while done.load(Ordering::Relaxed) < readers {
+            serving.apply(&[GraphOp::InsertEdge(0, 1)]);
+            serving.apply(&[GraphOp::DeleteEdge(0, 1)]);
+        }
+        joins
+            .into_iter()
+            .fold(0u64, |acc, j| acc.wrapping_add(j.join().unwrap()))
+    });
+    (
+        start.elapsed().as_secs_f64(),
+        std::hint::black_box(checksum),
+    )
+}
+
 /// Formats a result row for the figure binaries.
 pub fn print_row(label: &str, cells: &[(String, f64)]) {
     print!("{:<14}", label);

@@ -139,6 +139,21 @@ pub trait SpanningBackend: Send + Sync {
         None
     }
 
+    /// Writes one representative id per vertex into `out` — values that are
+    /// equal iff the vertices are in the same tree — and returns `true`.
+    /// The default declines with `false` (splay-based backends would need
+    /// `&mut self` to walk themselves), and the engine falls back to a BFS
+    /// over its own tree adjacency; either way the engine renumbers the raw
+    /// representatives into canonical dense labels, so implementations may
+    /// emit any ids they like (root vertex, top-cluster id, ...).
+    ///
+    /// Read-only by contract: the serving layer's snapshot builder calls it
+    /// while reader threads hold older snapshots.
+    fn export_components(&self, out: &mut Vec<usize>) -> bool {
+        let _ = out;
+        false
+    }
+
     /// Heap bytes owned by the backend (0 when not tracked).
     fn memory_bytes(&self) -> usize {
         0
@@ -190,6 +205,12 @@ impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
     }
     fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
         UfoForest::path_aggregate(self, u, v)
+    }
+    fn export_components(&self, out: &mut Vec<usize>) -> bool {
+        let eng = self.engine();
+        out.clear();
+        out.extend((0..self.len()).map(|v| eng.top_cluster(v)));
+        true
     }
     fn memory_bytes(&self) -> usize {
         UfoForest::memory_bytes(self)
@@ -245,6 +266,12 @@ impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
     // aggregates are inexact for interior vertices of degree ≥ 4 (see
     // `TopologyForest::path_sum`), and the engine must not serve approximate
     // answers for a general graph's spanning-tree paths.
+    fn export_components(&self, out: &mut Vec<usize>) -> bool {
+        let eng = self.engine();
+        out.clear();
+        out.extend((0..self.len()).map(|v| eng.top_cluster(v)));
+        true
+    }
     fn memory_bytes(&self) -> usize {
         TopologyForest::memory_bytes(self)
     }
@@ -418,6 +445,10 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
         NaiveForest::path_aggregate(self, u, v)
     }
+    fn export_components(&self, out: &mut Vec<usize>) -> bool {
+        NaiveForest::component_labels(self, out);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -559,6 +590,38 @@ mod tests {
         go::<EulerTourForest<TreapSequence>>();
         go::<BatchEulerForest<TreapSequence>>();
         go::<NaiveForest>();
+    }
+
+    #[test]
+    fn component_exports_agree_with_connectivity() {
+        fn go<B: SpanningBackend>(expect_export: bool) {
+            let mut b = B::new(5);
+            b.link(0, 1);
+            b.link(1, 2);
+            b.link(3, 4);
+            let mut reps = Vec::new();
+            assert_eq!(b.export_components(&mut reps), expect_export, "{}", B::NAME);
+            if !expect_export {
+                return;
+            }
+            assert_eq!(reps.len(), 5, "{}", B::NAME);
+            for u in 0..5 {
+                for v in 0..5 {
+                    assert_eq!(
+                        reps[u] == reps[v],
+                        b.connected(u, v),
+                        "{}: ({u},{v})",
+                        B::NAME
+                    );
+                }
+            }
+        }
+        go::<UfoForest>(true);
+        go::<TopologyForest>(true);
+        go::<NaiveForest>(true);
+        go::<LinkCutForest>(false);
+        go::<EulerTourForest<TreapSequence>>(false);
+        go::<BatchEulerForest<TreapSequence>>(false);
     }
 
     #[test]

@@ -913,6 +913,16 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// assert_eq!(report.components_after, 2);
     /// ```
     pub fn apply(&mut self, ops: &[OpOf<B>]) -> BatchReport {
+        self.apply_with(ops, |_| {})
+    }
+
+    /// [`apply`](Self::apply) with a post-batch hook that runs *inside* the
+    /// batch's `apply` phase span, after the ops execute but before the
+    /// report is sealed.  The serving layer builds and publishes its
+    /// snapshot here, so snapshot construction is charged to the same apply
+    /// wall the phase tree reports (under its own `snapshot_build` child
+    /// phase) instead of being invisible writer-side overhead.
+    pub fn apply_with(&mut self, ops: &[OpOf<B>], after: impl FnOnce(&mut Self)) -> BatchReport {
         // With telemetry enabled, the report carries this batch's counter and
         // phase deltas (cumulative snapshot before vs after).
         let before = self.telemetry_snapshot();
@@ -921,8 +931,11 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         {
             let _apply_span = self.telemetry().span(Phase::Apply);
             self.apply_runs(ops, &mut report);
+            self.version += 1;
+            after(self);
         }
         report.close(self.len(), self.component_count());
+        report.version = self.version;
         if let (Some(before), Some(now)) = (before, self.telemetry_snapshot()) {
             report.telemetry = Some(BatchTelemetry {
                 delta: now.delta_since(&before),

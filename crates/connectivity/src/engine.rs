@@ -46,6 +46,9 @@ pub struct DynConnectivity<B: SpanningBackend> {
     pub(crate) par: ParallelConfig,
     /// Telemetry handle (disabled by default; clones share accumulators).
     pub(crate) tel: Telemetry,
+    /// Monotone batch counter: bumped once per successful [`apply`], the
+    /// canonical epoch id for snapshot publication.
+    pub(crate) version: u64,
 }
 
 impl<B: SpanningBackend> DynConnectivity<B> {
@@ -63,7 +66,16 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             scratch: SearchScratch::default(),
             par: ParallelConfig::default(),
             tel: Telemetry::from_env(),
+            version: 0,
         }
+    }
+
+    /// The engine's version: a monotone counter bumped once per
+    /// [`apply`](Self::apply) call (regardless of how many of the batch's
+    /// ops were applied).  Snapshot publication uses it as the epoch id;
+    /// single-op mutators do not bump it — an epoch is a *batch* boundary.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The engine's telemetry handle (disabled unless the `telemetry`
@@ -496,6 +508,67 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         visited.len() as u64
     }
 
+    /// Writes one component label per vertex into `labels`: dense ids in
+    /// `0..component_count()`, assigned in order of first appearance by
+    /// vertex id, so the output is canonical — byte-identical across
+    /// backends and thread counts for the same graph.  The serving layer's
+    /// snapshot builder freezes this array into its published view.
+    ///
+    /// Uses the backend's [`export_components`](SpanningBackend::export_components)
+    /// dump when offered (e.g. the UFO backends' top-cluster walk), else a
+    /// BFS over the engine's own tree adjacency; either way the raw
+    /// representatives are renumbered into the canonical dense form.
+    pub fn export_component_labels(&self, labels: &mut Vec<u32>) {
+        assert!(
+            u32::try_from(self.n).is_ok(),
+            "component labels are u32: vertex count {} too large",
+            self.n
+        );
+        labels.clear();
+        let mut reps: Vec<usize> = Vec::new();
+        if self.backend.export_components(&mut reps) {
+            debug_assert_eq!(reps.len(), self.n, "backend exported a partial dump");
+            // renumber arbitrary representatives to dense first-appearance ids
+            let mut dense: HashMap<usize, u32> = HashMap::with_capacity(self.components);
+            labels.reserve(self.n);
+            for &r in &reps {
+                let next = dense.len() as u32;
+                labels.push(*dense.entry(r).or_insert(next));
+            }
+        } else {
+            // canonical BFS over the engine's tree adjacency: scanning
+            // vertices in id order makes the labels dense by construction
+            labels.resize(self.n, u32::MAX);
+            let mut next = 0u32;
+            let mut queue: Vec<Vertex> = Vec::new();
+            for start in 0..self.n {
+                if labels[start] != u32::MAX {
+                    continue;
+                }
+                labels[start] = next;
+                queue.clear();
+                queue.push(start);
+                let mut i = 0;
+                while i < queue.len() {
+                    let x = queue[i];
+                    i += 1;
+                    for (w, _) in self.adj.tree_neighbors(x) {
+                        if labels[w] == u32::MAX {
+                            labels[w] = next;
+                            queue.push(w);
+                        }
+                    }
+                }
+                next += 1;
+            }
+        }
+        debug_assert_eq!(
+            labels.iter().copied().max().map_or(0, |m| m as usize + 1),
+            self.components.min(self.n),
+            "label count disagrees with the component counter"
+        );
+    }
+
     /// Monoid aggregate over `v`'s whole component, with typed errors:
     /// [`GraphError::VertexOutOfRange`] for an invalid id,
     /// [`GraphError::UnsupportedQuery`] for a backend without component
@@ -574,6 +647,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                 * (2 * word + std::mem::size_of::<EdgeInfo>() + word / 2),
             scratch: self.mark.capacity() * std::mem::size_of::<u64>()
                 + self.scratch.memory_bytes(),
+            snapshots: 0,
         }
     }
 
@@ -731,6 +805,9 @@ pub struct MemoryBreakdown {
     pub edge_registry: usize,
     /// Epoch-stamped scratch mark array.
     pub scratch: usize,
+    /// Published serving snapshots retained by a wrapping `ServingEngine`
+    /// (0 when the engine is not being served).
+    pub snapshots: usize,
 }
 
 impl MemoryBreakdown {
@@ -742,6 +819,7 @@ impl MemoryBreakdown {
             + self.adjacency_nontree
             + self.edge_registry
             + self.scratch
+            + self.snapshots
     }
 }
 
@@ -749,7 +827,7 @@ impl std::fmt::Display for MemoryBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "total {} B (backend {}, adj tree map {}, adj tree buckets {}, adj non-tree {}, edge registry {}, scratch {})",
+            "total {} B (backend {}, adj tree map {}, adj tree buckets {}, adj non-tree {}, edge registry {}, scratch {}",
             self.total(),
             self.backend,
             self.adjacency_tree_map,
@@ -757,7 +835,11 @@ impl std::fmt::Display for MemoryBreakdown {
             self.adjacency_nontree,
             self.edge_registry,
             self.scratch
-        )
+        )?;
+        if self.snapshots > 0 {
+            write!(f, ", snapshots {}", self.snapshots)?;
+        }
+        write!(f, ")")
     }
 }
 

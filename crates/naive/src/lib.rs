@@ -186,6 +186,32 @@ impl<M: CommutativeMonoid> NaiveForest<M> {
         out
     }
 
+    /// Writes one representative id per vertex into `out` — the minimum
+    /// vertex id of its component — so two entries are equal iff the
+    /// vertices are connected.  One BFS sweep over the whole forest,
+    /// `O(n + m)`; the connectivity engine's snapshot builder uses this as
+    /// the oracle-side labels dump.
+    pub fn component_labels(&self, out: &mut Vec<Vertex>) {
+        out.clear();
+        out.resize(self.adj.len(), usize::MAX);
+        let mut queue = VecDeque::new();
+        for start in 0..self.adj.len() {
+            if out[start] != usize::MAX {
+                continue;
+            }
+            out[start] = start;
+            queue.push_back(start);
+            while let Some(x) = queue.pop_front() {
+                for &y in &self.adj[x] {
+                    if out[y] == usize::MAX {
+                        out[y] = start;
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+    }
+
     /// Monoid aggregate over the whole component containing `v`.
     pub fn component_aggregate(&self, v: Vertex) -> Agg<M> {
         self.fold(&self.component(v))

@@ -223,6 +223,10 @@ pub struct BatchReport {
     pub components_before: usize,
     /// Connected-component count after the batch.
     pub components_after: usize,
+    /// Engine version (monotone batch counter) *after* this batch was
+    /// applied.  Serves as the canonical epoch id for snapshot publication:
+    /// a snapshot published from this batch carries exactly this number.
+    pub version: u64,
     /// Per-batch telemetry delta, attached only when the engine's
     /// [`Telemetry`](crate::Telemetry) handle is enabled.  Contains wall
     /// timings, so reports with telemetry attached are not byte-comparable
@@ -275,7 +279,7 @@ impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ops: {} applied, {} skipped, {} rejected | vertices {} -> {} | components {} -> {}",
+            "{} ops: {} applied, {} skipped, {} rejected | vertices {} -> {} | components {} -> {} | v{}",
             self.len(),
             self.applied,
             self.skipped,
@@ -284,6 +288,7 @@ impl fmt::Display for BatchReport {
             self.vertices_after,
             self.components_before,
             self.components_after,
+            self.version,
         )
     }
 }
@@ -322,6 +327,7 @@ mod tests {
         r.record(OpOutcome::Skipped(GraphError::DuplicateEdge { u: 1, v: 2 }));
         r.record(OpOutcome::Rejected(GraphError::SelfLoop { v: 0 }));
         r.close(12, 11);
+        r.version = 7;
         assert_eq!(r.len(), 6);
         assert_eq!((r.applied, r.skipped, r.rejected), (4, 1, 1));
         assert_eq!(r.vertices_after, 12);
@@ -329,6 +335,7 @@ mod tests {
         assert!(!r.is_empty());
         let line = r.to_string();
         assert!(line.contains("4 applied") && line.contains("1 rejected"));
+        assert!(line.ends_with("| v7"));
     }
 
     #[test]

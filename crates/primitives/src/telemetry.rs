@@ -75,11 +75,21 @@ pub enum Counter {
     /// Replacement-search scratch buffers served from the reusable per-engine
     /// arena instead of a fresh allocation.
     ScratchArenaReuses,
+    /// Snapshots published by a serving engine (one per applied batch plus
+    /// the epoch-0 bootstrap).  Serving counters form a third family: they
+    /// are deterministic for a fixed writer trace but depend on how many
+    /// reader handles run, so the differential harness pins both.
+    SnapshotsPublished,
+    /// Queries answered by `ReadHandle`s against a published snapshot.
+    ReaderQueriesServed,
+    /// Reader refreshes that found the cached epoch stale and caught up to a
+    /// newer published snapshot.
+    StaleEpochReads,
 }
 
 impl Counter {
     /// Every counter, in canonical export order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::ReplacementSearches,
         Counter::ReplacementEdgesScanned,
         Counter::ReplacementPromotions,
@@ -98,6 +108,9 @@ impl Counter {
         Counter::SearchesFannedOut,
         Counter::RebuildsTaken,
         Counter::ScratchArenaReuses,
+        Counter::SnapshotsPublished,
+        Counter::ReaderQueriesServed,
+        Counter::StaleEpochReads,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -121,6 +134,9 @@ impl Counter {
             Counter::SearchesFannedOut => "searches_fanned_out",
             Counter::RebuildsTaken => "rebuilds_taken",
             Counter::ScratchArenaReuses => "scratch_arena_reuses",
+            Counter::SnapshotsPublished => "snapshots_published",
+            Counter::ReaderQueriesServed => "reader_queries_served",
+            Counter::StaleEpochReads => "stale_epoch_reads",
         }
     }
 }
@@ -153,11 +169,14 @@ pub enum Phase {
     /// Wholesale component rebuild taken by the escape hatch (inside the
     /// delete walk).
     Rebuild,
+    /// Building and publishing an immutable serving snapshot after a batch
+    /// (inside the apply span, charged by the serving layer).
+    SnapshotBuild,
 }
 
 impl Phase {
     /// Every phase, in canonical export order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Apply,
         Phase::InsertPrePass,
         Phase::InsertWalk,
@@ -168,6 +187,7 @@ impl Phase {
         Phase::SmallerSide,
         Phase::SearchFanOut,
         Phase::Rebuild,
+        Phase::SnapshotBuild,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -183,6 +203,7 @@ impl Phase {
             Phase::SmallerSide => "smaller_side",
             Phase::SearchFanOut => "search_fan_out",
             Phase::Rebuild => "rebuild",
+            Phase::SnapshotBuild => "snapshot_build",
         }
     }
 
@@ -197,6 +218,7 @@ impl Phase {
             Phase::NonTreeDrain | Phase::ReplacementSearch => Some(Phase::DeleteWalk),
             Phase::SmallerSide => Some(Phase::ReplacementSearch),
             Phase::SearchFanOut | Phase::Rebuild => Some(Phase::DeleteWalk),
+            Phase::SnapshotBuild => Some(Phase::Apply),
         }
     }
 }
@@ -650,6 +672,10 @@ mod tests {
             snap.phase("smaller_side").unwrap().parent,
             Some("replacement_search")
         );
+        assert_eq!(snap.phase("snapshot_build").unwrap().parent, Some("apply"));
+        assert_eq!(snap.counter("snapshots_published"), 0);
+        assert_eq!(snap.counter("reader_queries_served"), 0);
+        assert_eq!(snap.counter("stale_epoch_reads"), 0);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! The bounded publication ring: the last K published snapshots plus the
+//! release-stored epoch counter readers poll.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dyntree_primitives::algebra::{CommutativeMonoid, SumMinMax};
+use dyntree_primitives::telemetry::Counter;
+use dyntree_primitives::Telemetry;
+
+use crate::snapshot::Snapshot;
+
+/// Asking for an epoch the ring no longer (or does not yet) retain.
+///
+/// Returned by [`ReadHandle::at`](crate::ReadHandle::at): a pinned reader
+/// keeps its own `Arc` alive for as long as it likes, but *acquiring* a pin
+/// on an old epoch only works while the ring still holds it — a typed error,
+/// never a silently wrong answer from a different epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochRetired {
+    /// The epoch that was asked for.
+    pub requested: u64,
+    /// Oldest epoch still retained by the ring.
+    pub oldest_retained: u64,
+    /// Latest published epoch (a `requested` above this was never
+    /// published, rather than evicted).
+    pub latest: u64,
+}
+
+impl std::fmt::Display for EpochRetired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} not retained (ring holds {}..={})",
+            self.requested, self.oldest_retained, self.latest
+        )
+    }
+}
+
+impl std::error::Error for EpochRetired {}
+
+/// The shared publication state: a bounded deque of the last K snapshots
+/// (back = newest) and the atomic epoch counter that readers poll.
+///
+/// The writer pushes under the mutex and *then* advances the counter with a
+/// release store, so a reader that observes the new epoch is guaranteed to
+/// find (at least) that snapshot in the ring.  Reader fast paths never take
+/// the mutex — only catching up to a newer epoch or pinning an old one
+/// does, and the writer's critical section is a push plus an eviction, so
+/// contention is a few pointer moves per *batch*, not per query.
+#[derive(Debug)]
+pub struct SnapshotRing<M: CommutativeMonoid = SumMinMax> {
+    latest: AtomicU64,
+    ring: Mutex<VecDeque<Arc<Snapshot<M>>>>,
+    capacity: usize,
+    tel: Telemetry,
+}
+
+impl<M: CommutativeMonoid> SnapshotRing<M> {
+    /// A ring retaining up to `capacity` epochs (at least 1), seeded with
+    /// the bootstrap snapshot.
+    pub(crate) fn new(capacity: usize, bootstrap: Arc<Snapshot<M>>, tel: Telemetry) -> Self {
+        let ring = SnapshotRing {
+            latest: AtomicU64::new(bootstrap.epoch),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1) + 1)),
+            capacity: capacity.max(1),
+            tel,
+        };
+        ring.publish(bootstrap);
+        ring
+    }
+
+    /// The reader-side telemetry handle (shares the engine's accumulators).
+    pub(crate) fn tel(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Publishes a snapshot: push, evict past capacity, then advance the
+    /// epoch counter (release) so readers can observe it.
+    pub(crate) fn publish(&self, snap: Arc<Snapshot<M>>) {
+        let epoch = snap.epoch;
+        {
+            let mut ring = self.ring.lock().unwrap();
+            debug_assert!(
+                ring.back().is_none_or(|prev| prev.epoch < epoch),
+                "publication must be monotone"
+            );
+            ring.push_back(snap);
+            while ring.len() > self.capacity {
+                ring.pop_front();
+            }
+        }
+        self.latest.store(epoch, Ordering::Release);
+        self.tel.incr(Counter::SnapshotsPublished);
+    }
+
+    /// The latest published epoch (acquire; pairs with the publish store).
+    #[inline]
+    pub fn latest_epoch(&self) -> u64 {
+        self.latest.load(Ordering::Acquire)
+    }
+
+    /// The latest published snapshot.
+    pub fn latest(&self) -> Arc<Snapshot<M>> {
+        Arc::clone(self.ring.lock().unwrap().back().expect("ring never empty"))
+    }
+
+    /// The snapshot published at exactly `epoch`, or a typed
+    /// [`EpochRetired`] when the ring evicted (or never published) it.
+    pub fn at(&self, epoch: u64) -> Result<Arc<Snapshot<M>>, EpochRetired> {
+        let ring = self.ring.lock().unwrap();
+        ring.iter()
+            .find(|s| s.epoch == epoch)
+            .map(Arc::clone)
+            .ok_or_else(|| EpochRetired {
+                requested: epoch,
+                oldest_retained: ring.front().expect("ring never empty").epoch,
+                latest: ring.back().expect("ring never empty").epoch,
+            })
+    }
+
+    /// Oldest epoch still retained.
+    pub fn oldest_retained(&self) -> u64 {
+        self.ring
+            .lock()
+            .unwrap()
+            .front()
+            .expect("ring never empty")
+            .epoch
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether the ring holds no snapshots (never true: the bootstrap
+    /// snapshot is published at construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of epochs retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Approximate heap bytes of every retained snapshot's tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| s.memory_bytes())
+            .sum()
+    }
+}

@@ -9,6 +9,7 @@
 pub mod forests;
 pub mod fuzz;
 pub mod graphs;
+pub mod serve;
 pub mod spanning;
 pub mod streams;
 pub mod zipf;
@@ -19,6 +20,7 @@ pub use forests::{
 };
 pub use fuzz::FuzzTraceGen;
 pub use graphs::{power_law_graph, road_grid_graph, social_rmat_graph, temporal_graph, Graph};
+pub use serve::{ServeMix, ServeMixGen, ServeQuery};
 pub use spanning::{bfs_forest, ris_forest};
 pub use streams::{churn_stream, sliding_window_stream, EdgeStream, StreamOp};
 pub use zipf::{zipf_tree, ZipfSampler};

@@ -1,0 +1,205 @@
+//! Mixed readers+writer workloads for the serving layer: one seeded writer
+//! trace (batched [`GraphOp`]s, reusing the fuzz generator's adversarial
+//! phases) plus independent seeded query streams, one per reader thread.
+//!
+//! Reader streams are generated from per-reader seeds derived from the mix
+//! seed, so the *set* of queries each reader issues is reproducible even
+//! though the epoch each query lands on depends on scheduling — exactly the
+//! split the serve differential needs: replay the writer trace to build a
+//! per-epoch oracle, run the readers live, then check every recorded
+//! `(epoch, query, answer)` triple against the oracle for that epoch.
+
+use dyntree_primitives::ops::GraphOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fuzz::FuzzTraceGen;
+
+/// One read-side query of a serving workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeQuery {
+    /// Are `u` and `v` connected?
+    Connected(usize, usize),
+    /// How many vertices in `v`'s component?
+    ComponentSize(usize),
+    /// Monoid aggregate over `v`'s component.
+    ComponentAgg(usize),
+}
+
+/// A generated serving workload: the writer's batches plus one query
+/// stream per reader.
+#[derive(Clone, Debug)]
+pub struct ServeMix {
+    /// Writer batches, in apply order (the vertex bootstrap rides batch 0).
+    pub writer_batches: Vec<Vec<GraphOp>>,
+    /// One query stream per reader thread.
+    pub reader_queries: Vec<Vec<ServeQuery>>,
+}
+
+/// Deterministic generator of mixed readers+writer serving workloads.
+///
+/// ```
+/// use dyntree_workloads::ServeMixGen;
+///
+/// let mix = ServeMixGen::new(7).with_readers(3).generate();
+/// assert_eq!(mix.reader_queries.len(), 3);
+/// assert_eq!(
+///     mix.writer_batches,
+///     ServeMixGen::new(7).with_readers(3).generate().writer_batches,
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeMixGen {
+    seed: u64,
+    ops: usize,
+    batch_size: usize,
+    readers: usize,
+    queries_per_reader: usize,
+    vertices: usize,
+    max_vertices: usize,
+}
+
+impl ServeMixGen {
+    /// A mix with the default profile: a 10 000-op writer trace in batches
+    /// of 64 over a 64→256-vertex graph, 2 readers × 2 000 queries.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ops: 10_000,
+            batch_size: 64,
+            readers: 2,
+            queries_per_reader: 2_000,
+            vertices: 64,
+            max_vertices: 256,
+        }
+    }
+
+    /// The seed this generator reproduces from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the writer trace length (ops, excluding the bootstrap).
+    pub fn with_ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the writer batch size.
+    pub fn with_batch_size(mut self, size: usize) -> Self {
+        self.batch_size = size.max(1);
+        self
+    }
+
+    /// Sets the number of reader streams.
+    pub fn with_readers(mut self, readers: usize) -> Self {
+        self.readers = readers.max(1);
+        self
+    }
+
+    /// Sets the number of queries in each reader stream.
+    pub fn with_queries_per_reader(mut self, q: usize) -> Self {
+        self.queries_per_reader = q;
+        self
+    }
+
+    /// Sets the initial vertex count of the writer trace.
+    pub fn with_vertices(mut self, n: usize) -> Self {
+        self.vertices = n;
+        self.max_vertices = self.max_vertices.max(n);
+        self
+    }
+
+    /// Caps mid-trace vertex growth.
+    pub fn with_max_vertices(mut self, n: usize) -> Self {
+        self.max_vertices = n.max(self.vertices);
+        self
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> ServeMix {
+        let writer_batches = FuzzTraceGen::new(self.seed)
+            .with_ops(self.ops)
+            .with_vertices(self.vertices)
+            .with_max_vertices(self.max_vertices)
+            .batches(self.batch_size);
+        let reader_queries = (0..self.readers).map(|r| self.reader_stream(r)).collect();
+        ServeMix {
+            writer_batches,
+            reader_queries,
+        }
+    }
+
+    /// The query stream of reader `r` (derived seed, so streams are
+    /// independent and individually reproducible).
+    fn reader_stream(&self, r: usize) -> Vec<ServeQuery> {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(r as u64 + 1),
+        );
+        // queries may range slightly past the vertex cap: out-of-range ids
+        // exercise the snapshot's lenient-answer contract
+        let universe = self.max_vertices + 2;
+        (0..self.queries_per_reader)
+            .map(|_| match rng.random_range(0..4u32) {
+                0 => ServeQuery::ComponentSize(rng.random_range(0..universe)),
+                1 => ServeQuery::ComponentAgg(rng.random_range(0..universe)),
+                _ => ServeQuery::Connected(
+                    rng.random_range(0..universe),
+                    rng.random_range(0..universe),
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_reproducible_from_the_seed() {
+        let g = ServeMixGen::new(42).with_readers(3).with_ops(2_000);
+        let a = g.generate();
+        let b = g.generate();
+        assert_eq!(a.writer_batches, b.writer_batches);
+        assert_eq!(a.reader_queries, b.reader_queries);
+        let c = ServeMixGen::new(43)
+            .with_readers(3)
+            .with_ops(2_000)
+            .generate();
+        assert_ne!(a.reader_queries, c.reader_queries);
+    }
+
+    #[test]
+    fn reader_streams_are_independent_and_sized() {
+        let mix = ServeMixGen::new(1)
+            .with_readers(4)
+            .with_queries_per_reader(500)
+            .generate();
+        assert_eq!(mix.reader_queries.len(), 4);
+        assert!(mix.reader_queries.iter().all(|q| q.len() == 500));
+        assert_ne!(mix.reader_queries[0], mix.reader_queries[1]);
+        // every query kind appears
+        let flat: Vec<ServeQuery> = mix.reader_queries.concat();
+        assert!(flat.iter().any(|q| matches!(q, ServeQuery::Connected(..))));
+        assert!(flat
+            .iter()
+            .any(|q| matches!(q, ServeQuery::ComponentSize(..))));
+        assert!(flat
+            .iter()
+            .any(|q| matches!(q, ServeQuery::ComponentAgg(..))));
+    }
+
+    #[test]
+    fn writer_batches_replay_the_fuzz_trace() {
+        let mix = ServeMixGen::new(9)
+            .with_ops(1_000)
+            .with_batch_size(32)
+            .generate();
+        let flat: Vec<GraphOp> = mix.writer_batches.concat();
+        assert_eq!(flat.len(), 1_001, "bootstrap + ops");
+        assert!(matches!(flat[0], GraphOp::AddVertices(..)));
+    }
+}

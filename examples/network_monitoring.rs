@@ -1,23 +1,27 @@
-//! Network monitoring on a **live edge stream**, driven through the typed
-//! batch-first operations API: the monitor starts from an *empty* graph,
-//! grows the vertex set when the topology is discovered, and ingests link
-//! failures/repairs as [`GraphOp`] transactions whose [`BatchReport`]s are
-//! the monitoring signal — every applied/skipped/rejected op is accounted
-//! for, and the component counters come straight from the reports.
+//! Network monitoring on a **live edge stream**, served through the
+//! epoch-snapshot layer: one writer ingests link failures/repairs as
+//! [`GraphOp`] transactions through a [`UfoServingEngine`] — every applied
+//! batch publishes an immutable snapshot — while concurrent dashboard
+//! threads answer reachability queries from `ReadHandle`s, each answer
+//! stamped with the epoch it was read at.  Readers never lock the writer
+//! and never see a half-applied transaction: they always read the last
+//! *published* network state.
 //!
-//! This is the workload the paper's dynamic trees exist to serve: the
-//! `DynConnectivity` engine keeps a spanning forest of the surviving links in
-//! a UFO forest (swap in `LinkCutConnectivity` / `EulerConnectivity` to race
-//! the backends) and repairs it with replacement edges whenever a tree link
-//! fails.  A DSU-based offline oracle checks every reported component count.
+//! This is the deployment shape the serving layer exists for (think a NOC:
+//! one ingest pipeline, many live dashboards).  The spanning forest of the
+//! surviving links lives in a UFO forest under the engine; a DSU-based
+//! offline oracle checks the final component count, and the ring's
+//! retention contract is demonstrated at the end — evicted epochs are a
+//! typed `EpochRetired` refusal, never a silently wrong answer.
 //!
 //! Run with: `cargo run --release --example network_monitoring`
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
-use ufo_trees::connectivity::UfoConnectivity;
+
 use ufo_trees::primitives::Dsu;
 use ufo_trees::workloads::{churn_stream, road_grid_graph, StreamOp};
-use ufo_trees::{BatchReport, GraphOp};
+use ufo_trees::{GraphOp, UfoServingEngine};
 
 fn main() {
     let side = 60;
@@ -36,74 +40,114 @@ fn main() {
         ins, del, q
     );
 
-    // The engine starts EMPTY; the stream's own AddVertices bootstrap grows
-    // it.  Queries are answered between transactions, so each burst of
-    // mutations becomes one `apply` with a full per-op outcome report.
-    let mut engine = UfoConnectivity::new(0);
-    let mut pending: Vec<GraphOp> = vec![GraphOp::AddVertices(stream.n)];
-    let mut total = BatchReport::new(0, 0);
-    let mut transactions = 0usize;
-    let mut reachable = 0usize;
-    let mut partitioned = 0usize;
-    let start = Instant::now();
-    {
-        let mut flush = |engine: &mut UfoConnectivity, pending: &mut Vec<GraphOp>| {
-            if pending.is_empty() {
-                return;
-            }
-            let report = engine.apply(pending);
-            total.applied += report.applied;
-            total.skipped += report.skipped;
-            total.rejected += report.rejected;
-            total.vertices_after = report.vertices_after;
-            total.components_after = report.components_after;
-            transactions += 1;
-            pending.clear();
-        };
-        for op in &stream.ops {
-            match op.as_graph_op() {
-                Some(g) => pending.push(g),
-                None => {
-                    let StreamOp::Query(a, b) = *op else {
-                        unreachable!("only queries lack a GraphOp form")
-                    };
-                    flush(&mut engine, &mut pending);
-                    if engine.connected(a, b) {
-                        reachable += 1;
-                    } else {
-                        partitioned += 1;
-                    }
+    // Split the stream: mutations become the writer's transactions (256 ops
+    // each, every one publishing an epoch), the stream's query pairs become
+    // the dashboards' sampling pool.
+    let mut batches: Vec<Vec<GraphOp>> = vec![vec![GraphOp::AddVertices(stream.n)]];
+    let mut queries: Vec<(usize, usize)> = Vec::new();
+    for op in &stream.ops {
+        match op.as_graph_op() {
+            Some(g) => {
+                if batches.last().is_some_and(|b| b.len() >= 256) {
+                    batches.push(Vec::new());
                 }
+                batches.last_mut().expect("non-empty").push(g);
+            }
+            None => {
+                let StreamOp::Query(a, b) = *op else {
+                    unreachable!("only queries lack a GraphOp form")
+                };
+                queries.push((a, b));
             }
         }
-        flush(&mut engine, &mut pending);
     }
+
+    let dashboards = 3usize;
+    let mut serving = UfoServingEngine::new(0);
+    let handle = serving.reader();
+    let done = AtomicBool::new(false);
+
+    let start = Instant::now();
+    let (writer_totals, dashboard_stats) = std::thread::scope(|scope| {
+        // each dashboard owns a cloned handle and a slice of the query pool,
+        // and keeps re-sampling it until the writer publishes its last epoch
+        let joins: Vec<_> = (0..dashboards)
+            .map(|r| {
+                let mut reader = handle.clone();
+                let pool: Vec<(usize, usize)> = queries
+                    .iter()
+                    .copied()
+                    .skip(r)
+                    .step_by(dashboards)
+                    .collect();
+                let done = &done;
+                scope.spawn(move || {
+                    let (mut reachable, mut partitioned, mut served) = (0usize, 0usize, 0usize);
+                    let mut latest_seen = 0u64;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        for &(a, b) in &pool {
+                            let ans = reader.connected(a, b);
+                            if ans.value {
+                                reachable += 1;
+                            } else {
+                                partitioned += 1;
+                            }
+                            latest_seen = latest_seen.max(ans.epoch);
+                            served += 1;
+                        }
+                        if finished {
+                            // this pass ran against the settled final state
+                            break;
+                        }
+                    }
+                    (reachable, partitioned, served, latest_seen)
+                })
+            })
+            .collect();
+
+        // the writer: one transaction per batch, each publishing an epoch
+        let (mut applied, mut skipped, mut rejected) = (0usize, 0usize, 0usize);
+        let mut last = None;
+        for batch in &batches {
+            let report = serving.apply(batch);
+            applied += report.applied;
+            skipped += report.skipped;
+            rejected += report.rejected;
+            last = Some(report);
+        }
+        done.store(true, Ordering::Release);
+        let stats: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        ((applied, skipped, rejected, last.expect("batches")), stats)
+    });
     let elapsed = start.elapsed().as_secs_f64();
 
+    let (applied, skipped, rejected, last_report) = writer_totals;
     println!(
-        "replayed {} ops as {} GraphOp transactions in {:.3}s ({:.0} ops/s) on the ufo backend",
-        stream.len(),
-        transactions,
+        "writer: {} transactions -> {} epochs in {:.3}s ({:.0} ops/s incl. publication)",
+        batches.len(),
+        serving.latest_epoch(),
         elapsed,
-        stream.len() as f64 / elapsed,
+        (ins + del + 1) as f64 / elapsed,
     );
-    println!(
-        "aggregate report: {} applied, {} skipped, {} rejected | vertices 0 -> {} | components now {}",
-        total.applied, total.skipped, total.rejected, total.vertices_after, total.components_after,
-    );
-    println!(
-        "monitoring answers: {} reachable, {} partitioned pairs",
-        reachable, partitioned
-    );
-    assert_eq!(
-        total.rejected, 0,
-        "a well-formed stream produces no rejected ops"
-    );
+    println!("last report: {last_report}");
+    for (r, (reachable, partitioned, served, latest_seen)) in dashboard_stats.iter().enumerate() {
+        println!(
+            "dashboard {r}: {served} queries served concurrently \
+             ({reachable} reachable, {partitioned} partitioned), newest epoch seen {latest_seen}",
+        );
+    }
+    assert_eq!(rejected, 0, "a well-formed stream produces no rejected ops");
     // every mutation is accounted for (plus the AddVertices bootstrap)
-    assert_eq!(total.applied + total.skipped, ins + del + 1);
+    assert_eq!(applied + skipped, ins + del + 1);
+    assert_eq!(
+        last_report.version,
+        serving.latest_epoch(),
+        "the report's version IS the published epoch"
+    );
 
-    // Rebuild the surviving edge set outside the timed window (bookkeeping
-    // must not be billed to the engine).
+    // Rebuild the surviving edge set and verify the final epoch against an
+    // offline DSU oracle.
     let mut live: std::collections::HashSet<(usize, usize)> = Default::default();
     for op in &stream.ops {
         match *op {
@@ -116,26 +160,35 @@ fn main() {
             StreamOp::Query(..) => {}
         }
     }
-
-    // Verify the final component count against an offline DSU oracle.
     let mut dsu = Dsu::new(graph.n);
     for &(u, v) in &live {
         dsu.union(u, v);
     }
-    let reported = engine.component_count();
     let expected = dsu.components();
+    let mut reader = serving.reader();
+    let final_snap = reader.snapshot();
     println!(
-        "final state: {} live links, {} components (oracle: {}), spanning forest {} edges",
+        "final epoch {}: {} live links, {} components (oracle: {}), spanning forest {} edges",
+        final_snap.epoch,
         live.len(),
-        reported,
+        final_snap.components,
         expected,
-        engine.spanning_forest_size(),
+        serving.engine().spanning_forest_size(),
     );
-    assert_eq!(reported, expected, "engine and oracle disagree");
+    assert_eq!(final_snap.components, expected, "snapshot vs oracle");
     assert_eq!(
-        total.components_after, expected,
-        "BatchReport counters disagree with the oracle"
+        serving.engine().component_count(),
+        expected,
+        "engine vs oracle"
     );
-    engine.check_invariants().expect("engine invariants");
+    serving.check_invariants().expect("engine invariants");
+
+    // Retention: the ring keeps the last K epochs; anything older is a typed
+    // refusal, not a wrong answer.
+    let oldest = serving.ring().oldest_retained();
+    if oldest > 1 {
+        let err = reader.at(1).unwrap_err();
+        println!("pinning evicted epoch 1 -> {err}");
+    }
     println!("component counts verified against the DSU oracle ✓");
 }

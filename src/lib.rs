@@ -20,6 +20,11 @@
 //!   (HDT levels), generic over any of the forests above as its
 //!   spanning-forest backend ([`UfoConnectivity`], [`LinkCutConnectivity`],
 //!   [`EulerConnectivity`], ...).
+//! * [`ServingEngine`] — the epoch-snapshot serving layer over
+//!   [`DynConnectivity`]: a single writer applies batches and publishes
+//!   immutable snapshots; cloneable [`ReadHandle`]s answer `connected` /
+//!   `component_size` / `component_agg` concurrently, wait-free in the
+//!   steady state, each answer stamped with its epoch.
 //! * [`workloads`] — every input generator of the paper's evaluation, plus
 //!   dynamic edge streams for the connectivity engine.
 //!
@@ -33,6 +38,7 @@ pub use dyntree_naive as naive;
 pub use dyntree_primitives as primitives;
 pub use dyntree_rctree as rctree;
 pub use dyntree_seqs as seqs;
+pub use dyntree_serve as serve;
 pub use dyntree_ternary as ternary;
 pub use dyntree_workloads as workloads;
 pub use ufo_forest as ufo;
@@ -48,6 +54,9 @@ pub use dyntree_naive::NaiveForest;
 pub use dyntree_primitives::algebra::{
     Agg, CommutativeMonoid, I64Max, I64Min, I64Sum, InvertibleMonoid, MaxEdge, Monoid, Pair,
     SumMinMax, WeightStats, WeightedId,
+};
+pub use dyntree_serve::{
+    EpochRetired, PinnedReader, ReadHandle, ServingEngine, Snapshot, UfoServingEngine, Versioned,
 };
 pub use dyntree_ternary::Ternarizer;
 pub use ufo_forest::{ContractionForest, Policy, TopologyForest, UfoForest};

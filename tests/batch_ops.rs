@@ -211,10 +211,11 @@ fn skipped_deletes_count_identically_on_bulk_and_singleton_paths() {
         ops.len(),
         "counters partition the batch"
     );
-    // the Display line (the human-facing counter surface) agrees too
+    // the Display line (the human-facing counter surface) agrees too; the
+    // trailing `v1` is the engine's batch version — this was its first apply
     assert_eq!(
         bulk_report.to_string(),
-        "12 ops: 8 applied, 2 skipped, 2 rejected | vertices 0 -> 6 | components 0 -> 5"
+        "12 ops: 8 applied, 2 skipped, 2 rejected | vertices 0 -> 6 | components 0 -> 5 | v1"
     );
     // count-level bulk API: duplicates collapse in normalize, but a missing
     // edge still never counts as removed
