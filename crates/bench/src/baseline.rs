@@ -10,7 +10,7 @@
 
 use crate::{
     batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, connectivity_bench_streams,
-    parallel_scaling_apply_time, parallel_scaling_apply_time_rebuild,
+    memory_peak_of_trace, parallel_scaling_apply_time, parallel_scaling_apply_time_rebuild,
     parallel_scaling_delete_trace, parallel_scaling_trace, serve_apply_time, serve_bench_mix,
     serve_plain_apply_time, serve_reader_query_time, stream_batch_replay_time, stream_replay_time,
     weighted_bench_forests, weighted_path_query_time, ConnBackend, WeightedBackend,
@@ -18,8 +18,15 @@ use crate::{
 };
 use dyntree_primitives::ParallelConfig;
 
+/// Whether a metric improves downwards (memory) instead of upwards
+/// (throughput).  The gate inverts such ratios so "ratio ≥ 1 − tolerance"
+/// keeps meaning "no worse than recorded" for every metric kind.
+pub fn lower_is_better(metric: &str) -> bool {
+    metric.ends_with("_per_edge") || metric.ends_with("_bytes")
+}
+
 /// One measurement row: identity fields (trace, backend, threads, …) plus
-/// named throughput metrics (keys end in `_per_s`).
+/// named metrics (`*_per_s` throughputs, `*_per_edge` / `*_bytes` memory).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BaselineRow {
     /// Identity key/value pairs, in emission order.
@@ -54,7 +61,16 @@ impl Baseline {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload));
-        out.push_str("  \"unit\": \"ops_per_second\",\n");
+        let memory_only = !self.results.is_empty()
+            && self
+                .results
+                .iter()
+                .all(|r| r.metrics.iter().all(|(k, _)| lower_is_better(k)));
+        if memory_only {
+            out.push_str("  \"unit\": \"bytes\",\n");
+        } else {
+            out.push_str("  \"unit\": \"ops_per_second\",\n");
+        }
         out.push_str("  \"results\": [\n");
         let rows: Vec<String> = self
             .results
@@ -128,7 +144,7 @@ fn parse_row(body: &str) -> Result<BaselineRow, String> {
         if let Some(stripped) = value.strip_prefix('"') {
             row.id
                 .push((key, stripped.trim_end_matches('"').to_string()));
-        } else if key.ends_with("_per_s") {
+        } else if key.ends_with("_per_s") || lower_is_better(&key) {
             let v: f64 = value
                 .parse()
                 .map_err(|_| format!("bad metric value {value:?} for {key}"))?;
@@ -355,6 +371,34 @@ pub fn serve_throughput_rows() -> Baseline {
     }
 }
 
+/// Measures the `memory_usage` workload: the engine's exact heap bytes per
+/// live edge at the peak-load point of the two 64k-op scaling traces
+/// (sampled at transaction boundaries), one row per backend.  No timing is
+/// involved — the numbers are deterministic for a fixed trace — so the gate
+/// compares these rows cell-by-cell at a tight tolerance
+/// (`MEM_GATE_TOLERANCE`, default 15%) instead of by median.
+pub fn memory_usage_rows() -> Baseline {
+    let mut results = Vec::new();
+    for (name, ops) in [parallel_scaling_trace(), parallel_scaling_delete_trace()] {
+        for backend in ConnBackend::ALL {
+            let (bytes, edges) = memory_peak_of_trace(backend, &ops);
+            results.push(BaselineRow {
+                id: vec![
+                    ("trace".into(), name.clone()),
+                    ("ops".into(), ops.len().to_string()),
+                    ("backend".into(), backend.name().into()),
+                    ("edges".into(), edges.to_string()),
+                ],
+                metrics: vec![("bytes_per_edge".into(), bytes as f64 / edges.max(1) as f64)],
+            });
+        }
+    }
+    Baseline {
+        workload: "memory_usage".into(),
+        results,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Gate comparison
 // ---------------------------------------------------------------------------
@@ -364,10 +408,14 @@ pub fn serve_throughput_rows() -> Baseline {
 pub struct GateReport {
     /// Workload name.
     pub workload: String,
-    /// `measured / recorded` per metric, labelled `row-id metric`.
+    /// Improvement ratio per metric, labelled `row-id metric`:
+    /// `measured / recorded` for throughputs, `recorded / measured` for
+    /// lower-is-better memory metrics — ≥ 1.0 always means "no worse".
     pub ratios: Vec<(String, f64)>,
     /// Median of [`ratios`](Self::ratios) (1.0 when empty).
     pub median_ratio: f64,
+    /// Minimum of [`ratios`](Self::ratios) (1.0 when empty).
+    pub min_ratio: f64,
     /// Baseline rows the fresh measurement did not reproduce at all.
     pub missing: Vec<String>,
 }
@@ -378,14 +426,25 @@ impl GateReport {
     pub fn passes(&self, tolerance: f64) -> bool {
         self.missing.is_empty() && self.median_ratio >= 1.0 - tolerance
     }
+
+    /// Strict variant for deterministic metrics (memory): every single cell
+    /// must stay within `tolerance`, not just the median.
+    pub fn passes_every_cell(&self, tolerance: f64) -> bool {
+        self.missing.is_empty() && self.min_ratio >= 1.0 - tolerance
+    }
 }
 
 /// Compares a fresh measurement against the recorded baseline, matching
-/// rows by identity fields **except** `ops` (trace sizes may legitimately
-/// drift when workloads are retuned; throughput is already size-normalised).
+/// rows by identity fields **except** `ops` and `edges` (trace sizes and
+/// the derived live-edge counts may legitimately drift when workloads are
+/// retuned; the metrics are already size-normalised).
 pub fn compare(recorded: &Baseline, measured: &Baseline) -> GateReport {
     let key = |row: &BaselineRow| -> Vec<(String, String)> {
-        row.id.iter().filter(|(k, _)| k != "ops").cloned().collect()
+        row.id
+            .iter()
+            .filter(|(k, _)| k != "ops" && k != "edges")
+            .cloned()
+            .collect()
     };
     let mut ratios = Vec::new();
     let mut missing = Vec::new();
@@ -399,16 +458,27 @@ pub fn compare(recorded: &Baseline, measured: &Baseline) -> GateReport {
                 missing.push(format!("{} {metric}", old.id_string()));
                 continue;
             };
-            if *old_v > 0.0 {
-                ratios.push((format!("{} {metric}", old.id_string()), new_v / old_v));
+            if *old_v > 0.0 && *new_v > 0.0 {
+                let ratio = if lower_is_better(metric) {
+                    old_v / new_v
+                } else {
+                    new_v / old_v
+                };
+                ratios.push((format!("{} {metric}", old.id_string()), ratio));
             }
         }
     }
     let median_ratio = median(ratios.iter().map(|(_, r)| *r));
+    let min_ratio = ratios.iter().map(|(_, r)| *r).fold(f64::INFINITY, f64::min);
     GateReport {
         workload: recorded.workload.clone(),
         ratios,
         median_ratio,
+        min_ratio: if min_ratio.is_finite() {
+            min_ratio
+        } else {
+            1.0
+        },
         missing,
     }
 }
@@ -506,6 +576,57 @@ mod tests {
         let report = compare(&recorded, &measured);
         assert!(!report.missing.is_empty());
         assert!(!report.passes(0.25));
+    }
+
+    #[test]
+    fn memory_metrics_round_trip_and_gate_inverts_them() {
+        let mem = Baseline {
+            workload: "memory_usage".into(),
+            results: vec![BaselineRow {
+                id: vec![
+                    ("trace".into(), "SCALE-64k".into()),
+                    ("ops".into(), "65536".into()),
+                    ("backend".into(), "ufo".into()),
+                    ("edges".into(), "40000".into()),
+                ],
+                metrics: vec![("bytes_per_edge".into(), 512.0)],
+            }],
+        };
+        // `bytes_per_edge` must parse back as a metric, not an id field
+        let parsed = Baseline::parse(&mem.to_json()).unwrap();
+        assert_eq!(parsed.results[0].metrics.len(), 1);
+        assert_eq!(parsed.results[0].metrics[0].0, "bytes_per_edge");
+
+        // 10% *more* bytes per edge: passes at 15%, fails at 5% —
+        // every-cell rule, inverted ratio (lower is better)
+        let mut measured = mem.clone();
+        measured.results[0].metrics[0].1 = 563.2;
+        let report = compare(&mem, &measured);
+        assert!(report.min_ratio < 1.0, "growth must read as a regression");
+        assert!(report.passes_every_cell(0.15));
+        assert!(!report.passes_every_cell(0.05));
+
+        // fewer bytes per edge is an improvement, never a failure
+        measured.results[0].metrics[0].1 = 256.0;
+        let report = compare(&mem, &measured);
+        assert!(report.min_ratio > 1.0);
+        assert!(report.passes_every_cell(0.0));
+
+        // the derived edge count may drift without un-matching the row
+        measured.results[0].id[3].1 = "41234".into();
+        let report = compare(&mem, &measured);
+        assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn every_cell_rule_is_stricter_than_the_median() {
+        let recorded = sample();
+        let mut measured = sample();
+        // one metric regresses 50%, the rest hold: median passes, strict fails
+        measured.results[0].metrics[0].1 = 617.0;
+        let report = compare(&recorded, &measured);
+        assert!(report.passes(0.25));
+        assert!(!report.passes_every_cell(0.25));
     }
 
     #[test]

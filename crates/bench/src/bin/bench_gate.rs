@@ -11,22 +11,38 @@
 //! real across-the-board regression still does.  Rows that vanish from the
 //! fresh measurement always fail.
 //!
+//! The `memory_usage` workload is special: its `bytes_per_edge` cells are
+//! deterministic for a fixed trace (no timing is involved), so instead of
+//! the median rule **every cell** must stay within the (much tighter)
+//! memory tolerance, and the ratio is inverted — memory improves downwards.
+//!
 //! Environment knobs:
-//! * `BENCH_GATE_TOLERANCE` — allowed median drop, default `0.25`.  CI
-//!   runners are slower and noisier than the machine that recorded a
-//!   baseline; the median plus a wide tolerance absorbs that, and the
-//!   baselines should be re-recorded (`*_baseline` binaries) whenever a
-//!   deliberate perf-relevant change lands.
+//! * `BENCH_GATE_TOLERANCE` — allowed median throughput drop, default
+//!   `0.25`.  CI runners are slower and noisier than the machine that
+//!   recorded a baseline; the median plus a wide tolerance absorbs that,
+//!   and the baselines should be re-recorded (`*_baseline` binaries)
+//!   whenever a deliberate perf-relevant change lands.
+//! * `MEM_GATE_TOLERANCE` — allowed per-cell bytes-per-edge growth,
+//!   default `0.15`.
 //! * `DYNTREE_BENCH_REPS` — best-of repetitions per cell, default 2 here
 //!   (the recorders default to 3).
 
 use dyntree_bench::baseline::{
-    baselines_dir, batch_ops_rows, compare, connectivity_stream_rows, parallel_scaling_rows,
-    serve_throughput_rows, weighted_path_query_rows, Baseline,
+    baselines_dir, batch_ops_rows, compare, connectivity_stream_rows, memory_usage_rows,
+    parallel_scaling_rows, serve_throughput_rows, weighted_path_query_rows, Baseline,
 };
 
-/// A baseline file name paired with its re-measurement function.
-type Workload = (&'static str, fn() -> Baseline);
+/// How a workload's ratios are judged.
+#[derive(Clone, Copy, PartialEq)]
+enum Rule {
+    /// Median ratio within `BENCH_GATE_TOLERANCE` (noisy timing metrics).
+    Median,
+    /// Every cell within `MEM_GATE_TOLERANCE` (deterministic memory metrics).
+    EveryCell,
+}
+
+/// A baseline file name paired with its re-measurement function and rule.
+type Workload = (&'static str, fn() -> Baseline, Rule);
 
 fn main() {
     // The threads=4/8 rows need pool headroom; per-measurement caps come
@@ -41,21 +57,35 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
+    let mem_tolerance: f64 = std::env::var("MEM_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
 
-    let workloads: [Workload; 5] = [
-        ("connectivity_stream.json", connectivity_stream_rows),
-        ("batch_ops.json", batch_ops_rows),
-        ("weighted_path_queries.json", weighted_path_query_rows),
-        ("parallel_scaling.json", parallel_scaling_rows),
-        ("serve_throughput.json", serve_throughput_rows),
+    let workloads: [Workload; 6] = [
+        (
+            "connectivity_stream.json",
+            connectivity_stream_rows,
+            Rule::Median,
+        ),
+        ("batch_ops.json", batch_ops_rows, Rule::Median),
+        (
+            "weighted_path_queries.json",
+            weighted_path_query_rows,
+            Rule::Median,
+        ),
+        ("parallel_scaling.json", parallel_scaling_rows, Rule::Median),
+        ("serve_throughput.json", serve_throughput_rows, Rule::Median),
+        ("memory_usage.json", memory_usage_rows, Rule::EveryCell),
     ];
 
     let mut failed = false;
     println!(
-        "bench gate: tolerance {:.0}% median drop",
-        tolerance * 100.0
+        "bench gate: tolerance {:.0}% median throughput drop, {:.0}% per-cell memory growth",
+        tolerance * 100.0,
+        mem_tolerance * 100.0
     );
-    for (file, measure) in workloads {
+    for (file, measure, rule) in workloads {
         let path = baselines_dir().join(file);
         let recorded = match std::fs::read_to_string(&path) {
             Ok(text) => match Baseline::parse(&text) {
@@ -76,11 +106,11 @@ fn main() {
             }
         };
         let report = compare(&recorded, &measure());
-        let verdict = if report.passes(tolerance) {
-            "ok  "
-        } else {
-            "FAIL"
+        let ok = match rule {
+            Rule::Median => report.passes(tolerance),
+            Rule::EveryCell => report.passes_every_cell(mem_tolerance),
         };
+        let verdict = if ok { "ok  " } else { "FAIL" };
         let mut worst = report.ratios.clone();
         worst.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let spread = match (worst.first(), worst.last()) {
@@ -98,11 +128,11 @@ fn main() {
         }
         // the worst cells are what a human (or trajectory review) reads
         // first, so print them on success too
-        let show = if report.passes(tolerance) { 3 } else { 5 };
+        let show = if ok { 3 } else { 5 };
         for (label, ratio) in worst.iter().take(show) {
             println!("     {ratio:.3}x  {label}");
         }
-        if !report.passes(tolerance) {
+        if !ok {
             failed = true;
         }
     }

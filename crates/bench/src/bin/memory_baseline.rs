@@ -1,0 +1,16 @@
+//! Measures heap bytes per live edge at the peak-load point of the two
+//! 64k-op scaling traces for every connectivity backend and emits the
+//! baseline JSON stored at `crates/bench/baselines/memory_usage.json`.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin memory_baseline`
+//!
+//! Unlike the throughput recorders this needs no repetitions or a warm
+//! machine: `memory_breakdown()` is exact and the traces are deterministic,
+//! so the recorded cells are bit-stable across runs and hosts of the same
+//! pointer width.
+
+use dyntree_bench::baseline::memory_usage_rows;
+
+fn main() {
+    print!("{}", memory_usage_rows().to_json());
+}

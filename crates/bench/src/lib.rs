@@ -655,6 +655,38 @@ pub fn parallel_scaling_apply_time_rebuild(
     )
 }
 
+/// Applies the whole trace in 8192-op transactions, sampling the engine's
+/// exact heap footprint (`memory_breakdown().total()`) at every transaction
+/// boundary, and reports the sample taken where the live-edge count peaks:
+/// `(heap bytes, live edges)` at maximum load.  The gate divides one by the
+/// other; end-state would be useless on the delete-heavy trace, which
+/// finishes almost empty while the slabs retain their peak capacity.
+/// Memory, unlike throughput, is deterministic for a fixed trace, so the
+/// gate can hold these rows to a much tighter tolerance.
+pub fn memory_peak_of_trace(backend: ConnBackend, ops: &[GraphOp]) -> (usize, usize) {
+    fn run<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMax>>(
+        ops: &[GraphOp],
+    ) -> (usize, usize) {
+        let mut engine: DynConnectivity<B> = DynConnectivity::new(0);
+        let (mut peak_bytes, mut peak_edges) = (0usize, 0usize);
+        for chunk in ops.chunks(8192) {
+            engine.apply(chunk);
+            let edges = engine.num_edges();
+            if edges >= peak_edges {
+                peak_edges = edges;
+                peak_bytes = engine.memory_breakdown().total();
+            }
+        }
+        (peak_bytes, peak_edges)
+    }
+    match backend {
+        ConnBackend::Ufo => run::<UfoForest>(ops),
+        ConnBackend::LinkCut => run::<LinkCutForest>(ops),
+        ConnBackend::EulerTreap => run::<EulerTourForest<TreapSequence>>(ops),
+        ConnBackend::EulerSplay => run::<EulerTourForest<SplaySequence>>(ops),
+    }
+}
+
 /// Applies `ops` one `try_*` call at a time (the looped-singles baseline the
 /// `batch_ops` bench compares `apply` against).
 pub fn batch_ops_single_time(backend: ConnBackend, ops: &[GraphOp]) -> (f64, u64) {

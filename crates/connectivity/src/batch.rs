@@ -16,7 +16,7 @@
 //! grows — so the outcomes are byte-identical to the sequential pre-pass at
 //! every thread count and chunk split; see `DESIGN.md` §8.
 
-use std::collections::{HashMap, HashSet};
+use dyntree_primitives::hash::{FxHashMap, FxHashSet};
 
 use dyntree_primitives::algebra::WeightOf;
 use dyntree_primitives::ops::{BatchReport, EdgeKind, GraphError, GraphOp, OpOutcome};
@@ -272,7 +272,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         let mut drain: Vec<(Vertex, Vertex, usize)> = Vec::new();
         // Non-tree edges promoted into the forest by this run's replacement
         // searches: the only certificates that can go stale, tracked exactly.
-        let mut promoted: HashSet<(Vertex, Vertex)> = HashSet::new();
+        let mut promoted: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
         for (i, &(u, v)) in pairs.iter().enumerate() {
             if let Some(outcome) = slots[i].take() {
                 record(outcome);
@@ -353,11 +353,11 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         // a tree edge, so the DSU key set is exactly the non-isolated
         // vertex set.
         let keys: Vec<Vertex> = dsu.parent.keys().copied().collect();
-        let mut sizes: HashMap<Vertex, usize> = HashMap::new();
+        let mut sizes: FxHashMap<Vertex, usize> = FxHashMap::default();
         for k in keys {
             *sizes.entry(dsu.find(k)).or_insert(0) += 1;
         }
-        let mut group_of: HashMap<Vertex, usize> = HashMap::new();
+        let mut group_of: FxHashMap<Vertex, usize> = FxHashMap::default();
         let mut groups: Vec<DeleteGroup> = Vec::new();
         for (i, &(u, _)) in pairs.iter().enumerate() {
             if !matches!(classes[i], DeleteClass::Tree | DeleteClass::NonTree) {
@@ -446,7 +446,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         }
         // One shared scan attributes every surviving registry edge to its
         // rebuild group (survivors of other components are skipped).
-        let mut group_of_root: HashMap<Vertex, usize> = HashMap::new();
+        let mut group_of_root: FxHashMap<Vertex, usize> = FxHashMap::default();
         for (gi, g) in plan.groups.iter().enumerate() {
             if g.rebuild {
                 group_of_root.insert(g.root, gi);
@@ -636,7 +636,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         let mut overlay = OverlayAdj::new(&self.adj, &self.edges);
         let mut outcomes = Vec::with_capacity(group.indices.len());
         let mut backend_ops: Vec<(bool, Vertex, Vertex)> = Vec::new();
-        let mut promoted: HashSet<(Vertex, Vertex)> = HashSet::new();
+        let mut promoted: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
         let mut splits = 0usize;
         let mut searches = 0u64;
         for &i in &group.indices {
@@ -746,7 +746,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         };
         // In-run duplicates: only the first occurrence of a live edge sees
         // the pre-batch state; every later one finds it already deleted.
-        let mut deleted: HashSet<(Vertex, Vertex)> = HashSet::new();
+        let mut deleted: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
         for (class, &(u, v)) in classes.iter_mut().zip(pairs) {
             if matches!(class, DeleteClass::NonTree | DeleteClass::Tree)
                 && !deleted.insert((u.min(v), u.max(v)))
@@ -802,11 +802,14 @@ impl<B: SpanningBackend> DynConnectivity<B> {
 
     /// Removes the drained non-tree edges' adjacency mirrors, grouped by
     /// endpoint.  Each touched vertex's level buckets are rebuilt by
-    /// replaying that vertex's removals in run order with the exact
-    /// swap-remove the per-op path uses — per-vertex effects are disjoint,
-    /// so the final adjacency is byte-identical to one-at-a-time deletion at
-    /// every thread count and chunk split.  Past the chunk grain the rebuild
-    /// fans out over [`dyntree_primitives::chunk_ranges`] vertex groups.
+    /// replaying that vertex's removals on a cloned bucket with the same
+    /// order-preserving position-remove the per-op path uses — buckets are
+    /// sorted by neighbour id (the flat layout's canonical order), so any
+    /// removal sequence lands on the same sorted survivor set and per-vertex
+    /// effects are disjoint: the final adjacency is byte-identical to
+    /// one-at-a-time deletion at every thread count and chunk split.  Past
+    /// the chunk grain the rebuild fans out over
+    /// [`dyntree_primitives::chunk_ranges`] vertex groups.
     fn flush_nontree_drain(&mut self, drain: &mut Vec<(Vertex, Vertex, usize)>) {
         if drain.is_empty() {
             return;
@@ -821,7 +824,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             drain.clear();
             return;
         }
-        let mut by_vertex: HashMap<Vertex, Vec<(Vertex, usize)>> = HashMap::new();
+        let mut by_vertex: FxHashMap<Vertex, Vec<(Vertex, usize)>> = FxHashMap::default();
         for &(u, v, level) in drain.iter() {
             by_vertex.entry(u).or_default().push((v, level));
             by_vertex.entry(v).or_default().push((u, level));
@@ -854,7 +857,9 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                                     .iter()
                                     .position(|&w| w == y)
                                     .expect("drained non-tree edge in its bucket");
-                                bucket.swap_remove(pos);
+                                // order-preserving remove: the bucket stays
+                                // sorted, which `nontree_set_bucket` requires
+                                bucket.remove(pos);
                             }
                             (x, touched)
                         })
@@ -1111,7 +1116,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
 /// the insertion pre-pass never pays for the graph's full vertex range.
 #[derive(Default)]
 struct SparseDsu {
-    parent: HashMap<Vertex, Vertex>,
+    parent: FxHashMap<Vertex, Vertex>,
 }
 
 impl SparseDsu {

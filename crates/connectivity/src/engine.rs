@@ -1,9 +1,8 @@
 //! The [`DynConnectivity`] engine: a spanning forest in a pluggable backend,
 //! plus the HDT level machinery for replacement-edge search on deletions.
 
-use std::collections::HashMap;
-
 use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
+use dyntree_primitives::hash::{fx_map_with_capacity, FxHashMap};
 use dyntree_primitives::ops::{DeleteOutcome, EdgeKind, GraphError};
 use dyntree_primitives::telemetry::{Counter, TelemetrySnapshot};
 use dyntree_primitives::{Dsu, ParallelConfig, Telemetry};
@@ -32,7 +31,7 @@ pub struct DynConnectivity<B: SpanningBackend> {
     pub(crate) backend: B,
     pub(crate) adj: LevelAdjacency,
     /// Canonically-oriented `(min, max)` edge → its info.
-    pub(crate) edges: HashMap<(Vertex, Vertex), EdgeInfo>,
+    pub(crate) edges: FxHashMap<(Vertex, Vertex), EdgeInfo>,
     pub(crate) components: usize,
     /// One past the highest level an edge may reach (`⌊log₂ n⌋ + 1`): an
     /// F_i component holds ≤ n/2^i vertices, so higher levels are useless.
@@ -58,7 +57,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
             n,
             backend: B::new(n),
             adj: LevelAdjacency::new(n),
-            edges: HashMap::new(),
+            edges: FxHashMap::default(),
             components: n,
             level_cap: usize::BITS as usize - n.max(1).leading_zeros() as usize,
             mark: vec![0; n],
@@ -529,7 +528,7 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         if self.backend.export_components(&mut reps) {
             debug_assert_eq!(reps.len(), self.n, "backend exported a partial dump");
             // renumber arbitrary representatives to dense first-appearance ids
-            let mut dense: HashMap<usize, u32> = HashMap::with_capacity(self.components);
+            let mut dense: FxHashMap<usize, u32> = fx_map_with_capacity(self.components);
             labels.reserve(self.n);
             for &r in &reps {
                 let next = dense.len() as u32;
@@ -625,23 +624,23 @@ impl<B: SpanningBackend> DynConnectivity<B> {
         Ok(self.backend.path_agg(u, v))
     }
 
-    /// Approximate heap bytes owned by the engine and its backend.
+    /// Heap bytes owned by the engine and its backend.
     pub fn memory_bytes(&self) -> usize {
         self.memory_breakdown().total()
     }
 
-    /// Approximate heap bytes per substructure (backend, the three level
-    /// adjacency views — BTreeMap node overhead included — the edge
+    /// Heap bytes per substructure (backend, the three flat level-adjacency
+    /// arrays — exact `capacity × entry size` accounting — the edge
     /// registry, and the scratch mark array).  Feeds the bytes-per-edge
-    /// rows of the memory benchmarks.
+    /// rows of the memory gate.
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
         let word = std::mem::size_of::<usize>();
-        let (adjacency_tree_map, adjacency_tree_buckets, adjacency_nontree) =
+        let (adjacency_tree, adjacency_tree_levels, adjacency_nontree) =
             self.adj.memory_breakdown();
         MemoryBreakdown {
             backend: self.backend.memory_bytes(),
-            adjacency_tree_map,
-            adjacency_tree_buckets,
+            adjacency_tree,
+            adjacency_tree_levels,
             adjacency_nontree,
             edge_registry: self.edges.capacity()
                 * (2 * word + std::mem::size_of::<EdgeInfo>() + word / 2),
@@ -790,16 +789,20 @@ impl<B: SpanningBackend<Weights = SumMinMax>> DynConnectivity<B> {
     }
 }
 
-/// Per-substructure heap-byte estimate of a [`DynConnectivity`] engine.
+/// Per-substructure heap-byte breakdown of a [`DynConnectivity`] engine.
+/// The adjacency lines are **exact** (flat arrays: `capacity × entry size`);
+/// the backend and edge-registry lines follow each structure's own
+/// accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemoryBreakdown {
     /// Bytes owned by the spanning-forest backend.
     pub backend: usize,
-    /// Level adjacency: the tree neighbour→level maps.
-    pub adjacency_tree_map: usize,
-    /// Level adjacency: the bucketed (level→neighbours) tree mirror.
-    pub adjacency_tree_buckets: usize,
-    /// Level adjacency: the non-tree level buckets.
+    /// Level adjacency: the neighbour-sorted `(neighbour, level)` tree
+    /// arrays.
+    pub adjacency_tree: usize,
+    /// Level adjacency: the `(level, neighbour)`-sorted tree mirrors.
+    pub adjacency_tree_levels: usize,
+    /// Level adjacency: the `(level, neighbour)`-sorted non-tree buckets.
     pub adjacency_nontree: usize,
     /// The canonical edge → `(level, tree)` registry.
     pub edge_registry: usize,
@@ -814,8 +817,8 @@ impl MemoryBreakdown {
     /// Sum of every substructure.
     pub fn total(&self) -> usize {
         self.backend
-            + self.adjacency_tree_map
-            + self.adjacency_tree_buckets
+            + self.adjacency_tree
+            + self.adjacency_tree_levels
             + self.adjacency_nontree
             + self.edge_registry
             + self.scratch
@@ -827,11 +830,11 @@ impl std::fmt::Display for MemoryBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "total {} B (backend {}, adj tree map {}, adj tree buckets {}, adj non-tree {}, edge registry {}, scratch {}",
+            "total {} B (backend {}, adj tree {}, adj tree levels {}, adj non-tree {}, edge registry {}, scratch {}",
             self.total(),
             self.backend,
-            self.adjacency_tree_map,
-            self.adjacency_tree_buckets,
+            self.adjacency_tree,
+            self.adjacency_tree_levels,
             self.adjacency_nontree,
             self.edge_registry,
             self.scratch

@@ -31,7 +31,7 @@
 //! telemetry contract, and the first qualifying edge — in canonical bucket
 //! order — must be the one promoted.
 
-use std::collections::HashMap;
+use dyntree_primitives::hash::FxHashMap;
 
 use dyntree_primitives::chunk_ranges;
 use dyntree_primitives::telemetry::{Counter, Phase};
@@ -111,7 +111,7 @@ pub(crate) trait SearchAdj {
 /// Field-borrow split of the engine: the sequential search path.
 pub(crate) struct DirectAdj<'a> {
     pub adj: &'a mut LevelAdjacency,
-    pub edges: &'a mut HashMap<(Vertex, Vertex), EdgeInfo>,
+    pub edges: &'a mut FxHashMap<(Vertex, Vertex), EdgeInfo>,
     pub par: ParallelConfig,
 }
 
@@ -206,22 +206,22 @@ impl SearchAdj for DirectAdj<'_> {
 /// here without mutating the engine, producing a wholesale per-vertex diff.
 pub(crate) struct OverlayAdj<'a> {
     base_adj: &'a LevelAdjacency,
-    base_edges: &'a HashMap<(Vertex, Vertex), EdgeInfo>,
-    touched: HashMap<Vertex, VertexAdj>,
+    base_edges: &'a FxHashMap<(Vertex, Vertex), EdgeInfo>,
+    touched: FxHashMap<Vertex, VertexAdj>,
     /// Edge-registry delta: `Some(info)` = insert/replace, `None` = remove.
-    edge_overlay: HashMap<(Vertex, Vertex), Option<EdgeInfo>>,
+    edge_overlay: FxHashMap<(Vertex, Vertex), Option<EdgeInfo>>,
 }
 
 impl<'a> OverlayAdj<'a> {
     pub fn new(
         base_adj: &'a LevelAdjacency,
-        base_edges: &'a HashMap<(Vertex, Vertex), EdgeInfo>,
+        base_edges: &'a FxHashMap<(Vertex, Vertex), EdgeInfo>,
     ) -> Self {
         Self {
             base_adj,
             base_edges,
-            touched: HashMap::new(),
-            edge_overlay: HashMap::new(),
+            touched: FxHashMap::default(),
+            edge_overlay: FxHashMap::default(),
         }
     }
 

@@ -1,9 +1,17 @@
 //! The Euler tour forest, generic over the sequence backend and the
 //! aggregation monoid.
 
-use std::collections::HashMap;
+use dyntree_primitives::hash::FxHashMap;
 
 use dyntree_seqs::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
+
+/// Narrows a vertex id or sequence handle to its stored `u32` form (the
+/// in-tree sequence backends allocate slab ids well below `u32::MAX`).
+#[inline]
+fn narrow(x: usize) -> u32 {
+    debug_assert!(x < u32::MAX as usize, "index {x} exceeds u32 storage");
+    x as u32
+}
 
 /// An Euler tour forest over vertices `0..n` with vertex weights drawn from
 /// the commutative monoid `M` (default: the `i64` sum/min/max aggregate).
@@ -16,16 +24,22 @@ use dyntree_seqs::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 /// stresses this); [`path_aggregate`](Self::path_aggregate) is an honest
 /// `O(component)` walk over the explicit adjacency lists kept alongside the
 /// tour, provided so every forest answers the full shared query surface.
+///
+/// The arc registry and the forest adjacency are one flat structure
+/// (DESIGN.md §12): per vertex, a `(neighbour, arc handle)` array sorted by
+/// neighbour id.  This replaces the historical trio of two `(u, v)`-keyed
+/// hash maps plus per-vertex neighbour lists — same information, one
+/// cache-contiguous array per vertex, binary-searched lookups, zero hashing.
 #[derive(Clone, Debug)]
 pub struct EulerTourForest<S: DynSequence<M>, M: CommutativeMonoid = SumMinMax> {
     seq: S,
     vertex_node: Vec<Handle>,
-    arcs: HashMap<(usize, usize), Handle>,
-    /// Explicit forest adjacency, used only by the path-aggregate fallback.
-    adj: Vec<Vec<usize>>,
-    /// Position of `v` within `adj[u]`, keyed by `(u, v)`, so `cut` removes
-    /// adjacency entries in O(1) instead of scanning high-degree lists.
-    adj_pos: HashMap<(usize, usize), usize>,
+    /// Per vertex: `(neighbour, handle of the outgoing arc u→neighbour)`,
+    /// sorted by neighbour id.  Doubles as the arc registry (`cut`,
+    /// `subtree_aggregate`) and the path-fallback adjacency.
+    nbrs: Vec<Vec<(u32, u32)>>,
+    /// Live edge count (`nbrs` stores two entries per edge).
+    edges: usize,
     weights: Vec<M::Weight>,
 }
 
@@ -39,28 +53,33 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         Self {
             seq,
             vertex_node,
-            arcs: HashMap::new(),
-            adj: vec![Vec::new(); n],
-            adj_pos: HashMap::new(),
+            nbrs: vec![Vec::new(); n],
+            edges: 0,
             weights: vec![M::Weight::default(); n],
         }
     }
 
-    fn adj_insert(&mut self, u: usize, v: usize) {
-        self.adj_pos.insert((u, v), self.adj[u].len());
-        self.adj[u].push(v);
+    /// Handle of the outgoing arc `u → v`, if the edge exists.
+    fn arc(&self, u: usize, v: usize) -> Option<Handle> {
+        let list = &self.nbrs[u];
+        list.binary_search_by_key(&narrow(v), |&(n, _)| n)
+            .ok()
+            .map(|pos| list[pos].1 as usize)
+    }
+
+    fn adj_insert(&mut self, u: usize, v: usize, arc: Handle) {
+        let (v, arc) = (narrow(v), narrow(arc));
+        let pos = self.nbrs[u].partition_point(|&(n, _)| n < v);
+        debug_assert!(self.nbrs[u].get(pos).map(|&(n, _)| n) != Some(v));
+        self.nbrs[u].insert(pos, (v, arc));
     }
 
     fn adj_remove(&mut self, u: usize, v: usize) {
-        let pos = self
-            .adj_pos
-            .remove(&(u, v))
+        let v = narrow(v);
+        let pos = self.nbrs[u]
+            .binary_search_by_key(&v, |&(n, _)| n)
             .expect("adjacency entry exists");
-        let last = self.adj[u].pop().expect("non-empty adjacency");
-        if last != v {
-            self.adj[u][pos] = last;
-            self.adj_pos.insert((u, last), pos);
-        }
+        self.nbrs[u].remove(pos);
     }
 
     /// Number of vertices.
@@ -75,7 +94,7 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         while self.vertex_node.len() < n {
             let h = self.seq.make(M::Weight::default(), true);
             self.vertex_node.push(h);
-            self.adj.push(Vec::new());
+            self.nbrs.push(Vec::new());
             self.weights.push(M::Weight::default());
         }
     }
@@ -87,12 +106,12 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
 
     /// Number of edges currently present.
     pub fn num_edges(&self) -> usize {
-        self.arcs.len() / 2
+        self.edges
     }
 
     /// Whether edge `(u, v)` is present.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.arcs.contains_key(&(u, v))
+        self.arc(u, v).is_some()
     }
 
     /// Sets the weight of vertex `v`.
@@ -125,10 +144,9 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         self.reroot(v);
         let uv = self.seq.make(M::Weight::default(), false);
         let vu = self.seq.make(M::Weight::default(), false);
-        self.arcs.insert((u, v), uv);
-        self.arcs.insert((v, u), vu);
-        self.adj_insert(u, v);
-        self.adj_insert(v, u);
+        self.adj_insert(u, v, uv);
+        self.adj_insert(v, u, vu);
+        self.edges += 1;
         let tu = self.seq.root(self.vertex_node[u]);
         let tv = self.seq.root(self.vertex_node[v]);
         let t = self.seq.join(Some(tu), Some(uv));
@@ -139,13 +157,12 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
 
     /// Removes edge `(u, v)`.  Returns `false` if the edge is not present.
     pub fn cut(&mut self, u: usize, v: usize) -> bool {
-        let (Some(&a), Some(&b)) = (self.arcs.get(&(u, v)), self.arcs.get(&(v, u))) else {
+        let (Some(a), Some(b)) = (self.arc(u, v), self.arc(v, u)) else {
             return false;
         };
-        self.arcs.remove(&(u, v));
-        self.arcs.remove(&(v, u));
         self.adj_remove(u, v);
         self.adj_remove(v, u);
+        self.edges -= 1;
         let (first, second) = if self.seq.position(a) < self.seq.position(b) {
             (a, b)
         } else {
@@ -193,8 +210,8 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         // Root the tour at `parent` so that arc (parent, v) precedes (v, parent);
         // the segment strictly between them is exactly v's subtree.
         self.reroot(parent);
-        let a = self.arcs[&(parent, v)];
-        let b = self.arcs[&(v, parent)];
+        let a = self.arc(parent, v).expect("checked edge");
+        let b = self.arc(v, parent).expect("checked edge");
         debug_assert!(self.seq.position(a) < self.seq.position(b));
         let (prefix, _rest) = self.seq.split_before(a);
         let (_middle, suffix) = self.seq.split_after(b);
@@ -229,11 +246,12 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
             return Some(Agg::vertex(self.weights[u]));
         }
         // predecessor map confined to the traversed component
-        let mut pred: HashMap<usize, usize> = HashMap::new();
+        let mut pred: FxHashMap<usize, usize> = FxHashMap::default();
         pred.insert(u, u);
         let mut queue = std::collections::VecDeque::from([u]);
         'bfs: while let Some(x) = queue.pop_front() {
-            for &y in &self.adj[x] {
+            for &(y, _) in &self.nbrs[x] {
+                let y = y as usize;
                 if let std::collections::hash_map::Entry::Vacant(e) = pred.entry(y) {
                     e.insert(x);
                     if y == v {
@@ -255,20 +273,19 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         Some(agg)
     }
 
-    /// Exact heap bytes owned by the structure.
+    /// Exact heap bytes owned by the structure (flat arrays throughout:
+    /// every term is `capacity × entry size`).
     pub fn memory_bytes(&self) -> usize {
-        let arc_entry = std::mem::size_of::<((usize, usize), Handle)>() + 8;
-        let adj_bytes: usize = self
-            .adj
+        let nbr_bytes: usize = self
+            .nbrs
             .iter()
-            .map(|a| a.capacity() * std::mem::size_of::<usize>())
+            .map(|a| a.capacity() * std::mem::size_of::<(u32, u32)>())
             .sum::<usize>()
-            + self.adj.capacity() * std::mem::size_of::<Vec<usize>>();
+            + self.nbrs.capacity() * std::mem::size_of::<Vec<(u32, u32)>>();
         self.seq.memory_bytes()
             + self.vertex_node.capacity() * std::mem::size_of::<Handle>()
             + self.weights.capacity() * std::mem::size_of::<M::Weight>()
-            + (self.arcs.capacity() + self.adj_pos.capacity()) * arc_entry
-            + adj_bytes
+            + nbr_bytes
     }
 }
 
@@ -425,9 +442,9 @@ mod tests {
     }
 
     fn star_teardown_keeps_adjacency_consistent<S: DynSequence>() {
-        // hub with many leaves: every cut must remove the hub's adjacency
-        // entry in O(1) (swap-remove via the position map), and the path
-        // fallback must stay correct as positions are recycled
+        // hub with many leaves: every cut must find and remove the hub's
+        // adjacency entry by binary search on the sorted neighbour array,
+        // and the path fallback must stay correct as entries shift
         let n = 64;
         let mut f = EulerTourForest::<S>::new(n);
         for v in 1..n {

@@ -14,6 +14,7 @@
 pub mod algebra;
 pub mod dsu;
 pub mod groupby;
+pub mod hash;
 pub mod listrank;
 pub mod matching;
 pub mod ops;

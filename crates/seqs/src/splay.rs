@@ -1,100 +1,116 @@
 //! A splay-tree-backed dynamic sequence, mirroring the "ETT (Splay Tree)"
 //! baseline of the paper.  Amortized `O(log n)` per operation.
+//!
+//! Like the treap, nodes live on a flat `Vec` slab addressed by `u32` ids
+//! with freelist recycling (DESIGN.md §12): 4-byte links instead of machine
+//! words halve the pointer footprint per node and keep rotations within
+//! fewer cache lines.  The public [`Handle`] stays `usize`.
 
 use crate::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
-const NIL: usize = usize::MAX;
+const NIL: u32 = u32::MAX;
+
+/// Narrows a slab index to its stored `u32` form.
+#[inline]
+fn narrow(x: usize) -> u32 {
+    debug_assert!(x < NIL as usize, "slab index {x} exceeds u32 storage");
+    x as u32
+}
 
 #[derive(Clone, Debug)]
 struct Node<M: CommutativeMonoid> {
-    left: usize,
-    right: usize,
-    parent: usize,
+    left: u32,
+    right: u32,
+    parent: u32,
+    size: u32,
     value: M::Weight,
     is_item: bool,
     agg: Agg<M>,
-    size: usize,
 }
 
 /// Splay-tree-based implementation of [`DynSequence`].
 #[derive(Clone, Debug)]
 pub struct SplaySequence<M: CommutativeMonoid = SumMinMax> {
     nodes: Vec<Node<M>>,
-    free: Vec<usize>,
+    free: Vec<u32>,
     live: usize,
 }
 
 impl<M: CommutativeMonoid> SplaySequence<M> {
-    fn size_of(&self, t: usize) -> usize {
+    fn size_of(&self, t: u32) -> u32 {
         if t == NIL {
             0
         } else {
-            self.nodes[t].size
+            self.nodes[t as usize].size
         }
     }
 
-    fn agg_of(&self, t: usize) -> Agg<M> {
+    fn agg_of(&self, t: u32) -> Agg<M> {
         if t == NIL {
             Agg::IDENTITY
         } else {
-            self.nodes[t].agg
+            self.nodes[t as usize].agg
         }
     }
 
-    fn pull(&mut self, t: usize) {
-        let (l, r) = (self.nodes[t].left, self.nodes[t].right);
-        let own = Agg::vertex_if(self.nodes[t].value, !self.nodes[t].is_item);
+    fn pull(&mut self, t: u32) {
+        let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+        let own = Agg::vertex_if(
+            self.nodes[t as usize].value,
+            !self.nodes[t as usize].is_item,
+        );
         let agg = Agg::combine(Agg::combine(self.agg_of(l), own), self.agg_of(r));
         let size = 1 + self.size_of(l) + self.size_of(r);
-        let node = &mut self.nodes[t];
+        let node = &mut self.nodes[t as usize];
         node.agg = agg;
         node.size = size;
     }
 
-    fn rotate(&mut self, x: usize) {
-        let p = self.nodes[x].parent;
-        let g = self.nodes[p].parent;
-        let dir = (self.nodes[p].right == x) as usize;
-        let b = if dir == 1 {
-            self.nodes[x].left
+    fn rotate(&mut self, x: u32) {
+        let p = self.nodes[x as usize].parent;
+        let g = self.nodes[p as usize].parent;
+        let right_child = self.nodes[p as usize].right == x;
+        let b = if right_child {
+            self.nodes[x as usize].left
         } else {
-            self.nodes[x].right
+            self.nodes[x as usize].right
         };
         // p adopts b
-        if dir == 1 {
-            self.nodes[p].right = b;
+        if right_child {
+            self.nodes[p as usize].right = b;
         } else {
-            self.nodes[p].left = b;
+            self.nodes[p as usize].left = b;
         }
         if b != NIL {
-            self.nodes[b].parent = p;
+            self.nodes[b as usize].parent = p;
         }
         // x adopts p
-        if dir == 1 {
-            self.nodes[x].left = p;
+        if right_child {
+            self.nodes[x as usize].left = p;
         } else {
-            self.nodes[x].right = p;
+            self.nodes[x as usize].right = p;
         }
-        self.nodes[p].parent = x;
+        self.nodes[p as usize].parent = x;
         // g adopts x
-        self.nodes[x].parent = g;
+        self.nodes[x as usize].parent = g;
         if g != NIL {
-            if self.nodes[g].left == p {
-                self.nodes[g].left = x;
+            if self.nodes[g as usize].left == p {
+                self.nodes[g as usize].left = x;
             } else {
-                self.nodes[g].right = x;
+                self.nodes[g as usize].right = x;
             }
         }
         self.pull(p);
         self.pull(x);
     }
 
-    fn splay(&mut self, x: usize) {
-        while self.nodes[x].parent != NIL {
-            let p = self.nodes[x].parent;
-            let g = self.nodes[p].parent;
+    fn splay(&mut self, x: u32) {
+        while self.nodes[x as usize].parent != NIL {
+            let p = self.nodes[x as usize].parent;
+            let g = self.nodes[p as usize].parent;
             if g != NIL {
-                let zig_zig = (self.nodes[g].left == p) == (self.nodes[p].left == x);
+                let zig_zig =
+                    (self.nodes[g as usize].left == p) == (self.nodes[p as usize].left == x);
                 if zig_zig {
                     self.rotate(p);
                 } else {
@@ -105,20 +121,31 @@ impl<M: CommutativeMonoid> SplaySequence<M> {
         }
     }
 
-    fn rightmost(&self, mut t: usize) -> usize {
-        while self.nodes[t].right != NIL {
-            t = self.nodes[t].right;
+    fn rightmost(&self, mut t: u32) -> u32 {
+        while self.nodes[t as usize].right != NIL {
+            t = self.nodes[t as usize].right;
         }
         t
     }
 
-    fn collect(&self, t: usize, out: &mut Vec<usize>) {
+    fn root_of(&self, h: u32) -> u32 {
+        // Walk up without restructuring: the DynSequence contract requires
+        // two calls on members of the same sequence to return the same
+        // handle, so the root must be stable across read-only queries.
+        let mut cur = h;
+        while self.nodes[cur as usize].parent != NIL {
+            cur = self.nodes[cur as usize].parent;
+        }
+        cur
+    }
+
+    fn collect(&self, t: u32, out: &mut Vec<Handle>) {
         if t == NIL {
             return;
         }
-        self.collect(self.nodes[t].left, out);
-        out.push(t);
-        self.collect(self.nodes[t].right, out);
+        self.collect(self.nodes[t as usize].left, out);
+        out.push(t as usize);
+        self.collect(self.nodes[t as usize].right, out);
     }
 }
 
@@ -136,25 +163,25 @@ impl<M: CommutativeMonoid> DynSequence<M> for SplaySequence<M> {
             left: NIL,
             right: NIL,
             parent: NIL,
+            size: 1,
             value,
             is_item,
             agg: Agg::vertex_if(value, !is_item),
-            size: 1,
         };
         self.live += 1;
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = node;
-            idx
+            self.nodes[idx as usize] = node;
+            idx as usize
         } else {
             self.nodes.push(node);
-            self.nodes.len() - 1
+            narrow(self.nodes.len() - 1) as usize
         }
     }
 
     fn set_value(&mut self, h: Handle, value: M::Weight) {
-        self.splay(h);
+        self.splay(narrow(h));
         self.nodes[h].value = value;
-        self.pull(h);
+        self.pull(narrow(h));
     }
 
     fn value(&self, h: Handle) -> M::Weight {
@@ -162,92 +189,85 @@ impl<M: CommutativeMonoid> DynSequence<M> for SplaySequence<M> {
     }
 
     fn root(&mut self, h: Handle) -> Handle {
-        // Walk up without restructuring: the DynSequence contract requires two
-        // calls on members of the same sequence to return the same handle, so
-        // the root must be stable across read-only queries.
-        let mut cur = h;
-        while self.nodes[cur].parent != NIL {
-            cur = self.nodes[cur].parent;
-        }
-        cur
+        self.root_of(narrow(h)) as usize
     }
 
     fn position(&mut self, h: Handle) -> usize {
-        self.splay(h);
-        self.size_of(self.nodes[h].left)
+        self.splay(narrow(h));
+        self.size_of(self.nodes[h].left) as usize
     }
 
     fn seq_len(&mut self, h: Handle) -> usize {
-        self.splay(h);
-        self.nodes[h].size
+        self.splay(narrow(h));
+        self.nodes[h].size as usize
     }
 
     fn split_before(&mut self, h: Handle) -> (Option<Handle>, Handle) {
-        self.splay(h);
+        self.splay(narrow(h));
         let l = self.nodes[h].left;
         if l == NIL {
             return (None, h);
         }
         self.nodes[h].left = NIL;
-        self.nodes[l].parent = NIL;
-        self.pull(h);
-        (Some(l), h)
+        self.nodes[l as usize].parent = NIL;
+        self.pull(narrow(h));
+        (Some(l as usize), h)
     }
 
     fn split_after(&mut self, h: Handle) -> (Handle, Option<Handle>) {
-        self.splay(h);
+        self.splay(narrow(h));
         let r = self.nodes[h].right;
         if r == NIL {
             return (h, None);
         }
         self.nodes[h].right = NIL;
-        self.nodes[r].parent = NIL;
-        self.pull(h);
-        (h, Some(r))
+        self.nodes[r as usize].parent = NIL;
+        self.pull(narrow(h));
+        (h, Some(r as usize))
     }
 
     fn join(&mut self, left: Option<Handle>, right: Option<Handle>) -> Option<Handle> {
         match (left, right) {
             (None, None) => None,
-            (Some(a), None) => Some(self.root(a)),
-            (None, Some(b)) => Some(self.root(b)),
+            (Some(a), None) => Some(self.root_of(narrow(a)) as usize),
+            (None, Some(b)) => Some(self.root_of(narrow(b)) as usize),
             (Some(a), Some(b)) => {
-                let ra = self.root(a);
+                let ra = self.root_of(narrow(a));
                 let last = self.rightmost(ra);
                 self.splay(last);
-                let rb = self.root(b);
+                let rb = self.root_of(narrow(b));
                 assert_ne!(last, rb, "joining a sequence with itself");
-                debug_assert_eq!(self.nodes[last].right, NIL);
-                self.nodes[last].right = rb;
-                self.nodes[rb].parent = last;
+                debug_assert_eq!(self.nodes[last as usize].right, NIL);
+                self.nodes[last as usize].right = rb;
+                self.nodes[rb as usize].parent = last;
                 self.pull(last);
-                Some(last)
+                Some(last as usize)
             }
         }
     }
 
     fn aggregate(&mut self, h: Handle) -> Agg<M> {
-        let r = self.root(h);
-        self.nodes[r].agg
+        let r = self.root_of(narrow(h));
+        self.nodes[r as usize].agg
     }
 
     fn free(&mut self, h: Handle) {
-        self.splay(h);
+        self.splay(narrow(h));
         assert_eq!(self.nodes[h].size, 1, "freeing a non-singleton node");
         self.live -= 1;
-        self.free.push(h);
+        self.free.push(narrow(h));
     }
 
     fn to_vec(&mut self, h: Handle) -> Vec<Handle> {
-        let r = self.root(h);
-        let mut out = Vec::with_capacity(self.nodes[r].size);
+        let r = self.root_of(narrow(h));
+        let mut out = Vec::with_capacity(self.nodes[r as usize].size as usize);
         self.collect(r, &mut out);
         out
     }
 
     fn memory_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<Node<M>>()
-            + self.free.capacity() * std::mem::size_of::<usize>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
     }
 
     fn live_nodes(&self) -> usize {
@@ -285,6 +305,27 @@ mod tests {
         assert_eq!(s.aggregate(l).count, 10);
         assert_eq!(s.aggregate(r.unwrap()).count, 10);
         assert_eq!(s.position(hs[10]), 0);
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        // Regression guard for the slab freelist: a freed slot must be the
+        // next one handed out, and reusing it must leave no stale links from
+        // its previous life (the fresh node starts detached).
+        let mut s: SplaySequence = DynSequence::new();
+        let hs: Vec<usize> = (0..8).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        let (_l, _r) = s.split_before(hs[4]);
+        let (_single, _rest) = s.split_after(hs[4]);
+        s.free(hs[4]);
+        let again = s.make(99, true);
+        assert_eq!(again, hs[4], "slot should be reused");
+        assert_eq!(s.position(again), 0, "recycled node starts detached");
+        assert_eq!(s.aggregate(again).count, 1);
+        assert_eq!(s.live_nodes(), 8);
     }
 
     #[test]

@@ -1,156 +1,173 @@
 //! A treap-backed dynamic sequence (randomized balanced BST with parent
 //! pointers), mirroring the "ETT (Treap)" baseline of the paper.
+//!
+//! Nodes live on a flat `Vec` slab addressed by `u32` ids with freelist
+//! recycling (DESIGN.md §12): links are 4-byte indices, not boxes or
+//! machine words, so a `Node` is 16 bytes slimmer and traversals chase
+//! cache-dense indices.  The public [`Handle`] stays `usize`; the `u32`
+//! narrowing is an internal storage decision guarded by debug assertions
+//! (a sequence would need 4 billion live nodes to overflow).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
-const NIL: usize = usize::MAX;
+const NIL: u32 = u32::MAX;
+
+/// Narrows a slab index to its stored `u32` form.
+#[inline]
+fn narrow(x: usize) -> u32 {
+    debug_assert!(x < NIL as usize, "slab index {x} exceeds u32 storage");
+    x as u32
+}
 
 #[derive(Clone, Debug)]
 struct Node<M: CommutativeMonoid> {
-    left: usize,
-    right: usize,
-    parent: usize,
+    left: u32,
+    right: u32,
+    parent: u32,
+    size: u32,
     priority: u64,
     value: M::Weight,
     is_item: bool,
     agg: Agg<M>,
-    size: usize,
 }
 
 /// Treap-based implementation of [`DynSequence`].
 #[derive(Clone, Debug)]
 pub struct TreapSequence<M: CommutativeMonoid = SumMinMax> {
     nodes: Vec<Node<M>>,
-    free: Vec<usize>,
+    free: Vec<u32>,
     rng: StdRng,
     live: usize,
 }
 
 impl<M: CommutativeMonoid> TreapSequence<M> {
-    fn size_of(&self, t: usize) -> usize {
+    fn size_of(&self, t: u32) -> u32 {
         if t == NIL {
             0
         } else {
-            self.nodes[t].size
+            self.nodes[t as usize].size
         }
     }
 
-    fn agg_of(&self, t: usize) -> Agg<M> {
+    fn agg_of(&self, t: u32) -> Agg<M> {
         if t == NIL {
             Agg::IDENTITY
         } else {
-            self.nodes[t].agg
+            self.nodes[t as usize].agg
         }
     }
 
-    fn pull(&mut self, t: usize) {
-        let (l, r) = (self.nodes[t].left, self.nodes[t].right);
-        let own = Agg::vertex_if(self.nodes[t].value, !self.nodes[t].is_item);
+    fn pull(&mut self, t: u32) {
+        let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+        let own = Agg::vertex_if(
+            self.nodes[t as usize].value,
+            !self.nodes[t as usize].is_item,
+        );
         let agg = Agg::combine(Agg::combine(self.agg_of(l), own), self.agg_of(r));
         let size = 1 + self.size_of(l) + self.size_of(r);
-        let node = &mut self.nodes[t];
+        let node = &mut self.nodes[t as usize];
         node.agg = agg;
         node.size = size;
     }
 
-    fn find_root(&self, mut t: usize) -> usize {
-        while self.nodes[t].parent != NIL {
-            t = self.nodes[t].parent;
+    fn find_root(&self, mut t: u32) -> u32 {
+        while self.nodes[t as usize].parent != NIL {
+            t = self.nodes[t as usize].parent;
         }
         t
     }
 
     /// Splits the tree rooted at `t` into its first `k` nodes and the rest.
-    fn split_idx(&mut self, t: usize, k: usize) -> (usize, usize) {
+    fn split_idx(&mut self, t: u32, k: u32) -> (u32, u32) {
         if t == NIL {
             return (NIL, NIL);
         }
-        let left = self.nodes[t].left;
+        let left = self.nodes[t as usize].left;
         let lsz = self.size_of(left);
         if k <= lsz {
             let (a, b) = self.split_idx(left, k);
-            self.nodes[t].left = b;
+            self.nodes[t as usize].left = b;
             if b != NIL {
-                self.nodes[b].parent = t;
+                self.nodes[b as usize].parent = t;
             }
             if a != NIL {
-                self.nodes[a].parent = NIL;
+                self.nodes[a as usize].parent = NIL;
             }
-            self.nodes[t].parent = NIL;
+            self.nodes[t as usize].parent = NIL;
             self.pull(t);
             (a, t)
         } else {
-            let right = self.nodes[t].right;
+            let right = self.nodes[t as usize].right;
             let (a, b) = self.split_idx(right, k - lsz - 1);
-            self.nodes[t].right = a;
+            self.nodes[t as usize].right = a;
             if a != NIL {
-                self.nodes[a].parent = t;
+                self.nodes[a as usize].parent = t;
             }
             if b != NIL {
-                self.nodes[b].parent = NIL;
+                self.nodes[b as usize].parent = NIL;
             }
-            self.nodes[t].parent = NIL;
+            self.nodes[t as usize].parent = NIL;
             self.pull(t);
             (t, b)
         }
     }
 
-    fn merge(&mut self, a: usize, b: usize) -> usize {
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
         if a == NIL {
             return b;
         }
         if b == NIL {
             return a;
         }
-        if self.nodes[a].priority > self.nodes[b].priority {
-            let r = self.merge(self.nodes[a].right, b);
-            self.nodes[a].right = r;
-            self.nodes[r].parent = a;
-            self.nodes[a].parent = NIL;
+        if self.nodes[a as usize].priority > self.nodes[b as usize].priority {
+            let r = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = r;
+            self.nodes[r as usize].parent = a;
+            self.nodes[a as usize].parent = NIL;
             self.pull(a);
             a
         } else {
-            let l = self.merge(a, self.nodes[b].left);
-            self.nodes[b].left = l;
-            self.nodes[l].parent = b;
-            self.nodes[b].parent = NIL;
+            let l = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = l;
+            self.nodes[l as usize].parent = b;
+            self.nodes[b as usize].parent = NIL;
             self.pull(b);
             b
         }
     }
 
-    fn position_internal(&self, h: usize) -> usize {
-        let mut pos = self.size_of(self.nodes[h].left);
+    fn position_internal(&self, h: u32) -> usize {
+        let mut pos = self.size_of(self.nodes[h as usize].left) as usize;
         let mut cur = h;
-        while self.nodes[cur].parent != NIL {
-            let p = self.nodes[cur].parent;
-            if self.nodes[p].right == cur {
-                pos += self.size_of(self.nodes[p].left) + 1;
+        while self.nodes[cur as usize].parent != NIL {
+            let p = self.nodes[cur as usize].parent;
+            if self.nodes[p as usize].right == cur {
+                pos += self.size_of(self.nodes[p as usize].left) as usize + 1;
             }
             cur = p;
         }
         pos
     }
 
-    fn collect(&self, t: usize, out: &mut Vec<usize>) {
+    fn collect(&self, t: u32, out: &mut Vec<Handle>) {
         if t == NIL {
             return;
         }
-        self.collect(self.nodes[t].left, out);
-        out.push(t);
-        self.collect(self.nodes[t].right, out);
+        self.collect(self.nodes[t as usize].left, out);
+        out.push(t as usize);
+        self.collect(self.nodes[t as usize].right, out);
     }
 
     /// Re-computes aggregates on the path from `h` to its root after an
     /// in-place value change.
-    fn fix_to_root(&mut self, h: usize) {
+    fn fix_to_root(&mut self, h: u32) {
         let mut cur = h;
         while cur != NIL {
             self.pull(cur);
-            cur = self.nodes[cur].parent;
+            cur = self.nodes[cur as usize].parent;
         }
     }
 }
@@ -170,25 +187,25 @@ impl<M: CommutativeMonoid> DynSequence<M> for TreapSequence<M> {
             left: NIL,
             right: NIL,
             parent: NIL,
+            size: 1,
             priority: self.rng.random(),
             value,
             is_item,
             agg: Agg::vertex_if(value, !is_item),
-            size: 1,
         };
         self.live += 1;
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = node;
-            idx
+            self.nodes[idx as usize] = node;
+            idx as usize
         } else {
             self.nodes.push(node);
-            self.nodes.len() - 1
+            narrow(self.nodes.len() - 1) as usize
         }
     }
 
     fn set_value(&mut self, h: Handle, value: M::Weight) {
         self.nodes[h].value = value;
-        self.fix_to_root(h);
+        self.fix_to_root(narrow(h));
     }
 
     fn value(&self, h: Handle) -> M::Weight {
@@ -196,69 +213,69 @@ impl<M: CommutativeMonoid> DynSequence<M> for TreapSequence<M> {
     }
 
     fn root(&mut self, h: Handle) -> Handle {
-        self.find_root(h)
+        self.find_root(narrow(h)) as usize
     }
 
     fn position(&mut self, h: Handle) -> usize {
-        self.position_internal(h)
+        self.position_internal(narrow(h))
     }
 
     fn seq_len(&mut self, h: Handle) -> usize {
-        let r = self.find_root(h);
-        self.nodes[r].size
+        let r = self.find_root(narrow(h));
+        self.nodes[r as usize].size as usize
     }
 
     fn split_before(&mut self, h: Handle) -> (Option<Handle>, Handle) {
-        let pos = self.position_internal(h);
-        let root = self.find_root(h);
-        let (a, b) = self.split_idx(root, pos);
+        let pos = self.position_internal(narrow(h));
+        let root = self.find_root(narrow(h));
+        let (a, b) = self.split_idx(root, narrow(pos));
         debug_assert_ne!(b, NIL);
-        (if a == NIL { None } else { Some(a) }, b)
+        (if a == NIL { None } else { Some(a as usize) }, b as usize)
     }
 
     fn split_after(&mut self, h: Handle) -> (Handle, Option<Handle>) {
-        let pos = self.position_internal(h);
-        let root = self.find_root(h);
-        let (a, b) = self.split_idx(root, pos + 1);
+        let pos = self.position_internal(narrow(h));
+        let root = self.find_root(narrow(h));
+        let (a, b) = self.split_idx(root, narrow(pos + 1));
         debug_assert_ne!(a, NIL);
-        (a, if b == NIL { None } else { Some(b) })
+        (a as usize, if b == NIL { None } else { Some(b as usize) })
     }
 
     fn join(&mut self, left: Option<Handle>, right: Option<Handle>) -> Option<Handle> {
         match (left, right) {
             (None, None) => None,
-            (Some(a), None) => Some(self.find_root(a)),
-            (None, Some(b)) => Some(self.find_root(b)),
+            (Some(a), None) => Some(self.find_root(narrow(a)) as usize),
+            (None, Some(b)) => Some(self.find_root(narrow(b)) as usize),
             (Some(a), Some(b)) => {
-                let (ra, rb) = (self.find_root(a), self.find_root(b));
+                let (ra, rb) = (self.find_root(narrow(a)), self.find_root(narrow(b)));
                 assert_ne!(ra, rb, "joining a sequence with itself");
-                Some(self.merge(ra, rb))
+                Some(self.merge(ra, rb) as usize)
             }
         }
     }
 
     fn aggregate(&mut self, h: Handle) -> Agg<M> {
-        let r = self.find_root(h);
-        self.nodes[r].agg
+        let r = self.find_root(narrow(h));
+        self.nodes[r as usize].agg
     }
 
     fn free(&mut self, h: Handle) {
         assert_eq!(self.nodes[h].size, 1, "freeing a non-singleton node");
         assert_eq!(self.nodes[h].parent, NIL);
         self.live -= 1;
-        self.free.push(h);
+        self.free.push(narrow(h));
     }
 
     fn to_vec(&mut self, h: Handle) -> Vec<Handle> {
-        let r = self.find_root(h);
-        let mut out = Vec::with_capacity(self.nodes[r].size);
+        let r = self.find_root(narrow(h));
+        let mut out = Vec::with_capacity(self.nodes[r as usize].size as usize);
         self.collect(r, &mut out);
         out
     }
 
     fn memory_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<Node<M>>()
-            + self.free.capacity() * std::mem::size_of::<usize>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
     }
 
     fn live_nodes(&self) -> usize {
@@ -313,5 +330,27 @@ mod tests {
         let b = s.make(2, true);
         assert_eq!(a, b, "slot should be reused");
         assert_eq!(s.live_nodes(), 1);
+    }
+
+    #[test]
+    fn node_slab_entries_are_narrow() {
+        // The u32 narrowing is the point of the flat slab: a default-monoid
+        // node must stay 16 bytes slimmer than its usize-link ancestor
+        // (3 links + size at 4 bytes each instead of 8).
+        let narrowed = std::mem::size_of::<Node<SumMinMax>>();
+        struct WideNode {
+            _left: usize,
+            _right: usize,
+            _parent: usize,
+            _size: usize,
+            _priority: u64,
+            _value: i64,
+            _is_item: bool,
+            _agg: Agg<SumMinMax>,
+        }
+        assert!(
+            narrowed + 16 <= std::mem::size_of::<WideNode>(),
+            "narrowed node {narrowed} B not slimmer than wide layout"
+        );
     }
 }

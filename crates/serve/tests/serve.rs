@@ -346,8 +346,8 @@ fn memory_breakdown_reports_snapshots_and_total_stays_consistent() {
     assert!(b.snapshots > 0, "retained snapshots own heap bytes");
     // total() must equal the sum of every line, snapshots included
     let sum = b.backend
-        + b.adjacency_tree_map
-        + b.adjacency_tree_buckets
+        + b.adjacency_tree
+        + b.adjacency_tree_levels
         + b.adjacency_nontree
         + b.edge_registry
         + b.scratch

@@ -16,7 +16,14 @@
 use dyntree_primitives::algebra::SumMinMax;
 
 use crate::summary::{Agg, CommutativeMonoid, Summary};
-use crate::{ClusterId, Vertex, INF_DIST, NIL};
+use crate::{ClusterId, Vertex, INF_DIST, NIL32};
+
+/// Narrows a cluster/vertex id to its stored `u32` form.
+#[inline]
+pub(crate) fn narrow(x: usize) -> u32 {
+    debug_assert!(x < NIL32 as usize, "cluster id {x} exceeds u32 storage");
+    x as u32
+}
 
 /// Which contraction rules the engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,21 +39,28 @@ pub enum Policy {
 
 /// One directed adjacency record: an original edge with `my_end` inside this
 /// cluster and `other_end` inside `neighbor`.
+///
+/// All three ids are stored narrowed to `u32` (DESIGN.md §12): an entry is 12
+/// bytes instead of 24, and adjacency lists — the dominant per-edge cost of
+/// the hierarchy — halve in size.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdjEntry {
     /// The adjacent cluster at the same level.
-    pub neighbor: ClusterId,
+    pub neighbor: u32,
     /// Endpoint of the original edge inside this cluster.
-    pub my_end: Vertex,
+    pub my_end: u32,
     /// Endpoint of the original edge inside `neighbor`.
-    pub other_end: Vertex,
+    pub other_end: u32,
 }
 
 /// A cluster of the contraction hierarchy.
+///
+/// Clusters live on a flat `Vec` slab with freelist recycling; all links
+/// (parent pointer, child list, adjacency) are narrowed `u32` slab ids.
 #[derive(Clone, Debug)]
 pub struct Cluster<M: CommutativeMonoid = SumMinMax> {
-    /// Parent cluster (one level up) or `NIL`.
-    pub parent: ClusterId,
+    /// Parent cluster (one level up) or `NIL32`.
+    pub parent: u32,
     /// Level in the hierarchy (leaves are level 0).
     pub level: u32,
     /// Whether the cluster is live (false for freed slots).
@@ -55,7 +69,7 @@ pub struct Cluster<M: CommutativeMonoid = SumMinMax> {
     /// whose other endpoint lies in a different cluster at this level).
     pub neighbors: Vec<AdjEntry>,
     /// Child clusters (empty for leaves).
-    pub children: Vec<ClusterId>,
+    pub children: Vec<u32>,
     /// Augmented values.
     pub summary: Summary<M>,
 }
@@ -63,7 +77,7 @@ pub struct Cluster<M: CommutativeMonoid = SumMinMax> {
 impl<M: CommutativeMonoid> Cluster<M> {
     fn new_leaf(summary: Summary<M>) -> Self {
         Cluster {
-            parent: NIL,
+            parent: NIL32,
             level: 0,
             alive: true,
             neighbors: Vec::new(),
@@ -83,6 +97,51 @@ impl<M: CommutativeMonoid> Cluster<M> {
     }
 }
 
+/// The cluster arena: a plain `Vec` slab that is additionally indexable by
+/// the narrowed `u32` ids stored inside clusters and adjacency entries, so
+/// `clusters[entry.neighbor]` works without a cast at every site.
+#[derive(Clone, Debug)]
+pub(crate) struct ClusterSlab<M: CommutativeMonoid = SumMinMax>(Vec<Cluster<M>>);
+
+impl<M: CommutativeMonoid> std::ops::Deref for ClusterSlab<M> {
+    type Target = Vec<Cluster<M>>;
+    fn deref(&self) -> &Vec<Cluster<M>> {
+        &self.0
+    }
+}
+
+impl<M: CommutativeMonoid> std::ops::DerefMut for ClusterSlab<M> {
+    fn deref_mut(&mut self) -> &mut Vec<Cluster<M>> {
+        &mut self.0
+    }
+}
+
+impl<M: CommutativeMonoid> std::ops::Index<u32> for ClusterSlab<M> {
+    type Output = Cluster<M>;
+    fn index(&self, i: u32) -> &Cluster<M> {
+        &self.0[i as usize]
+    }
+}
+
+impl<M: CommutativeMonoid> std::ops::IndexMut<u32> for ClusterSlab<M> {
+    fn index_mut(&mut self, i: u32) -> &mut Cluster<M> {
+        &mut self.0[i as usize]
+    }
+}
+
+impl<M: CommutativeMonoid> std::ops::Index<usize> for ClusterSlab<M> {
+    type Output = Cluster<M>;
+    fn index(&self, i: usize) -> &Cluster<M> {
+        &self.0[i]
+    }
+}
+
+impl<M: CommutativeMonoid> std::ops::IndexMut<usize> for ClusterSlab<M> {
+    fn index_mut(&mut self, i: usize) -> &mut Cluster<M> {
+        &mut self.0[i]
+    }
+}
+
 /// The contraction forest over vertices `0..n`, generic over the vertex
 /// weight monoid (default: the `i64` sum/min/max aggregate).
 #[derive(Clone, Debug)]
@@ -91,12 +150,12 @@ pub struct ContractionForest<M: CommutativeMonoid = SumMinMax> {
     pub(crate) weights: Vec<M::Weight>,
     pub(crate) phantom: Vec<bool>,
     pub(crate) marked: Vec<bool>,
-    pub(crate) clusters: Vec<Cluster<M>>,
-    free: Vec<ClusterId>,
+    pub(crate) clusters: ClusterSlab<M>,
+    free: Vec<u32>,
     /// Root clusters awaiting reclustering, indexed by level.
-    pending: Vec<Vec<ClusterId>>,
+    pending: Vec<Vec<u32>>,
     /// Clusters whose summaries must be recomputed.
-    dirty: Vec<ClusterId>,
+    dirty: Vec<u32>,
     num_edges: usize,
 }
 
@@ -108,7 +167,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             weights: vec![M::Weight::default(); n],
             phantom: vec![false; n],
             marked: vec![false; n],
-            clusters: Vec::with_capacity(2 * n),
+            clusters: ClusterSlab(Vec::with_capacity(2 * n)),
             free: Vec::new(),
             pending: Vec::new(),
             dirty: Vec::new(),
@@ -146,7 +205,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             "ensure_vertices during an update"
         );
         // ids below `n` stop being available for internal clusters
-        self.free.retain(|&id| id >= n);
+        self.free.retain(|&id| id as usize >= n);
         self.weights.resize(n, M::Weight::default());
         self.phantom.resize(n, false);
         self.marked.resize(n, false);
@@ -170,9 +229,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// [`ensure_vertices`](Self::ensure_vertices) calls this, to vacate a
     /// slot needed for a new leaf.
     fn relocate_cluster(&mut self, from: ClusterId) {
-        let to = self.clusters.len();
+        let from = narrow(from);
+        let to = narrow(self.clusters.len());
         let dead = Cluster {
-            parent: NIL,
+            parent: NIL32,
             level: 0,
             alive: false,
             neighbors: Vec::new(),
@@ -181,7 +241,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         };
         let cluster = std::mem::replace(&mut self.clusters[from], dead);
         debug_assert!(cluster.level > 0, "leaves are never relocated");
-        if cluster.parent != NIL {
+        if cluster.parent != NIL32 {
             for ch in self.clusters[cluster.parent].children.iter_mut() {
                 if *ch == from {
                     *ch = to;
@@ -252,16 +312,16 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             && self.clusters[u]
                 .neighbors
                 .iter()
-                .any(|e| e.my_end == u && e.other_end == v)
+                .any(|e| e.my_end as usize == u && e.other_end as usize == v)
     }
 
     /// The topmost cluster of the tree containing `v`.
     pub fn top_cluster(&self, v: Vertex) -> ClusterId {
-        let mut c = v;
-        while self.clusters[c].parent != NIL {
+        let mut c = narrow(v);
+        while self.clusters[c].parent != NIL32 {
             c = self.clusters[c].parent;
         }
-        c
+        c as usize
     }
 
     /// Whether `u` and `v` are in the same tree.
@@ -271,9 +331,9 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Height of the hierarchy above `v` (number of ancestor levels).
     pub fn height(&self, v: Vertex) -> usize {
-        let mut c = v;
+        let mut c = narrow(v);
         let mut h = 0;
-        while self.clusters[c].parent != NIL {
+        while self.clusters[c].parent != NIL32 {
             c = self.clusters[c].parent;
             h += 1;
         }
@@ -310,10 +370,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             + self.weights.capacity() * std::mem::size_of::<M::Weight>()
             + self.phantom.capacity()
             + self.marked.capacity()
-            + self.free.capacity() * std::mem::size_of::<ClusterId>();
-        for c in &self.clusters {
+            + self.free.capacity() * std::mem::size_of::<u32>();
+        for c in self.clusters.iter() {
             bytes += c.neighbors.capacity() * std::mem::size_of::<AdjEntry>();
-            bytes += c.children.capacity() * std::mem::size_of::<ClusterId>();
+            bytes += c.children.capacity() * std::mem::size_of::<u32>();
         }
         bytes
     }
@@ -328,12 +388,13 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     // ------------------------------------------------------------------
 
     fn update_edge(&mut self, u: Vertex, v: Vertex, delete: bool) {
+        let (u, v) = (narrow(u), narrow(v));
         self.delete_ancestors(u);
         self.delete_ancestors(v);
-        if self.clusters[u].parent == NIL {
+        if self.clusters[u].parent == NIL32 {
             self.push_pending(u);
         }
-        if self.clusters[v].parent == NIL {
+        if self.clusters[v].parent == NIL32 {
             self.push_pending(v);
         }
         self.apply_edge_all_levels(u, v, delete);
@@ -346,11 +407,11 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// Algorithm 1: walk up from `c0`'s parent, deleting every ancestor that
     /// the policy allows to be deleted and disconnecting low-degree clusters
     /// from surviving parents.
-    fn delete_ancestors(&mut self, c0: ClusterId) {
+    fn delete_ancestors(&mut self, c0: u32) {
         let mut prev = c0;
         let mut prev_deleted = false;
         let mut curr = self.clusters[c0].parent;
-        while curr != NIL {
+        while curr != NIL32 {
             let next = self.clusters[curr].parent;
             let deletable = self.deletable(curr);
             if deletable {
@@ -371,7 +432,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
     }
 
-    fn deletable(&self, c: ClusterId) -> bool {
+    fn deletable(&self, c: u32) -> bool {
         match self.policy {
             Policy::Topology => true,
             Policy::Ufo => self.clusters[c].degree() < 3 && self.clusters[c].fanout() < 3,
@@ -381,7 +442,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// Deletes cluster `c`: its children become pending root clusters, its
     /// adjacency entries are removed from neighbours (and from surviving
     /// ancestors at higher levels), and the slot is freed.
-    fn delete_cluster(&mut self, c: ClusterId) {
+    fn delete_cluster(&mut self, c: u32) {
         debug_assert!(self.clusters[c].alive && self.clusters[c].level > 0);
         let parent = self.clusters[c].parent;
         let entries: Vec<AdjEntry> = self.clusters[c].neighbors.clone();
@@ -390,24 +451,24 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             self.mark_dirty(e.neighbor);
             // the vertices of `c` leave every surviving ancestor, so the edge
             // must disappear from the levels above as well
-            if parent != NIL {
+            if parent != NIL32 {
                 let qp = self.clusters[e.neighbor].parent;
                 self.remove_edge_upward(parent, qp, e.my_end, e.other_end);
             }
         }
-        let children: Vec<ClusterId> = self.clusters[c].children.clone();
+        let children: Vec<u32> = self.clusters[c].children.clone();
         for y in children {
-            self.clusters[y].parent = NIL;
+            self.clusters[y].parent = NIL32;
             self.push_pending(y);
             self.mark_dirty(y);
         }
-        if parent != NIL {
+        if parent != NIL32 {
             self.clusters[parent].children.retain(|&x| x != c);
             self.mark_dirty(parent);
         }
         let cl = &mut self.clusters[c];
         cl.alive = false;
-        cl.parent = NIL;
+        cl.parent = NIL32;
         cl.neighbors.clear();
         cl.children.clear();
         self.free.push(c);
@@ -417,7 +478,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// into a pending root cluster.  If removing the child would disconnect the
     /// parent's remaining children (the child is the hub of a star merge), the
     /// parent is deleted instead.
-    fn disconnect_child(&mut self, child: ClusterId, parent: ClusterId) {
+    fn disconnect_child(&mut self, child: u32, parent: u32) {
         // Count the child's internal edges (edges to siblings).
         let internal = self.clusters[child]
             .neighbors
@@ -429,7 +490,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             self.delete_cluster(parent);
             return;
         }
-        self.clusters[child].parent = NIL;
+        self.clusters[child].parent = NIL32;
         self.clusters[parent].children.retain(|&x| x != child);
         self.mark_dirty(parent);
         self.push_pending(child);
@@ -445,8 +506,8 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Removes the original edge `(my_end, other_end)` from every level where
     /// it currently connects the two ancestor chains starting at `pa` / `pb`.
-    fn remove_edge_upward(&mut self, mut pa: ClusterId, mut pb: ClusterId, a: Vertex, b: Vertex) {
-        while pa != NIL && pb != NIL && pa != pb {
+    fn remove_edge_upward(&mut self, mut pa: u32, mut pb: u32, a: u32, b: u32) {
+        while pa != NIL32 && pb != NIL32 && pa != pb {
             if !self.clusters[pa].alive || !self.clusters[pb].alive {
                 break;
             }
@@ -461,8 +522,8 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Adds the original edge `(my_end, other_end)` at every level where the
     /// two ancestor chains starting at `pa` / `pb` are distinct.
-    fn add_edge_upward(&mut self, mut pa: ClusterId, mut pb: ClusterId, a: Vertex, b: Vertex) {
-        while pa != NIL && pb != NIL && pa != pb {
+    fn add_edge_upward(&mut self, mut pa: u32, mut pb: u32, a: u32, b: u32) {
+        while pa != NIL32 && pb != NIL32 && pa != pb {
             self.add_adj(pa, pb, a, b);
             self.add_adj(pb, pa, b, a);
             self.mark_dirty(pa);
@@ -474,10 +535,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Inserts or deletes the original edge `(u, v)` at every level where the
     /// two endpoints' ancestors are distinct live clusters.
-    fn apply_edge_all_levels(&mut self, u: Vertex, v: Vertex, delete: bool) {
+    fn apply_edge_all_levels(&mut self, u: u32, v: u32, delete: bool) {
         let mut au = u;
         let mut av = v;
-        while au != NIL && av != NIL && au != av {
+        while au != NIL32 && av != NIL32 && au != av {
             if delete {
                 self.remove_adj(au, u, v);
                 self.remove_adj(av, v, u);
@@ -492,7 +553,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
     }
 
-    fn add_adj(&mut self, c: ClusterId, nbr: ClusterId, my_end: Vertex, other_end: Vertex) {
+    fn add_adj(&mut self, c: u32, nbr: u32, my_end: u32, other_end: u32) {
         debug_assert!(self.clusters[c].alive);
         if !self.clusters[c]
             .neighbors
@@ -507,7 +568,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             // A parentless cluster that gains an edge stops being a finished
             // tree top: it must take part in the coming reclustering rounds,
             // or its tree would never merge with the edge's other side.
-            if self.clusters[c].parent == NIL {
+            if self.clusters[c].parent == NIL32 {
                 self.push_pending(c);
             }
         } else {
@@ -520,7 +581,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
     }
 
-    fn remove_adj(&mut self, c: ClusterId, my_end: Vertex, other_end: Vertex) {
+    fn remove_adj(&mut self, c: u32, my_end: u32, other_end: u32) {
         let list = &mut self.clusters[c].neighbors;
         if let Some(pos) = list
             .iter()
@@ -530,7 +591,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
     }
 
-    fn push_pending(&mut self, c: ClusterId) {
+    fn push_pending(&mut self, c: u32) {
         let level = self.clusters[c].level as usize;
         if self.pending.len() <= level {
             self.pending.resize_with(level + 1, Vec::new);
@@ -538,7 +599,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         self.pending[level].push(c);
     }
 
-    pub(crate) fn mark_dirty(&mut self, c: ClusterId) {
+    pub(crate) fn mark_dirty(&mut self, c: u32) {
         self.dirty.push(c);
     }
 
@@ -549,7 +610,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     fn recluster(&mut self) {
         let mut level = 0;
         while level < self.pending.len() {
-            let roots: Vec<ClusterId> = {
+            let roots: Vec<u32> = {
                 let bucket = &mut self.pending[level];
                 if bucket.is_empty() {
                     level += 1;
@@ -557,11 +618,11 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 }
                 std::mem::take(bucket)
             };
-            let mut roots: Vec<ClusterId> = roots
+            let mut roots: Vec<u32> = roots
                 .into_iter()
                 .filter(|&c| {
                     self.clusters[c].alive
-                        && self.clusters[c].parent == NIL
+                        && self.clusters[c].parent == NIL32
                         && self.clusters[c].level as usize == level
                 })
                 .collect();
@@ -581,8 +642,8 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         self.pending.clear();
     }
 
-    fn recluster_level(&mut self, level: usize, roots: &[ClusterId]) {
-        let mut new_parents: Vec<ClusterId> = Vec::new();
+    fn recluster_level(&mut self, level: usize, roots: &[u32]) {
+        let mut new_parents: Vec<u32> = Vec::new();
 
         // Phase A (UFO only): high-degree root clusters absorb all their
         // degree-1 neighbours.
@@ -593,7 +654,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 }
                 let p = self.new_cluster(level as u32 + 1);
                 self.attach_child(x, p);
-                let nbrs: Vec<ClusterId> = self.clusters[x]
+                let nbrs: Vec<u32> = self.clusters[x]
                     .neighbors
                     .iter()
                     .map(|e| e.neighbor)
@@ -602,10 +663,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                     if !self.clusters[y].alive || self.clusters[y].degree() != 1 {
                         continue;
                     }
-                    if self.clusters[y].parent != NIL {
+                    if self.clusters[y].parent != NIL32 {
                         self.delete_ancestors(y);
                     }
-                    if self.clusters[y].parent == NIL {
+                    if self.clusters[y].parent == NIL32 {
                         self.attach_child(y, p);
                     }
                 }
@@ -638,7 +699,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 if !self.pair_allowed(dx, dy) || self.merges(y) {
                     continue;
                 }
-                if self.clusters[y].parent != NIL {
+                if self.clusters[y].parent != NIL32 {
                     // y sits alone under a copy parent: join it there
                     let yp = self.clusters[y].parent;
                     self.delete_ancestors(yp);
@@ -671,12 +732,12 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             } else {
                 0
             };
-            if self.clusters[y].alive && self.clusters[y].parent != NIL && !self.merges(y) {
+            if self.clusters[y].alive && self.clusters[y].parent != NIL32 && !self.merges(y) {
                 let yp = self.clusters[y].parent;
                 self.delete_ancestors(yp);
                 self.attach_to_existing(x, yp);
             } else if self.clusters[y].alive
-                && self.clusters[y].parent != NIL
+                && self.clusters[y].parent != NIL32
                 && dy >= 3
                 && self.policy == Policy::Ufo
             {
@@ -686,7 +747,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 self.delete_ancestors(yp);
                 self.attach_to_existing(x, yp);
             } else if self.clusters[y].alive
-                && self.clusters[y].parent == NIL
+                && self.clusters[y].parent == NIL32
                 && self.pair_allowed(1, dy)
             {
                 let p = self.new_cluster(level as u32 + 1);
@@ -713,9 +774,9 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
     }
 
-    fn is_unparented_root(&self, c: ClusterId, level: usize) -> bool {
+    fn is_unparented_root(&self, c: u32, level: usize) -> bool {
         self.clusters[c].alive
-            && self.clusters[c].parent == NIL
+            && self.clusters[c].parent == NIL32
             && self.clusters[c].level as usize == level
     }
 
@@ -730,14 +791,14 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Whether `y` already participates in a genuine merge (its parent has
     /// more than one child).
-    fn merges(&self, y: ClusterId) -> bool {
+    fn merges(&self, y: u32) -> bool {
         let p = self.clusters[y].parent;
-        p != NIL && self.clusters[p].fanout() >= 2
+        p != NIL32 && self.clusters[p].fanout() >= 2
     }
 
-    fn new_cluster(&mut self, level: u32) -> ClusterId {
+    fn new_cluster(&mut self, level: u32) -> u32 {
         let cluster = Cluster {
-            parent: NIL,
+            parent: NIL32,
             level,
             alive: true,
             neighbors: Vec::new(),
@@ -749,12 +810,12 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             id
         } else {
             self.clusters.push(cluster);
-            self.clusters.len() - 1
+            narrow(self.clusters.len() - 1)
         }
     }
 
-    fn attach_child(&mut self, child: ClusterId, parent: ClusterId) {
-        debug_assert_eq!(self.clusters[child].parent, NIL);
+    fn attach_child(&mut self, child: u32, parent: u32) {
+        debug_assert_eq!(self.clusters[child].parent, NIL32);
         debug_assert_eq!(
             self.clusters[child].level + 1,
             self.clusters[parent].level,
@@ -768,13 +829,13 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// Attaches root cluster `x` to an already-existing parent `p` and fixes
     /// up the adjacency of `p` (and of `p`'s surviving ancestors) to account
     /// for `x`'s external edges.
-    fn attach_to_existing(&mut self, x: ClusterId, p: ClusterId) {
+    fn attach_to_existing(&mut self, x: u32, p: u32) {
         debug_assert!(self.clusters[p].alive);
         self.attach_child(x, p);
         let entries: Vec<AdjEntry> = self.clusters[x].neighbors.clone();
         for e in entries {
             let qp = self.clusters[e.neighbor].parent;
-            if qp == p || qp == NIL {
+            if qp == p || qp == NIL32 {
                 continue;
             }
             self.add_edge_upward(p, qp, e.my_end, e.other_end);
@@ -785,8 +846,8 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// Builds the adjacency list of a freshly created parent from its
     /// children's adjacency, inserting the symmetric entries into neighbouring
     /// clusters that already exist.
-    fn populate_parent_adjacency(&mut self, p: ClusterId) {
-        let children: Vec<ClusterId> = self.clusters[p].children.clone();
+    fn populate_parent_adjacency(&mut self, p: u32) {
+        let children: Vec<u32> = self.clusters[p].children.clone();
         for c in children {
             let entries: Vec<AdjEntry> = self.clusters[c].neighbors.clone();
             for e in entries {
@@ -794,7 +855,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                     continue;
                 }
                 let qp = self.clusters[e.neighbor].parent;
-                if qp == p || qp == NIL {
+                if qp == p || qp == NIL32 {
                     continue;
                 }
                 self.add_adj(p, qp, e.my_end, e.other_end);
@@ -809,7 +870,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     // ------------------------------------------------------------------
 
     fn refresh_vertex(&mut self, v: Vertex) {
-        self.mark_dirty(v);
+        self.mark_dirty(narrow(v));
         self.flush_dirty();
     }
 
@@ -819,16 +880,16 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         if self.dirty.is_empty() {
             return;
         }
-        let mut work: Vec<ClusterId> = std::mem::take(&mut self.dirty);
-        work.retain(|&c| c < self.clusters.len() && self.clusters[c].alive);
+        let mut work: Vec<u32> = std::mem::take(&mut self.dirty);
+        work.retain(|&c| (c as usize) < self.clusters.len() && self.clusters[c].alive);
         work.sort_unstable();
         work.dedup();
         // close under ancestors
-        let mut seen: std::collections::HashSet<ClusterId> = work.iter().copied().collect();
+        let mut seen: dyntree_primitives::hash::FxHashSet<u32> = work.iter().copied().collect();
         let mut frontier = work.clone();
         while let Some(c) = frontier.pop() {
             let p = self.clusters[c].parent;
-            if p != NIL && self.clusters[p].alive && seen.insert(p) {
+            if p != NIL32 && self.clusters[p].alive && seen.insert(p) {
                 work.push(p);
                 frontier.push(p);
             }
@@ -846,7 +907,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         let w = self.weights[v];
         let phantom = self.phantom[v];
         Summary {
-            boundary: [v, v],
+            boundary: [narrow(v), narrow(v)],
             nbound: 1,
             sub: Agg::vertex_if(w, phantom),
             vertices: 1,
@@ -873,10 +934,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Recomputes the summary of cluster `c` from its children (or from the
     /// vertex data for leaves).
-    pub(crate) fn compute_summary(&self, c: ClusterId) -> Summary<M> {
+    pub(crate) fn compute_summary(&self, c: u32) -> Summary<M> {
         let cl = &self.clusters[c];
         // Boundaries come from the cluster's own adjacency.
-        let mut boundary = [NIL, NIL];
+        let mut boundary = [NIL32, NIL32];
         let mut nbound = 0usize;
         for e in &cl.neighbors {
             if !boundary[..nbound].contains(&e.my_end) {
@@ -896,7 +957,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
         if cl.children.is_empty() {
             // leaf
-            let mut s = self.leaf_summary(c);
+            let mut s = self.leaf_summary(c as usize);
             // a leaf's boundary is always itself
             s.boundary = [c, c];
             s.nbound = if nbound == 0 { 1 } else { nbound as u8 };
@@ -930,7 +991,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         // attached children).  Identify the hub as the child with the most
         // internal (sibling) edges; every other child is attached to the hub
         // by exactly one internal edge.
-        let internal_edges = |child: ClusterId| -> Vec<AdjEntry> {
+        let internal_edges = |child: u32| -> Vec<AdjEntry> {
             self.clusters[child]
                 .neighbors
                 .iter()
@@ -952,8 +1013,8 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         // to every hub boundary vertex and the base (within "its own child +
         // the hub") eccentricity / nearest-marked distance.
         struct BoundaryLoc {
-            /// the attached child containing the boundary (NIL if in the hub)
-            child: ClusterId,
+            /// the attached child containing the boundary (NIL32 if in the hub)
+            child: u32,
             /// distance from the boundary to each hub boundary vertex
             d_hub: [u64; 2],
             ecc: u64,
@@ -968,7 +1029,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                     *d = hub_sum.boundary_distance(b, hub_sum.boundary[j]);
                 }
                 locs.push(BoundaryLoc {
-                    child: NIL,
+                    child: NIL32,
                     d_hub,
                     ecc: hub_sum.ecc[bi],
                     near: hub_sum.near[bi],
@@ -1074,14 +1135,14 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// plus the clusters attached to it via `hub_internal`.
     fn path_between_in_parent(
         &self,
-        _p: ClusterId,
-        hub: ClusterId,
+        _p: u32,
+        hub: u32,
         hub_internal: &[AdjEntry],
-        b0: Vertex,
-        b1: Vertex,
+        b0: u32,
+        b1: u32,
     ) -> Agg<M> {
         let hub_sum = &self.clusters[hub].summary;
-        let loc = |b: Vertex| -> Option<usize> { hub_sum.boundary_index(b) };
+        let loc = |b: u32| -> Option<usize> { hub_sum.boundary_index(b) };
         match (loc(b0), loc(b1)) {
             (Some(_), Some(_)) => {
                 // both boundaries are inside the hub: the parent path is the
@@ -1096,13 +1157,13 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 // One (or both) boundary lies in a non-hub child: the parent
                 // is a pair merge.  Find the children containing b0 / b1 and
                 // stitch their paths through the connecting edge.
-                let find_child = |b: Vertex| -> Option<(ClusterId, AdjEntry)> {
+                let find_child = |b: u32| -> Option<(u32, AdjEntry)> {
                     hub_internal.iter().find_map(|e| {
                         let ch = &self.clusters[e.neighbor].summary;
                         ch.boundary_index(b).map(|_| (e.neighbor, *e))
                     })
                 };
-                let inside_child = |child: ClusterId, from: Vertex, to: Vertex| -> Agg<M> {
+                let inside_child = |child: u32, from: u32, to: u32| -> Agg<M> {
                     let cs = &self.clusters[child].summary;
                     if from == to {
                         Agg::IDENTITY
@@ -1118,11 +1179,11 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                         let y = e1.other_end; // in c1
                         let mut agg = if b0 == x { Agg::IDENTITY } else { hub_sum.path };
                         if x != b0 {
-                            agg = Agg::combine(agg, self.vertex_path_value(x));
+                            agg = Agg::combine(agg, self.vertex_path_value(x as usize));
                         }
                         agg = agg.cross_edge();
                         if y != b1 {
-                            agg = Agg::combine(agg, self.vertex_path_value(y));
+                            agg = Agg::combine(agg, self.vertex_path_value(y as usize));
                             agg = Agg::combine(agg, inside_child(c1, y, b1));
                         }
                         agg
@@ -1133,11 +1194,11 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                         let y = e0.other_end;
                         let mut agg = if b1 == x { Agg::IDENTITY } else { hub_sum.path };
                         if x != b1 {
-                            agg = Agg::combine(agg, self.vertex_path_value(x));
+                            agg = Agg::combine(agg, self.vertex_path_value(x as usize));
                         }
                         agg = agg.cross_edge();
                         if y != b0 {
-                            agg = Agg::combine(agg, self.vertex_path_value(y));
+                            agg = Agg::combine(agg, self.vertex_path_value(y as usize));
                             agg = Agg::combine(agg, inside_child(c0, y, b0));
                         }
                         agg
@@ -1148,21 +1209,21 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                         let mut agg = if e0.other_end != b0 {
                             Agg::combine(
                                 inside_child(c0, b0, e0.other_end),
-                                self.vertex_path_value(e0.other_end),
+                                self.vertex_path_value(e0.other_end as usize),
                             )
                         } else {
                             Agg::IDENTITY
                         };
                         agg = agg.cross_edge();
                         // through the hub from e0.my_end to e1.my_end
-                        agg = Agg::combine(agg, self.vertex_path_value(e0.my_end));
+                        agg = Agg::combine(agg, self.vertex_path_value(e0.my_end as usize));
                         if e0.my_end != e1.my_end {
                             agg = Agg::combine(agg, hub_sum.path);
-                            agg = Agg::combine(agg, self.vertex_path_value(e1.my_end));
+                            agg = Agg::combine(agg, self.vertex_path_value(e1.my_end as usize));
                         }
                         agg = agg.cross_edge();
                         if e1.other_end != b1 {
-                            agg = Agg::combine(agg, self.vertex_path_value(e1.other_end));
+                            agg = Agg::combine(agg, self.vertex_path_value(e1.other_end as usize));
                             agg = Agg::combine(agg, inside_child(c1, e1.other_end, b1));
                         }
                         agg
@@ -1194,14 +1255,14 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
         for v in 0..n {
             for e in &self.clusters[v].neighbors {
-                if e.my_end != v {
+                if e.my_end as usize != v {
                     return Err(format!("leaf {} has entry with my_end {}", v, e.my_end));
                 }
-                let u = e.other_end;
+                let u = e.other_end as usize;
                 if !self.clusters[u]
                     .neighbors
                     .iter()
-                    .any(|r| r.my_end == u && r.other_end == v)
+                    .any(|r| r.my_end as usize == u && r.other_end as usize == v)
                 {
                     return Err(format!("edge ({},{}) not symmetric", v, u));
                 }
@@ -1219,7 +1280,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
             if !c.alive {
                 continue;
             }
-            if c.parent != NIL {
+            if c.parent != NIL32 {
                 let p = &self.clusters[c.parent];
                 if !p.alive {
                     return Err(format!("cluster {} has dead parent", id));
@@ -1227,12 +1288,12 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 if p.level != c.level + 1 {
                     return Err(format!("cluster {} level mismatch with parent", id));
                 }
-                if !p.children.contains(&id) {
+                if !p.children.contains(&narrow(id)) {
                     return Err(format!("cluster {} missing from parent's children", id));
                 }
             }
             for &ch in &c.children {
-                if !self.clusters[ch].alive || self.clusters[ch].parent != id {
+                if !self.clusters[ch].alive || self.clusters[ch].parent != narrow(id) {
                     return Err(format!("child {} of {} inconsistent", ch, id));
                 }
             }
@@ -1241,7 +1302,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         //    membership is consistent
         for v in 0..n {
             for e in &self.clusters[v].neighbors {
-                let u = e.other_end;
+                let u = e.other_end as usize;
                 if self.top_cluster(u) != self.top_cluster(v) {
                     return Err(format!(
                         "endpoints of edge ({},{}) have different top clusters",
@@ -1254,7 +1315,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         //    entry (my_end, other_end) exists at level ℓ iff the leaf edge
         //    exists and the two ancestors at level ℓ are distinct.
         for v in 0..n {
-            let leaf_edges: Vec<(usize, usize)> = self.clusters[v]
+            let leaf_edges: Vec<(u32, u32)> = self.clusters[v]
                 .neighbors
                 .iter()
                 .map(|e| (e.my_end, e.other_end))
@@ -1277,7 +1338,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                         ));
                     }
                     let (pa, pb) = (self.clusters[ca].parent, self.clusters[cb].parent);
-                    if pa == NIL || pb == NIL {
+                    if pa == NIL32 || pb == NIL32 {
                         if pa != pb {
                             return Err(format!(
                                 "edge ({},{}): one chain ended before meeting",
@@ -1310,13 +1371,15 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                     ));
                 }
                 // my_end must be contained in this cluster, other_end in the neighbour
-                if self.ancestor_at_level(e.my_end, cl.level) != Some(id) {
+                if self.ancestor_at_level(e.my_end as usize, cl.level) != Some(id) {
                     return Err(format!(
                         "cluster {} lists edge endpoint {} it does not contain",
                         id, e.my_end
                     ));
                 }
-                if self.ancestor_at_level(e.other_end, cl.level) != Some(e.neighbor) {
+                if self.ancestor_at_level(e.other_end as usize, cl.level)
+                    != Some(e.neighbor as usize)
+                {
                     return Err(format!(
                         "cluster {} neighbour pointer stale for edge ({},{})",
                         id, e.my_end, e.other_end
@@ -1329,16 +1392,16 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// The ancestor of leaf `v` at `level`, if the chain reaches it.
     pub fn ancestor_at_level(&self, v: Vertex, level: u32) -> Option<ClusterId> {
-        let mut c = v;
+        let mut c = narrow(v);
         loop {
             if self.clusters[c].level == level {
-                return Some(c);
+                return Some(c as usize);
             }
             if self.clusters[c].level > level {
                 return None;
             }
             let p = self.clusters[c].parent;
-            if p == NIL {
+            if p == NIL32 {
                 return None;
             }
             c = p;
@@ -1348,11 +1411,80 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// The chain of ancestors of `v` from the leaf to the top, inclusive.
     pub fn ancestor_chain(&self, v: Vertex) -> Vec<ClusterId> {
         let mut out = vec![v];
-        let mut c = v;
-        while self.clusters[c].parent != NIL {
+        let mut c = narrow(v);
+        while self.clusters[c].parent != NIL32 {
             c = self.clusters[c].parent;
-            out.push(c);
+            out.push(c as usize);
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The narrowed adjacency entry must stay at 12 bytes — this is the
+    /// memory contract behind the bytes-per-edge gate (DESIGN.md §12).
+    #[test]
+    fn adj_entry_is_twelve_bytes() {
+        assert_eq!(std::mem::size_of::<AdjEntry>(), 12);
+    }
+
+    /// Repeatedly linking and cutting the same edges must recycle dead
+    /// cluster slots through the freelist instead of growing the slab without
+    /// bound (regression test for slab reuse-after-free bookkeeping).
+    #[test]
+    fn cluster_freelist_recycles_slots() {
+        let mut f: ContractionForest = ContractionForest::new(8, Policy::Ufo);
+        for v in 0..7 {
+            assert!(f.link(v, v + 1));
+        }
+        let after_build = f.clusters.len();
+        for _ in 0..50 {
+            assert!(f.cut(3, 4));
+            assert!(f.link(3, 4));
+            f.check_invariants().unwrap();
+        }
+        // The slab may grow a little past the initial build (churn can retire
+        // a few clusters before their slots hit the freelist), but it must
+        // not grow linearly with the number of cut/link cycles.
+        assert!(
+            f.clusters.len() <= after_build + 16,
+            "slab leaked: {} -> {}",
+            after_build,
+            f.clusters.len()
+        );
+        // Freed ids really are handed back out: a fresh link after a cut must
+        // not allocate more than it freed.
+        let before = f.clusters.len();
+        assert!(f.cut(0, 1));
+        assert!(f.link(0, 1));
+        assert!(f.clusters.len() <= before + 2);
+    }
+
+    /// Dead slots on the freelist are never reachable through live links.
+    #[test]
+    fn freelist_slots_are_dead() {
+        let mut f: ContractionForest = ContractionForest::new(16, Policy::Ufo);
+        for v in 0..15 {
+            f.link(v, v + 1);
+        }
+        for v in (1..15).step_by(3) {
+            f.cut(v, v + 1);
+        }
+        f.check_invariants().unwrap();
+        for &id in f.free.iter() {
+            assert!(!f.clusters[id].alive, "freelist slot {id} is alive");
+        }
+        // And every live cluster's links point at live clusters only.
+        for c in f.clusters.iter().filter(|c| c.alive) {
+            if c.parent != NIL32 {
+                assert!(f.clusters[c.parent].alive);
+            }
+            for &ch in &c.children {
+                assert!(f.clusters[ch].alive);
+            }
+        }
     }
 }

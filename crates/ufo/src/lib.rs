@@ -44,5 +44,10 @@ pub type ClusterId = usize;
 /// Sentinel meaning "no cluster / no vertex".
 pub const NIL: usize = usize::MAX;
 
+/// `u32` counterpart of [`NIL`], used inside the narrowed cluster storage
+/// (cluster links and adjacency entries are stored as 4-byte ids; the public
+/// API keeps `usize`).
+pub const NIL32: u32 = u32::MAX;
+
 /// Distance value used as "unreachable" in distance summaries.
 pub(crate) const INF_DIST: u64 = u64::MAX / 4;

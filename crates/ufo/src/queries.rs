@@ -5,15 +5,18 @@
 //! summaries.  No query mutates the structure, so any number of queries can
 //! run concurrently (e.g. from a rayon parallel iterator) while no update is
 //! in flight.
+//!
+//! Internally the walks operate on the narrowed `u32` ids used by the flat
+//! cluster storage (DESIGN.md §12); the public signatures keep `usize`.
 
 use dyntree_primitives::algebra::SumMinMax;
 
-use crate::engine::{AdjEntry, ContractionForest};
+use crate::engine::{narrow, AdjEntry, ContractionForest};
 use crate::summary::{Agg, CommutativeMonoid};
-use crate::{ClusterId, Vertex, INF_DIST, NIL};
+use crate::{ClusterId, Vertex, INF_DIST, NIL32};
 
 /// Looks up the interior aggregate for boundary vertex `v` in a walk state.
-fn lookup<M: CommutativeMonoid>(state: &[(Vertex, Agg<M>)], v: Vertex) -> Option<Agg<M>> {
+fn lookup<M: CommutativeMonoid>(state: &[(u32, Agg<M>)], v: u32) -> Option<Agg<M>> {
     state.iter().find(|(b, _)| *b == v).map(|(_, a)| *a)
 }
 
@@ -31,9 +34,9 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         let cv = self.ancestor_chain(v);
         let lca_level = (0..cu.len().min(cv.len())).find(|&l| cu[l] == cv[l])?;
         debug_assert!(lca_level >= 1);
-        let lca = cu[lca_level];
-        let child_u = cu[lca_level - 1];
-        let child_v = cv[lca_level - 1];
+        let lca = narrow(cu[lca_level]);
+        let child_u = narrow(cu[lca_level - 1]);
+        let child_v = narrow(cv[lca_level - 1]);
 
         // interior aggregates from u / v to every boundary of their child of
         // the LCA cluster
@@ -78,8 +81,8 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         let sv = lookup(&state_v, entry)?;
         let mut total = self.vertex_path_value(u);
         total = Agg::combine(total, interior_to_entry);
-        if entry != v {
-            total = Agg::combine(total, self.vertex_path_value(entry));
+        if entry as usize != v {
+            total = Agg::combine(total, self.vertex_path_value(entry as usize));
         }
         total = Agg::combine(total, sv);
         total = Agg::combine(total, self.vertex_path_value(v));
@@ -116,9 +119,9 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         let cu = self.ancestor_chain(v);
         let cp = self.ancestor_chain(parent);
         let lca_level = (0..cu.len().min(cp.len())).find(|&l| cu[l] == cp[l])?;
-        let child_v = cu[lca_level - 1];
-        let child_p = cp[lca_level - 1];
-        let lca = cu[lca_level];
+        let child_v = narrow(cu[lca_level - 1]);
+        let child_p = narrow(cp[lca_level - 1]);
+        let lca = narrow(cu[lca_level]);
 
         let mut acc = self.clusters[child_v].summary.sub;
 
@@ -135,7 +138,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         }
 
         // v-side boundary vertices of the LCA cluster.
-        let mut vside: Vec<Vertex> = Vec::with_capacity(2);
+        let mut vside: Vec<u32> = Vec::with_capacity(2);
         let lca_sum = &self.clusters[lca].summary;
         for i in 0..lca_sum.nbound as usize {
             let b = lca_sum.boundary[i];
@@ -152,7 +155,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
                 break;
             }
             let p = self.clusters[x].parent;
-            if p == NIL {
+            if p == NIL32 {
                 break;
             }
             // siblings directly adjacent to x
@@ -207,10 +210,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     pub fn nearest_marked_distance(&self, v: Vertex) -> Option<u64> {
         let mut best = if self.is_marked(v) { 0 } else { INF_DIST };
         // state: distance from v to each boundary vertex of the current cluster
-        let mut state: Vec<(Vertex, u64)> = vec![(v, 0)];
+        let mut state: Vec<(u32, u64)> = vec![(narrow(v), 0)];
         let chain = self.ancestor_chain(v);
         for w in chain.windows(2) {
-            let (c, p) = (w[0], w[1]);
+            let (c, p) = (narrow(w[0]), narrow(w[1]));
             let internal = self.internal_edges(c, p);
             // fold siblings into `best`
             for e in &internal {
@@ -269,10 +272,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// cluster of `chain` (the chain runs from the leaf of `origin` upwards).
     /// The `edges` field of each aggregate is the number of edges between the
     /// two vertices.
-    fn walk_state(&self, origin: Vertex, chain: &[ClusterId]) -> Option<Vec<(Vertex, Agg<M>)>> {
-        let mut state: Vec<(Vertex, Agg<M>)> = vec![(origin, Agg::IDENTITY)];
+    fn walk_state(&self, origin: Vertex, chain: &[ClusterId]) -> Option<Vec<(u32, Agg<M>)>> {
+        let mut state: Vec<(u32, Agg<M>)> = vec![(narrow(origin), Agg::IDENTITY)];
         for w in chain.windows(2) {
-            let (c, p) = (w[0], w[1]);
+            let (c, p) = (narrow(w[0]), narrow(w[1]));
             state = self.interior_state(origin, c, p, &state)?;
         }
         Some(state)
@@ -281,10 +284,10 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     fn interior_state(
         &self,
         origin: Vertex,
-        c: ClusterId,
-        p: ClusterId,
-        state: &[(Vertex, Agg<M>)],
-    ) -> Option<Vec<(Vertex, Agg<M>)>> {
+        c: u32,
+        p: u32,
+        state: &[(u32, Agg<M>)],
+    ) -> Option<Vec<(u32, Agg<M>)>> {
         let p_sum = &self.clusters[p].summary;
         let c_sum = &self.clusters[c].summary;
         let internal = self.internal_edges(c, p);
@@ -358,16 +361,16 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
         base: Agg<M>,
         origin: Vertex,
         e: &AdjEntry,
-        s: ClusterId,
-        target: Vertex,
+        s: u32,
+        target: u32,
     ) -> Agg<M> {
         let mut agg = base;
-        if e.my_end != origin {
-            agg = Agg::combine(agg, self.vertex_path_value(e.my_end));
+        if e.my_end as usize != origin {
+            agg = Agg::combine(agg, self.vertex_path_value(e.my_end as usize));
         }
         agg = agg.cross_edge();
         if e.other_end != target {
-            agg = Agg::combine(agg, self.vertex_path_value(e.other_end));
+            agg = Agg::combine(agg, self.vertex_path_value(e.other_end as usize));
             let ssum = &self.clusters[s].summary;
             if ssum.boundary_distance(e.other_end, target) > 0 {
                 agg = Agg::combine(agg, ssum.path);
@@ -380,11 +383,11 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     /// queries (falls back to `INF_DIST` for unreachable boundaries).
     fn distance_state(
         &self,
-        c: ClusterId,
-        p: ClusterId,
-        state: &[(Vertex, u64)],
+        c: u32,
+        p: u32,
+        state: &[(u32, u64)],
         internal: &[AdjEntry],
-    ) -> Vec<(Vertex, u64)> {
+    ) -> Vec<(u32, u64)> {
         let p_sum = &self.clusters[p].summary;
         let c_sum = &self.clusters[c].summary;
         let mut out = Vec::with_capacity(2);
@@ -433,7 +436,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     }
 
     /// Internal (sibling) edges of `c` within its parent `p`.
-    fn internal_edges(&self, c: ClusterId, p: ClusterId) -> Vec<AdjEntry> {
+    fn internal_edges(&self, c: u32, p: u32) -> Vec<AdjEntry> {
         self.clusters[c]
             .neighbors
             .iter()
@@ -444,7 +447,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// The hub child of `p` (the child with the most sibling edges), if `p`
     /// has more than one child.
-    fn hub_of(&self, p: ClusterId) -> Option<ClusterId> {
+    fn hub_of(&self, p: u32) -> Option<u32> {
         let children = &self.clusters[p].children;
         if children.len() < 2 {
             return None;
@@ -457,14 +460,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
 
     /// Whether boundary vertex `b` of the LCA cluster is on `v`'s side of the
     /// removed edge, given the children containing `v` and `p`.
-    fn child_side(
-        &self,
-        lca: ClusterId,
-        b: Vertex,
-        child_v: ClusterId,
-        child_p: ClusterId,
-        hub: Option<ClusterId>,
-    ) -> bool {
+    fn child_side(&self, lca: u32, b: u32, child_v: u32, child_p: u32, hub: Option<u32>) -> bool {
         if self.clusters[child_v].summary.boundary_index(b).is_some() {
             return true;
         }
@@ -478,14 +474,7 @@ impl<M: CommutativeMonoid> ContractionForest<M> {
     }
 
     /// Side of the sibling containing boundary vertex `b` of the parent `p`.
-    fn sibling_side(
-        &self,
-        x: ClusterId,
-        p: ClusterId,
-        b: Vertex,
-        bset: &[Vertex],
-        internal: &[AdjEntry],
-    ) -> bool {
+    fn sibling_side(&self, x: u32, p: u32, b: u32, bset: &[u32], internal: &[AdjEntry]) -> bool {
         // direct siblings
         for e in internal {
             if self.clusters[e.neighbor]

@@ -11,7 +11,7 @@
 use dyntree_primitives::algebra::SumMinMax;
 pub use dyntree_primitives::algebra::{Agg, CommutativeMonoid, Monoid};
 
-use crate::{INF_DIST, NIL};
+use crate::{INF_DIST, NIL32};
 
 /// Aggregate over the vertex weights of a path (endpoints inclusive unless
 /// stated otherwise) under the default `i64` sum/min/max monoid.
@@ -27,11 +27,12 @@ pub type SubtreeAggregate = Agg<SumMinMax>;
 /// `boundary` holds the cluster's boundary vertices (the endpoints, inside the
 /// cluster, of its external edges).  The paper proves every cluster has at
 /// most two boundary vertices and that high-degree clusters have exactly one;
-/// the engine asserts this in debug builds.
+/// the engine asserts this in debug builds.  Boundary vertices are stored as
+/// narrowed `u32` ids, like every other intra-forest link (DESIGN.md §12).
 #[derive(Clone, Debug)]
 pub struct Summary<M: CommutativeMonoid = SumMinMax> {
-    /// Boundary vertices (`NIL`-padded).
-    pub boundary: [usize; 2],
+    /// Boundary vertices (`NIL32`-padded).
+    pub boundary: [u32; 2],
     /// Number of valid entries of `boundary` (0, 1 or 2).
     pub nbound: u8,
     /// Aggregate over every vertex contained in the cluster.
@@ -56,7 +57,7 @@ impl<M: CommutativeMonoid> Summary<M> {
     /// Summary of an empty cluster (used as a starting point for folds).
     pub fn empty() -> Self {
         Summary {
-            boundary: [NIL, NIL],
+            boundary: [NIL32, NIL32],
             nbound: 0,
             sub: Agg::IDENTITY,
             vertices: 0,
@@ -68,13 +69,13 @@ impl<M: CommutativeMonoid> Summary<M> {
     }
 
     /// Index of vertex `v` in the boundary array, if it is a boundary vertex.
-    pub fn boundary_index(&self, v: usize) -> Option<usize> {
+    pub fn boundary_index(&self, v: u32) -> Option<usize> {
         (0..self.nbound as usize).find(|&i| self.boundary[i] == v)
     }
 
     /// Distance (in edges) between two boundary vertices of this cluster.
     /// Both arguments must be boundary vertices.
-    pub fn boundary_distance(&self, a: usize, b: usize) -> u64 {
+    pub fn boundary_distance(&self, a: u32, b: u32) -> u64 {
         if a == b {
             0
         } else {
