@@ -1,0 +1,39 @@
+//! Criterion bench for the lazy-action layer (DESIGN.md §13): one
+//! `PathApply`/`ComponentApply` tag versus the eager per-vertex
+//! `vertex_weight` + `set_weight` loop it replaces, through the
+//! connectivity engine.  Path corridors run on the 2048-vertex path over
+//! the link-cut backend (the eager leg enumerates the corridor as
+//! `min..=max`, which only a path topology allows); component updates
+//! re-weight a whole spanning tree over the euler-treap backend.  A JSON
+//! baseline recorded from this workload lives at
+//! `crates/bench/baselines/bulk_update.json` (regenerate with
+//! `cargo run --release -p dyntree_bench --bin bulk_update_baseline`).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyntree_bench::{bulk_component_update_time, bulk_path_update_time, weighted_bench_forests};
+
+fn bench_bulk_updates(c: &mut Criterion) {
+    let rounds = 200;
+
+    let mut group = c.benchmark_group("bulk_update");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (leg, eager) in [("lazy", false), ("eager", true)] {
+        group.bench_function(format!("path-{leg}/PATH-2048"), |b| {
+            b.iter(|| bulk_path_update_time(eager, 2_048, rounds, 17))
+        });
+    }
+    for (name, forest) in &weighted_bench_forests() {
+        for (leg, eager) in [("lazy", false), ("eager", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("component-{leg}"), name),
+                forest,
+                |b, f| b.iter(|| bulk_component_update_time(eager, f, rounds, 23)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_updates);
+criterion_main!(benches);

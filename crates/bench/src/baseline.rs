@@ -9,8 +9,9 @@
 //! parser only ever meet files this module itself produced.
 
 use crate::{
-    batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, connectivity_bench_streams,
-    memory_peak_of_trace, parallel_scaling_apply_time, parallel_scaling_apply_time_rebuild,
+    batch_ops_apply_time_with, batch_ops_single_time, batch_ops_traces, bulk_component_update_time,
+    bulk_path_update_time, connectivity_bench_streams, memory_peak_of_trace,
+    parallel_scaling_apply_time, parallel_scaling_apply_time_rebuild,
     parallel_scaling_delete_trace, parallel_scaling_trace, serve_apply_time, serve_bench_mix,
     serve_plain_apply_time, serve_reader_query_time, stream_batch_replay_time, stream_replay_time,
     weighted_bench_forests, weighted_path_query_time, ConnBackend, WeightedBackend,
@@ -266,6 +267,66 @@ pub fn weighted_path_query_rows() -> Baseline {
     }
     Baseline {
         workload: "weighted_path_queries".into(),
+        results,
+    }
+}
+
+/// Measures the `bulk_update` workload: lazy `PathApply`/`ComponentApply`
+/// throughput next to the eager per-vertex `set_weight` loop each one
+/// replaces (DESIGN.md §13).  The legs are measured at different round
+/// counts — the lazy ops are several orders of magnitude faster and need
+/// more rounds for a clean clock — but both metrics are per-bulk-update, so
+/// the gap between `lazy_updates_per_s` and `eager_updates_per_s` in one
+/// row *is* the speedup the lazy-action layer buys.  The path rows run on
+/// the 2048-vertex path (where the eager leg can enumerate the corridor
+/// without engine help); the component rows re-weight a whole spanning
+/// tree per update.
+pub fn bulk_update_rows() -> Baseline {
+    let reps = bench_reps();
+    let (lazy_rounds, eager_rounds) = (20_000usize, 200usize);
+    let mut results = Vec::new();
+
+    let lazy = best_of(reps, || {
+        bulk_path_update_time(false, 2_048, lazy_rounds, 17).0
+    });
+    let eager = best_of(reps, || {
+        bulk_path_update_time(true, 2_048, eager_rounds, 17).0
+    });
+    results.push(BaselineRow {
+        id: vec![
+            ("forest".into(), "PATH-2048".into()),
+            ("ops".into(), lazy_rounds.to_string()),
+            ("backend".into(), "linkcut".into()),
+            ("op".into(), "path_apply".into()),
+        ],
+        metrics: vec![
+            ("lazy_updates_per_s".into(), lazy_rounds as f64 / lazy),
+            ("eager_updates_per_s".into(), eager_rounds as f64 / eager),
+        ],
+    });
+
+    for (label, forest) in &weighted_bench_forests() {
+        let lazy = best_of(reps, || {
+            bulk_component_update_time(false, forest, lazy_rounds, 23).0
+        });
+        let eager = best_of(reps, || {
+            bulk_component_update_time(true, forest, eager_rounds, 23).0
+        });
+        results.push(BaselineRow {
+            id: vec![
+                ("forest".into(), (*label).into()),
+                ("ops".into(), lazy_rounds.to_string()),
+                ("backend".into(), "euler-treap".into()),
+                ("op".into(), "component_apply".into()),
+            ],
+            metrics: vec![
+                ("lazy_updates_per_s".into(), lazy_rounds as f64 / lazy),
+                ("eager_updates_per_s".into(), eager_rounds as f64 / eager),
+            ],
+        });
+    }
+    Baseline {
+        workload: "bulk_update".into(),
         results,
     }
 }

@@ -28,8 +28,9 @@
 //!   (the recorders default to 3).
 
 use dyntree_bench::baseline::{
-    baselines_dir, batch_ops_rows, compare, connectivity_stream_rows, memory_usage_rows,
-    parallel_scaling_rows, serve_throughput_rows, weighted_path_query_rows, Baseline,
+    baselines_dir, batch_ops_rows, bulk_update_rows, compare, connectivity_stream_rows,
+    memory_usage_rows, parallel_scaling_rows, serve_throughput_rows, weighted_path_query_rows,
+    Baseline,
 };
 
 /// How a workload's ratios are judged.
@@ -62,7 +63,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.15);
 
-    let workloads: [Workload; 6] = [
+    let workloads: [Workload; 7] = [
         (
             "connectivity_stream.json",
             connectivity_stream_rows,
@@ -74,6 +75,7 @@ fn main() {
             weighted_path_query_rows,
             Rule::Median,
         ),
+        ("bulk_update.json", bulk_update_rows, Rule::Median),
         ("parallel_scaling.json", parallel_scaling_rows, Rule::Median),
         ("serve_throughput.json", serve_throughput_rows, Rule::Median),
         ("memory_usage.json", memory_usage_rows, Rule::EveryCell),

@@ -1,0 +1,14 @@
+//! Measures lazy bulk re-weighting (`PathApply`/`ComponentApply`) against
+//! the eager per-vertex `set_weight` loop it replaces and emits the baseline
+//! JSON stored at `crates/bench/baselines/bulk_update.json`.
+//!
+//! Run with: `cargo run --release -p dyntree_bench --bin bulk_update_baseline`
+//!
+//! The row computation lives in [`dyntree_bench::baseline`], shared with the
+//! `bench_gate` binary so the gate re-measures exactly what was recorded.
+
+use dyntree_bench::baseline::bulk_update_rows;
+
+fn main() {
+    print!("{}", bulk_update_rows().to_json());
+}

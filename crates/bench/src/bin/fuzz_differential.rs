@@ -302,6 +302,155 @@ fn semantic_diff(seed: u64, name: &str, reference: &str, a: &Run, b: &Run) -> bo
     ok
 }
 
+/// Structural-only agreement: a backend that *declines* bulk weight ops
+/// must still keep the identical graph (bulk ops never touch structure).
+/// Outcomes are not compared — the whole point is that they differ
+/// (`Rejected(UnsupportedQuery)` vs `PathApplied`/`ComponentApplied`).
+fn structural_diff(seed: u64, name: &str, reference: &str, a: &Run, b: &Run) -> bool {
+    let mut ok = true;
+    if let Some(err) = &a.invariant_error {
+        println!("seed {seed}: [{name}] invariant violation: {err}");
+        ok = false;
+    }
+    if (a.vertices, a.components, a.edges) != (b.vertices, b.components, b.edges) {
+        println!(
+            "seed {seed}: [{name}] final state ({} vertices, {} components, {} edges) != \
+             [{reference}] ({}, {}, {})",
+            a.vertices, a.components, a.edges, b.vertices, b.components, b.edges
+        );
+        ok = false;
+    }
+    if a.live_edges != b.live_edges || a.partition != b.partition {
+        println!(
+            "seed {seed}: [{name}] live-edge registry / partition diverges from [{reference}]"
+        );
+        ok = false;
+    }
+    ok
+}
+
+/// The lazy-action differential: traces seeded with bulk weight ops,
+/// checked against the one-op-at-a-time naive replay (an *eager* re-fold
+/// oracle — it rewrites every touched weight at apply time, while the lazy
+/// backends park a pending action and push it down on access).
+///
+/// Three traces per seed, because backends differ in what they support:
+///
+/// * **path trace** (`PathApply` only): link-cut — the lazy path backend —
+///   at three parallel configs plus batched naive, all byte-identical and
+///   outcome-identical to the oracle.  `PathApplied { count }` is
+///   comparable across backends because the *engine* owns every tree/non-
+///   tree decision, so all backends maintain the same spanning forest.
+/// * **component trace** (`ComponentApply` only): Euler-tour (lazy subtree
+///   tags) plus batched naive against the oracle.
+/// * **mixed trace** (both): batched naive vs the oracle — pins that bulk
+///   outcomes are independent of batch boundaries.
+///
+/// The ufo backend replays the path and component traces too, held to the
+/// structural contract only: it declines every bulk op yet must end with
+/// the identical graph.  Always byte-strict, even under `--semantic` —
+/// bulk ops are applied sequentially in op order, so there is no config
+/// where byte-identity is not contracted.
+fn bulk_leg(
+    seed: u64,
+    ops: usize,
+    batch: usize,
+    vertices: usize,
+    telemetry: bool,
+    wide: ParallelConfig,
+) -> bool {
+    let mut ok = true;
+
+    let path_batches = FuzzTraceGen::new(seed ^ 0xB117C)
+        .with_ops(ops)
+        .with_vertices(vertices)
+        .with_bulk_applies(0.04, 0.0)
+        .batches(batch);
+    let truth = oracle(&path_batches, telemetry);
+    if let Some(err) = &truth.invariant_error {
+        println!("seed {seed}: [bulk-path oracle] invariant violation: {err}");
+        ok = false;
+    }
+    let runs = [
+        (
+            "bulk-path linkcut",
+            replay::<dyntree_linkcut::LinkCutForest>(
+                &path_batches,
+                ParallelConfig::default(),
+                telemetry,
+            ),
+        ),
+        (
+            "bulk-path linkcut-seq",
+            replay::<dyntree_linkcut::LinkCutForest>(
+                &path_batches,
+                ParallelConfig::sequential(),
+                telemetry,
+            ),
+        ),
+        (
+            "bulk-path linkcut-wide",
+            replay::<dyntree_linkcut::LinkCutForest>(&path_batches, wide, telemetry),
+        ),
+        (
+            "bulk-path naive",
+            replay::<NaiveForest>(&path_batches, ParallelConfig::default(), telemetry),
+        ),
+    ];
+    for (name, run) in &runs {
+        ok &= diff(seed, name, runs[0].0, run, &runs[0].1, true);
+        ok &= diff(seed, name, "oracle", run, &truth, false);
+    }
+    let ufo = replay::<ufo_forest::UfoForest>(&path_batches, ParallelConfig::default(), telemetry);
+    ok &= structural_diff(seed, "bulk-path ufo", "oracle", &ufo, &truth);
+
+    let comp_batches = FuzzTraceGen::new(seed ^ 0xC03B47)
+        .with_ops(ops)
+        .with_vertices(vertices)
+        .with_bulk_applies(0.0, 0.03)
+        .batches(batch);
+    let truth = oracle(&comp_batches, telemetry);
+    if let Some(err) = &truth.invariant_error {
+        println!("seed {seed}: [bulk-comp oracle] invariant violation: {err}");
+        ok = false;
+    }
+    let runs = [
+        (
+            "bulk-comp euler-treap",
+            replay::<dyntree_euler::EulerTourForest<TreapSequence>>(
+                &comp_batches,
+                ParallelConfig::default(),
+                telemetry,
+            ),
+        ),
+        (
+            "bulk-comp euler-treap-wide",
+            replay::<dyntree_euler::EulerTourForest<TreapSequence>>(&comp_batches, wide, telemetry),
+        ),
+        (
+            "bulk-comp naive",
+            replay::<NaiveForest>(&comp_batches, ParallelConfig::default(), telemetry),
+        ),
+    ];
+    for (name, run) in &runs {
+        ok &= diff(seed, name, runs[0].0, run, &runs[0].1, true);
+        ok &= diff(seed, name, "oracle", run, &truth, false);
+    }
+    let ufo = replay::<ufo_forest::UfoForest>(&comp_batches, ParallelConfig::default(), telemetry);
+    ok &= structural_diff(seed, "bulk-comp ufo", "oracle", &ufo, &truth);
+
+    let mixed_batches = FuzzTraceGen::new(seed ^ 0x3D1F05)
+        .with_ops(ops)
+        .with_vertices(vertices)
+        .with_bulk_applies(0.02, 0.02)
+        .batches(batch);
+    let truth = oracle(&mixed_batches, telemetry);
+    let naive = replay::<NaiveForest>(&mixed_batches, ParallelConfig::default(), telemetry);
+    ok &= diff(seed, "bulk-mixed naive", "oracle", &naive, &truth, false);
+
+    ok
+}
+
 fn main() {
     let mut seeds = 32u64;
     let mut ops = 20_000usize;
@@ -443,6 +592,9 @@ fn main() {
         // relaxed canonical-outcome contract
         let hatch = replay::<ufo_forest::UfoForest>(&batches, rebuild, telemetry);
         seed_ok &= semantic_diff(seed, "ufo-rebuild", "oracle", &hatch, &truth);
+        // the lazy-action differential rides every sweep (byte-strict; see
+        // `bulk_leg` for why `--semantic` does not relax it)
+        seed_ok &= bulk_leg(seed, ops, batch, vertices, telemetry, wide);
         if seed_ok {
             println!(
                 "seed {seed}: ok ({} ops, {} components, {} edges)",

@@ -27,16 +27,22 @@ use std::collections::{HashMap, HashSet};
 use dyntree_primitives::algebra::{Agg, SumMinMax};
 use dyntree_primitives::ops::GraphOp;
 use dyntree_primitives::Dsu;
-use dyntree_serve::UfoServingEngine;
+use dyntree_serve::{NaiveServingEngine, UfoServingEngine};
 use dyntree_workloads::{ServeMixGen, ServeQuery};
 
 /// Writer-trace replay on plain containers, mirroring the engine's
 /// validation rules (independent of the serving crate's labels machinery).
+///
+/// `bulk` mirrors whether the backend under test supports `ComponentApply`
+/// (ufo: no — the op is rejected and weights stay put; naive: yes).
+/// `PathApply` never appears in serve traces: its touched set depends on
+/// the engine's forest shape, which an edge-set replay cannot know.
 #[derive(Default)]
 struct Oracle {
     len: usize,
     edges: HashSet<(usize, usize)>,
     weights: Vec<i64>,
+    bulk: bool,
 }
 
 /// Frozen per-epoch answers.
@@ -72,8 +78,37 @@ impl Oracle {
                         self.weights[v] = w;
                     }
                 }
+                GraphOp::ComponentApply(v, delta) => {
+                    if self.bulk && v < self.len {
+                        for x in self.component_of(v) {
+                            self.weights[x] = self.weights[x].saturating_add(delta);
+                        }
+                    }
+                }
+                GraphOp::PathApply(..) => {}
             }
         }
+    }
+
+    /// BFS over the edge set: all vertices in `v`'s component.
+    fn component_of(&self, v: usize) -> Vec<usize> {
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        let mut seen = HashSet::from([v]);
+        let mut queue = vec![v];
+        let mut out = vec![v];
+        while let Some(x) = queue.pop() {
+            for &y in adj.get(&x).map_or(&[][..], |n| n) {
+                if seen.insert(y) {
+                    out.push(y);
+                    queue.push(y);
+                }
+            }
+        }
+        out
     }
 
     fn freeze(&self) -> OracleEpoch {
@@ -153,9 +188,12 @@ fn run_seed(seed: u64, ops: usize, batch: usize, readers: usize) -> Vec<String> 
         .with_batch_size(batch)
         .with_readers(readers)
         .with_queries_per_reader(2_500)
+        .with_component_applies(0.015)
         .generate();
 
-    // the deterministic oracle: one frozen table per epoch
+    // the deterministic oracle: one frozen table per epoch.  The ufo
+    // backend declines ComponentApply (typed rejection, weights untouched),
+    // so the oracle replays with bulk=false.
     let mut oracle = Oracle::default();
     let mut epochs = vec![oracle.freeze()];
     for b in &mix.writer_batches {
@@ -166,6 +204,7 @@ fn run_seed(seed: u64, ops: usize, batch: usize, readers: usize) -> Vec<String> 
     // the live run: writer + concurrent readers recording stamped answers
     let mut serving = UfoServingEngine::new(0);
     let handle = serving.reader();
+    let mut shadow_drift = Vec::new();
     let recorded: Vec<Vec<Recorded>> = std::thread::scope(|scope| {
         let joins: Vec<_> = mix
             .reader_queries
@@ -193,13 +232,18 @@ fn run_seed(seed: u64, ops: usize, batch: usize, readers: usize) -> Vec<String> 
                 })
             })
             .collect();
-        for b in &mix.writer_batches {
+        for (i, b) in mix.writer_batches.iter().enumerate() {
             serving.apply(b);
+            // release-mode counterpart of apply's debug cross-check: the
+            // shadow weight table must match the backend after every batch
+            if let Err(e) = serving.verify_shadow_weights() {
+                shadow_drift.push(format!("after batch {i}: {e}"));
+            }
         }
         joins.into_iter().map(|j| j.join().unwrap()).collect()
     });
 
-    let mut diverged = Vec::new();
+    let mut diverged = shadow_drift;
     for (r, stream) in recorded.iter().enumerate() {
         let mut last_epoch = 0u64;
         for rec in stream {
@@ -295,6 +339,73 @@ fn run_seed(seed: u64, ops: usize, batch: usize, readers: usize) -> Vec<String> 
     diverged
 }
 
+/// Sequential differential over the naive backend, which *supports*
+/// `ComponentApply` — so unlike the ufo leg, the batches actually mutate
+/// weights in bulk and the serving layer's shadow-table refresh path runs
+/// for real.  Replays the same writer trace batch-by-batch, verifying the
+/// shadow table against the backend and the published epoch against the
+/// bulk-aware oracle after every batch.
+fn run_seed_naive_shadow(seed: u64, ops: usize, batch: usize) -> Vec<String> {
+    let mix = ServeMixGen::new(seed)
+        .with_ops(ops)
+        .with_batch_size(batch)
+        .with_component_applies(0.015)
+        .generate();
+
+    let mut oracle = Oracle {
+        bulk: true,
+        ..Oracle::default()
+    };
+    let mut serving = NaiveServingEngine::new(0);
+    let mut reader = serving.reader();
+    let mut diverged = Vec::new();
+    for (i, b) in mix.writer_batches.iter().enumerate() {
+        serving.apply(b);
+        oracle.apply(b);
+        if let Err(e) = serving.verify_shadow_weights() {
+            diverged.push(format!("naive leg, after batch {i}: {e}"));
+            return diverged;
+        }
+        let truth = oracle.freeze();
+        let snap = reader.snapshot();
+        if snap.vertices != truth.len {
+            diverged.push(format!(
+                "naive leg, epoch {}: vertices {} vs oracle {}",
+                i + 1,
+                snap.vertices,
+                truth.len
+            ));
+            return diverged;
+        }
+        // spot-check a spread of vertices per epoch (full sweep would make
+        // the leg quadratic in trace length)
+        for v in [0usize, 3, 17, truth.len / 2, truth.len.saturating_sub(1)] {
+            if v >= truth.len {
+                continue;
+            }
+            let got = snap.component_agg(v);
+            let want = truth.component_agg(v);
+            if got != want {
+                diverged.push(format!(
+                    "naive leg, epoch {}: component_agg({v}) {got:?} vs {want:?}",
+                    i + 1
+                ));
+                return diverged;
+            }
+            if snap.component_size(v) != truth.component_size(v) {
+                diverged.push(format!(
+                    "naive leg, epoch {}: component_size({v}) {} vs {}",
+                    i + 1,
+                    snap.component_size(v),
+                    truth.component_size(v)
+                ));
+                return diverged;
+            }
+        }
+    }
+    diverged
+}
+
 fn main() {
     let mut seeds = 16u64;
     let mut ops = 20_000usize;
@@ -337,6 +448,11 @@ fn main() {
             }
             seed_ok &= diverged.is_empty();
         }
+        let naive_diverged = run_seed_naive_shadow(seed, ops, batch);
+        for d in &naive_diverged {
+            println!("seed {seed} (naive shadow leg): {d}");
+        }
+        seed_ok &= naive_diverged.is_empty();
         if seed_ok {
             println!("seed {seed}: ok ({ops} ops, readers {reader_counts:?})");
         } else {

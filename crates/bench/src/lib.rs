@@ -480,6 +480,10 @@ fn single_ops<B: SpanningBackend<Weights = dyntree_primitives::algebra::SumMinMa
             GraphOp::InsertEdge(u, v) => engine.try_insert_edge(u, v).is_ok(),
             GraphOp::DeleteEdge(u, v) => engine.try_delete_edge(u, v).is_ok(),
             GraphOp::SetWeight(v, w) => engine.try_set_weight(v, w).is_ok(),
+            GraphOp::PathApply(u, v, d) => {
+                matches!(engine.try_path_apply(u, v, d), Ok(Some(_)))
+            }
+            GraphOp::ComponentApply(v, d) => engine.try_component_apply(v, d).is_ok(),
         };
         applied += ok as u64;
     }
@@ -921,6 +925,115 @@ pub fn serve_reader_query_time(mix: &ServeMix, readers: usize) -> (f64, u64) {
     )
 }
 
+// ------------------------------------------------------------------
+// Bulk-update harness (lazy actions vs the eager SetWeight loop)
+// ------------------------------------------------------------------
+
+/// Builds a weighted engine over `forest` carrying the deterministic
+/// initial weight table the weighted benches use.
+fn bulk_engine<B: SpanningBackend<Weights = ufo_forest::SumMinMax>>(
+    forest: &Forest,
+) -> DynConnectivity<B> {
+    let mut engine: DynConnectivity<B> = DynConnectivity::new(forest.n);
+    for &(u, v) in &forest.edges {
+        engine.insert_edge(u, v);
+    }
+    for v in 0..forest.n {
+        engine.set_weight(v, ((v * 37) % 1001) as i64 - 500);
+    }
+    engine
+}
+
+/// Reads the full weight table back out of the engine and folds it into a
+/// checksum.  The lazy and the eager leg of a bulk-update measurement draw
+/// identical corridors from identical seeds, so their final tables — and
+/// therefore these checksums — must agree; the readback also forces every
+/// pending lazy tag down, so the lazy leg cannot cheat by leaving work
+/// undone in the tags.
+fn weight_table_checksum<B: SpanningBackend<Weights = ufo_forest::SumMinMax>>(
+    engine: &mut DynConnectivity<B>,
+) -> u64 {
+    (0..engine.len()).fold(0u64, |acc, v| {
+        acc.wrapping_add(engine.vertex_weight(v).unwrap_or(0) as u64)
+    })
+}
+
+/// Performs `rounds` corridor re-weightings over an `n`-vertex path through
+/// a link-cut engine; returns elapsed seconds and the final weight-table
+/// checksum.  `eager == false` is the lazy-action leg: one `try_path_apply`
+/// per corridor (an O(log n) pending tag, DESIGN.md §13).  `eager == true`
+/// replays the pre-action alternative it replaces: one `vertex_weight` +
+/// `set_weight` round trip per corridor vertex.  The topology is a path
+/// precisely so the eager leg knows the corridor (`min..=max`) without any
+/// engine support — on a general tree only the engine knows the path, which
+/// is the asymmetry the lazy op exists to close.
+pub fn bulk_path_update_time(eager: bool, n: usize, rounds: usize, seed: u64) -> (f64, u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let forest = path_tree(n);
+    let mut engine: DynConnectivity<LinkCutForest> = bulk_engine(&forest);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut touched = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        let delta = rng.random_range(-50i64..=50);
+        if eager {
+            for x in u.min(v)..=u.max(v) {
+                let w = engine.vertex_weight(x).expect("in-range weighted vertex");
+                engine.set_weight(x, w + delta);
+                touched += 1;
+            }
+        } else {
+            touched += engine
+                .try_path_apply(u, v, delta)
+                .expect("valid endpoints on a path-apply backend")
+                .expect("one tree: always connected");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(touched);
+    (elapsed, weight_table_checksum(&mut engine))
+}
+
+/// Component counterpart of [`bulk_path_update_time`], over the euler-treap
+/// backend (the engine's `SUPPORTS_COMPONENT_APPLY` structure).  `forest`
+/// spans all of its vertices, so every round re-weights the whole table:
+/// one `try_component_apply` on the lazy leg versus `forest.n` read+write
+/// round trips on the eager leg.
+pub fn bulk_component_update_time(
+    eager: bool,
+    forest: &Forest,
+    rounds: usize,
+    seed: u64,
+) -> (f64, u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut engine: DynConnectivity<EulerTourForest<TreapSequence>> = bulk_engine(forest);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut touched = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let anchor = rng.random_range(0..forest.n);
+        let delta = rng.random_range(-50i64..=50);
+        if eager {
+            for x in 0..forest.n {
+                let w = engine.vertex_weight(x).expect("in-range weighted vertex");
+                engine.set_weight(x, w + delta);
+                touched += 1;
+            }
+        } else {
+            touched += engine
+                .try_component_apply(anchor, delta)
+                .expect("valid anchor on a component-apply backend");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(touched);
+    (elapsed, weight_table_checksum(&mut engine))
+}
+
 /// Formats a result row for the figure binaries.
 pub fn print_row(label: &str, cells: &[(String, f64)]) {
     print!("{:<14}", label);
@@ -978,6 +1091,20 @@ mod tests {
             checksums.windows(2).all(|w| w[0] == w[1]),
             "weighted backends disagree: {checksums:?}"
         );
+    }
+
+    #[test]
+    fn bulk_update_legs_agree_on_the_final_weight_table() {
+        // same seed → same corridors; one lazy tag per corridor must leave
+        // exactly the table the per-vertex loop leaves (and the checksum
+        // readback flushes every pending tag, so nothing hides in them)
+        let (_, lazy) = bulk_path_update_time(false, 96, 40, 9);
+        let (_, eager) = bulk_path_update_time(true, 96, 40, 9);
+        assert_eq!(lazy, eager, "path legs diverge");
+        let forest = random_tree(96, 3);
+        let (_, lazy) = bulk_component_update_time(false, &forest, 40, 9);
+        let (_, eager) = bulk_component_update_time(true, &forest, 40, 9);
+        assert_eq!(lazy, eager, "component legs diverge");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use dyntree_euler::{BatchEulerForest, EulerTourForest};
 use dyntree_linkcut::LinkCutForest;
 use dyntree_naive::NaiveForest;
-use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax, WeightOf};
+use dyntree_primitives::algebra::{ActionOf, Agg, CommutativeMonoid, SumMinMax, WeightOf};
 use dyntree_primitives::ops::EdgeKind;
 use dyntree_seqs::DynSequence;
 use ufo_forest::{TopologyForest, UfoForest};
@@ -61,6 +61,24 @@ pub trait SpanningBackend: Send + Sync {
     /// certificates are a strict subset of what the sequential walk's own
     /// prefix DSU already proves, so the fan-out would be pure overhead.
     const SNAPSHOT_QUERIES: bool = false;
+
+    /// Whether [`path_apply`](Self::path_apply) can answer.  `true` only for
+    /// backends whose path access exposes the path as one lazily-taggable
+    /// unit (link-cut trees) or that walk it explicitly (the naive oracle);
+    /// the contraction-based backends would need lazy tags threaded through
+    /// their cluster merge trees, which they do not have (DESIGN.md §13).
+    const SUPPORTS_PATH_APPLY: bool = false;
+
+    /// Whether [`component_apply`](Self::component_apply) can answer.
+    /// `true` for Euler tour trees (a component is one sequence, so the tag
+    /// lands on its root in `O(log n)`) and the naive oracle.
+    const SUPPORTS_COMPONENT_APPLY: bool = false;
+
+    /// Whether [`subtree_apply`](Self::subtree_apply) can answer.  Currently
+    /// only the naive oracle: Euler tours expose a subtree as a contiguous
+    /// range but the range endpoints are edge arcs, not yet split-taggable
+    /// through the backend surface.
+    const SUPPORTS_SUBTREE_APPLY: bool = false;
 
     /// Creates a forest of `n` isolated vertices.
     fn new(n: usize) -> Self;
@@ -116,6 +134,50 @@ pub trait SpanningBackend: Send + Sync {
     fn set_weight(&mut self, v: usize, w: WeightOf<Self::Weights>) -> bool {
         let _ = (v, w);
         false
+    }
+
+    /// Returns the current weight of vertex `v`, or `None` when the backend
+    /// is unweighted.  `&mut self` because splay-based backends may
+    /// restructure (or push pending lazy tags) to read a single vertex.  The
+    /// serving layer uses this to re-base its shadow weight table after bulk
+    /// updates, whose effects cannot be replayed from the op stream alone.
+    fn vertex_weight(&mut self, v: usize) -> Option<WeightOf<Self::Weights>> {
+        let _ = v;
+        None
+    }
+
+    /// Applies `act` to every vertex weight on the spanning-tree path from
+    /// `u` to `v` (inclusive; `u == v` touches one vertex) and returns the
+    /// number of vertices updated, or `None` when `u` and `v` are
+    /// disconnected.  Only called when
+    /// [`SUPPORTS_PATH_APPLY`](Self::SUPPORTS_PATH_APPLY) is `true`; the
+    /// default declines.
+    fn path_apply(&mut self, u: usize, v: usize, act: ActionOf<Self::Weights>) -> Option<u64> {
+        let _ = (u, v, act);
+        None
+    }
+
+    /// Applies `act` to every vertex weight in `v`'s tree and returns the
+    /// number of vertices updated (at least 1).  Only called when
+    /// [`SUPPORTS_COMPONENT_APPLY`](Self::SUPPORTS_COMPONENT_APPLY) is
+    /// `true`; the default declines with `None`.
+    fn component_apply(&mut self, v: usize, act: ActionOf<Self::Weights>) -> Option<u64> {
+        let _ = (v, act);
+        None
+    }
+
+    /// Applies `act` to every vertex weight in the subtree of `v` away from
+    /// `parent` and returns the number of vertices updated, or `None` when
+    /// `(v, parent)` is not a forest edge.  Only called when
+    /// [`SUPPORTS_SUBTREE_APPLY`](Self::SUPPORTS_SUBTREE_APPLY) is `true`.
+    fn subtree_apply(
+        &mut self,
+        v: usize,
+        parent: usize,
+        act: ActionOf<Self::Weights>,
+    ) -> Option<u64> {
+        let _ = (v, parent, act);
+        None
     }
 
     /// Number of vertices in `v`'s tree, when the backend can answer faster
@@ -197,6 +259,11 @@ impl<M: CommutativeMonoid> SpanningBackend for UfoForest<M> {
         UfoForest::set_weight(self, v, w);
         true
     }
+    fn vertex_weight(&mut self, v: usize) -> Option<WeightOf<M>> {
+        Some(UfoForest::weight(self, v))
+    }
+    // The bulk applies stay at their declining defaults: cluster aggregates
+    // in the contraction engine have no lazy-tag channel (DESIGN.md §13).
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(UfoForest::component_size(self, v))
     }
@@ -256,6 +323,12 @@ impl<M: CommutativeMonoid> SpanningBackend for TopologyForest<M> {
         TopologyForest::set_weight(self, v, w);
         true
     }
+    fn vertex_weight(&mut self, v: usize) -> Option<WeightOf<M>> {
+        Some(TopologyForest::weight(self, v))
+    }
+    // Bulk applies decline, like ufo: the ternarized contraction engine has
+    // no lazy-tag channel, and a component-wide action would also have to
+    // skip phantom ternarization slots.
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(TopologyForest::component_size(self, v))
     }
@@ -285,6 +358,9 @@ impl<M: CommutativeMonoid> SpanningBackend for LinkCutForest<M> {
     // Link-cut trees aggregate preferred paths, not whole trees (Table 1's
     // "no subtree queries" row).
     const SUPPORTS_COMPONENT_AGG: bool = false;
+    // Exposing the u–v path as one splay tree makes bulk path updates an
+    // O(log n) lazy tag on its root.
+    const SUPPORTS_PATH_APPLY: bool = true;
     // SNAPSHOT_QUERIES stays false: splaying restructures on every access,
     // so `connected_snapshot` / `edge_kind_snapshot` keep their declining
     // defaults and the batch layers take the sequential walk.
@@ -308,10 +384,16 @@ impl<M: CommutativeMonoid> SpanningBackend for LinkCutForest<M> {
         LinkCutForest::set_weight(self, v, w);
         true
     }
+    fn vertex_weight(&mut self, v: usize) -> Option<WeightOf<M>> {
+        Some(LinkCutForest::weight(self, v))
+    }
     // component_agg stays `None`: link-cut trees aggregate preferred paths,
     // not whole trees (Table 1's "no subtree queries" row).
     fn path_agg(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
         LinkCutForest::path_aggregate(self, u, v)
+    }
+    fn path_apply(&mut self, u: usize, v: usize, act: ActionOf<M>) -> Option<u64> {
+        LinkCutForest::path_apply(self, u, v, act)
     }
     fn memory_bytes(&self) -> usize {
         LinkCutForest::memory_bytes(self)
@@ -324,6 +406,9 @@ impl<M: CommutativeMonoid, S: DynSequence<M>> SpanningBackend for EulerTourFores
     const WEIGHTED: bool = true;
     const SUPPORTS_PATH_AGG: bool = true;
     const SUPPORTS_COMPONENT_AGG: bool = true;
+    // A component is one Euler tour sequence: the action is a lazy tag on
+    // its root, O(log n).
+    const SUPPORTS_COMPONENT_APPLY: bool = true;
 
     fn new(n: usize) -> Self {
         EulerTourForest::new(n)
@@ -343,6 +428,12 @@ impl<M: CommutativeMonoid, S: DynSequence<M>> SpanningBackend for EulerTourFores
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         EulerTourForest::set_weight(self, v, w);
         true
+    }
+    fn vertex_weight(&mut self, v: usize) -> Option<WeightOf<M>> {
+        Some(EulerTourForest::weight(self, v))
+    }
+    fn component_apply(&mut self, v: usize, act: ActionOf<M>) -> Option<u64> {
+        Some(EulerTourForest::component_apply(self, v, act))
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(EulerTourForest::component_size(self, v) as u64)
@@ -365,6 +456,7 @@ impl<S: DynSequence<SumMinMax>> SpanningBackend for BatchEulerForest<S> {
     const WEIGHTED: bool = true;
     const SUPPORTS_PATH_AGG: bool = true;
     const SUPPORTS_COMPONENT_AGG: bool = true;
+    const SUPPORTS_COMPONENT_APPLY: bool = true;
 
     fn new(n: usize) -> Self {
         BatchEulerForest::new(n)
@@ -384,6 +476,12 @@ impl<S: DynSequence<SumMinMax>> SpanningBackend for BatchEulerForest<S> {
     fn set_weight(&mut self, v: usize, w: i64) -> bool {
         self.forest_mut().set_weight(v, w);
         true
+    }
+    fn vertex_weight(&mut self, v: usize) -> Option<i64> {
+        Some(self.forest().weight(v))
+    }
+    fn component_apply(&mut self, v: usize, act: ActionOf<SumMinMax>) -> Option<u64> {
+        Some(self.forest_mut().component_apply(v, act))
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(self.forest_mut().component_size(v) as u64)
@@ -406,6 +504,11 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     const SUPPORTS_PATH_AGG: bool = true;
     const SUPPORTS_COMPONENT_AGG: bool = true;
     const SNAPSHOT_QUERIES: bool = true;
+    // The oracle walks vertex lists, so it supports every bulk apply — it is
+    // the differential-testing reference for all of them.
+    const SUPPORTS_PATH_APPLY: bool = true;
+    const SUPPORTS_COMPONENT_APPLY: bool = true;
+    const SUPPORTS_SUBTREE_APPLY: bool = true;
 
     fn new(n: usize) -> Self {
         NaiveForest::new(n)
@@ -435,6 +538,18 @@ impl<M: CommutativeMonoid> SpanningBackend for NaiveForest<M> {
     fn set_weight(&mut self, v: usize, w: WeightOf<M>) -> bool {
         NaiveForest::set_weight(self, v, w);
         true
+    }
+    fn vertex_weight(&mut self, v: usize) -> Option<WeightOf<M>> {
+        Some(NaiveForest::weight(self, v))
+    }
+    fn path_apply(&mut self, u: usize, v: usize, act: ActionOf<M>) -> Option<u64> {
+        NaiveForest::path_apply(self, u, v, act)
+    }
+    fn component_apply(&mut self, v: usize, act: ActionOf<M>) -> Option<u64> {
+        Some(NaiveForest::component_apply(self, v, act))
+    }
+    fn subtree_apply(&mut self, v: usize, parent: usize, act: ActionOf<M>) -> Option<u64> {
+        NaiveForest::subtree_apply(self, v, parent, act)
     }
     fn component_size(&mut self, v: usize) -> Option<u64> {
         Some(NaiveForest::component_size(self, v) as u64)
@@ -494,6 +609,86 @@ mod tests {
             "{}: disconnected path must be None",
             B::NAME
         );
+    }
+
+    fn exercise_bulk_applies<B: SpanningBackend<Weights = SumMinMax>>() {
+        use dyntree_primitives::algebra::AddConst;
+        let mut b = B::new(5);
+        b.link(0, 1);
+        b.link(1, 2);
+        b.link(3, 4);
+        let mut expect = [0i64; 5];
+        for (v, w) in expect.iter_mut().enumerate() {
+            b.set_weight(v, v as i64);
+            *w = v as i64;
+        }
+        let r = b.path_apply(0, 2, AddConst(10));
+        assert_eq!(
+            r.is_some(),
+            B::SUPPORTS_PATH_APPLY,
+            "{}: path_apply answers iff advertised",
+            B::NAME
+        );
+        if B::SUPPORTS_PATH_APPLY {
+            assert_eq!(r, Some(3), "{}", B::NAME);
+            for w in expect.iter_mut().take(3) {
+                *w += 10;
+            }
+            assert_eq!(
+                b.path_apply(0, 3, AddConst(1)),
+                None,
+                "{}: disconnected pair is None",
+                B::NAME
+            );
+            assert_eq!(
+                b.path_apply(2, 2, AddConst(5)),
+                Some(1),
+                "{}: single-vertex path",
+                B::NAME
+            );
+            expect[2] += 5;
+        }
+        let r = b.component_apply(4, AddConst(100));
+        assert_eq!(
+            r.is_some(),
+            B::SUPPORTS_COMPONENT_APPLY,
+            "{}: component_apply answers iff advertised",
+            B::NAME
+        );
+        if B::SUPPORTS_COMPONENT_APPLY {
+            assert_eq!(r, Some(2), "{}", B::NAME);
+            expect[3] += 100;
+            expect[4] += 100;
+        }
+        let r = b.subtree_apply(1, 0, AddConst(1000));
+        assert_eq!(
+            r.is_some(),
+            B::SUPPORTS_SUBTREE_APPLY,
+            "{}: subtree_apply answers iff advertised",
+            B::NAME
+        );
+        if B::SUPPORTS_SUBTREE_APPLY {
+            assert_eq!(r, Some(2), "{}", B::NAME);
+            expect[1] += 1000;
+            expect[2] += 1000;
+            assert_eq!(
+                b.subtree_apply(0, 2, AddConst(1)),
+                None,
+                "{}: not a forest edge",
+                B::NAME
+            );
+        }
+        if B::WEIGHTED {
+            for (v, &w) in expect.iter().enumerate() {
+                assert_eq!(b.vertex_weight(v), Some(w), "{}: vertex {v}", B::NAME);
+            }
+            if let Some(agg) = b.component_agg(0) {
+                assert_eq!(agg.sum, expect[0] + expect[1] + expect[2], "{}", B::NAME);
+            }
+            if let Some(agg) = b.path_agg(0, 2) {
+                assert_eq!(agg.sum, expect[0] + expect[1] + expect[2], "{}", B::NAME);
+            }
+        }
     }
 
     fn exercise_growth<B: SpanningBackend>() {
@@ -632,6 +827,16 @@ mod tests {
         exercise::<EulerTourForest<TreapSequence>>();
         exercise::<BatchEulerForest<TreapSequence>>();
         exercise::<NaiveForest>();
+    }
+
+    #[test]
+    fn bulk_applies_answer_iff_advertised() {
+        exercise_bulk_applies::<UfoForest>();
+        exercise_bulk_applies::<TopologyForest>();
+        exercise_bulk_applies::<LinkCutForest>();
+        exercise_bulk_applies::<EulerTourForest<TreapSequence>>();
+        exercise_bulk_applies::<BatchEulerForest<TreapSequence>>();
+        exercise_bulk_applies::<NaiveForest>();
     }
 
     #[test]

@@ -993,6 +993,24 @@ impl<B: SpanningBackend> DynConnectivity<B> {
                     });
                     i += 1;
                 }
+                // The bulk applies run as singletons, like SetWeight: they
+                // mutate weights sequentially in op order, so reports are
+                // byte-identical at every thread count by construction.
+                GraphOp::PathApply(u, v, delta) => {
+                    report.record(match self.try_path_apply(u, v, delta) {
+                        Ok(Some(count)) => OpOutcome::PathApplied { count },
+                        Ok(None) => OpOutcome::from_error(GraphError::Disconnected { u, v }),
+                        Err(e) => OpOutcome::from_error(e),
+                    });
+                    i += 1;
+                }
+                GraphOp::ComponentApply(v, delta) => {
+                    report.record(match self.try_component_apply(v, delta) {
+                        Ok(count) => OpOutcome::ComponentApplied { count },
+                        Err(e) => OpOutcome::from_error(e),
+                    });
+                    i += 1;
+                }
             }
         }
     }
@@ -1261,6 +1279,56 @@ mod tests {
         assert_eq!(report.outcomes[3], OpOutcome::WeightSet);
         assert!(g.connected(0, 3));
         assert_eq!(g.component_sum(3), Some(9));
+    }
+
+    #[test]
+    fn bulk_apply_ops_report_counts_and_typed_declines() {
+        use crate::{EulerConnectivity, LinkCutConnectivity};
+        // Link-cut: path applies work, component applies decline.
+        let mut g = LinkCutConnectivity::new(5);
+        let report = g.apply(&[
+            GraphOp::InsertEdge(0, 1),
+            GraphOp::InsertEdge(1, 2),
+            GraphOp::InsertEdge(3, 4),
+            GraphOp::SetWeight(1, 7),
+            GraphOp::PathApply(0, 2, 10),
+            GraphOp::PathApply(0, 3, 1),   // disconnected: benign skip
+            GraphOp::PathApply(0, 99, 1),  // out of range: rejected
+            GraphOp::ComponentApply(0, 1), // linkcut declines: rejected
+        ]);
+        use OpOutcome::*;
+        assert_eq!(
+            &report.outcomes[3..],
+            &[
+                WeightSet,
+                PathApplied { count: 3 },
+                Skipped(GraphError::Disconnected { u: 0, v: 3 }),
+                Rejected(GraphError::VertexOutOfRange { v: 99, len: 5 }),
+                Rejected(GraphError::UnsupportedQuery),
+            ]
+        );
+        assert_eq!(g.path_sum(0, 2), Some(7 + 30));
+        assert_eq!(g.path_sum(3, 4), Some(0), "other component untouched");
+
+        // Euler: component applies work, path applies decline.
+        let mut g = EulerConnectivity::new(4);
+        let report = g.apply(&[
+            GraphOp::InsertEdge(0, 1),
+            GraphOp::InsertEdge(1, 2),
+            GraphOp::ComponentApply(2, 100),
+            GraphOp::PathApply(0, 2, 1), // euler declines: rejected
+        ]);
+        assert_eq!(
+            &report.outcomes[2..],
+            &[
+                ComponentApplied { count: 3 },
+                Rejected(GraphError::UnsupportedQuery),
+            ]
+        );
+        assert_eq!(g.component_sum(0), Some(300));
+        assert_eq!(g.component_sum(3), Some(0), "isolated vertex untouched");
+        // the bulk update is visible through per-vertex readback too
+        assert_eq!(g.vertex_weight(1), Some(100));
     }
 
     #[test]

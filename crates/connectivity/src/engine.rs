@@ -1,7 +1,7 @@
 //! The [`DynConnectivity`] engine: a spanning forest in a pluggable backend,
 //! plus the HDT level machinery for replacement-edge search on deletions.
 
-use dyntree_primitives::algebra::{Agg, SumMinMax, WeightOf};
+use dyntree_primitives::algebra::{Action, ActionOf, Agg, SumMinMax, WeightOf};
 use dyntree_primitives::hash::{fx_map_with_capacity, FxHashMap};
 use dyntree_primitives::ops::{DeleteOutcome, EdgeKind, GraphError};
 use dyntree_primitives::telemetry::{Counter, TelemetrySnapshot};
@@ -238,6 +238,73 @@ impl<B: SpanningBackend> DynConnectivity<B> {
     /// not care *why* a weight was declined; prefer the typed variant.
     pub fn set_weight(&mut self, v: Vertex, w: WeightOf<B::Weights>) -> bool {
         self.try_set_weight(v, w).is_ok()
+    }
+
+    /// Reads the current weight of vertex `v` back from the backend.  `None`
+    /// for an out-of-range id or an unweighted backend.  `&mut self` because
+    /// splay-based backends may restructure (or push lazy tags) on reads;
+    /// the serving layer uses this to re-base its shadow weight table after
+    /// bulk updates.
+    pub fn vertex_weight(&mut self, v: Vertex) -> Option<WeightOf<B::Weights>> {
+        if v >= self.n {
+            return None;
+        }
+        self.backend.vertex_weight(v)
+    }
+
+    /// Applies the weight delta `delta` to every vertex on the spanning-tree
+    /// path between `u` and `v` (inclusive; `u == v` touches one vertex).
+    /// `Ok(Some(count))` reports how many vertices were updated;
+    /// `Ok(None)` means `u` and `v` are disconnected (benign — the batch
+    /// layer records a skip).  Declines with
+    /// [`GraphError::VertexOutOfRange`] for invalid ids,
+    /// [`GraphError::Unweighted`] for unweighted backends, and
+    /// [`GraphError::UnsupportedQuery`] when the backend has no lazy path
+    /// updates (ufo/topology/euler) or the weight monoid's action cannot
+    /// interpret an additive delta (see `Action::from_delta`).
+    ///
+    /// Like [`path_agg`](Self::path_agg), the path is the *spanning-tree*
+    /// path the HDT engine happens to maintain, not a shortest path.
+    pub fn try_path_apply(
+        &mut self,
+        u: Vertex,
+        v: Vertex,
+        delta: WeightOf<B::Weights>,
+    ) -> Result<Option<u64>, GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if !B::WEIGHTED {
+            return Err(GraphError::Unweighted);
+        }
+        if !B::SUPPORTS_PATH_APPLY {
+            return Err(GraphError::UnsupportedQuery);
+        }
+        let act = <ActionOf<B::Weights> as Action<B::Weights>>::from_delta(delta)
+            .ok_or(GraphError::UnsupportedQuery)?;
+        Ok(self.backend.path_apply(u, v, act))
+    }
+
+    /// Applies the weight delta `delta` to every vertex in `v`'s component
+    /// and returns how many vertices were updated (at least 1).  Declines
+    /// exactly like [`try_path_apply`](Self::try_path_apply), gated on
+    /// `SUPPORTS_COMPONENT_APPLY` (euler/naive only).
+    pub fn try_component_apply(
+        &mut self,
+        v: Vertex,
+        delta: WeightOf<B::Weights>,
+    ) -> Result<u64, GraphError> {
+        self.check_vertex(v)?;
+        if !B::WEIGHTED {
+            return Err(GraphError::Unweighted);
+        }
+        if !B::SUPPORTS_COMPONENT_APPLY {
+            return Err(GraphError::UnsupportedQuery);
+        }
+        let act = <ActionOf<B::Weights> as Action<B::Weights>>::from_delta(delta)
+            .ok_or(GraphError::UnsupportedQuery)?;
+        self.backend
+            .component_apply(v, act)
+            .ok_or(GraphError::UnsupportedQuery)
     }
 
     /// Validates a vertex id against the current vertex set.

@@ -1,0 +1,178 @@
+//! Property-based differential for the bulk weight ops (`PathApply` /
+//! `ComponentApply`): arbitrary op sequences — deliberate out-of-range ids
+//! included — replayed through every supporting backend at pool widths 1, 2
+//! and 8 and several batch sizes, against the naive engine fed one op at a
+//! time (an *eager* oracle: it rewrites every touched weight at apply time,
+//! while the lazy backends park pending actions and push them down on
+//! access).
+//!
+//! Comparisons are byte-strict where the engine contracts byte-identity:
+//! flattened per-op outcomes and the final per-vertex weight readback must
+//! match the oracle exactly, and `BatchReport` renderings must be identical
+//! across widths at a fixed batch size.  The weight readback is what forces
+//! a lazy backend to flush every tag it parked, so a push-down bug that
+//! never surfaced through an aggregate query still fails here.
+
+use dyntree_connectivity::{DynConnectivity, GraphOp, OpOutcome, SpanningBackend};
+use dyntree_euler::EulerTourForest;
+use dyntree_linkcut::LinkCutForest;
+use dyntree_naive::NaiveForest;
+use dyntree_primitives::algebra::SumMinMax;
+use dyntree_primitives::ParallelConfig;
+use dyntree_seqs::{SplaySequence, TreapSequence};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Universe size every replay starts with.
+const N: usize = 16;
+/// Ids range a little past the universe so every sequence carries some
+/// deliberately invalid ops, which must be rejected identically everywhere.
+const ID: std::ops::Range<usize> = 0..N + 2;
+
+/// Arbitrary op sequences; `path` / `comp` gate which bulk kinds appear so
+/// each property can target the backends that support them.
+fn ops_strategy(path: bool, comp: bool) -> impl Strategy<Value = Vec<GraphOp>> {
+    let mut arms: Vec<BoxedStrategy<GraphOp>> = vec![
+        // inserts twice: uniform choice otherwise leaves the graph too
+        // sparse for paths/components worth applying over
+        (ID, ID)
+            .prop_map(|uv| GraphOp::InsertEdge(uv.0, uv.1))
+            .boxed(),
+        (ID, ID)
+            .prop_map(|uv| GraphOp::InsertEdge(uv.0, uv.1))
+            .boxed(),
+        (ID, ID)
+            .prop_map(|uv| GraphOp::DeleteEdge(uv.0, uv.1))
+            .boxed(),
+        (ID, -100i64..100)
+            .prop_map(|vw| GraphOp::SetWeight(vw.0, vw.1))
+            .boxed(),
+    ];
+    if path {
+        arms.push(
+            (ID, ID, -50i64..50)
+                .prop_map(|t| GraphOp::PathApply(t.0, t.1, t.2))
+                .boxed(),
+        );
+    }
+    if comp {
+        arms.push(
+            (ID, -50i64..50)
+                .prop_map(|vd| GraphOp::ComponentApply(vd.0, vd.1))
+                .boxed(),
+        );
+    }
+    proptest::collection::vec(proptest::Union::new(arms), 0..120)
+}
+
+/// One replay: rendered reports (timing stripped), flattened outcomes, and
+/// the final per-vertex weight readback (the lazy-tag flush).
+fn replay<B: SpanningBackend<Weights = SumMinMax>>(
+    ops: &[GraphOp],
+    batch: usize,
+    threads: usize,
+) -> (Vec<String>, Vec<OpOutcome>, Vec<Option<i64>>) {
+    // fine grains so the parallel pre-passes engage even on tiny batches
+    let cfg = ParallelConfig {
+        threads,
+        batch_grain: 4,
+        chunk_grain: 4,
+        delete_grain: 8,
+        ..ParallelConfig::default()
+    };
+    let mut g: DynConnectivity<B> = DynConnectivity::new(N).with_parallel_config(cfg);
+    let mut reports = Vec::new();
+    let mut outcomes = Vec::new();
+    for chunk in ops.chunks(batch.max(1)) {
+        let mut r = g.apply(chunk);
+        r.telemetry = None;
+        outcomes.extend(r.outcomes.iter().copied());
+        reports.push(format!("{r:?}"));
+    }
+    let weights = (0..g.len()).map(|v| g.vertex_weight(v)).collect();
+    (reports, outcomes, weights)
+}
+
+/// Asserts a backend's outcomes and final weights are invariant under batch
+/// size and pool width (bulk ops run sequentially in op order, so there is
+/// no config where this may drift).
+fn batch_and_width_independent<B: SpanningBackend<Weights = SumMinMax>>(
+    ops: &[GraphOp],
+) -> Result<(), TestCaseError> {
+    let base = replay::<B>(ops, 1, 1);
+    for &(batch, threads) in &[(8usize, 2usize), (64, 8)] {
+        let run = replay::<B>(ops, batch, threads);
+        prop_assert_eq!(
+            &run.1,
+            &base.1,
+            "outcomes drifted at batch {} x{}",
+            batch,
+            threads
+        );
+        prop_assert_eq!(
+            &run.2,
+            &base.2,
+            "weights drifted at batch {} x{}",
+            batch,
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Link-cut is the lazy *path* backend; `PathApplied { count }` is
+    // comparable against naive because the engine owns every tree/non-tree
+    // decision, so both maintain the same spanning forest.
+    #[test]
+    fn path_applies_are_differential_clean_at_every_width(
+        ops in ops_strategy(true, false),
+    ) {
+        let (_, oracle_out, oracle_w) = replay::<NaiveForest>(&ops, 1, 1);
+        let legs = [
+            replay::<LinkCutForest>(&ops, 8, 1),
+            replay::<LinkCutForest>(&ops, 8, 2),
+            replay::<LinkCutForest>(&ops, 8, 8),
+            replay::<NaiveForest>(&ops, 8, 1),
+        ];
+        for (reports, out, w) in &legs {
+            prop_assert_eq!(reports, &legs[0].0);
+            prop_assert_eq!(out, &oracle_out);
+            prop_assert_eq!(w, &oracle_w);
+        }
+    }
+
+    // Euler-tour (both sequence flavors) is the lazy *component* backend.
+    #[test]
+    fn component_applies_are_differential_clean_at_every_width(
+        ops in ops_strategy(false, true),
+    ) {
+        let (_, oracle_out, oracle_w) = replay::<NaiveForest>(&ops, 1, 1);
+        let legs = [
+            replay::<EulerTourForest<TreapSequence>>(&ops, 8, 1),
+            replay::<EulerTourForest<TreapSequence>>(&ops, 8, 2),
+            replay::<EulerTourForest<TreapSequence>>(&ops, 8, 8),
+            replay::<EulerTourForest<SplaySequence>>(&ops, 8, 1),
+            replay::<NaiveForest>(&ops, 8, 1),
+        ];
+        for (reports, out, w) in &legs {
+            prop_assert_eq!(reports, &legs[0].0);
+            prop_assert_eq!(out, &oracle_out);
+            prop_assert_eq!(w, &oracle_w);
+        }
+    }
+
+    // Mixed sequences (both bulk kinds, so every backend sees ops it
+    // declines): each backend must still be batch- and width-independent.
+    #[test]
+    fn mixed_bulk_sequences_are_batch_and_width_independent(
+        ops in ops_strategy(true, true),
+    ) {
+        batch_and_width_independent::<LinkCutForest>(&ops)?;
+        batch_and_width_independent::<EulerTourForest<TreapSequence>>(&ops)?;
+        batch_and_width_independent::<NaiveForest>(&ops)?;
+        batch_and_width_independent::<ufo_forest::UfoForest>(&ops)?;
+    }
+}

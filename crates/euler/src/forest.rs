@@ -3,7 +3,7 @@
 
 use dyntree_primitives::hash::FxHashMap;
 
-use dyntree_seqs::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
+use dyntree_seqs::{ActionOf, Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
 /// Narrows a vertex id or sequence handle to its stored `u32` form (the
 /// in-tree sequence backends allocate slab ids well below `u32::MAX`).
@@ -40,7 +40,9 @@ pub struct EulerTourForest<S: DynSequence<M>, M: CommutativeMonoid = SumMinMax> 
     nbrs: Vec<Vec<(u32, u32)>>,
     /// Live edge count (`nbrs` stores two entries per edge).
     edges: usize,
-    weights: Vec<M::Weight>,
+    /// Weights live in the sequence nodes, not here (see [`Self::weight`]);
+    /// the monoid only parameterizes `seq`'s node payloads.
+    _monoid: std::marker::PhantomData<M>,
 }
 
 impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
@@ -55,7 +57,7 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
             vertex_node,
             nbrs: vec![Vec::new(); n],
             edges: 0,
-            weights: vec![M::Weight::default(); n],
+            _monoid: std::marker::PhantomData,
         }
     }
 
@@ -95,7 +97,6 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
             let h = self.seq.make(M::Weight::default(), true);
             self.vertex_node.push(h);
             self.nbrs.push(Vec::new());
-            self.weights.push(M::Weight::default());
         }
     }
 
@@ -116,13 +117,26 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
 
     /// Sets the weight of vertex `v`.
     pub fn set_weight(&mut self, v: usize, w: M::Weight) {
-        self.weights[v] = w;
         self.seq.set_value(self.vertex_node[v], w);
     }
 
-    /// Returns the weight of vertex `v`.
+    /// Returns the weight of vertex `v`, read from its tour occurrence node.
+    /// The sequence is the single source of truth — bulk actions applied via
+    /// [`component_apply`](Self::component_apply) land there, so a separate
+    /// weight mirror would silently diverge.
     pub fn weight(&self, v: usize) -> M::Weight {
-        self.weights[v]
+        self.seq.value(self.vertex_node[v])
+    }
+
+    /// Applies `act` to every vertex of the component containing `v` and
+    /// returns the number of vertices touched (≥ 1).  `O(1)` beyond finding
+    /// the tour root: a single pending tag covers the whole tour, and arc
+    /// (non-item) nodes are skipped by the sequence layer.
+    pub fn component_apply(&mut self, v: usize, act: ActionOf<M>) -> u64 {
+        let h = self.vertex_node[v];
+        let count = self.seq.aggregate(h).count;
+        self.seq.apply_seq(h, act);
+        count
     }
 
     /// Re-roots the Euler tour of `v`'s tree so that it starts at `v`.
@@ -243,7 +257,7 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
     /// column records this asymmetry.
     pub fn path_aggregate(&mut self, u: usize, v: usize) -> Option<Agg<M>> {
         if u == v {
-            return Some(Agg::vertex(self.weights[u]));
+            return Some(Agg::vertex(self.weight(u)));
         }
         // predecessor map confined to the traversed component
         let mut pred: FxHashMap<usize, usize> = FxHashMap::default();
@@ -264,11 +278,11 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
         if !pred.contains_key(&v) {
             return None;
         }
-        let mut agg = Agg::vertex(self.weights[v]);
+        let mut agg = Agg::vertex(self.weight(v));
         let mut cur = v;
         while cur != u {
             cur = pred[&cur];
-            agg = Agg::<M>::combine(agg, Agg::vertex(self.weights[cur])).cross_edge();
+            agg = Agg::<M>::combine(agg, Agg::vertex(self.weight(cur))).cross_edge();
         }
         Some(agg)
     }
@@ -284,7 +298,6 @@ impl<S: DynSequence<M>, M: CommutativeMonoid> EulerTourForest<S, M> {
             + self.nbrs.capacity() * std::mem::size_of::<Vec<(u32, u32)>>();
         self.seq.memory_bytes()
             + self.vertex_node.capacity() * std::mem::size_of::<Handle>()
-            + self.weights.capacity() * std::mem::size_of::<M::Weight>()
             + nbr_bytes
     }
 }
@@ -462,6 +475,44 @@ mod tests {
         assert_eq!(f.path_sum(4, 6), Some(4 + 6));
         assert!(f.path_aggregate(0, 1).is_none(), "odd leaves detached");
         assert_eq!(f.num_edges(), (n - 1) / 2);
+    }
+
+    fn component_apply_shifts_one_component<S: DynSequence>() {
+        use dyntree_primitives::algebra::AddConst;
+        let mut f = EulerTourForest::<S>::new(8);
+        for v in 0..8 {
+            f.set_weight(v, v as i64);
+        }
+        // components {0,1,2,3}, {4,5}, {6}, {7}
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (4, 5)] {
+            assert!(f.link(u, v));
+        }
+        assert_eq!(f.component_apply(2, AddConst(100)), 4);
+        assert_eq!(f.component_sum(0), 100 + 101 + 102 + 103);
+        assert_eq!(f.component_sum(4), 4 + 5, "other components untouched");
+        assert_eq!(f.weight(1), 101, "weight reads through the tour");
+        assert_eq!(f.weight(4), 4);
+        // the singleton case: the tag lands on a lone occurrence node
+        assert_eq!(f.component_apply(6, AddConst(-6)), 1);
+        assert_eq!(f.weight(6), 0);
+        // arc (non-item) nodes stay identity: cut after a bulk apply and
+        // re-check both halves against the eager expectation
+        assert!(f.cut(1, 2));
+        assert_eq!(f.component_sum(0), 100 + 101);
+        assert_eq!(f.component_sum(3), 102 + 103);
+        assert_eq!(f.subtree_sum(1, 0), Some(101));
+        // path fallback reads acted weights
+        assert_eq!(f.path_sum(2, 3), Some(102 + 103));
+    }
+
+    #[test]
+    fn treap_component_apply() {
+        component_apply_shifts_one_component::<TreapSequence>();
+    }
+
+    #[test]
+    fn splay_component_apply() {
+        component_apply_shifts_one_component::<SplaySequence>();
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! The link-cut forest implementation, generic over the aggregation monoid.
 
-use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax};
+use dyntree_primitives::algebra::{Action, ActionOf, Agg, CommutativeMonoid, SumMinMax};
 
 const NIL: usize = usize::MAX;
+
+/// The identity action of `M`'s update monoid (bound-shortening helper).
+#[inline]
+fn no_act<M: CommutativeMonoid>() -> ActionOf<M> {
+    <ActionOf<M> as Action<M>>::IDENTITY
+}
 
 /// One splay-tree node per represented vertex.
 #[derive(Clone, Debug)]
@@ -18,6 +24,11 @@ struct Node<M: CommutativeMonoid> {
     /// must be commutative.
     agg: M::Value,
     size: usize,
+    /// Lazy action still to be applied to the *children's* splay subtrees;
+    /// this node's own `value` and `agg` already reflect every tag placed
+    /// on it (DESIGN.md §13).  Orthogonal to `flip`: actions are pointwise,
+    /// so reversal and update commute.
+    pending: ActionOf<M>,
 }
 
 impl<M: CommutativeMonoid> Node<M> {
@@ -29,6 +40,7 @@ impl<M: CommutativeMonoid> Node<M> {
             value,
             agg: M::lift(value),
             size: 1,
+            pending: no_act::<M>(),
         }
     }
 }
@@ -98,8 +110,35 @@ impl<M: CommutativeMonoid> LinkCutForest<M> {
     }
 
     /// Returns the weight of vertex `v`.
+    ///
+    /// The stored value lags any action tags still pending on strict splay
+    /// ancestors, so this folds them in (closest ancestor innermost) by a
+    /// read-only walk.  The walk stops at path-parent pointers: a pending
+    /// tag applies only to the holder's own splay subtree, and `v` is not in
+    /// the subtree of a node it reaches via a path-parent edge.
     pub fn weight(&self, v: usize) -> M::Weight {
-        self.nodes[v].value
+        let mut acc = no_act::<M>();
+        let mut cur = v;
+        loop {
+            let p = self.nodes[cur].parent;
+            if p == NIL || (self.nodes[p].child[0] != cur && self.nodes[p].child[1] != cur) {
+                break;
+            }
+            acc = ActionOf::<M>::compose(self.nodes[p].pending, acc);
+            cur = p;
+        }
+        acc.act_weight(self.nodes[v].value)
+    }
+
+    /// Applies `act` to every vertex on the `u`–`v` path (inclusive) and
+    /// returns the number of vertices touched, or `None` if the endpoints
+    /// are disconnected.  `O(log n)` amortized: the exposed path becomes one
+    /// splay tree and a single pending tag covers it.
+    pub fn path_apply(&mut self, u: usize, v: usize, act: ActionOf<M>) -> Option<u64> {
+        let x = self.expose_path(u, v)?;
+        let count = self.nodes[x].size as u64;
+        self.apply_node(x, act);
+        Some(count)
     }
 
     /// Inserts the edge `(u, v)`.  Returns `false` if `u == v` or the edge
@@ -211,7 +250,26 @@ impl<M: CommutativeMonoid> LinkCutForest<M> {
         Some(v)
     }
 
+    /// Applies `a` to the whole splay subtree rooted at `x`, eagerly on
+    /// `x`'s own value and aggregate and lazily (pending tag) on children.
+    fn apply_node(&mut self, x: usize, a: ActionOf<M>) {
+        if x == NIL || a.is_identity() {
+            return;
+        }
+        let size = self.nodes[x].size as u64;
+        let node = &mut self.nodes[x];
+        node.value = a.act_weight(node.value);
+        node.agg = a.act_value(node.agg, size);
+        node.pending = ActionOf::<M>::compose(a, node.pending);
+    }
+
     fn update(&mut self, x: usize) {
+        // Callers always splay (hence push) before updating; a pending tag
+        // here would mean folding stale child aggs over an acted own agg.
+        debug_assert!(
+            self.nodes[x].pending.is_identity(),
+            "update on a node with a pending action"
+        );
         let (l, r) = (self.nodes[x].child[0], self.nodes[x].child[1]);
         let mut agg = M::lift(self.nodes[x].value);
         let mut size = 1;
@@ -236,6 +294,13 @@ impl<M: CommutativeMonoid> LinkCutForest<M> {
                     self.nodes[c].flip ^= true;
                 }
             }
+        }
+        let p = self.nodes[x].pending;
+        if !p.is_identity() {
+            self.nodes[x].pending = no_act::<M>();
+            let (l, r) = (self.nodes[x].child[0], self.nodes[x].child[1]);
+            self.apply_node(l, p);
+            self.apply_node(r, p);
         }
     }
 
@@ -437,6 +502,84 @@ mod tests {
         assert_eq!(f.path_sum(0, 2), Some(-2));
         assert_eq!(f.path_min(0, 2), Some(-2));
         assert_eq!(f.weight(1), -2);
+    }
+
+    #[test]
+    fn path_apply_shifts_exactly_the_path() {
+        use dyntree_primitives::algebra::AddConst;
+        let mut f: LinkCutForest = LinkCutForest::new(8);
+        for v in 0..8 {
+            f.set_weight(v, v as i64 * 10);
+        }
+        // star centred at 0 plus a tail 3-6-7
+        for v in 1..6 {
+            f.link(0, v);
+        }
+        f.link(3, 6);
+        f.link(6, 7);
+        // path 7-6-3-0-5: five vertices gain 1000
+        assert_eq!(f.path_apply(7, 5, AddConst(1000)), Some(5));
+        assert_eq!(f.weight(7), 1070);
+        assert_eq!(f.weight(6), 1060);
+        assert_eq!(f.weight(3), 1030);
+        assert_eq!(f.weight(0), 1000);
+        assert_eq!(f.weight(5), 1050);
+        assert_eq!(f.weight(1), 10, "off-path vertices untouched");
+        assert_eq!(f.weight(4), 40);
+        assert_eq!(f.path_sum(1, 1), Some(10));
+        assert_eq!(f.path_sum(7, 5), Some(1070 + 1060 + 1030 + 1000 + 1050));
+        // aggregates reflect the action immediately, and survive rerooting:
+        // the 1–2 path runs through the shifted centre 0
+        f.make_root(7);
+        assert_eq!(f.path_max(1, 2), Some(1000));
+        assert_eq!(f.path_sum(1, 2), Some(10 + 1000 + 20));
+        // a single-vertex path is a count-1 apply
+        assert_eq!(f.path_apply(4, 4, AddConst(2)), Some(1));
+        assert_eq!(f.weight(4), 42);
+        // disconnected endpoints decline
+        let mut g: LinkCutForest = LinkCutForest::new(3);
+        assert_eq!(g.path_apply(0, 2, AddConst(1)), None);
+    }
+
+    #[test]
+    fn stacked_path_applies_compose() {
+        use dyntree_primitives::algebra::AddConst;
+        let n = 400;
+        let mut f: LinkCutForest = LinkCutForest::new(n);
+        let mut mirror: Vec<i64> = (0..n as i64).collect();
+        for v in 0..n {
+            f.set_weight(v, v as i64);
+        }
+        for v in 0..n - 1 {
+            f.link(v, v + 1);
+        }
+        // overlapping segment shifts on the path graph, mirrored naively
+        let segs = [
+            (10usize, 200usize, 7i64),
+            (150, 399, -3),
+            (0, 180, 11),
+            (180, 150, 5),
+        ];
+        for &(a, b, d) in &segs {
+            assert_eq!(
+                f.path_apply(a, b, AddConst(d)),
+                Some((a.abs_diff(b) + 1) as u64)
+            );
+            let (lo, hi) = (a.min(b), a.max(b));
+            for m in mirror[lo..=hi].iter_mut() {
+                *m += d;
+            }
+        }
+        for v in (0..n).step_by(13) {
+            assert_eq!(f.weight(v), mirror[v], "vertex {v}");
+        }
+        let want: i64 = mirror.iter().sum();
+        assert_eq!(f.path_sum(0, n - 1), Some(want));
+        // cut inside a tagged region and check both halves stay consistent
+        assert!(f.cut(199, 200));
+        let left: i64 = mirror[..200].iter().sum();
+        assert_eq!(f.path_sum(0, 199), Some(left));
+        assert_eq!(f.path_sum(200, n - 1), Some(want - left));
     }
 
     #[test]

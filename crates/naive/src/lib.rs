@@ -12,7 +12,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use dyntree_primitives::algebra::{Agg, CommutativeMonoid, SumMinMax};
+use dyntree_primitives::algebra::{Action, ActionOf, Agg, CommutativeMonoid, SumMinMax};
 
 /// A vertex identifier.
 pub type Vertex = usize;
@@ -215,6 +215,38 @@ impl<M: CommutativeMonoid> NaiveForest<M> {
     /// Monoid aggregate over the whole component containing `v`.
     pub fn component_aggregate(&self, v: Vertex) -> Agg<M> {
         self.fold(&self.component(v))
+    }
+
+    /// Applies `act` to every vertex weight on the `u`–`v` path (inclusive;
+    /// `u == v` touches exactly one vertex).  Returns the number of vertices
+    /// updated, or `None` if `u` and `v` are disconnected.
+    pub fn path_apply(&mut self, u: Vertex, v: Vertex, act: ActionOf<M>) -> Option<u64> {
+        let path = self.path(u, v)?;
+        for &x in &path {
+            self.weight[x] = act.act_weight(self.weight[x]);
+        }
+        Some(path.len() as u64)
+    }
+
+    /// Applies `act` to every vertex weight in the component of `v` and
+    /// returns the number of vertices updated (at least 1: `v` itself).
+    pub fn component_apply(&mut self, v: Vertex, act: ActionOf<M>) -> u64 {
+        let comp = self.component(v);
+        for &x in &comp {
+            self.weight[x] = act.act_weight(self.weight[x]);
+        }
+        comp.len() as u64
+    }
+
+    /// Applies `act` to every vertex weight in the subtree of `v` away from
+    /// `parent`.  Returns the number of vertices updated, or `None` if
+    /// `(v, parent)` is not an edge.
+    pub fn subtree_apply(&mut self, v: Vertex, parent: Vertex, act: ActionOf<M>) -> Option<u64> {
+        let sub = self.subtree_vertices(v, parent)?;
+        for &x in &sub {
+            self.weight[x] = act.act_weight(self.weight[x]);
+        }
+        Some(sub.len() as u64)
     }
 
     /// Size of the component containing `v`.
@@ -435,6 +467,38 @@ mod tests {
         assert_eq!(f.component_size(3), 3);
         assert_eq!(f.component_size(5), 1);
         assert_eq!(f.num_edges(), 3);
+    }
+
+    #[test]
+    fn bulk_applies_touch_exactly_the_target_set() {
+        use dyntree_primitives::algebra::AddConst;
+        // path 0-1-2-3-4-5 plus an isolated pair 6-7
+        let mut f: NaiveForest = NaiveForest::new(8);
+        for i in 0..5 {
+            f.link(i, i + 1);
+        }
+        f.link(6, 7);
+        for v in 0..8 {
+            f.set_weight(v, v as i64);
+        }
+        assert_eq!(f.path_apply(1, 3, AddConst(100)), Some(3));
+        assert_eq!(f.weight(0), 0);
+        assert_eq!(f.weight(1), 101);
+        assert_eq!(f.weight(2), 102);
+        assert_eq!(f.weight(3), 103);
+        assert_eq!(f.weight(4), 4);
+        assert_eq!(f.path_apply(2, 2, AddConst(1)), Some(1), "single vertex");
+        assert_eq!(f.weight(2), 103);
+        assert_eq!(f.path_apply(0, 6, AddConst(5)), None, "disconnected");
+        assert_eq!(f.component_apply(7, AddConst(-10)), 2);
+        assert_eq!(f.weight(6), -4);
+        assert_eq!(f.weight(7), -3);
+        assert_eq!(f.subtree_apply(3, 2, AddConst(1000)), Some(3));
+        assert_eq!(f.weight(3), 1103);
+        assert_eq!(f.weight(4), 1004);
+        assert_eq!(f.weight(5), 1005);
+        assert_eq!(f.weight(2), 103, "parent side untouched");
+        assert_eq!(f.subtree_apply(0, 5, AddConst(1)), None, "not an edge");
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub trait Monoid: Copy + Clone + Debug + PartialEq + Eq + Send + Sync + 'static 
     type Weight: Copy + Clone + Debug + Default + PartialEq + Send + Sync + 'static;
     /// Aggregate value.
     type Value: Copy + Clone + Debug + PartialEq + Send + Sync + 'static;
+    /// The update-map monoid whose elements act on this monoid's weights and
+    /// values (lazy bulk updates, DESIGN.md §13).  Monoids with no meaningful
+    /// bulk update use [`NoAction`], whose `from_delta` declines every delta.
+    type Update: Action<Self>;
 
     /// Name used in diagnostics and benchmark output.
     const NAME: &'static str;
@@ -79,6 +83,242 @@ pub trait InvertibleMonoid: CommutativeMonoid {
 pub type WeightOf<M> = <M as Monoid>::Weight;
 /// The value type of a monoid (bound-shortening alias).
 pub type ValueOf<M> = <M as Monoid>::Value;
+/// The update-action type of a monoid (bound-shortening alias).
+pub type ActionOf<M> = <M as Monoid>::Update;
+
+// ---------------------------------------------------------------------------
+// Actions: the update-map monoid behind lazy bulk updates
+// ---------------------------------------------------------------------------
+
+/// A monoid of *update maps* acting on a [`Monoid`]'s weights and values —
+/// the algebra behind lazy path/subtree/component updates (DESIGN.md §13).
+///
+/// An action is a pending tag a tree node can hold: "every weight below me
+/// has `self` applied to it, lazily".  For that to be sound the laws below
+/// must hold (checked by `crates/primitives/tests/action_laws.rs`):
+///
+/// * **Monoid:** `compose` is associative with identity [`Action::IDENTITY`].
+/// * **Action:** `compose(f, g).act_weight(w) == f.act_weight(g.act_weight(w))`
+///   — composing tags is the same as applying them innermost-first.
+/// * **Distributivity:** acting on an aggregate equals aggregating the acted
+///   weights: for disjoint folds `a` (over `ca` vertices) and `b` (over `cb`),
+///   `f.act_value(combine(a, b), ca + cb)
+///    == combine(f.act_value(a, ca), f.act_value(b, cb))`.
+///
+/// **Saturation caveat:** the shipped actions harden arithmetic with
+/// saturating ops, exactly like the shipped monoids, so the laws above are
+/// exact only away from the `i64` boundary and degrade to pinned values at
+/// it (see `boundary_saturation_is_consistent` in the tests).
+///
+/// The `count == 0` aggregate (empty or all-phantom) must be a fixed point
+/// of `act_value`: monoid identities like `min = i64::MAX` are sentinels,
+/// not data, and shifting them would corrupt later combines.
+pub trait Action<M: Monoid>: Copy + Clone + Debug + PartialEq + Eq + Send + Sync + 'static {
+    /// Name used in diagnostics and benchmark output.
+    const NAME: &'static str;
+
+    /// The do-nothing action: identity of `compose`, fixed point of `act_*`.
+    const IDENTITY: Self;
+
+    /// Sequential composition: the single action equivalent to applying
+    /// `inner` first, then `outer`.
+    fn compose(outer: Self, inner: Self) -> Self;
+
+    /// Applies the action to a single vertex weight.
+    fn act_weight(self, w: M::Weight) -> M::Weight;
+
+    /// Applies the action to an aggregate folded over `count` non-phantom
+    /// vertices, in `O(1)`.  When `count == 0` the value must be returned
+    /// unchanged.
+    fn act_value(self, v: M::Value, count: u64) -> M::Value;
+
+    /// Interprets a per-op weight delta (the payload of bulk graph ops) as
+    /// an action, or `None` when this monoid supports no bulk updates —
+    /// the typed decline the ops layer turns into `UnsupportedQuery`.
+    fn from_delta(delta: M::Weight) -> Option<Self>;
+
+    /// Whether this action is the identity (skippable without tagging).
+    fn is_identity(self) -> bool {
+        self == Self::IDENTITY
+    }
+}
+
+/// The trivial action: does nothing, declines every delta.  The `Update`
+/// type of monoids without a meaningful bulk update (e.g. [`Pair`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct NoAction;
+
+impl<M: Monoid> Action<M> for NoAction {
+    const NAME: &'static str = "none";
+    const IDENTITY: NoAction = NoAction;
+    fn compose(_outer: Self, _inner: Self) -> Self {
+        NoAction
+    }
+    fn act_weight(self, w: M::Weight) -> M::Weight {
+        w
+    }
+    fn act_value(self, v: M::Value, _count: u64) -> M::Value {
+        v
+    }
+    fn from_delta(_delta: M::Weight) -> Option<Self> {
+        None
+    }
+}
+
+/// Uniform additive shift: every weight in range gains the same constant.
+/// Acts on [`SumMinMax`], [`I64Min`], [`I64Max`] and [`MaxEdge`] (shifting
+/// all candidates by the same amount preserves the argmax carrier away from
+/// the saturation boundary; the [`WeightedId::NONE`] sentinel is left
+/// untouched).  `compose` is a saturating add, consistent with the monoids'
+/// own saturating arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct AddConst(pub i64);
+
+impl AddConst {
+    /// `self.0 · count` with the count clamped into `i64`, saturating.
+    #[inline]
+    fn times(self, count: u64) -> i64 {
+        self.0
+            .saturating_mul(i64::try_from(count).unwrap_or(i64::MAX))
+    }
+}
+
+impl Action<SumMinMax> for AddConst {
+    const NAME: &'static str = "add-const";
+    const IDENTITY: AddConst = AddConst(0);
+    fn compose(outer: Self, inner: Self) -> Self {
+        AddConst(outer.0.saturating_add(inner.0))
+    }
+    fn act_weight(self, w: i64) -> i64 {
+        w.saturating_add(self.0)
+    }
+    fn act_value(self, v: WeightStats, count: u64) -> WeightStats {
+        if count == 0 {
+            return v;
+        }
+        WeightStats {
+            sum: v.sum.saturating_add(self.times(count)),
+            min: v.min.saturating_add(self.0),
+            max: v.max.saturating_add(self.0),
+        }
+    }
+    fn from_delta(delta: i64) -> Option<Self> {
+        Some(AddConst(delta))
+    }
+}
+
+impl Action<I64Min> for AddConst {
+    const NAME: &'static str = "add-const";
+    const IDENTITY: AddConst = AddConst(0);
+    fn compose(outer: Self, inner: Self) -> Self {
+        AddConst(outer.0.saturating_add(inner.0))
+    }
+    fn act_weight(self, w: i64) -> i64 {
+        w.saturating_add(self.0)
+    }
+    fn act_value(self, v: i64, count: u64) -> i64 {
+        if count == 0 {
+            return v;
+        }
+        v.saturating_add(self.0)
+    }
+    fn from_delta(delta: i64) -> Option<Self> {
+        Some(AddConst(delta))
+    }
+}
+
+impl Action<I64Max> for AddConst {
+    const NAME: &'static str = "add-const";
+    const IDENTITY: AddConst = AddConst(0);
+    fn compose(outer: Self, inner: Self) -> Self {
+        AddConst(outer.0.saturating_add(inner.0))
+    }
+    fn act_weight(self, w: i64) -> i64 {
+        w.saturating_add(self.0)
+    }
+    fn act_value(self, v: i64, count: u64) -> i64 {
+        if count == 0 {
+            return v;
+        }
+        v.saturating_add(self.0)
+    }
+    fn from_delta(delta: i64) -> Option<Self> {
+        Some(AddConst(delta))
+    }
+}
+
+impl Action<MaxEdge> for AddConst {
+    const NAME: &'static str = "add-const";
+    const IDENTITY: AddConst = AddConst(0);
+    fn compose(outer: Self, inner: Self) -> Self {
+        AddConst(outer.0.saturating_add(inner.0))
+    }
+    fn act_weight(self, w: WeightedId) -> WeightedId {
+        // the NONE sentinel carries no weight to shift
+        if w.is_some() {
+            WeightedId {
+                weight: w.weight.saturating_add(self.0),
+                id: w.id,
+            }
+        } else {
+            w
+        }
+    }
+    fn act_value(self, v: WeightedId, count: u64) -> WeightedId {
+        if count == 0 {
+            return v;
+        }
+        Action::<MaxEdge>::act_weight(self, v)
+    }
+    /// The delta of a `MaxEdge` bulk op is carried in the `weight` field of
+    /// a [`WeightedId`]; its `id` is ignored.
+    fn from_delta(delta: WeightedId) -> Option<Self> {
+        Some(AddConst(delta.weight))
+    }
+}
+
+/// Affine update on saturating sums: `w ← mul·w + add`.  Closed under
+/// composition (`f ∘ g = {mul: f.mul·g.mul, add: f.mul·g.add + f.add}`),
+/// with every product and sum saturating — consistent with [`I64Sum`]'s own
+/// saturating `combine`/`uncombine`, so boundary behaviour degrades the
+/// same way on both sides of a differential test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AffineSum {
+    /// Multiplicative part, applied first.
+    pub mul: i64,
+    /// Additive part, applied second.
+    pub add: i64,
+}
+
+impl Action<I64Sum> for AffineSum {
+    const NAME: &'static str = "affine-sum";
+    const IDENTITY: AffineSum = AffineSum { mul: 1, add: 0 };
+    fn compose(outer: Self, inner: Self) -> Self {
+        AffineSum {
+            mul: outer.mul.saturating_mul(inner.mul),
+            add: outer
+                .mul
+                .saturating_mul(inner.add)
+                .saturating_add(outer.add),
+        }
+    }
+    fn act_weight(self, w: i64) -> i64 {
+        self.mul.saturating_mul(w).saturating_add(self.add)
+    }
+    fn act_value(self, v: i64, count: u64) -> i64 {
+        if count == 0 {
+            return v;
+        }
+        let n = i64::try_from(count).unwrap_or(i64::MAX);
+        self.mul
+            .saturating_mul(v)
+            .saturating_add(self.add.saturating_mul(n))
+    }
+    /// A plain delta is the affine map with `mul = 1`.
+    fn from_delta(delta: i64) -> Option<Self> {
+        Some(AffineSum { mul: 1, add: delta })
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Shipped monoids
@@ -103,6 +343,7 @@ pub enum SumMinMax {}
 impl Monoid for SumMinMax {
     type Weight = i64;
     type Value = WeightStats;
+    type Update = AddConst;
     const NAME: &'static str = "sum+min+max";
     const IDENTITY: WeightStats = WeightStats {
         sum: 0,
@@ -133,6 +374,7 @@ pub enum I64Sum {}
 impl Monoid for I64Sum {
     type Weight = i64;
     type Value = i64;
+    type Update = AffineSum;
     const NAME: &'static str = "sum";
     const IDENTITY: i64 = 0;
     fn lift(w: i64) -> i64 {
@@ -157,6 +399,7 @@ pub enum I64Min {}
 impl Monoid for I64Min {
     type Weight = i64;
     type Value = i64;
+    type Update = AddConst;
     const NAME: &'static str = "min";
     const IDENTITY: i64 = i64::MAX;
     fn lift(w: i64) -> i64 {
@@ -175,6 +418,7 @@ pub enum I64Max {}
 impl Monoid for I64Max {
     type Weight = i64;
     type Value = i64;
+    type Update = AddConst;
     const NAME: &'static str = "max";
     const IDENTITY: i64 = i64::MIN;
     fn lift(w: i64) -> i64 {
@@ -231,6 +475,7 @@ pub enum MaxEdge {}
 impl Monoid for MaxEdge {
     type Weight = WeightedId;
     type Value = WeightedId;
+    type Update = AddConst;
     const NAME: &'static str = "max-edge";
     const IDENTITY: WeightedId = WeightedId::NONE;
     fn lift(w: WeightedId) -> WeightedId {
@@ -256,6 +501,9 @@ pub struct Pair<A, B>(PhantomData<(A, B)>);
 impl<A: Monoid, B: Monoid<Weight = A::Weight>> Monoid for Pair<A, B> {
     type Weight = A::Weight;
     type Value = (A::Value, B::Value);
+    // No componentwise action ships: a lawful `Pair` update would need both
+    // factors to agree on one delta interpretation.  Declined instead.
+    type Update = NoAction;
     const NAME: &'static str = "pair";
     const IDENTITY: (A::Value, B::Value) = (A::IDENTITY, B::IDENTITY);
     fn lift(w: Self::Weight) -> Self::Value {
@@ -422,5 +670,132 @@ mod tests {
     fn invertible_sum_roundtrip() {
         let t = I64Sum::combine(10, 32);
         assert_eq!(I64Sum::uncombine(t, 32), 10);
+    }
+
+    #[test]
+    fn uncombine_pins_the_saturation_boundary() {
+        // "Exact away from the saturation boundary" — pin exactly what the
+        // boundary does so a refactor can't silently change it to wrapping.
+        assert_eq!(I64Sum::uncombine(i64::MIN, 1), i64::MIN);
+        assert_eq!(I64Sum::uncombine(i64::MAX, -1), i64::MAX);
+        assert_eq!(I64Sum::uncombine(i64::MIN, -1), i64::MIN + 1);
+        assert_eq!(I64Sum::uncombine(i64::MAX, 1), i64::MAX - 1);
+        // the classic roundtrip failure at the boundary: combine saturates,
+        // so uncombine cannot recover the pre-saturation operand
+        let t = I64Sum::combine(i64::MAX, 1);
+        assert_eq!(I64Sum::uncombine(t, 1), i64::MAX - 1);
+    }
+
+    #[test]
+    fn action_identity_and_composition_laws() {
+        type A = ActionOf<SumMinMax>;
+        let id = <A as Action<SumMinMax>>::IDENTITY;
+        let f = AddConst(5);
+        let g = AddConst(-3);
+        assert_eq!(<A as Action<SumMinMax>>::compose(f, id), f);
+        assert_eq!(<A as Action<SumMinMax>>::compose(id, f), f);
+        // action law: compose then act == act innermost-first
+        for w in [-7i64, 0, 42] {
+            assert_eq!(
+                Action::<SumMinMax>::act_weight(<A as Action<SumMinMax>>::compose(f, g), w),
+                Action::<SumMinMax>::act_weight(f, Action::<SumMinMax>::act_weight(g, w)),
+            );
+        }
+        assert!(Action::<SumMinMax>::is_identity(AddConst(0)));
+        assert!(!Action::<SumMinMax>::is_identity(f));
+    }
+
+    #[test]
+    fn add_const_distributes_over_sum_min_max() {
+        let a = Agg::<SumMinMax>::combine(Agg::vertex(3), Agg::vertex(-1));
+        let f = AddConst(10);
+        let acted = Action::<SumMinMax>::act_value(f, a.value, a.count);
+        let refolded = SumMinMax::combine(SumMinMax::lift(13), SumMinMax::lift(9));
+        assert_eq!(acted, refolded);
+        // the empty aggregate is a fixed point: sentinels stay sentinels
+        let id = Action::<SumMinMax>::act_value(f, SumMinMax::IDENTITY, 0);
+        assert_eq!(id, SumMinMax::IDENTITY);
+    }
+
+    #[test]
+    fn affine_sum_composes_and_acts() {
+        let f = AffineSum { mul: 2, add: 3 }; // w ← 2w + 3
+        let g = AffineSum { mul: -1, add: 5 }; // w ← -w + 5
+        let fg = Action::<I64Sum>::compose(f, g);
+        assert_eq!(fg, AffineSum { mul: -2, add: 13 });
+        for w in [-4i64, 0, 9] {
+            assert_eq!(
+                Action::<I64Sum>::act_weight(fg, w),
+                Action::<I64Sum>::act_weight(f, Action::<I64Sum>::act_weight(g, w)),
+            );
+        }
+        // aggregate action: 2·sum + 3·count
+        assert_eq!(Action::<I64Sum>::act_value(f, 10, 4), 32);
+        assert_eq!(
+            Action::<I64Sum>::act_value(f, 7, 0),
+            7,
+            "count-0 fixed point"
+        );
+        assert_eq!(
+            <AffineSum as Action<I64Sum>>::from_delta(6),
+            Some(AffineSum { mul: 1, add: 6 })
+        );
+    }
+
+    #[test]
+    fn boundary_saturation_is_consistent() {
+        // Action composition saturates exactly like acting twice does once
+        // both sides have pinned: composing a huge shift with anything stays
+        // pinned at the boundary, and acting with it pins the weight — the
+        // same end state the two-step application reaches.
+        let big = AddConst(i64::MAX);
+        let fg = <AddConst as Action<SumMinMax>>::compose(big, AddConst(1));
+        assert_eq!(fg, AddConst(i64::MAX), "compose saturates, not wraps");
+        assert_eq!(Action::<SumMinMax>::act_weight(fg, 1), i64::MAX);
+        assert_eq!(
+            Action::<SumMinMax>::act_weight(big, Action::<SumMinMax>::act_weight(AddConst(1), 1)),
+            i64::MAX
+        );
+        // same for the affine action's multiplicative path
+        let hot = AffineSum {
+            mul: i64::MAX,
+            add: i64::MAX,
+        };
+        let squared = Action::<I64Sum>::compose(hot, hot);
+        assert_eq!(
+            squared,
+            AffineSum {
+                mul: i64::MAX,
+                add: i64::MAX
+            }
+        );
+        assert_eq!(Action::<I64Sum>::act_weight(squared, 2), i64::MAX);
+        assert_eq!(
+            Action::<I64Sum>::act_weight(hot, i64::MIN),
+            i64::MIN + i64::MAX
+        );
+        // MaxEdge: the NONE sentinel never shifts, real carriers pin
+        let shifted = Action::<MaxEdge>::act_weight(AddConst(5), WeightedId::NONE);
+        assert_eq!(shifted, WeightedId::NONE);
+        let top = WeightedId {
+            weight: i64::MAX,
+            id: 2,
+        };
+        assert_eq!(
+            Action::<MaxEdge>::act_weight(AddConst(1), top),
+            WeightedId {
+                weight: i64::MAX,
+                id: 2
+            }
+        );
+    }
+
+    #[test]
+    fn no_action_declines_deltas() {
+        type P = Pair<I64Sum, I64Max>;
+        assert_eq!(<ActionOf<P> as Action<P>>::from_delta(7), None);
+        let v = P::lift(4);
+        assert_eq!(Action::<P>::act_value(NoAction, v, 1), v);
+        assert_eq!(Action::<P>::act_weight(NoAction, 9), 9);
     }
 }

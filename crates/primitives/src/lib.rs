@@ -23,7 +23,10 @@ pub mod slab;
 pub mod stats;
 pub mod telemetry;
 
-pub use algebra::{Agg, CommutativeMonoid, InvertibleMonoid, Monoid};
+pub use algebra::{
+    Action, ActionOf, AddConst, AffineSum, Agg, CommutativeMonoid, InvertibleMonoid, Monoid,
+    NoAction,
+};
 pub use dsu::Dsu;
 pub use groupby::{dedup_sorted, group_by_key, group_by_key_seq, remove_duplicates};
 pub use listrank::{list_rank, ListNode};

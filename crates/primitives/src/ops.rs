@@ -60,6 +60,15 @@ pub enum GraphError {
     /// aggregates on the ternarized topology backend, whose answers would be
     /// inexact, or component aggregates on link-cut trees).
     UnsupportedQuery,
+    /// A path operation's endpoints lie in different components.  Benign:
+    /// like a missing-edge delete, there is simply no path to update, so
+    /// replaying the op is an idempotent no-op.
+    Disconnected {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
 }
 
 impl GraphError {
@@ -69,7 +78,9 @@ impl GraphError {
     pub fn is_benign(self) -> bool {
         matches!(
             self,
-            GraphError::DuplicateEdge { .. } | GraphError::MissingEdge { .. }
+            GraphError::DuplicateEdge { .. }
+                | GraphError::MissingEdge { .. }
+                | GraphError::Disconnected { .. }
         )
     }
 }
@@ -85,6 +96,9 @@ impl fmt::Display for GraphError {
             GraphError::MissingEdge { u, v } => write!(f, "edge ({u},{v}) is not live"),
             GraphError::Unweighted => write!(f, "backend does not maintain vertex weights"),
             GraphError::UnsupportedQuery => write!(f, "backend cannot answer this query"),
+            GraphError::Disconnected { u, v } => {
+                write!(f, "vertices {u} and {v} are not connected")
+            }
         }
     }
 }
@@ -123,6 +137,13 @@ pub enum GraphOp<W = i64> {
     DeleteEdge(usize, usize),
     /// Set the weight of vertex `v` to `w`.
     SetWeight(usize, W),
+    /// Apply the backend monoid's bulk action, interpreted from the weight
+    /// delta `w`, to every vertex on the tree path from `u` to `v`
+    /// (inclusive).  Benignly skipped when the endpoints are disconnected.
+    PathApply(usize, usize, W),
+    /// Apply the bulk action interpreted from `w` to every vertex of `v`'s
+    /// component.
+    ComponentApply(usize, W),
 }
 
 /// What actually happened to one [`GraphOp`].
@@ -149,7 +170,19 @@ pub enum OpOutcome {
     },
     /// The vertex weight was recorded.
     WeightSet,
-    /// Benign idempotent no-op (duplicate insert / missing delete).
+    /// A bulk action was applied along a tree path.
+    PathApplied {
+        /// Number of vertices the action touched (both endpoints included;
+        /// `1` when the endpoints coincide).
+        count: u64,
+    },
+    /// A bulk action was applied to a whole component.
+    ComponentApplied {
+        /// Number of vertices the action touched (≥ 1: the anchor itself).
+        count: u64,
+    },
+    /// Benign idempotent no-op (duplicate insert / missing delete /
+    /// disconnected path op).
     Skipped(GraphError),
     /// Invalid request (self loop, out-of-range vertex, unweighted backend).
     Rejected(GraphError),
@@ -305,8 +338,12 @@ mod tests {
         assert!(!GraphError::VertexOutOfRange { v: 9, len: 4 }.is_benign());
         assert!(!GraphError::Unweighted.is_benign());
         assert!(!GraphError::UnsupportedQuery.is_benign());
+        assert!(GraphError::Disconnected { u: 0, v: 1 }.is_benign());
         assert!(OpOutcome::from_error(GraphError::MissingEdge { u: 0, v: 1 }).is_skipped());
         assert!(OpOutcome::from_error(GraphError::Unweighted).is_rejected());
+        assert!(OpOutcome::from_error(GraphError::Disconnected { u: 0, v: 1 }).is_skipped());
+        assert!(OpOutcome::PathApplied { count: 3 }.is_applied());
+        assert!(OpOutcome::ComponentApplied { count: 1 }.is_applied());
     }
 
     #[test]
@@ -352,6 +389,10 @@ mod tests {
         assert_eq!(
             OpOutcome::Rejected(GraphError::Unweighted).error(),
             Some(GraphError::Unweighted)
+        );
+        assert_eq!(
+            GraphError::Disconnected { u: 4, v: 9 }.to_string(),
+            "vertices 4 and 9 are not connected"
         );
     }
 }

@@ -1,0 +1,116 @@
+//! Property tests for the [`Action`] laws (DESIGN.md §13): `compose` is an
+//! associative monoid with `IDENTITY`, composing tags equals applying them
+//! innermost-first, and acting on an aggregate distributes over `combine`.
+//!
+//! Inputs are drawn well inside the `i64` range because the shipped actions
+//! saturate exactly like the shipped monoids do — the laws are exact only
+//! away from the boundary (the boundary itself is pinned by unit tests in
+//! `algebra.rs`).
+
+use dyntree_primitives::algebra::{
+    Action, ActionOf, AddConst, AffineSum, Agg, I64Sum, MaxEdge, Monoid, SumMinMax, WeightedId,
+};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+const B: i64 = 1 << 20;
+
+/// Folds `weights` into an `Agg` the way a forest would (no phantoms).
+fn fold<M: Monoid>(weights: &[M::Weight]) -> Agg<M> {
+    weights
+        .iter()
+        .fold(Agg::IDENTITY, |acc, &w| Agg::combine(acc, Agg::vertex(w)))
+}
+
+/// `AddConst`/`AffineSum` implement `Action<_>` for several monoids, so bare
+/// method calls are ambiguous; these helpers pin the monoid via turbofish.
+fn compose<M: Monoid>(f: ActionOf<M>, g: ActionOf<M>) -> ActionOf<M> {
+    <ActionOf<M> as Action<M>>::compose(f, g)
+}
+fn act_w<M: Monoid>(f: ActionOf<M>, w: M::Weight) -> M::Weight {
+    <ActionOf<M> as Action<M>>::act_weight(f, w)
+}
+fn act_v<M: Monoid>(f: ActionOf<M>, v: M::Value, count: u64) -> M::Value {
+    <ActionOf<M> as Action<M>>::act_value(f, v, count)
+}
+fn ident<M: Monoid>() -> ActionOf<M> {
+    <ActionOf<M> as Action<M>>::IDENTITY
+}
+
+/// One lawfulness pass for a single `(f, g, h, weights)` draw.
+fn check_laws<M: Monoid>(
+    f: ActionOf<M>,
+    g: ActionOf<M>,
+    h: ActionOf<M>,
+    ws: &[M::Weight],
+) -> Result<(), TestCaseError>
+where
+    M::Value: std::fmt::Debug,
+{
+    // monoid laws
+    prop_assert_eq!(compose::<M>(f, ident::<M>()), f);
+    prop_assert_eq!(compose::<M>(ident::<M>(), f), f);
+    prop_assert_eq!(
+        compose::<M>(f, compose::<M>(g, h)),
+        compose::<M>(compose::<M>(f, g), h)
+    );
+    // action law on weights: compose-then-act == act innermost-first
+    for &w in ws {
+        prop_assert_eq!(
+            act_w::<M>(compose::<M>(f, g), w),
+            act_w::<M>(f, act_w::<M>(g, w))
+        );
+    }
+    // distributivity: act-then-fold == fold-then-act
+    let folded = fold::<M>(ws);
+    let acted: Vec<M::Weight> = ws.iter().map(|&w| act_w::<M>(f, w)).collect();
+    let refolded = fold::<M>(&acted);
+    prop_assert_eq!(act_v::<M>(f, folded.value, folded.count), refolded.value);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_const_is_a_lawful_action(
+        fgh in (-B..B, -B..B, -B..B),
+        ws in proptest::collection::vec(-B..B, 0..24),
+    ) {
+        check_laws::<SumMinMax>(AddConst(fgh.0), AddConst(fgh.1), AddConst(fgh.2), &ws)?;
+    }
+
+    #[test]
+    fn affine_sum_is_a_lawful_action(
+        muls in (-4i64..5, -4i64..5, -4i64..5),
+        adds in (-B..B, -B..B, -B..B),
+        ws in proptest::collection::vec(-B..B, 0..24),
+    ) {
+        let f = AffineSum { mul: muls.0, add: adds.0 };
+        let g = AffineSum { mul: muls.1, add: adds.1 };
+        let h = AffineSum { mul: muls.2, add: adds.2 };
+        check_laws::<I64Sum>(f, g, h, &ws)?;
+    }
+
+    #[test]
+    fn add_const_preserves_the_argmax_carrier(
+        fgh in (-B..B, -B..B, -B..B),
+        raw in proptest::collection::vec((-B..B, 0usize..64), 1..24),
+    ) {
+        let ws: Vec<WeightedId> = raw
+            .iter()
+            .map(|&(weight, id)| WeightedId { weight, id })
+            .collect();
+        check_laws::<MaxEdge>(AddConst(fgh.0), AddConst(fgh.1), AddConst(fgh.2), &ws)?;
+        // A uniform shift moves every candidate by the same amount, so the
+        // winning carrier id must not change — the exact property the
+        // dynamic-MST corridor decay relies on.
+        let f = AddConst(fgh.0);
+        let before = fold::<MaxEdge>(&ws);
+        let acted: Vec<WeightedId> = ws.iter().map(|&w| act_w::<MaxEdge>(f, w)).collect();
+        let after = fold::<MaxEdge>(&acted);
+        prop_assert_eq!(after.value.id, before.value.id);
+        // the sentinel stays a sentinel through any action
+        prop_assert_eq!(act_w::<MaxEdge>(f, WeightedId::NONE), WeightedId::NONE);
+    }
+}

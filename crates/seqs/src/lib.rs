@@ -19,7 +19,9 @@ pub mod treap;
 pub use splay::SplaySequence;
 pub use treap::TreapSequence;
 
-pub use dyntree_primitives::algebra::{Agg, CommutativeMonoid, Monoid, SumMinMax};
+pub use dyntree_primitives::algebra::{
+    Action, ActionOf, Agg, CommutativeMonoid, Monoid, SumMinMax,
+};
 
 /// Handle to a node of a sequence.  Handles are stable for the lifetime of the
 /// node (until [`DynSequence::free`]).
@@ -72,6 +74,13 @@ pub trait DynSequence<M: CommutativeMonoid = SumMinMax>: Send + Sync {
 
     /// Aggregate over the item nodes of the sequence containing `h`.
     fn aggregate(&mut self, h: Handle) -> Agg<M>;
+
+    /// Applies `act` to every item node of the sequence containing `h`,
+    /// lazily: the root is tagged in `O(1)` (after root-finding) and the tag
+    /// is pushed towards leaves on later structural access (DESIGN.md §13).
+    /// Aggregates reflect the action immediately; [`value`](Self::value)
+    /// reads through pending tags.
+    fn apply_seq(&mut self, h: Handle, act: ActionOf<M>);
 
     /// Releases a node.  The node must form a singleton sequence.
     fn free(&mut self, h: Handle);
@@ -136,6 +145,14 @@ mod trait_tests {
         assert_eq!(s.aggregate(r).sum, 90);
         assert_eq!(s.value(hs[0]), 0);
 
+        // apply_seq acts on every item at once, skipping non-items.
+        s.apply_seq(hs[0], dyntree_primitives::algebra::AddConst(5));
+        let r = s.root(hs[0]);
+        assert_eq!(s.aggregate(r).sum, 110);
+        assert_eq!(s.aggregate(r).count, 4);
+        assert_eq!(s.value(hs[0]), 5);
+        assert_eq!(s.value(marker), 999, "non-items are untouched");
+
         // Split the marker off and free it.
         let (rest, _right) = s.split_before(marker);
         assert!(rest.is_some());
@@ -157,6 +174,11 @@ mod trait_tests {
         s.set_value(b, WeightedId { weight: 1, id: 1 });
         let r = s.root(a);
         assert_eq!(s.aggregate(r).value, WeightedId { weight: 7, id: 2 });
+        // a uniform shift keeps the argmax carrier and moves its weight
+        s.apply_seq(r, dyntree_primitives::algebra::AddConst(10));
+        let r = s.root(a);
+        assert_eq!(s.aggregate(r).value, WeightedId { weight: 17, id: 2 });
+        assert_eq!(s.value(a), WeightedId { weight: 15, id: 0 });
     }
 
     #[test]

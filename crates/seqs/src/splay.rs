@@ -6,9 +6,15 @@
 //! words halve the pointer footprint per node and keep rotations within
 //! fewer cache lines.  The public [`Handle`] stays `usize`.
 
-use crate::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
+use crate::{Action, ActionOf, Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
 const NIL: u32 = u32::MAX;
+
+/// The identity action of `M`'s update monoid (bound-shortening helper).
+#[inline]
+fn no_act<M: CommutativeMonoid>() -> ActionOf<M> {
+    <ActionOf<M> as Action<M>>::IDENTITY
+}
 
 /// Narrows a slab index to its stored `u32` form.
 #[inline]
@@ -26,6 +32,10 @@ struct Node<M: CommutativeMonoid> {
     value: M::Weight,
     is_item: bool,
     agg: Agg<M>,
+    /// Lazy action still to be applied to the *children's* subtrees; this
+    /// node's own `value` and `agg` already reflect every tag placed on it
+    /// (DESIGN.md §13), so aggregates never need a push.
+    pending: ActionOf<M>,
 }
 
 /// Splay-tree-based implementation of [`DynSequence`].
@@ -54,6 +64,13 @@ impl<M: CommutativeMonoid> SplaySequence<M> {
     }
 
     fn pull(&mut self, t: u32) {
+        // A pending tag means the children's aggs lag this node's; pulling
+        // now would overwrite the acted agg with stale inputs.  Every caller
+        // pushes first (splay / push_path), so this can only fire on a bug.
+        debug_assert!(
+            self.nodes[t as usize].pending.is_identity(),
+            "pull on a node with a pending action"
+        );
         let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
         let own = Agg::vertex_if(
             self.nodes[t as usize].value,
@@ -64,6 +81,32 @@ impl<M: CommutativeMonoid> SplaySequence<M> {
         let node = &mut self.nodes[t as usize];
         node.agg = agg;
         node.size = size;
+    }
+
+    /// Applies `a` to the whole subtree rooted at `t`, eagerly on `t`'s own
+    /// value and aggregate and lazily (via the pending tag) on its children.
+    fn apply_node(&mut self, t: u32, a: ActionOf<M>) {
+        if t == NIL || a.is_identity() {
+            return;
+        }
+        let node = &mut self.nodes[t as usize];
+        if node.is_item {
+            node.value = a.act_weight(node.value);
+        }
+        node.agg.value = a.act_value(node.agg.value, node.agg.count);
+        node.pending = ActionOf::<M>::compose(a, node.pending);
+    }
+
+    /// Pushes `t`'s pending tag down to its children and clears it.
+    fn push(&mut self, t: u32) {
+        let p = self.nodes[t as usize].pending;
+        if p.is_identity() {
+            return;
+        }
+        self.nodes[t as usize].pending = no_act::<M>();
+        let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+        self.apply_node(l, p);
+        self.apply_node(r, p);
     }
 
     fn rotate(&mut self, x: u32) {
@@ -105,6 +148,18 @@ impl<M: CommutativeMonoid> SplaySequence<M> {
     }
 
     fn splay(&mut self, x: u32) {
+        // Push pending tags top-down along the root→x path (x included):
+        // rotations re-parent x's inner child out from under x, so every
+        // node whose children change must be tag-clean first.
+        let mut stack = vec![x];
+        let mut cur = x;
+        while self.nodes[cur as usize].parent != NIL {
+            cur = self.nodes[cur as usize].parent;
+            stack.push(cur);
+        }
+        while let Some(n) = stack.pop() {
+            self.push(n);
+        }
         while self.nodes[x as usize].parent != NIL {
             let p = self.nodes[x as usize].parent;
             let g = self.nodes[p as usize].parent;
@@ -167,6 +222,7 @@ impl<M: CommutativeMonoid> DynSequence<M> for SplaySequence<M> {
             value,
             is_item,
             agg: Agg::vertex_if(value, !is_item),
+            pending: no_act::<M>(),
         };
         self.live += 1;
         if let Some(idx) = self.free.pop() {
@@ -185,7 +241,19 @@ impl<M: CommutativeMonoid> DynSequence<M> for SplaySequence<M> {
     }
 
     fn value(&self, h: Handle) -> M::Weight {
-        self.nodes[h].value
+        // The stored value lags any tags still pending on strict ancestors;
+        // fold them (closest ancestor innermost) without restructuring so
+        // this stays a `&self` read.
+        if !self.nodes[h].is_item {
+            return self.nodes[h].value;
+        }
+        let mut acc = no_act::<M>();
+        let mut cur = narrow(h);
+        while self.nodes[cur as usize].parent != NIL {
+            cur = self.nodes[cur as usize].parent;
+            acc = ActionOf::<M>::compose(self.nodes[cur as usize].pending, acc);
+        }
+        acc.act_weight(self.nodes[h].value)
     }
 
     fn root(&mut self, h: Handle) -> Handle {
@@ -247,8 +315,15 @@ impl<M: CommutativeMonoid> DynSequence<M> for SplaySequence<M> {
     }
 
     fn aggregate(&mut self, h: Handle) -> Agg<M> {
+        // Aggregates are always current under the pending-tag convention
+        // (apply_node acts on a node's agg the moment it is tagged).
         let r = self.root_of(narrow(h));
         self.nodes[r as usize].agg
+    }
+
+    fn apply_seq(&mut self, h: Handle, act: ActionOf<M>) {
+        let r = self.root_of(narrow(h));
+        self.apply_node(r, act);
     }
 
     fn free(&mut self, h: Handle) {
@@ -326,6 +401,37 @@ mod tests {
         assert_eq!(s.position(again), 0, "recycled node starts detached");
         assert_eq!(s.aggregate(again).count, 1);
         assert_eq!(s.live_nodes(), 8);
+    }
+
+    #[test]
+    fn lazy_apply_pushes_through_rotations() {
+        use dyntree_primitives::algebra::AddConst;
+        let mut s: SplaySequence = DynSequence::new();
+        let hs: Vec<usize> = (0..128).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        let root = root.unwrap();
+        s.apply_seq(root, AddConst(1000));
+        assert_eq!(s.value(hs[99]), 1099, "value reads through pending tags");
+        // splaying a deep node pushes the whole path; positions and
+        // aggregates must agree with the eager result afterwards
+        assert_eq!(s.position(hs[99]), 99);
+        assert_eq!(s.value(hs[99]), 1099);
+        let r = s.root(hs[0]);
+        assert_eq!(s.aggregate(r).sum, (0..128).map(|i| i + 1000).sum::<i64>());
+        // stacked tags compose: apply twice, then read an untouched node
+        s.apply_seq(hs[5], AddConst(-1));
+        s.apply_seq(hs[5], AddConst(-1));
+        assert_eq!(s.value(hs[64]), 1062);
+        let (l, rr) = s.split_before(hs[64]);
+        assert_eq!(s.aggregate(l.unwrap()).max, 1061);
+        assert_eq!(s.aggregate(rr).min, 1062);
+        // set_value lands after the tags, never before
+        s.set_value(hs[64], 0);
+        assert_eq!(s.value(hs[64]), 0);
+        assert_eq!(s.aggregate(rr).min, 0);
     }
 
     #[test]

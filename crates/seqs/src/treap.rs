@@ -11,9 +11,15 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
+use crate::{Action, ActionOf, Agg, CommutativeMonoid, DynSequence, Handle, SumMinMax};
 
 const NIL: u32 = u32::MAX;
+
+/// The identity action of `M`'s update monoid (bound-shortening helper).
+#[inline]
+fn no_act<M: CommutativeMonoid>() -> ActionOf<M> {
+    <ActionOf<M> as Action<M>>::IDENTITY
+}
 
 /// Narrows a slab index to its stored `u32` form.
 #[inline]
@@ -32,6 +38,10 @@ struct Node<M: CommutativeMonoid> {
     value: M::Weight,
     is_item: bool,
     agg: Agg<M>,
+    /// Lazy action still to be applied to the *children's* subtrees; this
+    /// node's own `value` and `agg` already reflect every tag placed on it
+    /// (DESIGN.md §13), so aggregates never need a push.
+    pending: ActionOf<M>,
 }
 
 /// Treap-based implementation of [`DynSequence`].
@@ -61,6 +71,12 @@ impl<M: CommutativeMonoid> TreapSequence<M> {
     }
 
     fn pull(&mut self, t: u32) {
+        // See `SplaySequence::pull`: pulling through a pending tag would
+        // fold stale child aggs over the already-acted own agg.
+        debug_assert!(
+            self.nodes[t as usize].pending.is_identity(),
+            "pull on a node with a pending action"
+        );
         let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
         let own = Agg::vertex_if(
             self.nodes[t as usize].value,
@@ -71,6 +87,46 @@ impl<M: CommutativeMonoid> TreapSequence<M> {
         let node = &mut self.nodes[t as usize];
         node.agg = agg;
         node.size = size;
+    }
+
+    /// Applies `a` to the whole subtree rooted at `t`, eagerly on `t`'s own
+    /// value and aggregate and lazily (via the pending tag) on its children.
+    fn apply_node(&mut self, t: u32, a: ActionOf<M>) {
+        if t == NIL || a.is_identity() {
+            return;
+        }
+        let node = &mut self.nodes[t as usize];
+        if node.is_item {
+            node.value = a.act_weight(node.value);
+        }
+        node.agg.value = a.act_value(node.agg.value, node.agg.count);
+        node.pending = ActionOf::<M>::compose(a, node.pending);
+    }
+
+    /// Pushes `t`'s pending tag down to its children and clears it.
+    fn push(&mut self, t: u32) {
+        let p = self.nodes[t as usize].pending;
+        if p.is_identity() {
+            return;
+        }
+        self.nodes[t as usize].pending = no_act::<M>();
+        let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+        self.apply_node(l, p);
+        self.apply_node(r, p);
+    }
+
+    /// Pushes pending tags top-down along the root→`h` path (`h` included),
+    /// so `h`'s stored value is current and path pulls see clean nodes.
+    fn push_path(&mut self, h: u32) {
+        let mut stack = vec![h];
+        let mut cur = h;
+        while self.nodes[cur as usize].parent != NIL {
+            cur = self.nodes[cur as usize].parent;
+            stack.push(cur);
+        }
+        while let Some(n) = stack.pop() {
+            self.push(n);
+        }
     }
 
     fn find_root(&self, mut t: u32) -> u32 {
@@ -85,6 +141,8 @@ impl<M: CommutativeMonoid> TreapSequence<M> {
         if t == NIL {
             return (NIL, NIL);
         }
+        // t's children change below; its tag must reach them first.
+        self.push(t);
         let left = self.nodes[t as usize].left;
         let lsz = self.size_of(left);
         if k <= lsz {
@@ -123,6 +181,8 @@ impl<M: CommutativeMonoid> TreapSequence<M> {
             return a;
         }
         if self.nodes[a as usize].priority > self.nodes[b as usize].priority {
+            // a wins and adopts a new right subtree: push its tag first
+            self.push(a);
             let r = self.merge(self.nodes[a as usize].right, b);
             self.nodes[a as usize].right = r;
             self.nodes[r as usize].parent = a;
@@ -130,6 +190,7 @@ impl<M: CommutativeMonoid> TreapSequence<M> {
             self.pull(a);
             a
         } else {
+            self.push(b);
             let l = self.merge(a, self.nodes[b as usize].left);
             self.nodes[b as usize].left = l;
             self.nodes[l as usize].parent = b;
@@ -192,6 +253,7 @@ impl<M: CommutativeMonoid> DynSequence<M> for TreapSequence<M> {
             value,
             is_item,
             agg: Agg::vertex_if(value, !is_item),
+            pending: no_act::<M>(),
         };
         self.live += 1;
         if let Some(idx) = self.free.pop() {
@@ -204,12 +266,26 @@ impl<M: CommutativeMonoid> DynSequence<M> for TreapSequence<M> {
     }
 
     fn set_value(&mut self, h: Handle, value: M::Weight) {
+        // Clear tags above h first: the write must not be retro-acted by a
+        // pending ancestor tag, and fix_to_root pulls through those nodes.
+        self.push_path(narrow(h));
         self.nodes[h].value = value;
         self.fix_to_root(narrow(h));
     }
 
     fn value(&self, h: Handle) -> M::Weight {
-        self.nodes[h].value
+        // Fold pending tags on strict ancestors (closest innermost) over the
+        // stored value, without restructuring — a `&self` read.
+        if !self.nodes[h].is_item {
+            return self.nodes[h].value;
+        }
+        let mut acc = no_act::<M>();
+        let mut cur = narrow(h);
+        while self.nodes[cur as usize].parent != NIL {
+            cur = self.nodes[cur as usize].parent;
+            acc = ActionOf::<M>::compose(self.nodes[cur as usize].pending, acc);
+        }
+        acc.act_weight(self.nodes[h].value)
     }
 
     fn root(&mut self, h: Handle) -> Handle {
@@ -255,8 +331,15 @@ impl<M: CommutativeMonoid> DynSequence<M> for TreapSequence<M> {
     }
 
     fn aggregate(&mut self, h: Handle) -> Agg<M> {
+        // Always current under the pending-tag convention (apply_node acts
+        // on a node's agg the moment it is tagged).
         let r = self.find_root(narrow(h));
         self.nodes[r as usize].agg
+    }
+
+    fn apply_seq(&mut self, h: Handle, act: ActionOf<M>) {
+        let r = self.find_root(narrow(h));
+        self.apply_node(r, act);
     }
 
     fn free(&mut self, h: Handle) {
@@ -333,6 +416,41 @@ mod tests {
     }
 
     #[test]
+    fn lazy_apply_survives_splits_and_merges() {
+        use dyntree_primitives::algebra::AddConst;
+        let mut s: TreapSequence = DynSequence::new();
+        let hs: Vec<usize> = (0..64).map(|i| s.make(i, true)).collect();
+        let mut root = None;
+        for &h in &hs {
+            root = s.join(root, Some(h));
+        }
+        let root = root.unwrap();
+        s.apply_seq(root, AddConst(100));
+        assert_eq!(s.aggregate(root).sum, (0..64).map(|i| i + 100).sum::<i64>());
+        assert_eq!(s.value(hs[17]), 117, "value reads through pending tags");
+        // split forces pushes; both halves must carry the acted values
+        let (l, r) = s.split_before(hs[32]);
+        assert_eq!(
+            s.aggregate(l.unwrap()).sum,
+            (0..32).map(|i| i + 100).sum::<i64>()
+        );
+        assert_eq!(s.aggregate(r).min, 132);
+        // act on one half only, rejoin, and check the mixed aggregate
+        s.apply_seq(r, AddConst(-1000));
+        let joined = s.join(l, Some(r)).unwrap();
+        assert_eq!(s.value(hs[40]), 40 + 100 - 1000);
+        assert_eq!(s.value(hs[10]), 110);
+        assert_eq!(s.aggregate(joined).min, 132 - 1000);
+        assert_eq!(s.aggregate(joined).count, 64);
+        // set_value through a pending tag must not be retro-acted
+        s.apply_seq(joined, AddConst(7));
+        s.set_value(hs[40], 5);
+        assert_eq!(s.value(hs[40]), 5);
+        let r2 = s.root(hs[40]);
+        assert_eq!(s.aggregate(r2).min, 132 - 1000 + 7);
+    }
+
+    #[test]
     fn node_slab_entries_are_narrow() {
         // The u32 narrowing is the point of the flat slab: a default-monoid
         // node must stay 16 bytes slimmer than its usize-link ancestor
@@ -347,6 +465,7 @@ mod tests {
             _value: i64,
             _is_item: bool,
             _agg: Agg<SumMinMax>,
+            _pending: ActionOf<SumMinMax>,
         }
         assert!(
             narrowed + 16 <= std::mem::size_of::<WideNode>(),

@@ -110,7 +110,7 @@ impl<B: SpanningBackend> ServingEngine<B> {
         let ring = &self.ring;
         self.engine.apply_with(ops, |eng| {
             let _build = eng.telemetry().span(Phase::SnapshotBuild);
-            shadow_weights::<B>(weights, len_before, eng.len(), ops);
+            shadow_weights::<B>(weights, len_before, ops, eng);
             let mut labels = Vec::new();
             eng.export_component_labels(&mut labels);
             ring.publish(Arc::new(Snapshot::from_labels(
@@ -156,6 +156,27 @@ impl<B: SpanningBackend> ServingEngine<B> {
         self.engine.check_invariants()
     }
 
+    /// Compares the full shadow weight table against the backend's
+    /// per-vertex readback, reporting the first divergence.  `O(n)`; the
+    /// release-mode counterpart of the debug assert `apply` runs after every
+    /// batch — `fuzz_serve` calls it per batch so shadow drift fails the
+    /// fuzz gate even in optimized builds.  Vacuously `Ok` for unweighted
+    /// backends.
+    pub fn verify_shadow_weights(&mut self) -> Result<(), String> {
+        if !B::WEIGHTED {
+            return Ok(());
+        }
+        for (v, &w) in self.weights.iter().enumerate() {
+            let actual = self.engine.vertex_weight(v);
+            if actual != Some(w) {
+                return Err(format!(
+                    "shadow weight of vertex {v} diverged: shadow {w:?}, backend {actual:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Number of vertices.
     pub fn len(&self) -> usize {
         self.engine.len()
@@ -175,18 +196,33 @@ impl<B: SpanningBackend> ServingEngine<B> {
     }
 }
 
-/// Replays a batch's effect on the shadow weights, mirroring the engine's
+/// Brings the shadow weights up to date with a just-applied batch.
+///
+/// `SetWeight` ops are replayed from the op stream, mirroring the engine's
 /// own validation: `AddVertices` grows the id space mid-batch (with the
 /// same overflow rejection), and a `SetWeight` lands iff its vertex is in
 /// range *at that point in the batch* and the backend records weights.
+///
+/// The bulk ops (`PathApply` / `ComponentApply`) *cannot* be replayed that
+/// way — which vertices they touch depends on the spanning forest's shape
+/// at the moment each op ran, and the shadow table has no structure.  When
+/// a batch contains any bulk op the whole table is re-based from the
+/// backend's per-vertex readback instead (`O(n)`, only on such batches).
+///
+/// In debug builds the full table is cross-checked against the backend
+/// after *every* batch, so any replay rule that drifts from engine
+/// semantics fails loudly in `fuzz_serve` rather than silently serving
+/// stale aggregates (DESIGN.md §11).
 fn shadow_weights<B: SpanningBackend>(
     weights: &mut Vec<WeightOf<B::Weights>>,
     len_before: usize,
-    len_after: usize,
     ops: &[GraphOp<WeightOf<B::Weights>>],
+    eng: &mut DynConnectivity<B>,
 ) {
+    let len_after = eng.len();
     weights.resize(len_after, WeightOf::<B::Weights>::default());
     let mut len = len_before;
+    let mut bulk = false;
     for op in ops {
         match *op {
             GraphOp::AddVertices(count) => {
@@ -199,8 +235,26 @@ fn shadow_weights<B: SpanningBackend>(
                     weights[v] = w;
                 }
             }
+            GraphOp::PathApply(..) | GraphOp::ComponentApply(..) => bulk = true,
             GraphOp::InsertEdge(..) | GraphOp::DeleteEdge(..) => {}
         }
     }
     debug_assert_eq!(len, len_after, "shadow length diverged from the engine");
+    if bulk && B::WEIGHTED {
+        for (v, w) in weights.iter_mut().enumerate() {
+            if let Some(actual) = eng.vertex_weight(v) {
+                *w = actual;
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    if B::WEIGHTED {
+        for (v, &w) in weights.iter().enumerate() {
+            debug_assert_eq!(
+                Some(w),
+                eng.vertex_weight(v),
+                "shadow weight of vertex {v} diverged from the backend"
+            );
+        }
+    }
 }

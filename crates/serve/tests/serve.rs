@@ -25,11 +25,20 @@ use dyntree_workloads::{FuzzTraceGen, ServeMixGen, ServeQuery};
 
 /// Graph state replayed with plain containers, mirroring the engine's
 /// validation rules exactly (see `DynConnectivity::apply`).
+///
+/// `bulk` says whether the serving backend under test supports
+/// `ComponentApply` (naive: yes, ufo: no — a declining backend leaves the
+/// weights untouched, and so must the oracle).  `PathApply` is never
+/// replayed here: the vertices it touches depend on the engine's spanning
+/// forest *shape*, which an edge-set oracle cannot reconstruct, so serve
+/// traces keep a zero path-apply rate and leave that op to the differential
+/// harness (where every engine maintains the same forest).
 #[derive(Clone, Default)]
 struct Oracle {
     len: usize,
     edges: HashSet<(usize, usize)>,
     weights: Vec<i64>,
+    bulk: bool,
 }
 
 /// Frozen per-epoch answers derived from an [`Oracle`].
@@ -65,8 +74,42 @@ impl Oracle {
                         self.weights[v] = w;
                     }
                 }
+                GraphOp::ComponentApply(v, delta) => {
+                    if self.bulk && v < self.len {
+                        for x in self.component_of(v) {
+                            self.weights[x] = self.weights[x].saturating_add(delta);
+                        }
+                    }
+                }
+                GraphOp::PathApply(..) => {
+                    debug_assert!(
+                        !self.bulk,
+                        "serve traces must not contain PathApply (structure-dependent)"
+                    );
+                }
             }
         }
+    }
+
+    /// All vertices reachable from `v` over the oracle's edge set (BFS).
+    fn component_of(&self, v: usize) -> Vec<usize> {
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        let mut seen = HashSet::from([v]);
+        let mut queue = vec![v];
+        let mut out = vec![v];
+        while let Some(x) = queue.pop() {
+            for &y in adj.get(&x).map_or(&[][..], |n| n) {
+                if seen.insert(y) {
+                    out.push(y);
+                    queue.push(y);
+                }
+            }
+        }
+        out
     }
 
     fn freeze(&self) -> OracleEpoch {
@@ -115,10 +158,11 @@ impl OracleEpoch {
 
 /// Replays the writer batches through the oracle, freezing one epoch table
 /// per publication (index e = state after batch e; index 0 = bootstrap).
-fn oracle_epochs(initial: usize, batches: &[Vec<GraphOp>]) -> Vec<OracleEpoch> {
+fn oracle_epochs(initial: usize, batches: &[Vec<GraphOp>], bulk: bool) -> Vec<OracleEpoch> {
     let mut oracle = Oracle {
         len: initial,
         weights: vec![0; initial],
+        bulk,
         ..Default::default()
     };
     let mut out = Vec::with_capacity(batches.len() + 1);
@@ -192,8 +236,13 @@ fn check_answer(epochs: &[OracleEpoch], a: &Answer) {
 
 #[test]
 fn every_epoch_matches_the_oracle_sequentially() {
-    let batches = FuzzTraceGen::new(11).with_ops(4_000).batches(64);
-    let epochs = oracle_epochs(0, &batches);
+    // ufo declines bulk applies, so component applies in the trace must be
+    // weight no-ops on both sides (bulk = false in the oracle)
+    let batches = FuzzTraceGen::new(11)
+        .with_ops(4_000)
+        .with_bulk_applies(0.0, 0.01)
+        .batches(64);
+    let epochs = oracle_epochs(0, &batches, false);
     let mut serving = UfoServingEngine::new(0);
     let mut reader = serving.reader();
     for (i, batch) in batches.iter().enumerate() {
@@ -230,9 +279,14 @@ fn every_epoch_matches_the_oracle_sequentially() {
 
 #[test]
 fn serving_works_over_the_oracle_backend_too() {
-    // same trace, naive spanning backend: publication is backend-agnostic
-    let batches = FuzzTraceGen::new(23).with_ops(1_500).batches(50);
-    let epochs = oracle_epochs(0, &batches);
+    // same trace, naive spanning backend: publication is backend-agnostic —
+    // and this backend *supports* component applies, so the shadow table must
+    // track the bulk updates (bulk = true in the oracle)
+    let batches = FuzzTraceGen::new(23)
+        .with_ops(1_500)
+        .with_bulk_applies(0.0, 0.02)
+        .batches(50);
+    let epochs = oracle_epochs(0, &batches, true);
     let mut serving = NaiveServingEngine::new(0);
     let mut reader = serving.reader();
     for (i, batch) in batches.iter().enumerate() {
@@ -240,6 +294,11 @@ fn serving_works_over_the_oracle_backend_too() {
         let oracle = &epochs[i + 1];
         for v in 0..serving.len() {
             assert_eq!(reader.component_size(v).value, oracle.component_size(v));
+            assert_eq!(
+                reader.component_agg(v).value,
+                oracle.component_agg(v),
+                "agg({v}) after batch {i}"
+            );
         }
     }
 }
@@ -375,7 +434,7 @@ fn stress_one_writer_eight_readers_20k_ops() {
         .with_readers(readers)
         .with_queries_per_reader(3_000)
         .generate();
-    let epochs = oracle_epochs(0, &mix.writer_batches);
+    let epochs = oracle_epochs(0, &mix.writer_batches, false);
 
     let mut serving = UfoServingEngine::new(0).with_retention(6);
     let handle = serving.reader();
@@ -432,6 +491,42 @@ fn handles_are_send_sync_and_cheap_to_clone() {
     assert_send_sync::<PinnedReader<SumMinMax>>();
     assert_send_sync::<Arc<Snapshot<SumMinMax>>>();
     assert_send_sync::<ServingEngine<ufo_forest::UfoForest>>();
+}
+
+#[test]
+fn weight_mutations_reach_readers_only_through_apply() {
+    // The epoch contract (DESIGN.md §11): an epoch is a *batch* boundary.
+    // `ServingEngine` exposes the engine read-only (`engine()` returns a
+    // shared reference), so every weight-mutating path — `SetWeight` and the
+    // bulk applies included — goes through `apply`, which is exactly what
+    // makes the published snapshots complete.  A singleton mutator like
+    // `try_set_weight` does not bump `version()`, so a weight change outside
+    // `apply` would be unobservable through serve; the type system rules it
+    // out here, and this test pins the observable half of the contract.
+    let mut serving = NaiveServingEngine::new(0);
+    serving.apply(&[
+        GraphOp::AddVertices(4),
+        GraphOp::InsertEdge(0, 1),
+        GraphOp::SetWeight(0, 5),
+        GraphOp::SetWeight(1, 7),
+    ]);
+    let v1 = serving.latest_epoch();
+    assert_eq!(serving.version(), v1, "engine version IS the epoch");
+    let mut reader = serving.reader();
+    let before = reader.component_agg(0).value.unwrap();
+    assert_eq!(before.sum, 12);
+
+    // a bulk update is routed through apply: one new epoch, visible at once
+    let report = serving.apply(&[GraphOp::ComponentApply(0, 10)]);
+    assert_eq!(report.version, v1 + 1, "bulk batch publishes a new epoch");
+    assert_eq!(serving.version(), report.version);
+    let after = reader.component_agg(0);
+    assert_eq!(after.epoch, report.version);
+    assert_eq!(after.value.unwrap().sum, 12 + 2 * 10);
+
+    // a pinned reader at the old epoch still sees the pre-update weights
+    let pinned = reader.at(v1).unwrap();
+    assert_eq!(pinned.component_agg(0).value.unwrap().sum, 12);
 }
 
 #[test]

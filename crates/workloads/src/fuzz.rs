@@ -58,6 +58,11 @@ pub struct FuzzTraceGen {
     max_vertices: usize,
     invalid_rate: f64,
     weight_rate: f64,
+    /// Probability of a `PathApply` op per slot (default 0: bulk updates are
+    /// opt-in so existing traces stay byte-stable under their seeds).
+    path_apply_rate: f64,
+    /// Probability of a `ComponentApply` op per slot (default 0).
+    component_apply_rate: f64,
     /// Probability that a phase pick lands on churn/teardown instead of an
     /// insert burst; raising it makes traces delete-heavy.
     mutate_bias: f64,
@@ -78,6 +83,8 @@ impl FuzzTraceGen {
             max_vertices: 256,
             invalid_rate: 0.02,
             weight_rate: 0.03,
+            path_apply_rate: 0.0,
+            component_apply_rate: 0.0,
             mutate_bias: 0.5,
             clique_bias: false,
         }
@@ -112,6 +119,21 @@ impl FuzzTraceGen {
     /// out-of-range endpoints).
     pub fn with_invalid_rate(mut self, rate: f64) -> Self {
         self.invalid_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enables bulk weight updates: `path_rate` of the slots become
+    /// `PathApply` ops and `comp_rate` become `ComponentApply` ops (each with
+    /// a ~5 % chance of a deliberately out-of-range vertex, and random
+    /// endpoint pairs that are frequently disconnected — the benign-skip
+    /// path).  Off by default so pre-existing seeded traces stay
+    /// byte-identical.  Consumers whose oracle cannot replay spanning-tree
+    /// paths (the serve harness: a path's vertex set depends on the engine's
+    /// forest shape, not just the edge set) pass `path_rate = 0.0` and keep
+    /// the structure-independent `ComponentApply` ops only.
+    pub fn with_bulk_applies(mut self, path_rate: f64, comp_rate: f64) -> Self {
+        self.path_apply_rate = path_rate.clamp(0.0, 1.0);
+        self.component_apply_rate = comp_rate.clamp(0.0, 1.0);
         self
     }
 
@@ -165,6 +187,26 @@ impl FuzzTraceGen {
                     // occasionally out of range, exercising the rejection
                     let v = rng.random_range(0..n + 2);
                     ops.push(GraphOp::SetWeight(v, rng.random_range(-100..100)));
+                    continue;
+                }
+                if rng.random::<f64>() < self.path_apply_rate {
+                    let (u, v) = if rng.random_bool(0.05) {
+                        (rng.random_range(0..n), n + rng.random_range(0..4usize))
+                    // rejected
+                    } else {
+                        // random pairs are frequently disconnected: benign skip
+                        (rng.random_range(0..n), rng.random_range(0..n))
+                    };
+                    ops.push(GraphOp::PathApply(u, v, rng.random_range(-50..50i64)));
+                    continue;
+                }
+                if rng.random::<f64>() < self.component_apply_rate {
+                    let v = if rng.random_bool(0.05) {
+                        n + rng.random_range(0..4usize) // rejected
+                    } else {
+                        rng.random_range(0..n)
+                    };
+                    ops.push(GraphOp::ComponentApply(v, rng.random_range(-50..50i64)));
                     continue;
                 }
                 if rng.random::<f64>() < self.invalid_rate {
@@ -316,14 +358,19 @@ mod tests {
 
     #[test]
     fn traces_cross_every_op_kind() {
-        let ops = FuzzTraceGen::new(1).with_ops(5_000).generate();
-        let mut counts = [0usize; 4];
+        let ops = FuzzTraceGen::new(1)
+            .with_ops(5_000)
+            .with_bulk_applies(0.02, 0.015)
+            .generate();
+        let mut counts = [0usize; 6];
         for op in &ops {
             match op {
                 GraphOp::AddVertices(..) => counts[0] += 1,
                 GraphOp::InsertEdge(..) => counts[1] += 1,
                 GraphOp::DeleteEdge(..) => counts[2] += 1,
                 GraphOp::SetWeight(..) => counts[3] += 1,
+                GraphOp::PathApply(..) => counts[4] += 1,
+                GraphOp::ComponentApply(..) => counts[5] += 1,
             }
         }
         assert!(counts.iter().all(|&c| c > 0), "counts={counts:?}");
@@ -333,6 +380,23 @@ mod tests {
                 GraphOp::InsertEdge(u, v) | GraphOp::DeleteEdge(u, v) if u == v)),
             "self loops present"
         );
+        // …including bulk applies deliberately out of range at emission time
+        let mut n = 0usize;
+        let mut oob = 0usize;
+        for op in &ops {
+            match *op {
+                GraphOp::AddVertices(k) => n += k,
+                GraphOp::PathApply(u, v, _) if u >= n || v >= n => oob += 1,
+                GraphOp::ComponentApply(v, _) if v >= n => oob += 1,
+                _ => {}
+            }
+        }
+        assert!(oob > 0, "out-of-range bulk applies present");
+        // bulk applies stay opt-in: the default profile emits none
+        let plain = FuzzTraceGen::new(1).with_ops(5_000).generate();
+        assert!(!plain
+            .iter()
+            .any(|op| matches!(op, GraphOp::PathApply(..) | GraphOp::ComponentApply(..))));
     }
 
     #[test]

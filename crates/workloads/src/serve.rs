@@ -57,6 +57,7 @@ pub struct ServeMixGen {
     queries_per_reader: usize,
     vertices: usize,
     max_vertices: usize,
+    component_apply_rate: f64,
 }
 
 impl ServeMixGen {
@@ -71,6 +72,7 @@ impl ServeMixGen {
             queries_per_reader: 2_000,
             vertices: 64,
             max_vertices: 256,
+            component_apply_rate: 0.0,
         }
     }
 
@@ -116,12 +118,24 @@ impl ServeMixGen {
         self
     }
 
+    /// Mixes `ComponentApply` ops into the writer trace at `rate` (default
+    /// 0, keeping pre-existing seeds byte-stable).  Serve workloads never
+    /// emit `PathApply`: the vertices a path op touches depend on the
+    /// engine's spanning-forest shape, which the serve oracle (a plain edge
+    /// set) cannot reconstruct — component applies are structure-independent
+    /// and replayable.
+    pub fn with_component_applies(mut self, rate: f64) -> Self {
+        self.component_apply_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
     /// Generates the workload.
     pub fn generate(&self) -> ServeMix {
         let writer_batches = FuzzTraceGen::new(self.seed)
             .with_ops(self.ops)
             .with_vertices(self.vertices)
             .with_max_vertices(self.max_vertices)
+            .with_bulk_applies(0.0, self.component_apply_rate)
             .batches(self.batch_size);
         let reader_queries = (0..self.readers).map(|r| self.reader_stream(r)).collect();
         ServeMix {

@@ -20,6 +20,18 @@
 //! evict.  Every maintained state is verified against a from-scratch Kruskal
 //! recompute over all edges inserted so far.
 //!
+//! A second phase exercises the lazy-action layer (DESIGN.md §13):
+//! *corridor decay* re-weights every forest edge on a tree path with **one**
+//! `try_path_apply` — an O(log n) lazy tag instead of the pre-action
+//! alternative, one `set_weight` per touched edge (O(k log n) for a
+//! k-edge corridor).  A uniform shift moves every argmax candidate by the
+//! same amount, so `MaxEdge` keeps its carrier ids and `path_agg` keeps
+//! naming real edges; and since decay only *lowers* forest-edge weights,
+//! every previously discarded edge stays the maximum of its cycle and the
+//! maintained forest stays exactly Kruskal-optimal — which the verifier
+//! checks by mirroring each corridor with a naive per-edge update on the
+//! bookkeeping side.
+//!
 //! Run with: `cargo run --release --example dynamic_mst`
 
 use dyntree_connectivity::DynConnectivity;
@@ -103,6 +115,76 @@ impl IncrementalMsf {
     fn forest_size(&self) -> usize {
         self.forest_edges.iter().flatten().count()
     }
+
+    /// Uniformly shifts every forest edge on the `a`–`b` tree path by
+    /// `delta` — one O(log n) lazy path update on the engine, mirrored by a
+    /// naive per-edge walk over the bookkeeping (the verifier's eager
+    /// counterpart).  Returns the ids of the corridor's edges.
+    fn decay_corridor(&mut self, a: usize, b: usize, delta: i64) -> Vec<usize> {
+        let count = self
+            .engine
+            .try_path_apply(
+                a,
+                b,
+                WeightedId {
+                    weight: delta,
+                    id: 0,
+                },
+            )
+            .expect("valid endpoints on a weighted path-apply backend")
+            .expect("corridor endpoints must be connected");
+        // the subdivided path alternates real/edge vertices: 2k+1 vertices
+        // carry exactly k forest edges
+        assert!(count % 2 == 1, "a real-to-real path has odd length");
+        let k = ((count - 1) / 2) as usize;
+        let path = self
+            .forest_path(a, b)
+            .expect("mirror forest must connect what the engine connects");
+        assert_eq!(path.len(), k, "engine corridor disagrees with the mirror");
+        for &e in &path {
+            let (u, v, w) = self.forest_edges[e].expect("live forest edge");
+            self.forest_edges[e] = Some((u, v, w + delta));
+            self.total_weight += delta;
+        }
+        path
+    }
+
+    /// Edge ids on the mirror forest's `a`–`b` path (BFS over the
+    /// bookkeeping — deliberately engine-free).
+    fn forest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.n];
+        for (e, slot) in self.forest_edges.iter().enumerate() {
+            if let Some((u, v, _)) = *slot {
+                adj[u].push((v, e));
+                adj[v].push((u, e));
+            }
+        }
+        let mut from: Vec<Option<(usize, usize)>> = vec![None; self.n];
+        let mut queue = std::collections::VecDeque::from([a]);
+        let mut seen = vec![false; self.n];
+        seen[a] = true;
+        while let Some(x) = queue.pop_front() {
+            if x == b {
+                let mut path = Vec::new();
+                let mut cur = b;
+                while cur != a {
+                    let (prev, e) = from[cur].expect("BFS parent");
+                    path.push(e);
+                    cur = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &(y, e) in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    from[y] = Some((x, e));
+                    queue.push_back(y);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// From-scratch Kruskal over `edges`; returns (total weight, edge count).
@@ -124,8 +206,9 @@ fn kruskal(n: usize, edges: &[(usize, usize, i64)]) -> (i64, usize) {
 fn main() {
     let n = 600;
     let rounds = 6_000;
+    let decay_rounds = 300;
     let mut rng = StdRng::seed_from_u64(0x5eed0757);
-    let mut msf = IncrementalMsf::new(n, rounds);
+    let mut msf = IncrementalMsf::new(n, rounds + decay_rounds);
     let mut all_edges: Vec<(usize, usize, i64)> = Vec::with_capacity(rounds);
     let mut swaps = 0usize;
     let mut rejects = 0usize;
@@ -165,8 +248,61 @@ fn main() {
         }
     }
     println!(
-        "final: {} inserted edges → {}-edge minimum spanning forest of weight {}",
+        "phase 1: {} inserted edges → {}-edge minimum spanning forest of weight {}",
         rounds,
+        msf.forest_size(),
+        msf.total_weight
+    );
+
+    // Phase 2 — corridor decay interleaved with fresh inserts.  Each round
+    // lowers a whole tree path with one lazy path_apply (vs one set_weight
+    // per corridor edge before the action layer existed), then inserts a
+    // new random edge so the eviction rule keeps running over the decayed
+    // weights.  Decay is strictly negative, so discarded edges stay cycle
+    // maxima and the maintained forest stays exactly Kruskal-optimal.
+    let mut corridor_edges = 0usize;
+    for round in 1..=decay_rounds {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n);
+        while b == a {
+            b = rng.random_range(0..n);
+        }
+        if msf.engine.connected(a, b) {
+            let delta = -rng.random_range(1..=5_000i64);
+            let path = msf.decay_corridor(a, b, delta);
+            corridor_edges += path.len();
+            // mirror the decay into the verifier's edge list (ids are
+            // insertion order, so corridor ids index it directly)
+            for e in path {
+                all_edges[e].2 += delta;
+            }
+        }
+        let u = rng.random_range(0..n);
+        let mut v = rng.random_range(0..n);
+        while v == u {
+            v = rng.random_range(0..n);
+        }
+        let w = rng.random_range(1..=1_000_000i64);
+        msf.insert(u, v, w);
+        all_edges.push((u, v, w));
+
+        if round % 50 == 0 || round == decay_rounds {
+            let (kw, kn) = kruskal(n, &all_edges);
+            assert_eq!(
+                (msf.total_weight, msf.forest_size()),
+                (kw, kn),
+                "decay round {round}: maintained MSF diverged from Kruskal"
+            );
+            println!(
+                "decay {:>4}: {:>5} corridor edges re-weighted, total weight {:>11}  ✓ Kruskal",
+                round, corridor_edges, msf.total_weight
+            );
+        }
+    }
+    println!(
+        "final: {} edges ({} decayed corridors' worth) → {}-edge minimum spanning forest of weight {}",
+        all_edges.len(),
+        corridor_edges,
         msf.forest_size(),
         msf.total_weight
     );

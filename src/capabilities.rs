@@ -30,6 +30,12 @@ pub struct Capability {
     pub weighted_path: bool,
     /// Whether weighted subtree/component aggregates are answered exactly.
     pub weighted_subtree: bool,
+    /// Whether bulk *path* re-weighting (`PathApply`, a lazy `Action` tag
+    /// pushed down on access — DESIGN.md §13) is O(log n) per op.
+    pub lazy_path_update: bool,
+    /// Whether bulk *component* re-weighting (`ComponentApply`) is
+    /// O(log n) per op.
+    pub lazy_component_update: bool,
 }
 
 impl Capability {
@@ -42,6 +48,19 @@ impl Capability {
             (true, true) => "path+subtree",
             (true, false) => "path",
             (false, true) => "subtree",
+            (false, false) => "-",
+        }
+    }
+
+    /// The `LazyAction` cell of Table 1: which bulk-update families the
+    /// structure applies lazily (pending-action tags, DESIGN.md §13).
+    /// Structures without a lazy-tag channel decline the ops with a typed
+    /// `UnsupportedQuery` instead of faking them slowly.
+    pub fn lazy_actions(&self) -> &'static str {
+        match (self.lazy_path_update, self.lazy_component_update) {
+            (true, true) => "path+component",
+            (true, false) => "path",
+            (false, true) => "component",
             (false, false) => "-",
         }
     }
@@ -62,6 +81,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             non_local_queries: false,
             general_graphs: true,
             weighted_path: true,
+            lazy_path_update: true,
+            lazy_component_update: false,
             weighted_subtree: false,
         },
         Capability {
@@ -76,6 +97,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             general_graphs: true,
             // path aggregates exist but only as an O(component) walk
             weighted_path: false,
+            lazy_path_update: false,
+            lazy_component_update: true,
             weighted_subtree: true,
         },
         Capability {
@@ -90,6 +113,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             general_graphs: true,
             // exact only for interior degree ≤ 3 (ternarization caveat)
             weighted_path: false,
+            lazy_path_update: false,
+            lazy_component_update: false,
             weighted_subtree: true,
         },
         Capability {
@@ -103,6 +128,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             non_local_queries: true,
             general_graphs: true,
             weighted_path: true,
+            lazy_path_update: false,
+            lazy_component_update: false,
             weighted_subtree: true,
         },
         Capability {
@@ -119,6 +146,8 @@ pub fn capability_matrix() -> Vec<Capability> {
             general_graphs: true,
             // surfaced from the backend: tree-path and component aggregates
             weighted_path: true,
+            lazy_path_update: true,
+            lazy_component_update: true,
             weighted_subtree: true,
         },
     ]
@@ -130,7 +159,7 @@ pub fn render_matrix() -> String {
     let rows = capability_matrix();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8} {:>13}\n",
+        "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8} {:>13} {:>15}\n",
         "Structure",
         "Update cost",
         "Ternar",
@@ -140,12 +169,14 @@ pub fn render_matrix() -> String {
         "Path",
         "Non-local",
         "GenGraph",
-        "WeightedAgg"
+        "WeightedAgg",
+        "LazyAction"
     ));
     for r in rows {
         let weighted = r.weighted_aggregates();
+        let lazy = r.lazy_actions();
         out.push_str(&format!(
-            "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8} {:>13}\n",
+            "{:<17} {:<30} {:>6} {:>9} {:>9} {:>8} {:>6} {:>9} {:>8} {:>13} {:>15}\n",
             r.name,
             r.update_cost,
             tick(r.ternarized),
@@ -156,6 +187,7 @@ pub fn render_matrix() -> String {
             tick(r.non_local_queries),
             tick(r.general_graphs),
             weighted,
+            lazy,
         ));
     }
     out
@@ -208,5 +240,55 @@ mod tests {
         assert_eq!(topo.weighted_aggregates(), "subtree");
         let hdt = rows.iter().find(|r| r.name == "HDT connectivity").unwrap();
         assert_eq!(hdt.weighted_aggregates(), "path+subtree");
+    }
+
+    #[test]
+    fn lazy_action_column_matches_the_backend_support_consts() {
+        use dyntree_connectivity::SpanningBackend;
+        let rows = capability_matrix();
+        let cell = |name: &str| rows.iter().find(|r| r.name == name).unwrap().lazy_actions();
+        assert_eq!(cell("Link-cut tree"), "path");
+        assert_eq!(cell("Euler tour tree"), "component");
+        assert_eq!(cell("Topology tree"), "-");
+        assert_eq!(cell("UFO tree"), "-");
+        // the engine row aggregates what its backends can do
+        assert_eq!(cell("HDT connectivity"), "path+component");
+        // the table is generated, but the flags must agree with the real
+        // backend consts the engine dispatches on
+        let flags = |name: &str| {
+            let r = rows.iter().find(|r| r.name == name).unwrap();
+            (r.lazy_path_update, r.lazy_component_update)
+        };
+        assert_eq!(
+            flags("Link-cut tree"),
+            (
+                <dyntree_linkcut::LinkCutForest>::SUPPORTS_PATH_APPLY,
+                <dyntree_linkcut::LinkCutForest>::SUPPORTS_COMPONENT_APPLY,
+            )
+        );
+        assert_eq!(
+            flags("Euler tour tree"),
+            (
+                <dyntree_euler::EulerTourForest<dyntree_seqs::TreapSequence>>::SUPPORTS_PATH_APPLY,
+                <dyntree_euler::EulerTourForest<dyntree_seqs::TreapSequence>>::SUPPORTS_COMPONENT_APPLY,
+            )
+        );
+        assert_eq!(
+            flags("UFO tree"),
+            (
+                <ufo_forest::UfoForest>::SUPPORTS_PATH_APPLY,
+                <ufo_forest::UfoForest>::SUPPORTS_COMPONENT_APPLY,
+            )
+        );
+        assert_eq!(
+            flags("Topology tree"),
+            (
+                <ufo_forest::TopologyForest>::SUPPORTS_PATH_APPLY,
+                <ufo_forest::TopologyForest>::SUPPORTS_COMPONENT_APPLY,
+            )
+        );
+        let render = render_matrix();
+        assert!(render.contains("LazyAction"));
+        assert!(render.contains("path+component"));
     }
 }

@@ -73,6 +73,18 @@ fn oracle_replay(ops: &[GraphOp]) -> (NaiveConnectivity, Vec<OpOutcome>) {
                 Ok(()) => OpOutcome::WeightSet,
                 Err(e) => OpOutcome::from_error(e),
             },
+            // bulk ops never enter this suite's strategy — backends differ
+            // in support, so their differential lives in
+            // crates/connectivity/tests/bulk_apply_proptest.rs
+            GraphOp::PathApply(u, v, d) => match g.try_path_apply(u, v, d) {
+                Ok(Some(count)) => OpOutcome::PathApplied { count },
+                Ok(None) => OpOutcome::from_error(ufo_trees::GraphError::Disconnected { u, v }),
+                Err(e) => OpOutcome::from_error(e),
+            },
+            GraphOp::ComponentApply(v, d) => match g.try_component_apply(v, d) {
+                Ok(count) => OpOutcome::ComponentApplied { count },
+                Err(e) => OpOutcome::from_error(e),
+            },
         });
     }
     (g, expected)
